@@ -1,0 +1,250 @@
+//! Shared plumbing for the baseline executors: tiled parallel runners,
+//! periodic window sums for functional output, and the modeling constants
+//! documented in `DESIGN.md`.
+//!
+//! Two modeling levels coexist in this crate:
+//!
+//! * **TCStencil** executes its real fragment data path on the simulator
+//!   (its mapping fits the same `m8n8k4` machinery).
+//! * **ConvStencil, AMOS, cuDNN, Brick and DRStencil** compute their
+//!   numeric output with exact periodic window sums while charging
+//!   counters per their published data-path analyses (ConvStencil per
+//!   Eq. 13 of the LoRAStencil paper). Their *outputs* are therefore
+//!   exactly testable against the reference, and their *counters* follow
+//!   the analyses the paper's comparisons are built on.
+
+use rayon::prelude::*;
+use stencil_core::tiling::{tiles_2d, Tile2D};
+use stencil_core::{Grid2D, Grid3D, WeightMatrix};
+use tcu_sim::{GlobalArray, PerfCounters, SimContext};
+
+/// Issue-overhead multiplier for scalar CUDA-core stencil loops: address
+/// arithmetic, loop control, predication and memory-latency stalls issue
+/// alongside each FMA, so hand-written CUDA stencils sustain ~7 % of
+/// FP64 peak (consistent with published absolute GStencil/s of
+/// CUDA-core stencil frameworks on A100). Charged as extra CUDA "flops"
+/// by the CUDA-core baselines; the same factor is used for the
+/// CUDA-core RDG ablation path in `lorastencil`.
+pub const CUDA_ISSUE_OVERHEAD: f64 = 14.0;
+
+/// Like [`CUDA_ISSUE_OVERHEAD`], for DRStencil's generated code, which the
+/// fusion-partition optimizer schedules more tightly.
+pub const DRSTENCIL_ISSUE_OVERHEAD: f64 = 7.0;
+
+/// Output tile side shared by all tiled baselines.
+pub const TILE: usize = 8;
+
+/// Convert a 2-D grid to a device array.
+pub fn grid2_to_global(g: &Grid2D) -> GlobalArray {
+    GlobalArray::from_vec(g.rows(), g.cols(), g.as_slice().to_vec())
+}
+
+/// Convert a device array back to a 2-D grid.
+pub fn global_to_grid2(g: &GlobalArray) -> Grid2D {
+    Grid2D::from_vec(g.rows(), g.cols(), g.as_slice().to_vec())
+}
+
+/// Split a 3-D grid into per-plane device arrays.
+pub fn grid3_to_planes(g: &Grid3D) -> Vec<GlobalArray> {
+    (0..g.nz())
+        .map(|z| {
+            let p = g.plane(z);
+            GlobalArray::from_vec(g.ny(), g.nx(), p.as_slice().to_vec())
+        })
+        .collect()
+}
+
+/// Reassemble per-plane device arrays into a 3-D grid.
+pub fn planes_to_grid3(planes: &[GlobalArray]) -> Grid3D {
+    let (nz, ny, nx) = (planes.len(), planes[0].rows(), planes[0].cols());
+    Grid3D::from_fn(nz, ny, nx, |z, y, x| planes[z].peek(y, x))
+}
+
+/// Periodic read of a device array.
+#[inline]
+pub fn wrap_get(g: &GlobalArray, r: isize, c: isize) -> f64 {
+    let r = r.rem_euclid(g.rows() as isize) as usize;
+    let c = c.rem_euclid(g.cols() as isize) as usize;
+    g.peek(r, c)
+}
+
+/// Exact periodic stencil value at `(r, c)` for a 2-D weight matrix.
+pub fn stencil_point_2d(input: &GlobalArray, w: &WeightMatrix, r: usize, c: usize) -> f64 {
+    let h = w.radius() as isize;
+    let mut acc = 0.0;
+    for i in 0..w.n() {
+        for j in 0..w.n() {
+            let wv = w.get(i, j);
+            if wv != 0.0 {
+                acc += wv * wrap_get(input, r as isize + i as isize - h, c as isize + j as isize - h);
+            }
+        }
+    }
+    acc
+}
+
+/// Exact periodic stencil value for a 1-D weight vector.
+pub fn stencil_point_1d(input: &GlobalArray, w: &[f64], i: usize) -> f64 {
+    let h = ((w.len() - 1) / 2) as isize;
+    w.iter()
+        .enumerate()
+        .map(|(k, &wv)| wv * wrap_get(input, 0, i as isize + k as isize - h))
+        .sum()
+}
+
+/// Exact periodic stencil value at `(z, y, x)` for 3-D plane weights.
+pub fn stencil_point_3d(
+    planes: &[GlobalArray],
+    weights: &[WeightMatrix],
+    z: usize,
+    y: usize,
+    x: usize,
+) -> f64 {
+    let nz = planes.len() as isize;
+    let h = ((weights.len() - 1) / 2) as isize;
+    let mut acc = 0.0;
+    for (dz, w) in weights.iter().enumerate() {
+        let zp = (z as isize + dz as isize - h).rem_euclid(nz) as usize;
+        acc += stencil_point_2d_weighted(&planes[zp], w, y, x);
+    }
+    acc
+}
+
+fn stencil_point_2d_weighted(plane: &GlobalArray, w: &WeightMatrix, y: usize, x: usize) -> f64 {
+    stencil_point_2d(plane, w, y, x)
+}
+
+/// Run a per-tile computation in parallel over the 2-D tiling of `input`,
+/// then write tile outputs back sequentially (charging the writes).
+pub fn run_tiled_2d<F>(input: &GlobalArray, tile_fn: F) -> (GlobalArray, PerfCounters)
+where
+    F: Fn(Tile2D) -> ([[f64; TILE]; TILE], PerfCounters) + Sync,
+{
+    let (rows, cols) = (input.rows(), input.cols());
+    let tiles = tiles_2d(rows, cols, TILE, TILE);
+    let results: Vec<(Tile2D, [[f64; TILE]; TILE], PerfCounters)> = tiles
+        .par_iter()
+        .map(|&t| {
+            let (vals, counters) = tile_fn(t);
+            (t, vals, counters)
+        })
+        .collect();
+
+    let mut out = GlobalArray::new(rows, cols);
+    let mut ctx = SimContext::new();
+    for (t, vals, counters) in results {
+        ctx.counters.merge(&counters);
+        for p in 0..t.h {
+            out.store_span(&mut ctx, t.r0 + p, t.c0, &vals[p][..t.w]);
+        }
+    }
+    (out, ctx.counters)
+}
+
+/// Run a per-(plane, tile) computation in parallel over a 3-D volume.
+pub fn run_tiled_3d<F>(planes: &[GlobalArray], tile_fn: F) -> (Vec<GlobalArray>, PerfCounters)
+where
+    F: Fn(usize, Tile2D) -> ([[f64; TILE]; TILE], PerfCounters) + Sync,
+{
+    let nz = planes.len();
+    let (ny, nx) = (planes[0].rows(), planes[0].cols());
+    let tiles = tiles_2d(ny, nx, TILE, TILE);
+    let jobs: Vec<(usize, Tile2D)> =
+        (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect();
+    let results: Vec<(usize, Tile2D, [[f64; TILE]; TILE], PerfCounters)> = jobs
+        .par_iter()
+        .map(|&(z, t)| {
+            let (vals, counters) = tile_fn(z, t);
+            (z, t, vals, counters)
+        })
+        .collect();
+
+    let mut out: Vec<GlobalArray> = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
+    let mut ctx = SimContext::new();
+    for (z, t, vals, counters) in results {
+        ctx.counters.merge(&counters);
+        for p in 0..t.h {
+            out[z].store_span(&mut ctx, t.r0 + p, t.c0, &vals[p][..t.w]);
+        }
+    }
+    (out, ctx.counters)
+}
+
+/// Run a per-tile computation over a 1-D array in `chunk`-sized output
+/// spans.
+pub fn run_tiled_1d<F>(input: &GlobalArray, chunk: usize, tile_fn: F) -> (GlobalArray, PerfCounters)
+where
+    F: Fn(usize, usize) -> (Vec<f64>, PerfCounters) + Sync,
+{
+    let n = input.cols();
+    let tiles = stencil_core::tiling::tiles_1d(n, chunk);
+    let results: Vec<(usize, Vec<f64>, PerfCounters)> = tiles
+        .par_iter()
+        .map(|t| {
+            let (vals, counters) = tile_fn(t.i0, t.len);
+            (t.i0, vals, counters)
+        })
+        .collect();
+    let mut out = GlobalArray::new(1, n);
+    let mut ctx = SimContext::new();
+    for (i0, vals, counters) in results {
+        ctx.counters.merge(&counters);
+        for (off, chunk32) in vals.chunks(32).enumerate() {
+            out.store_span(&mut ctx, 0, i0 + off * 32, chunk32);
+        }
+    }
+    (out, ctx.counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::kernels;
+
+    #[test]
+    fn stencil_point_matches_reference() {
+        let k = kernels::box_2d9p();
+        let g = Grid2D::from_fn(8, 8, |r, c| (r * 8 + c) as f64);
+        let ga = grid2_to_global(&g);
+        let want = stencil_core::reference::apply_2d(&g, k.weights_2d());
+        for r in 0..8 {
+            for c in 0..8 {
+                let got = stencil_point_2d(&ga, k.weights_2d(), r, c);
+                assert!((got - want.at(r, c)).abs() < 1e-12, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn run_tiled_2d_writes_all_points() {
+        let g = GlobalArray::new(20, 12);
+        let (out, counters) = run_tiled_2d(&g, |t| {
+            let mut ctx = SimContext::new();
+            ctx.points((t.h * t.w) as u64);
+            ([[1.0; TILE]; TILE], ctx.counters)
+        });
+        assert!(out.as_slice().iter().all(|&v| v == 1.0));
+        assert_eq!(counters.points_updated, 240);
+        assert_eq!(counters.global_bytes_written, 240 * 8);
+    }
+
+    #[test]
+    fn run_tiled_1d_roundtrip() {
+        let g = GlobalArray::from_vec(1, 100, (0..100).map(|i| i as f64).collect());
+        let (out, _) = run_tiled_1d(&g, 64, |i0, len| {
+            let vals = (0..len).map(|k| g.peek(0, i0 + k) * 2.0).collect();
+            (vals, PerfCounters::new())
+        });
+        for i in 0..100 {
+            assert_eq!(out.peek(0, i), 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn wrap_get_is_periodic() {
+        let g = GlobalArray::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(wrap_get(&g, 0, -1), 4.0);
+        assert_eq!(wrap_get(&g, 0, 4), 1.0);
+        assert_eq!(wrap_get(&g, -1, 0), 1.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared engine for the CUDA-core baselines (Brick, DRStencil, and the
+//! GEMM half of cuDNN): tiled scalar stencil execution with shared-memory
+//! staging, charging FMA work (with an issue-overhead multiplier — scalar
+//! stencil loops spend issue slots on address arithmetic and loop
+//! control) and register-blocked shared-memory reads.
+
+use crate::common::{self, run_tiled_1d, run_tiled_2d, run_tiled_3d, TILE};
+use stencil_core::WeightMatrix;
+use tcu_sim::{CopyMode, GlobalArray, PerfCounters, SharedTile, SimContext};
+
+/// One scalar-stencil application over a 2-D array.
+///
+/// Per tile: stage the halo region in shared memory, read it with
+/// register-blocked row requests (one warp request per distinct row), and
+/// execute `2 × points × overhead` CUDA-core operations per output.
+pub fn apply_2d(
+    input: &GlobalArray,
+    w: &WeightMatrix,
+    overhead: f64,
+    fusion_steps: usize,
+) -> (GlobalArray, PerfCounters) {
+    let h = w.radius();
+    let points = w.nonzero_points() as u64;
+    run_tiled_2d(input, |t| {
+        let mut ctx = SimContext::new();
+        let side = TILE + 2 * h;
+        let mut tile = SharedTile::new(side, side);
+        input.copy_to_shared_reuse(
+            &mut ctx,
+            CopyMode::Staged,
+            t.r0 as isize - h as isize,
+            t.c0 as isize - h as isize,
+            side,
+            side,
+            &mut tile,
+            0,
+            0,
+            t.h * t.w,
+        );
+        // register-blocked reads: each staged row is pulled once per warp
+        ctx.counters.shared_load_requests += side as u64;
+        ctx.cuda_flops(((2 * points * (t.h * t.w) as u64) as f64 * overhead) as u64);
+        let mut vals = [[0.0; TILE]; TILE];
+        for (p, row) in vals.iter_mut().enumerate() {
+            for (q, v) in row.iter_mut().enumerate() {
+                *v = common::stencil_point_2d(input, w, t.r0 + p, t.c0 + q);
+            }
+        }
+        ctx.points((t.h * t.w * fusion_steps) as u64);
+        (vals, ctx.counters)
+    })
+}
+
+/// One scalar-stencil application over a 3-D volume (plane stack).
+pub fn apply_3d(
+    planes: &[GlobalArray],
+    weights: &[WeightMatrix],
+    overhead: f64,
+    fusion_steps: usize,
+) -> (Vec<GlobalArray>, PerfCounters) {
+    let h = (weights.len() - 1) / 2;
+    run_tiled_3d(planes, |z, t| {
+        let mut ctx = SimContext::new();
+        let side = TILE + 2 * h;
+        for (dz, w) in weights.iter().enumerate() {
+            let points = w.nonzero_points() as u64;
+            if points == 0 {
+                continue;
+            }
+            let zp = (z as isize + dz as isize - h as isize).rem_euclid(planes.len() as isize);
+            let mut tile = SharedTile::new(side, side);
+            let fresh = if dz == h { t.h * t.w } else { 0 };
+            planes[zp as usize].copy_to_shared_reuse(
+                &mut ctx,
+                CopyMode::Staged,
+                t.r0 as isize - h as isize,
+                t.c0 as isize - h as isize,
+                side,
+                side,
+                &mut tile,
+                0,
+                0,
+                fresh,
+            );
+            ctx.counters.shared_load_requests += side as u64;
+            ctx.cuda_flops(((2 * points * (t.h * t.w) as u64) as f64 * overhead) as u64);
+        }
+        let mut vals = [[0.0; TILE]; TILE];
+        for (p, row) in vals.iter_mut().enumerate() {
+            for (q, v) in row.iter_mut().enumerate() {
+                *v = common::stencil_point_3d(planes, weights, z, t.r0 + p, t.c0 + q);
+            }
+        }
+        ctx.points((t.h * t.w * fusion_steps) as u64);
+        (vals, ctx.counters)
+    })
+}
+
+/// One scalar-stencil application over a 1-D array.
+pub fn apply_1d(
+    input: &GlobalArray,
+    w: &[f64],
+    overhead: f64,
+    fusion_steps: usize,
+) -> (GlobalArray, PerfCounters) {
+    let h = (w.len() - 1) / 2;
+    let points = w.iter().filter(|&&x| x != 0.0).count() as u64;
+    run_tiled_1d(input, 64, |i0, len| {
+        let mut ctx = SimContext::new();
+        let span = len + 2 * h;
+        let mut tile = SharedTile::new(1, span);
+        input.copy_to_shared_reuse(
+            &mut ctx,
+            CopyMode::Staged,
+            0,
+            i0 as isize - h as isize,
+            1,
+            span,
+            &mut tile,
+            0,
+            0,
+            len,
+        );
+        ctx.counters.shared_load_requests += (span as u64).div_ceil(32);
+        ctx.cuda_flops(((2 * points * len as u64) as f64 * overhead) as u64);
+        let vals = (0..len).map(|k| common::stencil_point_1d(input, w, i0 + k)).collect();
+        ctx.points((len * fusion_steps) as u64);
+        (vals, ctx.counters)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::grid2_to_global;
+    use stencil_core::{kernels, reference, Grid2D};
+
+    #[test]
+    fn scalar_engine_matches_reference() {
+        let k = kernels::box_2d9p();
+        let g = Grid2D::from_fn(20, 20, |r, c| ((r * 3 + c) % 8) as f64);
+        let (out, counters) = apply_2d(&grid2_to_global(&g), k.weights_2d(), 4.0, 1);
+        let want = reference::apply_2d(&g, k.weights_2d());
+        for r in 0..20 {
+            for c in 0..20 {
+                assert!((out.peek(r, c) - want.at(r, c)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(counters.mma_ops, 0);
+        assert!(counters.cuda_flops > 0);
+    }
+
+    #[test]
+    fn overhead_scales_flops() {
+        let k = kernels::box_2d9p();
+        let g = grid2_to_global(&Grid2D::new(16, 16));
+        let (_, c1) = apply_2d(&g, k.weights_2d(), 1.0, 1);
+        let (_, c4) = apply_2d(&g, k.weights_2d(), 4.0, 1);
+        assert!(c4.cuda_flops >= c1.cuda_flops * 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! # baselines — the state-of-the-art comparators of the LoRAStencil paper
+//!
+//! Every system Fig. 8 of the paper compares against, implemented on the
+//! same simulated device as LoRAStencil so the comparison is
+//! counter-for-counter:
+//!
+//! | Executor | Hardware | Modeling level |
+//! |----------|----------|----------------|
+//! | [`ConvStencil`] | TCU | stencil2row data path per Eq. 13, exact outputs |
+//! | [`TcStencil`] | TCU (FP16-native, §V-A ÷4 rule) | real fragment data path |
+//! | [`Amos`] | TCU | generic im2col mapping, no reuse |
+//! | [`CuDnnConv`] | CUDA cores | im2col materialization + GEMM |
+//! | [`Brick`] | CUDA cores | fine-grained blocks, staged shared memory |
+//! | [`DrStencil`] | CUDA cores | fusion-partition (2× temporal fusion) |
+//!
+//! All executors implement [`stencil_core::StencilExecutor`]; their
+//! outputs are exact (tested against the naive reference) and their
+//! counters follow the data-path analyses documented per module and in
+//! `DESIGN.md`.
+
+// Explicit index loops mirror the matrix/grid math throughout this
+// crate and keep row/column roles visible; iterator forms obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod amos;
+pub mod brick;
+pub mod common;
+pub mod convstencil;
+pub mod cuda_core;
+pub mod cudnn_conv;
+pub mod drstencil;
+pub mod tcstencil;
+pub mod tcstencil_fp16;
+
+pub use amos::Amos;
+pub use brick::Brick;
+pub use convstencil::ConvStencil;
+pub use cudnn_conv::CuDnnConv;
+pub use drstencil::DrStencil;
+pub use tcstencil::{TcStencil, FP16_CONVERSION_FACTOR};
+pub use tcstencil_fp16::TcStencilFp16;
+
+use stencil_core::StencilExecutor;
+
+/// All baseline executors in the paper's Fig. 8 order (cuDNN, AMOS,
+/// Brick, DRStencil, TCStencil, ConvStencil).
+pub fn all_baselines() -> Vec<Box<dyn StencilExecutor + Send + Sync>> {
+    vec![
+        Box::new(CuDnnConv::new()),
+        Box::new(Amos::new()),
+        Box::new(Brick::new()),
+        Box::new(DrStencil::new()),
+        Box::new(TcStencil::new()),
+        Box::new(ConvStencil::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roster_matches_fig8() {
+        let names: Vec<&str> = all_baselines().iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["cuDNN", "AMOS", "Brick", "DRStencil", "TCStencil", "ConvStencil"]);
+    }
+}

@@ -1,0 +1,297 @@
+//! TCStencil in its *native* FP16 precision, on the `m16n16k16` fragment
+//! model of [`tcu_sim::fp16`].
+//!
+//! The paper cannot run TCStencil at FP64 (the fragment shapes differ)
+//! and converts its measured FP16 throughput by ÷4 (§V-A). This executor
+//! complements that protocol with the real thing: the same row-gather
+//! mapping executed with binary16 operands and FP32 accumulation, so
+//! both sides of the FP16 story are measurable —
+//!
+//! * **throughput**: FP16 counters (2-byte traffic, 8192-FLOP MMAs at
+//!   the 312 TFLOPS peak) feed the same cost model;
+//! * **accuracy**: outputs genuinely carry half-precision rounding, so
+//!   the numerical price of FP16 stencils — the reason the paper and all
+//!   HPC practice insist on FP64 — is a measured quantity (see the
+//!   `fp16_study` binary).
+
+use crate::common::{grid2_to_global, grid3_to_planes, global_to_grid2, planes_to_grid3};
+use rayon::prelude::*;
+use stencil_core::tiling::{tiles_2d, Tile2D};
+use stencil_core::{ExecError, ExecOutcome, GridData, Problem, StencilExecutor, WeightMatrix};
+use tcu_sim::fp16::{load_frag16, Acc16, Frag16, MMA16};
+use tcu_sim::{BlockResources, CopyMode, GlobalArray, PerfCounters, SharedTile, SimContext};
+
+/// The native-FP16 TCStencil executor (2-D and 3-D kernels).
+#[derive(Debug, Clone, Default)]
+pub struct TcStencilFp16;
+
+impl TcStencilFp16 {
+    /// Create the executor.
+    pub fn new() -> Self {
+        TcStencilFp16
+    }
+}
+
+/// FP16 output tile side.
+const TILE16: usize = MMA16;
+
+/// Padded FP16 input width (two 16-wide fragment columns cover radii ≤ 8).
+const S16: usize = 32;
+
+/// Rescale the byte counters charged since `before` from 8-byte FP64
+/// elements to 2-byte FP16 elements.
+fn fp16_bytes(ctx: &mut SimContext, before: &PerfCounters) {
+    let c = &mut ctx.counters;
+    c.global_bytes_read = before.global_bytes_read + (c.global_bytes_read - before.global_bytes_read) / 4;
+    c.global_bytes_written =
+        before.global_bytes_written + (c.global_bytes_written - before.global_bytes_written) / 4;
+    c.l2_bytes = before.l2_bytes + (c.l2_bytes - before.l2_bytes) / 4;
+    c.staged_copy_bytes =
+        before.staged_copy_bytes + (c.staged_copy_bytes - before.staged_copy_bytes) / 4;
+}
+
+/// Banded `V_i` fragments for kernel row weights `w_row`: the `S16×16`
+/// matrix `V[q + k][q] = w_row[k]`, split into two 16×16 fragments.
+fn v_frags_for_row(w_row: &[f64]) -> [Frag16; 2] {
+    let mut dense = vec![[0.0f64; TILE16]; S16];
+    for q in 0..TILE16 {
+        for (k, &wk) in w_row.iter().enumerate() {
+            dense[q + k][q] = wk;
+        }
+    }
+    [
+        Frag16::from_fn(|i, j| dense[i][j]),
+        Frag16::from_fn(|i, j| dense[MMA16 + i][j]),
+    ]
+}
+
+/// Row-gather one plane's contribution onto a 16×16 tile accumulator.
+fn row_gather16(ctx: &mut SimContext, tile: &SharedTile, w: &WeightMatrix, mut acc: Acc16) -> Acc16 {
+    for i in 0..w.n() {
+        let row: Vec<f64> = (0..w.n()).map(|j| w.get(i, j)).collect();
+        if row.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        let v = v_frags_for_row(&row);
+        for (blk, vf) in v.iter().enumerate() {
+            let a = load_frag16(ctx, tile, i as isize, (blk * MMA16) as isize);
+            acc = ctx.mma16(&a, vf, &acc);
+        }
+    }
+    acc
+}
+
+fn block_resources(h: usize) -> BlockResources {
+    // FP16 tiles: 2 bytes per element
+    BlockResources {
+        shared_bytes: 8 * ((TILE16 + 2 * h) * S16 * 2) as u32,
+        threads: 256,
+        regs_per_thread: 64,
+    }
+}
+
+fn apply_2d(input: &GlobalArray, w: &WeightMatrix) -> (GlobalArray, PerfCounters) {
+    let h = w.radius();
+    let (rows, cols) = (input.rows(), input.cols());
+    let tiles = tiles_2d(rows, cols, TILE16, TILE16);
+    let results: Vec<(Tile2D, Acc16, PerfCounters)> = tiles
+        .par_iter()
+        .map(|&t| {
+            let mut ctx = SimContext::new();
+            let before = ctx.counters;
+            let mut tile = SharedTile::new(TILE16 + 2 * h, S16);
+            input.copy_to_shared_reuse(
+                &mut ctx,
+                CopyMode::Staged,
+                t.r0 as isize - h as isize,
+                t.c0 as isize - h as isize,
+                TILE16 + 2 * h,
+                S16,
+                &mut tile,
+                0,
+                0,
+                t.h * t.w,
+            );
+            fp16_bytes(&mut ctx, &before);
+            let acc = row_gather16(&mut ctx, &tile, w, Acc16::zero());
+            ctx.points((t.h * t.w) as u64);
+            (t, acc, ctx.counters)
+        })
+        .collect();
+
+    let mut out = GlobalArray::new(rows, cols);
+    let mut ctx = SimContext::new();
+    for (t, acc, counters) in results {
+        ctx.counters.merge(&counters);
+        for p in 0..t.h {
+            let before = ctx.counters;
+            let vals: Vec<f64> = (0..t.w).map(|q| acc.get(p, q) as f64).collect();
+            out.store_span(&mut ctx, t.r0 + p, t.c0, &vals);
+            fp16_bytes(&mut ctx, &before);
+        }
+    }
+    (out, ctx.counters)
+}
+
+fn apply_3d(planes: &[GlobalArray], weights: &[WeightMatrix]) -> (Vec<GlobalArray>, PerfCounters) {
+    let h = (weights.len() - 1) / 2;
+    // run_tiled_3d uses 8×8 tiles; FP16 needs 16×16 — do it directly
+    let nz = planes.len();
+    let (ny, nx) = (planes[0].rows(), planes[0].cols());
+    let tiles = tiles_2d(ny, nx, TILE16, TILE16);
+    let jobs: Vec<(usize, Tile2D)> =
+        (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect();
+    let results: Vec<(usize, Tile2D, Acc16, PerfCounters)> = jobs
+        .par_iter()
+        .map(|&(z, t)| {
+            let mut ctx = SimContext::new();
+            let mut acc = Acc16::zero();
+            for (dz, w) in weights.iter().enumerate() {
+                if w.nonzero_points() == 0 {
+                    continue;
+                }
+                let zp = (z as isize + dz as isize - h as isize).rem_euclid(nz as isize);
+                let before = ctx.counters;
+                let mut tile = SharedTile::new(TILE16 + 2 * h, S16);
+                let fresh = if dz == h { t.h * t.w } else { 0 };
+                planes[zp as usize].copy_to_shared_reuse(
+                    &mut ctx,
+                    CopyMode::Staged,
+                    t.r0 as isize - h as isize,
+                    t.c0 as isize - h as isize,
+                    TILE16 + 2 * h,
+                    S16,
+                    &mut tile,
+                    0,
+                    0,
+                    fresh,
+                );
+                fp16_bytes(&mut ctx, &before);
+                acc = row_gather16(&mut ctx, &tile, w, acc);
+            }
+            ctx.points((t.h * t.w) as u64);
+            (z, t, acc, ctx.counters)
+        })
+        .collect();
+
+    let mut out: Vec<GlobalArray> = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
+    let mut ctx = SimContext::new();
+    for (z, t, acc, counters) in results {
+        ctx.counters.merge(&counters);
+        for p in 0..t.h {
+            let before = ctx.counters;
+            let vals: Vec<f64> = (0..t.w).map(|q| acc.get(p, q) as f64).collect();
+            out[z].store_span(&mut ctx, t.r0 + p, t.c0, &vals);
+            fp16_bytes(&mut ctx, &before);
+        }
+    }
+    (out, ctx.counters)
+}
+
+impl StencilExecutor for TcStencilFp16 {
+    fn name(&self) -> &'static str {
+        "TCStencil-FP16"
+    }
+
+    fn execute(&self, problem: &Problem) -> Result<ExecOutcome, ExecError> {
+        if problem.kernel.dims() != problem.input.dims() {
+            return Err(ExecError::Invalid("kernel/grid dimensionality mismatch".into()));
+        }
+        if problem.kernel.radius > 8 {
+            return Err(ExecError::Unsupported("radius > 8 exceeds the padded FP16 tile".into()));
+        }
+        let mut counters = PerfCounters::new();
+        match &problem.input {
+            GridData::D2(g) => {
+                let w = problem.kernel.weights_2d();
+                let mut cur = grid2_to_global(g);
+                for _ in 0..problem.iterations {
+                    let (next, c) = apply_2d(&cur, w);
+                    counters.merge(&c);
+                    cur = next;
+                }
+                Ok(ExecOutcome {
+                    output: GridData::D2(global_to_grid2(&cur)),
+                    counters,
+                    block: block_resources(problem.kernel.radius),
+                })
+            }
+            GridData::D3(g) => {
+                let ws = problem.kernel.weights_3d();
+                let mut cur = grid3_to_planes(g);
+                for _ in 0..problem.iterations {
+                    let (next, c) = apply_3d(&cur, ws);
+                    counters.merge(&c);
+                    cur = next;
+                }
+                Ok(ExecOutcome {
+                    output: GridData::D3(planes_to_grid3(&cur)),
+                    counters,
+                    block: block_resources(problem.kernel.radius),
+                })
+            }
+            GridData::D1(_) => {
+                Err(ExecError::Unsupported("the FP16 study covers 2-D and 3-D kernels".into()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{kernels, reference, Grid2D, Grid3D};
+
+    #[test]
+    fn fp16_output_is_close_but_not_exact() {
+        let k = kernels::box_2d9p();
+        let g = Grid2D::from_fn(32, 32, |r, c| ((r * 7 + c * 3) % 11) as f64 * 0.5);
+        let p = Problem::new(k.clone(), g.clone(), 1);
+        let out = TcStencilFp16::new().execute(&p).unwrap();
+        let want = reference::run(&p.input, &p.kernel, 1);
+        let err = out.output.max_abs_diff(&want);
+        // half precision: errors at the 1e-3 scale on O(1) data…
+        assert!(err < 2e-2, "too inaccurate: {err}");
+        // …and measurably worse than FP64
+        assert!(err > 1e-8, "suspiciously exact for FP16: {err}");
+    }
+
+    #[test]
+    fn fp16_counters_use_the_fp16_pipes() {
+        let k = kernels::box_2d49p();
+        let g = Grid2D::from_fn(32, 32, |r, c| (r + c) as f64 * 0.1);
+        let p = Problem::new(k, g, 1);
+        let out = TcStencilFp16::new().execute(&p).unwrap();
+        assert_eq!(out.counters.mma_ops, 0, "no FP64 MMAs");
+        // 7 kernel rows × 2 fragment blocks per 16×16 tile, 4 tiles
+        assert_eq!(out.counters.mma_fp16_ops, 4 * 7 * 2);
+    }
+
+    #[test]
+    fn fp16_bytes_are_a_quarter_of_fp64() {
+        let k = kernels::box_2d9p();
+        let g = Grid2D::from_fn(32, 32, |r, c| (r * c) as f64 * 0.01);
+        let p = Problem::new(k.clone(), g, 1);
+        let fp16 = TcStencilFp16::new().execute(&p).unwrap();
+        // compulsory traffic: 32×32 reads + writes at 2 bytes each
+        assert_eq!(fp16.counters.global_bytes_written, 32 * 32 * 2);
+        assert_eq!(fp16.counters.global_bytes_read, 32 * 32 * 2);
+    }
+
+    #[test]
+    fn fp16_3d_runs_and_degrades_gracefully() {
+        let k = kernels::box_3d27p();
+        let g = Grid3D::from_fn(4, 32, 32, |z, y, x| ((z + y + x) % 9) as f64 * 0.3);
+        let p = Problem::new(k.clone(), g, 1);
+        let out = TcStencilFp16::new().execute(&p).unwrap();
+        let want = reference::run(&p.input, &p.kernel, 1);
+        let err = out.output.max_abs_diff(&want);
+        assert!(err < 2e-2 && err > 1e-9, "err = {err}");
+    }
+
+    #[test]
+    fn rejects_1d_and_huge_radii() {
+        let p1 = Problem::new(kernels::heat_1d(), stencil_core::Grid1D::new(64), 1);
+        assert!(TcStencilFp16::new().execute(&p1).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benchmarks of whole-grid executor passes: one stencil
+//! application of every method (LoRAStencil and the six baselines) plus
+//! the naive reference, on a 64×64 grid. Wall time here measures the
+//! functional simulation's own throughput; the modeled A100 GStencil/s
+//! comes from the `fig8` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorastencil::LoRaStencil;
+use stencil_core::{kernels, reference, Grid2D, GridData, Problem, StencilExecutor};
+
+fn bench_apply_2d(c: &mut Criterion) {
+    let grid = Grid2D::from_fn(64, 64, |r, cc| ((r * 13 + cc * 7) % 17) as f64 * 0.3);
+    let kernel = kernels::box_2d49p();
+    let problem = Problem::new(kernel.clone(), grid.clone(), 1);
+
+    let mut group = c.benchmark_group("apply_box2d49p_64x64");
+    group.bench_function("reference", |b| {
+        b.iter(|| reference::run(black_box(&problem.input), &problem.kernel, 1))
+    });
+    group.bench_function("LoRAStencil", |b| {
+        let exec = LoRaStencil::new();
+        b.iter(|| exec.execute(black_box(&problem)).unwrap())
+    });
+    for exec in baselines::all_baselines() {
+        group.bench_with_input(
+            BenchmarkId::new("baseline", exec.name()),
+            &problem,
+            |b, p| b.iter(|| exec.execute(black_box(p)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_iterated(c: &mut Criterion) {
+    // fused multi-iteration pass: the planner folds 6 steps into 2 fused
+    // applications
+    let grid = Grid2D::from_fn(64, 64, |r, cc| (r + cc) as f64 * 0.1);
+    let problem = Problem::new(kernels::box_2d9p(), GridData::D2(grid), 6);
+    c.bench_function("lora_box2d9p_6steps_fused", |b| {
+        let exec = LoRaStencil::new();
+        b.iter(|| exec.execute(black_box(&problem)).unwrap())
+    });
+}
+
+fn bench_3d(c: &mut Criterion) {
+    let grid = stencil_core::Grid3D::from_fn(6, 24, 24, |z, y, x| (z + y * 2 + x) as f64 * 0.05);
+    let problem = Problem::new(kernels::heat_3d(), GridData::D3(grid), 1);
+    c.bench_function("lora_heat3d_6x24x24", |b| {
+        let exec = LoRaStencil::new();
+        b.iter(|| exec.execute(black_box(&problem)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_apply_2d, bench_iterated, bench_3d);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the simulator substrate: the `m8n8k4`
+//! MMA, fragment extraction (the BVS hot path) and shared-tile fragment
+//! loads. These time the *reproduction's* Rust hot paths (the functional
+//! simulation itself), complementing the modeled-GStencil/s harness.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tcu_sim::{FragA, FragAcc, FragB, SharedTile, SimContext};
+
+fn bench_mma(c: &mut Criterion) {
+    let mut ctx = SimContext::new();
+    let a = FragA::from_matrix(&[[1.25; 4]; 8]);
+    let b = FragB::from_matrix(&[[0.75; 8]; 4]);
+    let acc = FragAcc::zero();
+    c.bench_function("mma_m8n8k4_f64", |bench| {
+        bench.iter(|| black_box(ctx.mma(black_box(&a), black_box(&b), black_box(&acc))))
+    });
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let mut m = [[0.0; 8]; 8];
+    for (r, row) in m.iter_mut().enumerate() {
+        for (cc, v) in row.iter_mut().enumerate() {
+            *v = (r * 8 + cc) as f64;
+        }
+    }
+    let acc = FragAcc::from_matrix(&m);
+    c.bench_function("acc_extract_butterfly", |bench| {
+        bench.iter(|| black_box(acc.extract_a(black_box(FragAcc::BUTTERFLY_COLS[0]))))
+    });
+    c.bench_function("acc_extract_natural", |bench| {
+        bench.iter(|| black_box(acc.extract_a(black_box(FragAcc::NATURAL_COLS[0]))))
+    });
+}
+
+fn bench_shared_loads(c: &mut Criterion) {
+    let mut tile = SharedTile::new(16, 16);
+    for r in 0..16 {
+        for cc in 0..16 {
+            tile.poke(r, cc, (r * 16 + cc) as f64);
+        }
+    }
+    let mut ctx = SimContext::new();
+    c.bench_function("shared_load_frag_b", |bench| {
+        bench.iter(|| black_box(tile.load_frag_b(&mut ctx, black_box(4), black_box(8))))
+    });
+    c.bench_function("shared_load_frag_a", |bench| {
+        bench.iter(|| black_box(tile.load_frag_a(&mut ctx, black_box(2), black_box(4))))
+    });
+}
+
+criterion_group!(benches, bench_mma, bench_extract, bench_shared_loads);
+criterion_main!(benches);

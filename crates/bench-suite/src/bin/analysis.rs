@@ -1,0 +1,6 @@
+//! Print the paper's closed-form models (Eq. 12–16, §IV-A fusion) and
+//! the Table II configuration.
+
+fn main() {
+    println!("{}", bench_suite::render_analysis());
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's Fig. 10: shared-memory load/store/total
+//! requests, ConvStencil vs LoRAStencil.
+
+fn main() {
+    let model = tcu_sim::CostModel::a100();
+    let rows = bench_suite::fig10(&model);
+    println!("{}", bench_suite::render_fig10(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's Fig. 8: GStencil/s for every method on every
+//! Table II kernel, plus LoRAStencil's average speedups.
+
+fn main() {
+    let model = tcu_sim::CostModel::a100();
+    let fig = bench_suite::fig8(&model);
+    println!("{}", fig.render());
+}

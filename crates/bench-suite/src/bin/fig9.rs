@@ -1,0 +1,8 @@
+//! Regenerate the paper's Fig. 9: the Box-2D9P performance breakdown
+//! (RDG on CUDA cores → +TCU → +BVS → +AsyncCopy) across input sizes.
+
+fn main() {
+    let model = tcu_sim::CostModel::a100();
+    let fig = bench_suite::fig9(&model);
+    println!("{}", fig.render());
+}

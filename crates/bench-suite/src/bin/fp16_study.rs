@@ -1,0 +1,8 @@
+//! Native-FP16 TCStencil study: accuracy drift vs the FP64 reference and
+//! modeled throughput, next to the paper's ÷4 conversion convention.
+
+fn main() {
+    let model = tcu_sim::CostModel::a100();
+    let rows = bench_suite::fp16_study::run(&model);
+    println!("{}", bench_suite::fp16_study::render(&rows));
+}

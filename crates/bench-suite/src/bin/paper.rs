@@ -1,0 +1,15 @@
+//! Run the full evaluation: every figure and table of the paper in one
+//! go (Fig. 8, Fig. 9, Fig. 10, Table III, analytic models).
+
+fn main() {
+    let model = tcu_sim::CostModel::a100();
+    println!("{}", bench_suite::render_analysis());
+    println!();
+    println!("{}", bench_suite::fig8(&model).render());
+    println!();
+    println!("{}", bench_suite::fig9(&model).render());
+    println!();
+    println!("{}", bench_suite::render_fig10(&bench_suite::fig10(&model)));
+    println!();
+    println!("{}", bench_suite::render_table3(&bench_suite::table3(&model)));
+}

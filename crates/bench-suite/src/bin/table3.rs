@@ -1,0 +1,8 @@
+//! Regenerate the paper's Table III: compute throughput and arithmetic
+//! intensity, ConvStencil vs LoRAStencil.
+
+fn main() {
+    let model = tcu_sim::CostModel::a100();
+    let rows = bench_suite::table3(&model);
+    println!("{}", bench_suite::render_table3(&rows));
+}

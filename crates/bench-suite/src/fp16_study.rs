@@ -1,0 +1,131 @@
+//! FP16 study: both halves of the paper's §V-A TCStencil argument,
+//! measured on the native `m16n16k16` half-precision model.
+//!
+//! 1. **Accuracy** — how fast binary16 stencil iteration drifts from the
+//!    FP64 reference (the reason HPC insists on FP64 and the paper's
+//!    FP64 focus matters);
+//! 2. **Throughput** — the native FP16 modeled GStencil/s next to the
+//!    ÷4-converted FP64-equivalent the comparison protocol uses.
+
+use crate::report::format_table;
+use crate::runner::{device_fill, LAUNCH_OVERHEAD_S};
+use crate::workloads::{self, Workload};
+use baselines::{TcStencilFp16, FP16_CONVERSION_FACTOR};
+use stencil_core::{Problem, StencilExecutor};
+use tcu_sim::CostModel;
+
+/// One kernel's accuracy/throughput row.
+pub struct Fp16Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// Max |FP16 − FP64 reference| after 1 iteration.
+    pub err_1: f64,
+    /// Max |FP16 − FP64 reference| after 6 iterations.
+    pub err_6: f64,
+    /// Native FP16 modeled GStencil/s at Table II scale.
+    pub native_gstencil: f64,
+    /// The §V-A FP64-equivalent (native ÷ 4).
+    pub converted_gstencil: f64,
+}
+
+fn relative_scale(vals: &[f64]) -> f64 {
+    vals.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-300)
+}
+
+/// Run the study over the 2-D/3-D Table II workloads.
+pub fn run(model: &CostModel) -> Vec<Fp16Row> {
+    let exec = TcStencilFp16::new();
+    workloads::table_ii()
+        .into_iter()
+        .filter(|w| w.kernel.dims() >= 2)
+        .map(|w: Workload| {
+            let input = w.sim_input();
+            let scale = relative_scale(input.as_slice());
+            let err_at = |iters: usize| {
+                let p = Problem::new(w.kernel.clone(), input.clone(), iters);
+                let out = exec.execute(&p).unwrap();
+                let want = stencil_core::reference::run(&p.input, &p.kernel, iters);
+                out.output.max_abs_diff(&want) / scale
+            };
+            let err_1 = err_at(1);
+            let err_6 = err_at(6);
+
+            let p = Problem::new(w.kernel.clone(), input, w.sim_iters);
+            let out = exec.execute(&p).unwrap();
+            let est = model.estimate(&out.counters, &out.block);
+            let fill = device_fill(model, &out.block, w.full_points());
+            let tpu = est.total / out.counters.points_updated.max(1) as f64 / fill;
+            let total = tpu * w.full_updates() as f64 + LAUNCH_OVERHEAD_S * w.full_iters as f64;
+            let native = w.full_updates() as f64 / total / 1e9;
+            Fp16Row {
+                kernel: w.kernel.name.clone(),
+                err_1,
+                err_6,
+                native_gstencil: native,
+                converted_gstencil: native / FP16_CONVERSION_FACTOR,
+            }
+        })
+        .collect()
+}
+
+/// Printable report.
+pub fn render(rows: &[Fp16Row]) -> String {
+    let header: Vec<String> = [
+        "Kernel",
+        "rel err (1 iter)",
+        "rel err (6 iters)",
+        "FP16 native GStencil/s",
+        "÷4 converted",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.clone(),
+                format!("{:.2e}", r.err_1),
+                format!("{:.2e}", r.err_6),
+                format!("{:.1}", r.native_gstencil),
+                format!("{:.1}", r.converted_gstencil),
+            ]
+        })
+        .collect();
+    let mut out = String::from(
+        "FP16 study — native half-precision TCStencil: accuracy drift and throughput\n\n",
+    );
+    out.push_str(&format_table(&header, &body));
+    out.push_str(
+        "\nBinary16 stencils start ~1e-3 off and drift with iteration count — at the\n\
+         paper's 10⁴-iteration scales the solution is unusable, which is why the\n\
+         FP64 tensor-core path (and hence LoRAStencil vs ConvStencil) is the real\n\
+         battleground. The ÷4 column is the §V-A comparison convention.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp16_errors_are_half_precision_sized_and_grow() {
+        let rows = run(&CostModel::a100());
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                r.err_1 > 1e-8 && r.err_1 < 5e-2,
+                "{}: single-step error {:.2e} not FP16-like",
+                r.kernel,
+                r.err_1
+            );
+            assert!(
+                r.err_6 >= r.err_1 * 0.5,
+                "{}: error should not shrink much with iterations",
+                r.kernel
+            );
+            assert!(r.native_gstencil > r.converted_gstencil);
+        }
+    }
+}

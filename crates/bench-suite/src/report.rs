@@ -1,0 +1,92 @@
+//! Plain-text report formatting: aligned tables, speedups relative to the
+//! slowest method (the paper's Fig. 8 convention) and geometric means.
+
+/// Format a table with a header row and aligned columns.
+pub fn format_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>w$}", w = w));
+        }
+        line
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Speedups of each value relative to the smallest (the paper's Fig. 8
+/// left-axis convention: "speedup … relative to the lowest-performing
+/// method in that kernel").
+pub fn speedups_vs_slowest(values: &[f64]) -> Vec<f64> {
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    values.iter().map(|v| v / min).collect()
+}
+
+/// Ratio of the last value (LoRAStencil by convention) to each other
+/// value — "LoRAStencil is N× faster than …".
+pub fn lora_speedup_over(values: &[f64], lora: f64) -> Vec<f64> {
+    values.iter().map(|v| lora / v).collect()
+}
+
+/// Geometric mean.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["a".into(), "bb".into()],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].ends_with("bb"));
+        assert!(lines[2].starts_with("  1"));
+    }
+
+    #[test]
+    fn speedups_normalize_to_slowest() {
+        let s = speedups_vs_slowest(&[2.0, 4.0, 1.0]);
+        assert_eq!(s, vec![2.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn geomean_of_equal_values() {
+        assert!((geomean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_panic() {
+        format_table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+}

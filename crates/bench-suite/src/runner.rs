@@ -1,0 +1,171 @@
+//! The evaluation runner: execute a method on the reduced simulation
+//! problem, verify its output against the naive reference, then evaluate
+//! the throughput model at the paper's full problem scale.
+//!
+//! GStencil/s from the cost model is intensive (counters are linear in
+//! tiles × applications), so the per-point rate measured on the
+//! simulation grid carries over to the full grid; problem size enters
+//! only through *device fill*: small grids cannot occupy every SM
+//! (Fig. 9's left end), modeled as `min(1, resident-block demand /
+//! capacity)`, plus a fixed kernel-launch overhead per application.
+
+use crate::workloads::Workload;
+use baselines::FP16_CONVERSION_FACTOR;
+use stencil_core::{max_error_vs_reference, Problem, StencilExecutor};
+use tcu_sim::{occupancy, BlockResources, CostModel, Estimate, PerfCounters};
+
+/// Kernel-launch + tail overhead per grid application, seconds.
+pub const LAUNCH_OVERHEAD_S: f64 = 4.0e-6;
+
+/// Numerical tolerance for verification against the reference.
+pub const VERIFY_TOL: f64 = 1e-9;
+
+/// Result of evaluating one method on one workload.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method name (paper's Fig. 8 labels).
+    pub method: &'static str,
+    /// Modeled throughput at full problem scale, GStencil/s.
+    pub gstencil: f64,
+    /// Cost-model breakdown (per simulated problem).
+    pub estimate: Estimate,
+    /// Counters from the exact simulation run.
+    pub counters: PerfCounters,
+    /// Block resources used for the occupancy model.
+    pub block: BlockResources,
+    /// Maximum absolute error vs the naive reference.
+    pub max_error: f64,
+}
+
+/// Fraction of the device the full problem can keep busy.
+pub fn device_fill(model: &CostModel, block: &BlockResources, full_points: u64) -> f64 {
+    let occ = occupancy(&model.device, block);
+    // each warp owns one 8×8 (64-point) tile; blocks are 8 warps
+    let blocks_needed = full_points.div_ceil(64 * 8);
+    let capacity = (model.device.num_sms * occ.blocks_per_sm.max(1)) as u64;
+    (blocks_needed as f64 / capacity as f64).min(1.0)
+}
+
+/// Project a measured result onto a different full problem scale
+/// (same kernel, same per-point behaviour — only device fill and launch
+/// overhead change). Used by the Fig. 9 size sweep so each stage is
+/// simulated once.
+pub fn project(
+    base: &MethodResult,
+    model: &CostModel,
+    full_dims: &[usize],
+    full_iters: usize,
+) -> f64 {
+    let full_points: u64 = full_dims.iter().product::<usize>() as u64;
+    let full_updates = full_points * full_iters as u64;
+    let total = base.estimate.total;
+    let fill = device_fill(model, &base.block, full_points);
+    let sim_updates = base.counters.points_updated.max(1);
+    let time_per_update = total / sim_updates as f64 / fill;
+    let total_time =
+        time_per_update * full_updates as f64 + LAUNCH_OVERHEAD_S * full_iters as f64;
+    full_updates as f64 / total_time / 1e9
+}
+
+/// Evaluate `exec` on `workload`: exact simulation at reduced scale,
+/// verification, then the throughput model at full scale.
+pub fn evaluate(
+    exec: &dyn StencilExecutor,
+    workload: &Workload,
+    model: &CostModel,
+) -> MethodResult {
+    let problem = Problem::new(workload.kernel.clone(), workload.sim_input(), workload.sim_iters);
+    let outcome = exec.execute(&problem).unwrap_or_else(|e| {
+        panic!("{} failed on {}: {e}", exec.name(), workload.kernel.name)
+    });
+    let max_error = {
+        let want = stencil_core::reference::run(&problem.input, &problem.kernel, problem.iterations);
+        outcome.output.max_abs_diff(&want)
+    };
+    assert!(
+        max_error < VERIFY_TOL,
+        "{} produced wrong results on {}: err = {max_error}",
+        exec.name(),
+        workload.kernel.name
+    );
+
+    let estimate = model.estimate(&outcome.counters, &outcome.block);
+    // TCStencil is FP16-native and cannot be ported to the FP64 fragment
+    // shape (§V-A). The paper divides measured FP16 throughput by 4; our
+    // counters are already FP64-sized on the memory side, so applying ÷4
+    // to the whole estimate would double-count memory. We instead charge
+    // the conversion to the tensor pipe, where the FP16 algorithm's
+    // m16n16k16 fragment padding and layout conversions cost ~4× the
+    // idealized m8n8k4 port the functional simulation runs.
+    let total = if exec.name() == "TCStencil" {
+        (estimate.t_tensor * FP16_CONVERSION_FACTOR)
+            .max(estimate.t_cuda)
+            .max(estimate.t_shared)
+            .max(estimate.t_hbm)
+            .max(estimate.t_l2)
+            + estimate.t_shuffle
+    } else {
+        estimate.total
+    };
+    // per-point time from the simulation, adjusted for device fill and
+    // launch overhead at full scale
+    let fill = device_fill(model, &outcome.block, workload.full_points());
+    let sim_updates = outcome.counters.points_updated.max(1);
+    let time_per_update = total / sim_updates as f64 / fill;
+    // applications at full scale (fusion already reflected in counters)
+    let applies = workload.full_iters as f64;
+    let total_time = time_per_update * workload.full_updates() as f64 + LAUNCH_OVERHEAD_S * applies;
+    let gstencil = workload.full_updates() as f64 / total_time / 1e9;
+
+    MethodResult {
+        method: exec.name(),
+        gstencil,
+        estimate,
+        counters: outcome.counters,
+        block: outcome.block,
+        max_error,
+    }
+}
+
+/// Verify-only helper (used by the integration tests): the method's
+/// maximum error on the workload's simulation problem.
+pub fn verify(exec: &dyn StencilExecutor, workload: &Workload) -> f64 {
+    let problem = Problem::new(workload.kernel.clone(), workload.sim_input(), workload.sim_iters);
+    max_error_vs_reference(exec, &problem).expect("executor must support the workload")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use lorastencil::LoRaStencil;
+
+    #[test]
+    fn lora_evaluates_on_box_2d9p() {
+        let w = workloads::by_name("Box-2D9P").unwrap();
+        let r = evaluate(&LoRaStencil::new(), &w, &CostModel::a100());
+        assert!(r.gstencil > 1.0, "implausibly low GStencil/s: {}", r.gstencil);
+        assert!(r.max_error < VERIFY_TOL);
+        assert!(r.counters.mma_ops > 0);
+    }
+
+    #[test]
+    fn device_fill_saturates_for_large_problems() {
+        let m = CostModel::a100();
+        let b = BlockResources { shared_bytes: 16 * 1024, threads: 256, regs_per_thread: 64 };
+        assert_eq!(device_fill(&m, &b, 10_240 * 10_240), 1.0);
+        assert!(device_fill(&m, &b, 64 * 64) < 0.1);
+    }
+
+    #[test]
+    fn tcstencil_gets_conversion_penalty() {
+        use baselines::TcStencil;
+        let w = workloads::by_name("Box-2D49P").unwrap();
+        let m = CostModel::a100();
+        let r = evaluate(&TcStencil::new(), &w, &m);
+        // the converted throughput must fall below the raw FP64-port
+        // estimate (the tensor pipe is charged 4×)
+        let raw_g = r.counters.points_updated as f64 / r.estimate.total / 1e9;
+        assert!(r.gstencil < raw_g, "conversion rule must apply");
+    }
+}

@@ -1,0 +1,152 @@
+//! Benchmark workloads: the paper's Table II configurations plus the
+//! reduced simulation sizes the functional simulator actually executes.
+//!
+//! GStencil/s is an *intensive* metric — counters scale linearly with
+//! grid points and iterations — so each method is simulated exactly on a
+//! reduced grid and the throughput model is evaluated at the paper's full
+//! problem scale (tile counts only enter through device-fill utilization;
+//! see [`crate::runner`]).
+
+use stencil_core::{kernels, Grid1D, Grid2D, Grid3D, GridData, StencilKernel};
+
+/// One benchmark configuration (a row of Table II).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The stencil kernel.
+    pub kernel: StencilKernel,
+    /// Full problem dimensions (the paper's Table II sizes).
+    pub full_dims: Vec<usize>,
+    /// Full iteration count (Table II).
+    pub full_iters: usize,
+    /// Reduced dimensions for exact functional simulation.
+    pub sim_dims: Vec<usize>,
+    /// Reduced iterations (divisible by every fusion factor in play).
+    pub sim_iters: usize,
+}
+
+impl Workload {
+    /// Total point-updates at full scale (`T × Π N_i`, Eq. 18).
+    pub fn full_updates(&self) -> u64 {
+        self.full_dims.iter().product::<usize>() as u64 * self.full_iters as u64
+    }
+
+    /// Total grid points at full scale.
+    pub fn full_points(&self) -> u64 {
+        self.full_dims.iter().product::<usize>() as u64
+    }
+
+    /// Build the simulation input grid (smooth + pseudo-random mix so
+    /// executors cannot pass by accident).
+    pub fn sim_input(&self) -> GridData {
+        match self.sim_dims.len() {
+            1 => GridData::D1(Grid1D::from_fn(self.sim_dims[0], |i| {
+                (i as f64 * 0.037).sin() * 2.0 + ((i * 2654435761) % 97) as f64 * 0.01
+            })),
+            2 => GridData::D2(Grid2D::from_fn(self.sim_dims[0], self.sim_dims[1], |r, c| {
+                (r as f64 * 0.11).cos() + (c as f64 * 0.07).sin() * 1.5
+                    + ((r * 31 + c * 17) % 23) as f64 * 0.02
+            })),
+            3 => GridData::D3(Grid3D::from_fn(
+                self.sim_dims[0],
+                self.sim_dims[1],
+                self.sim_dims[2],
+                |z, y, x| {
+                    (z as f64 * 0.5).sin() + (y as f64 * 0.13).cos() + (x % 7) as f64 * 0.05
+                },
+            )),
+            d => panic!("unsupported dimensionality {d}"),
+        }
+    }
+}
+
+/// The eight Table II workloads in paper order.
+pub fn table_ii() -> Vec<Workload> {
+    let w1d = |kernel: StencilKernel| Workload {
+        kernel,
+        full_dims: vec![10_240_000],
+        full_iters: 10_000,
+        sim_dims: vec![32_768],
+        sim_iters: 6,
+    };
+    let w2d = |kernel: StencilKernel| Workload {
+        kernel,
+        full_dims: vec![10_240, 10_240],
+        full_iters: 10_240,
+        sim_dims: vec![192, 192],
+        sim_iters: 6,
+    };
+    let w3d = |kernel: StencilKernel| Workload {
+        kernel,
+        full_dims: vec![1_024, 1_024, 1_024],
+        full_iters: 1_024,
+        sim_dims: vec![12, 48, 48],
+        sim_iters: 6,
+    };
+    vec![
+        w1d(kernels::heat_1d()),
+        w1d(kernels::p5_1d()),
+        w2d(kernels::heat_2d()),
+        w2d(kernels::box_2d9p()),
+        w2d(kernels::star_2d13p()),
+        w2d(kernels::box_2d49p()),
+        w3d(kernels::heat_3d()),
+        w3d(kernels::box_3d27p()),
+    ]
+}
+
+/// Shrink every workload's simulation grid (for fast debug-mode tests;
+/// the throughput model is intensive, so shapes are preserved).
+pub fn reduced(mut wls: Vec<Workload>) -> Vec<Workload> {
+    for w in &mut wls {
+        w.sim_dims = match w.sim_dims.len() {
+            1 => vec![2048],
+            2 => vec![64, 64],
+            _ => vec![6, 24, 24],
+        };
+    }
+    wls
+}
+
+/// Look a workload up by kernel name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    table_ii().into_iter().find(|w| w.kernel.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_workloads_in_paper_order() {
+        let names: Vec<String> = table_ii().into_iter().map(|w| w.kernel.name).collect();
+        assert_eq!(
+            names,
+            ["Heat-1D", "1D5P", "Heat-2D", "Box-2D9P", "Star-2D13P", "Box-2D49P", "Heat-3D", "Box-3D27P"]
+        );
+    }
+
+    #[test]
+    fn full_updates_match_table_ii() {
+        let w = by_name("Box-2D49P").unwrap();
+        assert_eq!(w.full_updates(), 10_240 * 10_240 * 10_240);
+        let w = by_name("Heat-3D").unwrap();
+        assert_eq!(w.full_updates(), 1u64 << 40);
+    }
+
+    #[test]
+    fn sim_iters_divisible_by_fusion_factors() {
+        for w in table_ii() {
+            assert_eq!(w.sim_iters % 3, 0, "{}", w.kernel.name);
+            assert_eq!(w.sim_iters % 2, 0, "{}", w.kernel.name);
+        }
+    }
+
+    #[test]
+    fn sim_inputs_have_right_shape() {
+        for w in table_ii() {
+            let g = w.sim_input();
+            assert_eq!(g.dims(), w.kernel.dims(), "{}", w.kernel.name);
+            assert_eq!(g.len(), w.sim_dims.iter().product::<usize>());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The paper's closed-form cost models: Eq. 12–14 (shared-memory fragment
+//! loads) and Eq. 16 (MMA instruction counts), plus the kernel-fusion
+//! waste model of §IV-A. Unit tests pin the constants the paper quotes
+//! (3.25×, 4.2×, 69.23 %, 76.19 %, 36/26 ≈ 1.38, 61.54 %).
+
+/// Eq. 12: fragments RDG loads from shared memory for an `a × b` input.
+pub fn rdg_fragment_loads(a: u64, b: u64) -> u64 {
+    a * b / 8
+}
+
+/// Grid points LoRAStencil updates per tile computation for radius `h`
+/// (§III-B: `32 ⌈h/2⌉ ⌈h/4⌉`).
+pub fn points_per_update(h: u64) -> u64 {
+    32 * h.div_ceil(2) * h.div_ceil(4)
+}
+
+/// Eq. 13: fragments ConvStencil loads from shared memory for an `a × b`
+/// input with kernel radius `h`.
+pub fn convstencil_fragment_loads(a: u64, b: u64, h: u64) -> u64 {
+    let n = 2 * h + 1;
+    2 * (n * n).div_ceil(4) * a.div_ceil(16 * (h + 1)) * b
+}
+
+/// Eq. 14: asymptotic shared-load ratio ConvStencil / RDG.
+pub fn memory_ratio(h: u64) -> f64 {
+    let n = 2 * h + 1;
+    (n * n).div_ceil(4) as f64 / (h + 1) as f64
+}
+
+/// Fraction of ConvStencil's shared loads that RDG eliminates
+/// (`1 − 1/ratio`; §III-B quotes 69.23 % at `h = 3`, 76.19 % at `h = 4`).
+pub fn redundancy_eliminated(h: u64) -> f64 {
+    1.0 - 1.0 / memory_ratio(h)
+}
+
+/// Eq. 16: MMA instructions LoRAStencil issues for an `a × b` input with
+/// kernel radius `h`.
+pub fn lorastencil_mma(a: u64, b: u64, h: u64) -> u64 {
+    let per = 2 * h * h.div_ceil(2) * (2 * h.div_ceil(4) + 1);
+    per * (a * b) / points_per_update(h)
+}
+
+/// MMA instructions ConvStencil issues (equal to its fragment-load count,
+/// §III-C: "the number of required MMA operations is equivalent to the
+/// count of data load instructions").
+pub fn convstencil_mma(a: u64, b: u64, h: u64) -> u64 {
+    convstencil_fragment_loads(a, b, h)
+}
+
+/// Asymptotic MMA-count ratio LoRAStencil / ConvStencil (≈ 36/26 ≈ 1.38
+/// at `h = 3`).
+pub fn mma_ratio(h: u64) -> f64 {
+    // evaluate on a grid large enough that ceilings are exact
+    let a = 16 * (h + 1) * 64;
+    let b = 1024;
+    lorastencil_mma(a, b, h) as f64 / convstencil_mma(a, b, h) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq12_counts_one_fragment_per_8_points() {
+        assert_eq!(rdg_fragment_loads(64, 64), 512);
+        // §III-B example: per 8×8 tile, S=16 → 8 fragments
+        assert_eq!(rdg_fragment_loads(8, 64), 64);
+    }
+
+    #[test]
+    fn eq14_matches_paper_constants() {
+        assert!((memory_ratio(3) - 3.25).abs() < 1e-12, "h=3: {}", memory_ratio(3));
+        assert!((memory_ratio(4) - 4.2).abs() < 1e-12, "h=4: {}", memory_ratio(4));
+    }
+
+    #[test]
+    fn redundancy_elimination_matches_paper() {
+        assert!((redundancy_eliminated(3) - 0.6923).abs() < 1e-4);
+        assert!((redundancy_eliminated(4) - 0.7619).abs() < 1e-4);
+    }
+
+    #[test]
+    fn eq16_matches_paper_36_mma_per_tile() {
+        // Box-2D49P (h=3): 36 MMAs per 64-point tile.
+        let h = 3;
+        assert_eq!(points_per_update(h), 64);
+        let per_tile = lorastencil_mma(8, 8, h);
+        assert_eq!(per_tile, 36);
+    }
+
+    #[test]
+    fn mma_ratio_matches_36_over_26() {
+        let r = mma_ratio(3);
+        assert!((r - 36.0 / 26.0).abs() < 1e-9, "ratio = {r}");
+        assert!((r - 1.38).abs() < 0.01);
+    }
+
+    #[test]
+    fn memory_ratio_grows_with_radius() {
+        let mut prev = 0.0;
+        for h in 1..=8 {
+            let r = memory_ratio(h);
+            assert!(r > prev, "h={h}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn lora_trades_fewer_loads_for_more_mmas() {
+        // The paper's core trade-off (§III-C): LoRAStencil issues more
+        // MMAs than ConvStencil but far fewer shared loads.
+        for h in 2..=4u64 {
+            let (a, b) = (16 * (h + 1) * 32, 512);
+            assert!(lorastencil_mma(a, b, h) > convstencil_mma(a, b, h));
+            assert!(rdg_fragment_loads(a, b) < convstencil_fragment_loads(a, b, h));
+        }
+    }
+}

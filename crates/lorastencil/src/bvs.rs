@@ -1,0 +1,112 @@
+//! Butterfly Vector Swapping (§III-D): the mathematical identity and the
+//! permutations that make Matrix Chain Multiplication shuffle-free.
+//!
+//! Eq. 17: permuting the *columns* of the left operand `T` and the *rows*
+//! of the right operand `V` by the same permutation leaves `T · V`
+//! unchanged. The FP64 accumulator layout stores even columns in register
+//! 0 and odd columns in register 1 of exactly the lanes an A fragment
+//! wants, so the butterfly permutation `[0,2,4,6,1,3,5,7]` (within each
+//! 8-column block) is the unique choice that costs zero cross-lane moves.
+//! The compensation is applied once, at plan time, to the weight matrix
+//! `V` — no runtime data movement at all.
+//!
+//! The actual fragment-level machinery lives in [`crate::rdg`] (fragment
+//! construction) and [`tcu_sim::FragAcc::extract_a`] (layout proof); this
+//! module exposes the dense-matrix identity for testing and analysis.
+
+/// The butterfly permutation of one 8-column accumulator block: even
+/// columns first (register 0), then odd columns (register 1).
+pub const BUTTERFLY_PERM: [usize; 8] = [0, 2, 4, 6, 1, 3, 5, 7];
+
+/// Permute the columns of a dense matrix.
+pub fn permute_cols(m: &[Vec<f64>], perm: &[usize]) -> Vec<Vec<f64>> {
+    m.iter().map(|row| perm.iter().map(|&p| row[p]).collect()).collect()
+}
+
+/// Permute the rows of a dense matrix.
+pub fn permute_rows(m: &[Vec<f64>], perm: &[usize]) -> Vec<Vec<f64>> {
+    perm.iter().map(|&p| m[p].clone()).collect()
+}
+
+/// Dense matrix product (for the identity check).
+pub fn matmul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let (n, k) = (a.len(), b.len());
+    let m = b[0].len();
+    let mut out = vec![vec![0.0; m]; n];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, o) in row.iter_mut().enumerate() {
+            *o = (0..k).map(|p| a[i][p] * b[p][j]).sum();
+        }
+    }
+    out
+}
+
+/// Verify Eq. 17 for a given `T` (n×k) and `V` (k×m) and permutation of
+/// the inner dimension: `T · V == T[:,σ] · V[σ,:]`. Returns the maximum
+/// absolute deviation (0 up to FP rounding).
+pub fn swap_identity_residual(t: &[Vec<f64>], v: &[Vec<f64>], perm: &[usize]) -> f64 {
+    let lhs = matmul(t, v);
+    let rhs = matmul(&permute_cols(t, perm), &permute_rows(v, perm));
+    let mut worst = 0.0f64;
+    for (lr, rr) in lhs.iter().zip(&rhs) {
+        for (l, r) in lr.iter().zip(rr) {
+            worst = worst.max((l - r).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(n: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        (0..n).map(|_| (0..m).map(|_| next()).collect()).collect()
+    }
+
+    #[test]
+    fn butterfly_perm_is_a_permutation() {
+        let mut seen = [false; 8];
+        for &p in &BUTTERFLY_PERM {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn eq17_holds_for_butterfly() {
+        let t = rand_mat(8, 8, 5);
+        let v = rand_mat(8, 8, 9);
+        assert!(swap_identity_residual(&t, &v, &BUTTERFLY_PERM) < 1e-12);
+    }
+
+    #[test]
+    fn eq17_holds_for_any_permutation() {
+        let t = rand_mat(6, 8, 17);
+        let v = rand_mat(8, 4, 23);
+        let perm = [7, 0, 3, 1, 6, 2, 5, 4];
+        assert!(swap_identity_residual(&t, &v, &perm) < 1e-12);
+    }
+
+    #[test]
+    fn non_matching_permutations_break_the_product() {
+        // Permuting only T's columns (not V's rows) must change the
+        // result — the identity is about *matched* swaps.
+        let t = rand_mat(4, 8, 31);
+        let v = rand_mat(8, 4, 37);
+        let lhs = matmul(&t, &v);
+        let rhs = matmul(&permute_cols(&t, &BUTTERFLY_PERM), &v);
+        let diff: f64 = lhs
+            .iter()
+            .flatten()
+            .zip(rhs.iter().flatten())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff > 1e-6);
+    }
+}

@@ -1,0 +1,195 @@
+//! CUDA/WMMA kernel listing generation: emit the device code a
+//! [`Plan2D`] corresponds to on real hardware.
+//!
+//! The simulator executes plans directly; this module renders the same
+//! plan as the annotated CUDA-with-PTX kernel a practitioner would write
+//! — `cp.async` staging, `wmma::load_matrix_sync` fragment loads, the
+//! per-term `mma.sync.aligned.m8n8k4.f64` chains of RDG, and the
+//! butterfly register reinterpretation of BVS (which appears as *no
+//! code at all* on the T side, only as the swapped row mapping baked
+//! into the V constants). Useful for porting the plan back onto a real
+//! A100 and as executable documentation of the algorithm→hardware
+//! mapping of §III.
+
+use crate::plan::Plan2D;
+use crate::rdg::{build_u_frags, build_v_frags};
+use std::fmt::Write as _;
+
+/// Render the weight-constant tables (the `U_k`/`V_k` fragments of every
+/// rank-1 term) as `__constant__` arrays.
+fn emit_weight_tables(plan: &Plan2D, out: &mut String) {
+    let geo = plan.geo;
+    for (ti, term) in plan.decomp.terms.iter().enumerate() {
+        let u = build_u_frags(term, geo);
+        let v = build_v_frags(term, geo, plan.config.use_bvs);
+        writeln!(
+            out,
+            "// term {ti}: {0}x{0} rank-1 pyramid level (u ⊗ vᵀ)",
+            term.side()
+        )
+        .unwrap();
+        writeln!(out, "__constant__ double U{ti}[{}][32] = {{ /* per-lane A fragments */", u.len())
+            .unwrap();
+        for frag in &u {
+            let row: Vec<String> = frag.lanes.iter().map(|x| format!("{x:.6}")).collect();
+            writeln!(out, "  {{{}}},", row.join(", ")).unwrap();
+        }
+        writeln!(out, "}};").unwrap();
+        writeln!(
+            out,
+            "__constant__ double V{ti}[{}][32] = {{ /* per-lane B fragments{} */",
+            v.len(),
+            if plan.config.use_bvs { ", butterfly-row-swapped (Eq. 17)" } else { "" }
+        )
+        .unwrap();
+        for frag in &v {
+            let row: Vec<String> = frag.lanes.iter().map(|x| format!("{x:.6}")).collect();
+            writeln!(out, "  {{{}}},", row.join(", ")).unwrap();
+        }
+        writeln!(out, "}};").unwrap();
+    }
+}
+
+/// Generate the annotated CUDA kernel listing for a 2-D plan.
+pub fn emit_cuda_kernel(plan: &Plan2D) -> String {
+    let geo = plan.geo;
+    let h = plan.exec_kernel.radius;
+    let s = geo.s;
+    let mut out = String::new();
+
+    writeln!(out, "// ======================================================================").unwrap();
+    writeln!(out, "// LoRAStencil kernel for {} (radius {h}, {}x fused)", plan.exec_kernel.name, plan.fusion).unwrap();
+    writeln!(out, "// decomposition: {:?}, {} rank-1 terms, pointwise tip {:.6e}", plan.decomp.strategy, plan.decomp.num_terms(), plan.decomp.pointwise).unwrap();
+    writeln!(out, "// tile: {s}x{s} input window -> 8x8 outputs per warp ({} MMAs/term)", geo.mma_per_term()).unwrap();
+    writeln!(out, "// ======================================================================").unwrap();
+    emit_weight_tables(plan, &mut out);
+    writeln!(out).unwrap();
+    writeln!(out, "__global__ void lorastencil_{}(const double* __restrict__ in,", plan.exec_kernel.name.to_lowercase().replace(['-', 'x'], "_")).unwrap();
+    writeln!(out, "                               double* __restrict__ outp, int rows, int cols) {{").unwrap();
+    writeln!(out, "  __shared__ double tile[{s}][{s}];   // one input window per warp").unwrap();
+    writeln!(out, "  const int r0 = 8 * (blockIdx.y * blockDim.y + threadIdx.y);").unwrap();
+    writeln!(out, "  const int c0 = 8 * blockIdx.x;").unwrap();
+    writeln!(out).unwrap();
+    if plan.config.use_async_copy {
+        writeln!(out, "  // §IV-B: cp.async global->shared copy, bypassing the register file").unwrap();
+        writeln!(out, "  for (int e = laneid(); e < {s}*{s}; e += 32) {{").unwrap();
+        writeln!(out, "    const int rr = mod(r0 - {h} + e / {s}, rows), cc = mod(c0 - {h} + e % {s}, cols);").unwrap();
+        writeln!(out, "    asm volatile(\"cp.async.ca.shared.global [%0], [%1], 8;\" ::").unwrap();
+        writeln!(out, "      \"r\"(&tile[e / {s}][e % {s}]), \"l\"(&in[rr * cols + cc]));").unwrap();
+        writeln!(out, "  }}").unwrap();
+        writeln!(out, "  asm volatile(\"cp.async.wait_all;\");").unwrap();
+    } else {
+        writeln!(out, "  // staged copy: global -> registers -> shared").unwrap();
+        writeln!(out, "  for (int e = laneid(); e < {s}*{s}; e += 32)").unwrap();
+        writeln!(out, "    tile[e / {s}][e % {s}] = in[mod(r0 - {h} + e / {s}, rows) * cols + mod(c0 - {h} + e % {s}, cols)];").unwrap();
+    }
+    writeln!(out, "  __syncwarp();").unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "  // Eq. 12: load the {}x{} window once as {} B fragments, reused by every term", s, s, geo.row_blocks() * geo.col_blocks()).unwrap();
+    writeln!(out, "  wmma::fragment<wmma::matrix_b, 8, 8, 4, double, wmma::col_major> X[{}][{}];", geo.row_blocks(), geo.col_blocks()).unwrap();
+    writeln!(out, "  for (int rb = 0; rb < {}; ++rb)", geo.row_blocks()).unwrap();
+    writeln!(out, "    for (int cb = 0; cb < {}; ++cb)", geo.col_blocks()).unwrap();
+    writeln!(out, "      wmma::load_matrix_sync(X[rb][cb], &tile[4 * rb][8 * cb], {s});").unwrap();
+    writeln!(out).unwrap();
+    writeln!(out, "  wmma::fragment<wmma::accumulator, 8, 8, 4, double> acc;").unwrap();
+    writeln!(out, "  wmma::fill_fragment(acc, 0.0);").unwrap();
+    for (ti, _) in plan.decomp.terms.iter().enumerate() {
+        writeln!(out).unwrap();
+        writeln!(out, "  // ---- RDG term {ti} (§III-B): acc += U{ti} · X · V{ti} ----").unwrap();
+        writeln!(out, "  for (int j = 0; j < {}; ++j) {{", geo.col_blocks()).unwrap();
+        writeln!(out, "    wmma::fragment<wmma::accumulator, 8, 8, 4, double> T;").unwrap();
+        writeln!(out, "    wmma::fill_fragment(T, 0.0);").unwrap();
+        writeln!(out, "    for (int k = 0; k < {}; ++k)   // step 1: vertical gather", geo.row_blocks()).unwrap();
+        writeln!(out, "      wmma::mma_sync(T, fragA(U{ti}[k]), X[k][j], T);").unwrap();
+        if plan.config.use_bvs {
+            writeln!(out, "    // step 2 + §III-D BVS: T's register 0/1 ARE the two A fragments —").unwrap();
+            writeln!(out, "    // zero shuffles; the butterfly row swap lives in the V{ti} constants").unwrap();
+            writeln!(out, "    wmma::mma_sync(acc, reinterpretA(T.x[0]), fragB(V{ti}[2 * j + 0]), acc);").unwrap();
+            writeln!(out, "    wmma::mma_sync(acc, reinterpretA(T.x[1]), fragB(V{ti}[2 * j + 1]), acc);").unwrap();
+        } else {
+            writeln!(out, "    // step 2 without BVS: natural column split needs cross-lane shuffles").unwrap();
+            writeln!(out, "    double lo = __shfl_sync(~0u, T.x[0], shuf_lo(laneid()));").unwrap();
+            writeln!(out, "    double hi = __shfl_sync(~0u, T.x[1], shuf_hi(laneid()));").unwrap();
+            writeln!(out, "    wmma::mma_sync(acc, fragA_from(lo, hi, 0), fragB(V{ti}[2 * j + 0]), acc);").unwrap();
+            writeln!(out, "    wmma::mma_sync(acc, fragA_from(lo, hi, 1), fragB(V{ti}[2 * j + 1]), acc);").unwrap();
+        }
+        writeln!(out, "  }}").unwrap();
+    }
+    if plan.decomp.pointwise != 0.0 {
+        writeln!(out).unwrap();
+        writeln!(out, "  // §III-C pyramid tip: 1x1 term, no matrix multiply needed").unwrap();
+        writeln!(out, "  acc.x[0] += {:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 0)];", plan.decomp.pointwise).unwrap();
+        writeln!(out, "  acc.x[1] += {:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 1)];", plan.decomp.pointwise).unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(out, "  wmma::store_matrix_sync(&outp[r0 * cols + c0], acc, cols, wmma::mem_row_major);").unwrap();
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExecConfig;
+    use stencil_core::kernels;
+
+    #[test]
+    fn listing_reflects_the_plan() {
+        let plan = Plan2D::new(&kernels::box_2d49p(), ExecConfig::full());
+        let code = emit_cuda_kernel(&plan);
+        // three terms → three weight tables and three RDG sections
+        for ti in 0..3 {
+            assert!(code.contains(&format!("__constant__ double U{ti}")));
+            assert!(code.contains(&format!("__constant__ double V{ti}")));
+            assert!(code.contains(&format!("RDG term {ti}")));
+        }
+        assert!(!code.contains("U3["), "only 3 terms expected");
+        // BVS: no shuffles in the listing
+        assert!(!code.contains("__shfl_sync"));
+        assert!(code.contains("cp.async"));
+        assert!(code.contains("pyramid tip"));
+    }
+
+    #[test]
+    fn non_bvs_listing_contains_shuffles() {
+        let cfg = ExecConfig { use_bvs: false, ..ExecConfig::full() };
+        let plan = Plan2D::new(&kernels::box_2d49p(), cfg);
+        let code = emit_cuda_kernel(&plan);
+        assert!(code.contains("__shfl_sync"));
+    }
+
+    #[test]
+    fn staged_listing_skips_cp_async() {
+        let cfg = ExecConfig { use_async_copy: false, ..ExecConfig::full() };
+        let plan = Plan2D::new(&kernels::box_2d9p(), cfg);
+        let code = emit_cuda_kernel(&plan);
+        assert!(!code.contains("cp.async"));
+        assert!(code.contains("staged copy"));
+    }
+
+    #[test]
+    fn star_kernel_listing_has_no_pointwise_tip() {
+        let plan = Plan2D::new(&kernels::star_2d13p(), ExecConfig::full());
+        let code = emit_cuda_kernel(&plan);
+        assert!(!code.contains("pyramid tip"));
+        assert!(code.contains("2 rank-1 terms") || code.contains("rank-1 terms"));
+    }
+
+    #[test]
+    fn weight_tables_carry_the_butterfly_swap() {
+        // with BVS the V tables differ from the natural-order tables
+        let bvs = emit_cuda_kernel(&Plan2D::new(&kernels::box_2d49p(), ExecConfig::full()));
+        let nat = emit_cuda_kernel(&Plan2D::new(
+            &kernels::box_2d49p(),
+            ExecConfig { use_bvs: false, ..ExecConfig::full() },
+        ));
+        let table = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.contains("__constant__ double V0"))
+                .take(5)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_ne!(table(&bvs), table(&nat), "V constants must be row-swapped under BVS");
+    }
+}

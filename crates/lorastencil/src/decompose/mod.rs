@@ -1,0 +1,104 @@
+//! Low-rank decomposition of stencil weight matrices (§II-D, §III-C).
+//!
+//! The planner tries strategies from cheapest to most general:
+//!
+//! 1. [`star::star`] — exact rank-≤2 split of star-shaped kernels;
+//! 2. [`pyramid::pyramidal`] — the paper's PMA for radially symmetric
+//!    matrices with non-vanishing corners (terms of decreasing size and a
+//!    free 1×1 tip);
+//! 3. [`eigen::eigen`] — symmetric eigendecomposition (`rank(W)` terms);
+//! 4. [`svd::svd`] — Jacobi SVD for arbitrary weights.
+
+pub mod eigen;
+pub mod pyramid;
+pub mod star;
+pub mod svd;
+pub mod term;
+
+pub use pyramid::PmaError;
+pub use term::{Decomposition, RankOneTerm, Strategy};
+
+use stencil_core::WeightMatrix;
+
+/// Decompose `w` with the best applicable strategy.
+///
+/// The returned decomposition always reconstructs `w` to high accuracy;
+/// the strategy chosen is recorded in [`Decomposition::strategy`].
+pub fn decompose(w: &WeightMatrix, tol: f64) -> Decomposition {
+    if let Some(d) = star::star(w, tol) {
+        return d;
+    }
+    if let Ok(d) = pyramid::pyramidal(w, tol) {
+        return d;
+    }
+    if let Some(d) = eigen::eigen(w, tol) {
+        return d;
+    }
+    svd::svd(w, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::kernels;
+
+    #[test]
+    fn strategy_selection_matches_kernel_structure() {
+        assert_eq!(decompose(kernels::heat_2d().weights_2d(), 1e-12).strategy, Strategy::Star);
+        assert_eq!(
+            decompose(kernels::star_2d13p().weights_2d(), 1e-12).strategy,
+            Strategy::Star
+        );
+        assert_eq!(
+            decompose(kernels::box_2d9p().weights_2d(), 1e-12).strategy,
+            Strategy::Pyramidal
+        );
+        assert_eq!(
+            decompose(kernels::box_2d49p().weights_2d(), 1e-12).strategy,
+            Strategy::Pyramidal
+        );
+    }
+
+    #[test]
+    fn fused_star_falls_back_to_eigen() {
+        let k = kernels::heat_2d();
+        let fused = k.weights_2d().convolve(k.weights_2d());
+        let d = decompose(&fused, 1e-12);
+        assert_eq!(d.strategy, Strategy::Eigen);
+        assert!(d.reconstruction_error(&fused) < 1e-10);
+    }
+
+    #[test]
+    fn arbitrary_matrix_falls_back_to_svd() {
+        let w = WeightMatrix::from_fn(3, |i, j| (i as f64) - 0.5 * (j as f64) + 0.1);
+        let d = decompose(&w, 1e-12);
+        assert_eq!(d.strategy, Strategy::Svd);
+        assert!(d.reconstruction_error(&w) < 1e-10);
+    }
+
+    #[test]
+    fn all_2d_benchmarks_reconstruct() {
+        for k in kernels::all_kernels() {
+            if k.dims() != 2 {
+                continue;
+            }
+            let w = k.weights_2d();
+            let d = decompose(w, 1e-12);
+            assert!(d.reconstruction_error(w) < 1e-10, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn term_count_never_exceeds_rank_bound() {
+        // §II-C: for radius h, rank ≤ h+1 ⇒ at most h+1 matrix terms
+        // (the pyramid tip counts as one component but costs no MM).
+        for k in kernels::all_kernels() {
+            if k.dims() != 2 {
+                continue;
+            }
+            let d = decompose(k.weights_2d(), 1e-12);
+            let comps = d.terms.len() + usize::from(d.pointwise != 0.0);
+            assert!(comps <= k.radius + 1, "{}: {comps} > {}", k.name, k.radius + 1);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Pyramidal Matrix Adaptation (§III-C, Fig. 5).
+//!
+//! Recursively peels a radially symmetric matrix `W` into rank-1 matrices
+//! of strictly decreasing size (Eq. 15):
+//!
+//! ```text
+//! W_(2h+1)² = C1_(2h+1)² + C2_(2h-1)² + … + C_{h+1} (1×1)
+//! ```
+//!
+//! At each level, `C = u ⊗ vᵀ` with `v` the first row of the current
+//! matrix and `u` its first column divided by the corner weight; because
+//! the matrix is radially symmetric, `W − C` has zero first/last rows and
+//! columns and its interior is again radially symmetric.
+
+use super::term::{Decomposition, RankOneTerm, Strategy};
+use stencil_core::symmetry::is_radially_symmetric;
+use stencil_core::WeightMatrix;
+
+/// Why PMA declined a matrix (callers fall back to the eigen/SVD paths).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmaError {
+    /// Input is not radially symmetric within tolerance.
+    NotRadiallySymmetric,
+    /// A corner weight underflows the tolerance, so the pyramid division
+    /// `w_{i,1} / w_{1,1}` is ill-defined (typical for star-shaped or
+    /// fused-star kernels whose corners are zero).
+    ZeroCorner {
+        /// Pyramid level (side of the matrix whose corner vanished).
+        side: usize,
+    },
+    /// After subtracting a level's rank-1 matrix, the border did not
+    /// cancel within tolerance — the input was not exactly radially
+    /// symmetric.
+    BorderResidual {
+        /// Largest leftover border magnitude.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for PmaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmaError::NotRadiallySymmetric => write!(f, "matrix is not radially symmetric"),
+            PmaError::ZeroCorner { side } => write!(f, "zero corner at pyramid level of side {side}"),
+            PmaError::BorderResidual { residual } => {
+                write!(f, "border residual {residual} after peeling a level")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmaError {}
+
+/// Decompose a radially symmetric `w` via PMA.
+///
+/// Returns `h+1` components: `h` rank-1 terms of sides `2h+1, 2h−1, …, 3`
+/// plus the 1×1 tip stored as [`Decomposition::pointwise`]. Levels whose
+/// matrix is entirely zero are skipped (the decomposition of an
+/// already-low-rank matrix has fewer terms).
+pub fn pyramidal(w: &WeightMatrix, tol: f64) -> Result<Decomposition, PmaError> {
+    if !is_radially_symmetric(w, tol) {
+        return Err(PmaError::NotRadiallySymmetric);
+    }
+    let mut terms = Vec::new();
+    let mut cur = w.clone();
+    while cur.n() > 1 {
+        let n = cur.n();
+        if cur.as_slice().iter().all(|&x| x.abs() <= tol) {
+            // nothing left to peel
+            return Ok(Decomposition { side: w.n(), terms, pointwise: 0.0, strategy: Strategy::Pyramidal });
+        }
+        let corner = cur.get(0, 0);
+        if corner.abs() <= tol {
+            // A border that is zero *everywhere* can be dropped directly.
+            let border_zero = (0..n).all(|i| {
+                cur.get(0, i).abs() <= tol
+                    && cur.get(n - 1, i).abs() <= tol
+                    && cur.get(i, 0).abs() <= tol
+                    && cur.get(i, n - 1).abs() <= tol
+            });
+            if border_zero {
+                cur = cur.center_block(n - 2);
+                continue;
+            }
+            return Err(PmaError::ZeroCorner { side: n });
+        }
+        // v = first row; u = first column / corner  (Fig. 5 step)
+        let v: Vec<f64> = (0..n).map(|j| cur.get(0, j)).collect();
+        let u: Vec<f64> = (0..n).map(|i| cur.get(i, 0) / corner).collect();
+        let term = RankOneTerm::new(u, v);
+        let rest = cur.sub(&term.to_matrix());
+        // the border of `rest` must vanish
+        let mut residual: f64 = 0.0;
+        for i in 0..n {
+            residual = residual
+                .max(rest.get(0, i).abs())
+                .max(rest.get(n - 1, i).abs())
+                .max(rest.get(i, 0).abs())
+                .max(rest.get(i, n - 1).abs());
+        }
+        if residual > tol.max(1e-9) {
+            return Err(PmaError::BorderResidual { residual });
+        }
+        terms.push(term);
+        cur = rest.center_block(n - 2);
+    }
+    let pointwise = if cur.get(0, 0).abs() <= tol { 0.0 } else { cur.get(0, 0) };
+    Ok(Decomposition { side: w.n(), terms, pointwise, strategy: Strategy::Pyramidal })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::kernels;
+    use stencil_core::symmetry::radially_symmetric_from_quadrant;
+
+    #[test]
+    fn box_2d49p_decomposes_into_pyramid() {
+        let k = kernels::box_2d49p();
+        let d = pyramidal(k.weights_2d(), 1e-12).unwrap();
+        // Eq. 15: h = 3 → 3 rank-1 terms of sides 7, 5, 3 plus the 1×1 tip.
+        assert_eq!(d.terms.len(), 3);
+        assert_eq!(d.terms[0].side(), 7);
+        assert_eq!(d.terms[1].side(), 5);
+        assert_eq!(d.terms[2].side(), 3);
+        assert!(d.reconstruction_error(k.weights_2d()) < 1e-12);
+    }
+
+    #[test]
+    fn box_2d9p_decomposes() {
+        let k = kernels::box_2d9p();
+        let d = pyramidal(k.weights_2d(), 1e-12).unwrap();
+        assert!(d.terms.len() <= 2);
+        assert!(d.reconstruction_error(k.weights_2d()) < 1e-12);
+    }
+
+    #[test]
+    fn rank1_separable_matrix_yields_single_term() {
+        // An exact outer product of a symmetric vector peels in one level
+        // and leaves nothing.
+        let g = [1.0, 2.0, 1.0];
+        let w = WeightMatrix::from_fn(3, |i, j| g[i] * g[j]);
+        let d = pyramidal(&w, 1e-12).unwrap();
+        assert_eq!(d.terms.len(), 1);
+        assert_eq!(d.pointwise, 0.0);
+        assert!(d.reconstruction_error(&w) < 1e-12);
+    }
+
+    #[test]
+    fn star_matrix_is_rejected() {
+        let k = kernels::heat_2d();
+        let err = pyramidal(k.weights_2d(), 1e-12).unwrap_err();
+        assert!(matches!(err, PmaError::ZeroCorner { .. }));
+    }
+
+    #[test]
+    fn asymmetric_matrix_is_rejected() {
+        let mut w = WeightMatrix::zero(3);
+        w.set(0, 1, 1.0);
+        assert_eq!(pyramidal(&w, 1e-12).unwrap_err(), PmaError::NotRadiallySymmetric);
+    }
+
+    #[test]
+    fn pyramid_respects_rank_bound_for_random_radial_matrices() {
+        for seed in 0..8u64 {
+            for h in 1..=4usize {
+                let q = h + 1;
+                let quad: Vec<f64> = (0..q * q)
+                    .map(|i| {
+                        let x = (i as u64 * 2654435761 + seed * 97) % 1000;
+                        x as f64 / 250.0 + 0.2
+                    })
+                    .collect();
+                let w = radially_symmetric_from_quadrant(h, &quad);
+                match pyramidal(&w, 1e-12) {
+                    Ok(d) => {
+                        // h rank-1 terms + pointwise tip ⇒ rank ≤ h+1
+                        // (§II-C bound)
+                        assert!(d.terms.len() <= h);
+                        assert!(
+                            d.reconstruction_error(&w) < 1e-9,
+                            "h={h} seed={seed}: err {}",
+                            d.reconstruction_error(&w)
+                        );
+                    }
+                    // a corner may cancel exactly mid-recursion; the
+                    // planner then falls back to the eigen path
+                    Err(PmaError::ZeroCorner { .. }) => {
+                        let d = crate::decompose::decompose(&w, 1e-12);
+                        assert!(d.reconstruction_error(&w) < 1e-9);
+                    }
+                    Err(e) => panic!("h={h} seed={seed}: unexpected {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_border_is_skipped() {
+        // radially symmetric with a fully zero outer ring
+        let mut w = WeightMatrix::zero(5);
+        for i in 1..4 {
+            for j in 1..4 {
+                w.set(i, j, 1.0);
+            }
+        }
+        let d = pyramidal(&w, 1e-12).unwrap();
+        assert_eq!(d.terms.len(), 1);
+        assert_eq!(d.terms[0].side(), 3);
+        assert!(d.reconstruction_error(&w) < 1e-12);
+    }
+}

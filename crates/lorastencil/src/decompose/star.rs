@@ -1,0 +1,107 @@
+//! Exact rank-≤2 decomposition of star-shaped weight matrices.
+//!
+//! A 2-D star kernel is non-zero only on the central row and central
+//! column. Writing `e_c` for the center indicator vector:
+//!
+//! ```text
+//! W = e_c ⊗ aᵀ + b ⊗ e_cᵀ
+//! ```
+//!
+//! where `a` is the central row (including the center weight) and `b` is
+//! the central column with its center zeroed (so the center is counted
+//! once). Both terms are rank-1, giving star stencils the cheapest
+//! possible LoRA plan — the paper's PMA is corner-based and does not apply
+//! to stars, whose corners are zero.
+
+use super::term::{Decomposition, RankOneTerm, Strategy};
+use stencil_core::WeightMatrix;
+
+/// Check whether `w` is star-shaped (non-zero entries confined to the
+/// central row and column).
+pub fn is_star(w: &WeightMatrix, tol: f64) -> bool {
+    let n = w.n();
+    let c = (n - 1) / 2;
+    for i in 0..n {
+        for j in 0..n {
+            if i != c && j != c && w.get(i, j).abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Decompose a star-shaped matrix into at most two rank-1 terms.
+///
+/// Returns `None` if `w` is not star-shaped.
+pub fn star(w: &WeightMatrix, tol: f64) -> Option<Decomposition> {
+    if !is_star(w, tol) {
+        return None;
+    }
+    let n = w.n();
+    let c = (n - 1) / 2;
+    let mut e_c = vec![0.0; n];
+    e_c[c] = 1.0;
+
+    let a: Vec<f64> = (0..n).map(|j| w.get(c, j)).collect();
+    let mut b: Vec<f64> = (0..n).map(|i| w.get(i, c)).collect();
+    b[c] = 0.0;
+
+    let mut terms = Vec::new();
+    if a.iter().any(|&x| x.abs() > tol) {
+        terms.push(RankOneTerm::new(e_c.clone(), a));
+    }
+    if b.iter().any(|&x| x.abs() > tol) {
+        terms.push(RankOneTerm::new(b, e_c));
+    }
+    Some(Decomposition { side: n, terms, pointwise: 0.0, strategy: Strategy::Star })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::kernels;
+
+    #[test]
+    fn heat_2d_star_decomposes_into_two_terms() {
+        let k = kernels::heat_2d();
+        let d = star(k.weights_2d(), 1e-15).unwrap();
+        assert_eq!(d.terms.len(), 2);
+        assert!(d.reconstruction_error(k.weights_2d()) < 1e-15);
+    }
+
+    #[test]
+    fn star_2d13p_decomposes() {
+        let k = kernels::star_2d13p();
+        let d = star(k.weights_2d(), 1e-15).unwrap();
+        assert_eq!(d.terms.len(), 2);
+        assert!(d.reconstruction_error(k.weights_2d()) < 1e-15);
+    }
+
+    #[test]
+    fn box_matrix_is_not_star() {
+        let k = kernels::box_2d9p();
+        assert!(star(k.weights_2d(), 1e-15).is_none());
+    }
+
+    #[test]
+    fn horizontal_only_star_needs_one_term() {
+        let mut w = WeightMatrix::zero(3);
+        w.set(1, 0, 0.25);
+        w.set(1, 1, 0.5);
+        w.set(1, 2, 0.25);
+        let d = star(&w, 1e-15).unwrap();
+        assert_eq!(d.terms.len(), 1);
+        assert!(d.reconstruction_error(&w) < 1e-15);
+    }
+
+    #[test]
+    fn single_point_kernel_is_star_with_one_term() {
+        let mut w = WeightMatrix::zero(3);
+        w.set(1, 1, 2.0);
+        let d = star(&w, 1e-15).unwrap();
+        // the central row carries the whole weight
+        assert_eq!(d.terms.len(), 1);
+        assert!(d.reconstruction_error(&w) < 1e-15);
+    }
+}

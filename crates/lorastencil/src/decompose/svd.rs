@@ -1,0 +1,83 @@
+//! SVD-based rank decomposition for arbitrary (possibly non-symmetric)
+//! weight matrices — the fully general path of Eq. 8/9.
+//!
+//! Computed from the Jacobi eigendecomposition of `WᵀW`: the eigenvectors
+//! give the right singular vectors `v_k`, `σ_k = √λ_k`, and
+//! `u_k = W v_k / σ_k`, so `W = Σ_k (σ_k u_k) ⊗ v_kᵀ`.
+
+use super::eigen::symmetric_eigen;
+use super::term::{Decomposition, RankOneTerm, Strategy};
+use stencil_core::WeightMatrix;
+
+/// Decompose an arbitrary matrix into `rank(W)` rank-1 terms via SVD.
+pub fn svd(w: &WeightMatrix, tol: f64) -> Decomposition {
+    let n = w.n();
+    // gram = WᵀW (symmetric PSD)
+    let gram = WeightMatrix::from_fn(n, |i, j| {
+        (0..n).map(|k| w.get(k, i) * w.get(k, j)).sum()
+    });
+    let (vals, vecs) = symmetric_eigen(&gram);
+    let scale = vals.first().map(|v| v.abs()).unwrap_or(0.0).max(1e-300);
+    let mut terms = Vec::new();
+    for (&lam, v) in vals.iter().zip(&vecs) {
+        if lam <= tol.max(1e-24) * scale {
+            continue;
+        }
+        let sigma = lam.sqrt();
+        // u = W v (unnormalized; carries σ automatically since ‖Wv‖ = σ)
+        let u: Vec<f64> = (0..n).map(|i| (0..n).map(|j| w.get(i, j) * v[j]).sum()).collect();
+        terms.push(RankOneTerm::new(u, v.clone()));
+        let _ = sigma;
+    }
+    Decomposition { side: n, terms, pointwise: 0.0, strategy: Strategy::Svd }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::kernels;
+
+    #[test]
+    fn svd_reconstructs_arbitrary_matrix() {
+        let w = WeightMatrix::from_fn(5, |i, j| ((i * 3 + j * 7) % 5) as f64 * 0.3 - 0.4);
+        let d = svd(&w, 1e-12);
+        assert!(d.reconstruction_error(&w) < 1e-9, "err = {}", d.reconstruction_error(&w));
+        assert_eq!(d.terms.len(), w.rank(1e-9));
+    }
+
+    #[test]
+    fn svd_reconstructs_benchmark_kernels() {
+        for k in [kernels::box_2d9p(), kernels::box_2d49p(), kernels::heat_2d()] {
+            let w = k.weights_2d();
+            let d = svd(w, 1e-12);
+            assert!(d.reconstruction_error(w) < 1e-10, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn svd_of_rank_one_matrix() {
+        let u = [1.0, -2.0, 0.5];
+        let v = [3.0, 0.0, 1.0];
+        let w = WeightMatrix::from_fn(3, |i, j| u[i] * v[j]);
+        let d = svd(&w, 1e-12);
+        assert_eq!(d.terms.len(), 1);
+        assert!(d.reconstruction_error(&w) < 1e-12);
+    }
+
+    #[test]
+    fn svd_of_zero_matrix_has_no_terms() {
+        let d = svd(&WeightMatrix::zero(3), 1e-12);
+        assert!(d.terms.is_empty());
+        assert!(d.reconstruction_error(&WeightMatrix::zero(3)) < 1e-15);
+    }
+
+    #[test]
+    fn svd_of_asymmetric_shift_matrix() {
+        // pure shift: w[0][1] = 1 — asymmetric, rank 1
+        let mut w = WeightMatrix::zero(3);
+        w.set(0, 1, 1.0);
+        let d = svd(&w, 1e-12);
+        assert_eq!(d.terms.len(), 1);
+        assert!(d.reconstruction_error(&w) < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Dimension-specific LoRAStencil executors and the unified dispatcher.
+
+pub mod one_d;
+pub mod three_d;
+pub mod two_d;
+
+pub use one_d::LoRaStencil1D;
+pub use three_d::LoRaStencil3D;
+pub use two_d::LoRaStencil2D;
+
+use crate::plan::ExecConfig;
+use stencil_core::{ExecError, ExecOutcome, Problem, StencilExecutor};
+
+/// The unified LoRAStencil executor: dispatches on the problem's
+/// dimensionality.
+#[derive(Debug, Clone, Default)]
+pub struct LoRaStencil {
+    /// Feature toggles, forwarded to the per-dimension executor.
+    pub config: ExecConfig,
+}
+
+impl LoRaStencil {
+    /// Full configuration (TCU + BVS + async copy + fusion).
+    pub fn new() -> Self {
+        LoRaStencil { config: ExecConfig::full() }
+    }
+
+    /// Custom configuration (ablation).
+    pub fn with_config(config: ExecConfig) -> Self {
+        LoRaStencil { config }
+    }
+}
+
+impl StencilExecutor for LoRaStencil {
+    fn name(&self) -> &'static str {
+        "LoRAStencil"
+    }
+
+    fn execute(&self, problem: &Problem) -> Result<ExecOutcome, ExecError> {
+        match problem.kernel.dims() {
+            1 => LoRaStencil1D::with_config(self.config).execute(problem),
+            2 => LoRaStencil2D::with_config(self.config).execute(problem),
+            3 => LoRaStencil3D::with_config(self.config).execute(problem),
+            d => Err(ExecError::Unsupported(format!("{d}-D kernels"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{kernels, max_error_vs_reference, Grid1D, Grid2D, Grid3D};
+
+    #[test]
+    fn dispatcher_handles_every_benchmark_kernel() {
+        let exec = LoRaStencil::new();
+        for k in kernels::all_kernels() {
+            let p = match k.dims() {
+                1 => Problem::new(k.clone(), Grid1D::from_fn(128, |i| (i % 9) as f64), 1),
+                2 => Problem::new(k.clone(), Grid2D::from_fn(24, 24, |r, c| (r + 2 * c) as f64), 1),
+                _ => {
+                    Problem::new(k.clone(), Grid3D::from_fn(4, 8, 8, |z, y, x| (z + y + x) as f64), 1)
+                }
+            };
+            let err = max_error_vs_reference(&exec, &p).unwrap();
+            assert!(err < 1e-11, "{}: err = {err}", k.name);
+        }
+    }
+}

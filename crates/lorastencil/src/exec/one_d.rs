@@ -1,0 +1,224 @@
+//! The 1-D LoRAStencil executor (§IV-C).
+//!
+//! A 1-D stencil has dependencies along a single dimension, so there is no
+//! dimension residue and a single matrix multiply gathers everything: pack
+//! eight overlapping input segments as the rows of an 8×S matrix `X`
+//! (loaded straight into A fragments) and multiply by the banded weight
+//! matrix `V` (Eq. 11) to update 64 points at once.
+
+use crate::plan::{ExecConfig, Plan1D};
+use rayon::prelude::*;
+use stencil_core::tiling::tiles_1d;
+use stencil_core::{ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor};
+use tcu_sim::{
+    CopyMode, FragAcc, FragB, GlobalArray, PerfCounters, SharedTile, SimContext, MMA_K, MMA_M,
+    MMA_N,
+};
+
+/// LoRAStencil for 1-D kernels.
+#[derive(Debug, Clone, Default)]
+pub struct LoRaStencil1D {
+    /// Feature toggles.
+    pub config: ExecConfig,
+}
+
+impl LoRaStencil1D {
+    /// Full configuration.
+    pub fn new() -> Self {
+        LoRaStencil1D { config: ExecConfig::full() }
+    }
+
+    /// Custom configuration.
+    pub fn with_config(config: ExecConfig) -> Self {
+        LoRaStencil1D { config }
+    }
+}
+
+/// Build the banded `V` fragments for the 1-D weights: `S/4` B-fragments
+/// of the `S×8` matrix `V[c][q] = w[c − q − 0]` band (`V[q + k][q] = w[k]`).
+fn build_v_frags(w: &[f64], seg_len: usize) -> Vec<FragB> {
+    let mut dense = vec![[0.0f64; MMA_N]; seg_len];
+    for q in 0..MMA_N {
+        for (k, &wk) in w.iter().enumerate() {
+            let r = q + k;
+            debug_assert!(r < seg_len);
+            dense[r][q] = wk;
+        }
+    }
+    (0..seg_len / MMA_K)
+        .map(|blk| {
+            let mut f = FragB::zero();
+            for k in 0..MMA_K {
+                for q in 0..MMA_N {
+                    f.set(k, q, dense[blk * MMA_K + k][q]);
+                }
+            }
+            f
+        })
+        .collect()
+}
+
+/// One (possibly fused) stencil application over the array.
+pub fn apply_once(input: &GlobalArray, plan: &Plan1D) -> (GlobalArray, PerfCounters) {
+    let n = input.cols();
+    let h = plan.exec_kernel.radius as isize;
+    let w = plan.exec_kernel.weights_1d();
+    let sl = plan.seg_len;
+    let mode = if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged };
+    let v_frags = build_v_frags(w, sl);
+    let tiles = tiles_1d(n, MMA_M * MMA_N);
+
+    let results: Vec<(usize, usize, [[f64; MMA_N]; MMA_M], PerfCounters)> = tiles
+        .par_iter()
+        .map(|t| {
+            let mut ctx = SimContext::new();
+            let mut tile = SharedTile::new(MMA_M, sl);
+            for r in 0..MMA_M {
+                // 8 of the seg_len loaded elements are this segment's own
+                // outputs (compulsory); the rest is halo overlap in L2
+                let seg_out = MMA_N.min(t.len.saturating_sub(MMA_N * r));
+                input.copy_to_shared_reuse(
+                    &mut ctx,
+                    mode,
+                    0,
+                    t.i0 as isize + (MMA_N * r) as isize - h,
+                    1,
+                    sl,
+                    &mut tile,
+                    r,
+                    0,
+                    seg_out,
+                );
+            }
+            let mut acc = FragAcc::zero();
+            for (blk, vf) in v_frags.iter().enumerate() {
+                let a = tile.load_frag_a(&mut ctx, 0, (blk * MMA_K) as isize);
+                acc = ctx.mma(&a, vf, &acc);
+            }
+            ctx.points((t.len * plan.fusion) as u64);
+            (t.i0, t.len, acc.to_matrix(), ctx.counters)
+        })
+        .collect();
+
+    let mut out = GlobalArray::new(1, n);
+    let mut ctx = SimContext::new();
+    for (i0, len, vals, counters) in results {
+        ctx.counters.merge(&counters);
+        for (r, row) in vals.iter().enumerate() {
+            let start = i0 + MMA_N * r;
+            if start >= i0 + len {
+                break;
+            }
+            let cnt = MMA_N.min(i0 + len - start);
+            out.store_span(&mut ctx, 0, start, &row[..cnt]);
+        }
+    }
+    (out, ctx.counters)
+}
+
+impl StencilExecutor for LoRaStencil1D {
+    fn name(&self) -> &'static str {
+        "LoRAStencil"
+    }
+
+    fn execute(&self, problem: &Problem) -> Result<ExecOutcome, ExecError> {
+        let GridData::D1(grid) = &problem.input else {
+            return Err(ExecError::Unsupported("LoRaStencil1D handles 1-D grids".into()));
+        };
+        if problem.kernel.dims() != 1 {
+            return Err(ExecError::Invalid("kernel/grid dimensionality mismatch".into()));
+        }
+        let plan = Plan1D::new(&problem.kernel, self.config);
+        let full = problem.iterations / plan.fusion;
+        let rem = problem.iterations % plan.fusion;
+        let base_plan = if rem > 0 {
+            Some(Plan1D::new(&problem.kernel, ExecConfig { allow_fusion: false, ..self.config }))
+        } else {
+            None
+        };
+        let mut cur = GlobalArray::from_vec(1, grid.len(), grid.as_slice().to_vec());
+        let mut counters = PerfCounters::new();
+        for _ in 0..full {
+            let (next, c) = apply_once(&cur, &plan);
+            counters.merge(&c);
+            cur = next;
+        }
+        if let Some(bp) = &base_plan {
+            for _ in 0..rem {
+                let (next, c) = apply_once(&cur, bp);
+                counters.merge(&c);
+                cur = next;
+            }
+        }
+        Ok(ExecOutcome {
+            output: GridData::D1(Grid1D::from_vec(cur.as_slice().to_vec())),
+            counters,
+            block: plan.block_resources(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{kernels, max_error_vs_reference};
+
+    fn wavy(n: usize) -> Grid1D {
+        Grid1D::from_fn(n, |i| (i as f64 * 0.13).sin() * 3.0 + (i % 11) as f64 * 0.1)
+    }
+
+    #[test]
+    fn matches_reference_on_1d_kernels() {
+        let exec = LoRaStencil1D::new();
+        for k in [kernels::heat_1d(), kernels::p5_1d()] {
+            let p = Problem::new(k.clone(), wavy(256), 3);
+            let err = max_error_vs_reference(&exec, &p).unwrap();
+            assert!(err < 1e-12, "{}: err = {err}", k.name);
+        }
+    }
+
+    #[test]
+    fn ragged_length_matches_reference() {
+        let exec = LoRaStencil1D::new();
+        let p = Problem::new(kernels::heat_1d(), wavy(157), 2);
+        let err = max_error_vs_reference(&exec, &p).unwrap();
+        assert!(err < 1e-12, "err = {err}");
+    }
+
+    #[test]
+    fn one_mm_per_four_columns() {
+        // 1-D needs a single MM per tile: seg_len/4 MMAs per 64 outputs
+        // (§IV-C: "one MM suffices, MCM is unnecessary"). 1D5P (radius 2,
+        // unfused): seg_len 12 → 3 MMAs per tile.
+        let exec = LoRaStencil1D::new();
+        let p = Problem::new(kernels::p5_1d(), wavy(640), 1);
+        let out = exec.execute(&p).unwrap();
+        let tiles = 640 / 64;
+        assert_eq!(out.counters.mma_ops, (tiles * 3) as u64);
+        assert_eq!(out.counters.shuffle_ops, 0);
+        assert_eq!(out.counters.points_updated, 640);
+    }
+
+    #[test]
+    fn heat_1d_fuses_three_steps_per_apply() {
+        let exec = LoRaStencil1D::new();
+        let p = Problem::new(kernels::heat_1d(), wavy(640), 3);
+        let out = exec.execute(&p).unwrap();
+        // one fused apply: seg_len 16 → 4 MMAs per 64-point tile
+        assert_eq!(out.counters.mma_ops, (640 / 64 * 4) as u64);
+        assert_eq!(out.counters.points_updated, 3 * 640);
+        let err = max_error_vs_reference(&exec, &p).unwrap();
+        assert!(err < 1e-12, "err = {err}");
+    }
+
+    #[test]
+    fn rejects_2d_problems() {
+        let exec = LoRaStencil1D::new();
+        let p = Problem::new(
+            kernels::box_2d9p(),
+            stencil_core::Grid2D::new(8, 8),
+            1,
+        );
+        assert!(exec.execute(&p).is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! The 3-D LoRAStencil executor (§IV-C, Algorithm 2).
+//!
+//! A radius-`h` 3-D kernel is the superposition of `2h+1` z-planes. Planes
+//! holding a single (center) weight need no dependency gathering and run
+//! point-wise on CUDA cores; every other plane is a 2-D stencil executed
+//! with the full RDG/PMA/BVS machinery on tensor cores. Results of all
+//! planes accumulate into the same output tile.
+
+use crate::plan::{ExecConfig, Plan3D, PlaneOp};
+use crate::rdg::{apply_pointwise, rdg_apply_term, rdg_apply_term_cuda, XFragments, TILE_M};
+use rayon::prelude::*;
+use stencil_core::tiling::{tiles_2d, Tile2D};
+use stencil_core::{ExecError, ExecOutcome, Grid3D, GridData, Problem, StencilExecutor};
+use tcu_sim::{CopyMode, FragAcc, GlobalArray, PerfCounters, SharedTile, SimContext, MMA_N};
+
+/// LoRAStencil for 3-D kernels.
+#[derive(Debug, Clone, Default)]
+pub struct LoRaStencil3D {
+    /// Feature toggles.
+    pub config: ExecConfig,
+}
+
+impl LoRaStencil3D {
+    /// Full configuration.
+    pub fn new() -> Self {
+        LoRaStencil3D { config: ExecConfig::full() }
+    }
+
+    /// Custom configuration.
+    pub fn with_config(config: ExecConfig) -> Self {
+        LoRaStencil3D { config }
+    }
+}
+
+/// Compute one 8×8 output tile of output plane `z`.
+fn compute_tile(
+    planes: &[GlobalArray],
+    plan: &Plan3D,
+    z: usize,
+    t: Tile2D,
+) -> ([[f64; MMA_N]; TILE_M], PerfCounters) {
+    let geo = plan.geo;
+    let h = plan.kernel.radius;
+    let mode = if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged };
+    let mut ctx = SimContext::new();
+    let mut acc_vals = [[0.0f64; MMA_N]; TILE_M];
+    let mut acc_frag = FragAcc::zero();
+
+    for (dz, op) in plan.plane_ops.iter().enumerate() {
+        // periodic z boundary, matching the grid convention
+        let zp = (z as isize + dz as isize - h as isize).rem_euclid(planes.len() as isize);
+        let src = &planes[zp as usize];
+        match op {
+            PlaneOp::Skip => {}
+            PlaneOp::Pointwise(w) => {
+                // CUDA-core point-wise path: direct coalesced reads (L2:
+                // the compulsory HBM pass is charged where this plane is
+                // the kernel center), no shared-memory staging
+                // (Algorithm 2 line 5).
+                let mut flops = 0u64;
+                for (p, row) in acc_vals.iter_mut().enumerate() {
+                    let r = t.r0 + p;
+                    if r >= src.rows() {
+                        continue;
+                    }
+                    let cnt = MMA_N.min(src.cols().saturating_sub(t.c0));
+                    if cnt == 0 {
+                        continue;
+                    }
+                    let vals = if dz == h {
+                        src.load_span(&mut ctx, r, t.c0, cnt)
+                    } else {
+                        src.load_span_cached(&mut ctx, r, t.c0, cnt)
+                    };
+                    for (q, v) in vals.iter().enumerate() {
+                        row[q] += w * v;
+                    }
+                    flops += 2 * cnt as u64;
+                }
+                ctx.cuda_flops(flops);
+            }
+            PlaneOp::Rdg(decomp) => {
+                let mut tile = SharedTile::new(geo.s, geo.s);
+                // each input plane is charged its compulsory HBM read on
+                // the one output plane for which it is the kernel center
+                let fresh = if dz == h { t.h * t.w } else { 0 };
+                src.copy_to_shared_reuse(
+                    &mut ctx,
+                    mode,
+                    t.r0 as isize - h as isize,
+                    t.c0 as isize - h as isize,
+                    geo.s,
+                    geo.s,
+                    &mut tile,
+                    0,
+                    0,
+                    fresh,
+                );
+                let x = XFragments::load(&mut ctx, &tile, geo);
+                if plan.config.use_tcu {
+                    for term in &decomp.terms {
+                        acc_frag = rdg_apply_term(&mut ctx, &x, term, plan.config.use_bvs, acc_frag);
+                    }
+                    apply_pointwise(&mut ctx, &x, decomp.pointwise, &mut acc_frag);
+                } else {
+                    for term in &decomp.terms {
+                        rdg_apply_term_cuda(&mut ctx, &x, term, &mut acc_vals);
+                    }
+                    if decomp.pointwise != 0.0 {
+                        for (p, row) in acc_vals.iter_mut().enumerate() {
+                            for (q, v) in row.iter_mut().enumerate() {
+                                *v += decomp.pointwise * x.peek(h + p, h + q);
+                            }
+                        }
+                        ctx.cuda_flops(2 * (TILE_M * MMA_N) as u64);
+                    }
+                }
+            }
+        }
+    }
+
+    // fold the tensor-core accumulator into the scalar one
+    if plan.config.use_tcu {
+        for (p, row) in acc_vals.iter_mut().enumerate() {
+            for (q, v) in row.iter_mut().enumerate() {
+                *v += acc_frag.get(p, q);
+            }
+        }
+    }
+    ctx.points((t.h * t.w) as u64);
+    (acc_vals, ctx.counters)
+}
+
+/// One stencil application over the volume.
+pub fn apply_once(planes: &[GlobalArray], plan: &Plan3D) -> (Vec<GlobalArray>, PerfCounters) {
+    let nz = planes.len();
+    let (ny, nx) = (planes[0].rows(), planes[0].cols());
+    let tiles = tiles_2d(ny, nx, TILE_M, TILE_M);
+
+    let jobs: Vec<(usize, Tile2D)> =
+        (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect();
+    let results: Vec<(usize, Tile2D, [[f64; MMA_N]; TILE_M], PerfCounters)> = jobs
+        .par_iter()
+        .map(|&(z, t)| {
+            let (vals, counters) = compute_tile(planes, plan, z, t);
+            (z, t, vals, counters)
+        })
+        .collect();
+
+    let mut out: Vec<GlobalArray> = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
+    let mut ctx = SimContext::new();
+    for (z, t, vals, counters) in results {
+        ctx.counters.merge(&counters);
+        for p in 0..t.h {
+            out[z].store_span(&mut ctx, t.r0 + p, t.c0, &vals[p][..t.w]);
+        }
+    }
+    (out, ctx.counters)
+}
+
+/// Split a [`Grid3D`] into per-plane global arrays.
+fn to_planes(g: &Grid3D) -> Vec<GlobalArray> {
+    (0..g.nz())
+        .map(|z| {
+            let p = g.plane(z);
+            GlobalArray::from_vec(g.ny(), g.nx(), p.as_slice().to_vec())
+        })
+        .collect()
+}
+
+/// Reassemble per-plane arrays into a [`Grid3D`].
+fn from_planes(planes: &[GlobalArray]) -> Grid3D {
+    let (nz, ny, nx) = (planes.len(), planes[0].rows(), planes[0].cols());
+    Grid3D::from_fn(nz, ny, nx, |z, y, x| planes[z].peek(y, x))
+}
+
+impl StencilExecutor for LoRaStencil3D {
+    fn name(&self) -> &'static str {
+        "LoRAStencil"
+    }
+
+    fn execute(&self, problem: &Problem) -> Result<ExecOutcome, ExecError> {
+        let GridData::D3(grid) = &problem.input else {
+            return Err(ExecError::Unsupported("LoRaStencil3D handles 3-D grids".into()));
+        };
+        if problem.kernel.dims() != 3 {
+            return Err(ExecError::Invalid("kernel/grid dimensionality mismatch".into()));
+        }
+        let plan = Plan3D::new(&problem.kernel, self.config);
+        let mut cur = to_planes(grid);
+        let mut counters = PerfCounters::new();
+        for _ in 0..problem.iterations {
+            let (next, c) = apply_once(&cur, &plan);
+            counters.merge(&c);
+            cur = next;
+        }
+        Ok(ExecOutcome {
+            output: GridData::D3(from_planes(&cur)),
+            counters,
+            block: plan.block_resources(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{kernels, max_error_vs_reference};
+
+    fn wavy(nz: usize, ny: usize, nx: usize) -> Grid3D {
+        Grid3D::from_fn(nz, ny, nx, |z, y, x| {
+            (z as f64 * 0.9).cos() + (y as f64 * 0.4).sin() * 2.0 + (x % 5) as f64 * 0.2
+        })
+    }
+
+    #[test]
+    fn heat_3d_matches_reference() {
+        let exec = LoRaStencil3D::new();
+        let p = Problem::new(kernels::heat_3d(), wavy(6, 16, 24), 2);
+        let err = max_error_vs_reference(&exec, &p).unwrap();
+        assert!(err < 1e-11, "err = {err}");
+    }
+
+    #[test]
+    fn box_3d27p_matches_reference() {
+        let exec = LoRaStencil3D::new();
+        let p = Problem::new(kernels::box_3d27p(), wavy(5, 11, 13), 2);
+        let err = max_error_vs_reference(&exec, &p).unwrap();
+        assert!(err < 1e-11, "err = {err}");
+    }
+
+    #[test]
+    fn heat_3d_uses_both_compute_units() {
+        // Algorithm 2: single-weight planes on CUDA cores, the star plane
+        // on tensor cores.
+        let exec = LoRaStencil3D::new();
+        let p = Problem::new(kernels::heat_3d(), wavy(4, 8, 8), 1);
+        let out = exec.execute(&p).unwrap();
+        assert!(out.counters.mma_ops > 0, "TCU must be used for the star plane");
+        assert!(out.counters.cuda_flops > 0, "CUDA cores must handle pointwise planes");
+    }
+
+    #[test]
+    fn cuda_only_config_matches_reference_too() {
+        let cfg = ExecConfig { use_tcu: false, ..ExecConfig::full() };
+        let exec = LoRaStencil3D::with_config(cfg);
+        let p = Problem::new(kernels::box_3d27p(), wavy(4, 9, 9), 1);
+        let err = max_error_vs_reference(&exec, &p).unwrap();
+        assert!(err < 1e-11, "err = {err}");
+        let out = exec.execute(&p).unwrap();
+        assert_eq!(out.counters.mma_ops, 0);
+    }
+
+    #[test]
+    fn points_counter_matches() {
+        let exec = LoRaStencil3D::new();
+        let p = Problem::new(kernels::heat_3d(), wavy(4, 8, 8), 3);
+        let out = exec.execute(&p).unwrap();
+        assert_eq!(out.counters.points_updated, p.total_updates());
+    }
+}

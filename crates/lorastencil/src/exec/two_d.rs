@@ -1,0 +1,272 @@
+//! The 2-D LoRAStencil executor: tiled RDG/PMA/BVS on the simulated TCU.
+//!
+//! Each 8×8 output tile is computed by one simulated warp: copy the S×S
+//! input window to shared memory (optionally via `cp.async`), load its B
+//! fragments once, run one RDG matrix chain per rank-1 term of the PMA
+//! decomposition (re-using the fragments), add the pointwise pyramid tip
+//! on CUDA cores, and write the accumulator back to global memory.
+
+use crate::plan::{ExecConfig, Plan2D};
+use crate::rdg::{
+    apply_pointwise, rdg_apply_term, rdg_apply_term_cuda, XFragments, TILE_M,
+};
+use rayon::prelude::*;
+use stencil_core::tiling::{tiles_2d, Tile2D};
+use stencil_core::{ExecError, ExecOutcome, Grid2D, GridData, Problem, StencilExecutor};
+use tcu_sim::{CopyMode, FragAcc, GlobalArray, PerfCounters, SharedTile, SimContext, MMA_N};
+
+/// LoRAStencil for 2-D kernels.
+#[derive(Debug, Clone, Default)]
+pub struct LoRaStencil2D {
+    /// Feature toggles (ablation support).
+    pub config: ExecConfig,
+}
+
+impl LoRaStencil2D {
+    /// Full configuration (TCU + BVS + async copy + fusion).
+    pub fn new() -> Self {
+        LoRaStencil2D { config: ExecConfig::full() }
+    }
+
+    /// Custom configuration (used by the Fig. 9 breakdown).
+    pub fn with_config(config: ExecConfig) -> Self {
+        LoRaStencil2D { config }
+    }
+}
+
+/// Compute one tile's 8×8 output values with a tile-local context.
+fn compute_tile(
+    input: &GlobalArray,
+    plan: &Plan2D,
+    t: Tile2D,
+) -> ([[f64; MMA_N]; TILE_M], PerfCounters) {
+    let geo = plan.geo;
+    let h = plan.exec_kernel.radius as isize;
+    let mode = if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged };
+    let mut ctx = SimContext::new();
+    let mut tile = SharedTile::new(geo.s, geo.s);
+    // the tile's own output footprint is its compulsory HBM share; the
+    // halo ring is served by L2 (loaded by the neighboring tiles)
+    input.copy_to_shared_reuse(
+        &mut ctx,
+        mode,
+        t.r0 as isize - h,
+        t.c0 as isize - h,
+        geo.s,
+        geo.s,
+        &mut tile,
+        0,
+        0,
+        t.h * t.w,
+    );
+    let x = XFragments::load(&mut ctx, &tile, geo);
+    let vals = if plan.config.use_tcu {
+        let mut acc = FragAcc::zero();
+        for term in &plan.decomp.terms {
+            acc = rdg_apply_term(&mut ctx, &x, term, plan.config.use_bvs, acc);
+        }
+        apply_pointwise(&mut ctx, &x, plan.decomp.pointwise, &mut acc);
+        acc.to_matrix()
+    } else {
+        let mut acc = [[0.0; MMA_N]; TILE_M];
+        for term in &plan.decomp.terms {
+            rdg_apply_term_cuda(&mut ctx, &x, term, &mut acc);
+        }
+        if plan.decomp.pointwise != 0.0 {
+            let hh = plan.exec_kernel.radius;
+            for (p, row) in acc.iter_mut().enumerate() {
+                for (q, v) in row.iter_mut().enumerate() {
+                    *v += plan.decomp.pointwise * x.peek(hh + p, hh + q);
+                }
+            }
+            ctx.cuda_flops(2 * (TILE_M * MMA_N) as u64);
+        }
+        acc
+    };
+    // each application advances `fusion` temporal steps worth of updates
+    ctx.points((t.h * t.w * plan.fusion) as u64);
+    (vals, ctx.counters)
+}
+
+/// One (possibly fused) stencil application over the whole grid.
+pub fn apply_once(input: &GlobalArray, plan: &Plan2D) -> (GlobalArray, PerfCounters) {
+    let (rows, cols) = (input.rows(), input.cols());
+    let tiles = tiles_2d(rows, cols, TILE_M, TILE_M);
+    let results: Vec<(Tile2D, [[f64; MMA_N]; TILE_M], PerfCounters)> = tiles
+        .par_iter()
+        .map(|&t| {
+            let (vals, counters) = compute_tile(input, plan, t);
+            (t, vals, counters)
+        })
+        .collect();
+
+    let mut out = GlobalArray::new(rows, cols);
+    let mut ctx = SimContext::new();
+    for (t, vals, counters) in results {
+        ctx.counters.merge(&counters);
+        for p in 0..t.h {
+            out.store_span(&mut ctx, t.r0 + p, t.c0, &vals[p][..t.w]);
+        }
+    }
+    (out, ctx.counters)
+}
+
+impl StencilExecutor for LoRaStencil2D {
+    fn name(&self) -> &'static str {
+        "LoRAStencil"
+    }
+
+    fn execute(&self, problem: &Problem) -> Result<ExecOutcome, ExecError> {
+        let GridData::D2(grid) = &problem.input else {
+            return Err(ExecError::Unsupported("LoRaStencil2D handles 2-D grids".into()));
+        };
+        if problem.kernel.dims() != 2 {
+            return Err(ExecError::Invalid("kernel/grid dimensionality mismatch".into()));
+        }
+        let plan = Plan2D::new(&problem.kernel, self.config);
+        let full = problem.iterations / plan.fusion;
+        let rem = problem.iterations % plan.fusion;
+        let base_plan = if rem > 0 {
+            Some(Plan2D::new(
+                &problem.kernel,
+                ExecConfig { allow_fusion: false, ..self.config },
+            ))
+        } else {
+            None
+        };
+
+        let mut cur = GlobalArray::from_vec(grid.rows(), grid.cols(), grid.as_slice().to_vec());
+        let mut counters = PerfCounters::new();
+        for _ in 0..full {
+            let (next, c) = apply_once(&cur, &plan);
+            counters.merge(&c);
+            cur = next;
+        }
+        if let Some(bp) = &base_plan {
+            for _ in 0..rem {
+                let (next, c) = apply_once(&cur, bp);
+                counters.merge(&c);
+                cur = next;
+            }
+        }
+        let output = Grid2D::from_vec(grid.rows(), grid.cols(), cur.as_slice().to_vec());
+        Ok(ExecOutcome {
+            output: GridData::D2(output),
+            counters,
+            block: plan.block_resources(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{kernels, max_error_vs_reference};
+
+    fn wavy_grid(rows: usize, cols: usize) -> Grid2D {
+        Grid2D::from_fn(rows, cols, |r, c| {
+            ((r as f64 * 0.7).sin() + (c as f64 * 0.31).cos()) * 2.0 + (r * cols + c) as f64 * 1e-3
+        })
+    }
+
+    #[test]
+    fn matches_reference_on_all_2d_kernels() {
+        let exec = LoRaStencil2D::new();
+        for k in kernels::all_kernels() {
+            if k.dims() != 2 {
+                continue;
+            }
+            let p = Problem::new(k.clone(), wavy_grid(24, 40), 1);
+            let err = max_error_vs_reference(&exec, &p).unwrap();
+            assert!(err < 1e-11, "{}: err = {err}", k.name);
+        }
+    }
+
+    #[test]
+    fn multi_iteration_with_fusion_matches_reference() {
+        let exec = LoRaStencil2D::new();
+        // 7 iterations of a radius-1 kernel: 2 fused (3×) + 1 unfused
+        let p = Problem::new(kernels::box_2d9p(), wavy_grid(20, 20), 7);
+        let err = max_error_vs_reference(&exec, &p).unwrap();
+        assert!(err < 1e-10, "err = {err}");
+    }
+
+    #[test]
+    fn all_breakdown_stages_are_numerically_identical() {
+        let p = Problem::new(kernels::box_2d9p(), wavy_grid(16, 24), 2);
+        let mut outputs = Vec::new();
+        for (name, cfg) in ExecConfig::breakdown_stages() {
+            let exec = LoRaStencil2D::with_config(cfg);
+            let out = exec.execute(&p).unwrap();
+            outputs.push((name, out));
+        }
+        for w in outputs.windows(2) {
+            let d = w[0].1.output.max_abs_diff(&w[1].1.output);
+            assert!(d < 1e-12, "{} vs {}: {d}", w[0].0, w[1].0);
+        }
+        // CUDA stage has no MMAs; TCU stages do
+        assert_eq!(outputs[0].1.counters.mma_ops, 0);
+        assert!(outputs[1].1.counters.mma_ops > 0);
+        // only the non-BVS TCU stage shuffles
+        assert!(outputs[1].1.counters.shuffle_ops > 0);
+        assert_eq!(outputs[2].1.counters.shuffle_ops, 0);
+        // only the non-async stages stage copies through registers
+        assert!(outputs[2].1.counters.staged_copy_bytes > 0);
+        assert_eq!(outputs[3].1.counters.staged_copy_bytes, 0);
+    }
+
+    #[test]
+    fn points_counter_matches_problem_updates() {
+        let exec = LoRaStencil2D::new();
+        let p = Problem::new(kernels::box_2d49p(), wavy_grid(32, 32), 2);
+        let out = exec.execute(&p).unwrap();
+        assert_eq!(out.counters.points_updated, p.total_updates());
+    }
+
+    #[test]
+    fn fused_run_counts_fused_points() {
+        let exec = LoRaStencil2D::new();
+        let p = Problem::new(kernels::box_2d9p(), wavy_grid(16, 16), 3);
+        let out = exec.execute(&p).unwrap();
+        // one fused application, counted as 3 × 256 updates
+        assert_eq!(out.counters.points_updated, 3 * 256);
+    }
+
+    #[test]
+    fn mma_count_matches_eq16_for_box_2d49p() {
+        // Box-2D49P, 64×64 grid, 1 iteration: ab/64 tiles × 3 terms × 12
+        // MMAs — the paper's 36 MMA per 64-point tile (§III-C).
+        let exec = LoRaStencil2D::new();
+        let p = Problem::new(kernels::box_2d49p(), wavy_grid(64, 64), 1);
+        let out = exec.execute(&p).unwrap();
+        let tiles = (64 / 8) * (64 / 8) as u64;
+        assert_eq!(out.counters.mma_ops, tiles * 36);
+        // Eq. 12: ab/8 fragment loads from shared for the inputs, plus the
+        // copy-in stores are counted separately
+        assert_eq!(
+            out.counters.shared_load_requests,
+            64 * 64 / 8,
+            "input fragment loads must match Eq. 12"
+        );
+    }
+
+    #[test]
+    fn rejects_mismatched_problems() {
+        let exec = LoRaStencil2D::new();
+        let p = Problem::new(
+            kernels::heat_1d(),
+            stencil_core::Grid1D::from_vec(vec![0.0; 16]),
+            1,
+        );
+        assert!(exec.execute(&p).is_err());
+    }
+
+    #[test]
+    fn tiny_grid_with_clipping_matches_reference() {
+        let exec = LoRaStencil2D::new();
+        // 10×13 is not a multiple of the 8×8 tile → exercises clipping
+        let p = Problem::new(kernels::star_2d13p(), wavy_grid(10, 13), 2);
+        let err = max_error_vs_reference(&exec, &p).unwrap();
+        assert!(err < 1e-11, "err = {err}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Temporal kernel fusion (§IV-A).
+//!
+//! Small kernels waste most of a 16×16 input tile: Box-2D9P (radius 1)
+//! touches only 10×10 of the 256 loaded elements. Composing the stencil
+//! operator with itself `t` times yields a single kernel of radius `t·h`
+//! whose weight matrix is the `t`-fold convolution of the original — one
+//! fused application advances `t` time steps and uses 14×14 of the tile
+//! (for `t = 3`, `h = 1`), cutting fragment-storage waste by
+//! 96/156 ≈ 61.54 %.
+
+use stencil_core::{Shape, StencilKernel, WeightMatrix, Weights};
+
+/// Convolve two 1-D weight vectors.
+pub fn convolve_1d(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let n = a.len() + b.len() - 1;
+    let mut out = vec![0.0; n];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// Convolve two 3-D kernels given as plane stacks (index = z displacement).
+pub fn convolve_3d(a: &[WeightMatrix], b: &[WeightMatrix]) -> Vec<WeightMatrix> {
+    let n_z = a.len() + b.len() - 1;
+    let n_xy = a[0].n() + b[0].n() - 1;
+    let mut out = vec![WeightMatrix::zero(n_xy); n_z];
+    for (za, wa) in a.iter().enumerate() {
+        for (zb, wb) in b.iter().enumerate() {
+            let conv = wa.convolve(wb);
+            debug_assert_eq!(conv.n(), n_xy);
+            out[za + zb] = out[za + zb].add(&conv);
+        }
+    }
+    out
+}
+
+/// Fuse `times` consecutive applications of `kernel` into one kernel of
+/// radius `times · h`. `times == 1` returns a clone.
+pub fn fuse_kernel(kernel: &StencilKernel, times: usize) -> StencilKernel {
+    assert!(times >= 1);
+    if times == 1 {
+        return kernel.clone();
+    }
+    let weights = match &kernel.weights {
+        Weights::D1(w) => {
+            let mut acc = w.clone();
+            for _ in 1..times {
+                acc = convolve_1d(&acc, w);
+            }
+            Weights::D1(acc)
+        }
+        Weights::D2(w) => {
+            let mut acc = w.clone();
+            for _ in 1..times {
+                acc = acc.convolve(w);
+            }
+            Weights::D2(acc)
+        }
+        Weights::D3(ws) => {
+            let mut acc = ws.clone();
+            for _ in 1..times {
+                acc = convolve_3d(&acc, ws);
+            }
+            Weights::D3(acc)
+        }
+    };
+    StencilKernel {
+        name: format!("{}x{}", kernel.name, times),
+        // star kernels stop being stars once fused (diamond support)
+        shape: if kernel.shape == Shape::Star && times > 1 { Shape::Box } else { kernel.shape },
+        radius: kernel.radius * times,
+        weights,
+    }
+}
+
+/// Elements of a 16×16 input tile left unused by a radius-`h` kernel
+/// updating an 8×8 tile: `256 − (8 + 2h)²` (Fig. 7; valid for `h ≤ 4`).
+pub fn fragment_waste(h: usize) -> usize {
+    assert!(h <= 4, "radius {h} does not fit a 16×16 tile");
+    256 - (8 + 2 * h) * (8 + 2 * h)
+}
+
+/// Relative waste reduction from fusing a radius-`h` kernel `times`×
+/// (Fig. 7: 96/156 ≈ 61.54 % for `h = 1`, `times = 3`).
+pub fn fusion_waste_reduction(h: usize, times: usize) -> f64 {
+    let before = fragment_waste(h) as f64;
+    let after = fragment_waste(h * times) as f64;
+    (before - after) / before
+}
+
+/// The temporal fusion factor the planner applies: 3× for 1-D and 2-D
+/// radius-1 kernels (the paper's choice, equally used by ConvStencil so
+/// the comparison stays fair, §V-A). 3-D kernels are never fused —
+/// §V-B: LoRAStencil "maintains high utilization of TCU fragments even
+/// with small kernels", unlike ConvStencil's compulsory 3-D fusion.
+pub fn fusion_factor(kernel: &StencilKernel) -> usize {
+    if kernel.dims() <= 2 && kernel.radius == 1 {
+        3
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::reference;
+    use stencil_core::{kernels, Grid1D, Grid2D, Grid3D, GridData};
+
+    #[test]
+    fn fused_2d_kernel_equals_iterated_reference() {
+        let k = kernels::box_2d9p();
+        let fused = fuse_kernel(&k, 3);
+        assert_eq!(fused.radius, 3);
+        assert_eq!(fused.side(), 7);
+        let g = GridData::D2(Grid2D::from_fn(20, 20, |r, c| ((r * 13 + c * 7) % 5) as f64));
+        let three_steps = reference::run(&g, &k, 3);
+        let one_fused = reference::run(&g, &fused, 1);
+        assert!(three_steps.max_abs_diff(&one_fused) < 1e-12);
+    }
+
+    #[test]
+    fn fused_star_kernel_equals_iterated_reference() {
+        let k = kernels::heat_2d();
+        let fused = fuse_kernel(&k, 3);
+        let g = GridData::D2(Grid2D::from_fn(16, 16, |r, c| (r as f64 - c as f64) * 0.25));
+        let a = reference::run(&g, &k, 3);
+        let b = reference::run(&g, &fused, 1);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+        // fused star has diamond support → corners vanish
+        let w = fused.weights_2d();
+        assert_eq!(w.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn fused_1d_kernel_equals_iterated_reference() {
+        let k = kernels::heat_1d();
+        let fused = fuse_kernel(&k, 2);
+        assert_eq!(fused.weights_1d().len(), 5);
+        let g = GridData::D1(Grid1D::from_fn(32, |i| (i % 7) as f64));
+        let a = reference::run(&g, &k, 2);
+        let b = reference::run(&g, &fused, 1);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn fused_3d_kernel_equals_iterated_reference() {
+        let k = kernels::heat_3d();
+        let fused = fuse_kernel(&k, 2);
+        assert_eq!(fused.weights_3d().len(), 5);
+        let g = GridData::D3(Grid3D::from_fn(8, 8, 8, |z, y, x| ((z + 2 * y + 3 * x) % 4) as f64));
+        let a = reference::run(&g, &k, 2);
+        let b = reference::run(&g, &fused, 1);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn waste_matches_paper_fig7() {
+        assert_eq!(fragment_waste(1), 156);
+        assert_eq!(fragment_waste(3), 60);
+        let red = fusion_waste_reduction(1, 3);
+        assert!((red - 96.0 / 156.0).abs() < 1e-12);
+        assert!((red - 0.6154).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fusion_factor_policy() {
+        assert_eq!(fusion_factor(&kernels::box_2d9p()), 3);
+        assert_eq!(fusion_factor(&kernels::heat_2d()), 3);
+        assert_eq!(fusion_factor(&kernels::box_2d49p()), 1);
+        assert_eq!(fusion_factor(&kernels::heat_3d()), 1);
+        assert_eq!(fusion_factor(&kernels::heat_1d()), 3);
+        assert_eq!(fusion_factor(&kernels::p5_1d()), 1);
+    }
+
+    #[test]
+    fn fuse_once_is_identity() {
+        let k = kernels::star_2d13p();
+        assert_eq!(fuse_kernel(&k, 1), k);
+    }
+}

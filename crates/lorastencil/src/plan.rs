@@ -1,0 +1,303 @@
+//! Planning: from a kernel description to an executable LoRAStencil plan
+//! (fusion decision, low-rank decomposition, tile geometry, feature
+//! toggles for the ablation study).
+
+use crate::decompose::{self, Decomposition};
+use crate::fusion;
+use crate::rdg::RdgGeometry;
+use serde::{Deserialize, Serialize};
+use stencil_core::{StencilKernel, WeightMatrix};
+use tcu_sim::BlockResources;
+
+/// Feature toggles, primarily for the Fig. 9 performance-breakdown
+/// ablation. Production configuration enables everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Execute the RDG matrix chains on tensor cores (`false` = the same
+    /// math on CUDA cores).
+    pub use_tcu: bool,
+    /// Use Butterfly Vector Swapping for the step-2 accumulator split
+    /// (`false` = natural split with inter-thread shuffles).
+    pub use_bvs: bool,
+    /// Use `cp.async` global→shared copies (`false` = register staging).
+    pub use_async_copy: bool,
+    /// Allow temporal kernel fusion for small kernels.
+    pub allow_fusion: bool,
+}
+
+impl ExecConfig {
+    /// Everything on (the shipped configuration).
+    pub fn full() -> Self {
+        ExecConfig { use_tcu: true, use_bvs: true, use_async_copy: true, allow_fusion: true }
+    }
+
+    /// The four cumulative stages of the paper's Fig. 9 breakdown, in
+    /// order: RDG on CUDA cores → +TCU → +BVS → +AsyncCopy.
+    pub fn breakdown_stages() -> [(&'static str, ExecConfig); 4] {
+        [
+            (
+                "RDG (CUDA cores)",
+                ExecConfig { use_tcu: false, use_bvs: false, use_async_copy: false, allow_fusion: true },
+            ),
+            (
+                "+TCU",
+                ExecConfig { use_tcu: true, use_bvs: false, use_async_copy: false, allow_fusion: true },
+            ),
+            (
+                "+BVS",
+                ExecConfig { use_tcu: true, use_bvs: true, use_async_copy: false, allow_fusion: true },
+            ),
+            ("+AsyncCopy", ExecConfig::full()),
+        ]
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Warps per simulated thread block (256 threads).
+pub const WARPS_PER_BLOCK: u32 = 8;
+
+/// Executable plan for a 2-D kernel.
+#[derive(Debug, Clone)]
+pub struct Plan2D {
+    /// The kernel actually executed per application (fused if small).
+    pub exec_kernel: StencilKernel,
+    /// Temporal steps one application advances (the fusion factor).
+    pub fusion: usize,
+    /// Low-rank decomposition of the executed kernel's weights.
+    pub decomp: Decomposition,
+    /// Tile geometry for the executed kernel's radius.
+    pub geo: RdgGeometry,
+    /// Feature toggles.
+    pub config: ExecConfig,
+}
+
+impl Plan2D {
+    /// Plan a 2-D kernel.
+    pub fn new(kernel: &StencilKernel, config: ExecConfig) -> Self {
+        assert_eq!(kernel.dims(), 2, "Plan2D needs a 2-D kernel");
+        let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
+        let exec_kernel = fusion::fuse_kernel(kernel, fusion);
+        let decomp = decompose::decompose(exec_kernel.weights_2d(), 1e-12);
+        let geo = RdgGeometry::for_radius(exec_kernel.radius);
+        Plan2D { exec_kernel, fusion, decomp, geo, config }
+    }
+
+    /// Plan a 2-D kernel with cost-model-driven decomposition selection
+    /// (see [`crate::autotune`]): like [`Plan2D::new`], but the strategy
+    /// is chosen by modeled per-tile cost rather than structural
+    /// precedence — cheaper when the weight matrix's true rank is below
+    /// the pyramid's term count.
+    pub fn new_autotuned(kernel: &StencilKernel, config: ExecConfig) -> Self {
+        assert_eq!(kernel.dims(), 2, "Plan2D needs a 2-D kernel");
+        let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
+        let exec_kernel = fusion::fuse_kernel(kernel, fusion);
+        let decomp = crate::autotune::choose(exec_kernel.weights_2d(), 1e-12);
+        let geo = RdgGeometry::for_radius(exec_kernel.radius);
+        Plan2D { exec_kernel, fusion, decomp, geo, config }
+    }
+
+    /// Per-block resources this plan occupies (one input tile per warp;
+    /// a second buffer when `cp.async` double-buffering is on).
+    pub fn block_resources(&self) -> BlockResources {
+        let buffers = if self.config.use_async_copy { 2 } else { 1 };
+        BlockResources {
+            shared_bytes: WARPS_PER_BLOCK * self.geo.tile_bytes() * buffers,
+            threads: WARPS_PER_BLOCK * 32,
+            regs_per_thread: if self.config.use_tcu { 64 } else { 48 },
+        }
+    }
+}
+
+/// What LoRAStencil does with one z-plane of a 3-D kernel (Algorithm 2).
+#[derive(Debug, Clone)]
+pub enum PlaneOp {
+    /// Plane is entirely zero: skip.
+    Skip,
+    /// Plane has a single (center) weight: point-wise multiply-accumulate
+    /// on CUDA cores.
+    Pointwise(f64),
+    /// Plane needs 2-D dependency gathering: full LoRAStencil on tensor
+    /// cores with this decomposition.
+    Rdg(Decomposition),
+}
+
+/// Executable plan for a 3-D kernel: one [`PlaneOp`] per z displacement.
+#[derive(Debug, Clone)]
+pub struct Plan3D {
+    /// The kernel (3-D kernels are not fused; §V-B notes LoRAStencil
+    /// keeps high fragment utilization without fusion in 3-D).
+    pub kernel: StencilKernel,
+    /// Per-plane operations, indexed by `dz ∈ 0..2h+1`.
+    pub plane_ops: Vec<PlaneOp>,
+    /// Tile geometry shared by all RDG planes.
+    pub geo: RdgGeometry,
+    /// Feature toggles.
+    pub config: ExecConfig,
+}
+
+impl Plan3D {
+    /// Plan a 3-D kernel.
+    pub fn new(kernel: &StencilKernel, config: ExecConfig) -> Self {
+        assert_eq!(kernel.dims(), 3, "Plan3D needs a 3-D kernel");
+        let planes = kernel.weights_3d();
+        let plane_ops = planes.iter().map(classify_plane).collect();
+        let geo = RdgGeometry::for_radius(kernel.radius);
+        Plan3D { kernel: kernel.clone(), plane_ops, geo, config }
+    }
+
+    /// Per-block resources (one shared tile per warp, reused across the
+    /// kernel's planes).
+    pub fn block_resources(&self) -> BlockResources {
+        let buffers = if self.config.use_async_copy { 2 } else { 1 };
+        BlockResources {
+            shared_bytes: WARPS_PER_BLOCK * self.geo.tile_bytes() * buffers,
+            threads: WARPS_PER_BLOCK * 32,
+            regs_per_thread: if self.config.use_tcu { 72 } else { 56 },
+        }
+    }
+}
+
+fn classify_plane(w: &WeightMatrix) -> PlaneOp {
+    let nz = w.nonzero_points();
+    let h = w.radius();
+    if nz == 0 {
+        PlaneOp::Skip
+    } else if nz == 1 && w.get(h, h) != 0.0 {
+        PlaneOp::Pointwise(w.get(h, h))
+    } else {
+        PlaneOp::Rdg(decompose::decompose(w, 1e-12))
+    }
+}
+
+/// Executable plan for a 1-D kernel: a single matrix multiply gathers the
+/// only dimension (§IV-C), so no decomposition is needed. Small kernels
+/// are temporally fused like their 2-D counterparts (§IV-A).
+#[derive(Debug, Clone)]
+pub struct Plan1D {
+    /// The kernel actually executed per application (fused if small).
+    pub exec_kernel: StencilKernel,
+    /// Temporal steps one application advances (the fusion factor).
+    pub fusion: usize,
+    /// Padded input segment length (multiple of 4, ≥ `8 + 2h`).
+    pub seg_len: usize,
+    /// Feature toggles.
+    pub config: ExecConfig,
+}
+
+impl Plan1D {
+    /// Plan a 1-D kernel.
+    pub fn new(kernel: &StencilKernel, config: ExecConfig) -> Self {
+        assert_eq!(kernel.dims(), 1, "Plan1D needs a 1-D kernel");
+        let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
+        let exec_kernel = fusion::fuse_kernel(kernel, fusion);
+        let need = 8 + 2 * exec_kernel.radius;
+        let seg_len = need.div_ceil(4) * 4;
+        Plan1D { exec_kernel, fusion, seg_len, config }
+    }
+
+    /// Per-block resources (8 segments of `seg_len` per warp).
+    pub fn block_resources(&self) -> BlockResources {
+        let buffers = if self.config.use_async_copy { 2 } else { 1 };
+        BlockResources {
+            shared_bytes: WARPS_PER_BLOCK * (8 * self.seg_len * 8) as u32 * buffers,
+            threads: WARPS_PER_BLOCK * 32,
+            regs_per_thread: 48,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::Strategy;
+    use stencil_core::kernels;
+
+    #[test]
+    fn small_2d_kernel_gets_fused() {
+        let p = Plan2D::new(&kernels::box_2d9p(), ExecConfig::full());
+        assert_eq!(p.fusion, 3);
+        assert_eq!(p.exec_kernel.radius, 3);
+        assert_eq!(p.geo.s, 16);
+        assert_eq!(p.decomp.strategy, Strategy::Pyramidal);
+    }
+
+    #[test]
+    fn fused_heat_2d_uses_eigen() {
+        // Heat-2D fused 3× is a diamond (zero corners) → eigen fallback.
+        let p = Plan2D::new(&kernels::heat_2d(), ExecConfig::full());
+        assert_eq!(p.fusion, 3);
+        assert_eq!(p.decomp.strategy, Strategy::Eigen);
+    }
+
+    #[test]
+    fn fusion_can_be_disabled() {
+        let cfg = ExecConfig { allow_fusion: false, ..ExecConfig::full() };
+        let p = Plan2D::new(&kernels::box_2d9p(), cfg);
+        assert_eq!(p.fusion, 1);
+        assert_eq!(p.exec_kernel.radius, 1);
+    }
+
+    #[test]
+    fn large_kernel_not_fused() {
+        let p = Plan2D::new(&kernels::box_2d49p(), ExecConfig::full());
+        assert_eq!(p.fusion, 1);
+        assert_eq!(p.decomp.num_terms(), 3);
+    }
+
+    #[test]
+    fn heat_3d_plane_classification_matches_algorithm_2() {
+        let p = Plan3D::new(&kernels::heat_3d(), ExecConfig::full());
+        assert_eq!(p.plane_ops.len(), 3);
+        assert!(matches!(p.plane_ops[0], PlaneOp::Pointwise(_)));
+        assert!(matches!(p.plane_ops[1], PlaneOp::Rdg(_)));
+        assert!(matches!(p.plane_ops[2], PlaneOp::Pointwise(_)));
+    }
+
+    #[test]
+    fn box_3d_planes_all_need_rdg() {
+        let p = Plan3D::new(&kernels::box_3d27p(), ExecConfig::full());
+        assert!(p.plane_ops.iter().all(|op| matches!(op, PlaneOp::Rdg(_))));
+    }
+
+    #[test]
+    fn plan1d_segment_length_and_fusion() {
+        let p = Plan1D::new(&kernels::heat_1d(), ExecConfig::full());
+        assert_eq!(p.fusion, 3); // radius 1 → 3× temporal fusion
+        assert_eq!(p.exec_kernel.radius, 3);
+        assert_eq!(p.seg_len, 16); // 8 + 6, rounded to 16
+        let p = Plan1D::new(&kernels::p5_1d(), ExecConfig::full());
+        assert_eq!(p.fusion, 1);
+        assert_eq!(p.seg_len, 12); // 8 + 4
+    }
+
+    #[test]
+    fn autotuned_plan_never_costs_more() {
+        use crate::autotune;
+        for k in kernels::all_kernels() {
+            if k.dims() != 2 {
+                continue;
+            }
+            let a = Plan2D::new_autotuned(&k, ExecConfig::full());
+            let d = Plan2D::new(&k, ExecConfig::full());
+            assert!(
+                autotune::tile_cost(&a.decomp, a.geo) <= autotune::tile_cost(&d.decomp, d.geo),
+                "{}",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_stages_are_cumulative() {
+        let stages = ExecConfig::breakdown_stages();
+        assert!(!stages[0].1.use_tcu);
+        assert!(stages[1].1.use_tcu && !stages[1].1.use_bvs);
+        assert!(stages[2].1.use_bvs && !stages[2].1.use_async_copy);
+        assert_eq!(stages[3].1, ExecConfig::full());
+    }
+}

@@ -1,0 +1,482 @@
+//! Residual Dimension Gathering (§III-B): the Matrix Chain Multiplication
+//! `U · X · V` on simulated tensor-core fragments.
+//!
+//! For one rank-1 term `C = u ⊗ vᵀ` and an input tile `X` of side `S`
+//! (`S ≥ m + 2h`, multiple of 8), the `m×m = 8×8` output tile is
+//!
+//! * **Step 1 (vertical gather)**: `T = U · X`, with `U` the 8×S banded
+//!   expansion of `u` (Eq. 10). `S/4 × S/8` MMA operations.
+//! * **Step 2 (horizontal gather)**: `R = T · V`, with `V` the S×8 banded
+//!   expansion of `v` (Eq. 11). `T` is re-used as a left operand through
+//!   Butterfly Vector Swapping (§III-D): the accumulator's even/odd column
+//!   sets are reinterpreted as A fragments with zero cross-lane shuffles
+//!   while the matching rows of `V` are permuted identically (Eq. 17).
+//!   `S/4` MMA operations.
+//!
+//! For `h = 3` (`S = 16`) this is the paper's 8 + 4 = 12 MMA example.
+
+use crate::decompose::RankOneTerm;
+use stencil_core::WeightMatrix;
+use tcu_sim::{FragA, FragAcc, FragB, SharedTile, SimContext, MMA_K, MMA_M, MMA_N};
+
+/// Output tile side processed by one warp (`m`).
+pub const TILE_M: usize = 8;
+
+/// Geometry of one RDG tile computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RdgGeometry {
+    /// Kernel radius `h` of the full (possibly fused) kernel.
+    pub h: usize,
+    /// Padded input tile side `S` (multiple of 8, ≥ `m + 2h`).
+    pub s: usize,
+}
+
+impl RdgGeometry {
+    /// Geometry for a kernel of radius `h`.
+    pub fn for_radius(h: usize) -> Self {
+        let need = TILE_M + 2 * h;
+        let s = need.div_ceil(8) * 8;
+        RdgGeometry { h, s: s.max(16) }
+    }
+
+    /// Number of 4-row blocks of the input tile (`S/4`).
+    pub fn row_blocks(&self) -> usize {
+        self.s / MMA_K
+    }
+
+    /// Number of 8-column blocks of the input tile (`S/8`).
+    pub fn col_blocks(&self) -> usize {
+        self.s / MMA_N
+    }
+
+    /// MMA instructions one rank-1 term costs on this geometry
+    /// (step 1 + step 2).
+    pub fn mma_per_term(&self) -> u64 {
+        (self.row_blocks() * self.col_blocks() + self.row_blocks()) as u64
+    }
+
+    /// Shared-memory bytes of the input tile.
+    pub fn tile_bytes(&self) -> u32 {
+        (self.s * self.s * std::mem::size_of::<f64>()) as u32
+    }
+}
+
+/// The input tile's B fragments, loaded once per tile and re-used by every
+/// rank-1 term of the decomposition (the fragment-reuse property §III-C
+/// relies on: "the input matrix utilized for each RDG in PMA remains
+/// constant").
+#[derive(Debug, Clone)]
+pub struct XFragments {
+    geo: RdgGeometry,
+    /// `frags[row_block][col_block]`, each 4×8.
+    frags: Vec<Vec<FragB>>,
+}
+
+impl XFragments {
+    /// Load all `S/4 × S/8` fragments of the tile (charging one shared
+    /// load request each — the quantity Eq. 12 counts).
+    pub fn load(ctx: &mut SimContext, tile: &SharedTile, geo: RdgGeometry) -> Self {
+        let mut frags = Vec::with_capacity(geo.row_blocks());
+        for rb in 0..geo.row_blocks() {
+            let mut row = Vec::with_capacity(geo.col_blocks());
+            for cb in 0..geo.col_blocks() {
+                row.push(tile.load_frag_b(ctx, (rb * MMA_K) as isize, (cb * MMA_N) as isize));
+            }
+            frags.push(row);
+        }
+        XFragments { geo, frags }
+    }
+
+    /// Tile geometry.
+    pub fn geometry(&self) -> RdgGeometry {
+        self.geo
+    }
+
+    /// Element `(r, c)` of the underlying tile, reconstructed from the
+    /// owning fragment (register re-use; charges nothing).
+    pub fn peek(&self, r: usize, c: usize) -> f64 {
+        self.frags[r / MMA_K][c / MMA_N].get(r % MMA_K, c % MMA_N)
+    }
+}
+
+/// Build the banded `U` weight fragments for a term (Eq. 10): `S/4`
+/// A-fragments, fragment `k` covering `U` columns `4k..4k+4`.
+///
+/// `U[i][j] = u[t]` iff `j = i + (h − h_t) + t`; the `h − h_t` band shift
+/// centers pyramid terms smaller than the kernel. Weights live in
+/// registers/constant memory on real hardware, so no loads are charged.
+pub fn build_u_frags(term: &RankOneTerm, geo: RdgGeometry) -> Vec<FragA> {
+    let shift = geo.h - term.radius();
+    let mut frags = vec![FragA::zero(); geo.row_blocks()];
+    for i in 0..MMA_M {
+        for (t, &w) in term.u.iter().enumerate() {
+            let j = i + shift + t;
+            debug_assert!(j < geo.s);
+            frags[j / MMA_K].set(i, j % MMA_K, w);
+        }
+    }
+    frags
+}
+
+/// Build the banded `V` weight fragments for a term (Eq. 11), pre-permuted
+/// for the chosen step-2 accumulator split: `S/4` B-fragments, fragment
+/// `2j + half` matching the A fragment extracted from accumulator tile `j`
+/// with column set `cols[half]`.
+///
+/// `V[r][q] = v[t]` iff `r = q + (h − h_t) + t`. With BVS the rows are
+/// butterfly-permuted (`{0,2,4,6}` / `{1,3,5,7}` within each 8-row block),
+/// compensating the shuffle-free accumulator reinterpretation (Eq. 17);
+/// without BVS the natural `{0..4}` / `{4..8}` split is used.
+pub fn build_v_frags(term: &RankOneTerm, geo: RdgGeometry, use_bvs: bool) -> Vec<FragB> {
+    let shift = geo.h - term.radius();
+    // dense V first
+    let mut v_dense = vec![[0.0f64; MMA_N]; geo.s];
+    for q in 0..MMA_N {
+        for (t, &w) in term.v.iter().enumerate() {
+            let r = q + shift + t;
+            debug_assert!(r < geo.s);
+            v_dense[r][q] = w;
+        }
+    }
+    let col_sets = if use_bvs { FragAcc::BUTTERFLY_COLS } else { FragAcc::NATURAL_COLS };
+    let mut frags = Vec::with_capacity(geo.row_blocks());
+    for j in 0..geo.col_blocks() {
+        for cols in col_sets {
+            let mut f = FragB::zero();
+            for (k, &c) in cols.iter().enumerate() {
+                let r = j * MMA_N + c;
+                for q in 0..MMA_N {
+                    f.set(k, q, v_dense[r][q]);
+                }
+            }
+            frags.push(f);
+        }
+    }
+    frags
+}
+
+/// Column sets used to split step-1 accumulators into step-2 A fragments.
+fn split_cols(use_bvs: bool) -> [[usize; MMA_K]; 2] {
+    if use_bvs {
+        FragAcc::BUTTERFLY_COLS
+    } else {
+        FragAcc::NATURAL_COLS
+    }
+}
+
+/// Apply one rank-1 term to a loaded input tile, accumulating into `acc`
+/// (the 8×8 output accumulator). Returns the new accumulator.
+///
+/// This is the full RDG Matrix Chain Multiplication on tensor cores:
+/// `acc += U · X · V`.
+pub fn rdg_apply_term(
+    ctx: &mut SimContext,
+    x: &XFragments,
+    term: &RankOneTerm,
+    use_bvs: bool,
+    acc: FragAcc,
+) -> FragAcc {
+    let geo = x.geo;
+    let u_frags = build_u_frags(term, geo);
+    let v_frags = build_v_frags(term, geo, use_bvs);
+    let cols = split_cols(use_bvs);
+
+    let mut out = acc;
+    // Step 1: T = U · X, one accumulator tile per 8-column block.
+    for j in 0..geo.col_blocks() {
+        let mut t_acc = FragAcc::zero();
+        for (k, u_frag) in u_frags.iter().enumerate() {
+            t_acc = ctx.mma(u_frag, &x.frags[k][j], &t_acc);
+        }
+        // Step 2: out += T_j · V_j, splitting the accumulator into two A
+        // fragments (shuffle-free under BVS).
+        for (half, &col_set) in cols.iter().enumerate() {
+            let a = ctx.acc_to_a(&t_acc, col_set);
+            out = ctx.mma(&a, &v_frags[2 * j + half], &out);
+        }
+    }
+    out
+}
+
+/// Apply the pointwise pyramid tip: `acc[r][q] += pw · X[h+r][h+q]`,
+/// executed on CUDA cores (the 1×1 term needs no matrix multiply,
+/// §III-C); input values are register re-uses of already-loaded fragments.
+pub fn apply_pointwise(ctx: &mut SimContext, x: &XFragments, pw: f64, acc: &mut FragAcc) {
+    if pw == 0.0 {
+        return;
+    }
+    let h = x.geo.h;
+    for r in 0..MMA_M {
+        for q in 0..MMA_N {
+            let v = acc.get(r, q) + pw * x.peek(h + r, h + q);
+            acc.set(r, q, v);
+        }
+    }
+    ctx.cuda_flops(2 * (MMA_M * MMA_N) as u64);
+}
+
+/// Issue-overhead multiplier for the scalar CUDA-core RDG path: like all
+/// scalar stencil loops, address arithmetic and loop control issue
+/// alongside each FMA, holding sustained throughput to ~7 % of FP64
+/// peak (same modeling as the CUDA-core baselines).
+pub const CUDA_RDG_ISSUE_OVERHEAD: u64 = 14;
+
+/// CUDA-core reference path for the ablation (Fig. 9 "RDG w/o TCU"): the
+/// same `U · X · V` chain evaluated with scalar FMAs, charging CUDA-core
+/// FLOPs (and no MMAs). Band sparsity is exploited, as a hand-written
+/// CUDA-core kernel would.
+pub fn rdg_apply_term_cuda(
+    ctx: &mut SimContext,
+    x: &XFragments,
+    term: &RankOneTerm,
+    acc: &mut [[f64; MMA_N]; MMA_M],
+) {
+    let geo = x.geo;
+    let n_t = term.u.len();
+    let shift = geo.h - term.radius();
+    // T = U · X (8 × S semi-gather matrix), then R += T · V
+    let mut t_mat = vec![vec![0.0f64; geo.s]; MMA_M];
+    for (p, row) in t_mat.iter_mut().enumerate() {
+        for (c, out) in row.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (k, &w) in term.u.iter().enumerate() {
+                s += w * x.peek(p + shift + k, c);
+            }
+            *out = s;
+        }
+    }
+    ctx.cuda_flops((2 * n_t * MMA_M * geo.s) as u64 * CUDA_RDG_ISSUE_OVERHEAD);
+    // R += T · V
+    for (p, row) in t_mat.iter().enumerate() {
+        for q in 0..MMA_N {
+            let mut s = 0.0;
+            for (k, &w) in term.v.iter().enumerate() {
+                s += w * row[q + shift + k];
+            }
+            acc[p][q] += s;
+        }
+    }
+    ctx.cuda_flops((2 * n_t * MMA_M * MMA_N + MMA_M * MMA_N) as u64 * CUDA_RDG_ISSUE_OVERHEAD);
+}
+
+/// Dense reference for tests: directly evaluate `(U X V)[p][q] =
+/// Σ_{i,j} u_i X[p+shift+i][q+shift+j] v_j` from a dense tile.
+pub fn rdg_reference(tile: &WeightMatrix, term: &RankOneTerm, h: usize) -> [[f64; MMA_N]; MMA_M] {
+    let shift = h - term.radius();
+    let mut out = [[0.0; MMA_N]; MMA_M];
+    for (p, row) in out.iter_mut().enumerate() {
+        for (q, o) in row.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (i, &ui) in term.u.iter().enumerate() {
+                for (j, &vj) in term.v.iter().enumerate() {
+                    s += ui * vj * tile.get(p + shift + i, q + shift + j);
+                }
+            }
+            *o = s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose;
+
+    fn random_tile(s: usize, seed: u64) -> (SharedTile, WeightMatrix) {
+        let mut tile = SharedTile::new(s, s);
+        let mut vals = vec![0.0; s * s];
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for v in vals.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+        }
+        for r in 0..s {
+            for c in 0..s {
+                tile.poke(r, c, vals[r * s + c]);
+            }
+        }
+        // dense copy for the reference (WeightMatrix needs an odd side,
+        // so pad by one zero row/column)
+        let dense = WeightMatrix::from_fn(s + 1, |i, j| {
+            if i < s && j < s {
+                vals[i * s + j]
+            } else {
+                0.0
+            }
+        });
+        (tile, dense)
+    }
+
+    #[test]
+    fn geometry_matches_paper_example() {
+        // h = 3 → S = 16, 12 MMAs per term (8 step-1 + 4 step-2, §III-B).
+        let geo = RdgGeometry::for_radius(3);
+        assert_eq!(geo.s, 16);
+        assert_eq!(geo.mma_per_term(), 12);
+        // h = 1 (Box-2D9P unfused) also uses a 16×16 tile (Fig. 7).
+        assert_eq!(RdgGeometry::for_radius(1).s, 16);
+        // h = 5 → 8+10 = 18 → S = 24
+        assert_eq!(RdgGeometry::for_radius(5).s, 24);
+    }
+
+    #[test]
+    fn rdg_tcu_matches_dense_reference_full_term() {
+        let geo = RdgGeometry::for_radius(3);
+        let (tile, dense) = random_tile(geo.s, 42);
+        let term = RankOneTerm::new(
+            vec![0.1, 0.2, 0.3, 0.4, 0.3, 0.2, 0.1],
+            vec![1.0, -1.0, 2.0, 0.5, 2.0, -1.0, 1.0],
+        );
+        let mut ctx = SimContext::new();
+        let x = XFragments::load(&mut ctx, &tile, geo);
+        let acc = rdg_apply_term(&mut ctx, &x, &term, true, FragAcc::zero());
+        let want = rdg_reference(&dense, &term, geo.h);
+        for p in 0..MMA_M {
+            for q in 0..MMA_N {
+                assert!(
+                    (acc.get(p, q) - want[p][q]).abs() < 1e-12,
+                    "({p},{q}): {} vs {}",
+                    acc.get(p, q),
+                    want[p][q]
+                );
+            }
+        }
+        assert_eq!(ctx.counters.mma_ops, geo.mma_per_term());
+        assert_eq!(ctx.counters.shuffle_ops, 0, "BVS must be shuffle-free");
+    }
+
+    #[test]
+    fn rdg_smaller_pyramid_term_is_centered() {
+        // a radius-1 term inside a radius-3 kernel geometry
+        let geo = RdgGeometry::for_radius(3);
+        let (tile, dense) = random_tile(geo.s, 7);
+        let term = RankOneTerm::new(vec![1.0, 2.0, 1.0], vec![0.5, 1.0, 0.5]);
+        let mut ctx = SimContext::new();
+        let x = XFragments::load(&mut ctx, &tile, geo);
+        let acc = rdg_apply_term(&mut ctx, &x, &term, true, FragAcc::zero());
+        let want = rdg_reference(&dense, &term, geo.h);
+        for p in 0..MMA_M {
+            for q in 0..MMA_N {
+                assert!((acc.get(p, q) - want[p][q]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bvs_and_natural_split_agree_but_only_bvs_is_shuffle_free() {
+        let geo = RdgGeometry::for_radius(2);
+        let (tile, _) = random_tile(geo.s, 3);
+        let term =
+            RankOneTerm::new(vec![0.2, 0.5, 1.0, 0.5, 0.2], vec![0.1, 0.7, 1.0, 0.7, 0.1]);
+
+        let mut ctx_bvs = SimContext::new();
+        let x1 = XFragments::load(&mut ctx_bvs, &tile, geo);
+        let acc_bvs = rdg_apply_term(&mut ctx_bvs, &x1, &term, true, FragAcc::zero());
+
+        let mut ctx_nat = SimContext::new();
+        let x2 = XFragments::load(&mut ctx_nat, &tile, geo);
+        let acc_nat = rdg_apply_term(&mut ctx_nat, &x2, &term, false, FragAcc::zero());
+
+        for p in 0..MMA_M {
+            for q in 0..MMA_N {
+                assert!((acc_bvs.get(p, q) - acc_nat.get(p, q)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(ctx_bvs.counters.shuffle_ops, 0);
+        // natural split shuffles twice per accumulator split
+        assert_eq!(ctx_nat.counters.shuffle_ops, 2 * 2 * geo.col_blocks() as u64);
+        assert_eq!(ctx_bvs.counters.mma_ops, ctx_nat.counters.mma_ops);
+    }
+
+    #[test]
+    fn cuda_path_matches_tcu_path() {
+        let geo = RdgGeometry::for_radius(3);
+        let (tile, _) = random_tile(geo.s, 11);
+        let k = stencil_core::kernels::box_2d49p();
+        let d = decompose::decompose(k.weights_2d(), 1e-12);
+
+        let mut ctx_tcu = SimContext::new();
+        let x = XFragments::load(&mut ctx_tcu, &tile, geo);
+        let mut acc = FragAcc::zero();
+        for t in &d.terms {
+            acc = rdg_apply_term(&mut ctx_tcu, &x, t, true, acc);
+        }
+        apply_pointwise(&mut ctx_tcu, &x, d.pointwise, &mut acc);
+
+        let mut ctx_cuda = SimContext::new();
+        let x2 = XFragments::load(&mut ctx_cuda, &tile, geo);
+        let mut acc_cuda = [[0.0; MMA_N]; MMA_M];
+        for t in &d.terms {
+            rdg_apply_term_cuda(&mut ctx_cuda, &x2, t, &mut acc_cuda);
+        }
+        for (p, row) in acc_cuda.iter_mut().enumerate() {
+            for (q, v) in row.iter_mut().enumerate() {
+                *v += d.pointwise * x2.peek(geo.h + p, geo.h + q);
+            }
+        }
+
+        for p in 0..MMA_M {
+            for q in 0..MMA_N {
+                assert!((acc.get(p, q) - acc_cuda[p][q]).abs() < 1e-12);
+            }
+        }
+        assert_eq!(ctx_cuda.counters.mma_ops, 0);
+        assert!(ctx_cuda.counters.cuda_flops > 0);
+        assert_eq!(ctx_tcu.counters.mma_ops, 3 * geo.mma_per_term());
+    }
+
+    #[test]
+    fn x_fragments_charge_eq12_loads() {
+        // Eq. 12: ab/8 fragments for the whole grid ⇔ S²/32 per 64-point
+        // tile; for S=16 that is 8 fragment loads.
+        let geo = RdgGeometry::for_radius(3);
+        let tile = SharedTile::new(geo.s, geo.s);
+        let mut ctx = SimContext::new();
+        let _ = XFragments::load(&mut ctx, &tile, geo);
+        assert_eq!(ctx.counters.shared_load_requests, 8);
+    }
+
+    #[test]
+    fn bvs_keeps_the_mma_pipeline_unbroken() {
+        // the point of BVS (§III-D): with it, the whole per-term chain is
+        // MMAs and pipelined fragment loads; without it, shuffles sit in
+        // the middle of the chain and stall the tensor pipeline
+        let geo = RdgGeometry::for_radius(3);
+        let (tile, _) = random_tile(geo.s, 99);
+        let term = RankOneTerm::new(
+            vec![0.1, 0.2, 0.3, 0.4, 0.3, 0.2, 0.1],
+            vec![1.0, -1.0, 2.0, 0.5, 2.0, -1.0, 1.0],
+        );
+        let burst = |use_bvs: bool| {
+            let mut ctx = SimContext::new();
+            ctx.enable_trace();
+            let x = XFragments::load(&mut ctx, &tile, geo);
+            rdg_apply_term(&mut ctx, &x, &term, use_bvs, FragAcc::zero());
+            let t = ctx.take_trace().unwrap();
+            (t.longest_mma_burst(), t.count(|e| matches!(e, tcu_sim::TraceEvent::AccExtract { shuffles, .. } if *shuffles > 0)))
+        };
+        let (bvs_burst, bvs_stalls) = burst(true);
+        let (nat_burst, nat_stalls) = burst(false);
+        assert_eq!(bvs_stalls, 0);
+        assert!(nat_stalls > 0);
+        assert!(
+            bvs_burst > nat_burst,
+            "BVS burst {bvs_burst} must exceed shuffled burst {nat_burst}"
+        );
+        // BVS: the full 12-MMA chain issues back to back
+        assert_eq!(bvs_burst as u64, geo.mma_per_term());
+    }
+
+    #[test]
+    fn pointwise_zero_is_free() {
+        let geo = RdgGeometry::for_radius(1);
+        let tile = SharedTile::new(geo.s, geo.s);
+        let mut ctx = SimContext::new();
+        let x = XFragments::load(&mut ctx, &tile, geo);
+        let flops0 = ctx.counters.cuda_flops;
+        let mut acc = FragAcc::zero();
+        apply_pointwise(&mut ctx, &x, 0.0, &mut acc);
+        assert_eq!(ctx.counters.cuda_flops, flops0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Strong-scaling study: LoRAStencil across 1–8 simulated A100s on the
+//! Table II 2-D workloads.
+
+use lorastencil::ExecConfig;
+use multi_gpu::{efficiency, model_run, run_distributed};
+use stencil_core::{kernels, Grid2D};
+use tcu_sim::CostModel;
+
+fn main() {
+    let model = CostModel::a100();
+    let iters = 6;
+    println!("Strong scaling — LoRAStencil, slab decomposition + NVLink halo exchange\n");
+    for kernel in [kernels::box_2d9p(), kernels::star_2d13p(), kernels::box_2d49p()] {
+        let grid = Grid2D::from_fn(1024, 512, |r, c| ((r * 31 + c * 17) % 23) as f64 * 0.2);
+        let logical = (grid.len() * iters) as u64;
+        println!("{} ({} iterations on 1024x512):", kernel.name, iters);
+        println!("{:>9}  {:>12}  {:>12}  {:>10}", "devices", "GStencil/s", "speedup", "efficiency");
+        let mut base = None;
+        for d in [1usize, 2, 4, 8] {
+            let o = run_distributed(&kernel, &grid, iters, d, ExecConfig::full());
+            let p = model_run(&o, &model, logical);
+            let b = *base.get_or_insert(p);
+            println!(
+                "{:>9}  {:>12.1}  {:>11.2}x  {:>9.0}%",
+                d,
+                p.gstencil,
+                b.time / p.time,
+                100.0 * efficiency(&b, &p)
+            );
+        }
+        println!();
+    }
+}

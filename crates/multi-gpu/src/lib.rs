@@ -1,0 +1,30 @@
+//! # multi-gpu — distributed LoRAStencil
+//!
+//! An extension beyond the paper's single-GPU scope: slab decomposition
+//! of 2-D grids across multiple simulated A100s with periodic halo
+//! exchange over NVLink, and a strong-scaling model on top of the same
+//! counters/cost machinery as the single-device evaluation.
+//!
+//! Correctness is strict: ghost padding is tile-aligned so every device
+//! reproduces exactly the tiles of the single-device run — the
+//! distributed result is bit-identical, not approximately equal
+//! (asserted in tests).
+//!
+//! ```
+//! use multi_gpu::{run_distributed, model_run};
+//! use lorastencil::ExecConfig;
+//! use stencil_core::{kernels, Grid2D};
+//!
+//! let grid = Grid2D::from_fn(64, 64, |r, c| (r + c) as f64);
+//! let out = run_distributed(&kernels::box_2d9p(), &grid, 3, 2, ExecConfig::full());
+//! assert_eq!(out.per_device.len(), 2);
+//! assert!(out.nvlink_bytes > 0);
+//! ```
+
+pub mod exec;
+pub mod partition;
+pub mod scaling;
+
+pub use exec::{run_distributed, DistributedOutcome};
+pub use partition::{partition, Slab};
+pub use scaling::{efficiency, model_run, ScalingPoint};

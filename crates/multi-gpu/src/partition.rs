@@ -1,0 +1,85 @@
+//! Slab decomposition: split a 2-D grid into row bands, one per device,
+//! aligned to the executor's 8-row tile so per-tile arithmetic (and hence
+//! the result) is identical to the single-device run.
+
+/// One device's slab: rows `[start, start + len)` of the global grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slab {
+    /// First global row owned by this device.
+    pub start: usize,
+    /// Number of owned rows.
+    pub len: usize,
+}
+
+/// Tile alignment of slab boundaries (the executor's output tile height).
+pub const ALIGN: usize = 8;
+
+/// Partition `rows` into `devices` contiguous slabs, each a multiple of
+/// [`ALIGN`] rows (except possibly the last), as balanced as possible.
+///
+/// Panics if there are fewer than `ALIGN` rows per device on average —
+/// a degenerate configuration no scaling study would run.
+pub fn partition(rows: usize, devices: usize) -> Vec<Slab> {
+    assert!(devices >= 1);
+    assert!(
+        rows >= ALIGN * devices,
+        "{rows} rows cannot feed {devices} devices with {ALIGN}-row tiles"
+    );
+    let tiles = rows.div_ceil(ALIGN);
+    let base = tiles / devices;
+    let extra = tiles % devices;
+    let mut out = Vec::with_capacity(devices);
+    let mut start = 0;
+    for d in 0..devices {
+        let t = base + usize::from(d < extra);
+        let len = (t * ALIGN).min(rows - start);
+        out.push(Slab { start, len });
+        start += len;
+    }
+    debug_assert_eq!(start, rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly_once() {
+        for (rows, devices) in [(64, 4), (96, 3), (100, 2), (72, 5), (8, 1)] {
+            let slabs = partition(rows, devices);
+            assert_eq!(slabs.len(), devices);
+            let mut next = 0;
+            for s in &slabs {
+                assert_eq!(s.start, next);
+                assert!(s.len > 0);
+                next += s.len;
+            }
+            assert_eq!(next, rows, "{rows}x{devices}");
+        }
+    }
+
+    #[test]
+    fn interior_boundaries_are_tile_aligned() {
+        for (rows, devices) in [(100, 3), (64, 4), (88, 2)] {
+            let slabs = partition(rows, devices);
+            for s in &slabs[..slabs.len() - 1] {
+                assert_eq!((s.start + s.len) % ALIGN, 0, "{rows}x{devices}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_balanced_within_one_tile() {
+        let slabs = partition(1024, 7);
+        let min = slabs.iter().map(|s| s.len).min().unwrap();
+        let max = slabs.iter().map(|s| s.len).max().unwrap();
+        assert!(max - min <= ALIGN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_starved_devices() {
+        partition(16, 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Strong-scaling model: per-step time = slowest device's modeled compute
+//! time plus the NVLink halo exchange, giving speedup and parallel
+//! efficiency against the single-device run.
+
+use crate::exec::DistributedOutcome;
+use tcu_sim::CostModel;
+
+/// NVLink 3.0 per-direction bandwidth on an A100 (bytes/s).
+pub const NVLINK_BYTES_PER_SEC: f64 = 300.0e9;
+
+/// Achievable fraction of NVLink peak for small halo messages.
+pub const NVLINK_EFFICIENCY: f64 = 0.8;
+
+/// Fixed per-step neighbor-synchronization latency, seconds (NVLink
+/// peer sync, not a global barrier).
+pub const EXCHANGE_LATENCY_S: f64 = 1.0e-6;
+
+/// Strong-scaling figures for one distributed run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Device count.
+    pub devices: usize,
+    /// Modeled wall time for the whole run, s.
+    pub time: f64,
+    /// Modeled throughput over the logical updates, GStencil/s.
+    pub gstencil: f64,
+}
+
+/// Model the run time of a distributed outcome. Devices run
+/// concurrently (take the slowest); halo transfers overlap with interior
+/// compute, as production stencil codes arrange, so only the larger of
+/// the two is paid — plus an unavoidable per-step neighbor sync.
+pub fn model_run(
+    outcome: &DistributedOutcome,
+    model: &CostModel,
+    logical_updates: u64,
+) -> ScalingPoint {
+    let compute = outcome
+        .per_device
+        .iter()
+        .map(|c| model.estimate(c, &outcome.block).total)
+        .fold(0.0f64, f64::max);
+    let per_device_halo = outcome.nvlink_bytes as f64 / outcome.per_device.len() as f64;
+    let transfer = per_device_halo / (NVLINK_BYTES_PER_SEC * NVLINK_EFFICIENCY);
+    let time = compute.max(transfer) + EXCHANGE_LATENCY_S * outcome.applies as f64;
+    ScalingPoint {
+        devices: outcome.per_device.len(),
+        time,
+        gstencil: logical_updates as f64 / time / 1e9,
+    }
+}
+
+/// Parallel efficiency of `point` against the 1-device baseline.
+pub fn efficiency(baseline: &ScalingPoint, point: &ScalingPoint) -> f64 {
+    (baseline.time / point.time) / point.devices as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_distributed;
+    use lorastencil::ExecConfig;
+    use stencil_core::{kernels, Grid2D};
+
+    #[test]
+    fn scaling_improves_with_devices_then_efficiency_decays() {
+        let grid = Grid2D::from_fn(512, 512, |r, c| ((r * 7 + c * 3) % 13) as f64 * 0.3);
+        let model = CostModel::a100();
+        let kernel = kernels::box_2d49p();
+        let logical = (512 * 512 * 4) as u64;
+        let points: Vec<ScalingPoint> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&d| {
+                let o = run_distributed(&kernel, &grid, 4, d, ExecConfig::full());
+                model_run(&o, &model, logical)
+            })
+            .collect();
+        // throughput grows with device count…
+        for w in points.windows(2) {
+            assert!(w[1].gstencil > w[0].gstencil, "{:?}", points);
+        }
+        // …but efficiency is sub-linear (halo overhead + ghost recompute)
+        let base = points[0];
+        for p in &points[1..] {
+            let e = efficiency(&base, p);
+            assert!(e < 1.0, "superlinear? {e}");
+            assert!(e > 0.3, "collapsed: {e}");
+        }
+    }
+
+    #[test]
+    fn exchange_cost_scales_with_halo_bytes() {
+        let grid = Grid2D::from_fn(64, 64, |r, c| (r + c) as f64);
+        let model = CostModel::a100();
+        let small = run_distributed(&kernels::heat_2d(), &grid, 3, 2, ExecConfig::full());
+        let big = run_distributed(&kernels::box_2d49p(), &grid, 3, 2, ExecConfig::full());
+        // radius-3 halos move more data than the fused heat kernel's…
+        // (both exchange radius 3 after fusion, so compare bytes directly)
+        assert!(big.nvlink_bytes >= small.nvlink_bytes / 2);
+        let ps = model_run(&small, &model, 1);
+        let pb = model_run(&big, &model, 1);
+        assert!(ps.time > 0.0 && pb.time > 0.0);
+    }
+}

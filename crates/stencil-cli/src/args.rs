@@ -1,0 +1,107 @@
+//! Minimal dependency-free argument parsing for the `lorastencil` CLI.
+
+use std::collections::HashMap;
+
+/// A parsed command line: a subcommand plus `--key value` options and
+/// bare `--flag`s.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag`s.
+    pub flags: Vec<String>,
+}
+
+/// Keys that take a value; everything else starting with `--` is a flag.
+const VALUED: &[&str] =
+    &["kernel", "method", "size", "iters", "config", "radius", "seed", "spec", "load", "save"];
+
+/// Parse an argument list (without the program name).
+pub fn parse(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter().peekable();
+    match it.next() {
+        Some(cmd) if !cmd.starts_with("--") => args.command = cmd.clone(),
+        Some(other) => return Err(format!("expected a subcommand, got {other}")),
+        None => return Err("no subcommand given (try `help`)".into()),
+    }
+    while let Some(tok) = it.next() {
+        let Some(key) = tok.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument {tok}"));
+        };
+        if VALUED.contains(&key) {
+            let Some(val) = it.next() else {
+                return Err(format!("--{key} needs a value"));
+            };
+            args.options.insert(key.to_string(), val.clone());
+        } else {
+            args.flags.push(key.to_string());
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// Option lookup with default.
+    pub fn opt<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+
+    /// Whether a bare flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Parse a size spec: `N`, `NxM` or `NxMxK`.
+pub fn parse_size(spec: &str) -> Result<Vec<usize>, String> {
+    let dims: Result<Vec<usize>, _> = spec.split('x').map(|p| p.trim().parse::<usize>()).collect();
+    let dims = dims.map_err(|e| format!("bad size {spec}: {e}"))?;
+    if dims.is_empty() || dims.len() > 3 || dims.contains(&0) {
+        return Err(format!("size must be N, NxM or NxMxK with positive dims, got {spec}"));
+    }
+    Ok(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&sv(&["run", "--kernel", "Box-2D9P", "--verify", "--iters", "4"])).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.opt("kernel", ""), "Box-2D9P");
+        assert_eq!(a.opt("iters", "1"), "4");
+        assert!(a.flag("verify"));
+        assert!(!a.flag("json"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&sv(&["run", "--kernel"])).is_err());
+    }
+
+    #[test]
+    fn rejects_positional_noise() {
+        assert!(parse(&sv(&["run", "oops"])).is_err());
+        assert!(parse(&sv(&["--kernel", "x"])).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn size_specs() {
+        assert_eq!(parse_size("128").unwrap(), vec![128]);
+        assert_eq!(parse_size("64x32").unwrap(), vec![64, 32]);
+        assert_eq!(parse_size("8x16x32").unwrap(), vec![8, 16, 32]);
+        assert!(parse_size("0x4").is_err());
+        assert!(parse_size("1x2x3x4").is_err());
+        assert!(parse_size("abc").is_err());
+    }
+}

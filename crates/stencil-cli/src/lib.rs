@@ -1,0 +1,394 @@
+//! # stencil-cli — the `lorastencil` command-line front end
+//!
+//! The downstream-user entry point: run any kernel (Table II or the
+//! extended library) with any method on the simulated A100, verify
+//! against the reference, inspect counters and modeled performance, or
+//! emit the CUDA/WMMA listing a plan corresponds to.
+//!
+//! ```text
+//! lorastencil list
+//! lorastencil run --kernel Box-2D49P --size 256x256 --iters 4 --verify
+//! lorastencil run --kernel Heat-3D --method ConvStencil --size 8x64x64
+//! lorastencil run --kernel Box-2D9P --config no-bvs       # ablation
+//! lorastencil codegen --kernel Box-2D49P
+//! lorastencil analyze --radius 3
+//! ```
+
+pub mod args;
+
+use lorastencil::{codegen, ExecConfig, LoRaStencil, Plan2D};
+use stencil_core::{
+    kernels, kernels_ext, Grid1D, Grid2D, Grid3D, GridData, Problem, StencilExecutor,
+    StencilKernel,
+};
+use tcu_sim::CostModel;
+
+/// Every kernel the CLI can name (benchmarks + extended library).
+pub fn all_kernels() -> Vec<StencilKernel> {
+    let mut v = kernels::all_kernels();
+    v.extend(kernels_ext::all_extended());
+    v
+}
+
+/// Look a kernel up by (case-insensitive) name.
+pub fn find_kernel(name: &str) -> Option<StencilKernel> {
+    all_kernels().into_iter().find(|k| k.name.eq_ignore_ascii_case(name))
+}
+
+/// Resolve a kernel from `--spec <file>` (the kernel-spec DSL,
+/// [`stencil_core::spec`]) or `--kernel <name>`; `--spec` wins.
+pub fn resolve_kernel(spec_path: &str, name: &str) -> Result<StencilKernel, String> {
+    if !spec_path.is_empty() {
+        let text = std::fs::read_to_string(spec_path)
+            .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+        return stencil_core::spec::parse_kernel(&text).map_err(|e| format!("{spec_path}: {e}"));
+    }
+    find_kernel(name).ok_or_else(|| format!("unknown kernel {name:?} (try `list`)"))
+}
+
+/// Build an executor by method name.
+pub fn find_method(name: &str, config: ExecConfig) -> Option<Box<dyn StencilExecutor + Send + Sync>> {
+    if name.eq_ignore_ascii_case("lorastencil") {
+        return Some(Box::new(LoRaStencil::with_config(config)));
+    }
+    baselines::all_baselines().into_iter().find(|b| b.name().eq_ignore_ascii_case(name))
+}
+
+/// Parse a `--config` spec: comma-separated toggles out of
+/// `no-tcu`, `no-bvs`, `no-async`, `no-fusion` (LoRAStencil only).
+pub fn parse_config(spec: &str) -> Result<ExecConfig, String> {
+    let mut cfg = ExecConfig::full();
+    for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        match tok {
+            "full" => cfg = ExecConfig::full(),
+            "no-tcu" => cfg.use_tcu = false,
+            "no-bvs" => cfg.use_bvs = false,
+            "no-async" => cfg.use_async_copy = false,
+            "no-fusion" => cfg.allow_fusion = false,
+            other => return Err(format!("unknown config toggle {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// Build a deterministic input grid of the given dimensions.
+pub fn make_grid(dims: &[usize], seed: u64) -> GridData {
+    let f = move |idx: u64| {
+        let x = idx.wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15);
+        ((x >> 17) % 4096) as f64 / 256.0 - 8.0
+    };
+    match dims {
+        [n] => GridData::D1(Grid1D::from_fn(*n, |i| f(i as u64))),
+        [r, c] => GridData::D2(Grid2D::from_fn(*r, *c, |i, j| f((i * c + j) as u64))),
+        [z, y, x] => {
+            GridData::D3(Grid3D::from_fn(*z, *y, *x, |i, j, k| f(((i * y + j) * x + k) as u64)))
+        }
+        _ => unreachable!("parse_size enforces 1..=3 dims"),
+    }
+}
+
+/// The `list` subcommand body.
+pub fn list_text() -> String {
+    let mut out = String::from("kernels:\n");
+    for k in all_kernels() {
+        out.push_str(&format!(
+            "  {:<16} {}D {:?} radius {} ({} points)\n",
+            k.name,
+            k.dims(),
+            k.shape,
+            k.radius,
+            k.points()
+        ));
+    }
+    out.push_str("\nmethods:\n  LoRAStencil (default)\n");
+    for b in baselines::all_baselines() {
+        out.push_str(&format!("  {}\n", b.name()));
+    }
+    out.push_str("\nconfig toggles (LoRAStencil): no-tcu, no-bvs, no-async, no-fusion\n");
+    out
+}
+
+/// The `run` subcommand: execute, optionally verify, report counters and
+/// modeled performance. Returns the printable report. `load_path` reads
+/// the input field from a checkpoint ([`stencil_core::io`]) instead of
+/// generating one; `save_path` checkpoints the output.
+#[allow(clippy::too_many_arguments)]
+pub fn run_report(
+    kernel: &StencilKernel,
+    method: &dyn StencilExecutor,
+    dims: &[usize],
+    iters: usize,
+    seed: u64,
+    verify: bool,
+    load_path: &str,
+    save_path: &str,
+) -> Result<String, String> {
+    let input = if load_path.is_empty() {
+        if dims.len() != kernel.dims() {
+            return Err(format!(
+                "kernel {} is {}-D but --size has {} dims",
+                kernel.name,
+                kernel.dims(),
+                dims.len()
+            ));
+        }
+        make_grid(dims, seed)
+    } else {
+        let g = stencil_core::io::load(load_path).map_err(|e| format!("{load_path}: {e}"))?;
+        if g.dims() != kernel.dims() {
+            return Err(format!(
+                "checkpoint {load_path} is {}-D but kernel {} is {}-D",
+                g.dims(),
+                kernel.name,
+                kernel.dims()
+            ));
+        }
+        g
+    };
+    let problem = Problem::new(kernel.clone(), input, iters);
+    let outcome = method.execute(&problem).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} on {} {:?} for {} iterations\n\n",
+        method.name(),
+        kernel.name,
+        dims,
+        iters
+    ));
+    if verify {
+        let want = stencil_core::reference::run(&problem.input, &problem.kernel, iters);
+        let err = outcome.output.max_abs_diff(&want);
+        out.push_str(&format!("verification vs naive reference: max |Δ| = {err:.3e}\n"));
+        if err > 1e-9 {
+            return Err(format!("verification FAILED: {err:.3e}"));
+        }
+    }
+    let c = &outcome.counters;
+    out.push_str(&format!(
+        "counters: {} MMAs, {} CUDA flops, {} shuffles, {}+{} shared req, {} B HBM, {} B L2\n",
+        c.mma_ops,
+        c.cuda_flops,
+        c.shuffle_ops,
+        c.shared_load_requests,
+        c.shared_store_requests,
+        c.global_bytes(),
+        c.l2_bytes,
+    ));
+    let model = CostModel::a100();
+    let est = model.estimate(c, &outcome.block);
+    out.push_str(&format!(
+        "modeled A100: {:.3} ms, {:.1} GStencil/s, occupancy {:.0}%\n",
+        est.total * 1e3,
+        est.gstencil_per_sec(c.points_updated),
+        est.occupancy * 100.0
+    ));
+    if !save_path.is_empty() {
+        stencil_core::io::save(&outcome.output, save_path)
+            .map_err(|e| format!("{save_path}: {e}"))?;
+        out.push_str(&format!("output checkpointed to {save_path}\n"));
+    }
+    Ok(out)
+}
+
+/// The `trace` subcommand body: the instruction timeline of one RDG tile
+/// under the kernel's plan (what Nsight's instruction view would show for
+/// one warp).
+pub fn trace_text(kernel: &StencilKernel, config: ExecConfig) -> Result<String, String> {
+    if kernel.dims() != 2 {
+        return Err("trace currently targets 2-D plans".into());
+    }
+    use lorastencil::rdg::{apply_pointwise, rdg_apply_term, XFragments};
+    let plan = Plan2D::new(kernel, config);
+    let mut ctx = tcu_sim::SimContext::new();
+    ctx.enable_trace();
+    let mut tile = tcu_sim::SharedTile::new(plan.geo.s, plan.geo.s);
+    for r in 0..plan.geo.s {
+        for c in 0..plan.geo.s {
+            tile.poke(r, c, ((r * 31 + c * 7) % 13) as f64 * 0.3);
+        }
+    }
+    let x = XFragments::load(&mut ctx, &tile, plan.geo);
+    let mut acc = tcu_sim::FragAcc::zero();
+    for term in &plan.decomp.terms {
+        acc = rdg_apply_term(&mut ctx, &x, term, plan.config.use_bvs, acc);
+    }
+    apply_pointwise(&mut ctx, &x, plan.decomp.pointwise, &mut acc);
+    let trace = ctx.take_trace().expect("tracing was enabled");
+    let mut out = format!(
+        "one-warp instruction timeline: {} ({}x fused, {:?}, {} terms)\n\n",
+        plan.exec_kernel.name,
+        plan.fusion,
+        plan.decomp.strategy,
+        plan.decomp.num_terms()
+    );
+    out.push_str(&trace.render());
+    out.push_str(&format!(
+        "\n{} events; longest unbroken MMA burst: {} instructions\n",
+        trace.len(),
+        trace.longest_mma_burst()
+    ));
+    Ok(out)
+}
+
+/// The `codegen` subcommand body.
+pub fn codegen_text(kernel: &StencilKernel, config: ExecConfig) -> Result<String, String> {
+    if kernel.dims() != 2 {
+        return Err("codegen currently targets 2-D plans".into());
+    }
+    Ok(codegen::emit_cuda_kernel(&Plan2D::new(kernel, config)))
+}
+
+/// The `analyze` subcommand body: the paper's Eq. 12–16 for one radius.
+pub fn analyze_text(h: u64) -> String {
+    use lorastencil::analysis;
+    format!(
+        "radius h = {h}\n\
+         Eq. 14  ConvStencil/RDG shared-load ratio: {:.3}x\n\
+         \u{2514} redundancy RDG eliminates:          {:.2}%\n\
+         Eq. 16  LoRA/ConvStencil MMA ratio:       {:.3}x\n\
+         points updated per tile computation:     {}\n",
+        analysis::memory_ratio(h),
+        100.0 * analysis::redundancy_eliminated(h),
+        analysis::mma_ratio(h),
+        analysis::points_per_update(h),
+    )
+}
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "lorastencil — stencil computation on (simulated) tensor cores\n\n\
+     USAGE:\n\
+       lorastencil list\n\
+       lorastencil run (--kernel <name> | --spec <file>) [--method <name>]\n\
+                      [--size NxM] [--iters N] [--config no-bvs,...]\n\
+                      [--seed N] [--verify]\n\
+       lorastencil codegen (--kernel <name> | --spec <file>) [--config ...]\n\
+       lorastencil trace (--kernel <name> | --spec <file>) [--config ...]\n\
+       lorastencil analyze [--radius h]\n\
+       lorastencil help\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_kernel_reads_spec_files() {
+        let dir = std::env::temp_dir().join("lorastencil-spec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("custom.stencil");
+        std::fs::write(&path, "kernel: custom
+weights1d:
+0.25 0.5 0.25
+").unwrap();
+        let k = resolve_kernel(path.to_str().unwrap(), "").unwrap();
+        assert_eq!(k.name, "custom");
+        assert_eq!(k.radius, 1);
+        // bad spec surfaces the parse error with the file name
+        std::fs::write(&path, "nope
+").unwrap();
+        let e = resolve_kernel(path.to_str().unwrap(), "").unwrap_err();
+        assert!(e.contains("custom.stencil"));
+        // missing file
+        assert!(resolve_kernel("/does/not/exist.stencil", "").is_err());
+    }
+
+    #[test]
+    fn kernel_lookup_is_case_insensitive() {
+        assert!(find_kernel("box-2d49p").is_some());
+        assert!(find_kernel("LAPLACE-2D-O8").is_some());
+        assert!(find_kernel("nope").is_none());
+    }
+
+    #[test]
+    fn method_lookup_covers_all() {
+        for name in ["LoRAStencil", "convstencil", "TCStencil", "amos", "cuDNN", "Brick", "drstencil"] {
+            assert!(find_method(name, ExecConfig::full()).is_some(), "{name}");
+        }
+        assert!(find_method("unknown", ExecConfig::full()).is_none());
+    }
+
+    #[test]
+    fn config_parsing() {
+        let c = parse_config("no-bvs,no-async").unwrap();
+        assert!(!c.use_bvs && !c.use_async_copy && c.use_tcu);
+        assert!(parse_config("bogus").is_err());
+        assert_eq!(parse_config("").unwrap(), ExecConfig::full());
+    }
+
+    #[test]
+    fn run_report_verifies() {
+        let k = find_kernel("Box-2D9P").unwrap();
+        let m = find_method("LoRAStencil", ExecConfig::full()).unwrap();
+        let r = run_report(&k, m.as_ref(), &[32, 32], 3, 7, true, "", "").unwrap();
+        assert!(r.contains("GStencil/s"));
+        assert!(r.contains("verification"));
+    }
+
+    #[test]
+    fn run_report_rejects_dim_mismatch() {
+        let k = find_kernel("Heat-3D").unwrap();
+        let m = find_method("LoRAStencil", ExecConfig::full()).unwrap();
+        assert!(run_report(&k, m.as_ref(), &[32, 32], 1, 0, false, "", "").is_err());
+    }
+
+    #[test]
+    fn run_report_checkpoints_roundtrip() {
+        let dir = std::env::temp_dir().join("lorastencil-cli-io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("field.lsg");
+        let k = find_kernel("Box-2D9P").unwrap();
+        let m = find_method("LoRAStencil", ExecConfig::full()).unwrap();
+        let p = path.to_str().unwrap();
+        // save 3 steps, then resume from the checkpoint for 2 more
+        run_report(&k, m.as_ref(), &[24, 24], 3, 9, true, "", p).unwrap();
+        let r = run_report(&k, m.as_ref(), &[24, 24], 2, 9, true, p, "").unwrap();
+        assert!(r.contains("GStencil/s"));
+        // resuming from a 2-D checkpoint with a 3-D kernel fails cleanly
+        let k3 = find_kernel("Heat-3D").unwrap();
+        assert!(run_report(&k3, m.as_ref(), &[4, 8, 8], 1, 0, false, p, "").is_err());
+    }
+
+    #[test]
+    fn codegen_works_for_2d_only() {
+        let k2 = find_kernel("Star-2D13P").unwrap();
+        assert!(codegen_text(&k2, ExecConfig::full()).unwrap().contains("wmma"));
+        let k3 = find_kernel("Box-3D27P").unwrap();
+        assert!(codegen_text(&k3, ExecConfig::full()).is_err());
+    }
+
+    #[test]
+    fn trace_shows_the_bvs_difference() {
+        let k = find_kernel("Box-2D49P").unwrap();
+        let bvs = trace_text(&k, ExecConfig::full()).unwrap();
+        assert!(bvs.contains("(0 shuffles)"));
+        assert!(!bvs.contains("(2 shuffles)"));
+        let nat =
+            trace_text(&k, ExecConfig { use_bvs: false, ..ExecConfig::full() }).unwrap();
+        assert!(nat.contains("(2 shuffles)"));
+        let burst = |s: &str| -> usize {
+            s.lines()
+                .find(|l| l.contains("longest unbroken MMA burst"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|t| t.trim().split(' ').next())
+                .and_then(|n| n.parse().ok())
+                .unwrap()
+        };
+        assert!(burst(&bvs) > burst(&nat));
+    }
+
+    #[test]
+    fn analyze_quotes_the_paper_constants() {
+        let t = analyze_text(3);
+        assert!(t.contains("3.250x"));
+        assert!(t.contains("69.23%"));
+    }
+
+    #[test]
+    fn list_covers_both_libraries() {
+        let t = list_text();
+        assert!(t.contains("Box-2D49P"));
+        assert!(t.contains("Acoustic-3D-o8"));
+        assert!(t.contains("ConvStencil"));
+    }
+}

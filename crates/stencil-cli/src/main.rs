@@ -1,0 +1,78 @@
+//! The `lorastencil` binary. See [`stencil_cli`] for the subcommand
+//! implementations.
+
+use stencil_cli::args::{parse, parse_size};
+use stencil_cli::{
+    analyze_text, codegen_text, find_method, list_text, parse_config, resolve_kernel, run_report,
+    trace_text, usage,
+};
+
+fn real_main() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n");
+            eprint!("{}", usage());
+            return Err(e);
+        }
+    };
+
+    match args.command.as_str() {
+        "help" => print!("{}", usage()),
+        "list" => print!("{}", list_text()),
+        "analyze" => {
+            let h: u64 = args.opt("radius", "3").parse().map_err(|e| format!("bad --radius: {e}"))?;
+            print!("{}", analyze_text(h.clamp(1, 16)));
+        }
+        "codegen" => {
+            let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
+            let config = parse_config(args.opt("config", "full"))?;
+            print!("{}", codegen_text(&kernel, config)?);
+        }
+        "trace" => {
+            let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
+            let config = parse_config(args.opt("config", "full"))?;
+            print!("{}", trace_text(&kernel, config)?);
+        }
+        "run" => {
+            let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
+            let config = parse_config(args.opt("config", "full"))?;
+            let method = find_method(args.opt("method", "LoRAStencil"), config)
+                .ok_or_else(|| format!("unknown method {:?} (try `list`)", args.opt("method", "")))?;
+            let default_size = match kernel.dims() {
+                1 => "4096".to_string(),
+                2 => "128x128".to_string(),
+                _ => "8x32x32".to_string(),
+            };
+            let dims = parse_size(args.opt("size", &default_size))?;
+            let iters: usize =
+                args.opt("iters", "1").parse().map_err(|e| format!("bad --iters: {e}"))?;
+            let seed: u64 = args.opt("seed", "42").parse().map_err(|e| format!("bad --seed: {e}"))?;
+            print!(
+                "{}",
+                run_report(
+                    &kernel,
+                    method.as_ref(),
+                    &dims,
+                    iters,
+                    seed,
+                    args.flag("verify"),
+                    args.opt("load", ""),
+                    args.opt("save", ""),
+                )?
+            );
+        }
+        other => {
+            eprint!("unknown subcommand {other}\n\n{}", usage());
+            return Err(format!("unknown subcommand {other}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if real_main().is_err() {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Grid checkpoint I/O: a compact binary format for saving and restoring
+//! grids (long simulation campaigns checkpoint their fields; the CLI and
+//! examples use this to pass fields between runs).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "LSG1"            4 bytes
+//! dims   u8                1, 2 or 3
+//! extent u64 × dims
+//! data   f64 × Π extents   canonical (row-major / z,y,x) order
+//! ```
+
+use crate::grid::{Grid1D, Grid2D, Grid3D, GridData};
+use bytes::{Buf, BufMut};
+
+/// File-format magic.
+pub const MAGIC: &[u8; 4] = b"LSG1";
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The dimension count is not 1, 2 or 3, or an extent is zero.
+    BadShape(String),
+    /// The buffer ended before the declared payload.
+    Truncated {
+        /// Bytes still required.
+        needed: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// Bytes were left over after the declared payload.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::BadMagic => write!(f, "not a LSG1 grid file"),
+            IoError::BadShape(s) => write!(f, "bad shape: {s}"),
+            IoError::Truncated { needed, have } => {
+                write!(f, "truncated: need {needed} more bytes, have {have}")
+            }
+            IoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Encode a grid to the binary format.
+pub fn encode(grid: &GridData) -> Vec<u8> {
+    let dims: Vec<u64> = match grid {
+        GridData::D1(g) => vec![g.len() as u64],
+        GridData::D2(g) => vec![g.rows() as u64, g.cols() as u64],
+        GridData::D3(g) => vec![g.nz() as u64, g.ny() as u64, g.nx() as u64],
+    };
+    let data = grid.as_slice();
+    let mut out = Vec::with_capacity(4 + 1 + 8 * dims.len() + 8 * data.len());
+    out.put_slice(MAGIC);
+    out.put_u8(dims.len() as u8);
+    for d in dims {
+        out.put_u64_le(d);
+    }
+    for &v in data {
+        out.put_f64_le(v);
+    }
+    out
+}
+
+/// Decode a grid from the binary format.
+pub fn decode(mut buf: &[u8]) -> Result<GridData, IoError> {
+    if buf.len() < 5 {
+        return Err(IoError::Truncated { needed: 5 - buf.len(), have: buf.len() });
+    }
+    if &buf[..4] != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    buf.advance(4);
+    let ndims = buf.get_u8() as usize;
+    if !(1..=3).contains(&ndims) {
+        return Err(IoError::BadShape(format!("{ndims} dimensions")));
+    }
+    if buf.remaining() < 8 * ndims {
+        return Err(IoError::Truncated { needed: 8 * ndims - buf.remaining(), have: buf.remaining() });
+    }
+    let dims: Vec<usize> = (0..ndims).map(|_| buf.get_u64_le() as usize).collect();
+    if dims.contains(&0) {
+        return Err(IoError::BadShape(format!("zero extent in {dims:?}")));
+    }
+    let count: usize = dims.iter().product();
+    let payload = count.checked_mul(8).ok_or_else(|| IoError::BadShape("overflow".into()))?;
+    if buf.remaining() < payload {
+        return Err(IoError::Truncated { needed: payload - buf.remaining(), have: buf.remaining() });
+    }
+    let data: Vec<f64> = (0..count).map(|_| buf.get_f64_le()).collect();
+    if buf.has_remaining() {
+        return Err(IoError::TrailingBytes(buf.remaining()));
+    }
+    Ok(match dims.as_slice() {
+        [_n] => GridData::D1(Grid1D::from_vec(data)),
+        [r, c] => GridData::D2(Grid2D::from_vec(*r, *c, data)),
+        [z, y, x] => {
+            let (ny, nx) = (*y, *x);
+            GridData::D3(Grid3D::from_fn(*z, ny, nx, |zz, yy, xx| {
+                data[(zz * ny + yy) * nx + xx]
+            }))
+        }
+        _ => unreachable!(),
+    })
+}
+
+/// Save a grid to a file.
+pub fn save(grid: &GridData, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, encode(grid))
+}
+
+/// Load a grid from a file.
+pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<GridData> {
+    let buf = std::fs::read(path)?;
+    decode(&buf).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_2d() -> GridData {
+        GridData::D2(Grid2D::from_fn(5, 7, |r, c| (r * 7 + c) as f64 * 0.25 - 3.0))
+    }
+
+    #[test]
+    fn roundtrip_all_dimensionalities() {
+        let grids = [
+            GridData::D1(Grid1D::from_fn(13, |i| (i as f64).sin())),
+            sample_2d(),
+            GridData::D3(Grid3D::from_fn(2, 3, 4, |z, y, x| (z * 100 + y * 10 + x) as f64)),
+        ];
+        for g in grids {
+            let bytes = encode(&g);
+            let back = decode(&bytes).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&sample_2d());
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(IoError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample_2d());
+        for cut in [3, 4, 12, bytes.len() - 1] {
+            assert!(
+                matches!(decode(&bytes[..cut]), Err(IoError::Truncated { .. })),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&sample_2d());
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(IoError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_shapes_are_rejected() {
+        // 0 dims
+        let mut b = Vec::new();
+        b.put_slice(MAGIC);
+        b.put_u8(0);
+        assert!(matches!(decode(&b), Err(IoError::BadShape(_))));
+        // zero extent
+        let mut b = Vec::new();
+        b.put_slice(MAGIC);
+        b.put_u8(1);
+        b.put_u64_le(0);
+        assert!(matches!(decode(&b), Err(IoError::BadShape(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("lorastencil-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.lsg");
+        let g = sample_2d();
+        save(&g, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), g);
+    }
+
+    #[test]
+    fn values_survive_exactly_including_specials() {
+        let g = GridData::D1(Grid1D::from_vec(vec![0.0, -0.0, 1e-308, 1e308, std::f64::consts::PI]));
+        let back = decode(&encode(&g)).unwrap();
+        assert_eq!(back.as_slice(), g.as_slice());
+    }
+}

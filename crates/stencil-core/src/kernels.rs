@@ -1,0 +1,218 @@
+//! The eight benchmark kernels of the paper's Table II, with physically
+//! plausible radially-symmetric weights (heat-conduction / wave-equation
+//! style coefficients, all normalized so weights sum to 1 for diffusive
+//! kernels — keeping iterated grids numerically bounded in tests).
+
+use crate::kernel::{Shape, StencilKernel, WeightMatrix, Weights};
+use crate::symmetry::radially_symmetric_from_quadrant;
+
+/// Heat-1D: 3-point 1-D heat equation kernel.
+pub fn heat_1d() -> StencilKernel {
+    StencilKernel {
+        name: "Heat-1D".into(),
+        shape: Shape::Star,
+        radius: 1,
+        weights: Weights::D1(vec![0.25, 0.5, 0.25]),
+    }
+}
+
+/// 1D5P: 5-point 1-D kernel (radius 2).
+pub fn p5_1d() -> StencilKernel {
+    StencilKernel {
+        name: "1D5P".into(),
+        shape: Shape::Star,
+        radius: 2,
+        weights: Weights::D1(vec![0.0625, 0.25, 0.375, 0.25, 0.0625]),
+    }
+}
+
+/// Heat-2D: 5-point 2-D star (radius 1).
+pub fn heat_2d() -> StencilKernel {
+    let mut w = WeightMatrix::zero(3);
+    w.set(1, 1, 0.5);
+    for &(i, j) in &[(0, 1), (2, 1), (1, 0), (1, 2)] {
+        w.set(i, j, 0.125);
+    }
+    StencilKernel { name: "Heat-2D".into(), shape: Shape::Star, radius: 1, weights: Weights::D2(w) }
+}
+
+/// Box-2D9P: full 3×3 box (radius 1), radially symmetric and genuinely
+/// rank-2 (not separable), so PMA has real work to do.
+pub fn box_2d9p() -> StencilKernel {
+    // quadrant: corner, edge / edge, center; 4·0.05 + 4·0.1 + 0.4 = 1
+    let w = radially_symmetric_from_quadrant(1, &[0.05, 0.1, 0.1, 0.4]);
+    debug_assert!((w.sum() - 1.0).abs() < 1e-12);
+    StencilKernel { name: "Box-2D9P".into(), shape: Shape::Box, radius: 1, weights: Weights::D2(w) }
+}
+
+/// Star-2D13P: 13-point 2-D star (radius 3; 4 arms × 3 points + center).
+pub fn star_2d13p() -> StencilKernel {
+    let mut w = WeightMatrix::zero(7);
+    let c = 3;
+    w.set(c, c, 0.5);
+    // distance-1, -2, -3 arm weights (symmetric, summing with center to 1)
+    let arm = [0.09, 0.027, 0.008];
+    for (d, &a) in arm.iter().enumerate() {
+        let d = d + 1;
+        w.set(c - d, c, a);
+        w.set(c + d, c, a);
+        w.set(c, c - d, a);
+        w.set(c, c + d, a);
+    }
+    StencilKernel {
+        name: "Star-2D13P".into(),
+        shape: Shape::Star,
+        radius: 3,
+        weights: Weights::D2(w),
+    }
+}
+
+/// Box-2D49P: full 7×7 box (radius 3), radially symmetric with non-zero
+/// corners (the paper's running PMA example, Fig. 5).
+pub fn box_2d49p() -> StencilKernel {
+    // Separable-ish Gaussian-like quadrant (h=3 → 4×4 quadrant).
+    // Built as g ⊗ g with g = [1, 3, 6, 8] / 28 then normalized; outer
+    // products of symmetric vectors are radially symmetric, and adding a
+    // small radially symmetric perturbation keeps rank ≤ h+1 realistic.
+    let g = [1.0, 3.0, 6.0, 8.0];
+    let mut quad = [0.0f64; 16];
+    for i in 0..4 {
+        for j in 0..4 {
+            quad[i * 4 + j] = g[i] * g[j];
+        }
+    }
+    // ring-dependent perturbation keeps the matrix full-rank-bound
+    // (rank = h+1 = 4) rather than degenerate rank 1
+    for (i, q) in quad.iter_mut().enumerate() {
+        let (r, c) = (i / 4, i % 4);
+        *q += (r.min(c) as f64) * 1.5 + (r + c) as f64 * 0.25;
+    }
+    let w = radially_symmetric_from_quadrant(3, &quad);
+    let s = w.sum();
+    let w = WeightMatrix::from_fn(7, |i, j| w.get(i, j) / s);
+    StencilKernel { name: "Box-2D49P".into(), shape: Shape::Box, radius: 3, weights: Weights::D2(w) }
+}
+
+/// Heat-3D: 7-point 3-D star (radius 1).
+pub fn heat_3d() -> StencilKernel {
+    let n = 3;
+    let mut planes = vec![WeightMatrix::zero(n); n];
+    // z-1 and z+1 planes: single center point each
+    planes[0].set(1, 1, 0.1);
+    planes[2].set(1, 1, 0.1);
+    // central plane: 5-point star
+    planes[1].set(1, 1, 0.4);
+    for &(i, j) in &[(0, 1), (2, 1), (1, 0), (1, 2)] {
+        planes[1].set(i, j, 0.1);
+    }
+    StencilKernel {
+        name: "Heat-3D".into(),
+        shape: Shape::Star,
+        radius: 1,
+        weights: Weights::D3(planes),
+    }
+}
+
+/// Box-3D27P: full 3×3×3 box (radius 1), each plane radially symmetric.
+pub fn box_3d27p() -> StencilKernel {
+    let n = 3;
+    let outer = radially_symmetric_from_quadrant(1, &[0.004, 0.012, 0.012, 0.05]);
+    let center = radially_symmetric_from_quadrant(1, &[0.012, 0.05, 0.05, 0.55]);
+    let total: f64 = 2.0 * outer.sum() + center.sum();
+    let scale = |w: &WeightMatrix| WeightMatrix::from_fn(n, |i, j| w.get(i, j) / total);
+    StencilKernel {
+        name: "Box-3D27P".into(),
+        shape: Shape::Box,
+        radius: 1,
+        weights: Weights::D3(vec![scale(&outer), scale(&center), scale(&outer)]),
+    }
+}
+
+/// All eight Table II kernels in the paper's order.
+pub fn all_kernels() -> Vec<StencilKernel> {
+    vec![
+        heat_1d(),
+        p5_1d(),
+        heat_2d(),
+        box_2d9p(),
+        star_2d13p(),
+        box_2d49p(),
+        heat_3d(),
+        box_3d27p(),
+    ]
+}
+
+/// Look a benchmark kernel up by its Table II name.
+pub fn by_name(name: &str) -> Option<StencilKernel> {
+    all_kernels().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symmetry::{is_radially_symmetric, rank_bound};
+
+    #[test]
+    fn all_kernels_validate() {
+        for k in all_kernels() {
+            k.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn point_counts_match_table_ii() {
+        let expect = [
+            ("Heat-1D", 3),
+            ("1D5P", 5),
+            ("Heat-2D", 5),
+            ("Box-2D9P", 9),
+            ("Star-2D13P", 13),
+            ("Box-2D49P", 49),
+            ("Heat-3D", 7),
+            ("Box-3D27P", 27),
+        ];
+        for (name, pts) in expect {
+            let k = by_name(name).unwrap();
+            assert_eq!(k.points(), pts, "{name}");
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for k in all_kernels() {
+            let s: f64 = match &k.weights {
+                Weights::D1(w) => w.iter().sum(),
+                Weights::D2(w) => w.sum(),
+                Weights::D3(ws) => ws.iter().map(|w| w.sum()).sum(),
+            };
+            assert!((s - 1.0).abs() < 1e-12, "{}: sum = {s}", k.name);
+        }
+    }
+
+    #[test]
+    fn two_d_kernels_are_radially_symmetric() {
+        for name in ["Heat-2D", "Box-2D9P", "Star-2D13P", "Box-2D49P"] {
+            let k = by_name(name).unwrap();
+            assert!(is_radially_symmetric(k.weights_2d(), 1e-15), "{name}");
+        }
+    }
+
+    #[test]
+    fn box_2d49p_saturates_rank_bound() {
+        // The running example should exercise the full pyramid: rank h+1.
+        let k = box_2d49p();
+        let w = k.weights_2d();
+        assert_eq!(w.rank(1e-12), rank_bound(3));
+    }
+
+    #[test]
+    fn box_2d9p_rank_at_most_2() {
+        let k = box_2d9p();
+        assert!(k.weights_2d().rank(1e-12) <= 2);
+    }
+
+    #[test]
+    fn by_name_unknown_is_none() {
+        assert!(by_name("nope").is_none());
+    }
+}

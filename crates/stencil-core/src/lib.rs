@@ -1,0 +1,37 @@
+//! # stencil-core — stencil computation foundation
+//!
+//! Grids, kernel descriptions, the paper's eight benchmark kernels
+//! (Table II), a naive reference executor (Algorithm 1), radial-symmetry
+//! utilities (§II-C) and tiling helpers shared by every executor in the
+//! LoRAStencil reproduction workspace.
+//!
+//! ## Example
+//!
+//! ```
+//! use stencil_core::{kernels, reference, Grid2D, GridData};
+//!
+//! let kernel = kernels::box_2d9p();
+//! let grid = Grid2D::from_fn(16, 16, |r, c| (r + c) as f64);
+//! let out = reference::run(&GridData::D2(grid), &kernel, 3);
+//! assert_eq!(out.dims(), 2);
+//! ```
+
+// Explicit index loops mirror the matrix/grid math throughout this
+// crate and keep row/column roles visible; iterator forms obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod executor;
+pub mod grid;
+pub mod io;
+pub mod kernel;
+pub mod kernels;
+pub mod kernels_ext;
+pub mod reference;
+pub mod render;
+pub mod spec;
+pub mod symmetry;
+pub mod tiling;
+
+pub use executor::{max_error_vs_reference, ExecError, ExecOutcome, Problem, StencilExecutor};
+pub use grid::{Grid1D, Grid2D, Grid3D, GridData};
+pub use kernel::{Shape, StencilKernel, WeightMatrix, Weights};

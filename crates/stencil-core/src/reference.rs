@@ -1,0 +1,190 @@
+//! Naive reference stencil executor (Algorithm 1 of the paper).
+//!
+//! This is the gold standard every optimized executor in the workspace is
+//! checked against. Boundaries are periodic (out-of-grid neighbors wrap).
+
+use crate::grid::{Grid1D, Grid2D, Grid3D, GridData};
+use crate::kernel::{StencilKernel, Weights};
+
+/// One stencil application on a 1-D grid.
+pub fn apply_1d(input: &Grid1D, weights: &[f64]) -> Grid1D {
+    let h = (weights.len() - 1) / 2;
+    let mut out = Grid1D::new(input.len());
+    for i in 0..input.len() {
+        let mut acc = 0.0;
+        for (k, &w) in weights.iter().enumerate() {
+            acc += w * input.get(i as isize + k as isize - h as isize);
+        }
+        out.set(i, acc);
+    }
+    out
+}
+
+/// One stencil application on a 2-D grid.
+pub fn apply_2d(input: &Grid2D, weights: &crate::kernel::WeightMatrix) -> Grid2D {
+    let h = weights.radius();
+    let n = weights.n();
+    let mut out = Grid2D::new(input.rows(), input.cols());
+    for r in 0..input.rows() {
+        for c in 0..input.cols() {
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    let w = weights.get(i, j);
+                    if w != 0.0 {
+                        acc += w
+                            * input.get(
+                                r as isize + i as isize - h as isize,
+                                c as isize + j as isize - h as isize,
+                            );
+                    }
+                }
+            }
+            out.set(r, c, acc);
+        }
+    }
+    out
+}
+
+/// One stencil application on a 3-D grid.
+pub fn apply_3d(input: &Grid3D, planes: &[crate::kernel::WeightMatrix]) -> Grid3D {
+    let nz = planes.len();
+    let h = (nz - 1) / 2;
+    let mut out = Grid3D::new(input.nz(), input.ny(), input.nx());
+    for z in 0..input.nz() {
+        for y in 0..input.ny() {
+            for x in 0..input.nx() {
+                let mut acc = 0.0;
+                for (dz, w) in planes.iter().enumerate() {
+                    for i in 0..w.n() {
+                        for j in 0..w.n() {
+                            let wv = w.get(i, j);
+                            if wv != 0.0 {
+                                acc += wv
+                                    * input.get(
+                                        z as isize + dz as isize - h as isize,
+                                        y as isize + i as isize - h as isize,
+                                        x as isize + j as isize - h as isize,
+                                    );
+                            }
+                        }
+                    }
+                }
+                out.set(z, y, x, acc);
+            }
+        }
+    }
+    out
+}
+
+/// Run `iterations` stencil applications of `kernel` on `input`.
+pub fn run(input: &GridData, kernel: &StencilKernel, iterations: usize) -> GridData {
+    match (&kernel.weights, input) {
+        (Weights::D1(w), GridData::D1(g)) => {
+            let mut cur = g.clone();
+            for _ in 0..iterations {
+                cur = apply_1d(&cur, w);
+            }
+            GridData::D1(cur)
+        }
+        (Weights::D2(w), GridData::D2(g)) => {
+            let mut cur = g.clone();
+            for _ in 0..iterations {
+                cur = apply_2d(&cur, w);
+            }
+            GridData::D2(cur)
+        }
+        (Weights::D3(w), GridData::D3(g)) => {
+            let mut cur = g.clone();
+            for _ in 0..iterations {
+                cur = apply_3d(&cur, w);
+            }
+            GridData::D3(cur)
+        }
+        _ => panic!("kernel {} dimensionality does not match input grid", kernel.name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::WeightMatrix;
+    use crate::kernels;
+
+    #[test]
+    fn identity_kernel_1d_is_noop() {
+        let input = Grid1D::from_fn(10, |i| i as f64);
+        let out = apply_1d(&input, &[0.0, 1.0, 0.0]);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn shift_kernel_1d_shifts_periodically() {
+        let input = Grid1D::from_fn(5, |i| i as f64 + 1.0);
+        // weight on the left neighbor → out[i] = in[i-1] with wraparound
+        let out = apply_1d(&input, &[1.0, 0.0, 0.0]);
+        assert_eq!(out.as_slice(), &[5.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn identity_kernel_2d_is_noop() {
+        let input = Grid2D::from_fn(6, 7, |r, c| (r * 7 + c) as f64);
+        let mut w = WeightMatrix::zero(3);
+        w.set(1, 1, 1.0);
+        assert_eq!(apply_2d(&input, &w), input);
+    }
+
+    #[test]
+    fn constant_grid_is_preserved_by_normalized_kernel() {
+        // On a periodic constant grid, every point stays constant for any
+        // weight matrix summing to 1 (mass conservation on the torus).
+        let k = kernels::box_2d9p();
+        let input = Grid2D::from_fn(8, 8, |_, _| 3.0);
+        let out = apply_2d(&input, k.weights_2d());
+        for r in 0..8 {
+            for c in 0..8 {
+                assert!((out.at(r, c) - 3.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn heat_2d_single_hot_point_spreads() {
+        let k = kernels::heat_2d();
+        let mut input = Grid2D::new(5, 5);
+        input.set(2, 2, 1.0);
+        let out = apply_2d(&input, k.weights_2d());
+        assert!((out.at(2, 2) - 0.5).abs() < 1e-15);
+        assert!((out.at(1, 2) - 0.125).abs() < 1e-15);
+        assert_eq!(out.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn heat_3d_single_hot_point() {
+        let k = kernels::heat_3d();
+        let mut input = Grid3D::new(3, 3, 3);
+        input.set(1, 1, 1, 1.0);
+        let out = apply_3d(&input, k.weights_3d());
+        assert!((out.get(1, 1, 1) - 0.4).abs() < 1e-15);
+        assert!((out.get(0, 1, 1) - 0.1).abs() < 1e-15);
+        assert!((out.get(1, 0, 1) - 0.1).abs() < 1e-15);
+        assert_eq!(out.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn run_matches_repeated_apply() {
+        let k = kernels::box_2d9p();
+        let g = Grid2D::from_fn(10, 10, |r, c| ((r * 31 + c * 17) % 7) as f64);
+        let twice = run(&GridData::D2(g.clone()), &k, 2);
+        let once = apply_2d(&apply_2d(&g, k.weights_2d()), k.weights_2d());
+        assert_eq!(twice, GridData::D2(once));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_dims_panic() {
+        let k = kernels::heat_1d();
+        let g = GridData::D2(Grid2D::new(4, 4));
+        run(&g, &k, 1);
+    }
+}

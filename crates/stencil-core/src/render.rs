@@ -1,0 +1,100 @@
+//! Terminal rendering helpers: ASCII heat maps of 2-D fields and
+//! sparklines of 1-D series, for the examples and quick diagnostics.
+
+use crate::grid::Grid2D;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+const SPARKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+
+/// Render a 2-D field as an ASCII heat map of at most `max_rows ×
+/// max_cols` characters, sampling the grid uniformly. Values are scaled
+/// to the field's own min..max range.
+pub fn heatmap(grid: &Grid2D, max_rows: usize, max_cols: usize) -> String {
+    assert!(max_rows > 0 && max_cols > 0);
+    let (lo, hi) = grid
+        .as_slice()
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (hi - lo).max(1e-300);
+    let rows = grid.rows().min(max_rows);
+    let cols = grid.cols().min(max_cols);
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        let gr = r * grid.rows() / rows;
+        for c in 0..cols {
+            let gc = c * grid.cols() / cols;
+            let t = ((grid.at(gr, gc) - lo) / span).clamp(0.0, 1.0);
+            let idx = ((SHADES.len() - 1) as f64 * t).round() as usize;
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a numeric series as a unicode sparkline (one block character
+/// per value, scaled to the series' own range).
+pub fn sparkline(values: &[f64]) -> String {
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let span = (hi - lo).max(1e-300);
+    values
+        .iter()
+        .map(|&v| {
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            SPARKS[((SPARKS.len() - 1) as f64 * t).round() as usize]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_has_requested_shape() {
+        let g = Grid2D::from_fn(64, 64, |r, c| (r + c) as f64);
+        let map = heatmap(&g, 16, 32);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 16);
+        assert!(lines.iter().all(|l| l.chars().count() == 32));
+    }
+
+    #[test]
+    fn heatmap_maps_extremes_to_extreme_shades() {
+        let mut g = Grid2D::new(4, 4);
+        g.set(0, 0, -5.0);
+        g.set(3, 3, 5.0);
+        let map = heatmap(&g, 4, 4);
+        assert!(map.starts_with(' '), "minimum must be the lightest shade");
+        assert!(map.contains('@'), "maximum must be the darkest shade");
+    }
+
+    #[test]
+    fn constant_fields_render_without_dividing_by_zero() {
+        let g = Grid2D::from_fn(4, 4, |_, _| 2.5);
+        let map = heatmap(&g, 4, 4);
+        assert_eq!(map.lines().count(), 4);
+    }
+
+    #[test]
+    fn small_grids_are_not_upsampled() {
+        let g = Grid2D::from_fn(3, 5, |r, c| (r * c) as f64);
+        let map = heatmap(&g, 10, 10);
+        assert_eq!(map.lines().count(), 3);
+        assert!(map.lines().all(|l| l.chars().count() == 5));
+    }
+
+    #[test]
+    fn sparkline_is_monotone_for_monotone_series() {
+        let s = sparkline(&[1.0, 2.0, 3.0, 4.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        for w in chars.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(chars[0], '\u{2581}');
+        assert_eq!(chars[3], '\u{2588}');
+    }
+}

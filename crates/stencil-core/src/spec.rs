@@ -1,0 +1,346 @@
+//! A small textual kernel-specification language, so downstream users
+//! (and the CLI's `--spec`) can define custom stencils without
+//! recompiling.
+//!
+//! ```text
+//! # 2-D heat kernel
+//! kernel: my-heat
+//! shape: star
+//! weights2d:
+//! 0     0.125 0
+//! 0.125 0.5   0.125
+//! 0     0.125 0
+//! ```
+//!
+//! Grammar (line-oriented; `#` starts a comment):
+//!
+//! * `kernel: <name>` — required, first directive;
+//! * `shape: star|box` — optional (default `box`; `star` is validated);
+//! * exactly one weights block:
+//!   * `weights1d:` followed by one line of odd-many numbers,
+//!   * `weights2d:` followed by `n` lines of `n` numbers (`n` odd),
+//!   * `weights3d:` followed by `n` blocks of `n×n` numbers separated by
+//!     `plane` lines.
+//!
+//! The radius is derived from the weight dimensions. Errors carry line
+//! numbers.
+
+use crate::kernel::{Shape, StencilKernel, WeightMatrix, Weights};
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// 1-based source line (0 = end of input).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError { line, message: message.into() })
+}
+
+fn parse_number_row(line: usize, text: &str) -> Result<Vec<f64>, SpecError> {
+    text.split_whitespace()
+        .map(|tok| {
+            tok.parse::<f64>()
+                .map_err(|e| SpecError { line, message: format!("bad number {tok:?}: {e}") })
+        })
+        .collect()
+}
+
+/// Parse a kernel specification.
+pub fn parse_kernel(src: &str) -> Result<StencilKernel, SpecError> {
+    // strip comments, keep (line_no, content) for non-empty lines
+    let lines: Vec<(usize, &str)> = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    let mut name: Option<String> = None;
+    let mut shape = Shape::Box;
+    let mut shape_given = false;
+    let mut weights: Option<Weights> = None;
+
+    let mut i = 0;
+    while i < lines.len() {
+        let (ln, text) = lines[i];
+        let Some((key, rest)) = text.split_once(':') else {
+            return err(ln, format!("expected `directive: value`, got {text:?}"));
+        };
+        let (key, rest) = (key.trim(), rest.trim());
+        match key {
+            "kernel" => {
+                if name.is_some() {
+                    return err(ln, "duplicate `kernel:` directive");
+                }
+                if rest.is_empty() {
+                    return err(ln, "kernel name must not be empty");
+                }
+                name = Some(rest.to_string());
+                i += 1;
+            }
+            "shape" => {
+                shape = match rest {
+                    "star" => Shape::Star,
+                    "box" => Shape::Box,
+                    other => return err(ln, format!("shape must be star or box, got {other:?}")),
+                };
+                shape_given = true;
+                i += 1;
+            }
+            "weights1d" => {
+                if weights.is_some() {
+                    return err(ln, "duplicate weights block");
+                }
+                if !rest.is_empty() {
+                    return err(ln, "weights start on the following line");
+                }
+                i += 1;
+                if i >= lines.len() {
+                    return err(0, "weights1d: missing the number row");
+                }
+                let (wln, wtext) = lines[i];
+                let row = parse_number_row(wln, wtext)?;
+                if row.len() % 2 == 0 || row.is_empty() {
+                    return err(wln, format!("1-D weights need an odd count, got {}", row.len()));
+                }
+                weights = Some(Weights::D1(row));
+                i += 1;
+            }
+            "weights2d" => {
+                if weights.is_some() {
+                    return err(ln, "duplicate weights block");
+                }
+                i += 1;
+                let (mat, consumed) = parse_matrix(&lines[i..])?;
+                weights = Some(Weights::D2(mat));
+                i += consumed;
+            }
+            "weights3d" => {
+                if weights.is_some() {
+                    return err(ln, "duplicate weights block");
+                }
+                i += 1;
+                let mut planes = Vec::new();
+                loop {
+                    let (mat, consumed) = parse_matrix(&lines[i..])?;
+                    i += consumed;
+                    planes.push(mat);
+                    if i < lines.len() && lines[i].1 == "plane" {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let n = planes[0].n();
+                if planes.len() != n {
+                    return err(
+                        lines.get(i).map(|l| l.0).unwrap_or(0),
+                        format!("3-D kernel of side {n} needs {n} planes, got {}", planes.len()),
+                    );
+                }
+                if planes.iter().any(|p| p.n() != n) {
+                    return err(0, "all planes must have the same side".to_string());
+                }
+                weights = Some(Weights::D3(planes));
+                i += 0;
+            }
+            other => return err(ln, format!("unknown directive {other:?}")),
+        }
+    }
+
+    let Some(name) = name else {
+        return err(0, "missing `kernel: <name>` directive");
+    };
+    let Some(weights) = weights else {
+        return err(0, "missing weights block");
+    };
+    let radius = match &weights {
+        Weights::D1(w) => (w.len() - 1) / 2,
+        Weights::D2(w) => w.radius(),
+        Weights::D3(p) => (p.len() - 1) / 2,
+    };
+    let kernel = StencilKernel {
+        name,
+        shape: if shape_given { shape } else { Shape::Box },
+        radius,
+        weights,
+    };
+    kernel.validate().map_err(|m| SpecError { line: 0, message: m })?;
+    Ok(kernel)
+}
+
+/// Parse a square odd-sided matrix from consecutive number rows; returns
+/// the matrix and how many input lines it consumed.
+fn parse_matrix(lines: &[(usize, &str)]) -> Result<(WeightMatrix, usize), SpecError> {
+    let Some(&(first_ln, first)) = lines.first() else {
+        return err(0, "expected a weight row, found end of input");
+    };
+    let row0 = parse_number_row(first_ln, first)?;
+    let n = row0.len();
+    if n % 2 == 0 || n == 0 {
+        return err(first_ln, format!("weight matrices need an odd side, got {n}"));
+    }
+    let mut data = row0;
+    for k in 1..n {
+        let Some(&(ln, text)) = lines.get(k) else {
+            return err(0, format!("matrix of side {n}: missing row {}", k + 1));
+        };
+        if text == "plane" {
+            return err(ln, format!("matrix of side {n}: missing row {}", k + 1));
+        }
+        let row = parse_number_row(ln, text)?;
+        if row.len() != n {
+            return err(ln, format!("row has {} numbers, expected {n}", row.len()));
+        }
+        data.extend(row);
+    }
+    Ok((WeightMatrix::from_vec(n, data), n))
+}
+
+/// Render a kernel back to the spec format (round-trippable).
+pub fn render_kernel(k: &StencilKernel) -> String {
+    let mut out = format!("kernel: {}\nshape: {}\n", k.name, match k.shape {
+        Shape::Star => "star",
+        Shape::Box => "box",
+    });
+    let fmt_matrix = |w: &WeightMatrix, out: &mut String| {
+        for i in 0..w.n() {
+            let row: Vec<String> = (0..w.n()).map(|j| format!("{}", w.get(i, j))).collect();
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+    };
+    match &k.weights {
+        Weights::D1(w) => {
+            out.push_str("weights1d:\n");
+            let row: Vec<String> = w.iter().map(|x| format!("{x}")).collect();
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+        Weights::D2(w) => {
+            out.push_str("weights2d:\n");
+            fmt_matrix(w, &mut out);
+        }
+        Weights::D3(planes) => {
+            out.push_str("weights3d:\n");
+            for (z, p) in planes.iter().enumerate() {
+                if z > 0 {
+                    out.push_str("plane\n");
+                }
+                fmt_matrix(p, &mut out);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    const HEAT: &str = "\
+# 2-D heat kernel
+kernel: my-heat
+shape: star
+weights2d:
+0     0.125 0
+0.125 0.5   0.125
+0     0.125 0
+";
+
+    #[test]
+    fn parses_a_2d_star_kernel() {
+        let k = parse_kernel(HEAT).unwrap();
+        assert_eq!(k.name, "my-heat");
+        assert_eq!(k.shape, Shape::Star);
+        assert_eq!(k.radius, 1);
+        assert_eq!(k.points(), 5);
+        assert_eq!(k.weights_2d().get(1, 1), 0.5);
+    }
+
+    #[test]
+    fn parses_1d_and_3d() {
+        let k = parse_kernel("kernel: k1\nweights1d:\n0.25 0.5 0.25\n").unwrap();
+        assert_eq!(k.dims(), 1);
+        assert_eq!(k.radius, 1);
+
+        let spec3 = "kernel: k3\nweights3d:\n0 0 0\n0 0.1 0\n0 0 0\nplane\n0 0.1 0\n0.1 0.2 0.1\n0 0.1 0\nplane\n0 0 0\n0 0.1 0\n0 0 0\n";
+        let k = parse_kernel(spec3).unwrap();
+        assert_eq!(k.dims(), 3);
+        assert_eq!(k.points(), 7);
+    }
+
+    #[test]
+    fn roundtrips_every_benchmark_kernel() {
+        for k in kernels::all_kernels().into_iter().chain(crate::kernels_ext::all_extended()) {
+            let text = render_kernel(&k);
+            let back = parse_kernel(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", k.name));
+            assert_eq!(back.name, k.name);
+            assert_eq!(back.radius, k.radius);
+            assert_eq!(back.points(), k.points(), "{}", k.name);
+            match (&back.weights, &k.weights) {
+                (Weights::D2(a), Weights::D2(b)) => assert!(a.max_abs_diff(b) < 1e-15),
+                (Weights::D1(a), Weights::D1(b)) => assert_eq!(a, b),
+                (Weights::D3(a), Weights::D3(b)) => {
+                    for (x, y) in a.iter().zip(b) {
+                        assert!(x.max_abs_diff(y) < 1e-15);
+                    }
+                }
+                _ => panic!("dimensionality changed"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_kernel("kernel: x\nweights2d:\n1 2\n3 4\n").unwrap_err();
+        assert_eq!(e.line, 3, "{e}");
+        let e = parse_kernel("kernel: x\nweights2d:\n1 2 3\n4 5\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        let e = parse_kernel("bogus: y\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_kernel("kernel: x\nweights1d:\n1 oops 3\n").unwrap_err();
+        assert!(e.message.contains("oops"));
+    }
+
+    #[test]
+    fn missing_pieces_are_rejected() {
+        assert!(parse_kernel("").is_err());
+        assert!(parse_kernel("kernel: x\n").is_err()); // no weights
+        assert!(parse_kernel("weights1d:\n1 2 3\n").is_err()); // no name
+        assert!(parse_kernel("kernel: x\nweights1d:\n1 2 3\nweights1d:\n1 2 3\n").is_err());
+    }
+
+    #[test]
+    fn star_shape_is_validated() {
+        let bad = "kernel: x\nshape: star\nweights2d:\n1 0 0\n0 1 0\n0 0 1\n";
+        let e = parse_kernel(bad).unwrap_err();
+        assert!(e.message.contains("off-axis"), "{e}");
+    }
+
+    #[test]
+    fn wrong_plane_count_is_rejected() {
+        let two_planes = "kernel: x\nweights3d:\n0 0 0\n0 1 0\n0 0 0\nplane\n0 0 0\n0 1 0\n0 0 0\n";
+        assert!(parse_kernel(two_planes).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let spec = "\n# header\nkernel: c  # trailing comment\n\nweights1d:\n# row follows\n1 0 0\n";
+        let k = parse_kernel(spec).unwrap();
+        assert_eq!(k.name, "c");
+    }
+}

@@ -1,0 +1,105 @@
+//! Radial symmetry of stencil weight matrices (§II-C).
+//!
+//! A *radially symmetric* matrix assigns identical weights to neighbors at
+//! the same displacement magnitude per axis: `w(i,j) = w(n−1−i, j) =
+//! w(i, n−1−j)` (symmetric under reflection across both central axes).
+//! The paper's key rank observation: such a `(2h+1)×(2h+1)` matrix has
+//! `rank(W) ≤ h + 1`.
+
+use crate::kernel::WeightMatrix;
+
+/// Check whether `w` is radially symmetric within tolerance `tol`.
+pub fn is_radially_symmetric(w: &WeightMatrix, tol: f64) -> bool {
+    let n = w.n();
+    for i in 0..n {
+        for j in 0..n {
+            let v = w.get(i, j);
+            if (v - w.get(n - 1 - i, j)).abs() > tol || (v - w.get(i, n - 1 - j)).abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Check plain matrix symmetry `w(i,j) = w(j,i)`.
+pub fn is_symmetric(w: &WeightMatrix, tol: f64) -> bool {
+    let n = w.n();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (w.get(i, j) - w.get(j, i)).abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Build a radially symmetric matrix of radius `h` from the weights of
+/// its upper-left quadrant (including the central row/column):
+/// `quad` is `(h+1) × (h+1)` row-major, `quad[i][j]` being the weight at
+/// displacement `(i − h, j − h)` for `i, j ≤ h`. The rest is mirrored.
+pub fn radially_symmetric_from_quadrant(h: usize, quad: &[f64]) -> WeightMatrix {
+    let q = h + 1;
+    assert_eq!(quad.len(), q * q);
+    let n = 2 * h + 1;
+    WeightMatrix::from_fn(n, |i, j| {
+        let qi = if i <= h { i } else { n - 1 - i };
+        let qj = if j <= h { j } else { n - 1 - j };
+        quad[qi * q + qj]
+    })
+}
+
+/// The paper's §II-C rank bound for radially symmetric matrices:
+/// `rank(W) ≤ h + 1` where `h` is the radius.
+pub fn rank_bound(h: usize) -> usize {
+    h + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrant_construction_is_radially_symmetric() {
+        let w = radially_symmetric_from_quadrant(2, &[1.0, 2.0, 3.0, 2.0, 4.0, 5.0, 3.0, 5.0, 6.0]);
+        assert!(is_radially_symmetric(&w, 0.0));
+        assert_eq!(w.get(0, 0), 1.0);
+        assert_eq!(w.get(4, 4), 1.0);
+        assert_eq!(w.get(0, 4), 1.0);
+        assert_eq!(w.get(2, 2), 6.0);
+    }
+
+    #[test]
+    fn radially_symmetric_rank_respects_bound() {
+        // Several random-ish radially symmetric matrices must satisfy
+        // rank(W) ≤ h+1 (§II-C).
+        for h in 1..=4usize {
+            let q = h + 1;
+            let quad: Vec<f64> = (0..q * q).map(|i| ((i * 7 + 3) % 11) as f64 * 0.37 + 0.1).collect();
+            let w = radially_symmetric_from_quadrant(h, &quad);
+            assert!(
+                w.rank(1e-9) <= rank_bound(h),
+                "h={h}: rank {} > {}",
+                w.rank(1e-9),
+                rank_bound(h)
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_matrix_detected() {
+        let mut w = WeightMatrix::zero(3);
+        w.set(0, 0, 1.0);
+        assert!(!is_radially_symmetric(&w, 1e-15));
+        assert!(is_symmetric(&w, 1e-15));
+        w.set(0, 1, 2.0);
+        assert!(!is_symmetric(&w, 1e-15));
+    }
+
+    #[test]
+    fn radial_implies_symmetric_for_these_kernels() {
+        let w = radially_symmetric_from_quadrant(1, &[0.1, 0.2, 0.2, 0.4]);
+        assert!(is_symmetric(&w, 0.0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Tile decomposition helpers: splitting a grid into the per-thread-block
+//! tiles the simulated kernels process.
+
+/// One 2-D tile: output region `[r0, r0+h) × [c0, c0+w)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile2D {
+    /// First output row.
+    pub r0: usize,
+    /// First output column.
+    pub c0: usize,
+    /// Tile height (may be clipped at the grid edge).
+    pub h: usize,
+    /// Tile width (may be clipped at the grid edge).
+    pub w: usize,
+}
+
+/// Iterate the `tile_h × tile_w` tiling of a `rows × cols` grid, clipping
+/// edge tiles.
+pub fn tiles_2d(rows: usize, cols: usize, tile_h: usize, tile_w: usize) -> Vec<Tile2D> {
+    assert!(tile_h > 0 && tile_w > 0);
+    let mut out = Vec::with_capacity(rows.div_ceil(tile_h) * cols.div_ceil(tile_w));
+    let mut r0 = 0;
+    while r0 < rows {
+        let h = tile_h.min(rows - r0);
+        let mut c0 = 0;
+        while c0 < cols {
+            let w = tile_w.min(cols - c0);
+            out.push(Tile2D { r0, c0, h, w });
+            c0 += tile_w;
+        }
+        r0 += tile_h;
+    }
+    out
+}
+
+/// Number of tiles the tiling produces, without materializing it.
+pub fn tile_count_2d(rows: usize, cols: usize, tile_h: usize, tile_w: usize) -> usize {
+    rows.div_ceil(tile_h) * cols.div_ceil(tile_w)
+}
+
+/// One 1-D tile: output span `[i0, i0+len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile1D {
+    /// First output index.
+    pub i0: usize,
+    /// Tile length (clipped at the end of the array).
+    pub len: usize,
+}
+
+/// Iterate the `tile_len` tiling of an `n`-element array.
+pub fn tiles_1d(n: usize, tile_len: usize) -> Vec<Tile1D> {
+    assert!(tile_len > 0);
+    let mut out = Vec::with_capacity(n.div_ceil(tile_len));
+    let mut i0 = 0;
+    while i0 < n {
+        out.push(Tile1D { i0, len: tile_len.min(n - i0) });
+        i0 += tile_len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tiling_covers_grid() {
+        let ts = tiles_2d(16, 32, 8, 8);
+        assert_eq!(ts.len(), 8);
+        let area: usize = ts.iter().map(|t| t.h * t.w).sum();
+        assert_eq!(area, 16 * 32);
+        assert_eq!(tile_count_2d(16, 32, 8, 8), 8);
+    }
+
+    #[test]
+    fn ragged_tiling_clips_edges() {
+        let ts = tiles_2d(10, 10, 8, 8);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts[3], Tile2D { r0: 8, c0: 8, h: 2, w: 2 });
+        let area: usize = ts.iter().map(|t| t.h * t.w).sum();
+        assert_eq!(area, 100);
+    }
+
+    #[test]
+    fn tiles_do_not_overlap() {
+        let ts = tiles_2d(24, 24, 8, 16);
+        let mut covered = vec![false; 24 * 24];
+        for t in &ts {
+            for r in t.r0..t.r0 + t.h {
+                for c in t.c0..t.c0 + t.w {
+                    assert!(!covered[r * 24 + c]);
+                    covered[r * 24 + c] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn one_d_tiling() {
+        let ts = tiles_1d(100, 32);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts[3], Tile1D { i0: 96, len: 4 });
+        let total: usize = ts.iter().map(|t| t.len).sum();
+        assert_eq!(total, 100);
+    }
+}

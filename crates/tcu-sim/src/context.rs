@@ -1,0 +1,183 @@
+//! The simulation context: a warp-granular execution handle that performs
+//! tensor-core and data-movement operations while charging them to a
+//! [`PerfCounters`] set.
+//!
+//! A context is cheap and tile-local: parallel executors create one per
+//! tile/thread-block and [`PerfCounters::merge`] the results afterwards,
+//! mirroring how per-block hardware counters aggregate.
+
+use crate::counters::PerfCounters;
+use crate::fragment::{FragA, FragAcc, FragB, MMA_K, MMA_M, MMA_N};
+use crate::trace::{Trace, TraceEvent};
+
+/// Execution context for one simulated warp (or thread block).
+#[derive(Debug, Default, Clone)]
+pub struct SimContext {
+    /// Counters charged by every operation issued through this context.
+    pub counters: PerfCounters,
+    /// Shared-memory bytes this block has allocated (for occupancy).
+    pub shared_bytes_per_block: u32,
+    /// Threads per block (for occupancy).
+    pub threads_per_block: u32,
+    /// Registers per thread (for occupancy).
+    pub regs_per_thread: u32,
+    /// Optional instruction trace (see [`crate::trace`]).
+    pub(crate) trace: Option<Trace>,
+}
+
+impl SimContext {
+    /// A fresh context with zeroed counters and default block shape
+    /// (256 threads, 64 registers — typical for the paper's kernels).
+    pub fn new() -> Self {
+        SimContext {
+            counters: PerfCounters::new(),
+            shared_bytes_per_block: 0,
+            threads_per_block: 256,
+            regs_per_thread: 64,
+            trace: None,
+        }
+    }
+
+    /// Issue one `mma.m8n8k4.f64`: `D = A × B + C`.
+    ///
+    /// This is the only way the simulator multiplies fragments, so
+    /// `counters.mma_ops` is an exact instruction count.
+    pub fn mma(&mut self, a: &FragA, b: &FragB, c: &FragAcc) -> FragAcc {
+        self.counters.mma_ops += 1;
+        self.record(TraceEvent::Mma);
+        let mut d = FragAcc::zero();
+        for r in 0..MMA_M {
+            for n in 0..MMA_N {
+                let mut acc = c.get(r, n);
+                for k in 0..MMA_K {
+                    acc += a.get(r, k) * b.get(k, n);
+                }
+                d.set(r, n, acc);
+            }
+        }
+        d
+    }
+
+    /// Extract accumulator columns into an A fragment, charging the
+    /// shuffle instructions the chosen column set costs on real hardware
+    /// (0 for the butterfly sets, 2 for the natural contiguous split —
+    /// see [`FragAcc::extract_a`]).
+    pub fn acc_to_a(&mut self, acc: &FragAcc, cols: [usize; MMA_K]) -> FragA {
+        let (frag, shuffles) = acc.extract_a(cols);
+        self.counters.shuffle_ops += shuffles;
+        self.record(TraceEvent::AccExtract { cols, shuffles });
+        frag
+    }
+
+    /// Charge `n` scalar FP64 operations executed on CUDA cores.
+    pub fn cuda_flops(&mut self, n: u64) {
+        self.counters.cuda_flops += n;
+        self.record(TraceEvent::CudaFlops(n));
+    }
+
+    /// Charge `n` explicit warp shuffle instructions (used by baselines
+    /// that move data between lanes outside fragment extraction).
+    pub fn shuffles(&mut self, n: u64) {
+        self.counters.shuffle_ops += n;
+        self.record(TraceEvent::Shuffles(n));
+    }
+
+    /// Record one stencil-point update completion.
+    pub fn points(&mut self, n: u64) {
+        self.counters.points_updated += n;
+    }
+
+    /// Declare the block shape used by this context's kernel so the cost
+    /// model can compute occupancy.
+    pub fn set_block_shape(&mut self, shared_bytes: u32, threads: u32, regs_per_thread: u32) {
+        self.shared_bytes_per_block = shared_bytes;
+        self.threads_per_block = threads;
+        self.regs_per_thread = regs_per_thread;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_a(f: impl Fn(usize, usize) -> f64) -> FragA {
+        let mut m = [[0.0; MMA_K]; MMA_M];
+        for (r, row) in m.iter_mut().enumerate() {
+            for (k, v) in row.iter_mut().enumerate() {
+                *v = f(r, k);
+            }
+        }
+        FragA::from_matrix(&m)
+    }
+
+    fn mat_b(f: impl Fn(usize, usize) -> f64) -> FragB {
+        let mut m = [[0.0; MMA_N]; MMA_K];
+        for (k, row) in m.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = f(k, c);
+            }
+        }
+        FragB::from_matrix(&m)
+    }
+
+    #[test]
+    fn mma_identity_times_b_is_b_rows() {
+        let mut ctx = SimContext::new();
+        // A = [I4; 0] so the first 4 rows of D equal B.
+        let a = mat_a(|r, k| if r == k { 1.0 } else { 0.0 });
+        let b = mat_b(|k, c| (k * 10 + c) as f64);
+        let d = ctx.mma(&a, &b, &FragAcc::zero());
+        for k in 0..MMA_K {
+            for c in 0..MMA_N {
+                assert_eq!(d.get(k, c), b.get(k, c));
+            }
+        }
+        for r in MMA_K..MMA_M {
+            for c in 0..MMA_N {
+                assert_eq!(d.get(r, c), 0.0);
+            }
+        }
+        assert_eq!(ctx.counters.mma_ops, 1);
+    }
+
+    #[test]
+    fn mma_accumulates_into_c() {
+        let mut ctx = SimContext::new();
+        let a = mat_a(|_, _| 1.0);
+        let b = mat_b(|_, _| 1.0);
+        let mut cmat = [[0.0; MMA_N]; MMA_M];
+        cmat[3][5] = 7.0;
+        let c = FragAcc::from_matrix(&cmat);
+        let d = ctx.mma(&a, &b, &c);
+        assert_eq!(d.get(3, 5), 4.0 + 7.0);
+        assert_eq!(d.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn mma_matches_dense_reference() {
+        let mut ctx = SimContext::new();
+        let a = mat_a(|r, k| (r as f64 + 1.0) * 0.5 + k as f64);
+        let b = mat_b(|k, c| (k as f64 - 1.5) * (c as f64 + 0.25));
+        let d = ctx.mma(&a, &b, &FragAcc::zero());
+        for r in 0..MMA_M {
+            for c in 0..MMA_N {
+                let mut want = 0.0;
+                for k in 0..MMA_K {
+                    want += a.get(r, k) * b.get(k, c);
+                }
+                assert!((d.get(r, c) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn acc_to_a_charges_shuffles_only_for_nonbutterfly() {
+        let mut ctx = SimContext::new();
+        let acc = FragAcc::from_matrix(&[[1.0; MMA_N]; MMA_M]);
+        ctx.acc_to_a(&acc, FragAcc::BUTTERFLY_COLS[0]);
+        ctx.acc_to_a(&acc, FragAcc::BUTTERFLY_COLS[1]);
+        assert_eq!(ctx.counters.shuffle_ops, 0);
+        ctx.acc_to_a(&acc, FragAcc::NATURAL_COLS[0]);
+        assert_eq!(ctx.counters.shuffle_ops, 2);
+    }
+}

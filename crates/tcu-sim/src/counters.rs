@@ -1,0 +1,179 @@
+//! Performance counters collected during simulated execution.
+//!
+//! These mirror the hardware counters the paper reads through Nsight Compute
+//! (shared-memory load/store requests, Fig. 10) plus the instruction counts
+//! its analytic models reason about (MMA operations, Eq. 16; shuffles,
+//! Fig. 9; global traffic for the roofline / arithmetic-intensity numbers of
+//! Table III).
+
+use serde::{Deserialize, Serialize};
+
+/// FLOPs performed by one `mma.m8n8k4.f64` instruction: `2 * m * n * k`.
+pub const FLOPS_PER_MMA: u64 = 2 * 8 * 8 * 4;
+
+/// Counter set accumulated by a [`crate::SimContext`].
+///
+/// Counters are plain integers so tile-local counter sets can be merged
+/// after parallel execution (see [`PerfCounters::merge`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Number of `mma.m8n8k4.f64` instructions issued to tensor cores.
+    pub mma_ops: u64,
+    /// Number of `m16n16k16` FP16 MMA instructions (native-FP16 methods
+    /// only; 8192 FLOPs each at the FP16 peak rate).
+    pub mma_fp16_ops: u64,
+    /// Scalar FP64 floating-point operations executed on CUDA cores
+    /// (adds and multiplies each count as one).
+    pub cuda_flops: u64,
+    /// Warp-wide `__shfl_sync` instructions (cross-lane data movement).
+    pub shuffle_ops: u64,
+    /// Warp-level shared-memory load requests.
+    pub shared_load_requests: u64,
+    /// Warp-level shared-memory store requests.
+    pub shared_store_requests: u64,
+    /// Bytes read from global memory (HBM).
+    pub global_bytes_read: u64,
+    /// Bytes written to global memory (HBM).
+    pub global_bytes_written: u64,
+    /// Halo re-read bytes served by the L2 cache rather than HBM: data a
+    /// neighboring tile already pulled on-chip this iteration (A100's
+    /// 40 MB L2 easily covers the row working sets of Table II).
+    pub l2_bytes: u64,
+    /// Bytes of global→shared copies that were staged through registers
+    /// (i.e. *not* using `cp.async`). Penalized by the cost model.
+    pub staged_copy_bytes: u64,
+    /// Grid points whose stencil update completed.
+    pub points_updated: u64,
+}
+
+impl PerfCounters {
+    /// A fresh, all-zero counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total FP64 FLOPs executed on tensor cores.
+    pub fn tensor_flops(&self) -> u64 {
+        self.mma_ops * FLOPS_PER_MMA
+    }
+
+    /// Total FP16 FLOPs executed on tensor cores.
+    pub fn tensor_fp16_flops(&self) -> u64 {
+        self.mma_fp16_ops * crate::fp16::FLOPS_PER_MMA16
+    }
+
+    /// Total FLOPs across tensor (both precisions) and CUDA cores.
+    pub fn total_flops(&self) -> u64 {
+        self.tensor_flops() + self.tensor_fp16_flops() + self.cuda_flops
+    }
+
+    /// Total warp-level shared-memory requests (loads + stores), the
+    /// quantity Fig. 10 of the paper plots as "total requests".
+    pub fn shared_total_requests(&self) -> u64 {
+        self.shared_load_requests + self.shared_store_requests
+    }
+
+    /// Total global-memory traffic in bytes.
+    pub fn global_bytes(&self) -> u64 {
+        self.global_bytes_read + self.global_bytes_written
+    }
+
+    /// Arithmetic intensity in FLOP per global byte (Table III "AI").
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.global_bytes();
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.total_flops() as f64 / bytes as f64
+    }
+
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.mma_ops += other.mma_ops;
+        self.mma_fp16_ops += other.mma_fp16_ops;
+        self.cuda_flops += other.cuda_flops;
+        self.shuffle_ops += other.shuffle_ops;
+        self.shared_load_requests += other.shared_load_requests;
+        self.shared_store_requests += other.shared_store_requests;
+        self.global_bytes_read += other.global_bytes_read;
+        self.global_bytes_written += other.global_bytes_written;
+        self.l2_bytes += other.l2_bytes;
+        self.staged_copy_bytes += other.staged_copy_bytes;
+        self.points_updated += other.points_updated;
+    }
+
+    /// Scale every counter by an integer factor.
+    ///
+    /// Used to extrapolate from one representative tile (simulated exactly)
+    /// to a full problem consisting of `factor` identical tiles.
+    pub fn scaled(&self, factor: u64) -> PerfCounters {
+        PerfCounters {
+            mma_ops: self.mma_ops * factor,
+            mma_fp16_ops: self.mma_fp16_ops * factor,
+            cuda_flops: self.cuda_flops * factor,
+            shuffle_ops: self.shuffle_ops * factor,
+            shared_load_requests: self.shared_load_requests * factor,
+            shared_store_requests: self.shared_store_requests * factor,
+            global_bytes_read: self.global_bytes_read * factor,
+            global_bytes_written: self.global_bytes_written * factor,
+            l2_bytes: self.l2_bytes * factor,
+            staged_copy_bytes: self.staged_copy_bytes * factor,
+            points_updated: self.points_updated * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_per_mma_matches_m8n8k4() {
+        assert_eq!(FLOPS_PER_MMA, 512);
+    }
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = PerfCounters::new();
+        a.mma_ops = 1;
+        a.mma_fp16_ops = 11;
+        a.cuda_flops = 2;
+        a.shuffle_ops = 3;
+        a.shared_load_requests = 4;
+        a.shared_store_requests = 5;
+        a.global_bytes_read = 6;
+        a.global_bytes_written = 7;
+        a.l2_bytes = 10;
+        a.staged_copy_bytes = 8;
+        a.points_updated = 9;
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b, a.scaled(2));
+    }
+
+    #[test]
+    fn tensor_flops_counts_512_per_mma() {
+        let mut c = PerfCounters::new();
+        c.mma_ops = 3;
+        assert_eq!(c.tensor_flops(), 1536);
+        c.cuda_flops = 64;
+        assert_eq!(c.total_flops(), 1600);
+    }
+
+    #[test]
+    fn arithmetic_intensity_zero_without_traffic() {
+        let mut c = PerfCounters::new();
+        c.mma_ops = 10;
+        assert_eq!(c.arithmetic_intensity(), 0.0);
+        c.global_bytes_read = 512;
+        c.global_bytes_written = 512;
+        assert!((c.arithmetic_intensity() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_by_zero_clears() {
+        let mut c = PerfCounters::new();
+        c.mma_ops = 7;
+        assert_eq!(c.scaled(0), PerfCounters::new());
+    }
+}

@@ -1,0 +1,250 @@
+//! FP16 tensor-core path: the `m16n16k16` half-precision MMA generation
+//! TCStencil (ICS 2022) targets natively.
+//!
+//! Two things distinguish it from the FP64 path this workspace centers
+//! on:
+//!
+//! * **fragment shape** — 16×16×16 with FP32 accumulation, modeled here
+//!   at whole-fragment granularity (the per-lane register layout only
+//!   matters for the FP64 BVS proof; no FP16 method in this workspace
+//!   re-feeds accumulators as operands);
+//! * **precision** — operands are quantized to IEEE 754 binary16 before
+//!   every multiply (round-to-nearest-even) and products accumulate in
+//!   FP32, so the *numerical cost* of FP16 stencils — the reason the
+//!   paper targets FP64 — is measured, not assumed.
+//!
+//! Counters: FP16 MMAs are tracked separately ([`crate::PerfCounters::
+//! mma_fp16_ops`], 8192 FLOPs each against the 312 TFLOPS FP16 peak) and
+//! FP16 data moves 2 bytes per element.
+
+use crate::context::SimContext;
+use crate::shared::SharedTile;
+
+/// Rows/cols/depth of the FP16 MMA shape.
+pub const MMA16: usize = 16;
+
+/// FLOPs performed by one `m16n16k16` MMA: `2 · 16³`.
+pub const FLOPS_PER_MMA16: u64 = 2 * 16 * 16 * 16;
+
+/// Round an `f64` to the nearest IEEE 754 binary16 value (ties to even),
+/// returned as `f64`. Overflow saturates to ±∞ like hardware conversion.
+pub fn quantize_f16(x: f64) -> f64 {
+    let x32 = x as f32;
+    let bits = x32.to_bits();
+    let sign = bits >> 31;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // inf / NaN pass through
+        return x32 as f64;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // overflow → ±inf (hardware cvt behaviour)
+        return if sign == 1 { f64::NEG_INFINITY } else { f64::INFINITY };
+    }
+    let h = if unbiased >= -14 {
+        // normal half: keep 10 mantissa bits, round to nearest even
+        let shift = 13;
+        let halfway = 1u32 << (shift - 1);
+        let mut m = mant >> shift;
+        let rem = mant & ((1 << shift) - 1);
+        if rem > halfway || (rem == halfway && (m & 1) == 1) {
+            m += 1;
+        }
+        let mut e = (unbiased + 15) as u32;
+        if m == 0x400 {
+            // mantissa rounded over: bump exponent
+            m = 0;
+            e += 1;
+            if e >= 31 {
+                return if sign == 1 { f64::NEG_INFINITY } else { f64::INFINITY };
+            }
+        }
+        ((sign << 15) | (e << 10) | m) as u16
+    } else if unbiased >= -24 {
+        // subnormal half
+        let shift = 13 + (-14 - unbiased) as u32;
+        let full = mant | 0x80_0000;
+        let halfway = 1u32 << (shift - 1);
+        let mut m = full >> shift;
+        let rem = full & ((1 << shift) - 1);
+        if rem > halfway || (rem == halfway && (m & 1) == 1) {
+            m += 1;
+        }
+        ((sign << 15) | m) as u16
+    } else {
+        // underflow → signed zero
+        (sign << 15) as u16
+    };
+    half_bits_to_f64(h)
+}
+
+/// Decode binary16 bits to `f64`.
+fn half_bits_to_f64(h: u16) -> f64 {
+    let sign = if h >> 15 == 1 { -1.0 } else { 1.0 };
+    let exp = ((h >> 10) & 0x1F) as i32;
+    let mant = (h & 0x3FF) as f64;
+    match exp {
+        0 => sign * mant * 2f64.powi(-24),
+        31 => {
+            if mant == 0.0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        }
+        _ => sign * (1.0 + mant / 1024.0) * 2f64.powi(exp - 15),
+    }
+}
+
+/// A 16×16 FP16 operand fragment (values stored pre-quantized).
+#[derive(Debug, Clone)]
+pub struct Frag16 {
+    data: [[f64; MMA16]; MMA16],
+}
+
+impl Frag16 {
+    /// All-zero fragment.
+    pub fn zero() -> Self {
+        Frag16 { data: [[0.0; MMA16]; MMA16] }
+    }
+
+    /// Build from a closure, quantizing every element to binary16.
+    pub fn from_fn(f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut frag = Self::zero();
+        for (i, row) in frag.data.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = quantize_f16(f(i, j));
+            }
+        }
+        frag
+    }
+
+    /// Element access (already binary16-rounded).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i][j]
+    }
+}
+
+/// A 16×16 FP32 accumulator fragment.
+#[derive(Debug, Clone)]
+pub struct Acc16 {
+    data: [[f32; MMA16]; MMA16],
+}
+
+impl Acc16 {
+    /// All-zero accumulator.
+    pub fn zero() -> Self {
+        Acc16 { data: [[0.0; MMA16]; MMA16] }
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i][j]
+    }
+}
+
+impl SimContext {
+    /// Issue one `m16n16k16` FP16 MMA with FP32 accumulation:
+    /// `D = A × B + C`. Operands are binary16 values; every partial
+    /// product is rounded to FP32 on accumulation, as the hardware does.
+    pub fn mma16(&mut self, a: &Frag16, b: &Frag16, c: &Acc16) -> Acc16 {
+        self.counters.mma_fp16_ops += 1;
+        self.record(crate::trace::TraceEvent::Mma16);
+        let mut d = Acc16::zero();
+        for i in 0..MMA16 {
+            for j in 0..MMA16 {
+                let mut acc = c.data[i][j];
+                for k in 0..MMA16 {
+                    acc += (a.data[i][k] * b.data[k][j]) as f32;
+                }
+                d.data[i][j] = acc;
+            }
+        }
+        d
+    }
+}
+
+/// Warp-load a 16×16 FP16 fragment from a shared tile (quantizing), with
+/// zero padding outside the tile. FP16 elements are 2 bytes, so the 256
+/// elements fit one warp-level request.
+pub fn load_frag16(ctx: &mut SimContext, tile: &SharedTile, r0: isize, c0: isize) -> Frag16 {
+    ctx.counters.shared_load_requests += 1;
+    Frag16::from_fn(|i, j| {
+        let (r, c) = (r0 + i as isize, c0 + j as isize);
+        if r < 0 || c < 0 || r as usize >= tile.rows() || c as usize >= tile.cols() {
+            0.0
+        } else {
+            tile.peek(r as usize, c as usize)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_matches_known_binary16_values() {
+        assert_eq!(quantize_f16(1.0), 1.0);
+        assert_eq!(quantize_f16(0.5), 0.5);
+        assert_eq!(quantize_f16(65504.0), 65504.0); // f16 max normal
+        assert_eq!(quantize_f16(65536.0), f64::INFINITY); // overflow
+        assert_eq!(quantize_f16(-65536.0), f64::NEG_INFINITY);
+        // 1/3 is not representable: nearest half is 0.33325195
+        assert!((quantize_f16(1.0 / 3.0) - 0.333_251_953_125).abs() < 1e-12);
+        // smallest subnormal
+        assert!((quantize_f16(6e-8) - 5.960_464_477_539_063e-8).abs() < 1e-20);
+        // underflow to zero
+        assert_eq!(quantize_f16(1e-12), 0.0);
+        assert_eq!(quantize_f16(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        for x in [0.1, -3.7, 1234.56, 2f64.powi(-20), 0.999] {
+            let q = quantize_f16(x);
+            assert_eq!(quantize_f16(q), q, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded_by_half_ulp() {
+        // relative error of binary16 rounding ≤ 2^-11 for normals
+        for i in 1..2000 {
+            let x = i as f64 * 0.173;
+            let q = quantize_f16(x);
+            assert!(((q - x) / x).abs() <= 2f64.powi(-11) + 1e-15, "x = {x}, q = {q}");
+        }
+    }
+
+    #[test]
+    fn mma16_matches_dense_product_in_low_precision() {
+        let mut ctx = SimContext::new();
+        let a = Frag16::from_fn(|i, j| (i as f64 - j as f64) * 0.125);
+        let b = Frag16::from_fn(|i, j| (i + 2 * j) as f64 * 0.0625);
+        let d = ctx.mma16(&a, &b, &Acc16::zero());
+        assert_eq!(ctx.counters.mma_fp16_ops, 1);
+        for i in 0..MMA16 {
+            for j in 0..MMA16 {
+                let exact: f64 = (0..MMA16).map(|k| a.get(i, k) * b.get(k, j)).sum();
+                // fp32 accumulation error over 16 adds is tiny here
+                assert!((d.get(i, j) as f64 - exact).abs() < 1e-3, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn load_frag16_counts_one_request_and_quantizes() {
+        let mut ctx = SimContext::new();
+        let mut tile = SharedTile::new(16, 16);
+        tile.poke(3, 3, 1.0 / 3.0);
+        let f = load_frag16(&mut ctx, &tile, 0, 0);
+        assert_eq!(ctx.counters.shared_load_requests, 1);
+        assert!((f.get(3, 3) - 0.333_251_953_125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Simulated shared memory: a 2-D FP64 tile with warp-level request
+//! accounting, the counter Fig. 10 of the paper reads through Nsight
+//! Compute ("shared memory loads, stores and total requests").
+//!
+//! Request model: every warp-level instruction touching shared memory is
+//! one request —
+//! * loading an A/B fragment (32 lanes × 1 element) → 1 load request;
+//! * storing an accumulator (32 lanes × 2 registers) → 2 store requests;
+//! * a warp-wide scalar access of up to 32 elements → 1 request.
+//!
+//! Bank conflicts are not modeled; both LoRAStencil and ConvStencil use
+//! conflict-free layouts, so conflicts would add equal constant factors.
+
+use crate::context::SimContext;
+use crate::fragment::{FragA, FragAcc, FragB, MMA_K, MMA_M, MMA_N};
+use crate::trace::TraceEvent;
+
+/// A 2-D tile resident in simulated shared memory.
+#[derive(Debug, Clone)]
+pub struct SharedTile {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl SharedTile {
+    /// Allocate a zeroed `rows × cols` tile.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        SharedTile { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Tile height.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Tile width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Size of the allocation in bytes (for occupancy accounting).
+    pub fn bytes(&self) -> u32 {
+        (self.data.len() * std::mem::size_of::<f64>()) as u32
+    }
+
+    #[inline]
+    fn idx(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.rows && c < self.cols, "({r},{c}) out of {}x{}", self.rows, self.cols);
+        r * self.cols + c
+    }
+
+    /// Direct element read *without* request accounting — used only to
+    /// fill or inspect tiles from the host side of the simulation.
+    #[inline]
+    pub fn peek(&self, r: usize, c: usize) -> f64 {
+        self.data[self.idx(r, c)]
+    }
+
+    /// Direct element write without request accounting (host side).
+    #[inline]
+    pub fn poke(&mut self, r: usize, c: usize, v: f64) {
+        let i = self.idx(r, c);
+        self.data[i] = v;
+    }
+
+    /// Warp-load an 8×4 A fragment whose top-left corner is `(r0, c0)`.
+    /// Out-of-bounds elements read as zero (the zero-padded borders the
+    /// paper's weight matrices rely on).
+    pub fn load_frag_a(&self, ctx: &mut SimContext, r0: isize, c0: isize) -> FragA {
+        ctx.counters.shared_load_requests += 1;
+        ctx.record(TraceEvent::SharedLoad);
+        let mut m = [[0.0; MMA_K]; MMA_M];
+        for (dr, row) in m.iter_mut().enumerate() {
+            for (dc, v) in row.iter_mut().enumerate() {
+                *v = self.get_or_zero(r0 + dr as isize, c0 + dc as isize);
+            }
+        }
+        FragA::from_matrix(&m)
+    }
+
+    /// Warp-load a 4×8 B fragment whose top-left corner is `(r0, c0)`.
+    pub fn load_frag_b(&self, ctx: &mut SimContext, r0: isize, c0: isize) -> FragB {
+        ctx.counters.shared_load_requests += 1;
+        ctx.record(TraceEvent::SharedLoad);
+        let mut m = [[0.0; MMA_N]; MMA_K];
+        for (dr, row) in m.iter_mut().enumerate() {
+            for (dc, v) in row.iter_mut().enumerate() {
+                *v = self.get_or_zero(r0 + dr as isize, c0 + dc as isize);
+            }
+        }
+        FragB::from_matrix(&m)
+    }
+
+    /// Warp-store an 8×8 accumulator at `(r0, c0)` (2 store requests: one
+    /// per accumulator register).
+    pub fn store_acc(&mut self, ctx: &mut SimContext, r0: usize, c0: usize, acc: &FragAcc) {
+        ctx.counters.shared_store_requests += 2;
+        ctx.record(TraceEvent::SharedStore);
+        for r in 0..MMA_M {
+            for c in 0..MMA_N {
+                self.poke(r0 + r, c0 + c, acc.get(r, c));
+            }
+        }
+    }
+
+    /// Warp-wide scalar load of up to 32 contiguous elements of row `r`
+    /// starting at column `c0` (1 load request). Returns the values.
+    pub fn load_row_span(&self, ctx: &mut SimContext, r: usize, c0: usize, len: usize) -> Vec<f64> {
+        assert!(len <= 32, "a warp loads at most 32 elements per request");
+        ctx.counters.shared_load_requests += 1;
+        (0..len).map(|i| self.peek(r, c0 + i)).collect()
+    }
+
+    /// Warp-wide scalar store of up to 32 contiguous elements (1 request).
+    pub fn store_row_span(&mut self, ctx: &mut SimContext, r: usize, c0: usize, vals: &[f64]) {
+        assert!(vals.len() <= 32);
+        ctx.counters.shared_store_requests += 1;
+        for (i, &v) in vals.iter().enumerate() {
+            self.poke(r, c0 + i, v);
+        }
+    }
+
+    #[inline]
+    fn get_or_zero(&self, r: isize, c: isize) -> f64 {
+        if r < 0 || c < 0 || r as usize >= self.rows || c as usize >= self.cols {
+            0.0
+        } else {
+            self.data[r as usize * self.cols + c as usize]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frag_loads_count_one_request_each() {
+        let mut ctx = SimContext::new();
+        let mut tile = SharedTile::new(16, 16);
+        tile.poke(2, 3, 5.0);
+        let a = tile.load_frag_a(&mut ctx, 0, 0);
+        let b = tile.load_frag_b(&mut ctx, 0, 0);
+        assert_eq!(ctx.counters.shared_load_requests, 2);
+        assert_eq!(a.get(2, 3), 5.0);
+        assert_eq!(b.get(2, 3), 5.0);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_zero_pad() {
+        let mut ctx = SimContext::new();
+        let mut tile = SharedTile::new(4, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                tile.poke(r, c, 1.0);
+            }
+        }
+        let a = tile.load_frag_a(&mut ctx, -2, -2);
+        // rows 0..2 / cols 0..2 of the fragment fall outside the tile.
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.get(1, 1), 0.0);
+        assert_eq!(a.get(2, 2), 1.0);
+    }
+
+    #[test]
+    fn acc_store_counts_two_requests() {
+        let mut ctx = SimContext::new();
+        let mut tile = SharedTile::new(8, 8);
+        let acc = FragAcc::from_matrix(&[[2.5; 8]; 8]);
+        tile.store_acc(&mut ctx, 0, 0, &acc);
+        assert_eq!(ctx.counters.shared_store_requests, 2);
+        assert_eq!(tile.peek(7, 7), 2.5);
+    }
+
+    #[test]
+    fn row_span_roundtrip() {
+        let mut ctx = SimContext::new();
+        let mut tile = SharedTile::new(2, 32);
+        let vals: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        tile.store_row_span(&mut ctx, 1, 0, &vals);
+        let back = tile.load_row_span(&mut ctx, 1, 0, 32);
+        assert_eq!(back, vals);
+        assert_eq!(ctx.counters.shared_load_requests, 1);
+        assert_eq!(ctx.counters.shared_store_requests, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_span_longer_than_warp_panics() {
+        let mut ctx = SimContext::new();
+        let tile = SharedTile::new(2, 64);
+        tile.load_row_span(&mut ctx, 0, 0, 33);
+    }
+}

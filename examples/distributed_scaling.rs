@@ -1,0 +1,53 @@
+//! Distributed LoRAStencil: split a 2-D field across simulated A100s with
+//! halo exchange over NVLink, confirm the result is bit-identical to the
+//! single-device run, and chart the strong-scaling curve.
+//!
+//! ```text
+//! cargo run --release --example distributed_scaling
+//! ```
+
+use lorastencil::ExecConfig;
+use multi_gpu::{efficiency, model_run, run_distributed};
+use stencil_core::render::sparkline;
+use stencil_core::{kernels, Grid2D};
+use tcu_sim::CostModel;
+
+fn main() {
+    let kernel = kernels::box_2d49p();
+    let grid = Grid2D::from_fn(1024, 512, |r, c| {
+        ((r as f64 * 0.05).sin() + (c as f64 * 0.03).cos()) * 4.0
+    });
+    let iters = 6;
+    let model = CostModel::a100();
+    let logical = (grid.len() * iters) as u64;
+
+    println!("{} on a 1024x512 field, {iters} iterations\n", kernel.name);
+
+    let single = run_distributed(&kernel, &grid, iters, 1, ExecConfig::full());
+    let base = model_run(&single, &model, logical);
+
+    println!("{:>8}  {:>12}  {:>9}  {:>11}  {:>14}", "devices", "GStencil/s", "speedup", "efficiency", "NVLink MB");
+    let mut curve = Vec::new();
+    for d in [1usize, 2, 4, 8, 16] {
+        let out = run_distributed(&kernel, &grid, iters, d, ExecConfig::full());
+        // distribution must not change a single bit of the result
+        assert_eq!(
+            out.output.as_slice(),
+            single.output.as_slice(),
+            "distributed result diverged at {d} devices"
+        );
+        let p = model_run(&out, &model, logical);
+        curve.push(p.gstencil);
+        println!(
+            "{:>8}  {:>12.1}  {:>8.2}x  {:>10.0}%  {:>14.2}",
+            d,
+            p.gstencil,
+            base.time / p.time,
+            100.0 * efficiency(&base, &p),
+            out.nvlink_bytes as f64 / 1e6,
+        );
+    }
+    println!("\nthroughput curve: {}", sparkline(&curve));
+    println!("every configuration produced a bit-identical field — the tile-aligned");
+    println!("ghost padding reproduces the single-device computation exactly.");
+}

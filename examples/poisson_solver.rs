@@ -1,0 +1,83 @@
+//! Jacobi solver for the Poisson equation `∇²u = f` on a periodic
+//! domain, with LoRAStencil as the smoother — the iterative-solver
+//! pattern behind the heat-conduction and fluid workloads the paper
+//! motivates.
+//!
+//! Each Jacobi sweep is one stencil application,
+//! `u' = (N + S + E + W)/4 − (h²/4)·f`, split into a LoRAStencil pass
+//! for the neighbor average and an axpy for the right-hand side. The
+//! residual `‖∇²u − f‖∞` is tracked with the 5-point Laplacian, also
+//! applied through LoRAStencil.
+//!
+//! ```text
+//! cargo run --release --example poisson_solver
+//! ```
+
+use lorastencil::LoRaStencil;
+use stencil_core::kernels_ext::{jacobi_poisson_2d, laplacian_2d};
+use stencil_core::{Grid2D, GridData, Problem, StencilExecutor};
+use tcu_sim::PerfCounters;
+
+const N: usize = 64;
+
+/// max |∇²u − f| via a LoRAStencil Laplacian pass.
+fn residual(exec: &LoRaStencil, u: &Grid2D, f: &Grid2D) -> f64 {
+    let p = Problem::new(laplacian_2d(2), u.clone(), 1);
+    let lap = exec.execute(&p).unwrap();
+    lap.output
+        .as_slice()
+        .iter()
+        .zip(f.as_slice())
+        .map(|(l, fv)| (l - fv).abs())
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    // Right-hand side: two opposite-signed charges. On a torus the RHS
+    // must integrate to zero for the problem to be solvable.
+    let mut f = Grid2D::new(N, N);
+    f.set(16, 16, 1.0);
+    f.set(48, 48, -1.0);
+
+    let exec = LoRaStencil::new();
+    let smoother = jacobi_poisson_2d();
+    let mut u = Grid2D::new(N, N);
+    let mut totals = PerfCounters::new();
+
+    println!("Jacobi-solving ∇²u = f on a {N}x{N} torus (LoRAStencil smoother)\n");
+    println!("{:>6}  {:>12}", "sweeps", "residual ∞");
+    println!("{:>6}  {:>12.4e}", 0, residual(&exec, &u, &f));
+
+    let sweeps_per_round = 50;
+    for round in 1..=8 {
+        // u ← S(u) − (1/4)·f, with S the zero-center neighbor average
+        for _ in 0..sweeps_per_round {
+            let p = Problem::new(smoother.clone(), u.clone(), 1);
+            let out = exec.execute(&p).unwrap();
+            totals.merge(&out.counters);
+            let GridData::D2(mut next) = out.output else { unreachable!() };
+            for (v, fv) in next.as_mut_slice().iter_mut().zip(f.as_slice()) {
+                *v -= 0.25 * fv;
+            }
+            u = next;
+        }
+        println!("{:>6}  {:>12.4e}", round * sweeps_per_round, residual(&exec, &u, &f));
+    }
+
+    let r = residual(&exec, &u, &f);
+    assert!(r < 2e-3, "Jacobi did not converge: {r}");
+    println!("\nconverged: max residual {r:.3e}");
+    println!(
+        "smoother totals: {} tensor-core MMAs, {} shared loads, 0 shuffles (BVS), {} points updated",
+        totals.mma_ops, totals.shared_load_requests, totals.points_updated
+    );
+    // the solution honors the source signs: positive ∇²u at a point
+    // means upward curvature — a potential well, so the positive charge
+    // sits at the minimum and the negative one at the maximum
+    assert!(u.at(16, 16) < u.at(48, 48), "potential well/peak inverted");
+    println!(
+        "u(charge+) = {:+.4}, u(charge−) = {:+.4}",
+        u.at(16, 16),
+        u.at(48, 48)
+    );
+}

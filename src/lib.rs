@@ -1,0 +1,11 @@
+//! Façade crate re-exporting the LoRAStencil reproduction workspace.
+//!
+//! See `crates/lorastencil` for the paper's contribution, `crates/tcu-sim`
+//! for the simulated tensor-core substrate, `crates/stencil-core` for the
+//! stencil foundation and `crates/baselines` for comparators.
+
+pub use baselines;
+pub use lorastencil;
+pub use multi_gpu;
+pub use stencil_core;
+pub use tcu_sim;

@@ -1,0 +1,124 @@
+//! Cross-crate correctness: every executor in the workspace (LoRAStencil
+//! and all six baselines) must reproduce the naive reference on every
+//! Table II benchmark kernel, across multiple iterations, on grids whose
+//! shapes exercise tile clipping and periodic wraparound.
+
+use baselines::all_baselines;
+use lorastencil::LoRaStencil;
+use stencil_core::{kernels, max_error_vs_reference, Grid1D, Grid2D, Grid3D, Problem, StencilExecutor};
+
+const TOL: f64 = 1e-9;
+
+fn problems_for(kernel: &stencil_core::StencilKernel) -> Vec<Problem> {
+    match kernel.dims() {
+        1 => vec![
+            Problem::new(kernel.clone(), Grid1D::from_fn(128, |i| (i as f64 * 0.21).sin()), 1),
+            Problem::new(kernel.clone(), Grid1D::from_fn(193, |i| ((i * 7) % 13) as f64 * 0.3), 4),
+        ],
+        2 => vec![
+            Problem::new(
+                kernel.clone(),
+                Grid2D::from_fn(32, 32, |r, c| (r as f64 * 0.4).cos() + (c % 5) as f64),
+                1,
+            ),
+            Problem::new(
+                kernel.clone(),
+                // non-multiple-of-8 shape: clipped tiles + wraparound
+                Grid2D::from_fn(21, 27, |r, c| ((r * 13 + c * 5) % 11) as f64 * 0.7),
+                4,
+            ),
+        ],
+        _ => vec![
+            Problem::new(
+                kernel.clone(),
+                Grid3D::from_fn(4, 16, 16, |z, y, x| (z + y + x) as f64 * 0.1),
+                1,
+            ),
+            Problem::new(
+                kernel.clone(),
+                Grid3D::from_fn(5, 11, 13, |z, y, x| ((z * 3 + y * 7 + x) % 9) as f64),
+                3,
+            ),
+        ],
+    }
+}
+
+#[test]
+fn lorastencil_matches_reference_on_every_benchmark_kernel() {
+    let exec = LoRaStencil::new();
+    for kernel in kernels::all_kernels() {
+        for p in problems_for(&kernel) {
+            let err = max_error_vs_reference(&exec, &p).unwrap();
+            assert!(err < TOL, "LoRAStencil on {} ({:?} iters): err = {err}", kernel.name, p.iterations);
+        }
+    }
+}
+
+#[test]
+fn every_baseline_matches_reference_on_every_benchmark_kernel() {
+    for exec in all_baselines() {
+        for kernel in kernels::all_kernels() {
+            for p in problems_for(&kernel) {
+                let err = max_error_vs_reference(exec.as_ref(), &p).unwrap();
+                assert!(
+                    err < TOL,
+                    "{} on {} ({} iters): err = {err}",
+                    exec.name(),
+                    kernel.name,
+                    p.iterations
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_executors_agree_with_each_other() {
+    // transitivity check at a shape none of the unit tests use
+    let kernel = kernels::star_2d13p();
+    let p = Problem::new(
+        kernel,
+        Grid2D::from_fn(19, 33, |r, c| (r as f64 - c as f64) * 0.05 + ((r * c) % 7) as f64),
+        2,
+    );
+    let lora = LoRaStencil::new().execute(&p).unwrap();
+    for exec in all_baselines() {
+        let out = exec.execute(&p).unwrap();
+        let d = lora.output.max_abs_diff(&out.output);
+        assert!(d < TOL, "LoRAStencil vs {}: {d}", exec.name());
+    }
+}
+
+#[test]
+fn zero_iterations_is_identity() {
+    let g = Grid2D::from_fn(16, 16, |r, c| (r + c) as f64);
+    let p = Problem::new(kernels::box_2d9p(), g.clone(), 0);
+    let out = LoRaStencil::new().execute(&p).unwrap();
+    assert_eq!(out.output.max_abs_diff(&stencil_core::GridData::D2(g)), 0.0);
+    assert_eq!(out.counters.mma_ops, 0);
+}
+
+#[test]
+fn grid_smaller_than_kernel_halo_still_correct() {
+    // 5×5 grid with a radius-3 kernel: the halo wraps more than once
+    let g = Grid2D::from_fn(5, 5, |r, c| (r * 5 + c) as f64);
+    let p = Problem::new(kernels::box_2d49p(), g, 2);
+    let err = max_error_vs_reference(&LoRaStencil::new(), &p).unwrap();
+    assert!(err < TOL, "err = {err}");
+}
+
+#[test]
+fn long_iteration_chains_stay_stable() {
+    // normalized weights + periodic domain conserve the mean; 50
+    // iterations must neither blow up nor drift
+    let g = Grid1D::from_fn(256, |i| if i == 128 { 256.0 } else { 0.0 });
+    let mean0: f64 = 1.0;
+    let p = Problem::new(kernels::heat_1d(), g, 50);
+    let out = LoRaStencil::new().execute(&p).unwrap();
+    let vals = out.output.as_slice();
+    let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+    assert!((mean - mean0).abs() < 1e-9, "mass not conserved: {mean}");
+    assert!(vals.iter().all(|v| v.is_finite() && *v >= -1e-12));
+    let err = max_error_vs_reference(&LoRaStencil::new(), &p).unwrap();
+    assert!(err < 1e-8, "err = {err}");
+}

@@ -1,0 +1,85 @@
+//! Cross-crate integration of the distributed extension: the multi-GPU
+//! executor composes with every kernel family (benchmarks, extended
+//! library, spec-defined) and its scaling model behaves sanely on top of
+//! the same cost machinery the single-device evaluation uses.
+
+use lorastencil::ExecConfig;
+use multi_gpu::{efficiency, model_run, partition, run_distributed};
+use stencil_core::{kernels, kernels_ext, reference, spec, Grid2D, GridData};
+use tcu_sim::CostModel;
+
+fn field(rows: usize, cols: usize) -> Grid2D {
+    Grid2D::from_fn(rows, cols, |r, c| {
+        (r as f64 * 0.19).sin() * 3.0 + (c as f64 * 0.11).cos() + ((r * 3 + c) % 7) as f64 * 0.1
+    })
+}
+
+#[test]
+fn distributed_matches_reference_for_every_2d_kernel_family() {
+    let grid = field(64, 40);
+    let mut kernels_2d = vec![
+        kernels::heat_2d(),
+        kernels::box_2d9p(),
+        kernels::star_2d13p(),
+        kernels::box_2d49p(),
+    ];
+    kernels_2d.extend(kernels_ext::all_extended().into_iter().filter(|k| k.dims() == 2));
+    // plus a spec-defined custom kernel
+    kernels_2d.push(
+        spec::parse_kernel("kernel: custom\nweights2d:\n0.1 0.2 0.1\n0.2 -1.2 0.2\n0.1 0.2 0.1\n")
+            .unwrap(),
+    );
+    for k in kernels_2d {
+        let got = run_distributed(&k, &grid, 4, 4, ExecConfig::full());
+        let want = reference::run(&GridData::D2(grid.clone()), &k, 4);
+        let err = GridData::D2(got.output).max_abs_diff(&want);
+        assert!(err < 1e-8, "{}: err = {err}", k.name);
+    }
+}
+
+#[test]
+fn device_counters_sum_to_more_than_single_device_work() {
+    // the surface-to-volume law: more devices ⇒ more total (ghost) work
+    let grid = field(128, 64);
+    let k = kernels::box_2d49p();
+    let mma_total = |devices: usize| -> u64 {
+        run_distributed(&k, &grid, 2, devices, ExecConfig::full())
+            .per_device
+            .iter()
+            .map(|c| c.mma_ops)
+            .sum()
+    };
+    let one = mma_total(1);
+    let four = mma_total(4);
+    let eight = mma_total(8);
+    assert!(four > one);
+    assert!(eight > four);
+    // but the overhead is bounded: ≤ 2 ghost tiles per slab side
+    assert!(eight < one * 3, "ghost overhead exploded: {one} -> {eight}");
+}
+
+#[test]
+fn partition_is_deterministic_and_total() {
+    for rows in [64usize, 96, 200] {
+        for d in [1usize, 2, 3, 5] {
+            let a = partition(rows, d);
+            let b = partition(rows, d);
+            assert_eq!(a, b);
+            assert_eq!(a.iter().map(|s| s.len).sum::<usize>(), rows);
+        }
+    }
+}
+
+#[test]
+fn scaling_model_is_consistent_with_the_cost_model() {
+    let grid = field(256, 128);
+    let model = CostModel::a100();
+    let k = kernels::box_2d9p();
+    let logical = (grid.len() * 6) as u64;
+    let one = model_run(&run_distributed(&k, &grid, 6, 1, ExecConfig::full()), &model, logical);
+    let two = model_run(&run_distributed(&k, &grid, 6, 2, ExecConfig::full()), &model, logical);
+    assert!(two.time < one.time, "2 devices must be faster");
+    let e = efficiency(&one, &two);
+    assert!((0.4..=1.0).contains(&e), "efficiency {e}");
+    assert!(one.gstencil > 0.0 && two.gstencil > one.gstencil);
+}

@@ -1,0 +1,156 @@
+//! Shape assertions on the regenerated evaluation: the qualitative
+//! findings of the paper's §V must hold in the reproduction — who wins,
+//! in what order, and in roughly what factor bands. Runs the harness on
+//! reduced simulation grids (the throughput model is intensive, so the
+//! shapes are identical to the full Table II scale).
+
+use bench_suite::figures::{fig8_on, fig9, table3};
+use bench_suite::workloads;
+use bench_suite::{fig10, render_fig10};
+use tcu_sim::CostModel;
+
+fn reduced_fig8() -> bench_suite::figures::Fig8 {
+    fig8_on(&CostModel::a100(), workloads::reduced(workloads::table_ii()))
+}
+
+#[test]
+fn lorastencil_is_fastest_on_every_kernel() {
+    let fig = reduced_fig8();
+    for (w, res) in fig.workloads.iter().zip(&fig.results) {
+        let lora = res.iter().find(|r| r.method == "LoRAStencil").unwrap().gstencil;
+        for r in res.iter().filter(|r| !r.method.starts_with("LoRAStencil")) {
+            assert!(
+                lora >= r.gstencil * 0.999,
+                "{}: {} ({:.1}) beats LoRAStencil ({lora:.1})",
+                w.kernel.name,
+                r.method,
+                r.gstencil
+            );
+        }
+    }
+}
+
+#[test]
+fn lora_best_is_an_upper_bound() {
+    let fig = reduced_fig8();
+    for (w, res) in fig.workloads.iter().zip(&fig.results) {
+        let lora = res.iter().find(|r| r.method == "LoRAStencil").unwrap().gstencil;
+        let best = res.iter().find(|r| r.method == "LoRAStencil-Best").unwrap().gstencil;
+        assert!(best >= lora * 0.999, "{}: best {best:.1} < lora {lora:.1}", w.kernel.name);
+    }
+}
+
+#[test]
+fn convstencil_speedup_in_paper_band() {
+    // paper: 1.12×–2.16×, average 1.37×; allow a generous band around it
+    let fig = reduced_fig8();
+    let ratios = fig.lora_speedup_over("ConvStencil");
+    for (w, r) in fig.workloads.iter().zip(&ratios) {
+        assert!((0.99..3.5).contains(r), "{}: LoRA/ConvStencil = {r:.2}", w.kernel.name);
+    }
+    let geo = bench_suite::report::geomean(&ratios);
+    assert!((1.1..2.4).contains(&geo), "geomean = {geo:.2} (paper: 1.37)");
+}
+
+#[test]
+fn method_ordering_matches_paper() {
+    // paper's average speedups order the field:
+    // cuDNN and AMOS far behind; ConvStencil the closest competitor.
+    let fig = reduced_fig8();
+    let geo = |m: &str| bench_suite::report::geomean(&fig.lora_speedup_over(m));
+    let (cudnn, amos) = (geo("cuDNN"), geo("AMOS"));
+    let (brick, drs) = (geo("Brick"), geo("DRStencil"));
+    let (tcs, conv) = (geo("TCStencil"), geo("ConvStencil"));
+    assert!(cudnn > 8.0, "cuDNN gap {cudnn:.1} (paper 20.11)");
+    assert!(amos > 8.0, "AMOS gap {amos:.1} (paper 14.45)");
+    assert!(cudnn > brick && cudnn > conv, "cuDNN must trail the stencil-tuned systems");
+    assert!(amos > tcs && amos > conv, "AMOS must trail the stencil-on-TCU systems");
+    assert!(conv < brick && conv < tcs && conv < cudnn && conv < amos && conv < drs * 1.35,
+        "ConvStencil must be the closest competitor: conv={conv:.2} brick={brick:.2} tcs={tcs:.2} drs={drs:.2}");
+}
+
+#[test]
+fn breakdown_stages_improve_monotonically_at_scale() {
+    // Fig. 9: each optimization adds performance at large input sizes
+    let fig = fig9(&CostModel::a100());
+    let last = fig.gstencil.last().unwrap();
+    assert!(last[1] > last[0], "TCU must beat CUDA-core RDG: {last:?}");
+    assert!(last[2] > last[1], "BVS must beat shuffled MCM: {last:?}");
+    assert!(last[3] > last[2], "async copy must beat staged: {last:?}");
+    // ratio bands around the paper's 2.14×, 4.00×, 1.297×
+    let tcu = last[1] / last[0];
+    let bvs = last[2] / last[1];
+    let ac = last[3] / last[2];
+    assert!((1.3..3.2).contains(&tcu), "TCU step = {tcu:.2} (paper 2.14)");
+    assert!((2.5..5.5).contains(&bvs), "BVS step = {bvs:.2} (paper 4.00)");
+    assert!((1.1..1.6).contains(&ac), "AC step = {ac:.2} (paper 1.297)");
+}
+
+#[test]
+fn breakdown_performance_grows_with_input_size() {
+    // Fig. 9: "contributions of different optimizations gradually
+    // stabilize with increasing input size"
+    let fig = fig9(&CostModel::a100());
+    for stage in 0..fig.stages.len() {
+        for w in fig.gstencil.windows(2) {
+            assert!(
+                w[1][stage] >= w[0][stage] * 0.999,
+                "stage {stage} must not regress with size"
+            );
+        }
+        let first = fig.gstencil.first().unwrap()[stage];
+        let last = fig.gstencil.last().unwrap()[stage];
+        assert!(last > first, "stage {stage} must ramp up");
+        // and stabilize: the last doubling gains little
+        let prev = fig.gstencil[fig.gstencil.len() - 2][stage];
+        assert!(last / prev < 1.1, "stage {stage} must stabilize");
+    }
+}
+
+#[test]
+fn shared_memory_requests_shrink_like_fig10() {
+    let rows = fig10(&CostModel::a100());
+    assert_eq!(rows.len(), 4);
+    for r in &rows {
+        assert!(r.lora.0 < r.conv.0, "{}: loads must shrink", r.kernel);
+        assert!(r.lora.1 < r.conv.1, "{}: stores must shrink", r.kernel);
+        assert!(r.lora.2 < r.conv.2, "{}: total must shrink", r.kernel);
+    }
+    // the paper's headline averages: loads → 19.1%, stores → 47.0%,
+    // total reduced by 76.6%; assert generous bands
+    let load_pct = bench_suite::report::geomean(&rows.iter().map(|r| r.lora.0 / r.conv.0).collect::<Vec<_>>());
+    let tot_red = 1.0 - bench_suite::report::geomean(&rows.iter().map(|r| r.lora.2 / r.conv.2).collect::<Vec<_>>());
+    assert!((0.10..0.35).contains(&load_pct), "load ratio {load_pct:.3} (paper 0.191)");
+    assert!((0.60..0.90).contains(&tot_red), "total reduction {tot_red:.3} (paper 0.766)");
+    // the renderer must not panic and must carry all four kernels
+    let text = render_fig10(&rows);
+    for name in ["Star-2D13P", "Box-2D49P", "Heat-3D", "Box-3D27P"] {
+        assert!(text.contains(name));
+    }
+}
+
+#[test]
+fn table3_shapes_hold() {
+    // Table III: LoRAStencil has higher compute throughput AND higher
+    // arithmetic intensity than ConvStencil on both kernels.
+    let rows = table3(&CostModel::a100());
+    for pair in rows.chunks(2) {
+        let (conv, lora) = (&pair[0], &pair[1]);
+        assert_eq!(conv.method, "ConvStencil");
+        assert_eq!(lora.method, "LoRAStencil");
+        assert!(lora.ct > conv.ct, "{}: CT {:.2} vs {:.2}", lora.kernel, lora.ct, conv.ct);
+        assert!(lora.ai > conv.ai, "{}: AI {:.2} vs {:.2}", lora.kernel, lora.ai, conv.ai);
+    }
+}
+
+#[test]
+fn every_method_verified_during_evaluation() {
+    // evaluate() asserts outputs against the reference; additionally the
+    // recorded errors must be tiny
+    let fig = reduced_fig8();
+    for res in &fig.results {
+        for r in res {
+            assert!(r.max_error < 1e-9, "{}: {}", r.method, r.max_error);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests on the simulator substrate itself: the fragment
+//! algebra must be a faithful matrix algebra, the layout maps must be
+//! bijections, counters must compose, and the cost model must be
+//! monotone in every resource.
+
+use proptest::prelude::*;
+use tcu_sim::{
+    occupancy, BlockResources, CostModel, FragA, FragAcc, FragB, PerfCounters, SimContext,
+    MMA_K, MMA_M, MMA_N,
+};
+
+fn mat_a(vals: &[f64]) -> FragA {
+    let mut m = [[0.0; MMA_K]; MMA_M];
+    for (i, v) in vals.iter().enumerate().take(MMA_M * MMA_K) {
+        m[i / MMA_K][i % MMA_K] = *v;
+    }
+    FragA::from_matrix(&m)
+}
+
+fn mat_b(vals: &[f64]) -> FragB {
+    let mut m = [[0.0; MMA_N]; MMA_K];
+    for (i, v) in vals.iter().enumerate().take(MMA_K * MMA_N) {
+        m[i / MMA_N][i % MMA_N] = *v;
+    }
+    FragB::from_matrix(&m)
+}
+
+fn mat_c(vals: &[f64]) -> FragAcc {
+    let mut m = [[0.0; MMA_N]; MMA_M];
+    for (i, v) in vals.iter().enumerate().take(MMA_M * MMA_N) {
+        m[i / MMA_N][i % MMA_N] = *v;
+    }
+    FragAcc::from_matrix(&m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mma_is_exact_dense_multiply_accumulate(
+        a in prop::collection::vec(-4.0..4.0f64, 32..=32),
+        b in prop::collection::vec(-4.0..4.0f64, 32..=32),
+        c in prop::collection::vec(-4.0..4.0f64, 64..=64),
+    ) {
+        let (fa, fb, fc) = (mat_a(&a), mat_b(&b), mat_c(&c));
+        let mut ctx = SimContext::new();
+        let d = ctx.mma(&fa, &fb, &fc);
+        for r in 0..MMA_M {
+            for n in 0..MMA_N {
+                let want: f64 = (0..MMA_K).map(|k| fa.get(r, k) * fb.get(k, n)).sum::<f64>()
+                    + fc.get(r, n);
+                prop_assert!((d.get(r, n) - want).abs() < 1e-12);
+            }
+        }
+        prop_assert_eq!(ctx.counters.mma_ops, 1);
+    }
+
+    #[test]
+    fn fragment_roundtrips_preserve_every_element(
+        vals in prop::collection::vec(-100.0..100.0f64, 64..=64),
+    ) {
+        // accumulator layout is a bijection between (row, col) and
+        // (lane, register)
+        let acc = mat_c(&vals);
+        let m = acc.to_matrix();
+        for r in 0..MMA_M {
+            for c in 0..MMA_N {
+                prop_assert_eq!(m[r][c], vals[r * MMA_N + c]);
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_extraction_never_shuffles_and_is_lossless(
+        vals in prop::collection::vec(-10.0..10.0f64, 64..=64),
+    ) {
+        let acc = mat_c(&vals);
+        for cols in FragAcc::BUTTERFLY_COLS {
+            let (frag, shuffles) = acc.extract_a(cols);
+            prop_assert_eq!(shuffles, 0);
+            for r in 0..MMA_M {
+                for (j, &c) in cols.iter().enumerate() {
+                    prop_assert_eq!(frag.get(r, j), acc.get(r, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_merge_is_associative_and_matches_scaling(
+        mma in 0u64..1000, flops in 0u64..1000, shuf in 0u64..1000,
+    ) {
+        let mut c = PerfCounters::new();
+        c.mma_ops = mma;
+        c.cuda_flops = flops;
+        c.shuffle_ops = shuf;
+        c.shared_load_requests = mma / 2;
+        c.global_bytes_read = flops * 8;
+        // ((c + c) + c) == c * 3
+        let mut two = c;
+        two.merge(&c);
+        let mut three_a = two;
+        three_a.merge(&c);
+        prop_assert_eq!(three_a, c.scaled(3));
+        // (c + (c + c)) == c * 3
+        let mut three_b = c;
+        three_b.merge(&two);
+        prop_assert_eq!(three_b, c.scaled(3));
+    }
+
+    #[test]
+    fn cost_model_is_monotone_in_every_counter(
+        mma in 1u64..1_000_000,
+        reqs in 1u64..1_000_000,
+        bytes in 1u64..100_000_000,
+        shuf in 0u64..100_000,
+    ) {
+        let m = CostModel::a100();
+        let block = BlockResources { shared_bytes: 8192, threads: 256, regs_per_thread: 64 };
+        let mut base = PerfCounters::new();
+        base.mma_ops = mma;
+        base.shared_load_requests = reqs;
+        base.global_bytes_read = bytes;
+        base.shuffle_ops = shuf;
+        let t0 = m.estimate(&base, &block).total;
+        for bump in [
+            |c: &mut PerfCounters| c.mma_ops *= 2,
+            |c: &mut PerfCounters| c.shared_load_requests *= 2,
+            |c: &mut PerfCounters| c.global_bytes_read *= 2,
+            |c: &mut PerfCounters| c.shuffle_ops = c.shuffle_ops * 2 + 1,
+            |c: &mut PerfCounters| c.cuda_flops += 1_000_000,
+            |c: &mut PerfCounters| c.l2_bytes += 100_000_000,
+        ] {
+            let mut worse = base;
+            bump(&mut worse);
+            prop_assert!(m.estimate(&worse, &block).total >= t0);
+        }
+    }
+
+    #[test]
+    fn occupancy_is_antitone_in_block_footprint(
+        shared in 0u32..100_000,
+        regs in 16u32..256,
+    ) {
+        let d = tcu_sim::DeviceSpec::a100();
+        let small = BlockResources { shared_bytes: shared, threads: 256, regs_per_thread: regs };
+        let bigger = BlockResources {
+            shared_bytes: shared + 8192,
+            threads: 256,
+            regs_per_thread: regs.saturating_add(32),
+        };
+        prop_assert!(occupancy(&d, &bigger).fraction <= occupancy(&d, &small).fraction);
+    }
+
+    #[test]
+    fn fp16_quantization_is_monotone(a in -60000.0..60000.0f64, b in -60000.0..60000.0f64) {
+        use tcu_sim::fp16::quantize_f16;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantize_f16(lo) <= quantize_f16(hi));
+    }
+}
+
+#[test]
+fn swapping_mma_operands_transposes_dimensions() {
+    // sanity: the A and B layouts really are different shapes — loading
+    // the same 32 values as A vs B produces different matrices
+    let vals: Vec<f64> = (0..32).map(|i| i as f64).collect();
+    let a = mat_a(&vals);
+    let b = mat_b(&vals);
+    assert_eq!(a.get(1, 0), 4.0); // row-major 8×4
+    assert_eq!(b.get(1, 0), 8.0); // row-major 4×8
+}
