@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Hermetic CI for the LoRAStencil reproduction suite.
+#
+# The workspace has zero external dependencies (see DESIGN.md), so every
+# step runs with --offline against an empty registry. Exits non-zero on
+# the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "   rustfmt not installed; skipping format check"
+fi
+
+echo "== cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "== dependency audit (workspace members only)"
+if cargo tree --offline --workspace --prefix none 2>/dev/null \
+    | grep -vE "^\s*$|^\[dev-dependencies\]$" \
+    | grep -v "(/" ; then
+    echo "error: external dependency found in cargo tree" >&2
+    exit 1
+fi
+
+echo "CI green"

@@ -7,7 +7,7 @@
 //! tensor cores, no temporal fusion.
 
 use crate::common::{
-    grid2_to_global, grid3_to_planes, global_to_grid2, planes_to_grid3, CUDA_ISSUE_OVERHEAD, TILE,
+    global_to_grid2, grid2_to_global, grid3_to_planes, planes_to_grid3, CUDA_ISSUE_OVERHEAD, TILE,
 };
 use crate::cuda_core;
 use stencil_core::{ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor};
@@ -101,7 +101,11 @@ mod tests {
             let p = match k.dims() {
                 1 => Problem::new(k.clone(), Grid1D::from_fn(96, |i| (i % 4) as f64), 2),
                 2 => Problem::new(k.clone(), Grid2D::from_fn(16, 16, |r, c| (r + c) as f64), 2),
-                _ => Problem::new(k.clone(), Grid3D::from_fn(4, 8, 8, |z, y, x| (z * y + x) as f64), 2),
+                _ => Problem::new(
+                    k.clone(),
+                    Grid3D::from_fn(4, 8, 8, |z, y, x| (z * y + x) as f64),
+                    2,
+                ),
             };
             let err = max_error_vs_reference(&exec, &p).unwrap();
             assert!(err < 1e-10, "{}: err = {err}", k.name);

@@ -13,7 +13,7 @@
 //!   exactly testable against the reference, and their *counters* follow
 //!   the analyses the paper's comparisons are built on.
 
-use rayon::prelude::*;
+use foundation::par::*;
 use stencil_core::tiling::{tiles_2d, Tile2D};
 use stencil_core::{Grid2D, Grid3D, WeightMatrix};
 use tcu_sim::{GlobalArray, PerfCounters, SimContext};
@@ -76,7 +76,8 @@ pub fn stencil_point_2d(input: &GlobalArray, w: &WeightMatrix, r: usize, c: usiz
         for j in 0..w.n() {
             let wv = w.get(i, j);
             if wv != 0.0 {
-                acc += wv * wrap_get(input, r as isize + i as isize - h, c as isize + j as isize - h);
+                acc +=
+                    wv * wrap_get(input, r as isize + i as isize - h, c as isize + j as isize - h);
             }
         }
     }
@@ -86,10 +87,7 @@ pub fn stencil_point_2d(input: &GlobalArray, w: &WeightMatrix, r: usize, c: usiz
 /// Exact periodic stencil value for a 1-D weight vector.
 pub fn stencil_point_1d(input: &GlobalArray, w: &[f64], i: usize) -> f64 {
     let h = ((w.len() - 1) / 2) as isize;
-    w.iter()
-        .enumerate()
-        .map(|(k, &wv)| wv * wrap_get(input, 0, i as isize + k as isize - h))
-        .sum()
+    w.iter().enumerate().map(|(k, &wv)| wv * wrap_get(input, 0, i as isize + k as isize - h)).sum()
 }
 
 /// Exact periodic stencil value at `(z, y, x)` for 3-D plane weights.

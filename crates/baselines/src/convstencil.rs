@@ -22,13 +22,12 @@
 //! is mathematically the same sum); counters follow the data path above.
 
 use crate::common::{
-    self, grid2_to_global, grid3_to_planes, global_to_grid2, planes_to_grid3, run_tiled_1d,
+    self, global_to_grid2, grid2_to_global, grid3_to_planes, planes_to_grid3, run_tiled_1d,
     run_tiled_2d, run_tiled_3d, TILE,
 };
 use lorastencil::fusion;
 use stencil_core::{
-    ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor, StencilKernel,
-    WeightMatrix,
+    ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor, StencilKernel, WeightMatrix,
 };
 use tcu_sim::{BlockResources, CopyMode, GlobalArray, PerfCounters, SharedTile, SimContext};
 
@@ -88,24 +87,20 @@ fn shared_per_warp(h: usize, n: usize) -> u32 {
 }
 
 fn block_resources_2d(h: usize, n: usize) -> BlockResources {
-    BlockResources {
-        shared_bytes: 8 * shared_per_warp(h, n),
-        threads: 256,
-        regs_per_thread: 64,
-    }
+    BlockResources { shared_bytes: 8 * shared_per_warp(h, n), threads: 256, regs_per_thread: 64 }
 }
 
 fn block_resources_3d(h: usize, n: usize) -> BlockResources {
     // §V-B: compulsory 3× fusion in 3-D exacerbates register pressure
     // ("issues such as register overflow … become more severe")
-    BlockResources {
-        shared_bytes: 8 * shared_per_warp(h, n),
-        threads: 256,
-        regs_per_thread: 120,
-    }
+    BlockResources { shared_bytes: 8 * shared_per_warp(h, n), threads: 256, regs_per_thread: 120 }
 }
 
-fn apply_2d(input: &GlobalArray, w: &WeightMatrix, fusion_steps: usize) -> (GlobalArray, PerfCounters) {
+fn apply_2d(
+    input: &GlobalArray,
+    w: &WeightMatrix,
+    fusion_steps: usize,
+) -> (GlobalArray, PerfCounters) {
     let h = w.radius();
     let n = w.n();
     run_tiled_2d(input, |t| {
@@ -312,9 +307,10 @@ impl StencilExecutor for ConvStencil {
                     output: GridData::D1(Grid1D::from_vec(cur.as_slice().to_vec())),
                     counters,
                     block: BlockResources {
-                        shared_bytes: 8 * ((8 * (2 * fused_kernel.radius + 2)
-                            + 2 * fused_kernel.radius
-                            + 64 * fused_kernel.side()) as u32)
+                        shared_bytes: 8
+                            * ((8 * (2 * fused_kernel.radius + 2)
+                                + 2 * fused_kernel.radius
+                                + 64 * fused_kernel.side()) as u32)
                             * 8,
                         threads: 256,
                         regs_per_thread: 64,
@@ -357,11 +353,8 @@ mod tests {
         // h = 3: 2⌈49/4⌉ = 26 fragment loads (= MMAs) per 8×8 chunk.
         assert_eq!(frags_per_chunk(7), 26);
         let exec = ConvStencil::new();
-        let p = Problem::new(
-            kernels::box_2d49p(),
-            Grid2D::from_fn(64, 64, |r, c| (r + c) as f64),
-            1,
-        );
+        let p =
+            Problem::new(kernels::box_2d49p(), Grid2D::from_fn(64, 64, |r, c| (r + c) as f64), 1);
         let out = exec.execute(&p).unwrap();
         let tiles = 64 * 64 / 64;
         assert_eq!(out.counters.mma_ops, tiles * 26);

@@ -8,12 +8,14 @@
 //! arithmetic for half the memory passes.
 
 use crate::common::{
-    grid2_to_global, grid3_to_planes, global_to_grid2, planes_to_grid3,
-    DRSTENCIL_ISSUE_OVERHEAD, TILE,
+    global_to_grid2, grid2_to_global, grid3_to_planes, planes_to_grid3, DRSTENCIL_ISSUE_OVERHEAD,
+    TILE,
 };
 use crate::cuda_core;
 use lorastencil::fusion;
-use stencil_core::{ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor, StencilKernel};
+use stencil_core::{
+    ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor, StencilKernel,
+};
 use tcu_sim::{BlockResources, GlobalArray, PerfCounters};
 
 /// The DRStencil baseline executor.
@@ -67,8 +69,12 @@ impl StencilExecutor for DrStencil {
             GridData::D2(g) => {
                 let mut cur = grid2_to_global(g);
                 for _ in 0..full {
-                    let (next, c) =
-                        cuda_core::apply_2d(&cur, fused.weights_2d(), DRSTENCIL_ISSUE_OVERHEAD, fuse);
+                    let (next, c) = cuda_core::apply_2d(
+                        &cur,
+                        fused.weights_2d(),
+                        DRSTENCIL_ISSUE_OVERHEAD,
+                        fuse,
+                    );
                     counters.merge(&c);
                     cur = next;
                 }
@@ -91,8 +97,12 @@ impl StencilExecutor for DrStencil {
             GridData::D3(g) => {
                 let mut cur = grid3_to_planes(g);
                 for _ in 0..full {
-                    let (next, c) =
-                        cuda_core::apply_3d(&cur, fused.weights_3d(), DRSTENCIL_ISSUE_OVERHEAD, fuse);
+                    let (next, c) = cuda_core::apply_3d(
+                        &cur,
+                        fused.weights_3d(),
+                        DRSTENCIL_ISSUE_OVERHEAD,
+                        fuse,
+                    );
                     counters.merge(&c);
                     cur = next;
                 }
@@ -115,8 +125,12 @@ impl StencilExecutor for DrStencil {
             GridData::D1(g) => {
                 let mut cur = GlobalArray::from_vec(1, g.len(), g.as_slice().to_vec());
                 for _ in 0..full {
-                    let (next, c) =
-                        cuda_core::apply_1d(&cur, fused.weights_1d(), DRSTENCIL_ISSUE_OVERHEAD, fuse);
+                    let (next, c) = cuda_core::apply_1d(
+                        &cur,
+                        fused.weights_1d(),
+                        DRSTENCIL_ISSUE_OVERHEAD,
+                        fuse,
+                    );
                     counters.merge(&c);
                     cur = next;
                 }
@@ -152,7 +166,11 @@ mod tests {
             let p = match k.dims() {
                 1 => Problem::new(k.clone(), Grid1D::from_fn(96, |i| (i % 6) as f64 * 0.5), 3),
                 2 => Problem::new(k.clone(), Grid2D::from_fn(16, 16, |r, c| (2 * r + c) as f64), 3),
-                _ => Problem::new(k.clone(), Grid3D::from_fn(4, 8, 8, |z, y, x| (z + y + x) as f64), 3),
+                _ => Problem::new(
+                    k.clone(),
+                    Grid3D::from_fn(4, 8, 8, |z, y, x| (z + y + x) as f64),
+                    3,
+                ),
             };
             let err = max_error_vs_reference(&exec, &p).unwrap();
             assert!(err < 1e-10, "{}: err = {err}", k.name);

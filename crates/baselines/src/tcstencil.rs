@@ -15,8 +15,8 @@
 //! FP64-equivalent throughput: divide by [`FP16_CONVERSION_FACTOR`].
 
 use crate::common::{
-    grid2_to_global, grid3_to_planes, global_to_grid2, planes_to_grid3, run_tiled_1d,
-    run_tiled_2d, run_tiled_3d, TILE,
+    global_to_grid2, grid2_to_global, grid3_to_planes, planes_to_grid3, run_tiled_1d, run_tiled_2d,
+    run_tiled_3d, TILE,
 };
 use stencil_core::{
     ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor, WeightMatrix,
@@ -288,7 +288,7 @@ mod tests {
                 ),
                 _ => Problem::new(
                     k.clone(),
-                    Grid3D::from_fn(4, 8, 8, |z, y, x| (3 * z + y + 2 * x) as f64 * 0.2,),
+                    Grid3D::from_fn(4, 8, 8, |z, y, x| (3 * z + y + 2 * x) as f64 * 0.2),
                     2,
                 ),
             };

@@ -14,8 +14,8 @@
 //!   HPC practice insist on FP64 — is a measured quantity (see the
 //!   `fp16_study` binary).
 
-use crate::common::{grid2_to_global, grid3_to_planes, global_to_grid2, planes_to_grid3};
-use rayon::prelude::*;
+use crate::common::{global_to_grid2, grid2_to_global, grid3_to_planes, planes_to_grid3};
+use foundation::par::*;
 use stencil_core::tiling::{tiles_2d, Tile2D};
 use stencil_core::{ExecError, ExecOutcome, GridData, Problem, StencilExecutor, WeightMatrix};
 use tcu_sim::fp16::{load_frag16, Acc16, Frag16, MMA16};
@@ -42,7 +42,8 @@ const S16: usize = 32;
 /// elements to 2-byte FP16 elements.
 fn fp16_bytes(ctx: &mut SimContext, before: &PerfCounters) {
     let c = &mut ctx.counters;
-    c.global_bytes_read = before.global_bytes_read + (c.global_bytes_read - before.global_bytes_read) / 4;
+    c.global_bytes_read =
+        before.global_bytes_read + (c.global_bytes_read - before.global_bytes_read) / 4;
     c.global_bytes_written =
         before.global_bytes_written + (c.global_bytes_written - before.global_bytes_written) / 4;
     c.l2_bytes = before.l2_bytes + (c.l2_bytes - before.l2_bytes) / 4;
@@ -59,14 +60,16 @@ fn v_frags_for_row(w_row: &[f64]) -> [Frag16; 2] {
             dense[q + k][q] = wk;
         }
     }
-    [
-        Frag16::from_fn(|i, j| dense[i][j]),
-        Frag16::from_fn(|i, j| dense[MMA16 + i][j]),
-    ]
+    [Frag16::from_fn(|i, j| dense[i][j]), Frag16::from_fn(|i, j| dense[MMA16 + i][j])]
 }
 
 /// Row-gather one plane's contribution onto a 16×16 tile accumulator.
-fn row_gather16(ctx: &mut SimContext, tile: &SharedTile, w: &WeightMatrix, mut acc: Acc16) -> Acc16 {
+fn row_gather16(
+    ctx: &mut SimContext,
+    tile: &SharedTile,
+    w: &WeightMatrix,
+    mut acc: Acc16,
+) -> Acc16 {
     for i in 0..w.n() {
         let row: Vec<f64> = (0..w.n()).map(|j| w.get(i, j)).collect();
         if row.iter().all(|&x| x == 0.0) {

@@ -1,16 +1,16 @@
-//! Criterion benchmarks of the LoRAStencil algorithm components:
+//! Benchmarks (foundation's in-tree harness) of the LoRAStencil algorithm components:
 //! decomposition strategies (PMA pyramid, star split, Jacobi eigen,
 //! Jacobi SVD), the RDG tile chain (with and without BVS), and the
 //! kernel-fusion convolution.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use foundation::bench::{black_box, Bench};
 use lorastencil::decompose::{eigen, pyramid, star, svd};
 use lorastencil::rdg::{rdg_apply_term, RdgGeometry, XFragments};
 use lorastencil::{decompose, fusion};
 use stencil_core::kernels;
 use tcu_sim::{FragAcc, SharedTile, SimContext};
 
-fn bench_decompose(c: &mut Criterion) {
+fn bench_decompose(c: &mut Bench) {
     let box49 = kernels::box_2d49p();
     let w = box49.weights_2d();
     c.bench_function("decompose_pyramidal_7x7", |b| {
@@ -24,10 +24,12 @@ fn bench_decompose(c: &mut Criterion) {
     c.bench_function("decompose_star_7x7", |b| {
         b.iter(|| star::star(black_box(star13.weights_2d()), 1e-12).unwrap())
     });
-    c.bench_function("decompose_auto_7x7", |b| b.iter(|| decompose::decompose(black_box(w), 1e-12)));
+    c.bench_function("decompose_auto_7x7", |b| {
+        b.iter(|| decompose::decompose(black_box(w), 1e-12))
+    });
 }
 
-fn bench_rdg_tile(c: &mut Criterion) {
+fn bench_rdg_tile(c: &mut Bench) {
     let geo = RdgGeometry::for_radius(3);
     let mut tile = SharedTile::new(geo.s, geo.s);
     for r in 0..geo.s {
@@ -62,12 +64,17 @@ fn bench_rdg_tile(c: &mut Criterion) {
     });
 }
 
-fn bench_fusion(c: &mut Criterion) {
+fn bench_fusion(c: &mut Bench) {
     let k9 = kernels::box_2d9p();
     c.bench_function("fuse_box_2d9p_3x", |b| b.iter(|| fusion::fuse_kernel(black_box(&k9), 3)));
     let k3d = kernels::heat_3d();
     c.bench_function("fuse_heat_3d_2x", |b| b.iter(|| fusion::fuse_kernel(black_box(&k3d), 2)));
 }
 
-criterion_group!(benches, bench_decompose, bench_rdg_tile, bench_fusion);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args();
+    bench_decompose(&mut c);
+    bench_rdg_tile(&mut c);
+    bench_fusion(&mut c);
+    c.finish();
+}

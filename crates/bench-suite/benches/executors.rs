@@ -1,14 +1,14 @@
-//! Criterion benchmarks of whole-grid executor passes: one stencil
+//! Benchmarks (foundation's in-tree harness) of whole-grid executor passes: one stencil
 //! application of every method (LoRAStencil and the six baselines) plus
 //! the naive reference, on a 64×64 grid. Wall time here measures the
 //! functional simulation's own throughput; the modeled A100 GStencil/s
 //! comes from the `fig8` binary.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use foundation::bench::{black_box, Bench, BenchmarkId};
 use lorastencil::LoRaStencil;
 use stencil_core::{kernels, reference, Grid2D, GridData, Problem, StencilExecutor};
 
-fn bench_apply_2d(c: &mut Criterion) {
+fn bench_apply_2d(c: &mut Bench) {
     let grid = Grid2D::from_fn(64, 64, |r, cc| ((r * 13 + cc * 7) % 17) as f64 * 0.3);
     let kernel = kernels::box_2d49p();
     let problem = Problem::new(kernel.clone(), grid.clone(), 1);
@@ -22,16 +22,14 @@ fn bench_apply_2d(c: &mut Criterion) {
         b.iter(|| exec.execute(black_box(&problem)).unwrap())
     });
     for exec in baselines::all_baselines() {
-        group.bench_with_input(
-            BenchmarkId::new("baseline", exec.name()),
-            &problem,
-            |b, p| b.iter(|| exec.execute(black_box(p)).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("baseline", exec.name()), &problem, |b, p| {
+            b.iter(|| exec.execute(black_box(p)).unwrap())
+        });
     }
     group.finish();
 }
 
-fn bench_iterated(c: &mut Criterion) {
+fn bench_iterated(c: &mut Bench) {
     // fused multi-iteration pass: the planner folds 6 steps into 2 fused
     // applications
     let grid = Grid2D::from_fn(64, 64, |r, cc| (r + cc) as f64 * 0.1);
@@ -42,7 +40,7 @@ fn bench_iterated(c: &mut Criterion) {
     });
 }
 
-fn bench_3d(c: &mut Criterion) {
+fn bench_3d(c: &mut Bench) {
     let grid = stencil_core::Grid3D::from_fn(6, 24, 24, |z, y, x| (z + y * 2 + x) as f64 * 0.05);
     let problem = Problem::new(kernels::heat_3d(), GridData::D3(grid), 1);
     c.bench_function("lora_heat3d_6x24x24", |b| {
@@ -51,5 +49,10 @@ fn bench_3d(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_apply_2d, bench_iterated, bench_3d);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args();
+    bench_apply_2d(&mut c);
+    bench_iterated(&mut c);
+    bench_3d(&mut c);
+    c.finish();
+}

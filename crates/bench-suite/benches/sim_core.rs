@@ -1,12 +1,12 @@
-//! Criterion micro-benchmarks of the simulator substrate: the `m8n8k4`
+//! Micro-benchmarks (foundation's in-tree harness) of the simulator substrate: the `m8n8k4`
 //! MMA, fragment extraction (the BVS hot path) and shared-tile fragment
 //! loads. These time the *reproduction's* Rust hot paths (the functional
 //! simulation itself), complementing the modeled-GStencil/s harness.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use foundation::bench::{black_box, Bench};
 use tcu_sim::{FragA, FragAcc, FragB, SharedTile, SimContext};
 
-fn bench_mma(c: &mut Criterion) {
+fn bench_mma(c: &mut Bench) {
     let mut ctx = SimContext::new();
     let a = FragA::from_matrix(&[[1.25; 4]; 8]);
     let b = FragB::from_matrix(&[[0.75; 8]; 4]);
@@ -16,7 +16,7 @@ fn bench_mma(c: &mut Criterion) {
     });
 }
 
-fn bench_extract(c: &mut Criterion) {
+fn bench_extract(c: &mut Bench) {
     let mut m = [[0.0; 8]; 8];
     for (r, row) in m.iter_mut().enumerate() {
         for (cc, v) in row.iter_mut().enumerate() {
@@ -32,7 +32,7 @@ fn bench_extract(c: &mut Criterion) {
     });
 }
 
-fn bench_shared_loads(c: &mut Criterion) {
+fn bench_shared_loads(c: &mut Bench) {
     let mut tile = SharedTile::new(16, 16);
     for r in 0..16 {
         for cc in 0..16 {
@@ -48,5 +48,10 @@ fn bench_shared_loads(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mma, bench_extract, bench_shared_loads);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args();
+    bench_mma(&mut c);
+    bench_extract(&mut c);
+    bench_shared_loads(&mut c);
+    c.finish();
+}

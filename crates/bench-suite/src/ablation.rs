@@ -96,9 +96,8 @@ pub fn fusion_sweep(model: &CostModel) -> String {
             .iter()
             .map(|s| s.to_string())
             .collect();
-    let mut out = String::from(
-        "Ablation 2 — temporal fusion depth, Box-2D9P (the paper fixes 3x)\n\n",
-    );
+    let mut out =
+        String::from("Ablation 2 — temporal fusion depth, Box-2D9P (the paper fixes 3x)\n\n");
     out.push_str(&format_table(&header, &rows));
     out.push_str("\nFusing amortizes the tile traffic over more time steps until the fused\nradius outgrows the 16x16 tile (S jumps to 24 at 5x) — the paper's 3x sits\non the flat part of the optimum.\n");
     out
@@ -120,7 +119,8 @@ pub fn sensitivity(base: &CostModel) -> String {
         geomean(&ratios)
     };
 
-    let mut rows = vec![vec!["baseline".to_string(), String::new(), format!("{:.2}x", headline(base))]];
+    let mut rows =
+        vec![vec!["baseline".to_string(), String::new(), format!("{:.2}x", headline(base))]];
     let mut push = |name: &str, value: String, m: CostModel| {
         rows.push(vec![name.to_string(), value, format!("{:.2}x", headline(&m))]);
     };
@@ -144,8 +144,10 @@ pub fn sensitivity(base: &CostModel) -> String {
         m.latency_saturation_occupancy = f;
         push("latency_saturation_occ", format!("{f}"), m);
     }
-    let header: Vec<String> =
-        ["Perturbed constant", "Value", "LoRA/ConvStencil geomean"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["Perturbed constant", "Value", "LoRA/ConvStencil geomean"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut out = String::from(
         "Ablation 3 — cost-model sensitivity of the headline speedup (paper: 1.37x)\n\n",
     );
@@ -191,8 +193,10 @@ pub fn autotune_report() -> String {
             },
         ]);
     }
-    let header: Vec<String> =
-        ["Kernel", "Default (terms)", "Autotuned (terms)", "Outcome"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["Kernel", "Default (terms)", "Autotuned (terms)", "Outcome"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut out = String::from("Ablation 4 — autotuned vs precedence-based planning\n\n");
     out.push_str(&format_table(&header, &rows));
     out

@@ -1,8 +1,15 @@
 //! Regenerate the paper's Fig. 8: GStencil/s for every method on every
 //! Table II kernel, plus LoRAStencil's average speedups.
+//!
+//! Pass `--json` to emit the machine-readable report instead of the
+//! plain-text table.
 
 fn main() {
     let model = tcu_sim::CostModel::a100();
     let fig = bench_suite::fig8(&model);
-    println!("{}", fig.render());
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", fig.to_json().dump());
+    } else {
+        println!("{}", fig.render());
+    }
 }

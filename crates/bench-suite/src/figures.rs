@@ -23,9 +23,8 @@ pub fn rank1_variant(kernel: &StencilKernel) -> StencilKernel {
     let h = kernel.radius;
     let sep = |h: usize| -> WeightMatrix {
         // g ⊗ g with a symmetric, normalized g
-        let g: Vec<f64> = (0..=2 * h)
-            .map(|i| 1.0 + (h as f64 - (i as f64 - h as f64).abs()))
-            .collect();
+        let g: Vec<f64> =
+            (0..=2 * h).map(|i| 1.0 + (h as f64 - (i as f64 - h as f64).abs())).collect();
         let s: f64 = g.iter().sum();
         let g: Vec<f64> = g.iter().map(|x| x / s).collect();
         let q = h + 1;
@@ -130,6 +129,31 @@ impl Fig8 {
         out
     }
 
+    /// Machine-readable form of the comparison: one object per
+    /// (workload, method) pair with the modeled throughput, measured
+    /// counters, and verification error.
+    pub fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::{Json, ToJson};
+        Json::Arr(
+            self.workloads
+                .iter()
+                .zip(&self.results)
+                .flat_map(|(w, res)| {
+                    res.iter().map(|r| {
+                        Json::obj([
+                            ("kernel", Json::Str(w.kernel.name.clone())),
+                            ("method", Json::Str(r.method.to_string())),
+                            ("gstencil_per_s", Json::Num(r.gstencil)),
+                            ("max_error", Json::Num(r.max_error)),
+                            ("counters", r.counters.to_json()),
+                            ("estimate", r.estimate.to_json()),
+                        ])
+                    })
+                })
+                .collect(),
+        )
+    }
+
     /// LoRAStencil's speedup over a named method, per workload.
     pub fn lora_speedup_over(&self, method: &str) -> Vec<f64> {
         let mi = self.results[0].iter().position(|r| r.method == method).expect("method");
@@ -163,12 +187,7 @@ pub fn fig9(model: &CostModel) -> Fig9 {
         .collect();
     let gstencil = sizes
         .iter()
-        .map(|&n| {
-            measured
-                .iter()
-                .map(|m| crate::runner::project(m, model, &[n, n], n))
-                .collect()
-        })
+        .map(|&n| measured.iter().map(|m| crate::runner::project(m, model, &[n, n], n)).collect())
         .collect();
     Fig9 { sizes, stages: stages.iter().map(|(n, _)| *n).collect(), gstencil }
 }
@@ -237,10 +256,19 @@ pub fn fig10(model: &CostModel) -> Vec<Fig10Row> {
 
 /// Printable Fig. 10 report.
 pub fn render_fig10(rows: &[Fig10Row]) -> String {
-    let header: Vec<String> = ["Kernel", "Conv loads", "LoRA loads", "Conv stores", "LoRA stores", "Conv total", "LoRA total", "LoRA/Conv"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "Kernel",
+        "Conv loads",
+        "LoRA loads",
+        "Conv stores",
+        "LoRA stores",
+        "Conv total",
+        "LoRA total",
+        "LoRA/Conv",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -331,15 +359,11 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
 pub fn render_analysis() -> String {
     use lorastencil::analysis;
     use lorastencil::fusion;
-    let header: Vec<String> = [
-        "h",
-        "ConvStencil/RDG loads (Eq.14)",
-        "redundancy eliminated",
-        "LoRA/Conv MMAs (Eq.16)",
-    ]
-    .iter()
-    .map(|s| s.to_string())
-    .collect();
+    let header: Vec<String> =
+        ["h", "ConvStencil/RDG loads (Eq.14)", "redundancy eliminated", "LoRA/Conv MMAs (Eq.16)"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     let rows: Vec<Vec<String>> = (1..=8u64)
         .map(|h| {
             vec![

@@ -1,5 +1,8 @@
-//! Plain-text report formatting: aligned tables, speedups relative to the
-//! slowest method (the paper's Fig. 8 convention) and geometric means.
+//! Report formatting: aligned plain-text tables, speedups relative to
+//! the slowest method (the paper's Fig. 8 convention), geometric means,
+//! and a machine-readable JSON form of the same tables.
+
+use foundation::json::Json;
 
 /// Format a table with a header row and aligned columns.
 pub fn format_table(header: &[String], rows: &[Vec<String>]) -> String {
@@ -31,6 +34,26 @@ pub fn format_table(header: &[String], rows: &[Vec<String>]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// The same table as JSON: an array of row objects keyed by the header
+/// cells. Numeric-looking cells are emitted as numbers so downstream
+/// tooling can plot them without re-parsing strings.
+pub fn table_to_json(header: &[String], rows: &[Vec<String>]) -> Json {
+    let cell = |s: &str| -> Json {
+        match s.trim().parse::<f64>() {
+            Ok(v) => Json::Num(v),
+            Err(_) => Json::Str(s.trim().to_string()),
+        }
+    };
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                assert_eq!(row.len(), header.len(), "ragged table row");
+                Json::Obj(header.iter().zip(row).map(|(h, c)| (h.clone(), cell(c))).collect())
+            })
+            .collect(),
+    )
 }
 
 /// Speedups of each value relative to the smallest (the paper's Fig. 8
@@ -88,5 +111,14 @@ mod tests {
     #[should_panic]
     fn ragged_rows_panic() {
         format_table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn json_table_types_cells() {
+        let j = table_to_json(
+            &["Kernel".into(), "GStencil/s".into()],
+            &[vec!["Heat-2D".into(), "101.5".into()]],
+        );
+        assert_eq!(j.dump(), r#"[{"Kernel":"Heat-2D","GStencil/s":101.5}]"#);
     }
 }

@@ -62,8 +62,7 @@ pub fn project(
     let fill = device_fill(model, &base.block, full_points);
     let sim_updates = base.counters.points_updated.max(1);
     let time_per_update = total / sim_updates as f64 / fill;
-    let total_time =
-        time_per_update * full_updates as f64 + LAUNCH_OVERHEAD_S * full_iters as f64;
+    let total_time = time_per_update * full_updates as f64 + LAUNCH_OVERHEAD_S * full_iters as f64;
     full_updates as f64 / total_time / 1e9
 }
 
@@ -75,11 +74,12 @@ pub fn evaluate(
     model: &CostModel,
 ) -> MethodResult {
     let problem = Problem::new(workload.kernel.clone(), workload.sim_input(), workload.sim_iters);
-    let outcome = exec.execute(&problem).unwrap_or_else(|e| {
-        panic!("{} failed on {}: {e}", exec.name(), workload.kernel.name)
-    });
+    let outcome = exec
+        .execute(&problem)
+        .unwrap_or_else(|e| panic!("{} failed on {}: {e}", exec.name(), workload.kernel.name));
     let max_error = {
-        let want = stencil_core::reference::run(&problem.input, &problem.kernel, problem.iterations);
+        let want =
+            stencil_core::reference::run(&problem.input, &problem.kernel, problem.iterations);
         outcome.output.max_abs_diff(&want)
     };
     assert!(

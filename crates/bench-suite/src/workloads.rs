@@ -43,16 +43,15 @@ impl Workload {
                 (i as f64 * 0.037).sin() * 2.0 + ((i * 2654435761) % 97) as f64 * 0.01
             })),
             2 => GridData::D2(Grid2D::from_fn(self.sim_dims[0], self.sim_dims[1], |r, c| {
-                (r as f64 * 0.11).cos() + (c as f64 * 0.07).sin() * 1.5
+                (r as f64 * 0.11).cos()
+                    + (c as f64 * 0.07).sin() * 1.5
                     + ((r * 31 + c * 17) % 23) as f64 * 0.02
             })),
             3 => GridData::D3(Grid3D::from_fn(
                 self.sim_dims[0],
                 self.sim_dims[1],
                 self.sim_dims[2],
-                |z, y, x| {
-                    (z as f64 * 0.5).sin() + (y as f64 * 0.13).cos() + (x % 7) as f64 * 0.05
-                },
+                |z, y, x| (z as f64 * 0.5).sin() + (y as f64 * 0.13).cos() + (x % 7) as f64 * 0.05,
             )),
             d => panic!("unsupported dimensionality {d}"),
         }
@@ -121,7 +120,16 @@ mod tests {
         let names: Vec<String> = table_ii().into_iter().map(|w| w.kernel.name).collect();
         assert_eq!(
             names,
-            ["Heat-1D", "1D5P", "Heat-2D", "Box-2D9P", "Star-2D13P", "Box-2D49P", "Heat-3D", "Box-3D27P"]
+            [
+                "Heat-1D",
+                "1D5P",
+                "Heat-2D",
+                "Box-2D9P",
+                "Star-2D13P",
+                "Box-2D49P",
+                "Heat-3D",
+                "Box-3D27P"
+            ]
         );
     }
 

@@ -1,0 +1,321 @@
+//! Wall-clock micro-benchmark harness replacing `criterion` for the
+//! `bench-suite` bench targets (`harness = false` binaries).
+//!
+//! Protocol per benchmark: a short calibration run estimates the cost of
+//! one iteration, then the measurement phase runs enough iterations to
+//! fill the measurement window, in several batches; the reported figure
+//! is the **minimum** per-iteration time across batches (least noise),
+//! with the mean alongside.
+//!
+//! CLI (all optional, criterion-compatible enough for `cargo bench`):
+//!
+//! * a bare string argument filters benchmarks by substring;
+//! * `--quick` shrinks the windows ~10× for smoke runs;
+//! * `--bench` / `--test` (passed by cargo) are accepted and ignored
+//!   (under `--test` each benchmark runs exactly one iteration).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark name (group-qualified).
+    pub name: String,
+    /// Best (minimum) per-iteration time across batches.
+    pub best: Duration,
+    /// Mean per-iteration time across all measured iterations.
+    pub mean: Duration,
+    /// Total iterations measured.
+    pub iters: u64,
+}
+
+/// Benchmark registry and driver; the `c: &mut Bench` handle the bench
+/// targets pass around (criterion's `Criterion` role).
+pub struct Bench {
+    filter: Option<String>,
+    calibration: Duration,
+    window: Duration,
+    test_mode: bool,
+    results: Vec<Summary>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            filter: None,
+            calibration: Duration::from_millis(20),
+            window: Duration::from_millis(120),
+            test_mode: false,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Bench {
+    /// Build from `std::env::args`, accepting the flags cargo passes.
+    pub fn from_args() -> Self {
+        let mut b = Bench::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => b.test_mode = true,
+                "--quick" => {
+                    b.calibration = Duration::from_millis(2);
+                    b.window = Duration::from_millis(12);
+                }
+                s if s.starts_with("--") => {} // ignore unknown flags (e.g. --save-baseline)
+                s => b.filter = Some(s.to_string()),
+            }
+        }
+        b
+    }
+
+    /// Register and run one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            calibration: self.calibration,
+            window: self.window,
+            test_mode: self.test_mode,
+            summary: None,
+        };
+        f(&mut bencher);
+        let summary = bencher.summary.expect("benchmark body must call Bencher::iter");
+        let s = Summary { name: name.to_string(), ..summary };
+        println!(
+            "{:<40} {:>14} /iter (mean {:>14}, {} iters)",
+            s.name,
+            fmt_duration(s.best),
+            fmt_duration(s.mean),
+            s.iters
+        );
+        self.results.push(s);
+    }
+
+    /// Like criterion's `bench_with_input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl Fn(&mut Bencher, &I),
+    ) {
+        self.bench_function(&id.0, |b| f(b, input));
+    }
+
+    /// A named sub-group; names are prefixed `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group { bench: self, prefix: name.to_string() }
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[Summary] {
+        &self.results
+    }
+
+    /// Results as a JSON array (for machine-readable bench reports).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::Arr(
+            self.results
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("name", Json::Str(s.name.clone())),
+                        ("best_ns", Json::Num(s.best.as_secs_f64() * 1e9)),
+                        ("mean_ns", Json::Num(s.mean.as_secs_f64() * 1e9)),
+                        ("iters", Json::UInt(s.iters)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Print the closing summary line. Call at the end of `main`.
+    pub fn finish(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+    }
+}
+
+/// A benchmark group handle (see [`Bench::benchmark_group`]).
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    prefix: String,
+}
+
+impl Group<'_> {
+    /// Register and run one benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{name}", self.prefix);
+        self.bench.bench_function(&full, f);
+    }
+
+    /// Like criterion's grouped `bench_with_input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl Fn(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.prefix, id.0);
+        self.bench.bench_function(&full, |b| f(b, input));
+    }
+
+    /// End the group (no-op; for criterion source compatibility).
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark id, `function/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Compose `function/parameter`.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Per-benchmark measurement driver passed to the benchmark body.
+pub struct Bencher {
+    calibration: Duration,
+    window: Duration,
+    test_mode: bool,
+    summary: Option<Summary>,
+}
+
+impl Bencher {
+    /// Measure `f`, retaining its result via [`black_box`] so the work
+    /// is not optimized away.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(f());
+            self.summary = Some(Summary {
+                name: String::new(),
+                best: Duration::ZERO,
+                mean: Duration::ZERO,
+                iters: 1,
+            });
+            return;
+        }
+        // calibration: estimate per-iteration cost
+        let mut calib_iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.calibration {
+            black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / calib_iters.max(1) as f64;
+
+        // measurement: ~8 batches filling the window
+        const BATCHES: u64 = 8;
+        let batch_iters = ((self.window.as_secs_f64() / BATCHES as f64 / per_iter.max(1e-9))
+            as u64)
+            .clamp(1, 1 << 24);
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            let per = dt / batch_iters as u32;
+            if per < best {
+                best = per;
+            }
+            total += dt;
+            iters += batch_iters;
+        }
+        self.summary =
+            Some(Summary { name: String::new(), best, mean: total / iters.max(1) as u32, iters });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Bench {
+        Bench {
+            filter: None,
+            calibration: Duration::from_micros(200),
+            window: Duration::from_millis(2),
+            test_mode: false,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = quick();
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        assert_eq!(c.results().len(), 1);
+        let s = &c.results()[0];
+        assert_eq!(s.name, "sum");
+        assert!(s.iters >= 8);
+        assert!(s.best <= s.mean || s.iters <= 8);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = quick();
+        c.filter = Some("mma".to_string());
+        c.bench_function("spec_parse", |b| b.iter(|| 1 + 1));
+        c.bench_function("mma_f64", |b| b.iter(|| 2 + 2));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].name, "mma_f64");
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("apply");
+        g.bench_function("reference", |b| b.iter(|| 3 * 3));
+        g.bench_with_input(BenchmarkId::new("baseline", "TCStencil"), &5u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.finish();
+        let names: Vec<&str> = c.results().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["apply/reference", "apply/baseline/TCStencil"]);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = quick();
+        c.test_mode = true;
+        let mut count = 0u64;
+        c.bench_function("probe", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut c = quick();
+        c.bench_function("x", |b| b.iter(|| 1u64));
+        let dump = c.to_json().dump();
+        assert!(dump.starts_with(r#"[{"name":"x""#), "{dump}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Endian-aware buffer read/write helpers replacing `bytes::{Buf, BufMut}`.
+//!
+//! Only the surface the workspace uses (plus the big-endian duals for
+//! symmetry): appending to a `Vec<u8>` and consuming from a `&[u8]`
+//! cursor. Reads panic when the buffer is too short — callers are
+//! expected to check [`Buf::remaining`] first, exactly as with the
+//! `bytes` crate.
+
+/// Write side: append fixed-width values to a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64_be(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a big-endian `f64`.
+    fn put_f64_be(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read side: a consuming cursor over a byte slice.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copy out the next `N` bytes.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    /// Read a big-endian `u64`.
+    fn get_u64_be(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+
+    /// Read a big-endian `f64`.
+    fn get_f64_be(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer: {n} > {}", self.len());
+        *self = &self[n..];
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(N <= self.len(), "read past end of buffer: need {N}, have {}", self.len());
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self[..N]);
+        *self = &self[N..];
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_values() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_slice(b"HDR");
+        v.put_u8(3);
+        v.put_u32_le(0xDEAD_BEEF);
+        v.put_u64_le(u64::MAX - 1);
+        v.put_u64_be(0x0102_0304_0506_0708);
+        v.put_f64_le(-0.125);
+        v.put_f64_be(std::f64::consts::E);
+
+        let mut r: &[u8] = &v;
+        assert_eq!(r.remaining(), v.len());
+        r.advance(3);
+        assert_eq!(r.get_u8(), 3);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_u64_be(), 0x0102_0304_0506_0708);
+        assert_eq!(r.get_f64_le(), -0.125);
+        assert_eq!(r.get_f64_be(), std::f64::consts::E);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn endianness_is_byte_exact() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u64_le(1);
+        v.put_u64_be(1);
+        assert_eq!(&v[..8], &[1, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(&v[8..], &[0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn short_reads_panic() {
+        let mut r: &[u8] = &[1, 2, 3];
+        let _ = r.get_u64_le();
+    }
+}

@@ -1,0 +1,260 @@
+//! Minimal JSON serialization replacing the `serde` derives.
+//!
+//! The workspace only ever *emitted* structured data (reports, traces,
+//! counter dumps); nothing deserialized. So this module provides a JSON
+//! value type, [`Json`], a [`ToJson`] trait the data-holding crates
+//! implement by hand (no derive machinery), and a compact writer.
+//!
+//! Numbers: `u64`/`i64` are kept as integers and written exactly;
+//! `f64` is written with enough digits to round-trip ([`fmt_f64`]), and
+//! non-finite floats serialize as `null` (JSON has no NaN/Inf).
+
+use std::collections::BTreeMap;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (written without a decimal point).
+    Int(i64),
+    /// An unsigned integer (counters; written exactly).
+    UInt(u64),
+    /// A double (written with round-trip precision).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<I>(pairs: I) -> Json
+    where
+        I: IntoIterator<Item = (&'static str, Json)>,
+    {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Build an array by mapping `items` through [`ToJson`].
+    pub fn arr<'a, T: ToJson + 'a>(items: impl IntoIterator<Item = &'a T>) -> Json {
+        Json::Arr(items.into_iter().map(ToJson::to_json).collect())
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Append the serialization of `self` to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Num(x) => out.push_str(&fmt_f64(*x)),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Format an `f64` so it parses back to the identical bits (shortest of
+/// `{}` and, when that loses precision, `{:e}` with full digits), with
+/// non-finite values mapped to `null`.
+pub fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    // Rust's `{}` for f64 is already shortest-round-trip.
+    let s = format!("{x}");
+    // Ensure the token is valid JSON (it always is for finite floats:
+    // optional sign, digits, optional fraction/exponent).
+    s
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can serialize themselves to a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self)
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        Json::Int(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize_exactly() {
+        assert_eq!(Json::Null.dump(), "null");
+        assert_eq!(Json::Bool(true).dump(), "true");
+        assert_eq!(Json::Int(-7).dump(), "-7");
+        assert_eq!(Json::UInt(u64::MAX).dump(), u64::MAX.to_string());
+        assert_eq!(Json::Num(0.25).dump(), "0.25");
+        assert_eq!(Json::Num(f64::NAN).dump(), "null");
+    }
+
+    #[test]
+    fn floats_round_trip_through_text() {
+        for x in [0.1, 1.0 / 3.0, 1e-308, 1e308, std::f64::consts::PI, -0.0] {
+            let s = fmt_f64(x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {s}");
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!("a\"b\\c\nd".to_json().dump(), r#""a\"b\\c\nd""#);
+        assert_eq!("\u{1}".to_json().dump(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let j = Json::obj([("b", Json::Int(1)), ("a", Json::Int(2))]);
+        assert_eq!(j.dump(), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn nested_structures_compose() {
+        let j = Json::obj([
+            ("xs", vec![1u64, 2, 3].to_json()),
+            ("name", "grid".to_json()),
+            ("opt", (None as Option<u64>).to_json()),
+        ]);
+        assert_eq!(j.dump(), r#"{"xs":[1,2,3],"name":"grid","opt":null}"#);
+    }
+}

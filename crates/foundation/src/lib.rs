@@ -1,0 +1,33 @@
+//! # foundation — std-only workspace substrate
+//!
+//! This workspace builds from an empty cargo registry: no crates.io
+//! dependencies anywhere in the graph (`cargo tree` shows workspace
+//! members only). Everything the other crates used to pull from the
+//! registry lives here instead, implemented on `std` alone:
+//!
+//! * [`par`] — scoped data-parallel helpers (`par_iter().map().collect()`,
+//!   `par_chunks_mut`) replacing `rayon`, splitting work across
+//!   `std::thread::available_parallelism()` threads;
+//! * [`json`] — a small JSON value type plus the [`json::ToJson`] trait,
+//!   replacing the `serde` derives (serialization only; the workspace
+//!   never deserialized);
+//! * [`buf`] — little/big-endian buffer read/write traits replacing
+//!   `bytes::{Buf, BufMut}`;
+//! * [`rng`] — deterministic splitmix64 and xoshiro256++ PRNGs replacing
+//!   `rand`;
+//! * [`prop`] — a compact property-testing harness (generator
+//!   combinators, fixed-seed case generation, shrinking) replacing
+//!   `proptest`;
+//! * [`bench`] — a wall-clock micro-benchmark harness replacing
+//!   `criterion` in the `bench-suite` bench targets.
+//!
+//! The policy is deliberate: reproductions should run anywhere a Rust
+//! toolchain exists, network or not (see `DESIGN.md`, "zero-dependency
+//! policy").
+
+pub mod bench;
+pub mod buf;
+pub mod json;
+pub mod par;
+pub mod prop;
+pub mod rng;

@@ -1,0 +1,240 @@
+//! Scoped data-parallel helpers replacing `rayon`.
+//!
+//! The model is a *scoped worker pool*: each parallel call splits its
+//! input into at most [`num_threads`] contiguous chunks, runs one chunk
+//! on the calling thread and the rest on `std::thread::scope` workers,
+//! and joins before returning. Results come back in input order, so a
+//! `par_iter().map(f).collect()` is a drop-in replacement for the
+//! sequential `iter().map(f).collect()` — same values, same order —
+//! which is what keeps the executors bit-deterministic: the parallel
+//! phase only computes per-tile values; all counter merging and output
+//! stores happen sequentially afterwards, exactly as with `rayon`.
+//!
+//! A worker panic is re-raised on the calling thread with its original
+//! payload, so `assert!` failures inside parallel sections surface
+//! normally in tests.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads a parallel call will use at most
+/// (`std::thread::available_parallelism()`, 1 if unknown).
+pub fn num_threads() -> usize {
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// `par_iter` entry point for slices (and, by deref, `Vec`s).
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel view of the slice; chain `.map(f).collect()`.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Mutable chunk-parallel entry point for slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into chunks of `size` and process them in parallel with
+    /// `.for_each(f)`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Borrowed parallel iterator over a slice (see [`ParallelSlice`]).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every element through `f` on the worker pool.
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Run `f` for every element on the worker pool.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let _: Vec<()> = self.map(|t| f(t)).collect();
+    }
+}
+
+/// A mapped parallel iterator; terminate with [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, U, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    /// Evaluate the map in parallel and collect the results **in input
+    /// order**.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        map_in_order(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Parallel mutable chunks of a slice (see [`ParallelSliceMut`]).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Run `f` over every chunk on the worker pool. `f` receives the
+    /// chunk index and the chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunks: Vec<(usize, &mut [T])> = self.slice.chunks_mut(self.size).enumerate().collect();
+        let workers = num_threads().min(chunks.len().max(1));
+        if workers <= 1 {
+            for (i, c) in chunks {
+                f(i, c);
+            }
+            return;
+        }
+        // Deal chunks round-robin onto `workers` lanes, then run one
+        // lane per scoped thread.
+        let mut lanes: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (n, chunk) in chunks.into_iter().enumerate() {
+            lanes[n % workers].push(chunk);
+        }
+        let fr = &f;
+        thread::scope(|s| {
+            let mut handles = Vec::new();
+            let mut lanes = lanes.into_iter();
+            let first = lanes.next().unwrap();
+            for lane in lanes {
+                handles.push(s.spawn(move || {
+                    for (i, c) in lane {
+                        fr(i, c);
+                    }
+                }));
+            }
+            for (i, c) in first {
+                fr(i, c);
+            }
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+}
+
+/// Core fork/join: map `items` through `f`, preserving order.
+fn map_in_order<'a, T, U>(items: &'a [T], f: &(impl Fn(&'a T) -> U + Sync)) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+{
+    let n = items.len();
+    let workers = num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut parts: Vec<Vec<U>> = Vec::with_capacity(workers);
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 1..workers {
+            let lo = w * chunk;
+            if lo >= n {
+                break;
+            }
+            let hi = (lo + chunk).min(n);
+            let slice = &items[lo..hi];
+            handles.push(s.spawn(move || slice.iter().map(f).collect::<Vec<U>>()));
+        }
+        parts.push(items[..chunk.min(n)].iter().map(f).collect());
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let got: Vec<u64> = items.par_iter().map(|&x| x * x).collect();
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_handles_tiny_inputs() {
+        for n in 0..5usize {
+            let items: Vec<usize> = (0..n).collect();
+            let got: Vec<usize> = items.par_iter().map(|&x| x + 1).collect();
+            assert_eq!(got, (1..=n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn collect_into_any_from_iterator() {
+        let items = [1u32, 2, 3, 4];
+        let got: std::collections::BTreeSet<u32> = items.par_iter().map(|&x| x % 2).collect();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u32; 103];
+        data.par_chunks_mut(8).for_each(|i, c| {
+            for v in c.iter_mut() {
+                *v += 1 + i as u32;
+            }
+        });
+        for (n, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1 + (n / 8) as u32, "element {n}");
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let res = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = items
+                .par_iter()
+                .map(|&x| {
+                    assert!(x != 63, "boom");
+                    x
+                })
+                .collect();
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,569 @@
+//! A compact property-testing harness replacing `proptest`.
+//!
+//! Three pieces:
+//!
+//! * **Generators** ([`Gen`]): composable value sources. Ranges
+//!   ([`f64_range`], [`usize_range`], [`u64_range`]), fixed- and
+//!   variable-length vectors ([`vec_exact`], [`vec_of`]), [`map`], and
+//!   tuple composition (a tuple of generators is a generator of tuples).
+//! * **Deterministic case generation**: case `i` of a run draws from
+//!   `xoshiro256++(splitmix64(seed) ⊕ i)`, so the same seed always
+//!   produces the same cases, independent of thread scheduling or prior
+//!   tests. The default seed is fixed; set `FOUNDATION_PROP_SEED` /
+//!   `FOUNDATION_PROP_CASES` to explore.
+//! * **Shrinking**: on failure the harness walks [`Gen::shrink`]
+//!   candidates greedily (first failing candidate wins, repeat until no
+//!   candidate fails), then panics with the *shrunk* input's `Debug`
+//!   form, the original seed and the case number.
+//!
+//! ```
+//! use foundation::prop::*;
+//! check("addition_commutes", &(f64_range(-1e6, 1e6), f64_range(-1e6, 1e6)), |(a, b)| {
+//!     prop_assert!(a + b == b + a, "{a} + {b}");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{SplitMix64, Xoshiro256pp};
+use std::fmt::Debug;
+
+/// Property body result: `Ok(())` passes, `Err(reason)` fails.
+pub type PropResult = Result<(), String>;
+
+/// Assert inside a property body; on failure returns `Err` so the
+/// harness can shrink (a plain `assert!` would abort without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($arg)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+pub use crate::{prop_assert, prop_assert_eq};
+
+/// A composable value generator with optional shrinking.
+pub trait Gen {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value;
+
+    /// Candidate simplifications of `v`, simplest first. The harness
+    /// keeps any candidate that still fails the property.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Cases to run per property.
+    pub cases: usize,
+    /// Base seed; case `i` derives its stream from `mix(seed) ^ i`.
+    pub seed: u64,
+    /// Cap on shrink rounds (each round scans all candidates once).
+    pub max_shrink_rounds: usize,
+}
+
+/// Fixed default seed: the suite is deterministic out of the box.
+pub const DEFAULT_SEED: u64 = 0x10AD_5EED_CA5E_0001;
+
+impl Default for Config {
+    fn default() -> Self {
+        let seed = std::env::var("FOUNDATION_PROP_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        let cases =
+            std::env::var("FOUNDATION_PROP_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(64);
+        Config { cases, seed, max_shrink_rounds: 200 }
+    }
+}
+
+impl Config {
+    /// Default config with a different case count.
+    pub fn with_cases(cases: usize) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// Run `prop` against `cases` generated inputs with the default
+/// [`Config`]; panics (after shrinking) on the first failure.
+pub fn check<G: Gen>(name: &str, gen: &G, prop: impl Fn(G::Value) -> PropResult) {
+    check_with(&Config::default(), name, gen, prop);
+}
+
+/// [`check`] with an explicit [`Config`].
+pub fn check_with<G: Gen>(
+    cfg: &Config,
+    name: &str,
+    gen: &G,
+    prop: impl Fn(G::Value) -> PropResult,
+) {
+    // decorrelate the per-case streams from consecutive seeds
+    let base = SplitMix64::new(cfg.seed).next_u64();
+    for case in 0..cfg.cases {
+        let mut rng = Xoshiro256pp::seed_from_u64(base ^ case as u64);
+        let input = gen.generate(&mut rng);
+        if let Err(err) = prop(input.clone()) {
+            let (shrunk, final_err, rounds) =
+                shrink_failure(gen, &prop, input, err, cfg.max_shrink_rounds);
+            panic!(
+                "property `{name}` failed (seed {:#x}, case {case}/{}, {rounds} shrink rounds)\n\
+                 shrunk input: {shrunk:?}\n\
+                 failure: {final_err}",
+                cfg.seed, cfg.cases
+            );
+        }
+    }
+}
+
+fn shrink_failure<G: Gen>(
+    gen: &G,
+    prop: &impl Fn(G::Value) -> PropResult,
+    mut cur: G::Value,
+    mut err: String,
+    max_rounds: usize,
+) -> (G::Value, String, usize) {
+    let mut rounds = 0;
+    'outer: while rounds < max_rounds {
+        rounds += 1;
+        for cand in gen.shrink(&cur) {
+            // a shrink candidate that *panics* (rather than returning
+            // Err) still counts as failing — catch it
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(cand.clone())));
+            let failed = match outcome {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e),
+                Err(payload) => Some(panic_message(payload)),
+            };
+            if let Some(e) = failed {
+                cur = cand;
+                err = e;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (cur, err, rounds)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------- ranges
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward `0` (or the bound of the
+/// range nearest zero).
+pub fn f64_range(lo: f64, hi: f64) -> F64Range {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    F64Range { lo, hi }
+}
+
+/// See [`f64_range`].
+#[derive(Debug, Clone)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+impl F64Range {
+    /// The in-range value nearest zero — the shrink target.
+    fn anchor(&self) -> f64 {
+        if self.lo <= 0.0 && self.hi > 0.0 {
+            0.0
+        } else if self.lo > 0.0 {
+            self.lo
+        } else {
+            // negative-only range: the largest representable value < hi
+            self.hi.next_down().max(self.lo)
+        }
+    }
+}
+
+impl Gen for F64Range {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let anchor = self.anchor();
+        let mut out = Vec::new();
+        if *v != anchor {
+            out.push(anchor);
+            let halfway = anchor + (*v - anchor) * 0.5;
+            if halfway != *v {
+                out.push(halfway);
+            }
+            let trunc = v.trunc();
+            if trunc != *v && trunc >= self.lo && trunc < self.hi {
+                out.push(trunc);
+            }
+            // integral values step toward the anchor by 1, so boundary
+            // counterexamples (e.g. "fails at |x| ≥ 10") land exactly
+            if v.trunc() == *v {
+                let step = *v - (*v - anchor).signum();
+                if step != *v && step >= self.lo && step < self.hi {
+                    out.push(step);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `usize` in `[lo, hi)`; shrinks toward `lo`.
+pub fn usize_range(lo: usize, hi: usize) -> UsizeRange {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    UsizeRange { lo, hi }
+}
+
+/// See [`usize_range`].
+#[derive(Debug, Clone)]
+pub struct UsizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl Gen for UsizeRange {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> usize {
+        rng.range_usize(self.lo, self.hi)
+    }
+
+    fn shrink(&self, v: &usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if *v > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (*v - self.lo) / 2;
+            if mid != *v && mid != self.lo {
+                out.push(mid);
+            }
+            out.push(*v - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+/// Uniform `u64` in `[lo, hi)`; shrinks toward `lo`.
+pub fn u64_range(lo: u64, hi: u64) -> U64Range {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    U64Range { lo, hi }
+}
+
+/// See [`u64_range`].
+#[derive(Debug, Clone)]
+pub struct U64Range {
+    lo: u64,
+    hi: u64,
+}
+
+impl Gen for U64Range {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> u64 {
+        rng.range_u64(self.lo, self.hi)
+    }
+
+    fn shrink(&self, v: &u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if *v > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (*v - self.lo) / 2;
+            if mid != *v && mid != self.lo {
+                out.push(mid);
+            }
+            out.push(*v - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+// --------------------------------------------------------------- vectors
+
+/// Exactly `len` draws of `elem`; shrinks elements pointwise (length is
+/// part of the contract and never shrinks).
+pub fn vec_exact<G: Gen>(elem: G, len: usize) -> VecExact<G> {
+    VecExact { elem, len }
+}
+
+/// See [`vec_exact`].
+#[derive(Debug, Clone)]
+pub struct VecExact<G> {
+    elem: G,
+    len: usize,
+}
+
+impl<G: Gen> Gen for VecExact<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+        (0..self.len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for (i, item) in v.iter().enumerate() {
+            for cand in self.elem.shrink(item) {
+                let mut copy = v.clone();
+                copy[i] = cand;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+/// Between `len_lo` and `len_hi - 1` draws of `elem`; shrinks by
+/// dropping elements (down to `len_lo`) and then pointwise.
+pub fn vec_of<G: Gen>(elem: G, len_lo: usize, len_hi: usize) -> VecOf<G> {
+    assert!(len_lo < len_hi, "empty length range [{len_lo}, {len_hi})");
+    VecOf { elem, len_lo, len_hi }
+}
+
+/// See [`vec_of`].
+#[derive(Debug, Clone)]
+pub struct VecOf<G> {
+    elem: G,
+    len_lo: usize,
+    len_hi: usize,
+}
+
+impl<G: Gen> Gen for VecOf<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+        let len = rng.range_usize(self.len_lo, self.len_hi);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        if v.len() > self.len_lo {
+            // drop half, then drop each single element
+            let half = self.len_lo.max(v.len() / 2);
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            for skip in 0..v.len() {
+                let mut copy = v.clone();
+                copy.remove(skip);
+                out.push(copy);
+            }
+        }
+        for (i, item) in v.iter().enumerate() {
+            for cand in self.elem.shrink(item) {
+                let mut copy = v.clone();
+                copy[i] = cand;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------- map
+
+/// Transform generated values with `f` (no shrinking through the map —
+/// supply a custom [`Gen`] if shrinkable mapped values matter).
+pub fn map<G: Gen, U: Clone + Debug>(
+    inner: G,
+    f: impl Fn(G::Value) -> U,
+) -> Mapped<G, impl Fn(G::Value) -> U> {
+    Mapped { inner, f }
+}
+
+/// See [`map`].
+pub struct Mapped<G, F> {
+    inner: G,
+    f: F,
+}
+
+impl<G: Gen, U: Clone + Debug, F: Fn(G::Value) -> U> Gen for Mapped<G, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always the same value (for pinning one tuple slot).
+pub fn just<T: Clone + Debug>(v: T) -> Just<T> {
+    Just { v }
+}
+
+/// See [`just`].
+#[derive(Debug, Clone)]
+pub struct Just<T> {
+    v: T,
+}
+
+impl<T: Clone + Debug> Gen for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Xoshiro256pp) -> T {
+        self.v.clone()
+    }
+}
+
+// --------------------------------------------------------------- tuples
+
+macro_rules! impl_gen_tuple {
+    ($($G:ident $v:ident $i:tt),+) => {
+        impl<$($G: Gen),+> Gen for ($($G,)+) {
+            type Value = ($($G::Value,)+);
+
+            fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&v.$i) {
+                        let mut copy = v.clone();
+                        copy.$i = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_gen_tuple!(G0 v0 0);
+impl_gen_tuple!(G0 v0 0, G1 v1 1);
+impl_gen_tuple!(G0 v0 0, G1 v1 1, G2 v2 2);
+impl_gen_tuple!(G0 v0 0, G1 v1 1, G2 v2 2, G3 v3 3);
+impl_gen_tuple!(G0 v0 0, G1 v1 1, G2 v2 2, G3 v3 3, G4 v4 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_cases() {
+        let cfg = Config { cases: 20, seed: 99, max_shrink_rounds: 10 };
+        let collect = || {
+            let mut vals = Vec::new();
+            let base = SplitMix64::new(cfg.seed).next_u64();
+            for case in 0..cfg.cases {
+                let mut rng = Xoshiro256pp::seed_from_u64(base ^ case as u64);
+                vals.push((f64_range(-1.0, 1.0), usize_range(0, 100)).generate(&mut rng));
+            }
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        check_with(
+            &Config { cases: 50, seed: 1, max_shrink_rounds: 10 },
+            "tautology",
+            &(usize_range(0, 10), f64_range(-1.0, 1.0)),
+            |(n, x)| {
+                prop_assert!(n < 10 && (-1.0..1.0).contains(&x));
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // property "n < 57" over [0, 1000): the minimal counterexample
+        // is 57, and shrinking must find it from any failing start
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                &Config { cases: 200, seed: 3, max_shrink_rounds: 200 },
+                "shrinks",
+                &(usize_range(0, 1000),),
+                |(n,)| {
+                    prop_assert!(n < 57, "n = {n}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = panic_message(result.unwrap_err());
+        assert!(msg.contains("shrunk input: (57,)"), "shrunk to the boundary: {msg}");
+        assert!(msg.contains("seed"), "names the seed: {msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_reduces_length_and_elements() {
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                &Config { cases: 100, seed: 5, max_shrink_rounds: 500 },
+                "vec-shrink",
+                &(vec_of(f64_range(-100.0, 100.0), 0, 20),),
+                |(xs,)| {
+                    prop_assert!(!xs.iter().any(|x| x.abs() >= 10.0), "{xs:?}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = panic_message(result.unwrap_err());
+        // minimal counterexample: a single element at magnitude 10
+        assert!(
+            msg.contains("shrunk input: ([10.0],)") || msg.contains("shrunk input: ([-10.0],)"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn exact_vec_length_is_fixed() {
+        check_with(
+            &Config { cases: 30, seed: 8, max_shrink_rounds: 10 },
+            "exact-len",
+            &(vec_exact(f64_range(0.0, 1.0), 25),),
+            |(xs,)| {
+                prop_assert_eq!(xs.len(), 25);
+                Ok(())
+            },
+        );
+    }
+}

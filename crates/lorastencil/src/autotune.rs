@@ -88,9 +88,8 @@ mod tests {
         let geo = RdgGeometry::for_radius(3);
         let mut divergence_seen = false;
         for seed in 0..40u64 {
-            let quad: Vec<f64> = (0..16)
-                .map(|i| ((i as u64 * 131 + seed * 977) % 97) as f64 * 0.07 - 1.5)
-                .collect();
+            let quad: Vec<f64> =
+                (0..16).map(|i| ((i as u64 * 131 + seed * 977) % 97) as f64 * 0.07 - 1.5).collect();
             let w = radially_symmetric_from_quadrant(3, &quad);
             let auto = choose(&w, 1e-12);
             let best = candidates(&w, 1e-12)
@@ -100,9 +99,7 @@ mod tests {
                 .min()
                 .unwrap();
             assert_eq!(tile_cost(&auto, geo), best, "seed {seed}");
-            if let (Ok(pyr), Some(eig)) =
-                (pyramid::pyramidal(&w, 1e-12), eigen::eigen(&w, 1e-12))
-            {
+            if let (Ok(pyr), Some(eig)) = (pyramid::pyramidal(&w, 1e-12), eigen::eigen(&w, 1e-12)) {
                 if eig.num_terms() < pyr.num_terms() {
                     divergence_seen = true;
                     assert!(tile_cost(&auto, geo) <= tile_cost(&eig, geo));

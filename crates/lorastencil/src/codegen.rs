@@ -22,12 +22,7 @@ fn emit_weight_tables(plan: &Plan2D, out: &mut String) {
     for (ti, term) in plan.decomp.terms.iter().enumerate() {
         let u = build_u_frags(term, geo);
         let v = build_v_frags(term, geo, plan.config.use_bvs);
-        writeln!(
-            out,
-            "// term {ti}: {0}x{0} rank-1 pyramid level (u ⊗ vᵀ)",
-            term.side()
-        )
-        .unwrap();
+        writeln!(out, "// term {ti}: {0}x{0} rank-1 pyramid level (u ⊗ vᵀ)", term.side()).unwrap();
         writeln!(out, "__constant__ double U{ti}[{}][32] = {{ /* per-lane A fragments */", u.len())
             .unwrap();
         for frag in &u {
@@ -57,25 +52,59 @@ pub fn emit_cuda_kernel(plan: &Plan2D) -> String {
     let s = geo.s;
     let mut out = String::new();
 
-    writeln!(out, "// ======================================================================").unwrap();
-    writeln!(out, "// LoRAStencil kernel for {} (radius {h}, {}x fused)", plan.exec_kernel.name, plan.fusion).unwrap();
-    writeln!(out, "// decomposition: {:?}, {} rank-1 terms, pointwise tip {:.6e}", plan.decomp.strategy, plan.decomp.num_terms(), plan.decomp.pointwise).unwrap();
-    writeln!(out, "// tile: {s}x{s} input window -> 8x8 outputs per warp ({} MMAs/term)", geo.mma_per_term()).unwrap();
-    writeln!(out, "// ======================================================================").unwrap();
+    writeln!(out, "// ======================================================================")
+        .unwrap();
+    writeln!(
+        out,
+        "// LoRAStencil kernel for {} (radius {h}, {}x fused)",
+        plan.exec_kernel.name, plan.fusion
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "// decomposition: {:?}, {} rank-1 terms, pointwise tip {:.6e}",
+        plan.decomp.strategy,
+        plan.decomp.num_terms(),
+        plan.decomp.pointwise
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "// tile: {s}x{s} input window -> 8x8 outputs per warp ({} MMAs/term)",
+        geo.mma_per_term()
+    )
+    .unwrap();
+    writeln!(out, "// ======================================================================")
+        .unwrap();
     emit_weight_tables(plan, &mut out);
     writeln!(out).unwrap();
-    writeln!(out, "__global__ void lorastencil_{}(const double* __restrict__ in,", plan.exec_kernel.name.to_lowercase().replace(['-', 'x'], "_")).unwrap();
-    writeln!(out, "                               double* __restrict__ outp, int rows, int cols) {{").unwrap();
+    writeln!(
+        out,
+        "__global__ void lorastencil_{}(const double* __restrict__ in,",
+        plan.exec_kernel.name.to_lowercase().replace(['-', 'x'], "_")
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "                               double* __restrict__ outp, int rows, int cols) {{"
+    )
+    .unwrap();
     writeln!(out, "  __shared__ double tile[{s}][{s}];   // one input window per warp").unwrap();
     writeln!(out, "  const int r0 = 8 * (blockIdx.y * blockDim.y + threadIdx.y);").unwrap();
     writeln!(out, "  const int c0 = 8 * blockIdx.x;").unwrap();
     writeln!(out).unwrap();
     if plan.config.use_async_copy {
-        writeln!(out, "  // §IV-B: cp.async global->shared copy, bypassing the register file").unwrap();
+        writeln!(out, "  // §IV-B: cp.async global->shared copy, bypassing the register file")
+            .unwrap();
         writeln!(out, "  for (int e = laneid(); e < {s}*{s}; e += 32) {{").unwrap();
-        writeln!(out, "    const int rr = mod(r0 - {h} + e / {s}, rows), cc = mod(c0 - {h} + e % {s}, cols);").unwrap();
+        writeln!(
+            out,
+            "    const int rr = mod(r0 - {h} + e / {s}, rows), cc = mod(c0 - {h} + e % {s}, cols);"
+        )
+        .unwrap();
         writeln!(out, "    asm volatile(\"cp.async.ca.shared.global [%0], [%1], 8;\" ::").unwrap();
-        writeln!(out, "      \"r\"(&tile[e / {s}][e % {s}]), \"l\"(&in[rr * cols + cc]));").unwrap();
+        writeln!(out, "      \"r\"(&tile[e / {s}][e % {s}]), \"l\"(&in[rr * cols + cc]));")
+            .unwrap();
         writeln!(out, "  }}").unwrap();
         writeln!(out, "  asm volatile(\"cp.async.wait_all;\");").unwrap();
     } else {
@@ -85,8 +114,21 @@ pub fn emit_cuda_kernel(plan: &Plan2D) -> String {
     }
     writeln!(out, "  __syncwarp();").unwrap();
     writeln!(out).unwrap();
-    writeln!(out, "  // Eq. 12: load the {}x{} window once as {} B fragments, reused by every term", s, s, geo.row_blocks() * geo.col_blocks()).unwrap();
-    writeln!(out, "  wmma::fragment<wmma::matrix_b, 8, 8, 4, double, wmma::col_major> X[{}][{}];", geo.row_blocks(), geo.col_blocks()).unwrap();
+    writeln!(
+        out,
+        "  // Eq. 12: load the {}x{} window once as {} B fragments, reused by every term",
+        s,
+        s,
+        geo.row_blocks() * geo.col_blocks()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  wmma::fragment<wmma::matrix_b, 8, 8, 4, double, wmma::col_major> X[{}][{}];",
+        geo.row_blocks(),
+        geo.col_blocks()
+    )
+    .unwrap();
     writeln!(out, "  for (int rb = 0; rb < {}; ++rb)", geo.row_blocks()).unwrap();
     writeln!(out, "    for (int cb = 0; cb < {}; ++cb)", geo.col_blocks()).unwrap();
     writeln!(out, "      wmma::load_matrix_sync(X[rb][cb], &tile[4 * rb][8 * cb], {s});").unwrap();
@@ -99,30 +141,74 @@ pub fn emit_cuda_kernel(plan: &Plan2D) -> String {
         writeln!(out, "  for (int j = 0; j < {}; ++j) {{", geo.col_blocks()).unwrap();
         writeln!(out, "    wmma::fragment<wmma::accumulator, 8, 8, 4, double> T;").unwrap();
         writeln!(out, "    wmma::fill_fragment(T, 0.0);").unwrap();
-        writeln!(out, "    for (int k = 0; k < {}; ++k)   // step 1: vertical gather", geo.row_blocks()).unwrap();
+        writeln!(
+            out,
+            "    for (int k = 0; k < {}; ++k)   // step 1: vertical gather",
+            geo.row_blocks()
+        )
+        .unwrap();
         writeln!(out, "      wmma::mma_sync(T, fragA(U{ti}[k]), X[k][j], T);").unwrap();
         if plan.config.use_bvs {
-            writeln!(out, "    // step 2 + §III-D BVS: T's register 0/1 ARE the two A fragments —").unwrap();
-            writeln!(out, "    // zero shuffles; the butterfly row swap lives in the V{ti} constants").unwrap();
-            writeln!(out, "    wmma::mma_sync(acc, reinterpretA(T.x[0]), fragB(V{ti}[2 * j + 0]), acc);").unwrap();
-            writeln!(out, "    wmma::mma_sync(acc, reinterpretA(T.x[1]), fragB(V{ti}[2 * j + 1]), acc);").unwrap();
+            writeln!(out, "    // step 2 + §III-D BVS: T's register 0/1 ARE the two A fragments —")
+                .unwrap();
+            writeln!(
+                out,
+                "    // zero shuffles; the butterfly row swap lives in the V{ti} constants"
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "    wmma::mma_sync(acc, reinterpretA(T.x[0]), fragB(V{ti}[2 * j + 0]), acc);"
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "    wmma::mma_sync(acc, reinterpretA(T.x[1]), fragB(V{ti}[2 * j + 1]), acc);"
+            )
+            .unwrap();
         } else {
-            writeln!(out, "    // step 2 without BVS: natural column split needs cross-lane shuffles").unwrap();
+            writeln!(
+                out,
+                "    // step 2 without BVS: natural column split needs cross-lane shuffles"
+            )
+            .unwrap();
             writeln!(out, "    double lo = __shfl_sync(~0u, T.x[0], shuf_lo(laneid()));").unwrap();
             writeln!(out, "    double hi = __shfl_sync(~0u, T.x[1], shuf_hi(laneid()));").unwrap();
-            writeln!(out, "    wmma::mma_sync(acc, fragA_from(lo, hi, 0), fragB(V{ti}[2 * j + 0]), acc);").unwrap();
-            writeln!(out, "    wmma::mma_sync(acc, fragA_from(lo, hi, 1), fragB(V{ti}[2 * j + 1]), acc);").unwrap();
+            writeln!(
+                out,
+                "    wmma::mma_sync(acc, fragA_from(lo, hi, 0), fragB(V{ti}[2 * j + 0]), acc);"
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "    wmma::mma_sync(acc, fragA_from(lo, hi, 1), fragB(V{ti}[2 * j + 1]), acc);"
+            )
+            .unwrap();
         }
         writeln!(out, "  }}").unwrap();
     }
     if plan.decomp.pointwise != 0.0 {
         writeln!(out).unwrap();
         writeln!(out, "  // §III-C pyramid tip: 1x1 term, no matrix multiply needed").unwrap();
-        writeln!(out, "  acc.x[0] += {:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 0)];", plan.decomp.pointwise).unwrap();
-        writeln!(out, "  acc.x[1] += {:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 1)];", plan.decomp.pointwise).unwrap();
+        writeln!(
+            out,
+            "  acc.x[0] += {:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 0)];",
+            plan.decomp.pointwise
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  acc.x[1] += {:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 1)];",
+            plan.decomp.pointwise
+        )
+        .unwrap();
     }
     writeln!(out).unwrap();
-    writeln!(out, "  wmma::store_matrix_sync(&outp[r0 * cols + c0], acc, cols, wmma::mem_row_major);").unwrap();
+    writeln!(
+        out,
+        "  wmma::store_matrix_sync(&outp[r0 * cols + c0], acc, cols, wmma::mem_row_major);"
+    )
+    .unwrap();
     writeln!(out, "}}").unwrap();
     out
 }

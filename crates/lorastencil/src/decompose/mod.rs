@@ -45,10 +45,7 @@ mod tests {
     #[test]
     fn strategy_selection_matches_kernel_structure() {
         assert_eq!(decompose(kernels::heat_2d().weights_2d(), 1e-12).strategy, Strategy::Star);
-        assert_eq!(
-            decompose(kernels::star_2d13p().weights_2d(), 1e-12).strategy,
-            Strategy::Star
-        );
+        assert_eq!(decompose(kernels::star_2d13p().weights_2d(), 1e-12).strategy, Strategy::Star);
         assert_eq!(
             decompose(kernels::box_2d9p().weights_2d(), 1e-12).strategy,
             Strategy::Pyramidal

@@ -41,7 +41,9 @@ impl std::fmt::Display for PmaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PmaError::NotRadiallySymmetric => write!(f, "matrix is not radially symmetric"),
-            PmaError::ZeroCorner { side } => write!(f, "zero corner at pyramid level of side {side}"),
+            PmaError::ZeroCorner { side } => {
+                write!(f, "zero corner at pyramid level of side {side}")
+            }
             PmaError::BorderResidual { residual } => {
                 write!(f, "border residual {residual} after peeling a level")
             }
@@ -67,7 +69,12 @@ pub fn pyramidal(w: &WeightMatrix, tol: f64) -> Result<Decomposition, PmaError> 
         let n = cur.n();
         if cur.as_slice().iter().all(|&x| x.abs() <= tol) {
             // nothing left to peel
-            return Ok(Decomposition { side: w.n(), terms, pointwise: 0.0, strategy: Strategy::Pyramidal });
+            return Ok(Decomposition {
+                side: w.n(),
+                terms,
+                pointwise: 0.0,
+                strategy: Strategy::Pyramidal,
+            });
         }
         let corner = cur.get(0, 0);
         if corner.abs() <= tol {

@@ -13,9 +13,7 @@ use stencil_core::WeightMatrix;
 pub fn svd(w: &WeightMatrix, tol: f64) -> Decomposition {
     let n = w.n();
     // gram = WᵀW (symmetric PSD)
-    let gram = WeightMatrix::from_fn(n, |i, j| {
-        (0..n).map(|k| w.get(k, i) * w.get(k, j)).sum()
-    });
+    let gram = WeightMatrix::from_fn(n, |i, j| (0..n).map(|k| w.get(k, i) * w.get(k, j)).sum());
     let (vals, vecs) = symmetric_eigen(&gram);
     let scale = vals.first().map(|v| v.abs()).unwrap_or(0.0).max(1e-300);
     let mut terms = Vec::new();

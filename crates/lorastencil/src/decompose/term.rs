@@ -4,14 +4,13 @@
 //! of rank-1 matrices `C_k = u_k ⊗ v_kᵀ` (Eq. 8) plus an optional pointwise
 //! scalar (the 1×1 pyramid tip of Eq. 15, which needs no matrix multiply).
 
-use serde::{Deserialize, Serialize};
 use stencil_core::WeightMatrix;
 
 /// One rank-1 matrix `u ⊗ vᵀ`, centered within the full kernel.
 ///
 /// `u.len() == v.len() == 2*radius + 1 ≤ full kernel side`; a term smaller
 /// than the kernel (a pyramid level) is implicitly embedded centered.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankOneTerm {
     /// Column vector (gathers the vertical/residual dimension).
     pub u: Vec<f64>,
@@ -44,7 +43,7 @@ impl RankOneTerm {
 }
 
 /// Which decomposition algorithm produced a [`Decomposition`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// Pyramidal Matrix Adaptation (§III-C): radially symmetric matrices
     /// with non-vanishing corners; terms of strictly decreasing size.
@@ -58,7 +57,7 @@ pub enum Strategy {
 }
 
 /// A complete low-rank decomposition `W = Σ_k u_k ⊗ v_kᵀ + pointwise·E_cc`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Decomposition {
     /// Side of the decomposed kernel (`2h + 1`).
     pub side: usize,
@@ -133,5 +132,39 @@ mod tests {
     #[should_panic]
     fn mismatched_vectors_rejected() {
         RankOneTerm::new(vec![1.0, 2.0, 3.0], vec![1.0]);
+    }
+}
+
+impl foundation::json::ToJson for RankOneTerm {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([("u", self.u.to_json()), ("v", self.v.to_json())])
+    }
+}
+
+impl foundation::json::ToJson for Strategy {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::Str(
+            match self {
+                Strategy::Pyramidal => "Pyramidal",
+                Strategy::Star => "Star",
+                Strategy::Eigen => "Eigen",
+                Strategy::Svd => "Svd",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl foundation::json::ToJson for Decomposition {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([
+            ("side", Json::UInt(self.side as u64)),
+            ("terms", Json::arr(self.terms.iter())),
+            ("pointwise", Json::Num(self.pointwise)),
+            ("strategy", self.strategy.to_json()),
+        ])
     }
 }

@@ -58,9 +58,11 @@ mod tests {
             let p = match k.dims() {
                 1 => Problem::new(k.clone(), Grid1D::from_fn(128, |i| (i % 9) as f64), 1),
                 2 => Problem::new(k.clone(), Grid2D::from_fn(24, 24, |r, c| (r + 2 * c) as f64), 1),
-                _ => {
-                    Problem::new(k.clone(), Grid3D::from_fn(4, 8, 8, |z, y, x| (z + y + x) as f64), 1)
-                }
+                _ => Problem::new(
+                    k.clone(),
+                    Grid3D::from_fn(4, 8, 8, |z, y, x| (z + y + x) as f64),
+                    1,
+                ),
             };
             let err = max_error_vs_reference(&exec, &p).unwrap();
             assert!(err < 1e-11, "{}: err = {err}", k.name);

@@ -7,7 +7,7 @@
 //! matrix `V` (Eq. 11) to update 64 points at once.
 
 use crate::plan::{ExecConfig, Plan1D};
-use rayon::prelude::*;
+use foundation::par::*;
 use stencil_core::tiling::tiles_1d;
 use stencil_core::{ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor};
 use tcu_sim::{
@@ -214,11 +214,7 @@ mod tests {
     #[test]
     fn rejects_2d_problems() {
         let exec = LoRaStencil1D::new();
-        let p = Problem::new(
-            kernels::box_2d9p(),
-            stencil_core::Grid2D::new(8, 8),
-            1,
-        );
+        let p = Problem::new(kernels::box_2d9p(), stencil_core::Grid2D::new(8, 8), 1);
         assert!(exec.execute(&p).is_err());
     }
 }

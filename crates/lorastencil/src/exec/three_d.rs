@@ -8,7 +8,7 @@
 
 use crate::plan::{ExecConfig, Plan3D, PlaneOp};
 use crate::rdg::{apply_pointwise, rdg_apply_term, rdg_apply_term_cuda, XFragments, TILE_M};
-use rayon::prelude::*;
+use foundation::par::*;
 use stencil_core::tiling::{tiles_2d, Tile2D};
 use stencil_core::{ExecError, ExecOutcome, Grid3D, GridData, Problem, StencilExecutor};
 use tcu_sim::{CopyMode, FragAcc, GlobalArray, PerfCounters, SharedTile, SimContext, MMA_N};
@@ -99,7 +99,8 @@ fn compute_tile(
                 let x = XFragments::load(&mut ctx, &tile, geo);
                 if plan.config.use_tcu {
                     for term in &decomp.terms {
-                        acc_frag = rdg_apply_term(&mut ctx, &x, term, plan.config.use_bvs, acc_frag);
+                        acc_frag =
+                            rdg_apply_term(&mut ctx, &x, term, plan.config.use_bvs, acc_frag);
                     }
                     apply_pointwise(&mut ctx, &x, decomp.pointwise, &mut acc_frag);
                 } else {

@@ -7,10 +7,8 @@
 //! on CUDA cores, and write the accumulator back to global memory.
 
 use crate::plan::{ExecConfig, Plan2D};
-use crate::rdg::{
-    apply_pointwise, rdg_apply_term, rdg_apply_term_cuda, XFragments, TILE_M,
-};
-use rayon::prelude::*;
+use crate::rdg::{apply_pointwise, rdg_apply_term, rdg_apply_term_cuda, XFragments, TILE_M};
+use foundation::par::*;
 use stencil_core::tiling::{tiles_2d, Tile2D};
 use stencil_core::{ExecError, ExecOutcome, Grid2D, GridData, Problem, StencilExecutor};
 use tcu_sim::{CopyMode, FragAcc, GlobalArray, PerfCounters, SharedTile, SimContext, MMA_N};
@@ -127,10 +125,7 @@ impl StencilExecutor for LoRaStencil2D {
         let full = problem.iterations / plan.fusion;
         let rem = problem.iterations % plan.fusion;
         let base_plan = if rem > 0 {
-            Some(Plan2D::new(
-                &problem.kernel,
-                ExecConfig { allow_fusion: false, ..self.config },
-            ))
+            Some(Plan2D::new(&problem.kernel, ExecConfig { allow_fusion: false, ..self.config }))
         } else {
             None
         };
@@ -150,11 +145,7 @@ impl StencilExecutor for LoRaStencil2D {
             }
         }
         let output = Grid2D::from_vec(grid.rows(), grid.cols(), cur.as_slice().to_vec());
-        Ok(ExecOutcome {
-            output: GridData::D2(output),
-            counters,
-            block: plan.block_resources(),
-        })
+        Ok(ExecOutcome { output: GridData::D2(output), counters, block: plan.block_resources() })
     }
 }
 
@@ -253,11 +244,7 @@ mod tests {
     #[test]
     fn rejects_mismatched_problems() {
         let exec = LoRaStencil2D::new();
-        let p = Problem::new(
-            kernels::heat_1d(),
-            stencil_core::Grid1D::from_vec(vec![0.0; 16]),
-            1,
-        );
+        let p = Problem::new(kernels::heat_1d(), stencil_core::Grid1D::from_vec(vec![0.0; 16]), 1);
         assert!(exec.execute(&p).is_err());
     }
 

@@ -5,13 +5,12 @@
 use crate::decompose::{self, Decomposition};
 use crate::fusion;
 use crate::rdg::RdgGeometry;
-use serde::{Deserialize, Serialize};
 use stencil_core::{StencilKernel, WeightMatrix};
 use tcu_sim::BlockResources;
 
 /// Feature toggles, primarily for the Fig. 9 performance-breakdown
 /// ablation. Production configuration enables everything.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Execute the RDG matrix chains on tensor cores (`false` = the same
     /// math on CUDA cores).
@@ -37,15 +36,30 @@ impl ExecConfig {
         [
             (
                 "RDG (CUDA cores)",
-                ExecConfig { use_tcu: false, use_bvs: false, use_async_copy: false, allow_fusion: true },
+                ExecConfig {
+                    use_tcu: false,
+                    use_bvs: false,
+                    use_async_copy: false,
+                    allow_fusion: true,
+                },
             ),
             (
                 "+TCU",
-                ExecConfig { use_tcu: true, use_bvs: false, use_async_copy: false, allow_fusion: true },
+                ExecConfig {
+                    use_tcu: true,
+                    use_bvs: false,
+                    use_async_copy: false,
+                    allow_fusion: true,
+                },
             ),
             (
                 "+BVS",
-                ExecConfig { use_tcu: true, use_bvs: true, use_async_copy: false, allow_fusion: true },
+                ExecConfig {
+                    use_tcu: true,
+                    use_bvs: true,
+                    use_async_copy: false,
+                    allow_fusion: true,
+                },
             ),
             ("+AsyncCopy", ExecConfig::full()),
         ]
@@ -299,5 +313,17 @@ mod tests {
         assert!(stages[1].1.use_tcu && !stages[1].1.use_bvs);
         assert!(stages[2].1.use_bvs && !stages[2].1.use_async_copy);
         assert_eq!(stages[3].1, ExecConfig::full());
+    }
+}
+
+impl foundation::json::ToJson for ExecConfig {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([
+            ("use_tcu", Json::Bool(self.use_tcu)),
+            ("use_bvs", Json::Bool(self.use_bvs)),
+            ("use_async_copy", Json::Bool(self.use_async_copy)),
+            ("allow_fusion", Json::Bool(self.allow_fusion)),
+        ])
     }
 }

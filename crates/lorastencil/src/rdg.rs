@@ -298,13 +298,8 @@ mod tests {
         }
         // dense copy for the reference (WeightMatrix needs an odd side,
         // so pad by one zero row/column)
-        let dense = WeightMatrix::from_fn(s + 1, |i, j| {
-            if i < s && j < s {
-                vals[i * s + j]
-            } else {
-                0.0
-            }
-        });
+        let dense =
+            WeightMatrix::from_fn(s + 1, |i, j| if i < s && j < s { vals[i * s + j] } else { 0.0 });
         (tile, dense)
     }
 
@@ -367,8 +362,7 @@ mod tests {
     fn bvs_and_natural_split_agree_but_only_bvs_is_shuffle_free() {
         let geo = RdgGeometry::for_radius(2);
         let (tile, _) = random_tile(geo.s, 3);
-        let term =
-            RankOneTerm::new(vec![0.2, 0.5, 1.0, 0.5, 0.2], vec![0.1, 0.7, 1.0, 0.7, 0.1]);
+        let term = RankOneTerm::new(vec![0.2, 0.5, 1.0, 0.5, 0.2], vec![0.1, 0.7, 1.0, 0.7, 0.1]);
 
         let mut ctx_bvs = SimContext::new();
         let x1 = XFragments::load(&mut ctx_bvs, &tile, geo);

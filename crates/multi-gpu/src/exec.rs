@@ -9,9 +9,9 @@
 //! tiles accumulate the same partial sums in the same order.
 
 use crate::partition::{partition, Slab, ALIGN};
+use foundation::par::*;
 use lorastencil::exec::two_d::apply_once;
 use lorastencil::{ExecConfig, Plan2D};
-use rayon::prelude::*;
 use stencil_core::{Grid2D, StencilKernel};
 use tcu_sim::{BlockResources, GlobalArray, PerfCounters};
 
@@ -42,11 +42,19 @@ struct Device {
 
 /// Gather `count` rows starting at global row `start` (periodic) from
 /// the authoritative slab owners.
-fn gather_rows(devices: &[Device], rows: usize, cols: usize, start: isize, count: usize) -> Vec<f64> {
+fn gather_rows(
+    devices: &[Device],
+    rows: usize,
+    cols: usize,
+    start: isize,
+    count: usize,
+) -> Vec<f64> {
     let mut out = Vec::with_capacity(count * cols);
     for dr in 0..count {
         let gr = (start + dr as isize).rem_euclid(rows as isize) as usize;
-        let owner = devices.iter().find(|d| gr >= d.slab.start && gr < d.slab.start + d.slab.len)
+        let owner = devices
+            .iter()
+            .find(|d| gr >= d.slab.start && gr < d.slab.start + d.slab.len)
             .expect("every row has an owner");
         let lr = owner.pad + (gr - owner.slab.start);
         for c in 0..cols {
@@ -65,7 +73,8 @@ fn exchange_halos(devices: &mut [Device], rows: usize, cols: usize, needed: usiz
     let fetch: Vec<(Vec<f64>, Vec<f64>)> = devices
         .iter()
         .map(|d| {
-            let top = gather_rows(devices, rows, cols, d.slab.start as isize - needed as isize, needed);
+            let top =
+                gather_rows(devices, rows, cols, d.slab.start as isize - needed as isize, needed);
             let bottom =
                 gather_rows(devices, rows, cols, (d.slab.start + d.slab.len) as isize, needed);
             (top, bottom)
@@ -123,9 +132,9 @@ pub fn run_distributed(
     let mut applies = 0usize;
 
     let step = |devices: &mut Vec<Device>,
-                    per_device: &mut Vec<PerfCounters>,
-                    nvlink: &mut u64,
-                    p: &Plan2D| {
+                per_device: &mut Vec<PerfCounters>,
+                nvlink: &mut u64,
+                p: &Plan2D| {
         *nvlink += exchange_halos(devices, rows, cols, p.exec_kernel.radius);
         let results: Vec<(GlobalArray, PerfCounters)> =
             devices.par_iter().map(|d| apply_once(&d.local, p)).collect();
@@ -152,13 +161,7 @@ pub fn run_distributed(
             }
         }
     }
-    DistributedOutcome {
-        output,
-        per_device,
-        nvlink_bytes,
-        applies,
-        block: plan.block_resources(),
-    }
+    DistributedOutcome { output, per_device, nvlink_bytes, applies, block: plan.block_resources() }
 }
 
 #[cfg(test)]

@@ -18,8 +18,7 @@ pub mod args;
 
 use lorastencil::{codegen, ExecConfig, LoRaStencil, Plan2D};
 use stencil_core::{
-    kernels, kernels_ext, Grid1D, Grid2D, Grid3D, GridData, Problem, StencilExecutor,
-    StencilKernel,
+    kernels, kernels_ext, Grid1D, Grid2D, Grid3D, GridData, Problem, StencilExecutor, StencilKernel,
 };
 use tcu_sim::CostModel;
 
@@ -47,7 +46,10 @@ pub fn resolve_kernel(spec_path: &str, name: &str) -> Result<StencilKernel, Stri
 }
 
 /// Build an executor by method name.
-pub fn find_method(name: &str, config: ExecConfig) -> Option<Box<dyn StencilExecutor + Send + Sync>> {
+pub fn find_method(
+    name: &str,
+    config: ExecConfig,
+) -> Option<Box<dyn StencilExecutor + Send + Sync>> {
     if name.eq_ignore_ascii_case("lorastencil") {
         return Some(Box::new(LoRaStencil::with_config(config)));
     }
@@ -277,16 +279,23 @@ mod tests {
         let dir = std::env::temp_dir().join("lorastencil-spec-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("custom.stencil");
-        std::fs::write(&path, "kernel: custom
+        std::fs::write(
+            &path,
+            "kernel: custom
 weights1d:
 0.25 0.5 0.25
-").unwrap();
+",
+        )
+        .unwrap();
         let k = resolve_kernel(path.to_str().unwrap(), "").unwrap();
         assert_eq!(k.name, "custom");
         assert_eq!(k.radius, 1);
         // bad spec surfaces the parse error with the file name
-        std::fs::write(&path, "nope
-").unwrap();
+        std::fs::write(
+            &path, "nope
+",
+        )
+        .unwrap();
         let e = resolve_kernel(path.to_str().unwrap(), "").unwrap_err();
         assert!(e.contains("custom.stencil"));
         // missing file
@@ -302,7 +311,9 @@ weights1d:
 
     #[test]
     fn method_lookup_covers_all() {
-        for name in ["LoRAStencil", "convstencil", "TCStencil", "amos", "cuDNN", "Brick", "drstencil"] {
+        for name in
+            ["LoRAStencil", "convstencil", "TCStencil", "amos", "cuDNN", "Brick", "drstencil"]
+        {
             assert!(find_method(name, ExecConfig::full()).is_some(), "{name}");
         }
         assert!(find_method("unknown", ExecConfig::full()).is_none());
@@ -363,8 +374,7 @@ weights1d:
         let bvs = trace_text(&k, ExecConfig::full()).unwrap();
         assert!(bvs.contains("(0 shuffles)"));
         assert!(!bvs.contains("(2 shuffles)"));
-        let nat =
-            trace_text(&k, ExecConfig { use_bvs: false, ..ExecConfig::full() }).unwrap();
+        let nat = trace_text(&k, ExecConfig { use_bvs: false, ..ExecConfig::full() }).unwrap();
         assert!(nat.contains("(2 shuffles)"));
         let burst = |s: &str| -> usize {
             s.lines()

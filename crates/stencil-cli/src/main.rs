@@ -22,7 +22,8 @@ fn real_main() -> Result<(), String> {
         "help" => print!("{}", usage()),
         "list" => print!("{}", list_text()),
         "analyze" => {
-            let h: u64 = args.opt("radius", "3").parse().map_err(|e| format!("bad --radius: {e}"))?;
+            let h: u64 =
+                args.opt("radius", "3").parse().map_err(|e| format!("bad --radius: {e}"))?;
             print!("{}", analyze_text(h.clamp(1, 16)));
         }
         "codegen" => {
@@ -38,8 +39,10 @@ fn real_main() -> Result<(), String> {
         "run" => {
             let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
             let config = parse_config(args.opt("config", "full"))?;
-            let method = find_method(args.opt("method", "LoRAStencil"), config)
-                .ok_or_else(|| format!("unknown method {:?} (try `list`)", args.opt("method", "")))?;
+            let method =
+                find_method(args.opt("method", "LoRAStencil"), config).ok_or_else(|| {
+                    format!("unknown method {:?} (try `list`)", args.opt("method", ""))
+                })?;
             let default_size = match kernel.dims() {
                 1 => "4096".to_string(),
                 2 => "128x128".to_string(),
@@ -48,7 +51,8 @@ fn real_main() -> Result<(), String> {
             let dims = parse_size(args.opt("size", &default_size))?;
             let iters: usize =
                 args.opt("iters", "1").parse().map_err(|e| format!("bad --iters: {e}"))?;
-            let seed: u64 = args.opt("seed", "42").parse().map_err(|e| format!("bad --seed: {e}"))?;
+            let seed: u64 =
+                args.opt("seed", "42").parse().map_err(|e| format!("bad --seed: {e}"))?;
             print!(
                 "{}",
                 run_report(

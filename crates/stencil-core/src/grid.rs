@@ -6,10 +6,8 @@
 //! makes temporal kernel fusion (§IV-A) bit-identical to iterated
 //! application; the simulator's halo copies wrap the same way.
 
-use serde::{Deserialize, Serialize};
-
 /// A 1-D grid of `n` points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid1D {
     n: usize,
     data: Vec<f64>,
@@ -65,7 +63,7 @@ impl Grid1D {
 }
 
 /// A 2-D grid of `rows × cols` points, row-major.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid2D {
     rows: usize,
     cols: usize,
@@ -150,7 +148,7 @@ impl Grid2D {
 }
 
 /// A 3-D grid of `nz × ny × nx` points; `x` is the contiguous dimension.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid3D {
     nz: usize,
     ny: usize,
@@ -165,7 +163,12 @@ impl Grid3D {
     }
 
     /// Grid filled by `f(z, y, x)`.
-    pub fn from_fn(nz: usize, ny: usize, nx: usize, f: impl Fn(usize, usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        nz: usize,
+        ny: usize,
+        nx: usize,
+        f: impl Fn(usize, usize, usize) -> f64,
+    ) -> Self {
         let mut data = Vec::with_capacity(nz * ny * nx);
         for z in 0..nz {
             for y in 0..ny {
@@ -237,7 +240,7 @@ impl Grid3D {
 }
 
 /// A grid of any dimensionality, for the executor-facing API.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GridData {
     /// One-dimensional grid.
     D1(Grid1D),
@@ -346,5 +349,46 @@ mod tests {
         assert_eq!(a.max_abs_diff(&b), 1.0);
         assert_eq!(a.dims(), 1);
         assert_eq!(a.len(), 2);
+    }
+}
+
+impl foundation::json::ToJson for Grid1D {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([("n", Json::UInt(self.n as u64)), ("data", self.data.to_json())])
+    }
+}
+
+impl foundation::json::ToJson for Grid2D {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([
+            ("rows", Json::UInt(self.rows as u64)),
+            ("cols", Json::UInt(self.cols as u64)),
+            ("data", self.data.to_json()),
+        ])
+    }
+}
+
+impl foundation::json::ToJson for Grid3D {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([
+            ("nz", Json::UInt(self.nz as u64)),
+            ("ny", Json::UInt(self.ny as u64)),
+            ("nx", Json::UInt(self.nx as u64)),
+            ("data", self.data.to_json()),
+        ])
+    }
+}
+
+impl foundation::json::ToJson for GridData {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        match self {
+            GridData::D1(g) => Json::obj([("D1", g.to_json())]),
+            GridData::D2(g) => Json::obj([("D2", g.to_json())]),
+            GridData::D3(g) => Json::obj([("D3", g.to_json())]),
+        }
     }
 }

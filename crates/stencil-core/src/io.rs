@@ -12,7 +12,7 @@
 //! ```
 
 use crate::grid::{Grid1D, Grid2D, Grid3D, GridData};
-use bytes::{Buf, BufMut};
+use foundation::buf::{Buf, BufMut};
 
 /// File-format magic.
 pub const MAGIC: &[u8; 4] = b"LSG1";
@@ -84,7 +84,10 @@ pub fn decode(mut buf: &[u8]) -> Result<GridData, IoError> {
         return Err(IoError::BadShape(format!("{ndims} dimensions")));
     }
     if buf.remaining() < 8 * ndims {
-        return Err(IoError::Truncated { needed: 8 * ndims - buf.remaining(), have: buf.remaining() });
+        return Err(IoError::Truncated {
+            needed: 8 * ndims - buf.remaining(),
+            have: buf.remaining(),
+        });
     }
     let dims: Vec<usize> = (0..ndims).map(|_| buf.get_u64_le() as usize).collect();
     if dims.contains(&0) {
@@ -93,7 +96,10 @@ pub fn decode(mut buf: &[u8]) -> Result<GridData, IoError> {
     let count: usize = dims.iter().product();
     let payload = count.checked_mul(8).ok_or_else(|| IoError::BadShape("overflow".into()))?;
     if buf.remaining() < payload {
-        return Err(IoError::Truncated { needed: payload - buf.remaining(), have: buf.remaining() });
+        return Err(IoError::Truncated {
+            needed: payload - buf.remaining(),
+            have: buf.remaining(),
+        });
     }
     let data: Vec<f64> = (0..count).map(|_| buf.get_f64_le()).collect();
     if buf.has_remaining() {
@@ -104,9 +110,7 @@ pub fn decode(mut buf: &[u8]) -> Result<GridData, IoError> {
         [r, c] => GridData::D2(Grid2D::from_vec(*r, *c, data)),
         [z, y, x] => {
             let (ny, nx) = (*y, *x);
-            GridData::D3(Grid3D::from_fn(*z, ny, nx, |zz, yy, xx| {
-                data[(zz * ny + yy) * nx + xx]
-            }))
+            GridData::D3(Grid3D::from_fn(*z, ny, nx, |zz, yy, xx| data[(zz * ny + yy) * nx + xx]))
         }
         _ => unreachable!(),
     })
@@ -197,7 +201,8 @@ mod tests {
 
     #[test]
     fn values_survive_exactly_including_specials() {
-        let g = GridData::D1(Grid1D::from_vec(vec![0.0, -0.0, 1e-308, 1e308, std::f64::consts::PI]));
+        let g =
+            GridData::D1(Grid1D::from_vec(vec![0.0, -0.0, 1e-308, 1e308, std::f64::consts::PI]));
         let back = decode(&encode(&g)).unwrap();
         assert_eq!(back.as_slice(), g.as_slice());
     }

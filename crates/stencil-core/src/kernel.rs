@@ -1,9 +1,7 @@
 //! Stencil kernel descriptions: shape, radius, dimensionality and weights.
 
-use serde::{Deserialize, Serialize};
-
 /// The two predefined stencil patterns (§II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Shape {
     /// Neighbors displaced along a single dimension only.
     Star,
@@ -15,7 +13,7 @@ pub enum Shape {
 ///
 /// Index `(i, j)` corresponds to the neighbor displaced by
 /// `(i - h, j - h)` from the updated point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeightMatrix {
     n: usize,
     data: Vec<f64>,
@@ -90,11 +88,7 @@ impl WeightMatrix {
     /// the same side.
     pub fn max_abs_diff(&self, other: &WeightMatrix) -> f64 {
         assert_eq!(self.n, other.n);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Element-wise subtraction.
@@ -193,7 +187,7 @@ impl WeightMatrix {
 }
 
 /// Weights for a kernel of any dimensionality.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Weights {
     /// 1-D weights, length `2h + 1`.
     D1(Vec<f64>),
@@ -205,7 +199,7 @@ pub enum Weights {
 }
 
 /// A complete stencil kernel description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StencilKernel {
     /// Kernel name (e.g. `"Box-2D9P"`).
     pub name: String,
@@ -284,7 +278,9 @@ impl StencilKernel {
                     for i in 0..n {
                         for j in 0..n {
                             if i != h && j != h && w.get(i, j) != 0.0 {
-                                return Err(format!("star kernel has off-axis weight at ({i},{j})"));
+                                return Err(format!(
+                                    "star kernel has off-axis weight at ({i},{j})"
+                                ));
                             }
                         }
                     }
@@ -387,5 +383,45 @@ mod tests {
         assert_eq!(k.points(), 2);
         assert_eq!(k.dims(), 2);
         assert_eq!(k.side(), 3);
+    }
+}
+
+impl foundation::json::ToJson for Shape {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::Str(match self {
+            Shape::Star => "Star".to_string(),
+            Shape::Box => "Box".to_string(),
+        })
+    }
+}
+
+impl foundation::json::ToJson for WeightMatrix {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([("n", Json::UInt(self.n as u64)), ("data", self.data.to_json())])
+    }
+}
+
+impl foundation::json::ToJson for Weights {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        match self {
+            Weights::D1(w) => Json::obj([("D1", w.to_json())]),
+            Weights::D2(w) => Json::obj([("D2", w.to_json())]),
+            Weights::D3(planes) => Json::obj([("D3", Json::arr(planes.iter()))]),
+        }
+    }
+}
+
+impl foundation::json::ToJson for StencilKernel {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("shape", self.shape.to_json()),
+            ("radius", Json::UInt(self.radius as u64)),
+            ("weights", self.weights.to_json()),
+        ])
     }
 }

@@ -90,7 +90,12 @@ pub fn box_2d49p() -> StencilKernel {
     let w = radially_symmetric_from_quadrant(3, &quad);
     let s = w.sum();
     let w = WeightMatrix::from_fn(7, |i, j| w.get(i, j) / s);
-    StencilKernel { name: "Box-2D49P".into(), shape: Shape::Box, radius: 3, weights: Weights::D2(w) }
+    StencilKernel {
+        name: "Box-2D49P".into(),
+        shape: Shape::Box,
+        radius: 3,
+        weights: Weights::D2(w),
+    }
 }
 
 /// Heat-3D: 7-point 3-D star (radius 1).

@@ -32,11 +32,10 @@ pub fn apply_2d(input: &Grid2D, weights: &crate::kernel::WeightMatrix) -> Grid2D
                 for j in 0..n {
                     let w = weights.get(i, j);
                     if w != 0.0 {
-                        acc += w
-                            * input.get(
-                                r as isize + i as isize - h as isize,
-                                c as isize + j as isize - h as isize,
-                            );
+                        acc += w * input.get(
+                            r as isize + i as isize - h as isize,
+                            c as isize + j as isize - h as isize,
+                        );
                     }
                 }
             }

@@ -4,7 +4,9 @@
 use crate::grid::Grid2D;
 
 const SHADES: &[u8] = b" .:-=+*#%@";
-const SPARKS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+const SPARKS: [char; 8] = [
+    '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}',
+];
 
 /// Render a 2-D field as an ASCII heat map of at most `max_rows ×
 /// max_cols` characters, sampling the grid uniformly. Values are scaled

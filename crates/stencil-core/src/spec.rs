@@ -211,10 +211,14 @@ fn parse_matrix(lines: &[(usize, &str)]) -> Result<(WeightMatrix, usize), SpecEr
 
 /// Render a kernel back to the spec format (round-trippable).
 pub fn render_kernel(k: &StencilKernel) -> String {
-    let mut out = format!("kernel: {}\nshape: {}\n", k.name, match k.shape {
-        Shape::Star => "star",
-        Shape::Box => "box",
-    });
+    let mut out = format!(
+        "kernel: {}\nshape: {}\n",
+        k.name,
+        match k.shape {
+            Shape::Star => "star",
+            Shape::Box => "box",
+        }
+    );
     let fmt_matrix = |w: &WeightMatrix, out: &mut String| {
         for i in 0..w.n() {
             let row: Vec<String> = (0..w.n()).map(|j| format!("{}", w.get(i, j))).collect();
@@ -339,7 +343,8 @@ weights2d:
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let spec = "\n# header\nkernel: c  # trailing comment\n\nweights1d:\n# row follows\n1 0 0\n";
+        let spec =
+            "\n# header\nkernel: c  # trailing comment\n\nweights1d:\n# row follows\n1 0 0\n";
         let k = parse_kernel(spec).unwrap();
         assert_eq!(k.name, "c");
     }

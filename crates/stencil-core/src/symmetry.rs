@@ -76,7 +76,8 @@ mod tests {
         // rank(W) ≤ h+1 (§II-C).
         for h in 1..=4usize {
             let q = h + 1;
-            let quad: Vec<f64> = (0..q * q).map(|i| ((i * 7 + 3) % 11) as f64 * 0.37 + 0.1).collect();
+            let quad: Vec<f64> =
+                (0..q * q).map(|i| ((i * 7 + 3) % 11) as f64 * 0.37 + 0.1).collect();
             let w = radially_symmetric_from_quadrant(h, &quad);
             assert!(
                 w.rank(1e-9) <= rank_bound(h),

@@ -14,7 +14,6 @@
 use crate::counters::PerfCounters;
 use crate::device::DeviceSpec;
 use crate::occupancy::{occupancy, BlockResources, Occupancy};
-use serde::{Deserialize, Serialize};
 
 /// Bytes moved by one warp-level FP64 shared-memory request
 /// (32 lanes × 8 bytes).
@@ -22,7 +21,7 @@ pub const BYTES_PER_SHARED_REQUEST: f64 = 256.0;
 
 /// Tunable model parameters (defaults calibrated against the paper's
 /// reported breakdown and speedups; see `EXPERIMENTS.md`).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     /// Device the counters are mapped onto.
     pub device: DeviceSpec,
@@ -62,7 +61,7 @@ impl Default for CostModel {
 }
 
 /// Per-pool time breakdown produced by [`CostModel::estimate`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Estimate {
     /// FP64 tensor-core compute time, s.
     pub t_tensor: f64,
@@ -226,5 +225,35 @@ mod tests {
         let e = m.estimate(&c, &block());
         let ct = e.compute_throughput();
         assert!(ct > 0.0 && ct <= 1.0);
+    }
+}
+
+impl foundation::json::ToJson for CostModel {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([
+            ("device", self.device.to_json()),
+            ("staging_overhead", Json::Num(self.staging_overhead)),
+            ("shuffle_exposed_cycles", Json::Num(self.shuffle_exposed_cycles)),
+            ("latency_saturation_occupancy", Json::Num(self.latency_saturation_occupancy)),
+            ("achievable_fraction", Json::Num(self.achievable_fraction)),
+        ])
+    }
+}
+
+impl foundation::json::ToJson for Estimate {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([
+            ("t_tensor", Json::Num(self.t_tensor)),
+            ("t_tensor16", Json::Num(self.t_tensor16)),
+            ("t_cuda", Json::Num(self.t_cuda)),
+            ("t_shared", Json::Num(self.t_shared)),
+            ("t_l2", Json::Num(self.t_l2)),
+            ("t_hbm", Json::Num(self.t_hbm)),
+            ("t_shuffle", Json::Num(self.t_shuffle)),
+            ("occupancy", Json::Num(self.occupancy)),
+            ("total", Json::Num(self.total)),
+        ])
     }
 }

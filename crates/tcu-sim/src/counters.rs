@@ -6,8 +6,6 @@
 //! Fig. 9; global traffic for the roofline / arithmetic-intensity numbers of
 //! Table III).
 
-use serde::{Deserialize, Serialize};
-
 /// FLOPs performed by one `mma.m8n8k4.f64` instruction: `2 * m * n * k`.
 pub const FLOPS_PER_MMA: u64 = 2 * 8 * 8 * 4;
 
@@ -15,7 +13,7 @@ pub const FLOPS_PER_MMA: u64 = 2 * 8 * 8 * 4;
 ///
 /// Counters are plain integers so tile-local counter sets can be merged
 /// after parallel execution (see [`PerfCounters::merge`]).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PerfCounters {
     /// Number of `mma.m8n8k4.f64` instructions issued to tensor cores.
     pub mma_ops: u64,
@@ -175,5 +173,24 @@ mod tests {
         let mut c = PerfCounters::new();
         c.mma_ops = 7;
         assert_eq!(c.scaled(0), PerfCounters::new());
+    }
+}
+
+impl foundation::json::ToJson for PerfCounters {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([
+            ("mma_ops", Json::UInt(self.mma_ops)),
+            ("mma_fp16_ops", Json::UInt(self.mma_fp16_ops)),
+            ("cuda_flops", Json::UInt(self.cuda_flops)),
+            ("shuffle_ops", Json::UInt(self.shuffle_ops)),
+            ("shared_load_requests", Json::UInt(self.shared_load_requests)),
+            ("shared_store_requests", Json::UInt(self.shared_store_requests)),
+            ("global_bytes_read", Json::UInt(self.global_bytes_read)),
+            ("global_bytes_written", Json::UInt(self.global_bytes_written)),
+            ("l2_bytes", Json::UInt(self.l2_bytes)),
+            ("staged_copy_bytes", Json::UInt(self.staged_copy_bytes)),
+            ("points_updated", Json::UInt(self.points_updated)),
+        ])
     }
 }

@@ -170,7 +170,13 @@ impl GlobalArray {
 
     /// Direct warp read of `len ≤ 32` contiguous elements that a prior
     /// pass already brought on-chip: charged to the L2 pool, not HBM.
-    pub fn load_span_cached(&self, ctx: &mut SimContext, r: usize, c0: usize, len: usize) -> Vec<f64> {
+    pub fn load_span_cached(
+        &self,
+        ctx: &mut SimContext,
+        r: usize,
+        c0: usize,
+        len: usize,
+    ) -> Vec<f64> {
         assert!(len <= 32);
         ctx.counters.l2_bytes += (len * 8) as u64;
         (0..len).map(|i| self.peek(r, c0 + i)).collect()

@@ -41,8 +41,7 @@ pub fn occupancy(device: &DeviceSpec, block: &BlockResources) -> Occupancy {
 
     let by_blocks = device.max_blocks_per_sm;
     let by_warps = device.max_warps_per_sm / warps_per_block;
-    let by_shared =
-        device.shared_bytes_per_sm.checked_div(block.shared_bytes).unwrap_or(u32::MAX);
+    let by_shared = device.shared_bytes_per_sm.checked_div(block.shared_bytes).unwrap_or(u32::MAX);
     let regs_per_block = block.regs_per_thread.saturating_mul(block.threads).max(1);
     let by_regs = device.registers_per_sm / regs_per_block;
 

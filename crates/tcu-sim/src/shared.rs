@@ -46,7 +46,12 @@ impl SharedTile {
 
     #[inline]
     fn idx(&self, r: usize, c: usize) -> usize {
-        debug_assert!(r < self.rows && c < self.cols, "({r},{c}) out of {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         r * self.cols + c
     }
 

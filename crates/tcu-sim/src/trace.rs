@@ -7,10 +7,9 @@
 //! issue order and can be queried or rendered as a compact listing.
 
 use crate::context::SimContext;
-use serde::Serialize;
 
 /// One traced operation.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
     /// An `mma.m8n8k4.f64` issue.
     Mma,
@@ -43,7 +42,7 @@ pub enum TraceEvent {
 }
 
 /// A recorded trace.
-#[derive(Debug, Default, Clone, Serialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }
@@ -174,14 +173,8 @@ mod tests {
         assert_eq!(t.len(), 5);
         assert_eq!(t.events()[0], TraceEvent::SharedLoad);
         assert_eq!(t.events()[2], TraceEvent::Mma);
-        assert_eq!(
-            t.events()[3],
-            TraceEvent::AccExtract { cols: [0, 2, 4, 6], shuffles: 0 }
-        );
-        assert_eq!(
-            t.events()[4],
-            TraceEvent::AccExtract { cols: [0, 1, 2, 3], shuffles: 2 }
-        );
+        assert_eq!(t.events()[3], TraceEvent::AccExtract { cols: [0, 2, 4, 6], shuffles: 0 });
+        assert_eq!(t.events()[4], TraceEvent::AccExtract { cols: [0, 1, 2, 3], shuffles: 2 });
         assert!(t.render().contains("mma.m8n8k4.f64"));
     }
 
@@ -209,5 +202,37 @@ mod tests {
         t.push(TraceEvent::Shuffles(2)); // breaks the burst
         t.push(TraceEvent::Mma);
         assert_eq!(t.longest_mma_burst(), 3);
+    }
+}
+
+impl foundation::json::ToJson for TraceEvent {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        match self {
+            TraceEvent::Mma => Json::Str("Mma".into()),
+            TraceEvent::Mma16 => Json::Str("Mma16".into()),
+            TraceEvent::SharedLoad => Json::Str("SharedLoad".into()),
+            TraceEvent::SharedStore => Json::Str("SharedStore".into()),
+            TraceEvent::AccExtract { cols, shuffles } => Json::obj([(
+                "AccExtract",
+                Json::obj([
+                    ("cols", Json::Arr(cols.iter().map(|&c| Json::UInt(c as u64)).collect())),
+                    ("shuffles", Json::UInt(*shuffles)),
+                ]),
+            )]),
+            TraceEvent::GlobalCopy { bytes, staged } => Json::obj([(
+                "GlobalCopy",
+                Json::obj([("bytes", Json::UInt(*bytes)), ("staged", Json::Bool(*staged))]),
+            )]),
+            TraceEvent::CudaFlops(n) => Json::obj([("CudaFlops", Json::UInt(*n))]),
+            TraceEvent::Shuffles(n) => Json::obj([("Shuffles", Json::UInt(*n))]),
+        }
+    }
+}
+
+impl foundation::json::ToJson for Trace {
+    fn to_json(&self) -> foundation::json::Json {
+        use foundation::json::Json;
+        Json::obj([("events", Json::arr(self.events.iter()))])
     }
 }

@@ -26,7 +26,10 @@ fn main() {
     let single = run_distributed(&kernel, &grid, iters, 1, ExecConfig::full());
     let base = model_run(&single, &model, logical);
 
-    println!("{:>8}  {:>12}  {:>9}  {:>11}  {:>14}", "devices", "GStencil/s", "speedup", "efficiency", "NVLink MB");
+    println!(
+        "{:>8}  {:>12}  {:>9}  {:>11}  {:>14}",
+        "devices", "GStencil/s", "speedup", "efficiency", "NVLink MB"
+    );
     let mut curve = Vec::new();
     for d in [1usize, 2, 4, 8, 16] {
         let out = run_distributed(&kernel, &grid, iters, d, ExecConfig::full());

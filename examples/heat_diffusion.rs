@@ -65,5 +65,8 @@ fn main() {
         println!("{}", render(&current));
     }
 
-    println!("Peak temperature decayed to {:.2}", current.as_slice().iter().cloned().fold(f64::MIN, f64::max));
+    println!(
+        "Peak temperature decayed to {:.2}",
+        current.as_slice().iter().cloned().fold(f64::MIN, f64::max)
+    );
 }

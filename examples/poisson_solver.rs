@@ -24,12 +24,7 @@ const N: usize = 64;
 fn residual(exec: &LoRaStencil, u: &Grid2D, f: &Grid2D) -> f64 {
     let p = Problem::new(laplacian_2d(2), u.clone(), 1);
     let lap = exec.execute(&p).unwrap();
-    lap.output
-        .as_slice()
-        .iter()
-        .zip(f.as_slice())
-        .map(|(l, fv)| (l - fv).abs())
-        .fold(0.0, f64::max)
+    lap.output.as_slice().iter().zip(f.as_slice()).map(|(l, fv)| (l - fv).abs()).fold(0.0, f64::max)
 }
 
 fn main() {
@@ -75,9 +70,5 @@ fn main() {
     // means upward curvature — a potential well, so the positive charge
     // sits at the minimum and the negative one at the maximum
     assert!(u.at(16, 16) < u.at(48, 48), "potential well/peak inverted");
-    println!(
-        "u(charge+) = {:+.4}, u(charge−) = {:+.4}",
-        u.at(16, 16),
-        u.at(48, 48)
-    );
+    println!("u(charge+) = {:+.4}, u(charge−) = {:+.4}", u.at(16, 16), u.at(48, 48));
 }

@@ -49,16 +49,29 @@ fn main() {
     println!("\n{:<28}{:>14}{:>14}", "", "LoRAStencil", "ConvStencil");
     let rows: [(&str, u64, u64); 5] = [
         ("tensor-core MMAs", lora.counters.mma_ops, conv.counters.mma_ops),
-        ("shared load requests", lora.counters.shared_load_requests, conv.counters.shared_load_requests),
-        ("shared store requests", lora.counters.shared_store_requests, conv.counters.shared_store_requests),
+        (
+            "shared load requests",
+            lora.counters.shared_load_requests,
+            conv.counters.shared_load_requests,
+        ),
+        (
+            "shared store requests",
+            lora.counters.shared_store_requests,
+            conv.counters.shared_store_requests,
+        ),
         ("HBM bytes", lora.counters.global_bytes(), conv.counters.global_bytes()),
         ("warp shuffles", lora.counters.shuffle_ops, conv.counters.shuffle_ops),
     ];
     for (name, l, c) in rows {
         println!("{name:<28}{l:>14}{c:>14}");
     }
-    let gl = model.estimate(&lora.counters, &lora.block).gstencil_per_sec(lora.counters.points_updated);
-    let gc = model.estimate(&conv.counters, &conv.block).gstencil_per_sec(conv.counters.points_updated);
+    let gl =
+        model.estimate(&lora.counters, &lora.block).gstencil_per_sec(lora.counters.points_updated);
+    let gc =
+        model.estimate(&conv.counters, &conv.block).gstencil_per_sec(conv.counters.points_updated);
     println!("{:<28}{:>14.1}{:>14.1}", "modeled GStencil/s", gl, gc);
-    println!("\nLoRAStencil advantage: {:.2}x (paper reports the 3-D gap as the most pronounced)", gl / gc);
+    println!(
+        "\nLoRAStencil advantage: {:.2}x (paper reports the 3-D gap as the most pronounced)",
+        gl / gc
+    );
 }

@@ -5,7 +5,9 @@
 
 use baselines::all_baselines;
 use lorastencil::LoRaStencil;
-use stencil_core::{kernels, max_error_vs_reference, Grid1D, Grid2D, Grid3D, Problem, StencilExecutor};
+use stencil_core::{
+    kernels, max_error_vs_reference, Grid1D, Grid2D, Grid3D, Problem, StencilExecutor,
+};
 
 const TOL: f64 = 1e-9;
 
@@ -49,7 +51,12 @@ fn lorastencil_matches_reference_on_every_benchmark_kernel() {
     for kernel in kernels::all_kernels() {
         for p in problems_for(&kernel) {
             let err = max_error_vs_reference(&exec, &p).unwrap();
-            assert!(err < TOL, "LoRAStencil on {} ({:?} iters): err = {err}", kernel.name, p.iterations);
+            assert!(
+                err < TOL,
+                "LoRAStencil on {} ({:?} iters): err = {err}",
+                kernel.name,
+                p.iterations
+            );
         }
     }
 }

@@ -6,6 +6,7 @@
 use baselines::{ConvStencil, TcStencil};
 use lorastencil::{analysis, ExecConfig, LoRaStencil, LoRaStencil2D};
 use stencil_core::{kernels, Grid2D, Grid3D, Problem, StencilExecutor};
+use tcu_sim::{FragAcc, SimContext, MMA_M};
 
 fn grid(rows: usize, cols: usize) -> Grid2D {
     Grid2D::from_fn(rows, cols, |r, c| ((r * 31 + c * 7) % 13) as f64 * 0.5)
@@ -86,10 +87,7 @@ fn bvs_pipeline_is_shuffle_free_end_to_end() {
 #[test]
 fn disabling_bvs_exposes_shuffles_without_changing_results() {
     let with_bvs = LoRaStencil2D::with_config(ExecConfig::full());
-    let without = LoRaStencil2D::with_config(ExecConfig {
-        use_bvs: false,
-        ..ExecConfig::full()
-    });
+    let without = LoRaStencil2D::with_config(ExecConfig { use_bvs: false, ..ExecConfig::full() });
     let p = Problem::new(kernels::box_2d49p(), grid(32, 32), 2);
     let a = with_bvs.execute(&p).unwrap();
     let b = without.execute(&p).unwrap();
@@ -106,10 +104,8 @@ fn disabling_bvs_exposes_shuffles_without_changing_results() {
 #[test]
 fn async_copy_eliminates_staging_without_changing_results() {
     let async_exec = LoRaStencil2D::with_config(ExecConfig::full());
-    let staged = LoRaStencil2D::with_config(ExecConfig {
-        use_async_copy: false,
-        ..ExecConfig::full()
-    });
+    let staged =
+        LoRaStencil2D::with_config(ExecConfig { use_async_copy: false, ..ExecConfig::full() });
     let p = Problem::new(kernels::box_2d9p(), grid(24, 24), 3);
     let a = async_exec.execute(&p).unwrap();
     let b = staged.execute(&p).unwrap();
@@ -122,10 +118,8 @@ fn async_copy_eliminates_staging_without_changing_results() {
 fn fusion_divides_memory_traffic() {
     // 3 iterations of Box-2D9P: fused needs one pass, unfused three.
     let fused = LoRaStencil2D::with_config(ExecConfig::full());
-    let unfused = LoRaStencil2D::with_config(ExecConfig {
-        allow_fusion: false,
-        ..ExecConfig::full()
-    });
+    let unfused =
+        LoRaStencil2D::with_config(ExecConfig { allow_fusion: false, ..ExecConfig::full() });
     let p = Problem::new(kernels::box_2d9p(), grid(32, 32), 3);
     let a = fused.execute(&p).unwrap();
     let b = unfused.execute(&p).unwrap();
@@ -187,4 +181,41 @@ fn points_updated_equals_problem_updates_for_all_methods() {
             exec.name()
         );
     }
+}
+
+#[test]
+fn butterfly_extraction_charges_zero_shuffles_natural_charges_two() {
+    // Simulator-level BVS regression (§III-D): extracting the butterfly
+    // column sets must be free, while each natural contiguous split must
+    // move both accumulator registers across lanes (2 shuffles) — and
+    // both paths must read back exactly the same elements.
+    let mut m = [[0.0; 8]; MMA_M];
+    for (r, row) in m.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (r * 8 + c) as f64 - 31.5;
+        }
+    }
+    let acc = FragAcc::from_matrix(&m);
+
+    let mut bvs = SimContext::new();
+    for cols in FragAcc::BUTTERFLY_COLS {
+        let frag = bvs.acc_to_a(&acc, cols);
+        for r in 0..MMA_M {
+            for (j, &c) in cols.iter().enumerate() {
+                assert_eq!(frag.get(r, j), acc.get(r, c));
+            }
+        }
+    }
+    assert_eq!(bvs.counters.shuffle_ops, 0, "butterfly extraction must be shuffle-free");
+
+    let mut natural = SimContext::new();
+    for cols in FragAcc::NATURAL_COLS {
+        let frag = natural.acc_to_a(&acc, cols);
+        for r in 0..MMA_M {
+            for (j, &c) in cols.iter().enumerate() {
+                assert_eq!(frag.get(r, j), acc.get(r, c));
+            }
+        }
+    }
+    assert_eq!(natural.counters.shuffle_ops, 2 * 2, "each natural split costs 2 shuffles");
 }

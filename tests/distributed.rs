@@ -17,12 +17,8 @@ fn field(rows: usize, cols: usize) -> Grid2D {
 #[test]
 fn distributed_matches_reference_for_every_2d_kernel_family() {
     let grid = field(64, 40);
-    let mut kernels_2d = vec![
-        kernels::heat_2d(),
-        kernels::box_2d9p(),
-        kernels::star_2d13p(),
-        kernels::box_2d49p(),
-    ];
+    let mut kernels_2d =
+        vec![kernels::heat_2d(), kernels::box_2d9p(), kernels::star_2d13p(), kernels::box_2d49p()];
     kernels_2d.extend(kernels_ext::all_extended().into_iter().filter(|k| k.dims() == 2));
     // plus a spec-defined custom kernel
     kernels_2d.push(

@@ -93,10 +93,7 @@ fn breakdown_performance_grows_with_input_size() {
     let fig = fig9(&CostModel::a100());
     for stage in 0..fig.stages.len() {
         for w in fig.gstencil.windows(2) {
-            assert!(
-                w[1][stage] >= w[0][stage] * 0.999,
-                "stage {stage} must not regress with size"
-            );
+            assert!(w[1][stage] >= w[0][stage] * 0.999, "stage {stage} must not regress with size");
         }
         let first = fig.gstencil.first().unwrap()[stage];
         let last = fig.gstencil.last().unwrap()[stage];
@@ -118,8 +115,12 @@ fn shared_memory_requests_shrink_like_fig10() {
     }
     // the paper's headline averages: loads → 19.1%, stores → 47.0%,
     // total reduced by 76.6%; assert generous bands
-    let load_pct = bench_suite::report::geomean(&rows.iter().map(|r| r.lora.0 / r.conv.0).collect::<Vec<_>>());
-    let tot_red = 1.0 - bench_suite::report::geomean(&rows.iter().map(|r| r.lora.2 / r.conv.2).collect::<Vec<_>>());
+    let load_pct =
+        bench_suite::report::geomean(&rows.iter().map(|r| r.lora.0 / r.conv.0).collect::<Vec<_>>());
+    let tot_red = 1.0
+        - bench_suite::report::geomean(
+            &rows.iter().map(|r| r.lora.2 / r.conv.2).collect::<Vec<_>>(),
+        );
     assert!((0.10..0.35).contains(&load_pct), "load ratio {load_pct:.3} (paper 0.191)");
     assert!((0.60..0.90).contains(&tot_red), "total reduction {tot_red:.3} (paper 0.766)");
     // the renderer must not panic and must carry all four kernels

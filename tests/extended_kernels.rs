@@ -27,7 +27,9 @@ fn lorastencil_runs_every_extended_kernel() {
             2 => Problem::new(k.clone(), grid2(24, 32), 2),
             _ => Problem::new(
                 k.clone(),
-                Grid3D::from_fn(12, 16, 16, |z, y, x| (z as f64 * 0.4).sin() + (y + 2 * x) as f64 * 0.05),
+                Grid3D::from_fn(12, 16, 16, |z, y, x| {
+                    (z as f64 * 0.4).sin() + (y + 2 * x) as f64 * 0.05
+                }),
                 2,
             ),
         };
@@ -136,11 +138,7 @@ fn laplacian_orders_agree_on_smooth_fields() {
         let out = exec.execute(&p).unwrap();
         let got = out.output.as_slice();
         let want: Vec<f64> = grid.as_slice().iter().map(|v| -2.0 * kk * kk * v).collect();
-        let err = got
-            .iter()
-            .zip(&want)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
+        let err = got.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
         assert!(err < prev_err, "order {order} must improve accuracy: {err} vs {prev_err}");
         prev_err = err;
     }

@@ -1,0 +1,246 @@
+//! Golden-value tests: fixed kernels on fixed impulse grids with
+//! hand-checked expected outputs, compared element for element.
+//!
+//! The grids are impulses (a single non-zero cell) whose value is a
+//! power of two, so every output cell is one weight times the impulse —
+//! a single f64 multiply by a power of two, which is **exact**. The
+//! expected values below are therefore hand-derived constants, not
+//! recomputed floating-point sums, and the reference executor must match
+//! them bitwise. The LoRAStencil executors go through low-rank
+//! decomposition and tile algebra, so they are compared to the same
+//! goldens within 1e-12 and additionally checked for bitwise
+//! run-to-run determinism.
+
+use lorastencil::LoRaStencil;
+use stencil_core::{
+    kernels, reference, Grid1D, Grid2D, Grid3D, GridData, Problem, Shape, StencilExecutor,
+    StencilKernel, WeightMatrix, Weights,
+};
+
+fn as1(g: &GridData) -> &Grid1D {
+    match g {
+        GridData::D1(g) => g,
+        _ => panic!("expected 1-D grid"),
+    }
+}
+
+fn as2(g: &GridData) -> &Grid2D {
+    match g {
+        GridData::D2(g) => g,
+        _ => panic!("expected 2-D grid"),
+    }
+}
+
+fn as3(g: &GridData) -> &Grid3D {
+    match g {
+        GridData::D3(g) => g,
+        _ => panic!("expected 3-D grid"),
+    }
+}
+
+// ---------------------------------------------------------------- 1D5P
+
+/// 1D5P weights are [1/16, 4/16, 6/16, 4/16, 1/16]; an impulse of 2.0
+/// at index 40 must spread to exactly [0.125, 0.5, 0.75, 0.5, 0.125]
+/// over indices 38..=42 and leave every other cell at 0.0.
+fn golden_1d5p() -> (Grid1D, Vec<(usize, f64)>) {
+    let n = 96;
+    let mut g = Grid1D::new(n);
+    g.set(40, 2.0);
+    let expected = vec![(38, 0.125), (39, 0.5), (40, 0.75), (41, 0.5), (42, 0.125)];
+    (g, expected)
+}
+
+#[test]
+fn reference_1d5p_impulse_matches_golden_exactly() {
+    let (g, expected) = golden_1d5p();
+    let k = kernels::p5_1d();
+    let out = reference::run(&GridData::D1(g), &k, 1);
+    let out = as1(&out);
+    for i in 0..out.len() {
+        let want = expected.iter().find(|(j, _)| *j == i).map_or(0.0, |&(_, v)| v);
+        assert_eq!(out.get(i as isize), want, "index {i}");
+    }
+}
+
+#[test]
+fn lora_1d5p_impulse_matches_golden() {
+    let (g, expected) = golden_1d5p();
+    let p = Problem::new(kernels::p5_1d(), g, 1);
+    let out = LoRaStencil::new().execute(&p).unwrap();
+    let o = as1(&out.output);
+    for i in 0..o.len() {
+        let want = expected.iter().find(|(j, _)| *j == i).map_or(0.0, |&(_, v)| v);
+        assert!((o.get(i as isize) - want).abs() < 1e-12, "index {i}: got {}", o.get(i as isize));
+    }
+    // bitwise run-to-run determinism
+    let again = LoRaStencil::new().execute(&p).unwrap();
+    assert_eq!(out.output.max_abs_diff(&again.output), 0.0);
+}
+
+// -------------------------------------------------------------- Heat-2D
+
+/// Heat-2D is the 5-point star with center 0.5 and arms 0.125; an
+/// impulse of 4.0 at (5, 7) must produce exactly 2.0 at the center and
+/// 0.5 at the four von Neumann neighbors.
+fn golden_heat2d() -> (Grid2D, Vec<(usize, usize, f64)>) {
+    let mut g = Grid2D::new(16, 16);
+    g.set(5, 7, 4.0);
+    let expected = vec![(5, 7, 2.0), (4, 7, 0.5), (6, 7, 0.5), (5, 6, 0.5), (5, 8, 0.5)];
+    (g, expected)
+}
+
+#[test]
+fn reference_heat2d_impulse_matches_golden_exactly() {
+    let (g, expected) = golden_heat2d();
+    let k = kernels::heat_2d();
+    let out = reference::run(&GridData::D2(g), &k, 1);
+    let out = as2(&out);
+    for r in 0..out.rows() {
+        for c in 0..out.cols() {
+            let want = expected
+                .iter()
+                .find(|(er, ec, _)| (*er, *ec) == (r, c))
+                .map_or(0.0, |&(_, _, v)| v);
+            assert_eq!(out.at(r, c), want, "({r},{c})");
+        }
+    }
+}
+
+#[test]
+fn lora_heat2d_impulse_matches_golden() {
+    let (g, expected) = golden_heat2d();
+    let p = Problem::new(kernels::heat_2d(), g, 1);
+    let out = LoRaStencil::new().execute(&p).unwrap();
+    let o = as2(&out.output);
+    for r in 0..o.rows() {
+        for c in 0..o.cols() {
+            let want = expected
+                .iter()
+                .find(|(er, ec, _)| (*er, *ec) == (r, c))
+                .map_or(0.0, |&(_, _, v)| v);
+            assert!((o.at(r, c) - want).abs() < 1e-12, "({r},{c}): got {}", o.at(r, c));
+        }
+    }
+    let again = LoRaStencil::new().execute(&p).unwrap();
+    assert_eq!(out.output.max_abs_diff(&again.output), 0.0);
+}
+
+// ------------------------------------------------------------- 3-D box
+
+/// A radially symmetric 3×3×3 box kernel with dyadic weights summing to
+/// one: corners 1/256, edges 1/128, faces 1/64, center 25/32.
+fn box_3d_dyadic() -> StencilKernel {
+    let outer = WeightMatrix::from_vec(
+        3,
+        vec![
+            1.0 / 256.0,
+            1.0 / 128.0,
+            1.0 / 256.0,
+            1.0 / 128.0,
+            1.0 / 64.0,
+            1.0 / 128.0,
+            1.0 / 256.0,
+            1.0 / 128.0,
+            1.0 / 256.0,
+        ],
+    );
+    let mid = WeightMatrix::from_vec(
+        3,
+        vec![
+            1.0 / 128.0,
+            1.0 / 64.0,
+            1.0 / 128.0,
+            1.0 / 64.0,
+            25.0 / 32.0,
+            1.0 / 64.0,
+            1.0 / 128.0,
+            1.0 / 64.0,
+            1.0 / 128.0,
+        ],
+    );
+    StencilKernel {
+        name: "Box-3D-dyadic".into(),
+        shape: Shape::Box,
+        radius: 1,
+        weights: Weights::D3(vec![outer.clone(), mid, outer]),
+    }
+}
+
+/// Expected cell value after one application to an impulse of 2.0 at
+/// (2, 4, 6): classify each neighbor by how many of its offsets are
+/// non-zero. Hand-derived constants: center 25/32·2 = 1.5625, face
+/// 1/64·2 = 0.03125, edge 1/128·2 = 0.015625, corner 1/256·2 =
+/// 0.0078125.
+fn golden_box3d_expected(z: usize, y: usize, x: usize) -> f64 {
+    let (iz, iy, ix) = (2i64, 4i64, 6i64);
+    let (dz, dy, dx) = (z as i64 - iz, y as i64 - iy, x as i64 - ix);
+    if dz.abs() > 1 || dy.abs() > 1 || dx.abs() > 1 {
+        return 0.0;
+    }
+    match (dz != 0) as u8 + (dy != 0) as u8 + (dx != 0) as u8 {
+        0 => 1.5625,    // center: 25/32 × 2
+        1 => 0.03125,   // face:   1/64 × 2
+        2 => 0.015625,  // edge:   1/128 × 2
+        _ => 0.0078125, // corner: 1/256 × 2
+    }
+}
+
+#[test]
+fn reference_box3d_impulse_matches_golden_exactly() {
+    let mut g = Grid3D::new(4, 8, 12);
+    g.set(2, 4, 6, 2.0);
+    let out = reference::run(&GridData::D3(g), &box_3d_dyadic(), 1);
+    let out = as3(&out);
+    for z in 0..out.nz() {
+        for y in 0..out.ny() {
+            for x in 0..out.nx() {
+                assert_eq!(
+                    out.get(z as isize, y as isize, x as isize),
+                    golden_box3d_expected(z, y, x),
+                    "({z},{y},{x})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lora_box3d_impulse_matches_golden() {
+    let mut g = Grid3D::new(4, 8, 12);
+    g.set(2, 4, 6, 2.0);
+    let p = Problem::new(box_3d_dyadic(), g, 1);
+    let out = LoRaStencil::new().execute(&p).unwrap();
+    let o = as3(&out.output);
+    for z in 0..o.nz() {
+        for y in 0..o.ny() {
+            for x in 0..o.nx() {
+                let got = o.get(z as isize, y as isize, x as isize);
+                let want = golden_box3d_expected(z, y, x);
+                assert!((got - want).abs() < 1e-12, "({z},{y},{x}): got {got}, want {want}");
+            }
+        }
+    }
+    let again = LoRaStencil::new().execute(&p).unwrap();
+    assert_eq!(out.output.max_abs_diff(&again.output), 0.0);
+}
+
+// ------------------------------------------------- conservation sanity
+
+/// Every golden kernel's weights sum to exactly 1 in f64 (they are
+/// dyadic rationals), so a constant grid is a fixed point of the
+/// reference executor — bitwise.
+#[test]
+fn constant_grid_is_fixed_point_of_unit_sum_kernels() {
+    let ones1 = GridData::D1(Grid1D::from_fn(96, |_| 1.0));
+    let out = reference::run(&ones1, &kernels::p5_1d(), 3);
+    assert!(as1(&out).as_slice().iter().all(|&v| v == 1.0));
+
+    let ones2 = GridData::D2(Grid2D::from_fn(16, 16, |_, _| 1.0));
+    let out = reference::run(&ones2, &kernels::heat_2d(), 3);
+    assert!(as2(&out).as_slice().iter().all(|&v| v == 1.0));
+
+    let ones3 = GridData::D3(Grid3D::from_fn(4, 8, 12, |_, _, _| 1.0));
+    let out = reference::run(&ones3, &box_3d_dyadic(), 2);
+    assert!(as3(&out).as_slice().iter().all(|&v| v == 1.0));
+}

@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) on the core invariants:
+//! Property-based tests (foundation's in-tree harness) on the core
+//! invariants:
 //!
 //! * low-rank decompositions reconstruct the weight matrix;
 //! * the rank bound of §II-C holds for radially symmetric matrices;
@@ -6,202 +7,292 @@
 //! * BVS (Eq. 17) leaves matrix products unchanged;
 //! * temporal fusion commutes with iteration;
 //! * the stencil operator is linear.
+//!
+//! Cases are generated from a pinned seed (`foundation::prop::DEFAULT_SEED`)
+//! so every run sees the same inputs; on failure the harness shrinks and
+//! prints the minimal failing input.
 
+use foundation::prop::*;
 use lorastencil::{bvs, decompose, fusion, LoRaStencil};
-use proptest::prelude::*;
 use stencil_core::symmetry::{is_radially_symmetric, radially_symmetric_from_quadrant};
 use stencil_core::{
     kernels, reference, Grid1D, Grid2D, Grid3D, GridData, Problem, Shape, StencilExecutor,
     StencilKernel, WeightMatrix, Weights,
 };
 
-fn radial_quadrant(h: usize) -> impl Strategy<Value = Vec<f64>> {
-    let q = (h + 1) * (h + 1);
-    prop::collection::vec(-2.0..2.0f64, q..=q)
+fn cfg() -> Config {
+    Config::with_cases(48)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Generator for a radius-4 quadrant buffer (25 values), sliced down to
+/// `(h+1)²` entries per case exactly as the proptest suite did.
+fn radial_quadrant() -> impl Gen<Value = Vec<f64>> {
+    vec_exact(f64_range(-2.0, 2.0), 25)
+}
 
-    #[test]
-    fn decompose_reconstructs_radially_symmetric(h in 1usize..=4, quad in radial_quadrant(4)) {
-        let q = (h + 1) * (h + 1);
-        let w = radially_symmetric_from_quadrant(h, &quad[..q]);
-        let d = decompose::decompose(&w, 1e-12);
-        prop_assert!(d.reconstruction_error(&w) < 1e-9,
-            "err = {}", d.reconstruction_error(&w));
-    }
+#[test]
+fn decompose_reconstructs_radially_symmetric() {
+    check_with(
+        &cfg(),
+        "decompose_reconstructs_radially_symmetric",
+        &(usize_range(1, 5), radial_quadrant()),
+        |(h, quad)| {
+            let q = (h + 1) * (h + 1);
+            let w = radially_symmetric_from_quadrant(h, &quad[..q]);
+            let d = decompose::decompose(&w, 1e-12);
+            prop_assert!(d.reconstruction_error(&w) < 1e-9, "err = {}", d.reconstruction_error(&w));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn rank_bound_holds(h in 1usize..=4, quad in radial_quadrant(4)) {
+#[test]
+fn rank_bound_holds() {
+    check_with(&cfg(), "rank_bound_holds", &(usize_range(1, 5), radial_quadrant()), |(h, quad)| {
         let q = (h + 1) * (h + 1);
         let w = radially_symmetric_from_quadrant(h, &quad[..q]);
         prop_assert!(is_radially_symmetric(&w, 1e-12));
         prop_assert!(w.rank(1e-9) <= h + 1, "rank {} > h+1 = {}", w.rank(1e-9), h + 1);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn decompose_reconstructs_arbitrary(vals in prop::collection::vec(-3.0..3.0f64, 25..=25)) {
-        let w = WeightMatrix::from_vec(5, vals);
-        let d = decompose::decompose(&w, 1e-12);
-        prop_assert!(d.reconstruction_error(&w) < 1e-8,
-            "strategy {:?}, err = {}", d.strategy, d.reconstruction_error(&w));
-    }
+#[test]
+fn decompose_reconstructs_arbitrary() {
+    check_with(
+        &cfg(),
+        "decompose_reconstructs_arbitrary",
+        &(vec_exact(f64_range(-3.0, 3.0), 25),),
+        |(vals,)| {
+            let w = WeightMatrix::from_vec(5, vals);
+            let d = decompose::decompose(&w, 1e-12);
+            prop_assert!(
+                d.reconstruction_error(&w) < 1e-8,
+                "strategy {:?}, err = {}",
+                d.strategy,
+                d.reconstruction_error(&w)
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lora_matches_reference_on_random_grids(
-        seed in 0u64..1000,
-        rows in 9usize..30,
-        cols in 9usize..30,
-        iters in 1usize..4,
-    ) {
-        let g = Grid2D::from_fn(rows, cols, |r, c| {
-            let x = (r as u64 * 31 + c as u64 * 17 + seed).wrapping_mul(2654435761);
-            ((x >> 16) % 1000) as f64 / 100.0 - 5.0
-        });
-        let p = Problem::new(kernels::box_2d9p(), g, iters);
-        let out = LoRaStencil::new().execute(&p).unwrap();
-        let want = reference::run(&p.input, &p.kernel, p.iterations);
-        prop_assert!(out.output.max_abs_diff(&want) < 1e-9);
-    }
+#[test]
+fn lora_matches_reference_on_random_grids() {
+    check_with(
+        &cfg(),
+        "lora_matches_reference_on_random_grids",
+        &(u64_range(0, 1000), usize_range(9, 30), usize_range(9, 30), usize_range(1, 4)),
+        |(seed, rows, cols, iters)| {
+            let g = Grid2D::from_fn(rows, cols, |r, c| {
+                let x = (r as u64 * 31 + c as u64 * 17 + seed).wrapping_mul(2654435761);
+                ((x >> 16) % 1000) as f64 / 100.0 - 5.0
+            });
+            let p = Problem::new(kernels::box_2d9p(), g, iters);
+            let out = LoRaStencil::new().execute(&p).unwrap();
+            let want = reference::run(&p.input, &p.kernel, p.iterations);
+            prop_assert!(out.output.max_abs_diff(&want) < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lora_matches_reference_on_random_radial_weights(
-        quad in radial_quadrant(2),
-        seed in 0u64..1000,
-    ) {
-        // radius-2 kernel with arbitrary radially symmetric weights
-        let w = radially_symmetric_from_quadrant(2, &quad[..9]);
-        let kernel = stencil_core::StencilKernel {
-            name: "random-radial".into(),
-            shape: stencil_core::Shape::Box,
-            radius: 2,
-            weights: stencil_core::Weights::D2(w),
-        };
-        let g = Grid2D::from_fn(17, 23, |r, c| {
-            ((r as u64 * 7 + c as u64 * 3 + seed) % 13) as f64 * 0.4 - 2.0
-        });
-        let p = Problem::new(kernel, g, 2);
-        let out = LoRaStencil::new().execute(&p).unwrap();
-        let want = reference::run(&p.input, &p.kernel, p.iterations);
-        prop_assert!(out.output.max_abs_diff(&want) < 1e-9);
-    }
+#[test]
+fn lora_matches_reference_on_random_radial_weights() {
+    check_with(
+        &cfg(),
+        "lora_matches_reference_on_random_radial_weights",
+        &(radial_quadrant(), u64_range(0, 1000)),
+        |(quad, seed)| {
+            // radius-2 kernel with arbitrary radially symmetric weights
+            let w = radially_symmetric_from_quadrant(2, &quad[..9]);
+            let kernel = StencilKernel {
+                name: "random-radial".into(),
+                shape: Shape::Box,
+                radius: 2,
+                weights: Weights::D2(w),
+            };
+            let g = Grid2D::from_fn(17, 23, |r, c| {
+                ((r as u64 * 7 + c as u64 * 3 + seed) % 13) as f64 * 0.4 - 2.0
+            });
+            let p = Problem::new(kernel, g, 2);
+            let out = LoRaStencil::new().execute(&p).unwrap();
+            let want = reference::run(&p.input, &p.kernel, p.iterations);
+            prop_assert!(out.output.max_abs_diff(&want) < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lora_matches_reference_on_random_1d_weights(
-        weights in prop::collection::vec(-2.0..2.0f64, 5..=5),
-        n in 65usize..200,
-        iters in 1usize..4,
-    ) {
-        let kernel = StencilKernel {
-            name: "random-1d".into(),
-            shape: Shape::Star,
-            radius: 2,
-            weights: Weights::D1(weights),
-        };
-        let g = Grid1D::from_fn(n, |i| ((i * 37 + 11) % 23) as f64 * 0.2 - 2.0);
-        let p = Problem::new(kernel, g, iters);
-        let out = LoRaStencil::new().execute(&p).unwrap();
-        let want = reference::run(&p.input, &p.kernel, p.iterations);
-        prop_assert!(out.output.max_abs_diff(&want) < 1e-9);
-    }
+#[test]
+fn lora_matches_reference_on_random_1d_weights() {
+    check_with(
+        &cfg(),
+        "lora_matches_reference_on_random_1d_weights",
+        &(vec_exact(f64_range(-2.0, 2.0), 5), usize_range(65, 200), usize_range(1, 4)),
+        |(weights, n, iters)| {
+            let kernel = StencilKernel {
+                name: "random-1d".into(),
+                shape: Shape::Star,
+                radius: 2,
+                weights: Weights::D1(weights),
+            };
+            let g = Grid1D::from_fn(n, |i| ((i * 37 + 11) % 23) as f64 * 0.2 - 2.0);
+            let p = Problem::new(kernel, g, iters);
+            let out = LoRaStencil::new().execute(&p).unwrap();
+            let want = reference::run(&p.input, &p.kernel, p.iterations);
+            prop_assert!(out.output.max_abs_diff(&want) < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn lora_matches_reference_on_random_3d_weights(
-        vals in prop::collection::vec(-1.0..1.0f64, 27..=27),
-        seed in 0u64..100,
-    ) {
-        // arbitrary (asymmetric!) 3×3×3 kernel: every plane goes through
-        // the SVD path of the planner
-        let planes: Vec<WeightMatrix> = vals
-            .chunks(9)
-            .map(|c| WeightMatrix::from_vec(3, c.to_vec()))
-            .collect();
-        let kernel = StencilKernel {
-            name: "random-3d".into(),
-            shape: Shape::Box,
-            radius: 1,
-            weights: Weights::D3(planes),
-        };
-        let g = Grid3D::from_fn(4, 9, 11, |z, y, x| {
-            ((z * 5 + y * 3 + x + seed as usize) % 13) as f64 * 0.3
-        });
-        let p = Problem::new(kernel, g, 2);
-        let out = LoRaStencil::new().execute(&p).unwrap();
-        let want = reference::run(&p.input, &p.kernel, p.iterations);
-        prop_assert!(out.output.max_abs_diff(&want) < 1e-9);
-    }
+#[test]
+fn lora_matches_reference_on_random_3d_weights() {
+    check_with(
+        &cfg(),
+        "lora_matches_reference_on_random_3d_weights",
+        &(vec_exact(f64_range(-1.0, 1.0), 27), u64_range(0, 100)),
+        |(vals, seed)| {
+            // arbitrary (asymmetric!) 3×3×3 kernel: every plane goes
+            // through the SVD path of the planner
+            let planes: Vec<WeightMatrix> =
+                vals.chunks(9).map(|c| WeightMatrix::from_vec(3, c.to_vec())).collect();
+            let kernel = StencilKernel {
+                name: "random-3d".into(),
+                shape: Shape::Box,
+                radius: 1,
+                weights: Weights::D3(planes),
+            };
+            let g = Grid3D::from_fn(4, 9, 11, |z, y, x| {
+                ((z * 5 + y * 3 + x + seed as usize) % 13) as f64 * 0.3
+            });
+            let p = Problem::new(kernel, g, 2);
+            let out = LoRaStencil::new().execute(&p).unwrap();
+            let want = reference::run(&p.input, &p.kernel, p.iterations);
+            prop_assert!(out.output.max_abs_diff(&want) < 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn spec_roundtrip_on_random_2d_kernels(vals in prop::collection::vec(-5.0..5.0f64, 25..=25)) {
-        let kernel = StencilKernel {
-            name: "roundtrip".into(),
-            shape: Shape::Box,
-            radius: 2,
-            weights: Weights::D2(WeightMatrix::from_vec(5, vals)),
-        };
-        let text = stencil_core::spec::render_kernel(&kernel);
-        let back = stencil_core::spec::parse_kernel(&text).unwrap();
-        prop_assert_eq!(back, kernel);
-    }
+#[test]
+fn spec_roundtrip_on_random_2d_kernels() {
+    check_with(
+        &cfg(),
+        "spec_roundtrip_on_random_2d_kernels",
+        &(vec_exact(f64_range(-5.0, 5.0), 25),),
+        |(vals,)| {
+            let kernel = StencilKernel {
+                name: "roundtrip".into(),
+                shape: Shape::Box,
+                radius: 2,
+                weights: Weights::D2(WeightMatrix::from_vec(5, vals)),
+            };
+            let text = stencil_core::spec::render_kernel(&kernel);
+            let back = stencil_core::spec::parse_kernel(&text).unwrap();
+            prop_assert_eq!(back, kernel);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn grid_io_roundtrip_random(rows in 1usize..12, cols in 1usize..12, seed in 0u64..50) {
-        let g = GridData::D2(Grid2D::from_fn(rows, cols, |r, c| {
-            ((r * 131 + c * 31 + seed as usize) % 101) as f64 * 0.173 - 5.0
-        }));
-        let back = stencil_core::io::decode(&stencil_core::io::encode(&g)).unwrap();
-        prop_assert_eq!(back, g);
-    }
+#[test]
+fn grid_io_roundtrip_random() {
+    check_with(
+        &cfg(),
+        "grid_io_roundtrip_random",
+        &(usize_range(1, 12), usize_range(1, 12), u64_range(0, 50)),
+        |(rows, cols, seed)| {
+            let g = GridData::D2(Grid2D::from_fn(rows, cols, |r, c| {
+                ((r * 131 + c * 31 + seed as usize) % 101) as f64 * 0.173 - 5.0
+            }));
+            let back = stencil_core::io::decode(&stencil_core::io::encode(&g)).unwrap();
+            prop_assert_eq!(back, g);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn butterfly_swap_preserves_products(
-        t_vals in prop::collection::vec(-2.0..2.0f64, 64..=64),
-        v_vals in prop::collection::vec(-2.0..2.0f64, 64..=64),
-    ) {
-        let t: Vec<Vec<f64>> = t_vals.chunks(8).map(|r| r.to_vec()).collect();
-        let v: Vec<Vec<f64>> = v_vals.chunks(8).map(|r| r.to_vec()).collect();
-        prop_assert!(bvs::swap_identity_residual(&t, &v, &bvs::BUTTERFLY_PERM) < 1e-12);
-    }
+#[test]
+fn butterfly_swap_preserves_products() {
+    check_with(
+        &cfg(),
+        "butterfly_swap_preserves_products",
+        &(vec_exact(f64_range(-2.0, 2.0), 64), vec_exact(f64_range(-2.0, 2.0), 64)),
+        |(t_vals, v_vals)| {
+            let t: Vec<Vec<f64>> = t_vals.chunks(8).map(|r| r.to_vec()).collect();
+            let v: Vec<Vec<f64>> = v_vals.chunks(8).map(|r| r.to_vec()).collect();
+            prop_assert!(bvs::swap_identity_residual(&t, &v, &bvs::BUTTERFLY_PERM) < 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn fusion_commutes_with_iteration(times in 1usize..4, seed in 0u64..100) {
-        let k = kernels::heat_2d();
-        let fused = fusion::fuse_kernel(&k, times);
-        let g = GridData::D2(Grid2D::from_fn(14, 14, |r, c| {
-            ((r as u64 * 11 + c as u64 * 5 + seed) % 17) as f64 * 0.3
-        }));
-        let a = reference::run(&g, &k, times);
-        let b = reference::run(&g, &fused, 1);
-        prop_assert!(a.max_abs_diff(&b) < 1e-10);
-    }
+#[test]
+fn fusion_commutes_with_iteration() {
+    check_with(
+        &cfg(),
+        "fusion_commutes_with_iteration",
+        &(usize_range(1, 4), u64_range(0, 100)),
+        |(times, seed)| {
+            let k = kernels::heat_2d();
+            let fused = fusion::fuse_kernel(&k, times);
+            let g = GridData::D2(Grid2D::from_fn(14, 14, |r, c| {
+                ((r as u64 * 11 + c as u64 * 5 + seed) % 17) as f64 * 0.3
+            }));
+            let a = reference::run(&g, &k, times);
+            let b = reference::run(&g, &fused, 1);
+            prop_assert!(a.max_abs_diff(&b) < 1e-10);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn stencil_operator_is_linear(alpha in -3.0..3.0f64, seed in 0u64..100) {
-        let k = kernels::box_2d9p();
-        let g1 = Grid2D::from_fn(12, 12, |r, c| ((r * 3 + c + seed as usize) % 7) as f64);
-        let g2 = Grid2D::from_fn(12, 12, |r, c| ((r + c * 5 + seed as usize) % 5) as f64 - 2.0);
-        let combo = Grid2D::from_fn(12, 12, |r, c| g1.at(r, c) + alpha * g2.at(r, c));
-        let s1 = reference::apply_2d(&g1, k.weights_2d());
-        let s2 = reference::apply_2d(&g2, k.weights_2d());
-        let sc = reference::apply_2d(&combo, k.weights_2d());
-        for r in 0..12 {
-            for c in 0..12 {
-                let want = s1.at(r, c) + alpha * s2.at(r, c);
-                prop_assert!((sc.at(r, c) - want).abs() < 1e-10);
+#[test]
+fn stencil_operator_is_linear() {
+    check_with(
+        &cfg(),
+        "stencil_operator_is_linear",
+        &(f64_range(-3.0, 3.0), u64_range(0, 100)),
+        |(alpha, seed)| {
+            let k = kernels::box_2d9p();
+            let g1 = Grid2D::from_fn(12, 12, |r, c| ((r * 3 + c + seed as usize) % 7) as f64);
+            let g2 = Grid2D::from_fn(12, 12, |r, c| ((r + c * 5 + seed as usize) % 5) as f64 - 2.0);
+            let combo = Grid2D::from_fn(12, 12, |r, c| g1.at(r, c) + alpha * g2.at(r, c));
+            let s1 = reference::apply_2d(&g1, k.weights_2d());
+            let s2 = reference::apply_2d(&g2, k.weights_2d());
+            let sc = reference::apply_2d(&combo, k.weights_2d());
+            for r in 0..12 {
+                for c in 0..12 {
+                    let want = s1.at(r, c) + alpha * s2.at(r, c);
+                    prop_assert!(
+                        (sc.at(r, c) - want).abs() < 1e-10,
+                        "({r},{c}): got {}, want {want}",
+                        sc.at(r, c)
+                    );
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn eigen_terms_bounded_by_side(vals in prop::collection::vec(-1.0..1.0f64, 9..=9)) {
-        // symmetrize a random 3×3 and check eigen term count ≤ 3
-        let mut w = WeightMatrix::from_vec(3, vals);
-        let sym = WeightMatrix::from_fn(3, |i, j| 0.5 * (w.get(i, j) + w.get(j, i)));
-        w = sym;
-        if let Some(d) = decompose::eigen::eigen(&w, 1e-12) {
-            prop_assert!(d.terms.len() <= 3);
-            prop_assert!(d.reconstruction_error(&w) < 1e-9);
-        }
-    }
+#[test]
+fn eigen_terms_bounded_by_side() {
+    check_with(
+        &cfg(),
+        "eigen_terms_bounded_by_side",
+        &(vec_exact(f64_range(-1.0, 1.0), 9),),
+        |(vals,)| {
+            // symmetrize a random 3×3 and check eigen term count ≤ 3
+            let w = WeightMatrix::from_vec(3, vals);
+            let sym = WeightMatrix::from_fn(3, |i, j| 0.5 * (w.get(i, j) + w.get(j, i)));
+            if let Some(d) = decompose::eigen::eigen(&sym, 1e-12) {
+                prop_assert!(d.terms.len() <= 3);
+                prop_assert!(d.reconstruction_error(&sym) < 1e-9);
+            }
+            Ok(())
+        },
+    );
 }

@@ -2,12 +2,19 @@
 //! algebra must be a faithful matrix algebra, the layout maps must be
 //! bijections, counters must compose, and the cost model must be
 //! monotone in every resource.
+//!
+//! Runs on foundation's in-tree harness with a pinned seed; failures
+//! shrink and print the minimal failing input.
 
-use proptest::prelude::*;
+use foundation::prop::*;
 use tcu_sim::{
-    occupancy, BlockResources, CostModel, FragA, FragAcc, FragB, PerfCounters, SimContext,
-    MMA_K, MMA_M, MMA_N,
+    occupancy, BlockResources, CostModel, FragA, FragAcc, FragB, PerfCounters, SimContext, MMA_K,
+    MMA_M, MMA_N,
 };
+
+fn cfg() -> Config {
+    Config::with_cases(64)
+}
 
 fn mat_a(vals: &[f64]) -> FragA {
     let mut m = [[0.0; MMA_K]; MMA_M];
@@ -33,131 +40,176 @@ fn mat_c(vals: &[f64]) -> FragAcc {
     FragAcc::from_matrix(&m)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mma_is_exact_dense_multiply_accumulate(
-        a in prop::collection::vec(-4.0..4.0f64, 32..=32),
-        b in prop::collection::vec(-4.0..4.0f64, 32..=32),
-        c in prop::collection::vec(-4.0..4.0f64, 64..=64),
-    ) {
-        let (fa, fb, fc) = (mat_a(&a), mat_b(&b), mat_c(&c));
-        let mut ctx = SimContext::new();
-        let d = ctx.mma(&fa, &fb, &fc);
-        for r in 0..MMA_M {
-            for n in 0..MMA_N {
-                let want: f64 = (0..MMA_K).map(|k| fa.get(r, k) * fb.get(k, n)).sum::<f64>()
-                    + fc.get(r, n);
-                prop_assert!((d.get(r, n) - want).abs() < 1e-12);
-            }
-        }
-        prop_assert_eq!(ctx.counters.mma_ops, 1);
-    }
-
-    #[test]
-    fn fragment_roundtrips_preserve_every_element(
-        vals in prop::collection::vec(-100.0..100.0f64, 64..=64),
-    ) {
-        // accumulator layout is a bijection between (row, col) and
-        // (lane, register)
-        let acc = mat_c(&vals);
-        let m = acc.to_matrix();
-        for r in 0..MMA_M {
-            for c in 0..MMA_N {
-                prop_assert_eq!(m[r][c], vals[r * MMA_N + c]);
-            }
-        }
-    }
-
-    #[test]
-    fn butterfly_extraction_never_shuffles_and_is_lossless(
-        vals in prop::collection::vec(-10.0..10.0f64, 64..=64),
-    ) {
-        let acc = mat_c(&vals);
-        for cols in FragAcc::BUTTERFLY_COLS {
-            let (frag, shuffles) = acc.extract_a(cols);
-            prop_assert_eq!(shuffles, 0);
+#[test]
+fn mma_is_exact_dense_multiply_accumulate() {
+    check_with(
+        &cfg(),
+        "mma_is_exact_dense_multiply_accumulate",
+        &(
+            vec_exact(f64_range(-4.0, 4.0), 32),
+            vec_exact(f64_range(-4.0, 4.0), 32),
+            vec_exact(f64_range(-4.0, 4.0), 64),
+        ),
+        |(a, b, c)| {
+            let (fa, fb, fc) = (mat_a(&a), mat_b(&b), mat_c(&c));
+            let mut ctx = SimContext::new();
+            let d = ctx.mma(&fa, &fb, &fc);
             for r in 0..MMA_M {
-                for (j, &c) in cols.iter().enumerate() {
-                    prop_assert_eq!(frag.get(r, j), acc.get(r, c));
+                for n in 0..MMA_N {
+                    let want: f64 =
+                        (0..MMA_K).map(|k| fa.get(r, k) * fb.get(k, n)).sum::<f64>() + fc.get(r, n);
+                    prop_assert!((d.get(r, n) - want).abs() < 1e-12);
                 }
             }
-        }
-    }
+            prop_assert_eq!(ctx.counters.mma_ops, 1);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn counter_merge_is_associative_and_matches_scaling(
-        mma in 0u64..1000, flops in 0u64..1000, shuf in 0u64..1000,
-    ) {
-        let mut c = PerfCounters::new();
-        c.mma_ops = mma;
-        c.cuda_flops = flops;
-        c.shuffle_ops = shuf;
-        c.shared_load_requests = mma / 2;
-        c.global_bytes_read = flops * 8;
-        // ((c + c) + c) == c * 3
-        let mut two = c;
-        two.merge(&c);
-        let mut three_a = two;
-        three_a.merge(&c);
-        prop_assert_eq!(three_a, c.scaled(3));
-        // (c + (c + c)) == c * 3
-        let mut three_b = c;
-        three_b.merge(&two);
-        prop_assert_eq!(three_b, c.scaled(3));
-    }
+#[test]
+fn fragment_roundtrips_preserve_every_element() {
+    check_with(
+        &cfg(),
+        "fragment_roundtrips_preserve_every_element",
+        &(vec_exact(f64_range(-100.0, 100.0), 64),),
+        |(vals,)| {
+            // accumulator layout is a bijection between (row, col) and
+            // (lane, register)
+            let acc = mat_c(&vals);
+            let m = acc.to_matrix();
+            for r in 0..MMA_M {
+                for c in 0..MMA_N {
+                    prop_assert_eq!(m[r][c], vals[r * MMA_N + c]);
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn cost_model_is_monotone_in_every_counter(
-        mma in 1u64..1_000_000,
-        reqs in 1u64..1_000_000,
-        bytes in 1u64..100_000_000,
-        shuf in 0u64..100_000,
-    ) {
-        let m = CostModel::a100();
-        let block = BlockResources { shared_bytes: 8192, threads: 256, regs_per_thread: 64 };
-        let mut base = PerfCounters::new();
-        base.mma_ops = mma;
-        base.shared_load_requests = reqs;
-        base.global_bytes_read = bytes;
-        base.shuffle_ops = shuf;
-        let t0 = m.estimate(&base, &block).total;
-        for bump in [
-            |c: &mut PerfCounters| c.mma_ops *= 2,
-            |c: &mut PerfCounters| c.shared_load_requests *= 2,
-            |c: &mut PerfCounters| c.global_bytes_read *= 2,
-            |c: &mut PerfCounters| c.shuffle_ops = c.shuffle_ops * 2 + 1,
-            |c: &mut PerfCounters| c.cuda_flops += 1_000_000,
-            |c: &mut PerfCounters| c.l2_bytes += 100_000_000,
-        ] {
-            let mut worse = base;
-            bump(&mut worse);
-            prop_assert!(m.estimate(&worse, &block).total >= t0);
-        }
-    }
+#[test]
+fn butterfly_extraction_never_shuffles_and_is_lossless() {
+    check_with(
+        &cfg(),
+        "butterfly_extraction_never_shuffles_and_is_lossless",
+        &(vec_exact(f64_range(-10.0, 10.0), 64),),
+        |(vals,)| {
+            let acc = mat_c(&vals);
+            for cols in FragAcc::BUTTERFLY_COLS {
+                let (frag, shuffles) = acc.extract_a(cols);
+                prop_assert_eq!(shuffles, 0);
+                for r in 0..MMA_M {
+                    for (j, &c) in cols.iter().enumerate() {
+                        prop_assert_eq!(frag.get(r, j), acc.get(r, c));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn occupancy_is_antitone_in_block_footprint(
-        shared in 0u32..100_000,
-        regs in 16u32..256,
-    ) {
-        let d = tcu_sim::DeviceSpec::a100();
-        let small = BlockResources { shared_bytes: shared, threads: 256, regs_per_thread: regs };
-        let bigger = BlockResources {
-            shared_bytes: shared + 8192,
-            threads: 256,
-            regs_per_thread: regs.saturating_add(32),
-        };
-        prop_assert!(occupancy(&d, &bigger).fraction <= occupancy(&d, &small).fraction);
-    }
+#[test]
+fn counter_merge_is_associative_and_matches_scaling() {
+    check_with(
+        &cfg(),
+        "counter_merge_is_associative_and_matches_scaling",
+        &(u64_range(0, 1000), u64_range(0, 1000), u64_range(0, 1000)),
+        |(mma, flops, shuf)| {
+            let mut c = PerfCounters::new();
+            c.mma_ops = mma;
+            c.cuda_flops = flops;
+            c.shuffle_ops = shuf;
+            c.shared_load_requests = mma / 2;
+            c.global_bytes_read = flops * 8;
+            // ((c + c) + c) == c * 3
+            let mut two = c;
+            two.merge(&c);
+            let mut three_a = two;
+            three_a.merge(&c);
+            prop_assert_eq!(three_a, c.scaled(3));
+            // (c + (c + c)) == c * 3
+            let mut three_b = c;
+            three_b.merge(&two);
+            prop_assert_eq!(three_b, c.scaled(3));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn fp16_quantization_is_monotone(a in -60000.0..60000.0f64, b in -60000.0..60000.0f64) {
-        use tcu_sim::fp16::quantize_f16;
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(quantize_f16(lo) <= quantize_f16(hi));
-    }
+#[test]
+fn cost_model_is_monotone_in_every_counter() {
+    check_with(
+        &cfg(),
+        "cost_model_is_monotone_in_every_counter",
+        &(
+            u64_range(1, 1_000_000),
+            u64_range(1, 1_000_000),
+            u64_range(1, 100_000_000),
+            u64_range(0, 100_000),
+        ),
+        |(mma, reqs, bytes, shuf)| {
+            let m = CostModel::a100();
+            let block = BlockResources { shared_bytes: 8192, threads: 256, regs_per_thread: 64 };
+            let mut base = PerfCounters::new();
+            base.mma_ops = mma;
+            base.shared_load_requests = reqs;
+            base.global_bytes_read = bytes;
+            base.shuffle_ops = shuf;
+            let t0 = m.estimate(&base, &block).total;
+            for bump in [
+                |c: &mut PerfCounters| c.mma_ops *= 2,
+                |c: &mut PerfCounters| c.shared_load_requests *= 2,
+                |c: &mut PerfCounters| c.global_bytes_read *= 2,
+                |c: &mut PerfCounters| c.shuffle_ops = c.shuffle_ops * 2 + 1,
+                |c: &mut PerfCounters| c.cuda_flops += 1_000_000,
+                |c: &mut PerfCounters| c.l2_bytes += 100_000_000,
+            ] {
+                let mut worse = base;
+                bump(&mut worse);
+                prop_assert!(m.estimate(&worse, &block).total >= t0);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn occupancy_is_antitone_in_block_footprint() {
+    check_with(
+        &cfg(),
+        "occupancy_is_antitone_in_block_footprint",
+        &(u64_range(0, 100_000), u64_range(16, 256)),
+        |(shared, regs)| {
+            let (shared, regs) = (shared as u32, regs as u32);
+            let d = tcu_sim::DeviceSpec::a100();
+            let small =
+                BlockResources { shared_bytes: shared, threads: 256, regs_per_thread: regs };
+            let bigger = BlockResources {
+                shared_bytes: shared + 8192,
+                threads: 256,
+                regs_per_thread: regs.saturating_add(32),
+            };
+            prop_assert!(occupancy(&d, &bigger).fraction <= occupancy(&d, &small).fraction);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fp16_quantization_is_monotone() {
+    check_with(
+        &cfg(),
+        "fp16_quantization_is_monotone",
+        &(f64_range(-60000.0, 60000.0), f64_range(-60000.0, 60000.0)),
+        |(a, b)| {
+            use tcu_sim::fp16::quantize_f16;
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(quantize_f16(lo) <= quantize_f16(hi));
+            Ok(())
+        },
+    );
 }
 
 #[test]
