@@ -20,6 +20,16 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline"
 cargo test -q --offline --workspace
 
+echo "== cargo test -q --offline (FOUNDATION_THREADS=1)"
+# single-lane pass: results must be bit-identical to the parallel pass
+FOUNDATION_THREADS=1 cargo test -q --offline --workspace
+
+echo "== quick executor bench (writes BENCH_pr2.json)"
+# cargo bench runs the binary with the package dir as cwd, so the
+# report paths must be rooted
+cargo bench --offline -p bench-suite --bench executors -- --quick \
+    --baseline "$PWD/BENCH_pr2_before.json" --json "$PWD/BENCH_pr2.json"
+
 echo "== dependency audit (workspace members only)"
 if cargo tree --offline --workspace --prefix none 2>/dev/null \
     | grep -vE "^\s*$|^\[dev-dependencies\]$" \

@@ -14,9 +14,10 @@
 //!   the analyses the paper's comparisons are built on.
 
 use foundation::par::*;
+use std::cell::RefCell;
 use stencil_core::tiling::{tiles_2d, Tile2D};
 use stencil_core::{Grid2D, Grid3D, WeightMatrix};
-use tcu_sim::{GlobalArray, PerfCounters, SimContext};
+use tcu_sim::{GlobalArray, PerfCounters, SharedTile};
 
 /// Issue-overhead multiplier for scalar CUDA-core stencil loops: address
 /// arithmetic, loop control, predication and memory-latency stalls issue
@@ -112,34 +113,147 @@ fn stencil_point_2d_weighted(plane: &GlobalArray, w: &WeightMatrix, y: usize, x:
     stencil_point_2d(plane, w, y, x)
 }
 
-/// Run a per-tile computation in parallel over the 2-D tiling of `input`,
-/// then write tile outputs back sequentially (charging the writes).
+thread_local! {
+    /// Per-worker shared-memory tile, reused across every tile a thread
+    /// computes (mirrors `lorastencil`'s per-worker scratch).
+    static SHARED_TILE: RefCell<SharedTile> = RefCell::new(SharedTile::new(0, 0));
+}
+
+/// Run `f` with this thread's reusable shared tile, reset (zeroed and
+/// resized) to `rows × cols`. The worker threads behind `foundation::par`
+/// are persistent, so the buffer is warm after the first tile. Calls must
+/// not nest.
+pub fn with_shared_tile<R>(rows: usize, cols: usize, f: impl FnOnce(&mut SharedTile) -> R) -> R {
+    SHARED_TILE.with(|s| {
+        let mut tile = s.borrow_mut();
+        tile.reset(rows, cols);
+        f(&mut tile)
+    })
+}
+
+/// Merge per-tile counter slots sequentially, in tile order — the totals
+/// are independent of which worker computed which tile.
+fn merge_slots(slots: &[PerfCounters]) -> PerfCounters {
+    let mut total = PerfCounters::new();
+    for c in slots {
+        total.merge(c);
+    }
+    total
+}
+
+/// Run a per-tile computation in parallel over `tiles`, each tile writing
+/// its disjoint output band directly into `out` (charged like a warp
+/// `store_span`). Per-tile counters land in `slots` (cleared and reused)
+/// and merge in tile order.
+pub fn run_tiled_2d_into<F>(
+    input: &GlobalArray,
+    out: &mut GlobalArray,
+    tiles: &[Tile2D],
+    slots: &mut Vec<PerfCounters>,
+    tile_fn: F,
+) -> PerfCounters
+where
+    F: Fn(Tile2D) -> ([[f64; TILE]; TILE], PerfCounters) + Sync,
+{
+    let cols = input.cols();
+    slots.clear();
+    slots.resize(tiles.len(), PerfCounters::new());
+    {
+        let sink = UnsafeSlice::new(out.as_mut_slice());
+        let slot_sink = UnsafeSlice::new(&mut slots[..]);
+        for_each_index(tiles.len(), |i| {
+            let t = tiles[i];
+            let (vals, mut counters) = tile_fn(t);
+            for (p, row) in vals.iter().enumerate().take(t.h) {
+                // SAFETY: tile bands are disjoint
+                let band = unsafe { sink.slice_mut((t.r0 + p) * cols + t.c0, t.w) };
+                band.copy_from_slice(&row[..t.w]);
+                counters.global_bytes_written += (t.w * 8) as u64;
+            }
+            // SAFETY: each slot is written by exactly one tile
+            unsafe { slot_sink.write(i, counters) };
+        });
+    }
+    merge_slots(slots)
+}
+
+/// Run a per-tile computation in parallel over the 2-D tiling of `input`
+/// (allocating convenience form of [`run_tiled_2d_into`]).
 pub fn run_tiled_2d<F>(input: &GlobalArray, tile_fn: F) -> (GlobalArray, PerfCounters)
 where
     F: Fn(Tile2D) -> ([[f64; TILE]; TILE], PerfCounters) + Sync,
 {
     let (rows, cols) = (input.rows(), input.cols());
     let tiles = tiles_2d(rows, cols, TILE, TILE);
-    let results: Vec<(Tile2D, [[f64; TILE]; TILE], PerfCounters)> = tiles
-        .par_iter()
-        .map(|&t| {
-            let (vals, counters) = tile_fn(t);
-            (t, vals, counters)
-        })
-        .collect();
-
     let mut out = GlobalArray::new(rows, cols);
-    let mut ctx = SimContext::new();
-    for (t, vals, counters) in results {
-        ctx.counters.merge(&counters);
-        for p in 0..t.h {
-            out.store_span(&mut ctx, t.r0 + p, t.c0, &vals[p][..t.w]);
-        }
-    }
-    (out, ctx.counters)
+    let counters = run_tiled_2d_into(input, &mut out, &tiles, &mut Vec::new(), tile_fn);
+    (out, counters)
 }
 
-/// Run a per-(plane, tile) computation in parallel over a 3-D volume.
+/// Double-buffered 2-D time-stepping loop over `tile_fn`: the tiling,
+/// counter slots and both grids are allocated once and reused, so the
+/// steady-state loop allocates nothing. `tile_fn` receives the current
+/// grid and the tile.
+pub fn iterate_2d<F>(input: GlobalArray, steps: usize, tile_fn: F) -> (GlobalArray, PerfCounters)
+where
+    F: Fn(&GlobalArray, Tile2D) -> ([[f64; TILE]; TILE], PerfCounters) + Sync,
+{
+    let (rows, cols) = (input.rows(), input.cols());
+    let tiles = tiles_2d(rows, cols, TILE, TILE);
+    let mut slots = Vec::new();
+    let mut cur = input;
+    let mut next = GlobalArray::new(rows, cols);
+    let mut total = PerfCounters::new();
+    for _ in 0..steps {
+        let c = run_tiled_2d_into(&cur, &mut next, &tiles, &mut slots, |t| tile_fn(&cur, t));
+        total.merge(&c);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    (cur, total)
+}
+
+/// Run a per-(plane, tile) computation in parallel over `jobs`, writing
+/// each tile band directly into its output plane. `sinks` is a reusable
+/// table of raw plane base pointers (plane tiles are disjoint per job).
+pub fn run_tiled_3d_into<F>(
+    planes: &[GlobalArray],
+    out: &mut [GlobalArray],
+    jobs: &[(usize, Tile2D)],
+    slots: &mut Vec<PerfCounters>,
+    sinks: &mut Vec<usize>,
+    tile_fn: F,
+) -> PerfCounters
+where
+    F: Fn(usize, Tile2D) -> ([[f64; TILE]; TILE], PerfCounters) + Sync,
+{
+    let nx = planes[0].cols();
+    slots.clear();
+    slots.resize(jobs.len(), PerfCounters::new());
+    sinks.clear();
+    sinks.extend(out.iter_mut().map(|p| p.as_mut_slice().as_mut_ptr() as usize));
+    {
+        let slot_sink = UnsafeSlice::new(&mut slots[..]);
+        let sinks = &sinks[..];
+        for_each_index(jobs.len(), |i| {
+            let (z, t) = jobs[i];
+            let (vals, mut counters) = tile_fn(z, t);
+            let base = sinks[z] as *mut f64;
+            for (p, row) in vals.iter().enumerate().take(t.h) {
+                let off = (t.r0 + p) * nx + t.c0;
+                // SAFETY: (plane, band) pairs are disjoint across jobs
+                let band = unsafe { std::slice::from_raw_parts_mut(base.add(off), t.w) };
+                band.copy_from_slice(&row[..t.w]);
+                counters.global_bytes_written += (t.w * 8) as u64;
+            }
+            // SAFETY: each slot is written by exactly one job
+            unsafe { slot_sink.write(i, counters) };
+        });
+    }
+    merge_slots(slots)
+}
+
+/// Run a per-(plane, tile) computation in parallel over a 3-D volume
+/// (allocating convenience form of [`run_tiled_3d_into`]).
 pub fn run_tiled_3d<F>(planes: &[GlobalArray], tile_fn: F) -> (Vec<GlobalArray>, PerfCounters)
 where
     F: Fn(usize, Tile2D) -> ([[f64; TILE]; TILE], PerfCounters) + Sync,
@@ -149,55 +263,113 @@ where
     let tiles = tiles_2d(ny, nx, TILE, TILE);
     let jobs: Vec<(usize, Tile2D)> =
         (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect();
-    let results: Vec<(usize, Tile2D, [[f64; TILE]; TILE], PerfCounters)> = jobs
-        .par_iter()
-        .map(|&(z, t)| {
-            let (vals, counters) = tile_fn(z, t);
-            (z, t, vals, counters)
-        })
-        .collect();
-
     let mut out: Vec<GlobalArray> = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
-    let mut ctx = SimContext::new();
-    for (z, t, vals, counters) in results {
-        ctx.counters.merge(&counters);
-        for p in 0..t.h {
-            out[z].store_span(&mut ctx, t.r0 + p, t.c0, &vals[p][..t.w]);
-        }
+    let counters =
+        run_tiled_3d_into(planes, &mut out, &jobs, &mut Vec::new(), &mut Vec::new(), tile_fn);
+    (out, counters)
+}
+
+/// Double-buffered 3-D time-stepping loop (see [`iterate_2d`]).
+pub fn iterate_3d<F>(
+    planes: Vec<GlobalArray>,
+    steps: usize,
+    tile_fn: F,
+) -> (Vec<GlobalArray>, PerfCounters)
+where
+    F: Fn(&[GlobalArray], usize, Tile2D) -> ([[f64; TILE]; TILE], PerfCounters) + Sync,
+{
+    let nz = planes.len();
+    let (ny, nx) = (planes[0].rows(), planes[0].cols());
+    let tiles = tiles_2d(ny, nx, TILE, TILE);
+    let jobs: Vec<(usize, Tile2D)> =
+        (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect();
+    let mut slots = Vec::new();
+    let mut sinks = Vec::new();
+    let mut cur = planes;
+    let mut next: Vec<GlobalArray> = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
+    let mut total = PerfCounters::new();
+    for _ in 0..steps {
+        let c = run_tiled_3d_into(&cur, &mut next, &jobs, &mut slots, &mut sinks, |z, t| {
+            tile_fn(&cur, z, t)
+        });
+        total.merge(&c);
+        std::mem::swap(&mut cur, &mut next);
     }
-    (out, ctx.counters)
+    (cur, total)
 }
 
 /// Run a per-tile computation over a 1-D array in `chunk`-sized output
-/// spans.
+/// spans, each span written directly into `out`.
+pub fn run_tiled_1d_into<F>(
+    out: &mut GlobalArray,
+    tiles: &[stencil_core::tiling::Tile1D],
+    slots: &mut Vec<PerfCounters>,
+    tile_fn: F,
+) -> PerfCounters
+where
+    F: Fn(usize, usize) -> (Vec<f64>, PerfCounters) + Sync,
+{
+    slots.clear();
+    slots.resize(tiles.len(), PerfCounters::new());
+    {
+        let sink = UnsafeSlice::new(out.as_mut_slice());
+        let slot_sink = UnsafeSlice::new(&mut slots[..]);
+        for_each_index(tiles.len(), |i| {
+            let t = tiles[i];
+            let (vals, mut counters) = tile_fn(t.i0, t.len);
+            // SAFETY: 1-D spans are disjoint
+            let band = unsafe { sink.slice_mut(t.i0, t.len) };
+            band.copy_from_slice(&vals[..t.len]);
+            counters.global_bytes_written += (t.len * 8) as u64;
+            // SAFETY: each slot is written by exactly one tile
+            unsafe { slot_sink.write(i, counters) };
+        });
+    }
+    merge_slots(slots)
+}
+
+/// Run a per-tile computation over a 1-D array in `chunk`-sized output
+/// spans (allocating convenience form of [`run_tiled_1d_into`]).
 pub fn run_tiled_1d<F>(input: &GlobalArray, chunk: usize, tile_fn: F) -> (GlobalArray, PerfCounters)
 where
     F: Fn(usize, usize) -> (Vec<f64>, PerfCounters) + Sync,
 {
     let n = input.cols();
     let tiles = stencil_core::tiling::tiles_1d(n, chunk);
-    let results: Vec<(usize, Vec<f64>, PerfCounters)> = tiles
-        .par_iter()
-        .map(|t| {
-            let (vals, counters) = tile_fn(t.i0, t.len);
-            (t.i0, vals, counters)
-        })
-        .collect();
     let mut out = GlobalArray::new(1, n);
-    let mut ctx = SimContext::new();
-    for (i0, vals, counters) in results {
-        ctx.counters.merge(&counters);
-        for (off, chunk32) in vals.chunks(32).enumerate() {
-            out.store_span(&mut ctx, 0, i0 + off * 32, chunk32);
-        }
+    let counters = run_tiled_1d_into(&mut out, &tiles, &mut Vec::new(), tile_fn);
+    (out, counters)
+}
+
+/// Double-buffered 1-D time-stepping loop (see [`iterate_2d`]).
+pub fn iterate_1d<F>(
+    input: GlobalArray,
+    chunk: usize,
+    steps: usize,
+    tile_fn: F,
+) -> (GlobalArray, PerfCounters)
+where
+    F: Fn(&GlobalArray, usize, usize) -> (Vec<f64>, PerfCounters) + Sync,
+{
+    let n = input.cols();
+    let tiles = stencil_core::tiling::tiles_1d(n, chunk);
+    let mut slots = Vec::new();
+    let mut cur = input;
+    let mut next = GlobalArray::new(1, n);
+    let mut total = PerfCounters::new();
+    for _ in 0..steps {
+        let c = run_tiled_1d_into(&mut next, &tiles, &mut slots, |i0, len| tile_fn(&cur, i0, len));
+        total.merge(&c);
+        std::mem::swap(&mut cur, &mut next);
     }
-    (out, ctx.counters)
+    (cur, total)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use stencil_core::kernels;
+    use tcu_sim::SimContext;
 
     #[test]
     fn stencil_point_matches_reference() {

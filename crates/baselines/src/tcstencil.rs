@@ -15,8 +15,8 @@
 //! FP64-equivalent throughput: divide by [`FP16_CONVERSION_FACTOR`].
 
 use crate::common::{
-    global_to_grid2, grid2_to_global, grid3_to_planes, planes_to_grid3, run_tiled_1d, run_tiled_2d,
-    run_tiled_3d, TILE,
+    global_to_grid2, grid2_to_global, grid3_to_planes, iterate_1d, iterate_2d, iterate_3d,
+    planes_to_grid3, with_shared_tile, TILE,
 };
 use stencil_core::{
     ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor, WeightMatrix,
@@ -68,28 +68,36 @@ fn v_frags_for_row(w_row: &[f64], s: usize) -> Vec<FragB> {
         .collect()
 }
 
+/// Banded fragments of every non-zero kernel row, built once per plan
+/// and reused by every tile (the per-tile hot path allocates nothing).
+fn build_row_frags(w: &WeightMatrix, s: usize) -> Vec<(usize, Vec<FragB>)> {
+    (0..w.n())
+        .filter_map(|i| {
+            let row: Vec<f64> = (0..w.n()).map(|j| w.get(i, j)).collect();
+            if row.iter().all(|&x| x == 0.0) {
+                None
+            } else {
+                Some((i, v_frags_for_row(&row, s)))
+            }
+        })
+        .collect()
+}
+
 /// One plane-level application of the row-gather scheme onto an 8×8 tile:
 /// `acc += Σ_i X_i · V_i`, with every `X_i` loaded from shared memory.
 fn row_gather_tile(
     ctx: &mut SimContext,
     tile: &SharedTile,
-    w: &WeightMatrix,
+    row_frags: &[(usize, Vec<FragB>)],
     acc: FragAcc,
 ) -> FragAcc {
-    let h = w.radius();
-    let s = tile_s(h);
     let mut out = acc;
-    for i in 0..w.n() {
-        let row: Vec<f64> = (0..w.n()).map(|j| w.get(i, j)).collect();
-        if row.iter().all(|&x| x == 0.0) {
-            continue;
-        }
-        let v_frags = v_frags_for_row(&row, s);
+    for (i, v_frags) in row_frags {
         // X_i: 8 rows starting at tile row i — re-loaded per kernel row
         // (the dimension-residue redundancy of Fig. 1(b))
         for (blk, vf) in v_frags.iter().enumerate() {
-            let a = tile.load_frag_a(ctx, i as isize, (blk * MMA_K) as isize);
-            out = ctx.mma(&a, vf, &out);
+            let a = tile.load_frag_a(ctx, *i as isize, (blk * MMA_K) as isize);
+            ctx.mma_into(&a, vf, &mut out);
         }
     }
     out
@@ -103,65 +111,74 @@ fn block_resources(h: usize) -> BlockResources {
     }
 }
 
-fn apply_2d(input: &GlobalArray, w: &WeightMatrix) -> (GlobalArray, PerfCounters) {
+fn run_2d(input: GlobalArray, w: &WeightMatrix, steps: usize) -> (GlobalArray, PerfCounters) {
     let h = w.radius();
     let s = tile_s(h);
-    run_tiled_2d(input, |t| {
+    let row_frags = build_row_frags(w, s);
+    iterate_2d(input, steps, |cur, t| {
         let mut ctx = SimContext::new();
-        let mut tile = SharedTile::new(TILE + 2 * h, s);
-        // TCStencil predates cp.async: staged copies
-        input.copy_to_shared_reuse(
-            &mut ctx,
-            CopyMode::Staged,
-            t.r0 as isize - h as isize,
-            t.c0 as isize - h as isize,
-            TILE + 2 * h,
-            s,
-            &mut tile,
-            0,
-            0,
-            t.h * t.w,
-        );
-        let acc = row_gather_tile(&mut ctx, &tile, w, FragAcc::zero());
-        ctx.points((t.h * t.w) as u64);
-        (acc.to_matrix(), ctx.counters)
-    })
-}
-
-fn apply_3d(planes: &[GlobalArray], weights: &[WeightMatrix]) -> (Vec<GlobalArray>, PerfCounters) {
-    let h = (weights.len() - 1) / 2;
-    let n = weights[0].n();
-    let s = tile_s(h);
-    run_tiled_3d(planes, |z, t| {
-        let mut ctx = SimContext::new();
-        let mut acc = FragAcc::zero();
-        for (dz, w) in weights.iter().enumerate() {
-            if w.nonzero_points() == 0 {
-                continue;
-            }
-            let zp = (z as isize + dz as isize - h as isize).rem_euclid(planes.len() as isize);
-            let mut tile = SharedTile::new(n - 1 + TILE, s);
-            let fresh = if dz == h { t.h * t.w } else { 0 };
-            planes[zp as usize].copy_to_shared_reuse(
+        let acc = with_shared_tile(TILE + 2 * h, s, |tile| {
+            // TCStencil predates cp.async: staged copies
+            cur.copy_to_shared_reuse(
                 &mut ctx,
                 CopyMode::Staged,
                 t.r0 as isize - h as isize,
                 t.c0 as isize - h as isize,
                 TILE + 2 * h,
                 s,
-                &mut tile,
+                tile,
                 0,
                 0,
-                fresh,
+                t.h * t.w,
             );
-            acc = row_gather_tile(&mut ctx, &tile, w, acc);
+            row_gather_tile(&mut ctx, tile, &row_frags, FragAcc::zero())
+        });
+        ctx.points((t.h * t.w) as u64);
+        (acc.to_matrix(), ctx.counters)
+    })
+}
+
+fn run_3d(
+    planes: Vec<GlobalArray>,
+    weights: &[WeightMatrix],
+    steps: usize,
+) -> (Vec<GlobalArray>, PerfCounters) {
+    let h = (weights.len() - 1) / 2;
+    let n = weights[0].n();
+    let s = tile_s(h);
+    let plane_frags: Vec<Vec<(usize, Vec<FragB>)>> =
+        weights.iter().map(|w| build_row_frags(w, s)).collect();
+    iterate_3d(planes, steps, |cur, z, t| {
+        let mut ctx = SimContext::new();
+        let mut acc = FragAcc::zero();
+        for (dz, row_frags) in plane_frags.iter().enumerate() {
+            if row_frags.is_empty() {
+                continue;
+            }
+            let zp = (z as isize + dz as isize - h as isize).rem_euclid(cur.len() as isize);
+            let fresh = if dz == h { t.h * t.w } else { 0 };
+            acc = with_shared_tile(n - 1 + TILE, s, |tile| {
+                cur[zp as usize].copy_to_shared_reuse(
+                    &mut ctx,
+                    CopyMode::Staged,
+                    t.r0 as isize - h as isize,
+                    t.c0 as isize - h as isize,
+                    TILE + 2 * h,
+                    s,
+                    tile,
+                    0,
+                    0,
+                    fresh,
+                );
+                row_gather_tile(&mut ctx, tile, row_frags, acc)
+            });
         }
         ctx.points((t.h * t.w) as u64);
         (acc.to_matrix(), ctx.counters)
     })
 }
 
-fn apply_1d(input: &GlobalArray, w: &[f64]) -> (GlobalArray, PerfCounters) {
+fn run_1d(input: GlobalArray, w: &[f64], steps: usize) -> (GlobalArray, PerfCounters) {
     let h = (w.len() - 1) / 2;
     let sl = (8 + 2 * h).div_ceil(4) * 4;
     let v_frags = {
@@ -183,29 +200,31 @@ fn apply_1d(input: &GlobalArray, w: &[f64]) -> (GlobalArray, PerfCounters) {
             })
             .collect::<Vec<_>>()
     };
-    run_tiled_1d(input, 64, |i0, len| {
+    iterate_1d(input, 64, steps, |cur, i0, len| {
         let mut ctx = SimContext::new();
-        let mut tile = SharedTile::new(8, sl);
-        for r in 0..8 {
-            let seg_out = 8.min(len.saturating_sub(8 * r));
-            input.copy_to_shared_reuse(
-                &mut ctx,
-                CopyMode::Staged,
-                0,
-                i0 as isize + (8 * r) as isize - h as isize,
-                1,
-                sl,
-                &mut tile,
-                r,
-                0,
-                seg_out,
-            );
-        }
-        let mut acc = FragAcc::zero();
-        for (blk, vf) in v_frags.iter().enumerate() {
-            let a = tile.load_frag_a(&mut ctx, 0, (blk * MMA_K) as isize);
-            acc = ctx.mma(&a, vf, &acc);
-        }
+        let acc = with_shared_tile(8, sl, |tile| {
+            for r in 0..8 {
+                let seg_out = 8.min(len.saturating_sub(8 * r));
+                cur.copy_to_shared_reuse(
+                    &mut ctx,
+                    CopyMode::Staged,
+                    0,
+                    i0 as isize + (8 * r) as isize - h as isize,
+                    1,
+                    sl,
+                    tile,
+                    r,
+                    0,
+                    seg_out,
+                );
+            }
+            let mut acc = FragAcc::zero();
+            for (blk, vf) in v_frags.iter().enumerate() {
+                let a = tile.load_frag_a(&mut ctx, 0, (blk * MMA_K) as isize);
+                ctx.mma_into(&a, vf, &mut acc);
+            }
+            acc
+        });
         let m = acc.to_matrix();
         let vals: Vec<f64> = (0..len).map(|k| m[k / 8][k % 8]).collect();
         ctx.points(len as u64);
@@ -222,16 +241,10 @@ impl StencilExecutor for TcStencil {
         if problem.kernel.dims() != problem.input.dims() {
             return Err(ExecError::Invalid("kernel/grid dimensionality mismatch".into()));
         }
-        let mut counters = PerfCounters::new();
         match &problem.input {
             GridData::D2(g) => {
                 let w = problem.kernel.weights_2d();
-                let mut cur = grid2_to_global(g);
-                for _ in 0..problem.iterations {
-                    let (next, c) = apply_2d(&cur, w);
-                    counters.merge(&c);
-                    cur = next;
-                }
+                let (cur, counters) = run_2d(grid2_to_global(g), w, problem.iterations);
                 Ok(ExecOutcome {
                     output: GridData::D2(global_to_grid2(&cur)),
                     counters,
@@ -240,12 +253,7 @@ impl StencilExecutor for TcStencil {
             }
             GridData::D3(g) => {
                 let ws = problem.kernel.weights_3d();
-                let mut cur = grid3_to_planes(g);
-                for _ in 0..problem.iterations {
-                    let (next, c) = apply_3d(&cur, ws);
-                    counters.merge(&c);
-                    cur = next;
-                }
+                let (cur, counters) = run_3d(grid3_to_planes(g), ws, problem.iterations);
                 Ok(ExecOutcome {
                     output: GridData::D3(planes_to_grid3(&cur)),
                     counters,
@@ -254,12 +262,8 @@ impl StencilExecutor for TcStencil {
             }
             GridData::D1(g) => {
                 let w = problem.kernel.weights_1d();
-                let mut cur = GlobalArray::from_vec(1, g.len(), g.as_slice().to_vec());
-                for _ in 0..problem.iterations {
-                    let (next, c) = apply_1d(&cur, w);
-                    counters.merge(&c);
-                    cur = next;
-                }
+                let input = GlobalArray::from_vec(1, g.len(), g.as_slice().to_vec());
+                let (cur, counters) = run_1d(input, w, problem.iterations);
                 Ok(ExecOutcome {
                     output: GridData::D1(Grid1D::from_vec(cur.as_slice().to_vec())),
                     counters,

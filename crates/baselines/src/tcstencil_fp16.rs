@@ -14,7 +14,9 @@
 //!   HPC practice insist on FP64 — is a measured quantity (see the
 //!   `fp16_study` binary).
 
-use crate::common::{global_to_grid2, grid2_to_global, grid3_to_planes, planes_to_grid3};
+use crate::common::{
+    global_to_grid2, grid2_to_global, grid3_to_planes, planes_to_grid3, with_shared_tile,
+};
 use foundation::par::*;
 use stencil_core::tiling::{tiles_2d, Tile2D};
 use stencil_core::{ExecError, ExecOutcome, GridData, Problem, StencilExecutor, WeightMatrix};
@@ -63,21 +65,31 @@ fn v_frags_for_row(w_row: &[f64]) -> [Frag16; 2] {
     [Frag16::from_fn(|i, j| dense[i][j]), Frag16::from_fn(|i, j| dense[MMA16 + i][j])]
 }
 
+/// Banded FP16 fragments of every non-zero kernel row, built once per
+/// plan and reused by every tile.
+fn build_row_frags16(w: &WeightMatrix) -> Vec<(usize, [Frag16; 2])> {
+    (0..w.n())
+        .filter_map(|i| {
+            let row: Vec<f64> = (0..w.n()).map(|j| w.get(i, j)).collect();
+            if row.iter().all(|&x| x == 0.0) {
+                None
+            } else {
+                Some((i, v_frags_for_row(&row)))
+            }
+        })
+        .collect()
+}
+
 /// Row-gather one plane's contribution onto a 16×16 tile accumulator.
 fn row_gather16(
     ctx: &mut SimContext,
     tile: &SharedTile,
-    w: &WeightMatrix,
+    row_frags: &[(usize, [Frag16; 2])],
     mut acc: Acc16,
 ) -> Acc16 {
-    for i in 0..w.n() {
-        let row: Vec<f64> = (0..w.n()).map(|j| w.get(i, j)).collect();
-        if row.iter().all(|&x| x == 0.0) {
-            continue;
-        }
-        let v = v_frags_for_row(&row);
+    for (i, v) in row_frags {
         for (blk, vf) in v.iter().enumerate() {
-            let a = load_frag16(ctx, tile, i as isize, (blk * MMA16) as isize);
+            let a = load_frag16(ctx, tile, *i as isize, (blk * MMA16) as isize);
             acc = ctx.mma16(&a, vf, &acc);
         }
     }
@@ -93,102 +105,161 @@ fn block_resources(h: usize) -> BlockResources {
     }
 }
 
-fn apply_2d(input: &GlobalArray, w: &WeightMatrix) -> (GlobalArray, PerfCounters) {
+/// Write a 16×16 tile accumulator into its disjoint output band,
+/// charging FP16-width writes (2 bytes per element — the FP64 span
+/// charge ÷ 4, exactly what `store_span` + [`fp16_bytes`] charged).
+///
+/// # Safety
+/// The caller must guarantee the tile bands behind `sink` are disjoint.
+unsafe fn write_tile16(
+    sink: &UnsafeSlice<'_, f64>,
+    cols: usize,
+    t: Tile2D,
+    acc: &Acc16,
+    c: &mut PerfCounters,
+) {
+    for p in 0..t.h {
+        let mut row = [0.0f64; TILE16];
+        for (q, v) in row.iter_mut().enumerate().take(t.w) {
+            *v = acc.get(p, q) as f64;
+        }
+        let band = unsafe { sink.slice_mut((t.r0 + p) * cols + t.c0, t.w) };
+        band.copy_from_slice(&row[..t.w]);
+        c.global_bytes_written += (t.w * 8 / 4) as u64;
+    }
+}
+
+fn run_2d(input: GlobalArray, w: &WeightMatrix, steps: usize) -> (GlobalArray, PerfCounters) {
     let h = w.radius();
     let (rows, cols) = (input.rows(), input.cols());
     let tiles = tiles_2d(rows, cols, TILE16, TILE16);
-    let results: Vec<(Tile2D, Acc16, PerfCounters)> = tiles
-        .par_iter()
-        .map(|&t| {
-            let mut ctx = SimContext::new();
-            let before = ctx.counters;
-            let mut tile = SharedTile::new(TILE16 + 2 * h, S16);
-            input.copy_to_shared_reuse(
-                &mut ctx,
-                CopyMode::Staged,
-                t.r0 as isize - h as isize,
-                t.c0 as isize - h as isize,
-                TILE16 + 2 * h,
-                S16,
-                &mut tile,
-                0,
-                0,
-                t.h * t.w,
-            );
-            fp16_bytes(&mut ctx, &before);
-            let acc = row_gather16(&mut ctx, &tile, w, Acc16::zero());
-            ctx.points((t.h * t.w) as u64);
-            (t, acc, ctx.counters)
-        })
-        .collect();
-
-    let mut out = GlobalArray::new(rows, cols);
-    let mut ctx = SimContext::new();
-    for (t, acc, counters) in results {
-        ctx.counters.merge(&counters);
-        for p in 0..t.h {
-            let before = ctx.counters;
-            let vals: Vec<f64> = (0..t.w).map(|q| acc.get(p, q) as f64).collect();
-            out.store_span(&mut ctx, t.r0 + p, t.c0, &vals);
-            fp16_bytes(&mut ctx, &before);
+    let row_frags = build_row_frags16(w);
+    let mut slots: Vec<PerfCounters> = Vec::new();
+    let mut cur = input;
+    let mut next = GlobalArray::new(rows, cols);
+    let mut total = PerfCounters::new();
+    for _ in 0..steps {
+        slots.clear();
+        slots.resize(tiles.len(), PerfCounters::new());
+        {
+            let sink = UnsafeSlice::new(next.as_mut_slice());
+            let slot_sink = UnsafeSlice::new(&mut slots[..]);
+            let cur = &cur;
+            for_each_index(tiles.len(), |i| {
+                let t = tiles[i];
+                let mut ctx = SimContext::new();
+                let acc = with_shared_tile(TILE16 + 2 * h, S16, |tile| {
+                    let before = ctx.counters;
+                    cur.copy_to_shared_reuse(
+                        &mut ctx,
+                        CopyMode::Staged,
+                        t.r0 as isize - h as isize,
+                        t.c0 as isize - h as isize,
+                        TILE16 + 2 * h,
+                        S16,
+                        tile,
+                        0,
+                        0,
+                        t.h * t.w,
+                    );
+                    fp16_bytes(&mut ctx, &before);
+                    row_gather16(&mut ctx, tile, &row_frags, Acc16::zero())
+                });
+                ctx.points((t.h * t.w) as u64);
+                // SAFETY: tile bands are disjoint; one slot per tile
+                unsafe {
+                    write_tile16(&sink, cols, t, &acc, &mut ctx.counters);
+                    slot_sink.write(i, ctx.counters);
+                }
+            });
         }
+        for c in &slots {
+            total.merge(c);
+        }
+        std::mem::swap(&mut cur, &mut next);
     }
-    (out, ctx.counters)
+    (cur, total)
 }
 
-fn apply_3d(planes: &[GlobalArray], weights: &[WeightMatrix]) -> (Vec<GlobalArray>, PerfCounters) {
+fn run_3d(
+    planes: Vec<GlobalArray>,
+    weights: &[WeightMatrix],
+    steps: usize,
+) -> (Vec<GlobalArray>, PerfCounters) {
     let h = (weights.len() - 1) / 2;
-    // run_tiled_3d uses 8×8 tiles; FP16 needs 16×16 — do it directly
+    // common's helpers use 8×8 tiles; FP16 needs 16×16 — do it directly
     let nz = planes.len();
     let (ny, nx) = (planes[0].rows(), planes[0].cols());
     let tiles = tiles_2d(ny, nx, TILE16, TILE16);
     let jobs: Vec<(usize, Tile2D)> =
         (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect();
-    let results: Vec<(usize, Tile2D, Acc16, PerfCounters)> = jobs
-        .par_iter()
-        .map(|&(z, t)| {
-            let mut ctx = SimContext::new();
-            let mut acc = Acc16::zero();
-            for (dz, w) in weights.iter().enumerate() {
-                if w.nonzero_points() == 0 {
-                    continue;
+    let plane_frags: Vec<Vec<(usize, [Frag16; 2])>> =
+        weights.iter().map(build_row_frags16).collect();
+    let mut slots: Vec<PerfCounters> = Vec::new();
+    let mut sinks: Vec<usize> = Vec::new();
+    let mut cur = planes;
+    let mut next: Vec<GlobalArray> = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
+    let mut total = PerfCounters::new();
+    for _ in 0..steps {
+        slots.clear();
+        slots.resize(jobs.len(), PerfCounters::new());
+        sinks.clear();
+        sinks.extend(next.iter_mut().map(|p| p.as_mut_slice().as_mut_ptr() as usize));
+        {
+            let slot_sink = UnsafeSlice::new(&mut slots[..]);
+            let cur = &cur[..];
+            let sinks = &sinks[..];
+            for_each_index(jobs.len(), |i| {
+                let (z, t) = jobs[i];
+                let mut ctx = SimContext::new();
+                let mut acc = Acc16::zero();
+                for (dz, row_frags) in plane_frags.iter().enumerate() {
+                    if row_frags.is_empty() {
+                        continue;
+                    }
+                    let zp = (z as isize + dz as isize - h as isize).rem_euclid(nz as isize);
+                    let fresh = if dz == h { t.h * t.w } else { 0 };
+                    acc = with_shared_tile(TILE16 + 2 * h, S16, |tile| {
+                        let before = ctx.counters;
+                        cur[zp as usize].copy_to_shared_reuse(
+                            &mut ctx,
+                            CopyMode::Staged,
+                            t.r0 as isize - h as isize,
+                            t.c0 as isize - h as isize,
+                            TILE16 + 2 * h,
+                            S16,
+                            tile,
+                            0,
+                            0,
+                            fresh,
+                        );
+                        fp16_bytes(&mut ctx, &before);
+                        row_gather16(&mut ctx, tile, row_frags, acc)
+                    });
                 }
-                let zp = (z as isize + dz as isize - h as isize).rem_euclid(nz as isize);
-                let before = ctx.counters;
-                let mut tile = SharedTile::new(TILE16 + 2 * h, S16);
-                let fresh = if dz == h { t.h * t.w } else { 0 };
-                planes[zp as usize].copy_to_shared_reuse(
-                    &mut ctx,
-                    CopyMode::Staged,
-                    t.r0 as isize - h as isize,
-                    t.c0 as isize - h as isize,
-                    TILE16 + 2 * h,
-                    S16,
-                    &mut tile,
-                    0,
-                    0,
-                    fresh,
-                );
-                fp16_bytes(&mut ctx, &before);
-                acc = row_gather16(&mut ctx, &tile, w, acc);
-            }
-            ctx.points((t.h * t.w) as u64);
-            (z, t, acc, ctx.counters)
-        })
-        .collect();
-
-    let mut out: Vec<GlobalArray> = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
-    let mut ctx = SimContext::new();
-    for (z, t, acc, counters) in results {
-        ctx.counters.merge(&counters);
-        for p in 0..t.h {
-            let before = ctx.counters;
-            let vals: Vec<f64> = (0..t.w).map(|q| acc.get(p, q) as f64).collect();
-            out[z].store_span(&mut ctx, t.r0 + p, t.c0, &vals);
-            fp16_bytes(&mut ctx, &before);
+                ctx.points((t.h * t.w) as u64);
+                let base = sinks[z] as *mut f64;
+                for p in 0..t.h {
+                    let mut row = [0.0f64; TILE16];
+                    for (q, v) in row.iter_mut().enumerate().take(t.w) {
+                        *v = acc.get(p, q) as f64;
+                    }
+                    let off = (t.r0 + p) * nx + t.c0;
+                    // SAFETY: (plane, band) pairs are disjoint across jobs
+                    let band = unsafe { std::slice::from_raw_parts_mut(base.add(off), t.w) };
+                    band.copy_from_slice(&row[..t.w]);
+                    ctx.counters.global_bytes_written += (t.w * 8 / 4) as u64;
+                }
+                // SAFETY: each slot is written by exactly one job
+                unsafe { slot_sink.write(i, ctx.counters) };
+            });
         }
+        for c in &slots {
+            total.merge(c);
+        }
+        std::mem::swap(&mut cur, &mut next);
     }
-    (out, ctx.counters)
+    (cur, total)
 }
 
 impl StencilExecutor for TcStencilFp16 {
@@ -203,16 +274,10 @@ impl StencilExecutor for TcStencilFp16 {
         if problem.kernel.radius > 8 {
             return Err(ExecError::Unsupported("radius > 8 exceeds the padded FP16 tile".into()));
         }
-        let mut counters = PerfCounters::new();
         match &problem.input {
             GridData::D2(g) => {
                 let w = problem.kernel.weights_2d();
-                let mut cur = grid2_to_global(g);
-                for _ in 0..problem.iterations {
-                    let (next, c) = apply_2d(&cur, w);
-                    counters.merge(&c);
-                    cur = next;
-                }
+                let (cur, counters) = run_2d(grid2_to_global(g), w, problem.iterations);
                 Ok(ExecOutcome {
                     output: GridData::D2(global_to_grid2(&cur)),
                     counters,
@@ -221,12 +286,7 @@ impl StencilExecutor for TcStencilFp16 {
             }
             GridData::D3(g) => {
                 let ws = problem.kernel.weights_3d();
-                let mut cur = grid3_to_planes(g);
-                for _ in 0..problem.iterations {
-                    let (next, c) = apply_3d(&cur, ws);
-                    counters.merge(&c);
-                    cur = next;
-                }
+                let (cur, counters) = run_3d(grid3_to_planes(g), ws, problem.iterations);
                 Ok(ExecOutcome {
                     output: GridData::D3(planes_to_grid3(&cur)),
                     counters,

@@ -15,15 +15,15 @@ fn bench_apply_2d(c: &mut Bench) {
 
     let mut group = c.benchmark_group("apply_box2d49p_64x64");
     group.bench_function("reference", |b| {
-        b.iter(|| reference::run(black_box(&problem.input), &problem.kernel, 1))
+        b.points(64 * 64).iter(|| reference::run(black_box(&problem.input), &problem.kernel, 1))
     });
     group.bench_function("LoRAStencil", |b| {
         let exec = LoRaStencil::new();
-        b.iter(|| exec.execute(black_box(&problem)).unwrap())
+        b.points(64 * 64).iter(|| exec.execute(black_box(&problem)).unwrap())
     });
     for exec in baselines::all_baselines() {
         group.bench_with_input(BenchmarkId::new("baseline", exec.name()), &problem, |b, p| {
-            b.iter(|| exec.execute(black_box(p)).unwrap())
+            b.points(64 * 64).iter(|| exec.execute(black_box(p)).unwrap())
         });
     }
     group.finish();
@@ -36,16 +36,23 @@ fn bench_iterated(c: &mut Bench) {
     let problem = Problem::new(kernels::box_2d9p(), GridData::D2(grid), 6);
     c.bench_function("lora_box2d9p_6steps_fused", |b| {
         let exec = LoRaStencil::new();
-        b.iter(|| exec.execute(black_box(&problem)).unwrap())
+        b.points(6 * 64 * 64).iter(|| exec.execute(black_box(&problem)).unwrap())
     });
 }
 
 fn bench_3d(c: &mut Bench) {
     let grid = stencil_core::Grid3D::from_fn(6, 24, 24, |z, y, x| (z + y * 2 + x) as f64 * 0.05);
-    let problem = Problem::new(kernels::heat_3d(), GridData::D3(grid), 1);
+    let problem = Problem::new(kernels::heat_3d(), GridData::D3(grid.clone()), 1);
     c.bench_function("lora_heat3d_6x24x24", |b| {
         let exec = LoRaStencil::new();
-        b.iter(|| exec.execute(black_box(&problem)).unwrap())
+        b.points(6 * 24 * 24).iter(|| exec.execute(black_box(&problem)).unwrap())
+    });
+    // multi-iteration steady state: the Stepper3D loop reuses every
+    // buffer, so per-step cost drops well below the single-apply bench
+    let problem6 = Problem::new(kernels::heat_3d(), GridData::D3(grid), 6);
+    c.bench_function("lora_heat3d_6x24x24_6steps", |b| {
+        let exec = LoRaStencil::new();
+        b.points(6 * 6 * 24 * 24).iter(|| exec.execute(black_box(&problem6)).unwrap())
     });
 }
 

@@ -1,0 +1,53 @@
+//! A counting wrapper around the system allocator, for asserting that
+//! steady-state hot loops are allocation-free.
+//!
+//! The wrapper is always compiled (it is a handful of atomics) but does
+//! nothing unless a binary installs it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: foundation::alloc_counter::CountingAllocator =
+//!     foundation::alloc_counter::CountingAllocator;
+//! ```
+//!
+//! The `steady_state` integration test does exactly that: warm up an
+//! executor, snapshot [`allocation_count`] (and
+//! [`crate::par::threads_spawned`]), run more iterations, and assert the
+//! counters did not move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total `alloc`/`realloc` calls since process start (0 unless a binary
+/// installed [`CountingAllocator`] as its `#[global_allocator]`).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A `GlobalAlloc` that forwards to [`System`] and counts allocations.
+pub struct CountingAllocator;
+
+// SAFETY: pure pass-through to `System`; the counter has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}

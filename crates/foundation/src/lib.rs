@@ -5,12 +5,16 @@
 //! members only). Everything the other crates used to pull from the
 //! registry lives here instead, implemented on `std` alone:
 //!
-//! * [`par`] — scoped data-parallel helpers (`par_iter().map().collect()`,
-//!   `par_chunks_mut`) replacing `rayon`, splitting work across
-//!   `std::thread::available_parallelism()` threads;
-//! * [`json`] — a small JSON value type plus the [`json::ToJson`] trait,
-//!   replacing the `serde` derives (serialization only; the workspace
-//!   never deserialized);
+//! * [`par`] — data-parallel helpers (`par_iter().map().collect()`,
+//!   `par_chunks_mut`, `for_each_index`) replacing `rayon`, running on a
+//!   lazily-initialized persistent worker pool
+//!   (`std::thread::available_parallelism()` threads unless the
+//!   `FOUNDATION_THREADS` env var overrides);
+//! * [`json`] — a small JSON value type plus the [`json::ToJson`] trait
+//!   and a parser for reading reports back, replacing the `serde`
+//!   derives;
+//! * [`alloc_counter`] — a counting `#[global_allocator]` wrapper for
+//!   asserting hot loops are allocation-free;
 //! * [`buf`] — little/big-endian buffer read/write traits replacing
 //!   `bytes::{Buf, BufMut}`;
 //! * [`rng`] — deterministic splitmix64 and xoshiro256++ PRNGs replacing
@@ -25,6 +29,7 @@
 //! toolchain exists, network or not (see `DESIGN.md`, "zero-dependency
 //! policy").
 
+pub mod alloc_counter;
 pub mod bench;
 pub mod buf;
 pub mod json;

@@ -1,6 +1,7 @@
 //! Dimension-specific LoRAStencil executors and the unified dispatcher.
 
 pub mod one_d;
+mod scratch;
 pub mod three_d;
 pub mod two_d;
 

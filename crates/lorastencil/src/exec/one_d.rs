@@ -6,13 +6,13 @@
 //! (loaded straight into A fragments) and multiply by the banded weight
 //! matrix `V` (Eq. 11) to update 64 points at once.
 
+use crate::exec::scratch::{with_tile_scratch, TileScratch};
 use crate::plan::{ExecConfig, Plan1D};
 use foundation::par::*;
-use stencil_core::tiling::tiles_1d;
+use stencil_core::tiling::{tiles_1d, Tile1D};
 use stencil_core::{ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor};
 use tcu_sim::{
-    CopyMode, FragAcc, FragB, GlobalArray, PerfCounters, SharedTile, SimContext, MMA_K, MMA_M,
-    MMA_N,
+    CopyMode, FragAcc, FragB, GlobalArray, PerfCounters, SimContext, MMA_K, MMA_M, MMA_N,
 };
 
 /// LoRAStencil for 1-D kernels.
@@ -58,62 +58,146 @@ fn build_v_frags(w: &[f64], seg_len: usize) -> Vec<FragB> {
         .collect()
 }
 
-/// One (possibly fused) stencil application over the array.
-pub fn apply_once(input: &GlobalArray, plan: &Plan1D) -> (GlobalArray, PerfCounters) {
-    let n = input.cols();
+/// Compute one 64-point tile: pack 8 overlapping segments into the
+/// per-worker shared tile and gather them with one MMA chain.
+fn compute_tile(
+    input: &GlobalArray,
+    plan: &Plan1D,
+    v_frags: &[FragB],
+    t: Tile1D,
+    scratch: &mut TileScratch,
+) -> ([[f64; MMA_N]; MMA_M], PerfCounters) {
     let h = plan.exec_kernel.radius as isize;
-    let w = plan.exec_kernel.weights_1d();
     let sl = plan.seg_len;
     let mode = if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged };
-    let v_frags = build_v_frags(w, sl);
-    let tiles = tiles_1d(n, MMA_M * MMA_N);
-
-    let results: Vec<(usize, usize, [[f64; MMA_N]; MMA_M], PerfCounters)> = tiles
-        .par_iter()
-        .map(|t| {
-            let mut ctx = SimContext::new();
-            let mut tile = SharedTile::new(MMA_M, sl);
-            for r in 0..MMA_M {
-                // 8 of the seg_len loaded elements are this segment's own
-                // outputs (compulsory); the rest is halo overlap in L2
-                let seg_out = MMA_N.min(t.len.saturating_sub(MMA_N * r));
-                input.copy_to_shared_reuse(
-                    &mut ctx,
-                    mode,
-                    0,
-                    t.i0 as isize + (MMA_N * r) as isize - h,
-                    1,
-                    sl,
-                    &mut tile,
-                    r,
-                    0,
-                    seg_out,
-                );
-            }
-            let mut acc = FragAcc::zero();
-            for (blk, vf) in v_frags.iter().enumerate() {
-                let a = tile.load_frag_a(&mut ctx, 0, (blk * MMA_K) as isize);
-                acc = ctx.mma(&a, vf, &acc);
-            }
-            ctx.points((t.len * plan.fusion) as u64);
-            (t.i0, t.len, acc.to_matrix(), ctx.counters)
-        })
-        .collect();
-
-    let mut out = GlobalArray::new(1, n);
     let mut ctx = SimContext::new();
-    for (i0, len, vals, counters) in results {
-        ctx.counters.merge(&counters);
-        for (r, row) in vals.iter().enumerate() {
-            let start = i0 + MMA_N * r;
-            if start >= i0 + len {
-                break;
-            }
-            let cnt = MMA_N.min(i0 + len - start);
-            out.store_span(&mut ctx, 0, start, &row[..cnt]);
-        }
+    scratch.tile.reset(MMA_M, sl);
+    for r in 0..MMA_M {
+        // 8 of the seg_len loaded elements are this segment's own
+        // outputs (compulsory); the rest is halo overlap in L2
+        let seg_out = MMA_N.min(t.len.saturating_sub(MMA_N * r));
+        input.copy_to_shared_reuse(
+            &mut ctx,
+            mode,
+            0,
+            t.i0 as isize + (MMA_N * r) as isize - h,
+            1,
+            sl,
+            &mut scratch.tile,
+            r,
+            0,
+            seg_out,
+        );
     }
-    (out, ctx.counters)
+    let mut acc = FragAcc::zero();
+    for (blk, vf) in v_frags.iter().enumerate() {
+        let a = scratch.tile.load_frag_a(&mut ctx, 0, (blk * MMA_K) as isize);
+        ctx.mma_into(&a, vf, &mut acc);
+    }
+    ctx.points((t.len * plan.fusion) as u64);
+    (acc.to_matrix(), ctx.counters)
+}
+
+/// One (possibly fused) application into a caller-provided output array
+/// (see the 2-D `apply_into` for the parallel-write/ordered-merge
+/// protocol).
+fn apply_into(
+    input: &GlobalArray,
+    out: &mut GlobalArray,
+    plan: &Plan1D,
+    v_frags: &[FragB],
+    tiles: &[Tile1D],
+    slots: &mut Vec<PerfCounters>,
+) -> PerfCounters {
+    slots.clear();
+    slots.resize(tiles.len(), PerfCounters::new());
+    {
+        let sink = UnsafeSlice::new(out.as_mut_slice());
+        let slot_sink = UnsafeSlice::new(&mut slots[..]);
+        for_each_index(tiles.len(), |i| {
+            let t = tiles[i];
+            let (vals, mut counters) =
+                with_tile_scratch(|s| compute_tile(input, plan, v_frags, t, s));
+            for (r, row) in vals.iter().enumerate() {
+                let start = t.i0 + MMA_N * r;
+                if start >= t.i0 + t.len {
+                    break;
+                }
+                let cnt = MMA_N.min(t.i0 + t.len - start);
+                // disjoint span write, accounted like a warp store_span
+                let band = unsafe { sink.slice_mut(start, cnt) };
+                band.copy_from_slice(&row[..cnt]);
+                counters.global_bytes_written += (cnt * 8) as u64;
+            }
+            // SAFETY: each index is written by exactly one tile
+            unsafe { slot_sink.write(i, counters) };
+        });
+    }
+    let mut total = PerfCounters::new();
+    for c in slots.iter() {
+        total.merge(c);
+    }
+    total
+}
+
+/// One (possibly fused) stencil application over the array (allocating
+/// convenience form of the [`Stepper1D`] loop).
+pub fn apply_once(input: &GlobalArray, plan: &Plan1D) -> (GlobalArray, PerfCounters) {
+    let n = input.cols();
+    let v_frags = build_v_frags(plan.exec_kernel.weights_1d(), plan.seg_len);
+    let tiles = tiles_1d(n, MMA_M * MMA_N);
+    let mut out = GlobalArray::new(1, n);
+    let mut slots = Vec::new();
+    let counters = apply_into(input, &mut out, plan, &v_frags, &tiles, &mut slots);
+    (out, counters)
+}
+
+/// The steady-state 1-D time-stepping loop: double-buffered arrays plus
+/// the per-apply buffers (tiling, banded `V` fragments, counter slots),
+/// allocated once and reused by each [`Stepper1D::step`].
+pub struct Stepper1D {
+    plan: Plan1D,
+    v_frags: Vec<FragB>,
+    tiles: Vec<Tile1D>,
+    slots: Vec<PerfCounters>,
+    cur: GlobalArray,
+    next: GlobalArray,
+}
+
+impl Stepper1D {
+    /// Set up the loop over `input` for `plan`.
+    pub fn new(plan: Plan1D, input: GlobalArray) -> Self {
+        let n = input.cols();
+        let v_frags = build_v_frags(plan.exec_kernel.weights_1d(), plan.seg_len);
+        let tiles = tiles_1d(n, MMA_M * MMA_N);
+        let next = GlobalArray::new(1, n);
+        Stepper1D { plan, v_frags, tiles, slots: Vec::new(), cur: input, next }
+    }
+
+    /// Advance one (possibly fused) application; the result becomes the
+    /// current array.
+    pub fn step(&mut self) -> PerfCounters {
+        let c = apply_into(
+            &self.cur,
+            &mut self.next,
+            &self.plan,
+            &self.v_frags,
+            &self.tiles,
+            &mut self.slots,
+        );
+        std::mem::swap(&mut self.cur, &mut self.next);
+        c
+    }
+
+    /// The current array.
+    pub fn grid(&self) -> &GlobalArray {
+        &self.cur
+    }
+
+    /// Consume the stepper, returning the current array.
+    pub fn into_grid(self) -> GlobalArray {
+        self.cur
+    }
 }
 
 impl StencilExecutor for LoRaStencil1D {
@@ -136,19 +220,19 @@ impl StencilExecutor for LoRaStencil1D {
         } else {
             None
         };
-        let mut cur = GlobalArray::from_vec(1, grid.len(), grid.as_slice().to_vec());
+        let input = GlobalArray::from_vec(1, grid.len(), grid.as_slice().to_vec());
         let mut counters = PerfCounters::new();
+        let mut stepper = Stepper1D::new(plan.clone(), input);
         for _ in 0..full {
-            let (next, c) = apply_once(&cur, &plan);
-            counters.merge(&c);
-            cur = next;
+            counters.merge(&stepper.step());
         }
-        if let Some(bp) = &base_plan {
+        let mut cur = stepper.into_grid();
+        if let Some(bp) = base_plan {
+            let mut stepper = Stepper1D::new(bp, cur);
             for _ in 0..rem {
-                let (next, c) = apply_once(&cur, bp);
-                counters.merge(&c);
-                cur = next;
+                counters.merge(&stepper.step());
             }
+            cur = stepper.into_grid();
         }
         Ok(ExecOutcome {
             output: GridData::D1(Grid1D::from_vec(cur.as_slice().to_vec())),

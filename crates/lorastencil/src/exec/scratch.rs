@@ -1,0 +1,34 @@
+//! Per-worker tile scratch: one `SharedTile` + `XFragments` pair per OS
+//! thread, reused across every tile that thread computes.
+//!
+//! The worker threads behind `foundation::par` are persistent, so a
+//! thread-local buffer is warm after the first tile and the per-tile
+//! path performs **zero heap allocation** in steady state (asserted by
+//! the `steady_state` integration test). Safe with the pool's
+//! help-draining join because a tile computation never blocks or nests a
+//! parallel call — the `RefCell` borrow is released before any join
+//! point.
+
+use crate::rdg::{RdgGeometry, XFragments};
+use std::cell::RefCell;
+use tcu_sim::SharedTile;
+
+/// The reusable per-worker buffers of the tile hot path.
+pub(crate) struct TileScratch {
+    /// Simulated shared-memory input tile (resized per geometry).
+    pub tile: SharedTile,
+    /// The tile's B fragments (refilled per tile).
+    pub x: XFragments,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<TileScratch> = RefCell::new(TileScratch {
+        tile: SharedTile::new(0, 0),
+        x: XFragments::empty(RdgGeometry::for_radius(1)),
+    });
+}
+
+/// Run `f` with this thread's scratch buffers.
+pub(crate) fn with_tile_scratch<R>(f: impl FnOnce(&mut TileScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}

@@ -6,12 +6,13 @@
 //! with the full RDG/PMA/BVS machinery on tensor cores. Results of all
 //! planes accumulate into the same output tile.
 
+use crate::exec::scratch::{with_tile_scratch, TileScratch};
 use crate::plan::{ExecConfig, Plan3D, PlaneOp};
-use crate::rdg::{apply_pointwise, rdg_apply_term, rdg_apply_term_cuda, XFragments, TILE_M};
+use crate::rdg::{apply_pointwise, rdg_apply_term_cuda, rdg_apply_term_frags, TermFrags, TILE_M};
 use foundation::par::*;
 use stencil_core::tiling::{tiles_2d, Tile2D};
 use stencil_core::{ExecError, ExecOutcome, Grid3D, GridData, Problem, StencilExecutor};
-use tcu_sim::{CopyMode, FragAcc, GlobalArray, PerfCounters, SharedTile, SimContext, MMA_N};
+use tcu_sim::{CopyMode, FragAcc, GlobalArray, PerfCounters, SimContext, MMA_N};
 
 /// LoRAStencil for 3-D kernels.
 #[derive(Debug, Clone, Default)]
@@ -32,12 +33,29 @@ impl LoRaStencil3D {
     }
 }
 
-/// Compute one 8×8 output tile of output plane `z`.
+/// Prebuild per-plane weight fragments for the TCU path: one fragment
+/// set per [`PlaneOp::Rdg`] plane (they depend only on the plan).
+fn plane_frags(plan: &Plan3D) -> Vec<Option<Vec<TermFrags>>> {
+    plan.plane_ops
+        .iter()
+        .map(|op| match op {
+            PlaneOp::Rdg(d) if plan.config.use_tcu => {
+                Some(TermFrags::build_all(&d.terms, plan.geo, plan.config.use_bvs))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Compute one 8×8 output tile of output plane `z`, using the
+/// per-worker scratch buffers (no allocation on the TCU path).
 fn compute_tile(
     planes: &[GlobalArray],
     plan: &Plan3D,
+    frags: &[Option<Vec<TermFrags>>],
     z: usize,
     t: Tile2D,
+    scratch: &mut TileScratch,
 ) -> ([[f64; MMA_N]; TILE_M], PerfCounters) {
     let geo = plan.geo;
     let h = plan.kernel.radius;
@@ -58,6 +76,7 @@ fn compute_tile(
                 // the kernel center), no shared-memory staging
                 // (Algorithm 2 line 5).
                 let mut flops = 0u64;
+                let mut span = [0.0f64; MMA_N];
                 for (p, row) in acc_vals.iter_mut().enumerate() {
                     let r = t.r0 + p;
                     if r >= src.rows() {
@@ -67,11 +86,12 @@ fn compute_tile(
                     if cnt == 0 {
                         continue;
                     }
-                    let vals = if dz == h {
-                        src.load_span(&mut ctx, r, t.c0, cnt)
+                    let vals = &mut span[..cnt];
+                    if dz == h {
+                        src.load_span_into(&mut ctx, r, t.c0, vals);
                     } else {
-                        src.load_span_cached(&mut ctx, r, t.c0, cnt)
-                    };
+                        src.load_span_cached_into(&mut ctx, r, t.c0, vals);
+                    }
                     for (q, v) in vals.iter().enumerate() {
                         row[q] += w * v;
                     }
@@ -80,7 +100,7 @@ fn compute_tile(
                 ctx.cuda_flops(flops);
             }
             PlaneOp::Rdg(decomp) => {
-                let mut tile = SharedTile::new(geo.s, geo.s);
+                scratch.tile.reset(geo.s, geo.s);
                 // each input plane is charged its compulsory HBM read on
                 // the one output plane for which it is the kernel center
                 let fresh = if dz == h { t.h * t.w } else { 0 };
@@ -91,21 +111,21 @@ fn compute_tile(
                     t.c0 as isize - h as isize,
                     geo.s,
                     geo.s,
-                    &mut tile,
+                    &mut scratch.tile,
                     0,
                     0,
                     fresh,
                 );
-                let x = XFragments::load(&mut ctx, &tile, geo);
+                scratch.x.load_into(&mut ctx, &scratch.tile, geo);
+                let x = &scratch.x;
                 if plan.config.use_tcu {
-                    for term in &decomp.terms {
-                        acc_frag =
-                            rdg_apply_term(&mut ctx, &x, term, plan.config.use_bvs, acc_frag);
+                    for tf in frags[dz].as_deref().unwrap_or(&[]) {
+                        acc_frag = rdg_apply_term_frags(&mut ctx, x, tf, acc_frag);
                     }
-                    apply_pointwise(&mut ctx, &x, decomp.pointwise, &mut acc_frag);
+                    apply_pointwise(&mut ctx, x, decomp.pointwise, &mut acc_frag);
                 } else {
                     for term in &decomp.terms {
-                        rdg_apply_term_cuda(&mut ctx, &x, term, &mut acc_vals);
+                        rdg_apply_term_cuda(&mut ctx, x, term, &mut acc_vals);
                     }
                     if decomp.pointwise != 0.0 {
                         for (p, row) in acc_vals.iter_mut().enumerate() {
@@ -132,31 +152,123 @@ fn compute_tile(
     (acc_vals, ctx.counters)
 }
 
-/// One stencil application over the volume.
+/// One application into caller-provided output planes (see the 2-D
+/// `apply_into` for the parallel-write/ordered-merge protocol). `sinks`
+/// is a reusable scratch table of raw output-plane pointers: the
+/// `UnsafeSlice` pattern cannot borrow a `Vec` of planes across worker
+/// lanes without re-allocating a slice table per application, so the
+/// table lives in the stepper and is refilled in place.
+fn apply_into(
+    planes: &[GlobalArray],
+    out: &mut [GlobalArray],
+    plan: &Plan3D,
+    frags: &[Option<Vec<TermFrags>>],
+    jobs: &[(usize, Tile2D)],
+    slots: &mut Vec<PerfCounters>,
+    sinks: &mut Vec<usize>,
+) -> PerfCounters {
+    let nx = planes[0].cols();
+    slots.clear();
+    slots.resize(jobs.len(), PerfCounters::new());
+    sinks.clear();
+    sinks.extend(out.iter_mut().map(|p| p.as_mut_slice().as_mut_ptr() as usize));
+    {
+        let slot_sink = UnsafeSlice::new(&mut slots[..]);
+        let sinks: &[usize] = sinks;
+        for_each_index(jobs.len(), |i| {
+            let (z, t) = jobs[i];
+            let (vals, mut counters) =
+                with_tile_scratch(|s| compute_tile(planes, plan, frags, z, t, s));
+            let base = sinks[z] as *mut f64;
+            for (p, row) in vals.iter().enumerate().take(t.h) {
+                let off = (t.r0 + p) * nx + t.c0;
+                // SAFETY: jobs write disjoint (z, band) regions; `base`
+                // stays valid because `out` is exclusively borrowed for
+                // the whole application
+                let band = unsafe { std::slice::from_raw_parts_mut(base.add(off), t.w) };
+                band.copy_from_slice(&row[..t.w]);
+                counters.global_bytes_written += (t.w * 8) as u64;
+            }
+            // SAFETY: each index is written by exactly one job
+            unsafe { slot_sink.write(i, counters) };
+        });
+    }
+    let mut total = PerfCounters::new();
+    for c in slots.iter() {
+        total.merge(c);
+    }
+    total
+}
+
+/// Flat job list: every `(z, tile)` pair of one application.
+fn job_list(nz: usize, tiles: &[Tile2D]) -> Vec<(usize, Tile2D)> {
+    (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect()
+}
+
+/// One stencil application over the volume (allocating convenience form
+/// of the [`Stepper3D`] loop).
 pub fn apply_once(planes: &[GlobalArray], plan: &Plan3D) -> (Vec<GlobalArray>, PerfCounters) {
     let nz = planes.len();
     let (ny, nx) = (planes[0].rows(), planes[0].cols());
     let tiles = tiles_2d(ny, nx, TILE_M, TILE_M);
-
-    let jobs: Vec<(usize, Tile2D)> =
-        (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect();
-    let results: Vec<(usize, Tile2D, [[f64; MMA_N]; TILE_M], PerfCounters)> = jobs
-        .par_iter()
-        .map(|&(z, t)| {
-            let (vals, counters) = compute_tile(planes, plan, z, t);
-            (z, t, vals, counters)
-        })
-        .collect();
-
+    let jobs = job_list(nz, &tiles);
+    let frags = plane_frags(plan);
     let mut out: Vec<GlobalArray> = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
-    let mut ctx = SimContext::new();
-    for (z, t, vals, counters) in results {
-        ctx.counters.merge(&counters);
-        for p in 0..t.h {
-            out[z].store_span(&mut ctx, t.r0 + p, t.c0, &vals[p][..t.w]);
-        }
+    let counters =
+        apply_into(planes, &mut out, plan, &frags, &jobs, &mut Vec::new(), &mut Vec::new());
+    (out, counters)
+}
+
+/// The steady-state 3-D time-stepping loop: double-buffered plane sets
+/// plus every per-apply buffer (job list, per-plane weight fragments,
+/// counter slots, output-pointer table), allocated once and reused by
+/// each [`Stepper3D::step`].
+pub struct Stepper3D {
+    plan: Plan3D,
+    frags: Vec<Option<Vec<TermFrags>>>,
+    jobs: Vec<(usize, Tile2D)>,
+    slots: Vec<PerfCounters>,
+    sinks: Vec<usize>,
+    cur: Vec<GlobalArray>,
+    next: Vec<GlobalArray>,
+}
+
+impl Stepper3D {
+    /// Set up the loop over `input` planes for `plan`.
+    pub fn new(plan: Plan3D, input: Vec<GlobalArray>) -> Self {
+        let nz = input.len();
+        let (ny, nx) = (input[0].rows(), input[0].cols());
+        let tiles = tiles_2d(ny, nx, TILE_M, TILE_M);
+        let jobs = job_list(nz, &tiles);
+        let frags = plane_frags(&plan);
+        let next = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
+        Stepper3D { plan, frags, jobs, slots: Vec::new(), sinks: Vec::new(), cur: input, next }
     }
-    (out, ctx.counters)
+
+    /// Advance one application; the result becomes the current volume.
+    pub fn step(&mut self) -> PerfCounters {
+        let c = apply_into(
+            &self.cur,
+            &mut self.next,
+            &self.plan,
+            &self.frags,
+            &self.jobs,
+            &mut self.slots,
+            &mut self.sinks,
+        );
+        std::mem::swap(&mut self.cur, &mut self.next);
+        c
+    }
+
+    /// The current volume's planes.
+    pub fn planes(&self) -> &[GlobalArray] {
+        &self.cur
+    }
+
+    /// Consume the stepper, returning the current planes.
+    pub fn into_planes(self) -> Vec<GlobalArray> {
+        self.cur
+    }
 }
 
 /// Split a [`Grid3D`] into per-plane global arrays.
@@ -188,18 +300,13 @@ impl StencilExecutor for LoRaStencil3D {
             return Err(ExecError::Invalid("kernel/grid dimensionality mismatch".into()));
         }
         let plan = Plan3D::new(&problem.kernel, self.config);
-        let mut cur = to_planes(grid);
+        let block = plan.block_resources();
         let mut counters = PerfCounters::new();
+        let mut stepper = Stepper3D::new(plan, to_planes(grid));
         for _ in 0..problem.iterations {
-            let (next, c) = apply_once(&cur, &plan);
-            counters.merge(&c);
-            cur = next;
+            counters.merge(&stepper.step());
         }
-        Ok(ExecOutcome {
-            output: GridData::D3(from_planes(&cur)),
-            counters,
-            block: plan.block_resources(),
-        })
+        Ok(ExecOutcome { output: GridData::D3(from_planes(stepper.planes())), counters, block })
     }
 }
 

@@ -5,13 +5,23 @@
 //! fragments once, run one RDG matrix chain per rank-1 term of the PMA
 //! decomposition (re-using the fragments), add the pointwise pyramid tip
 //! on CUDA cores, and write the accumulator back to global memory.
+//!
+//! The host-side loop is organised around [`Stepper2D`], which
+//! double-buffers two grids across iterations and reuses every buffer:
+//! in steady state an iteration allocates nothing and spawns no threads
+//! (see DESIGN.md, "Host-side performance model"). Tiles write their
+//! output bands directly into the destination grid in parallel (the
+//! bands are disjoint); per-tile counters land in preallocated
+//! index-addressed slots and are merged sequentially **in tile order**,
+//! so counters and values are bit-identical at any thread count.
 
+use crate::exec::scratch::{with_tile_scratch, TileScratch};
 use crate::plan::{ExecConfig, Plan2D};
-use crate::rdg::{apply_pointwise, rdg_apply_term, rdg_apply_term_cuda, XFragments, TILE_M};
+use crate::rdg::{apply_pointwise, rdg_apply_term_cuda, rdg_apply_term_frags, TermFrags, TILE_M};
 use foundation::par::*;
 use stencil_core::tiling::{tiles_2d, Tile2D};
 use stencil_core::{ExecError, ExecOutcome, Grid2D, GridData, Problem, StencilExecutor};
-use tcu_sim::{CopyMode, FragAcc, GlobalArray, PerfCounters, SharedTile, SimContext, MMA_N};
+use tcu_sim::{CopyMode, FragAcc, GlobalArray, PerfCounters, SimContext, MMA_N};
 
 /// LoRAStencil for 2-D kernels.
 #[derive(Debug, Clone, Default)]
@@ -32,17 +42,30 @@ impl LoRaStencil2D {
     }
 }
 
-/// Compute one tile's 8×8 output values with a tile-local context.
+/// Prebuild the per-term weight fragments a plan uses on the TCU path
+/// (they depend only on the plan, never on the input tile).
+fn plan_frags(plan: &Plan2D) -> Vec<TermFrags> {
+    if plan.config.use_tcu {
+        TermFrags::build_all(&plan.decomp.terms, plan.geo, plan.config.use_bvs)
+    } else {
+        Vec::new()
+    }
+}
+
+/// Compute one tile's 8×8 output values with a tile-local context,
+/// using the per-worker scratch buffers (no allocation on the TCU path).
 fn compute_tile(
     input: &GlobalArray,
     plan: &Plan2D,
+    frags: &[TermFrags],
     t: Tile2D,
+    scratch: &mut TileScratch,
 ) -> ([[f64; MMA_N]; TILE_M], PerfCounters) {
     let geo = plan.geo;
     let h = plan.exec_kernel.radius as isize;
     let mode = if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged };
     let mut ctx = SimContext::new();
-    let mut tile = SharedTile::new(geo.s, geo.s);
+    scratch.tile.reset(geo.s, geo.s);
     // the tile's own output footprint is its compulsory HBM share; the
     // halo ring is served by L2 (loaded by the neighboring tiles)
     input.copy_to_shared_reuse(
@@ -52,23 +75,24 @@ fn compute_tile(
         t.c0 as isize - h,
         geo.s,
         geo.s,
-        &mut tile,
+        &mut scratch.tile,
         0,
         0,
         t.h * t.w,
     );
-    let x = XFragments::load(&mut ctx, &tile, geo);
+    scratch.x.load_into(&mut ctx, &scratch.tile, geo);
+    let x = &scratch.x;
     let vals = if plan.config.use_tcu {
         let mut acc = FragAcc::zero();
-        for term in &plan.decomp.terms {
-            acc = rdg_apply_term(&mut ctx, &x, term, plan.config.use_bvs, acc);
+        for tf in frags {
+            acc = rdg_apply_term_frags(&mut ctx, x, tf, acc);
         }
-        apply_pointwise(&mut ctx, &x, plan.decomp.pointwise, &mut acc);
+        apply_pointwise(&mut ctx, x, plan.decomp.pointwise, &mut acc);
         acc.to_matrix()
     } else {
         let mut acc = [[0.0; MMA_N]; TILE_M];
         for term in &plan.decomp.terms {
-            rdg_apply_term_cuda(&mut ctx, &x, term, &mut acc);
+            rdg_apply_term_cuda(&mut ctx, x, term, &mut acc);
         }
         if plan.decomp.pointwise != 0.0 {
             let hh = plan.exec_kernel.radius;
@@ -86,27 +110,128 @@ fn compute_tile(
     (vals, ctx.counters)
 }
 
-/// One (possibly fused) stencil application over the whole grid.
+/// One (possibly fused) application, writing into a caller-provided
+/// output grid. Tiles run in parallel and write their disjoint output
+/// bands directly (each band write charges the same
+/// `global_bytes_written` a `store_span` would); per-tile counters go to
+/// preallocated slots and merge sequentially in tile order, keeping the
+/// totals independent of scheduling.
+fn apply_into(
+    input: &GlobalArray,
+    out: &mut GlobalArray,
+    plan: &Plan2D,
+    frags: &[TermFrags],
+    tiles: &[Tile2D],
+    slots: &mut Vec<PerfCounters>,
+) -> PerfCounters {
+    let cols = input.cols();
+    slots.clear();
+    slots.resize(tiles.len(), PerfCounters::new());
+    {
+        let sink = UnsafeSlice::new(out.as_mut_slice());
+        let slot_sink = UnsafeSlice::new(&mut slots[..]);
+        for_each_index(tiles.len(), |i| {
+            let t = tiles[i];
+            let (vals, mut counters) =
+                with_tile_scratch(|s| compute_tile(input, plan, frags, t, s));
+            for (p, row) in vals.iter().enumerate().take(t.h) {
+                // disjoint band write, accounted like a warp store_span
+                let band = unsafe { sink.slice_mut((t.r0 + p) * cols + t.c0, t.w) };
+                band.copy_from_slice(&row[..t.w]);
+                counters.global_bytes_written += (t.w * 8) as u64;
+            }
+            // SAFETY: each index is written by exactly one tile
+            unsafe { slot_sink.write(i, counters) };
+        });
+    }
+    let mut total = PerfCounters::new();
+    for c in slots.iter() {
+        total.merge(c);
+    }
+    total
+}
+
+/// One (possibly fused) stencil application over the whole grid
+/// (allocating convenience form of the [`Stepper2D`] loop).
 pub fn apply_once(input: &GlobalArray, plan: &Plan2D) -> (GlobalArray, PerfCounters) {
     let (rows, cols) = (input.rows(), input.cols());
-    let tiles = tiles_2d(rows, cols, TILE_M, TILE_M);
-    let results: Vec<(Tile2D, [[f64; MMA_N]; TILE_M], PerfCounters)> = tiles
-        .par_iter()
-        .map(|&t| {
-            let (vals, counters) = compute_tile(input, plan, t);
-            (t, vals, counters)
-        })
-        .collect();
-
+    let mut ws = Workspace2D::new(plan, rows, cols);
     let mut out = GlobalArray::new(rows, cols);
-    let mut ctx = SimContext::new();
-    for (t, vals, counters) in results {
-        ctx.counters.merge(&counters);
-        for p in 0..t.h {
-            out.store_span(&mut ctx, t.r0 + p, t.c0, &vals[p][..t.w]);
+    let counters = ws.apply(input, &mut out, plan);
+    (out, counters)
+}
+
+/// The reusable per-apply buffers of a 2-D plan on a fixed grid shape:
+/// the tiling, the per-term weight fragments, and the counter slots.
+/// Callers that manage their own grids (the distributed executor) build
+/// one per (device, plan) and feed it a fresh input/output pair each
+/// application; [`Stepper2D`] wraps one together with a double-buffered
+/// grid pair.
+pub struct Workspace2D {
+    frags: Vec<TermFrags>,
+    tiles: Vec<Tile2D>,
+    slots: Vec<PerfCounters>,
+}
+
+impl Workspace2D {
+    /// Buffers for applying `plan` to `rows × cols` grids.
+    pub fn new(plan: &Plan2D, rows: usize, cols: usize) -> Self {
+        Workspace2D {
+            frags: plan_frags(plan),
+            tiles: tiles_2d(rows, cols, TILE_M, TILE_M),
+            slots: Vec::new(),
         }
     }
-    (out, ctx.counters)
+
+    /// One (possibly fused) application of `plan` from `input` into
+    /// `out`. Both grids must have the shape the workspace was built for.
+    pub fn apply(
+        &mut self,
+        input: &GlobalArray,
+        out: &mut GlobalArray,
+        plan: &Plan2D,
+    ) -> PerfCounters {
+        apply_into(input, out, plan, &self.frags, &self.tiles, &mut self.slots)
+    }
+}
+
+/// The steady-state 2-D time-stepping loop: double-buffered grids plus
+/// every per-apply buffer (tiling, weight fragments, counter slots),
+/// allocated once and reused by each [`Stepper2D::step`]. Safe to
+/// ping-pong without clearing because the tiling covers every output
+/// cell each application.
+pub struct Stepper2D {
+    plan: Plan2D,
+    ws: Workspace2D,
+    cur: GlobalArray,
+    next: GlobalArray,
+}
+
+impl Stepper2D {
+    /// Set up the loop over `input` for `plan`.
+    pub fn new(plan: Plan2D, input: GlobalArray) -> Self {
+        let ws = Workspace2D::new(&plan, input.rows(), input.cols());
+        let next = GlobalArray::new(input.rows(), input.cols());
+        Stepper2D { plan, ws, cur: input, next }
+    }
+
+    /// Advance one (possibly fused) application; the result becomes the
+    /// current grid.
+    pub fn step(&mut self) -> PerfCounters {
+        let c = self.ws.apply(&self.cur, &mut self.next, &self.plan);
+        std::mem::swap(&mut self.cur, &mut self.next);
+        c
+    }
+
+    /// The current grid.
+    pub fn grid(&self) -> &GlobalArray {
+        &self.cur
+    }
+
+    /// Consume the stepper, returning the current grid.
+    pub fn into_grid(self) -> GlobalArray {
+        self.cur
+    }
 }
 
 impl StencilExecutor for LoRaStencil2D {
@@ -130,19 +255,19 @@ impl StencilExecutor for LoRaStencil2D {
             None
         };
 
-        let mut cur = GlobalArray::from_vec(grid.rows(), grid.cols(), grid.as_slice().to_vec());
+        let input = GlobalArray::from_vec(grid.rows(), grid.cols(), grid.as_slice().to_vec());
         let mut counters = PerfCounters::new();
+        let mut stepper = Stepper2D::new(plan.clone(), input);
         for _ in 0..full {
-            let (next, c) = apply_once(&cur, &plan);
-            counters.merge(&c);
-            cur = next;
+            counters.merge(&stepper.step());
         }
-        if let Some(bp) = &base_plan {
+        let mut cur = stepper.into_grid();
+        if let Some(bp) = base_plan {
+            let mut stepper = Stepper2D::new(bp, cur);
             for _ in 0..rem {
-                let (next, c) = apply_once(&cur, bp);
-                counters.merge(&c);
-                cur = next;
+                counters.merge(&stepper.step());
             }
+            cur = stepper.into_grid();
         }
         let output = Grid2D::from_vec(grid.rows(), grid.cols(), cur.as_slice().to_vec());
         Ok(ExecOutcome { output: GridData::D2(output), counters, block: plan.block_resources() })

@@ -53,6 +53,9 @@ pub mod plan;
 pub mod rdg;
 
 pub use decompose::{decompose, Decomposition, RankOneTerm, Strategy};
+pub use exec::one_d::Stepper1D;
+pub use exec::three_d::Stepper3D;
+pub use exec::two_d::{Stepper2D, Workspace2D};
 pub use exec::{LoRaStencil, LoRaStencil1D, LoRaStencil2D, LoRaStencil3D};
 pub use plan::{ExecConfig, Plan1D, Plan2D, Plan3D, PlaneOp};
 pub use rdg::{RdgGeometry, XFragments, TILE_M};

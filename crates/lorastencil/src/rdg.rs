@@ -68,23 +68,43 @@ impl RdgGeometry {
 #[derive(Debug, Clone)]
 pub struct XFragments {
     geo: RdgGeometry,
-    /// `frags[row_block][col_block]`, each 4×8.
-    frags: Vec<Vec<FragB>>,
+    /// Row-major `frags[row_block * col_blocks + col_block]`, each 4×8.
+    /// Flat so [`XFragments::load_into`] can reuse one allocation across
+    /// tiles.
+    frags: Vec<FragB>,
 }
 
 impl XFragments {
+    /// An empty fragment set to be filled by [`XFragments::load_into`]
+    /// (per-worker scratch).
+    pub fn empty(geo: RdgGeometry) -> Self {
+        XFragments { geo, frags: Vec::new() }
+    }
+
     /// Load all `S/4 × S/8` fragments of the tile (charging one shared
     /// load request each — the quantity Eq. 12 counts).
     pub fn load(ctx: &mut SimContext, tile: &SharedTile, geo: RdgGeometry) -> Self {
-        let mut frags = Vec::with_capacity(geo.row_blocks());
+        let mut x = XFragments::empty(geo);
+        x.load_into(ctx, tile, geo);
+        x
+    }
+
+    /// Allocation-reusing [`XFragments::load`]: refill `self` from a new
+    /// tile, keeping the fragment buffer's capacity. Counter accounting
+    /// is identical.
+    pub fn load_into(&mut self, ctx: &mut SimContext, tile: &SharedTile, geo: RdgGeometry) {
+        self.geo = geo;
+        self.frags.clear();
+        self.frags.reserve(geo.row_blocks() * geo.col_blocks());
         for rb in 0..geo.row_blocks() {
-            let mut row = Vec::with_capacity(geo.col_blocks());
             for cb in 0..geo.col_blocks() {
-                row.push(tile.load_frag_b(ctx, (rb * MMA_K) as isize, (cb * MMA_N) as isize));
+                self.frags.push(tile.load_frag_b(
+                    ctx,
+                    (rb * MMA_K) as isize,
+                    (cb * MMA_N) as isize,
+                ));
             }
-            frags.push(row);
         }
-        XFragments { geo, frags }
     }
 
     /// Tile geometry.
@@ -92,10 +112,16 @@ impl XFragments {
         self.geo
     }
 
+    /// Fragment for `(row_block, col_block)`.
+    #[inline]
+    pub fn frag(&self, rb: usize, cb: usize) -> &FragB {
+        &self.frags[rb * self.geo.col_blocks() + cb]
+    }
+
     /// Element `(r, c)` of the underlying tile, reconstructed from the
     /// owning fragment (register re-use; charges nothing).
     pub fn peek(&self, r: usize, c: usize) -> f64 {
-        self.frags[r / MMA_K][c / MMA_N].get(r % MMA_K, c % MMA_N)
+        self.frag(r / MMA_K, c / MMA_N).get(r % MMA_K, c % MMA_N)
     }
 }
 
@@ -164,11 +190,42 @@ fn split_cols(use_bvs: bool) -> [[usize; MMA_K]; 2] {
     }
 }
 
+/// One rank-1 term's weight fragments, prebuilt once per plan: they
+/// depend only on `(term, geometry, use_bvs)`, never on the input tile,
+/// so the executors hoist them out of the per-tile loop (on real
+/// hardware they live in registers/constant memory for the whole grid).
+#[derive(Debug, Clone)]
+pub struct TermFrags {
+    /// Banded `U` A-fragments (Eq. 10).
+    u: Vec<FragA>,
+    /// Banded, split-permuted `V` B-fragments (Eq. 11 / Eq. 17).
+    v: Vec<FragB>,
+    /// Accumulator column split matching `v`'s permutation.
+    cols: [[usize; MMA_K]; 2],
+}
+
+impl TermFrags {
+    /// Build the fragments for one term on the given geometry.
+    pub fn build(term: &RankOneTerm, geo: RdgGeometry, use_bvs: bool) -> Self {
+        TermFrags {
+            u: build_u_frags(term, geo),
+            v: build_v_frags(term, geo, use_bvs),
+            cols: split_cols(use_bvs),
+        }
+    }
+
+    /// Build the fragments for every term of a decomposition.
+    pub fn build_all(terms: &[RankOneTerm], geo: RdgGeometry, use_bvs: bool) -> Vec<TermFrags> {
+        terms.iter().map(|t| TermFrags::build(t, geo, use_bvs)).collect()
+    }
+}
+
 /// Apply one rank-1 term to a loaded input tile, accumulating into `acc`
 /// (the 8×8 output accumulator). Returns the new accumulator.
 ///
 /// This is the full RDG Matrix Chain Multiplication on tensor cores:
-/// `acc += U · X · V`.
+/// `acc += U · X · V`. Convenience form of [`rdg_apply_term_frags`] that
+/// builds the weight fragments on the spot.
 pub fn rdg_apply_term(
     ctx: &mut SimContext,
     x: &XFragments,
@@ -176,23 +233,30 @@ pub fn rdg_apply_term(
     use_bvs: bool,
     acc: FragAcc,
 ) -> FragAcc {
-    let geo = x.geo;
-    let u_frags = build_u_frags(term, geo);
-    let v_frags = build_v_frags(term, geo, use_bvs);
-    let cols = split_cols(use_bvs);
+    rdg_apply_term_frags(ctx, x, &TermFrags::build(term, x.geo, use_bvs), acc)
+}
 
+/// Apply one rank-1 term given prebuilt weight fragments (the hot-loop
+/// form: no allocation, weight fragments shared across all tiles).
+pub fn rdg_apply_term_frags(
+    ctx: &mut SimContext,
+    x: &XFragments,
+    tf: &TermFrags,
+    acc: FragAcc,
+) -> FragAcc {
+    let geo = x.geo;
     let mut out = acc;
     // Step 1: T = U · X, one accumulator tile per 8-column block.
     for j in 0..geo.col_blocks() {
         let mut t_acc = FragAcc::zero();
-        for (k, u_frag) in u_frags.iter().enumerate() {
-            t_acc = ctx.mma(u_frag, &x.frags[k][j], &t_acc);
+        for (k, u_frag) in tf.u.iter().enumerate() {
+            ctx.mma_into(u_frag, x.frag(k, j), &mut t_acc);
         }
         // Step 2: out += T_j · V_j, splitting the accumulator into two A
         // fragments (shuffle-free under BVS).
-        for (half, &col_set) in cols.iter().enumerate() {
+        for (half, &col_set) in tf.cols.iter().enumerate() {
             let a = ctx.acc_to_a(&t_acc, col_set);
-            out = ctx.mma(&a, &v_frags[2 * j + half], &out);
+            ctx.mma_into(&a, &tf.v[2 * j + half], &mut out);
         }
     }
     out

@@ -1,7 +1,8 @@
 //! Distributed LoRAStencil execution: each simulated device owns a row
 //! slab plus ghost rows, advances it locally with the single-device
-//! executor, and exchanges halos with its ring neighbors over NVLink
-//! after every (possibly fused) application.
+//! executor (a double-buffered grid pair driven through a per-device
+//! [`Workspace2D`]), and exchanges halos with its ring neighbors over
+//! NVLink after every (possibly fused) application.
 //!
 //! Ghost padding is rounded up to the 8-row tile so every device's local
 //! tiling aligns with the global tiling — making the distributed result
@@ -9,9 +10,7 @@
 //! tiles accumulate the same partial sums in the same order.
 
 use crate::partition::{partition, Slab, ALIGN};
-use foundation::par::*;
-use lorastencil::exec::two_d::apply_once;
-use lorastencil::{ExecConfig, Plan2D};
+use lorastencil::{ExecConfig, Plan2D, Workspace2D};
 use stencil_core::{Grid2D, StencilKernel};
 use tcu_sim::{BlockResources, GlobalArray, PerfCounters};
 
@@ -38,6 +37,8 @@ struct Device {
     pad: usize,
     /// Local grid: `pad + slab.len + pad` rows × full width.
     local: GlobalArray,
+    /// Ping-pong partner of `local`, swapped after each application.
+    next: GlobalArray,
 }
 
 /// Gather `count` rows starting at global row `start` (periodic) from
@@ -123,7 +124,8 @@ pub fn run_distributed(
                     local.poke(pad + r, c, grid.at(slab.start + r, c));
                 }
             }
-            Device { slab, pad, local }
+            let next = GlobalArray::new(pad + slab.len + pad, cols);
+            Device { slab, pad, local, next }
         })
         .collect();
 
@@ -131,25 +133,39 @@ pub fn run_distributed(
     let mut nvlink_bytes = 0u64;
     let mut applies = 0usize;
 
+    // Per-(device, plan) workspaces: tilings differ per device (slabs may
+    // have different row counts) and weight fragments differ per plan.
+    // The device loop is sequential — the scalable axis is the tile
+    // parallelism inside `Workspace2D::apply` — and each device
+    // ping-pongs its local grid pair, so the steady-state loop allocates
+    // nothing.
+    let mut ws_fused: Vec<Workspace2D> =
+        devices.iter().map(|d| Workspace2D::new(&plan, d.local.rows(), cols)).collect();
+    let mut ws_unfused: Vec<Workspace2D> = if rem > 0 {
+        devices.iter().map(|d| Workspace2D::new(&unfused, d.local.rows(), cols)).collect()
+    } else {
+        Vec::new()
+    };
+
     let step = |devices: &mut Vec<Device>,
                 per_device: &mut Vec<PerfCounters>,
                 nvlink: &mut u64,
-                p: &Plan2D| {
+                p: &Plan2D,
+                ws: &mut [Workspace2D]| {
         *nvlink += exchange_halos(devices, rows, cols, p.exec_kernel.radius);
-        let results: Vec<(GlobalArray, PerfCounters)> =
-            devices.par_iter().map(|d| apply_once(&d.local, p)).collect();
-        for ((d, (next, c)), pc) in devices.iter_mut().zip(results).zip(per_device.iter_mut()) {
-            d.local = next;
+        for ((d, w), pc) in devices.iter_mut().zip(ws).zip(per_device.iter_mut()) {
+            let c = w.apply(&d.local, &mut d.next, p);
+            std::mem::swap(&mut d.local, &mut d.next);
             pc.merge(&c);
         }
     };
 
     for _ in 0..full {
-        step(&mut devices, &mut per_device, &mut nvlink_bytes, &plan);
+        step(&mut devices, &mut per_device, &mut nvlink_bytes, &plan, &mut ws_fused);
         applies += 1;
     }
     for _ in 0..rem {
-        step(&mut devices, &mut per_device, &mut nvlink_bytes, &unfused);
+        step(&mut devices, &mut per_device, &mut nvlink_bytes, &unfused, &mut ws_unfused);
         applies += 1;
     }
 

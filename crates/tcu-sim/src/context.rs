@@ -43,19 +43,38 @@ impl SimContext {
     /// This is the only way the simulator multiplies fragments, so
     /// `counters.mma_ops` is an exact instruction count.
     pub fn mma(&mut self, a: &FragA, b: &FragB, c: &FragAcc) -> FragAcc {
+        let mut d = *c;
+        self.mma_into(a, b, &mut d);
+        d
+    }
+
+    /// In-place `mma.m8n8k4.f64`: `C = A × B + C`. The hot-loop form of
+    /// [`SimContext::mma`] — the chained RDG accumulators stay in place
+    /// instead of being zeroed and copied per instruction. The per-element
+    /// FMA order matches real accumulator semantics (`c + a0·b0 + a1·b1 +
+    /// a2·b2 + a3·b3`), so results are bit-identical to [`SimContext::mma`].
+    pub fn mma_into(&mut self, a: &FragA, b: &FragB, c: &mut FragAcc) {
         self.counters.mma_ops += 1;
         self.record(TraceEvent::Mma);
-        let mut d = FragAcc::zero();
+        // Lane layout (see `fragment`): A row r is lanes 4r..4r+4; B column
+        // n is lanes 4n..4n+4; acc (r, n) is lane 4r + n/2, register n%2 —
+        // so register 0 holds the even columns, register 1 the odd ones.
         for r in 0..MMA_M {
-            for n in 0..MMA_N {
-                let mut acc = c.get(r, n);
+            let ar = &a.lanes[4 * r..4 * r + MMA_K];
+            for half in 0..MMA_N / 2 {
+                let lane = 4 * r + half;
+                let be = &b.lanes[8 * half..8 * half + MMA_K];
+                let bo = &b.lanes[8 * half + MMA_K..8 * half + 2 * MMA_K];
+                let mut e = c.r0[lane];
+                let mut o = c.r1[lane];
                 for k in 0..MMA_K {
-                    acc += a.get(r, k) * b.get(k, n);
+                    e += ar[k] * be[k];
+                    o += ar[k] * bo[k];
                 }
-                d.set(r, n, acc);
+                c.r0[lane] = e;
+                c.r1[lane] = o;
             }
         }
-        d
     }
 
     /// Extract accumulator columns into an A fragment, charging the

@@ -219,6 +219,15 @@ impl FragAcc {
     /// * the natural splits `{0,1,2,3}` / `{4,5,6,7}` need both registers
     ///   moved across lanes → 2 shuffles each.
     pub fn extract_a(&self, cols: [usize; MMA_K]) -> (FragA, u64) {
+        // The butterfly sets map element (r, cols[j]) from lane 4r+j,
+        // register `reg`, to lane 4r+j of the A fragment: the extraction
+        // is exactly one per-lane register copy (and zero shuffles).
+        if cols == Self::BUTTERFLY_COLS[0] {
+            return (FragA { lanes: self.r0 }, 0);
+        }
+        if cols == Self::BUTTERFLY_COLS[1] {
+            return (FragA { lanes: self.r1 }, 0);
+        }
         let mut frag = FragA::zero();
         let mut reg_needs_shuffle = [false; 2];
         for r in 0..MMA_M {

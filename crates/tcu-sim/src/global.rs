@@ -88,11 +88,21 @@ impl GlobalArray {
         dr0: usize,
         dc0: usize,
     ) {
+        // rows wrap individually; columns take a contiguous fast path
+        // when the whole window is horizontally in-bounds (the common,
+        // interior-tile case — no per-element division)
+        let cols_in_range = c0 >= 0 && c0 as usize + w <= self.cols;
         for dr in 0..h {
-            for dc in 0..w {
-                let r = (r0 + dr as isize).rem_euclid(self.rows as isize) as usize;
-                let c = (c0 + dc as isize).rem_euclid(self.cols as isize) as usize;
-                dst.poke(dr0 + dr, dc0 + dc, self.data[r * self.cols + c]);
+            let r = (r0 + dr as isize).rem_euclid(self.rows as isize) as usize;
+            let base = r * self.cols;
+            if cols_in_range {
+                let c = c0 as usize;
+                dst.write_row(dr0 + dr, dc0, &self.data[base + c..base + c + w]);
+            } else {
+                for dc in 0..w {
+                    let c = (c0 + dc as isize).rem_euclid(self.cols as isize) as usize;
+                    dst.poke(dr0 + dr, dc0 + dc, self.data[base + c]);
+                }
             }
         }
         ctx.counters.global_bytes_read += (h * w * 8) as u64;
@@ -163,9 +173,18 @@ impl GlobalArray {
     /// Direct warp read of `len ≤ 32` contiguous elements (one coalesced
     /// transaction), used by CUDA-core baselines that skip shared memory.
     pub fn load_span(&self, ctx: &mut SimContext, r: usize, c0: usize, len: usize) -> Vec<f64> {
-        assert!(len <= 32);
-        ctx.counters.global_bytes_read += (len * 8) as u64;
-        (0..len).map(|i| self.peek(r, c0 + i)).collect()
+        let mut out = vec![0.0; len];
+        self.load_span_into(ctx, r, c0, &mut out);
+        out
+    }
+
+    /// Allocation-free [`GlobalArray::load_span`]: fills `dst` (whose
+    /// length is the span length) instead of returning a fresh `Vec`.
+    pub fn load_span_into(&self, ctx: &mut SimContext, r: usize, c0: usize, dst: &mut [f64]) {
+        assert!(dst.len() <= 32);
+        ctx.counters.global_bytes_read += (dst.len() * 8) as u64;
+        let base = r * self.cols + c0;
+        dst.copy_from_slice(&self.data[base..base + dst.len()]);
     }
 
     /// Direct warp read of `len ≤ 32` contiguous elements that a prior
@@ -177,9 +196,23 @@ impl GlobalArray {
         c0: usize,
         len: usize,
     ) -> Vec<f64> {
-        assert!(len <= 32);
-        ctx.counters.l2_bytes += (len * 8) as u64;
-        (0..len).map(|i| self.peek(r, c0 + i)).collect()
+        let mut out = vec![0.0; len];
+        self.load_span_cached_into(ctx, r, c0, &mut out);
+        out
+    }
+
+    /// Allocation-free [`GlobalArray::load_span_cached`].
+    pub fn load_span_cached_into(
+        &self,
+        ctx: &mut SimContext,
+        r: usize,
+        c0: usize,
+        dst: &mut [f64],
+    ) {
+        assert!(dst.len() <= 32);
+        ctx.counters.l2_bytes += (dst.len() * 8) as u64;
+        let base = r * self.cols + c0;
+        dst.copy_from_slice(&self.data[base..base + dst.len()]);
     }
 
     /// Direct warp write of `len ≤ 32` contiguous elements.

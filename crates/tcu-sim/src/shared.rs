@@ -29,6 +29,17 @@ impl SharedTile {
         SharedTile { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// Reshape for reuse as a zeroed `rows × cols` tile, keeping the
+    /// backing allocation when it is already large enough (the
+    /// per-worker scratch path: no allocation in steady state).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        let n = rows * cols;
+        self.data.clear();
+        self.data.resize(n, 0.0);
+    }
+
     /// Tile height.
     pub fn rows(&self) -> usize {
         self.rows
@@ -69,32 +80,68 @@ impl SharedTile {
         self.data[i] = v;
     }
 
+    /// Direct row-segment write without request accounting (host side):
+    /// the contiguous fast path of [`crate::GlobalArray::copy_to_shared`].
+    #[inline]
+    pub fn write_row(&mut self, r: usize, c0: usize, vals: &[f64]) {
+        let i = self.idx(r, c0);
+        self.data[i..i + vals.len()].copy_from_slice(vals);
+    }
+
     /// Warp-load an 8×4 A fragment whose top-left corner is `(r0, c0)`.
     /// Out-of-bounds elements read as zero (the zero-padded borders the
     /// paper's weight matrices rely on).
     pub fn load_frag_a(&self, ctx: &mut SimContext, r0: isize, c0: isize) -> FragA {
         ctx.counters.shared_load_requests += 1;
         ctx.record(TraceEvent::SharedLoad);
-        let mut m = [[0.0; MMA_K]; MMA_M];
-        for (dr, row) in m.iter_mut().enumerate() {
-            for (dc, v) in row.iter_mut().enumerate() {
-                *v = self.get_or_zero(r0 + dr as isize, c0 + dc as isize);
+        let mut f = FragA::zero();
+        if self.window_in_bounds(r0, c0, MMA_M, MMA_K) {
+            // common case: one bounds check for the whole 8×4 window,
+            // rows read contiguously into lanes 4r..4r+4
+            let (r0, c0) = (r0 as usize, c0 as usize);
+            for dr in 0..MMA_M {
+                let base = (r0 + dr) * self.cols + c0;
+                f.lanes[4 * dr..4 * dr + MMA_K].copy_from_slice(&self.data[base..base + MMA_K]);
+            }
+        } else {
+            for dr in 0..MMA_M {
+                for dc in 0..MMA_K {
+                    f.set(dr, dc, self.get_or_zero(r0 + dr as isize, c0 + dc as isize));
+                }
             }
         }
-        FragA::from_matrix(&m)
+        f
     }
 
     /// Warp-load a 4×8 B fragment whose top-left corner is `(r0, c0)`.
     pub fn load_frag_b(&self, ctx: &mut SimContext, r0: isize, c0: isize) -> FragB {
         ctx.counters.shared_load_requests += 1;
         ctx.record(TraceEvent::SharedLoad);
-        let mut m = [[0.0; MMA_N]; MMA_K];
-        for (dr, row) in m.iter_mut().enumerate() {
-            for (dc, v) in row.iter_mut().enumerate() {
-                *v = self.get_or_zero(r0 + dr as isize, c0 + dc as isize);
+        let mut f = FragB::zero();
+        if self.window_in_bounds(r0, c0, MMA_K, MMA_N) {
+            // element (k, c) lives in lane 4c + k: each tile row scatters
+            // with stride 4, but needs no per-element bounds check
+            let (r0, c0) = (r0 as usize, c0 as usize);
+            for dk in 0..MMA_K {
+                let base = (r0 + dk) * self.cols + c0;
+                for dc in 0..MMA_N {
+                    f.lanes[4 * dc + dk] = self.data[base + dc];
+                }
+            }
+        } else {
+            for dk in 0..MMA_K {
+                for dc in 0..MMA_N {
+                    f.set(dk, dc, self.get_or_zero(r0 + dk as isize, c0 + dc as isize));
+                }
             }
         }
-        FragB::from_matrix(&m)
+        f
+    }
+
+    /// Whether the `h × w` window at `(r0, c0)` lies fully inside the tile.
+    #[inline]
+    fn window_in_bounds(&self, r0: isize, c0: isize, h: usize, w: usize) -> bool {
+        r0 >= 0 && c0 >= 0 && r0 as usize + h <= self.rows && c0 as usize + w <= self.cols
     }
 
     /// Warp-store an 8×8 accumulator at `(r0, c0)` (2 store requests: one
@@ -112,9 +159,21 @@ impl SharedTile {
     /// Warp-wide scalar load of up to 32 contiguous elements of row `r`
     /// starting at column `c0` (1 load request). Returns the values.
     pub fn load_row_span(&self, ctx: &mut SimContext, r: usize, c0: usize, len: usize) -> Vec<f64> {
-        assert!(len <= 32, "a warp loads at most 32 elements per request");
+        let mut out = vec![0.0; len];
+        self.load_row_span_into(ctx, r, c0, &mut out);
+        out
+    }
+
+    /// Allocation-free [`SharedTile::load_row_span`]: fills `dst` (whose
+    /// length is the span length) instead of returning a fresh `Vec`.
+    pub fn load_row_span_into(&self, ctx: &mut SimContext, r: usize, c0: usize, dst: &mut [f64]) {
+        assert!(dst.len() <= 32, "a warp loads at most 32 elements per request");
         ctx.counters.shared_load_requests += 1;
-        (0..len).map(|i| self.peek(r, c0 + i)).collect()
+        if dst.is_empty() {
+            return;
+        }
+        let base = self.idx(r, c0);
+        dst.copy_from_slice(&self.data[base..base + dst.len()]);
     }
 
     /// Warp-wide scalar store of up to 32 contiguous elements (1 request).

@@ -225,6 +225,48 @@ fn lora_box3d_impulse_matches_golden() {
     assert_eq!(out.output.max_abs_diff(&again.output), 0.0);
 }
 
+// --------------------------------------- thread-count determinism
+
+/// Outputs AND performance counters must be bitwise identical at every
+/// worker-lane count: tiles write disjoint output bands in parallel and
+/// per-tile counters merge sequentially in tile order, so nothing the
+/// scheduler decides can reach the result (see DESIGN.md, "Host-side
+/// performance model"). `FOUNDATION_THREADS` is re-read on every
+/// parallel call, so one process can vary it. A concurrently running
+/// test in this binary may observe a pinned lane count mid-flight; that
+/// is harmless precisely because of the property asserted here.
+#[test]
+fn lora_is_bit_identical_across_thread_counts() {
+    // 2-D: a fused multi-iteration plan on a tile-clipping grid size
+    let g2 = Grid2D::from_fn(40, 56, |r, c| ((r * 31 + c * 17) % 23) as f64 * 0.125 - 1.0);
+    let p2 = Problem::new(kernels::box_2d9p(), g2, 5);
+    // 3-D: the golden dyadic box kernel, two steps
+    let g3 = Grid3D::from_fn(4, 8, 12, |z, y, x| ((z * 5 + y * 3 + x) % 11) as f64 * 0.25);
+    let p3 = Problem::new(box_3d_dyadic(), g3, 2);
+
+    let mut runs2 = Vec::new();
+    let mut runs3 = Vec::new();
+    for t in ["1", "2", "7"] {
+        std::env::set_var("FOUNDATION_THREADS", t);
+        runs2.push(LoRaStencil::new().execute(&p2).unwrap());
+        runs3.push(LoRaStencil::new().execute(&p3).unwrap());
+    }
+    std::env::remove_var("FOUNDATION_THREADS");
+    for (runs, dim) in [(&runs2, "2-D"), (&runs3, "3-D")] {
+        for (i, w) in runs.windows(2).enumerate() {
+            assert_eq!(
+                w[0].output.max_abs_diff(&w[1].output),
+                0.0,
+                "{dim} output differs between thread counts (pair {i})"
+            );
+            assert_eq!(
+                w[0].counters, w[1].counters,
+                "{dim} counters differ between thread counts (pair {i})"
+            );
+        }
+    }
+}
+
 // ------------------------------------------------- conservation sanity
 
 /// Every golden kernel's weights sum to exactly 1 in f64 (they are

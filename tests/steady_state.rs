@@ -1,0 +1,62 @@
+//! Zero-allocation steady-state executor loop: once a [`Stepper2D`] is
+//! warmed up, further time steps perform **no heap allocation** and
+//! spawn **no threads** — the double-buffered grids, the tiling, the
+//! weight fragments, the counter slots and the per-worker scratch are
+//! all reused, and the worker pool persists (see DESIGN.md, "Host-side
+//! performance model").
+//!
+//! This binary installs [`CountingAllocator`] as its global allocator,
+//! so [`allocation_count`] observes every heap allocation the process
+//! makes.
+
+use foundation::alloc_counter::{allocation_count, CountingAllocator};
+use foundation::par::threads_spawned;
+use lorastencil::{ExecConfig, Plan2D, Stepper2D};
+use stencil_core::kernels;
+use tcu_sim::GlobalArray;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// One test function (not two) so the `FOUNDATION_THREADS` mutations
+/// cannot race another test in this binary.
+#[test]
+fn steady_state_steps_allocate_nothing_and_spawn_nothing() {
+    let plan = Plan2D::new(&kernels::box_2d9p(), ExecConfig::full());
+    let mut input = GlobalArray::new(64, 64);
+    for r in 0..64 {
+        for c in 0..64 {
+            input.poke(r, c, ((r * 13 + c * 7) % 19) as f64 * 0.25 - 1.0);
+        }
+    }
+    let mut stepper = Stepper2D::new(plan, input);
+
+    // Allocation assertion under sequential lanes: each pool worker
+    // lazily allocates its tile scratch on the first tile it ever runs,
+    // and the OS scheduler decides when a worker first wins a lane, so
+    // only the single-lane loop has a deterministic allocation profile.
+    std::env::set_var("FOUNDATION_THREADS", "1");
+    stepper.step();
+    stepper.step(); // warm-up: counter slots, main-thread scratch
+    let allocs = allocation_count();
+    for _ in 0..8 {
+        stepper.step();
+    }
+    assert_eq!(
+        allocation_count(),
+        allocs,
+        "steady-state steps must not allocate (FOUNDATION_THREADS=1)"
+    );
+
+    // Spawn assertion under parallel lanes: the pool grows eagerly on
+    // the first call that wants more lanes, so after one warm-up step
+    // the worker count is deterministic and must stay flat.
+    std::env::set_var("FOUNDATION_THREADS", "2");
+    stepper.step(); // warm-up: grows the pool to one worker
+    let spawned = threads_spawned();
+    for _ in 0..8 {
+        stepper.step();
+    }
+    std::env::remove_var("FOUNDATION_THREADS");
+    assert_eq!(threads_spawned(), spawned, "steady-state steps must not spawn threads");
+}
