@@ -3,39 +3,77 @@
 #
 # The workspace has zero external dependencies (see DESIGN.md), so every
 # step runs with --offline against an empty registry. Exits non-zero on
-# the first failure.
+# the first failure. Each step reports its wall time.
+#
+# Fuzz verification (tests/fuzz_differential.rs) runs twice: inside the
+# ordinary test passes with its default per-engine budgets, and as a
+# dedicated bounded step whose case count honors STENCIL_VERIFY_CASES —
+# export STENCIL_VERIFY_CASES=2000 (and optionally STENCIL_VERIFY_SEED)
+# for a long soak run. See README.md "Fuzz verification".
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo fmt --check"
-if cargo fmt --version >/dev/null 2>&1; then
-    cargo fmt --all --check
-else
-    echo "   rustfmt not installed; skipping format check"
-fi
+# step <name> <command...>: run a command, report its wall time
+step() {
+    local name=$1
+    shift
+    echo "== $name"
+    local t0=$SECONDS
+    "$@"
+    echo "   [$name: $((SECONDS - t0))s]"
+}
 
-echo "== cargo build --release --offline"
-cargo build --release --offline --workspace
+fmt_check() {
+    if cargo fmt --version >/dev/null 2>&1; then
+        cargo fmt --all --check
+    else
+        echo "   rustfmt not installed; skipping format check"
+    fi
+}
 
-echo "== cargo test -q --offline"
-cargo test -q --offline --workspace
+serial_tests() {
+    # single-lane pass: results must be bit-identical to the parallel pass
+    FOUNDATION_THREADS=1 cargo test -q --offline --workspace
+}
 
-echo "== cargo test -q --offline (FOUNDATION_THREADS=1)"
-# single-lane pass: results must be bit-identical to the parallel pass
-FOUNDATION_THREADS=1 cargo test -q --offline --workspace
+run_examples() {
+    local ex
+    for ex in examples/*.rs; do
+        ex=$(basename "$ex" .rs)
+        echo "   -- example $ex"
+        cargo run --release --offline --example "$ex" >/dev/null
+    done
+}
 
-echo "== quick executor bench (writes BENCH_pr2.json)"
-# cargo bench runs the binary with the package dir as cwd, so the
-# report paths must be rooted
-cargo bench --offline -p bench-suite --bench executors -- --quick \
-    --baseline "$PWD/BENCH_pr2_before.json" --json "$PWD/BENCH_pr2.json"
+fuzz_bounded() {
+    # bounded by default; STENCIL_VERIFY_CASES scales all three engines
+    STENCIL_VERIFY_CASES="${STENCIL_VERIFY_CASES:-25}" \
+        cargo test -q --offline --test fuzz_differential
+}
 
-echo "== dependency audit (workspace members only)"
-if cargo tree --offline --workspace --prefix none 2>/dev/null \
-    | grep -vE "^\s*$|^\[dev-dependencies\]$" \
-    | grep -v "(/" ; then
-    echo "error: external dependency found in cargo tree" >&2
-    exit 1
-fi
+quick_bench() {
+    # cargo bench runs the binary with the package dir as cwd, so the
+    # report paths must be rooted
+    cargo bench --offline -p bench-suite --bench executors -- --quick \
+        --baseline "$PWD/BENCH_pr2_before.json" --json "$PWD/BENCH_pr2.json"
+}
+
+dep_audit() {
+    if cargo tree --offline --workspace --prefix none 2>/dev/null \
+        | grep -vE "^\s*$|^\[dev-dependencies\]$" \
+        | grep -v "(/"; then
+        echo "error: external dependency found in cargo tree" >&2
+        exit 1
+    fi
+}
+
+step "cargo fmt --check" fmt_check
+step "cargo build --release --offline" cargo build --release --offline --workspace
+step "cargo test -q --offline" cargo test -q --offline --workspace
+step "cargo test -q --offline (FOUNDATION_THREADS=1)" serial_tests
+step "examples (cargo run --release --example *)" run_examples
+step "bounded fuzz (STENCIL_VERIFY_CASES=${STENCIL_VERIFY_CASES:-25})" fuzz_bounded
+step "quick executor bench (writes BENCH_pr2.json)" quick_bench
+step "dependency audit (workspace members only)" dep_audit
 
 echo "CI green"

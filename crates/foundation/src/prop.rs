@@ -4,8 +4,10 @@
 //!
 //! * **Generators** ([`Gen`]): composable value sources. Ranges
 //!   ([`f64_range`], [`usize_range`], [`u64_range`]), fixed- and
-//!   variable-length vectors ([`vec_exact`], [`vec_of`]), [`map`], and
-//!   tuple composition (a tuple of generators is a generator of tuples).
+//!   variable-length vectors ([`vec_exact`], [`vec_of`]), [`map`],
+//!   choices ([`one_of`], [`choice`], [`weighted`]), dependent pairs
+//!   ([`flat_map`]), and tuple composition up to arity 7 (a tuple of
+//!   generators is a generator of tuples).
 //! * **Deterministic case generation**: case `i` of a run draws from
 //!   `xoshiro256++(splitmix64(seed) ⊕ i)`, so the same seed always
 //!   produces the same cases, independent of thread scheduling or prior
@@ -449,6 +451,126 @@ impl<T: Clone + Debug> Gen for Just<T> {
     }
 }
 
+// --------------------------------------------------------------- choices
+
+/// Pick uniformly from a fixed list of values; shrinks toward earlier
+/// entries (put the simplest value first).
+pub fn one_of<T: Clone + Debug + PartialEq>(choices: &[T]) -> OneOf<T> {
+    assert!(!choices.is_empty(), "one_of needs at least one choice");
+    OneOf { choices: choices.to_vec() }
+}
+
+/// See [`one_of`].
+#[derive(Debug, Clone)]
+pub struct OneOf<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone + Debug + PartialEq> Gen for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> T {
+        self.choices[rng.range_usize(0, self.choices.len())].clone()
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        // every entry listed before `v` is considered simpler
+        match self.choices.iter().position(|c| c == v) {
+            Some(idx) => self.choices[..idx].to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Pick uniformly among same-typed sub-generators; candidate shrinks are
+/// the union over all branches (shrinking may thus cross branches, which
+/// is sound: every candidate is re-tested against the property).
+pub fn choice<G: Gen>(gens: Vec<G>) -> Choice<G> {
+    assert!(!gens.is_empty(), "choice needs at least one generator");
+    let weights = vec![1; gens.len()];
+    Choice { gens, weights }
+}
+
+/// Like [`choice`] but with per-branch integer weights (a weight of 3
+/// makes that branch three times as likely as a weight of 1).
+pub fn weighted<G: Gen>(weighted_gens: Vec<(u64, G)>) -> Choice<G> {
+    assert!(!weighted_gens.is_empty(), "weighted needs at least one generator");
+    let (weights, gens): (Vec<u64>, Vec<G>) = weighted_gens.into_iter().unzip();
+    assert!(weights.iter().sum::<u64>() > 0, "weighted needs a positive total weight");
+    Choice { gens, weights }
+}
+
+/// See [`choice`] / [`weighted`].
+pub struct Choice<G> {
+    gens: Vec<G>,
+    weights: Vec<u64>,
+}
+
+impl<G: Gen> Gen for Choice<G> {
+    type Value = G::Value;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> G::Value {
+        let total: u64 = self.weights.iter().sum();
+        let mut pick = rng.range_u64(0, total);
+        for (g, &w) in self.gens.iter().zip(&self.weights) {
+            if pick < w {
+                return g.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum covers the draw range")
+    }
+
+    fn shrink(&self, v: &G::Value) -> Vec<G::Value> {
+        let mut out = Vec::new();
+        for g in &self.gens {
+            out.extend(g.shrink(v));
+        }
+        out
+    }
+}
+
+// -------------------------------------------------------------- flat_map
+
+/// Dependent generation: draw `a`, then draw `b` from the generator
+/// `f(&a)`. The value is the `(a, b)` pair so shrinking stays sound:
+/// `b` shrinks through `f(&a)`, and when `a` shrinks the dependent side
+/// is *regenerated* from `f(&a')` with a fixed-seed stream (a shrink has
+/// no RNG of its own), keeping every candidate pair self-consistent.
+pub fn flat_map<GA: Gen, GB: Gen, F: Fn(&GA::Value) -> GB>(a: GA, f: F) -> FlatMap<GA, F> {
+    FlatMap { a, f }
+}
+
+/// See [`flat_map`].
+pub struct FlatMap<GA, F> {
+    a: GA,
+    f: F,
+}
+
+impl<GA: Gen, GB: Gen, F: Fn(&GA::Value) -> GB> Gen for FlatMap<GA, F> {
+    type Value = (GA::Value, GB::Value);
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+        let av = self.a.generate(rng);
+        let bv = (self.f)(&av).generate(rng);
+        (av, bv)
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let (av, bv) = v;
+        let mut out = Vec::new();
+        for a_cand in self.a.shrink(av) {
+            let mut rng = Xoshiro256pp::seed_from_u64(DEFAULT_SEED);
+            let b_regen = (self.f)(&a_cand).generate(&mut rng);
+            out.push((a_cand, b_regen));
+        }
+        for b_cand in (self.f)(av).shrink(bv) {
+            out.push((av.clone(), b_cand));
+        }
+        out
+    }
+}
+
 // --------------------------------------------------------------- tuples
 
 macro_rules! impl_gen_tuple {
@@ -480,6 +602,8 @@ impl_gen_tuple!(G0 v0 0, G1 v1 1);
 impl_gen_tuple!(G0 v0 0, G1 v1 1, G2 v2 2);
 impl_gen_tuple!(G0 v0 0, G1 v1 1, G2 v2 2, G3 v3 3);
 impl_gen_tuple!(G0 v0 0, G1 v1 1, G2 v2 2, G3 v3 3, G4 v4 4);
+impl_gen_tuple!(G0 v0 0, G1 v1 1, G2 v2 2, G3 v3 3, G4 v4 4, G5 v5 5);
+impl_gen_tuple!(G0 v0 0, G1 v1 1, G2 v2 2, G3 v3 3, G4 v4 4, G5 v5 5, G6 v6 6);
 
 #[cfg(test)]
 mod tests {
@@ -552,6 +676,123 @@ mod tests {
             msg.contains("shrunk input: ([10.0],)") || msg.contains("shrunk input: ([-10.0],)"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn one_of_draws_all_choices_and_shrinks_to_earliest_failure() {
+        // coverage: over enough cases every entry appears
+        let gen = one_of(&["alpha", "beta", "gamma"]);
+        let mut seen = [false; 3];
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        for _ in 0..100 {
+            match gen.generate(&mut rng) {
+                "alpha" => seen[0] = true,
+                "beta" => seen[1] = true,
+                "gamma" => seen[2] = true,
+                other => panic!("unexpected draw {other}"),
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+        // convergence: "fails unless alpha" must shrink all the way to
+        // the earliest failing entry, beta
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                &Config { cases: 100, seed: 21, max_shrink_rounds: 20 },
+                "one-of-shrink",
+                &(one_of(&["alpha", "beta", "gamma"]),),
+                |(s,)| {
+                    prop_assert!(s == "alpha", "s = {s}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = panic_message(result.unwrap_err());
+        assert!(msg.contains("shrunk input: (\"beta\",)"), "{msg}");
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        // 9:1 weighting over [0,10) vs [100,110): the heavy branch must
+        // dominate (law of large numbers at n = 1000, far from the tail)
+        let gen = weighted(vec![(9, usize_range(0, 10)), (1, usize_range(100, 110))]);
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
+        let heavy = (0..1000).filter(|_| gen.generate(&mut rng) < 10).count();
+        assert!((800..=980).contains(&heavy), "heavy branch drawn {heavy}/1000");
+    }
+
+    #[test]
+    fn choice_shrinks_across_branches() {
+        // both branches generate usize; the counterexample 57 lives in
+        // the second branch's range but shrinking may walk through the
+        // first branch's candidates — it must still reach the boundary
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                &Config { cases: 200, seed: 29, max_shrink_rounds: 200 },
+                "choice-shrink",
+                &(choice(vec![usize_range(0, 1000), usize_range(500, 1000)]),),
+                |(n,)| {
+                    prop_assert!(n < 57, "n = {n}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = panic_message(result.unwrap_err());
+        assert!(msg.contains("shrunk input: (57,)"), "{msg}");
+    }
+
+    #[test]
+    fn flat_map_pairs_stay_consistent() {
+        // b depends on a: a vector of exactly `len` elements; the pair
+        // must be self-consistent for every generated AND shrunk value
+        let gen = flat_map(usize_range(1, 9), |&len| vec_exact(f64_range(-1.0, 1.0), len));
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        for _ in 0..50 {
+            let (len, xs) = gen.generate(&mut rng);
+            assert_eq!(xs.len(), len);
+            for cand in gen.shrink(&(len, xs)) {
+                assert_eq!(cand.1.len(), cand.0, "shrink broke the dependency: {cand:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_map_shrinks_the_independent_side_to_the_boundary() {
+        // property "len < 4" ignores the dependent vector entirely, so
+        // shrinking must drive len to exactly 4 while regenerating the
+        // vector consistently
+        let result = std::panic::catch_unwind(|| {
+            check_with(
+                &Config { cases: 100, seed: 37, max_shrink_rounds: 100 },
+                "flat-map-shrink",
+                &flat_map(usize_range(1, 9), |&len| vec_exact(f64_range(-1.0, 1.0), len)),
+                |(len, xs)| {
+                    prop_assert_eq!(xs.len(), len);
+                    prop_assert!(len < 4, "len = {len}");
+                    Ok(())
+                },
+            );
+        });
+        let msg = panic_message(result.unwrap_err());
+        assert!(msg.contains("shrunk input: (4,"), "shrunk to the boundary: {msg}");
+    }
+
+    #[test]
+    fn wide_tuples_generate_and_shrink() {
+        let gen = (
+            usize_range(0, 10),
+            usize_range(0, 10),
+            usize_range(0, 10),
+            usize_range(0, 10),
+            usize_range(0, 10),
+            usize_range(0, 10),
+            usize_range(0, 10),
+        );
+        let mut rng = Xoshiro256pp::seed_from_u64(41);
+        let v = gen.generate(&mut rng);
+        // shrinking a 7-tuple proposes per-slot candidates
+        let cands = gen.shrink(&v);
+        let nonzero_slots = [v.0, v.1, v.2, v.3, v.4, v.5, v.6].iter().filter(|&&x| x > 0).count();
+        assert!(cands.len() >= nonzero_slots, "{v:?} -> {} candidates", cands.len());
     }
 
     #[test]

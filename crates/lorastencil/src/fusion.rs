@@ -181,4 +181,93 @@ mod tests {
         let k = kernels::star_2d13p();
         assert_eq!(fuse_kernel(&k, 1), k);
     }
+
+    #[test]
+    fn fuse_once_is_identity_in_every_dimension() {
+        // times = 1 must be a clone — same name, shape, radius, weights —
+        // for 1-D, 2-D and 3-D kernels alike
+        for k in kernels::all_kernels() {
+            assert_eq!(fuse_kernel(&k, 1), k, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn waste_reduction_endpoints() {
+        // Fig. 7 headline: fusing Heat-2D (h = 1) 3× removes 61.54 % of
+        // the wasted fragment slots…
+        assert!((fusion_waste_reduction(1, 3) * 100.0 - 61.54).abs() < 0.01);
+        // …and 4× fills the 16×16 tile exactly: zero waste left
+        assert_eq!(fragment_waste(4), 0);
+        assert!((fusion_waste_reduction(1, 4) - 1.0).abs() < 1e-12);
+        // not fusing reduces nothing
+        assert_eq!(fusion_waste_reduction(2, 1), 0.0);
+    }
+
+    #[test]
+    fn convolve_1d_matches_the_direct_sum_on_random_inputs() {
+        let mut rng = foundation::rng::Xoshiro256pp::seed_from_u64(0xF05E);
+        for _ in 0..50 {
+            let la = rng.range_usize(1, 10);
+            let lb = rng.range_usize(1, 10);
+            let a: Vec<f64> = (0..la).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let b: Vec<f64> = (0..lb).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let got = convolve_1d(&a, &b);
+            assert_eq!(got.len(), la + lb - 1);
+            for (k, &g) in got.iter().enumerate() {
+                let want: f64 =
+                    (0..la).filter(|&i| k >= i && k - i < lb).map(|i| a[i] * b[k - i]).sum();
+                assert!((g - want).abs() < 1e-12, "coefficient {k}");
+            }
+            // convolution commutes
+            let ba = convolve_1d(&b, &a);
+            for (x, y) in got.iter().zip(&ba) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn convolve_3d_matches_the_direct_sum_on_random_inputs() {
+        let mut rng = foundation::rng::Xoshiro256pp::seed_from_u64(0x3D3D);
+        for _ in 0..10 {
+            let (na, nb) = (rng.range_usize(1, 3) * 2 + 1, rng.range_usize(1, 3) * 2 + 1);
+            let mut rand_stack = |n: usize| -> Vec<WeightMatrix> {
+                (0..n)
+                    .map(|_| {
+                        WeightMatrix::from_vec(
+                            n,
+                            (0..n * n).map(|_| rng.range_f64(-1.0, 1.0)).collect(),
+                        )
+                    })
+                    .collect()
+            };
+            let a = rand_stack(na);
+            let b = rand_stack(nb);
+            let got = convolve_3d(&a, &b);
+            let nz = na + nb - 1;
+            assert_eq!(got.len(), nz);
+            for z in 0..nz {
+                for i in 0..nz {
+                    for j in 0..nz {
+                        let mut want = 0.0;
+                        for (za, wa) in a.iter().enumerate() {
+                            if z < za || z - za >= nb {
+                                continue;
+                            }
+                            let wb = &b[z - za];
+                            for ia in 0..na {
+                                for ja in 0..na {
+                                    if i >= ia && i - ia < nb && j >= ja && j - ja < nb {
+                                        want += wa.get(ia, ja) * wb.get(i - ia, j - ja);
+                                    }
+                                }
+                            }
+                        }
+                        let g = got[z].get(i, j);
+                        assert!((g - want).abs() < 1e-12, "({z},{i},{j}): {g} vs {want}");
+                    }
+                }
+            }
+        }
+    }
 }

@@ -11,7 +11,9 @@
 
 use crate::partition::{partition, Slab, ALIGN};
 use lorastencil::{ExecConfig, Plan2D, Workspace2D};
-use stencil_core::{Grid2D, StencilKernel};
+use stencil_core::{
+    ExecError, ExecOutcome, Grid2D, GridData, Problem, StencilExecutor, StencilKernel,
+};
 use tcu_sim::{BlockResources, GlobalArray, PerfCounters};
 
 /// Result of a distributed run.
@@ -180,10 +182,74 @@ pub fn run_distributed(
     DistributedOutcome { output, per_device, nvlink_bytes, applies, block: plan.block_resources() }
 }
 
+/// [`run_distributed`] behind the common [`StencilExecutor`] interface,
+/// so verification harnesses can drive the multi-device path exactly like
+/// any single-device executor. 2-D only (like the distributed runner);
+/// the reported counters are the merged per-device totals, which include
+/// the ghost-recompute overhead.
+#[derive(Debug, Clone)]
+pub struct DistributedLoRa {
+    /// Simulated device count.
+    pub num_devices: usize,
+    /// Feature toggles forwarded to every device's plan.
+    pub config: ExecConfig,
+}
+
+impl DistributedLoRa {
+    /// Full configuration on `num_devices` devices.
+    pub fn new(num_devices: usize) -> Self {
+        assert!(num_devices >= 1, "need at least one device");
+        DistributedLoRa { num_devices, config: ExecConfig::full() }
+    }
+}
+
+impl StencilExecutor for DistributedLoRa {
+    fn name(&self) -> &'static str {
+        // `name` returns a static string, so the common device counts get
+        // distinct labels and the rest share one
+        match self.num_devices {
+            1 => "LoRAStencil-dist1",
+            2 => "LoRAStencil-dist2",
+            3 => "LoRAStencil-dist3",
+            4 => "LoRAStencil-dist4",
+            _ => "LoRAStencil-distN",
+        }
+    }
+
+    fn execute(&self, problem: &Problem) -> Result<ExecOutcome, ExecError> {
+        let GridData::D2(grid) = &problem.input else {
+            return Err(ExecError::Unsupported("the distributed executor covers 2-D grids".into()));
+        };
+        if problem.kernel.dims() != 2 {
+            return Err(ExecError::Invalid("kernel/grid dimensionality mismatch".into()));
+        }
+        if grid.rows() < self.num_devices * ALIGN {
+            // partition() requires one ALIGN-row tile per device
+            return Err(ExecError::Unsupported(format!(
+                "{} rows cannot feed {} devices with {ALIGN}-row tiles",
+                grid.rows(),
+                self.num_devices
+            )));
+        }
+        let d = run_distributed(
+            &problem.kernel,
+            grid,
+            problem.iterations,
+            self.num_devices,
+            self.config,
+        );
+        let mut counters = PerfCounters::new();
+        for c in &d.per_device {
+            counters.merge(c);
+        }
+        Ok(ExecOutcome { output: GridData::D2(d.output), counters, block: d.block })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stencil_core::{kernels, GridData, Problem, StencilExecutor};
+    use stencil_core::kernels;
 
     fn wavy(rows: usize, cols: usize) -> Grid2D {
         Grid2D::from_fn(rows, cols, |r, c| {
@@ -265,5 +331,30 @@ mod tests {
         let want = single_device(&kernels::heat_2d(), &grid, 2);
         let got = run_distributed(&kernels::heat_2d(), &grid, 2, 1, ExecConfig::full());
         assert_eq!(got.output.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn executor_wrapper_matches_run_distributed() {
+        let grid = wavy(48, 40);
+        let exec = DistributedLoRa::new(3);
+        let p = Problem::new(kernels::box_2d9p(), grid.clone(), 4);
+        let out = exec.execute(&p).unwrap();
+        let direct = run_distributed(&kernels::box_2d9p(), &grid, 4, 3, ExecConfig::full());
+        assert_eq!(out.output.as_slice(), direct.output.as_slice());
+        let mut merged = PerfCounters::new();
+        for c in &direct.per_device {
+            merged.merge(c);
+        }
+        assert_eq!(out.counters.mma_ops, merged.mma_ops);
+        assert_eq!(out.counters.points_updated, merged.points_updated);
+        assert_eq!(exec.name(), "LoRAStencil-dist3");
+    }
+
+    #[test]
+    fn executor_wrapper_rejects_non_2d() {
+        let exec = DistributedLoRa::new(2);
+        let p =
+            Problem::new(kernels::heat_1d(), stencil_core::Grid1D::from_fn(64, |i| i as f64), 1);
+        assert!(exec.execute(&p).is_err());
     }
 }

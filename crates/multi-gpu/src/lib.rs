@@ -25,6 +25,6 @@ pub mod exec;
 pub mod partition;
 pub mod scaling;
 
-pub use exec::{run_distributed, DistributedOutcome};
+pub use exec::{run_distributed, DistributedLoRa, DistributedOutcome};
 pub use partition::{partition, Slab};
 pub use scaling::{efficiency, model_run, ScalingPoint};

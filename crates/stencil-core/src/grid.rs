@@ -290,6 +290,63 @@ impl GridData {
         assert_eq!(a.len(), b.len(), "grid shapes differ");
         a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
     }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.as_slice().iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Every element multiplied by `s` (same shape).
+    pub fn scaled(&self, s: f64) -> GridData {
+        let mut out = self.clone();
+        for v in out.values_mut() {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Element-wise sum with another grid of the same shape.
+    pub fn added(&self, other: &GridData) -> GridData {
+        assert_eq!(self.len(), other.len(), "grid shapes differ");
+        let mut out = self.clone();
+        for (v, o) in out.values_mut().iter_mut().zip(other.as_slice()) {
+            *v += o;
+        }
+        out
+    }
+
+    /// Periodic translation: element `idx` of the result is element
+    /// `idx - shift` of `self` (the content moves *forward* by `shift`).
+    /// `shift` must have one entry per dimension, ordered like the
+    /// constructor axes (`[i]`, `[r, c]`, `[z, y, x]`).
+    pub fn rolled(&self, shift: &[isize]) -> GridData {
+        match self {
+            GridData::D1(g) => {
+                assert_eq!(shift.len(), 1, "1-D roll takes one shift");
+                GridData::D1(Grid1D::from_fn(g.len(), |i| g.get(i as isize - shift[0])))
+            }
+            GridData::D2(g) => {
+                assert_eq!(shift.len(), 2, "2-D roll takes two shifts");
+                GridData::D2(Grid2D::from_fn(g.rows(), g.cols(), |r, c| {
+                    g.get(r as isize - shift[0], c as isize - shift[1])
+                }))
+            }
+            GridData::D3(g) => {
+                assert_eq!(shift.len(), 3, "3-D roll takes three shifts");
+                GridData::D3(Grid3D::from_fn(g.nz(), g.ny(), g.nx(), |z, y, x| {
+                    g.get(z as isize - shift[0], y as isize - shift[1], x as isize - shift[2])
+                }))
+            }
+        }
+    }
+
+    fn values_mut(&mut self) -> &mut [f64] {
+        match self {
+            GridData::D1(g) => g.as_mut_slice(),
+            GridData::D2(g) => g.as_mut_slice(),
+            GridData::D3(g) => g.as_mut_slice(),
+        }
+    }
 }
 
 impl From<Grid1D> for GridData {
@@ -349,6 +406,28 @@ mod tests {
         assert_eq!(a.max_abs_diff(&b), 1.0);
         assert_eq!(a.dims(), 1);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn griddata_scale_add_max_abs() {
+        let a: GridData = Grid1D::from_vec(vec![1.0, -3.0, 2.0]).into();
+        let b: GridData = Grid1D::from_vec(vec![0.5, 1.0, -1.0]).into();
+        assert_eq!(a.max_abs(), 3.0);
+        assert_eq!(a.scaled(2.0).as_slice(), &[2.0, -6.0, 4.0]);
+        assert_eq!(a.added(&b).as_slice(), &[1.5, -2.0, 1.0]);
+    }
+
+    #[test]
+    fn griddata_roll_translates_periodically() {
+        let a: GridData = Grid1D::from_vec(vec![1.0, 2.0, 3.0, 4.0]).into();
+        assert_eq!(a.rolled(&[1]).as_slice(), &[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(a.rolled(&[-1]).as_slice(), &[2.0, 3.0, 4.0, 1.0]);
+        let g: GridData = Grid2D::from_fn(2, 3, |r, c| (r * 3 + c) as f64).into();
+        // shift rows by 1: bottom row wraps to the top
+        assert_eq!(g.rolled(&[1, 0]).as_slice(), &[3.0, 4.0, 5.0, 0.0, 1.0, 2.0]);
+        let v: GridData = Grid3D::from_fn(2, 2, 2, |z, y, x| (z * 4 + y * 2 + x) as f64).into();
+        // rolling by the full extent in every axis is the identity
+        assert_eq!(v.rolled(&[2, 2, 2]), v);
     }
 }
 

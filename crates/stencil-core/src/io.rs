@@ -93,7 +93,12 @@ pub fn decode(mut buf: &[u8]) -> Result<GridData, IoError> {
     if dims.contains(&0) {
         return Err(IoError::BadShape(format!("zero extent in {dims:?}")));
     }
-    let count: usize = dims.iter().product();
+    // checked: a crafted header with huge extents must be an error, not
+    // a multiply-overflow panic
+    let count: usize = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| IoError::BadShape(format!("extent overflow in {dims:?}")))?;
     let payload = count.checked_mul(8).ok_or_else(|| IoError::BadShape("overflow".into()))?;
     if buf.remaining() < payload {
         return Err(IoError::Truncated {
@@ -187,6 +192,57 @@ mod tests {
         b.put_u8(1);
         b.put_u64_le(0);
         assert!(matches!(decode(&b), Err(IoError::BadShape(_))));
+    }
+
+    #[test]
+    fn truncated_reports_exact_byte_counts() {
+        let bytes = encode(&sample_2d()); // header 5 + extents 16 + payload 280
+                                          // header cut: 5 bytes are always required first
+        assert_eq!(decode(&bytes[..3]), Err(IoError::Truncated { needed: 2, have: 3 }));
+        // extents cut: 2 dims declare 16 bytes, 7 remain after the header
+        assert_eq!(decode(&bytes[..12]), Err(IoError::Truncated { needed: 9, have: 7 }));
+        // payload cut: 5×7 f64s declare 280 bytes
+        let cut = bytes.len() - 1;
+        assert_eq!(decode(&bytes[..cut]), Err(IoError::Truncated { needed: 1, have: 279 }));
+    }
+
+    #[test]
+    fn every_proper_prefix_is_rejected_without_panicking() {
+        let bytes = encode(&GridData::D3(Grid3D::from_fn(2, 3, 4, |z, y, x| (z + y + x) as f64)));
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn overflowing_extents_are_an_error_not_a_panic() {
+        // 3 × 2^32 extents: the element count overflows usize
+        let mut b = Vec::new();
+        b.put_slice(MAGIC);
+        b.put_u8(3);
+        for _ in 0..3 {
+            b.put_u64_le(1 << 32);
+        }
+        assert!(matches!(decode(&b), Err(IoError::BadShape(_))));
+        // one huge extent: the byte count overflows
+        let mut b = Vec::new();
+        b.put_slice(MAGIC);
+        b.put_u8(1);
+        b.put_u64_le(u64::MAX);
+        assert!(matches!(decode(&b), Err(IoError::BadShape(_))));
+    }
+
+    #[test]
+    fn load_maps_decode_failures_to_invalid_data() {
+        let dir = std::env::temp_dir().join("lorastencil-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.lsg");
+        std::fs::write(&path, b"XSG1 not a grid").unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("not a LSG1 grid file"), "{err}");
+        let missing = load(dir.join("does-not-exist.lsg")).unwrap_err();
+        assert_eq!(missing.kind(), std::io::ErrorKind::NotFound);
     }
 
     #[test]

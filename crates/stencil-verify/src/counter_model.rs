@@ -1,0 +1,343 @@
+//! Closed-form counter model: the paper's Eq. 12/13/16 generalized to
+//! functions of `(h, dim, times)` and asserted to the digit against the
+//! simulator's measured [`PerfCounters`].
+//!
+//! Per (possibly fused) application of radius-`h'` LoRAStencil on an
+//! `R×C` grid, with `S = max(16, 8⌈(8+2h')/8⌉)`, `rb = S/4`, `cb = S/8`,
+//! `T = ⌈R/8⌉⌈C/8⌉` tiles and `t` decomposition terms:
+//!
+//! * **Eq. 12** — shared fragment loads: `T · rb · cb` (one B-fragment
+//!   load per 4×8 block of the shared `X` tile; for `S = 16` this is the
+//!   paper's `RC/8` — 8 points gathered per load).
+//! * **Eq. 16** — MMA count: `T · t · (rb·cb + rb)`
+//!   (`rb·cb` step-1 multiplies plus `2·cb = rb` step-2 gathers per
+//!   term; `12·t` per tile at `S = 16`).
+//! * **Fig. 9** — shuffles: `0` under BVS; the natural accumulator
+//!   split pays `2` shuffles per half, i.e. `T · t · 4·cb`.
+//! * **Eq. 13** — ConvStencil: `2⌈(2h+1)²/4⌉` fragments (= MMAs) per
+//!   `8×(2h+2)` output chunk, `64/(8(2h+2))` chunks per 8×8 tile.
+//!
+//! Temporal fusion splits `iterations` into `⌊iters/f⌋` applications of
+//! the fused kernel (radius `h·f`) plus `iters mod f` base applications;
+//! both sides of the split use the same per-application forms.
+
+use baselines::ConvStencil;
+use lorastencil::{fusion, ExecConfig, LoRaStencil, Plan1D, Plan2D, Plan3D, PlaneOp};
+use stencil_core::{StencilExecutor, StencilKernel};
+use tcu_sim::PerfCounters;
+
+use crate::gen::Case;
+use crate::oracle::replay_hint;
+
+/// The counter fields the closed forms predict exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Prediction {
+    /// Tensor-core MMA instructions (Eq. 16 generalized).
+    pub mma_ops: u64,
+    /// Warp-level shared-memory load requests from fragment loads
+    /// (Eq. 12 generalized).
+    pub shared_load_requests: u64,
+    /// Cross-lane shuffles: 0 under BVS, `t · 4·cb` per tile otherwise.
+    pub shuffle_ops: u64,
+    /// Output bytes: every application writes the full grid once.
+    pub global_bytes_written: u64,
+    /// `iterations × grid points`, independent of fusion.
+    pub points_updated: u64,
+}
+
+impl Prediction {
+    /// `(field, predicted, measured)` for every field that disagrees.
+    pub fn compare(&self, m: &PerfCounters) -> Vec<(&'static str, u64, u64)> {
+        [
+            ("mma_ops", self.mma_ops, m.mma_ops),
+            ("shared_load_requests", self.shared_load_requests, m.shared_load_requests),
+            ("shuffle_ops", self.shuffle_ops, m.shuffle_ops),
+            ("global_bytes_written", self.global_bytes_written, m.global_bytes_written),
+            ("points_updated", self.points_updated, m.points_updated),
+        ]
+        .into_iter()
+        .filter(|(_, want, got)| want != got)
+        .collect()
+    }
+}
+
+fn tiles_2d(rows: usize, cols: usize) -> u64 {
+    (rows.div_ceil(8) * cols.div_ceil(8)) as u64
+}
+
+/// Per-application counters of the 2-D executor under `plan`.
+fn app_2d(plan: &Plan2D, tiles: u64) -> (u64, u64, u64) {
+    let geo = plan.geo;
+    let (rb, cb) = (geo.row_blocks() as u64, geo.col_blocks() as u64);
+    let terms = plan.decomp.num_terms() as u64;
+    let loads = tiles * rb * cb;
+    let mma = if plan.config.use_tcu { tiles * terms * geo.mma_per_term() } else { 0 };
+    let shuffles =
+        if plan.config.use_tcu && !plan.config.use_bvs { tiles * terms * 4 * cb } else { 0 };
+    (mma, loads, shuffles)
+}
+
+/// Per-application counters of the 3-D executor under `plan` (per grid,
+/// i.e. summed over the `nz × tiles` jobs).
+fn app_3d(plan: &Plan3D, jobs: u64) -> (u64, u64, u64) {
+    let geo = plan.geo;
+    let (rb, cb) = (geo.row_blocks() as u64, geo.col_blocks() as u64);
+    let (mut mma, mut loads, mut shuffles) = (0u64, 0u64, 0u64);
+    for op in &plan.plane_ops {
+        if let PlaneOp::Rdg(d) = op {
+            let terms = d.num_terms() as u64;
+            loads += rb * cb;
+            if plan.config.use_tcu {
+                mma += terms * geo.mma_per_term();
+                if !plan.config.use_bvs {
+                    shuffles += terms * 4 * cb;
+                }
+            }
+        }
+    }
+    (mma * jobs, loads * jobs, shuffles * jobs)
+}
+
+/// Closed-form LoRAStencil counters for `kernel` on a grid of `extents`,
+/// `iterations` time steps, feature set `config`.
+///
+/// Valid for every configuration with `use_tcu` on (the CUDA fallback of
+/// the 2-D/3-D executors charges no MMAs but the same fragment loads;
+/// the 1-D executor has a single MMA path).
+pub fn predict_lora(
+    kernel: &StencilKernel,
+    extents: &[usize],
+    iterations: usize,
+    config: ExecConfig,
+) -> Prediction {
+    let len: usize = extents.iter().product();
+    let base_cfg = ExecConfig { allow_fusion: false, ..config };
+    match *extents {
+        [n] => {
+            let plan = Plan1D::new(kernel, config);
+            let full = (iterations / plan.fusion) as u64;
+            let rem = (iterations % plan.fusion) as u64;
+            let tiles = n.div_ceil(64) as u64;
+            let app = tiles * (plan.seg_len / 4) as u64;
+            let base = tiles * (Plan1D::new(kernel, base_cfg).seg_len / 4) as u64;
+            // the 1-D gather is a single MM: loads ≡ MMAs, no shuffles
+            let mma = full * app + rem * base;
+            Prediction {
+                mma_ops: mma,
+                shared_load_requests: mma,
+                shuffle_ops: 0,
+                global_bytes_written: (full + rem) * (n * 8) as u64,
+                points_updated: (iterations * n) as u64,
+            }
+        }
+        [rows, cols] => {
+            let plan = Plan2D::new(kernel, config);
+            let full = (iterations / plan.fusion) as u64;
+            let rem = (iterations % plan.fusion) as u64;
+            let tiles = tiles_2d(rows, cols);
+            let (fm, fl, fs) = app_2d(&plan, tiles);
+            let (bm, bl, bs) =
+                if rem > 0 { app_2d(&Plan2D::new(kernel, base_cfg), tiles) } else { (0, 0, 0) };
+            Prediction {
+                mma_ops: full * fm + rem * bm,
+                shared_load_requests: full * fl + rem * bl,
+                shuffle_ops: full * fs + rem * bs,
+                global_bytes_written: (full + rem) * (len * 8) as u64,
+                points_updated: (iterations * len) as u64,
+            }
+        }
+        [nz, ny, nx] => {
+            // 3-D is never fused (dimension residue, §IV-C)
+            let plan = Plan3D::new(kernel, config);
+            let jobs = nz as u64 * tiles_2d(ny, nx);
+            let (m, l, s) = app_3d(&plan, jobs);
+            let apps = iterations as u64;
+            Prediction {
+                mma_ops: apps * m,
+                shared_load_requests: apps * l,
+                shuffle_ops: apps * s,
+                global_bytes_written: apps * (len * 8) as u64,
+                points_updated: (iterations * len) as u64,
+            }
+        }
+        _ => unreachable!("extents are 1-, 2- or 3-long"),
+    }
+}
+
+/// Eq. 13 fragments (= MMAs) per output chunk for a kernel of side `n`.
+fn frags_per_chunk(n: usize) -> u64 {
+    2 * ((n * n) as u64).div_ceil(4)
+}
+
+/// Closed-form ConvStencil MMA count (Eq. 13 generalized across
+/// dimensionality and temporal fusion).
+pub fn predict_convstencil_mma(
+    kernel: &StencilKernel,
+    extents: &[usize],
+    iterations: usize,
+) -> u64 {
+    let fuse = if kernel.radius == 1 { 3 } else { 1 };
+    let full = (iterations / fuse) as u64;
+    let rem = (iterations % fuse) as u64;
+    let app = |k: &StencilKernel| -> u64 {
+        let h = k.radius;
+        let n = 2 * h + 1;
+        let chunks = 64.0 / (8 * (2 * h + 2)) as f64;
+        match *extents {
+            [ng] => {
+                // 1-D stencil2row: 1-D windows, chunk = 8(2h+2) outputs
+                let tiles = ng.div_ceil(8 * (2 * h + 2)) as u64;
+                tiles * 2 * (n as u64).div_ceil(4)
+            }
+            [rows, cols] => {
+                tiles_2d(rows, cols) * (frags_per_chunk(n) as f64 * chunks).ceil() as u64
+            }
+            [nz, ny, nx] => {
+                let nonzero_planes =
+                    k.weights_3d().iter().filter(|w| w.nonzero_points() > 0).count() as u64;
+                let jobs = nz as u64 * tiles_2d(ny, nx);
+                jobs * nonzero_planes * (frags_per_chunk(n) as f64 * chunks).ceil() as u64
+            }
+            _ => unreachable!(),
+        }
+    };
+    if fuse == 1 {
+        full * app(kernel)
+    } else {
+        full * app(&fusion::fuse_kernel(kernel, fuse)) + rem * app(kernel)
+    }
+}
+
+/// Validate the closed forms against measured counters for `case`, in
+/// the shipped configuration, with fusion disabled, and with the natural
+/// (shuffling) accumulator split. Every predicted field must match to
+/// the digit; ConvStencil's MMA count must match Eq. 13 exactly.
+pub fn check_counters(case: &Case) -> Result<(), String> {
+    let configs = [
+        ("full", ExecConfig::full()),
+        ("no-fusion", ExecConfig { allow_fusion: false, ..ExecConfig::full() }),
+        ("no-BVS", ExecConfig { use_bvs: false, ..ExecConfig::full() }),
+    ];
+    for (label, cfg) in configs {
+        let out = LoRaStencil::with_config(cfg)
+            .execute(&case.problem())
+            .map_err(|e| format!("LoRAStencil({label}) refused a valid case: {e}"))?;
+        let pred = predict_lora(&case.kernel, &case.extents, case.iterations, cfg);
+        let mismatches = pred.compare(&out.counters);
+        if !mismatches.is_empty() {
+            let detail: Vec<String> = mismatches
+                .iter()
+                .map(|(f, want, got)| format!("{f}: predicted {want}, measured {got}"))
+                .collect();
+            return Err(format!(
+                "counter model mismatch for LoRAStencil({label}): {}\n{}",
+                detail.join("; "),
+                replay_hint()
+            ));
+        }
+    }
+    let out = ConvStencil::new()
+        .execute(&case.problem())
+        .map_err(|e| format!("ConvStencil refused a valid case: {e}"))?;
+    let want = predict_convstencil_mma(&case.kernel, &case.extents, case.iterations);
+    if out.counters.mma_ops != want {
+        return Err(format!(
+            "Eq. 13 mismatch for ConvStencil: predicted {want} MMAs, measured {}\n{}",
+            out.counters.mma_ops,
+            replay_hint()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::{kernels, Grid2D, Problem};
+
+    /// Eq. 12 at the paper's operating point: S = 16 gathers 8 points
+    /// per fragment load, so a 64×64 grid costs 64·64/8 = 512 loads.
+    #[test]
+    fn eq12_fragment_loads_are_an_eighth_of_the_points() {
+        let k = kernels::box_2d49p(); // radius 3: S = 16, no fusion
+        let pred = predict_lora(&k, &[64, 64], 1, ExecConfig::full());
+        assert_eq!(pred.shared_load_requests, 64 * 64 / 8);
+        let out = LoRaStencil::new()
+            .execute(&Problem::new(k, Grid2D::from_fn(64, 64, |r, c| (r * c) as f64), 1))
+            .unwrap();
+        assert_eq!(out.counters.shared_load_requests, 512);
+    }
+
+    /// Eq. 16 at the paper's operating point: rank-3 Box2D49P costs
+    /// 3 · (4·2 + 4) = 36 MMAs per 8×8 tile.
+    #[test]
+    fn eq16_mma_count_for_box49() {
+        let k = kernels::box_2d49p();
+        let pred = predict_lora(&k, &[64, 64], 1, ExecConfig::full());
+        assert_eq!(pred.mma_ops, 64 * 36);
+        let out = LoRaStencil::new()
+            .execute(&Problem::new(k, Grid2D::from_fn(64, 64, |r, c| (r + c) as f64), 1))
+            .unwrap();
+        assert_eq!(out.counters.mma_ops, 64 * 36);
+    }
+
+    /// Eq. 13 at the paper's operating point: 2⌈49/4⌉ = 26 fragments
+    /// (= MMAs) per chunk; at h = 3 one chunk covers an 8×8 tile.
+    #[test]
+    fn eq13_convstencil_fragments_for_box49() {
+        let k = kernels::box_2d49p();
+        assert_eq!(predict_convstencil_mma(&k, &[64, 64], 1), 64 * 26);
+        let out = ConvStencil::new()
+            .execute(&Problem::new(k, Grid2D::from_fn(64, 64, |r, c| (r + c) as f64), 1))
+            .unwrap();
+        assert_eq!(out.counters.mma_ops, 64 * 26);
+    }
+
+    /// Fig. 9: BVS eliminates every shuffle; the natural split pays
+    /// 2 shuffles per accumulator half (4·cb per term per tile).
+    #[test]
+    fn bvs_is_shuffle_free_and_the_natural_split_is_not() {
+        let k = kernels::box_2d49p();
+        let bvs = predict_lora(&k, &[64, 64], 1, ExecConfig::full());
+        assert_eq!(bvs.shuffle_ops, 0);
+        let nat =
+            predict_lora(&k, &[64, 64], 1, ExecConfig { use_bvs: false, ..ExecConfig::full() });
+        // 64 tiles · 3 terms · 4·(16/8) shuffles
+        assert_eq!(nat.shuffle_ops, 64 * 3 * 8);
+    }
+
+    /// The generalized forms survive fusion: Heat2D (radius 1) fuses 3×
+    /// into a radius-3 kernel with the same S = 16 geometry.
+    #[test]
+    fn fusion_split_prediction_matches_measurement() {
+        let k = kernels::heat_2d();
+        for iters in [1, 2, 3, 4, 5, 6, 7] {
+            let pred = predict_lora(&k, &[24, 40], iters, ExecConfig::full());
+            let out = LoRaStencil::new()
+                .execute(&Problem::new(
+                    k.clone(),
+                    Grid2D::from_fn(24, 40, |r, c| (r * 7 + c) as f64 * 0.01),
+                    iters,
+                ))
+                .unwrap();
+            assert!(
+                pred.compare(&out.counters).is_empty(),
+                "iters {iters}: {:?}",
+                pred.compare(&out.counters)
+            );
+        }
+    }
+
+    #[test]
+    fn check_counters_accepts_benchmark_kernels() {
+        for k in kernels::all_kernels() {
+            let extents = match k.dims() {
+                1 => vec![130],
+                2 => vec![17, 24],
+                _ => vec![4, 9, 16],
+            };
+            let case = crate::gen::Case { kernel: k, extents, iterations: 2, data_seed: 3 };
+            check_counters(&case).unwrap();
+        }
+    }
+}

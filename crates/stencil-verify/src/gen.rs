@@ -1,0 +1,490 @@
+//! Arbitrary-stencil generator for the verification engines.
+//!
+//! [`CaseGen`] draws complete stencil problems — kernel, grid extents,
+//! iteration count, input data seed — covering the paper's whole shape
+//! space and beyond it:
+//!
+//! * dimensionality 1/2/3 (2-D weighted highest: it is the paper's focus),
+//! * radius 1–4 (3-D capped at 2 to keep simulated work bounded),
+//! * weight structure: radially symmetric (pyramidal / PMA path),
+//!   symmetric (eigen path), asymmetric and explicit low-rank (SVD path),
+//!   star (axis-only fast path), and 3-D plane mixes that exercise the
+//!   planner's Skip / Pointwise / Rdg classification,
+//! * grid extents straddling the 8-point tile and 64-point segment
+//!   boundaries (7/8/9, 63/64/65, …),
+//! * 1–6 time steps so temporal fusion full/remainder splits are hit.
+//!
+//! Weights are L1-normalized, so iterating any generated kernel keeps
+//! grid values bounded by the input's max-abs — absolute tolerances stay
+//! meaningful at every step count.
+//!
+//! Shrinking is structural, simplest candidate first: fewer iterations,
+//! a pure-center kernel, minimal extents, smaller radius, individual
+//! weights zeroed, then the data seed.
+
+use std::fmt;
+
+use foundation::prop::Gen;
+use foundation::rng::Xoshiro256pp;
+use stencil_core::spec::render_kernel;
+use stencil_core::{
+    Grid1D, Grid2D, Grid3D, GridData, Problem, Shape, StencilKernel, WeightMatrix, Weights,
+};
+
+/// Grid extents offered per axis, chosen to straddle the 8-point tile
+/// boundary (2-D/3-D) and the 64-point segment boundary (1-D).
+const EXTENTS_1D: &[usize] = &[63, 64, 65, 96, 127, 128, 130];
+const EXTENTS_2D: &[usize] = &[7, 8, 9, 15, 16, 17, 24, 31, 33];
+const EXTENTS_3D_Z: &[usize] = &[3, 4, 5];
+const EXTENTS_3D_XY: &[usize] = &[7, 8, 9, 16, 17];
+
+/// One generated verification case: a full stencil problem plus the seed
+/// that reproduces its input grid.
+#[derive(Clone, PartialEq)]
+pub struct Case {
+    /// The generated kernel (always passes `StencilKernel::validate`).
+    pub kernel: StencilKernel,
+    /// Grid extents: `[n]`, `[rows, cols]` or `[nz, ny, nx]`.
+    pub extents: Vec<usize>,
+    /// Time steps to run (1–6).
+    pub iterations: usize,
+    /// Seed for the input grid data (values uniform in `[-1, 1]`).
+    pub data_seed: u64,
+}
+
+impl Case {
+    /// Deterministic input grid for this case.
+    pub fn input(&self) -> GridData {
+        let mut rng = Xoshiro256pp::seed_from_u64(self.data_seed);
+        match self.extents[..] {
+            [n] => {
+                GridData::D1(Grid1D::from_vec((0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect()))
+            }
+            [rows, cols] => GridData::D2(Grid2D::from_vec(
+                rows,
+                cols,
+                (0..rows * cols).map(|_| rng.range_f64(-1.0, 1.0)).collect(),
+            )),
+            [nz, ny, nx] => {
+                let mut g = Grid3D::new(nz, ny, nx);
+                for z in 0..nz {
+                    for y in 0..ny {
+                        for x in 0..nx {
+                            g.set(z, y, x, rng.range_f64(-1.0, 1.0));
+                        }
+                    }
+                }
+                GridData::D3(g)
+            }
+            _ => unreachable!("extents are 1-, 2- or 3-long"),
+        }
+    }
+
+    /// The full problem this case describes.
+    pub fn problem(&self) -> Problem {
+        Problem::new(self.kernel.clone(), self.input(), self.iterations)
+    }
+}
+
+impl fmt::Debug for Case {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Case {{ extents: {:?}, iterations: {}, data_seed: {:#x} }}",
+            self.extents, self.iterations, self.data_seed
+        )?;
+        for line in render_kernel(&self.kernel).lines() {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sum of `|w|` over every kernel weight.
+fn l1(kernel: &StencilKernel) -> f64 {
+    match &kernel.weights {
+        Weights::D1(w) => w.iter().map(|v| v.abs()).sum(),
+        Weights::D2(w) => w.as_slice().iter().map(|v| v.abs()).sum(),
+        Weights::D3(ws) => ws.iter().flat_map(|w| w.as_slice()).map(|v| v.abs()).sum(),
+    }
+}
+
+fn scale_weights(kernel: &mut StencilKernel, s: f64) {
+    match &mut kernel.weights {
+        Weights::D1(w) => w.iter_mut().for_each(|v| *v *= s),
+        Weights::D2(w) => {
+            *w = WeightMatrix::from_vec(w.n(), w.as_slice().iter().map(|v| v * s).collect())
+        }
+        Weights::D3(ws) => {
+            for w in ws.iter_mut() {
+                *w = WeightMatrix::from_vec(w.n(), w.as_slice().iter().map(|v| v * s).collect());
+            }
+        }
+    }
+}
+
+/// Force the center weight to `v` (used when a draw comes out all-zero).
+fn set_center(kernel: &mut StencilKernel, v: f64) {
+    let h = kernel.radius;
+    match &mut kernel.weights {
+        Weights::D1(w) => w[h] = v,
+        Weights::D2(w) => w.set(h, h, v),
+        Weights::D3(ws) => ws[h].set(h, h, v),
+    }
+}
+
+/// Normalize to unit L1 so iterated applications stay bounded.
+fn normalize(kernel: &mut StencilKernel) {
+    let total = l1(kernel);
+    if total < 1e-12 {
+        set_center(kernel, 1.0);
+        return;
+    }
+    scale_weights(kernel, 1.0 / total);
+}
+
+fn random_matrix(n: usize, rng: &mut Xoshiro256pp) -> WeightMatrix {
+    WeightMatrix::from_vec(n, (0..n * n).map(|_| rng.range_f64(-1.0, 1.0)).collect())
+}
+
+/// 2-D weight structures the generator can draw, with draw weights.
+fn gen_2d(h: usize, rng: &mut Xoshiro256pp) -> (Shape, WeightMatrix) {
+    let n = 2 * h + 1;
+    match rng.range_usize(0, 8) {
+        // radially symmetric rings: the pyramidal (PMA) decomposition path
+        0 | 1 => {
+            let rings: Vec<f64> = (0..=h).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            let w = WeightMatrix::from_fn(n, |i, j| {
+                let ring = (i as isize - h as isize).abs().max((j as isize - h as isize).abs());
+                rings[ring as usize]
+            });
+            (Shape::Box, w)
+        }
+        // symmetric matrix: the eigendecomposition path
+        2 | 3 => {
+            let a = random_matrix(n, rng);
+            let w = WeightMatrix::from_fn(n, |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
+            (Shape::Box, w)
+        }
+        // explicit rank-r outer-product sum: the SVD path at a known rank
+        4 => {
+            let r = rng.range_usize(1, 3);
+            let mut w = WeightMatrix::zero(n);
+            for _ in 0..r {
+                let u: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+                let v: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+                w = w.add(&WeightMatrix::from_fn(n, |i, j| u[i] * v[j]));
+            }
+            (Shape::Box, w)
+        }
+        // star: only the center row/column — the axis-only fast path
+        5 => {
+            let mut w = WeightMatrix::zero(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i == h || j == h {
+                        w.set(i, j, rng.range_f64(-1.0, 1.0));
+                    }
+                }
+            }
+            (Shape::Star, w)
+        }
+        // fully asymmetric: the general SVD path
+        _ => (Shape::Box, random_matrix(n, rng)),
+    }
+}
+
+/// One 3-D plane: zero (Skip), center-only (Pointwise) or full (Rdg).
+fn gen_3d_plane(n: usize, h: usize, rng: &mut Xoshiro256pp) -> WeightMatrix {
+    match rng.range_usize(0, 7) {
+        0 | 1 => WeightMatrix::zero(n),
+        2 | 3 => {
+            let mut w = WeightMatrix::zero(n);
+            w.set(h, h, rng.range_f64(-1.0, 1.0));
+            w
+        }
+        _ => random_matrix(n, rng),
+    }
+}
+
+fn gen_kernel(dim: usize, h: usize, rng: &mut Xoshiro256pp) -> StencilKernel {
+    let n = 2 * h + 1;
+    let (shape, weights) = match dim {
+        1 => {
+            let mut w: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
+            // mirror half the time: symmetric 1-D kernels are the common case
+            if rng.range_usize(0, 2) == 0 {
+                for i in 0..h {
+                    w[n - 1 - i] = w[i];
+                }
+            }
+            (Shape::Box, Weights::D1(w))
+        }
+        2 => {
+            let (shape, w) = gen_2d(h, rng);
+            (shape, Weights::D2(w))
+        }
+        _ => {
+            let planes: Vec<WeightMatrix> = (0..n).map(|_| gen_3d_plane(n, h, rng)).collect();
+            (Shape::Box, Weights::D3(planes))
+        }
+    };
+    let mut k = StencilKernel { name: format!("fuzz-{dim}d-r{h}"), shape, radius: h, weights };
+    normalize(&mut k);
+    debug_assert!(k.validate().is_ok(), "generated kernel must validate: {:?}", k.validate());
+    k
+}
+
+/// Truncate a kernel to radius `h - 1`, keeping the centered weights.
+fn truncate_radius(kernel: &StencilKernel) -> Option<StencilKernel> {
+    let h = kernel.radius;
+    if h <= 1 {
+        return None;
+    }
+    let m = 2 * (h - 1) + 1;
+    let weights = match &kernel.weights {
+        Weights::D1(w) => Weights::D1(w[1..w.len() - 1].to_vec()),
+        Weights::D2(w) => Weights::D2(w.center_block(m)),
+        Weights::D3(ws) => {
+            Weights::D3(ws[1..ws.len() - 1].iter().map(|w| w.center_block(m)).collect())
+        }
+    };
+    let mut k = StencilKernel {
+        name: format!("{}-shrunk", kernel.name),
+        shape: kernel.shape,
+        radius: h - 1,
+        weights,
+    };
+    if l1(&k) < 1e-12 {
+        set_center(&mut k, 1.0);
+    }
+    Some(k)
+}
+
+/// All weights of a kernel as a flat editable list, plus a writer.
+fn weight_count(kernel: &StencilKernel) -> usize {
+    match &kernel.weights {
+        Weights::D1(w) => w.len(),
+        Weights::D2(w) => w.as_slice().len(),
+        Weights::D3(ws) => ws.iter().map(|w| w.as_slice().len()).sum(),
+    }
+}
+
+fn weight_at(kernel: &StencilKernel, idx: usize) -> f64 {
+    match &kernel.weights {
+        Weights::D1(w) => w[idx],
+        Weights::D2(w) => w.as_slice()[idx],
+        Weights::D3(ws) => {
+            let per = ws[0].as_slice().len();
+            ws[idx / per].as_slice()[idx % per]
+        }
+    }
+}
+
+fn zero_weight(kernel: &StencilKernel, idx: usize) -> StencilKernel {
+    let mut k = kernel.clone();
+    match &mut k.weights {
+        Weights::D1(w) => w[idx] = 0.0,
+        Weights::D2(w) => {
+            let n = w.n();
+            w.set(idx / n, idx % n, 0.0);
+        }
+        Weights::D3(ws) => {
+            let per = ws[0].as_slice().len();
+            let n = ws[0].n();
+            let local = idx % per;
+            ws[idx / per].set(local / n, local % n, 0.0);
+        }
+    }
+    k
+}
+
+/// Pure-center kernel of the same dimensionality: the simplest kernel a
+/// failing case can shrink to.
+fn center_only(dim: usize) -> StencilKernel {
+    let weights = match dim {
+        1 => Weights::D1(vec![0.0, 1.0, 0.0]),
+        2 => {
+            let mut w = WeightMatrix::zero(3);
+            w.set(1, 1, 1.0);
+            Weights::D2(w)
+        }
+        _ => {
+            let mut mid = WeightMatrix::zero(3);
+            mid.set(1, 1, 1.0);
+            Weights::D3(vec![WeightMatrix::zero(3), mid, WeightMatrix::zero(3)])
+        }
+    };
+    StencilKernel { name: format!("center-{dim}d"), shape: Shape::Box, radius: 1, weights }
+}
+
+fn min_extents(dim: usize) -> Vec<usize> {
+    match dim {
+        1 => vec![EXTENTS_1D[0]],
+        2 => vec![EXTENTS_2D[0], EXTENTS_2D[0]],
+        _ => vec![EXTENTS_3D_Z[0], EXTENTS_3D_XY[0], EXTENTS_3D_XY[0]],
+    }
+}
+
+/// Generator of arbitrary stencil verification cases (see module docs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CaseGen;
+
+impl Gen for CaseGen {
+    type Value = Case;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Case {
+        // 2-D is the paper's focus: weight it highest
+        let dim = *pick(&[1, 2, 2, 2, 3, 3], rng);
+        let radius = match dim {
+            3 => rng.range_usize(1, 3), // 3-D work grows as n^3: cap at 2
+            _ => rng.range_usize(1, 5), // 1-D/2-D: the paper's full 1–4
+        };
+        let kernel = gen_kernel(dim, radius, rng);
+        let extents = match dim {
+            1 => vec![*pick(EXTENTS_1D, rng)],
+            2 => vec![*pick(EXTENTS_2D, rng), *pick(EXTENTS_2D, rng)],
+            _ => {
+                vec![*pick(EXTENTS_3D_Z, rng), *pick(EXTENTS_3D_XY, rng), *pick(EXTENTS_3D_XY, rng)]
+            }
+        };
+        let mut iterations = rng.range_usize(1, 7);
+        if dim == 3 {
+            iterations = iterations.min(3); // 3-D cases are the most expensive
+        }
+        let data_seed = rng.next_u64() & 0xFFFF_FFFF;
+        Case { kernel, extents, iterations, data_seed }
+    }
+
+    fn shrink(&self, v: &Case) -> Vec<Case> {
+        let mut out = Vec::new();
+        let dim = v.extents.len();
+        // 1. fewer time steps
+        if v.iterations > 1 {
+            out.push(Case { iterations: 1, ..v.clone() });
+            out.push(Case { iterations: v.iterations - 1, ..v.clone() });
+        }
+        // 2. the simplest kernel of this dimensionality
+        let center = center_only(dim);
+        if v.kernel != center {
+            out.push(Case { kernel: center, ..v.clone() });
+        }
+        // 3. minimal grid extents, one axis at a time
+        let mins = min_extents(dim);
+        for (axis, &min) in mins.iter().enumerate() {
+            if v.extents[axis] > min {
+                let mut e = v.extents.clone();
+                e[axis] = min;
+                out.push(Case { extents: e, ..v.clone() });
+            }
+        }
+        // 4. smaller radius
+        if let Some(k) = truncate_radius(&v.kernel) {
+            out.push(Case { kernel: k, ..v.clone() });
+        }
+        // 5. zero individual weights, smallest magnitude first (capped:
+        //    each candidate costs a full property evaluation)
+        let mut nonzero: Vec<(usize, f64)> = (0..weight_count(&v.kernel))
+            .filter_map(|i| {
+                let w = weight_at(&v.kernel, i);
+                (w != 0.0).then_some((i, w.abs()))
+            })
+            .collect();
+        if nonzero.len() > 1 {
+            nonzero.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for &(idx, _) in nonzero.iter().take(8) {
+                out.push(Case { kernel: zero_weight(&v.kernel, idx), ..v.clone() });
+            }
+        }
+        // 6. canonical data seed
+        if v.data_seed != 0 {
+            out.push(Case { data_seed: 0, ..v.clone() });
+        }
+        out
+    }
+}
+
+fn pick<'a, T>(choices: &'a [T], rng: &mut Xoshiro256pp) -> &'a T {
+    &choices[rng.range_usize(0, choices.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foundation::rng::Xoshiro256pp;
+
+    fn sample(n: usize) -> Vec<Case> {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xCA5E);
+        (0..n).map(|_| CaseGen.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn generated_kernels_validate_and_are_l1_normalized() {
+        for case in sample(200) {
+            assert!(case.kernel.validate().is_ok());
+            let total = l1(&case.kernel);
+            assert!((total - 1.0).abs() < 1e-9, "L1 {total}");
+            assert_eq!(case.extents.len(), case.kernel.dims());
+            assert!((1..=6).contains(&case.iterations));
+        }
+    }
+
+    #[test]
+    fn generator_covers_every_dimension_and_structure() {
+        let cases = sample(300);
+        for d in 1..=3 {
+            assert!(cases.iter().any(|c| c.extents.len() == d), "no {d}-D case");
+        }
+        // star kernels (axis-only) and box kernels both appear
+        assert!(cases.iter().any(|c| c.kernel.shape == Shape::Star));
+        assert!(cases.iter().any(|c| c.kernel.shape == Shape::Box));
+        // every offered radius appears
+        for h in 1..=4 {
+            assert!(cases.iter().any(|c| c.kernel.radius == h), "no radius-{h} case");
+        }
+        // extents straddle tile boundaries: both sides of 8 and 64 appear
+        assert!(cases.iter().any(|c| c.extents.iter().any(|&e| e % 8 != 0)));
+        assert!(cases.iter().any(|c| c.extents.iter().all(|&e| e % 8 == 0)));
+        // fused and single-step cases both appear
+        assert!(cases.iter().any(|c| c.iterations == 1));
+        assert!(cases.iter().any(|c| c.iterations > 1));
+    }
+
+    #[test]
+    fn input_is_deterministic_and_bounded() {
+        let case = sample(1).remove(0);
+        let a = case.input();
+        let b = case.input();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert!(a.max_abs() <= 1.0);
+        assert_eq!(a.len(), case.extents.iter().product::<usize>());
+    }
+
+    #[test]
+    fn shrink_candidates_stay_valid_and_get_simpler() {
+        for case in sample(50) {
+            for cand in CaseGen.shrink(&case) {
+                assert!(cand.kernel.validate().is_ok());
+                assert!(cand.iterations <= case.iterations);
+                assert!(cand.kernel.radius <= case.kernel.radius);
+                assert_eq!(cand.extents.len(), case.extents.len());
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_a_fixed_point() {
+        // repeatedly taking the first candidate terminates: no cycles
+        let mut case = sample(1).remove(0);
+        for _ in 0..200 {
+            let cands = CaseGen.shrink(&case);
+            match cands.into_iter().next() {
+                Some(c) => case = c,
+                None => return,
+            }
+        }
+        // the chain must have ended well before 200 steps
+        let remaining = CaseGen.shrink(&case);
+        assert!(remaining.is_empty() || case.iterations == 1);
+    }
+}

@@ -100,6 +100,37 @@ impl PerfCounters {
         self.points_updated += other.points_updated;
     }
 
+    /// `(name, value)` view of every counter field, in declaration order.
+    /// The single source of truth for field-by-field comparison and
+    /// reporting (adding a field here keeps [`PerfCounters::diff`] exact).
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("mma_ops", self.mma_ops),
+            ("mma_fp16_ops", self.mma_fp16_ops),
+            ("cuda_flops", self.cuda_flops),
+            ("shuffle_ops", self.shuffle_ops),
+            ("shared_load_requests", self.shared_load_requests),
+            ("shared_store_requests", self.shared_store_requests),
+            ("global_bytes_read", self.global_bytes_read),
+            ("global_bytes_written", self.global_bytes_written),
+            ("l2_bytes", self.l2_bytes),
+            ("staged_copy_bytes", self.staged_copy_bytes),
+            ("points_updated", self.points_updated),
+        ]
+    }
+
+    /// Exact field-by-field comparison: every `(field, self, other)`
+    /// triple where the two counter sets disagree, in declaration order.
+    /// Empty means the sets are identical.
+    pub fn diff(&self, other: &PerfCounters) -> Vec<(&'static str, u64, u64)> {
+        self.fields()
+            .iter()
+            .zip(other.fields())
+            .filter(|((_, a), (_, b))| a != b)
+            .map(|(&(name, a), (_, b))| (name, a, b))
+            .collect()
+    }
+
     /// Scale every counter by an integer factor.
     ///
     /// Used to extrapolate from one representative tile (simulated exactly)
@@ -166,6 +197,39 @@ mod tests {
         c.global_bytes_read = 512;
         c.global_bytes_written = 512;
         assert!((c.arithmetic_intensity() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_reports_exact_disagreements() {
+        let mut a = PerfCounters::new();
+        a.mma_ops = 5;
+        a.shared_load_requests = 8;
+        let mut b = a;
+        assert!(a.diff(&b).is_empty());
+        b.shared_load_requests = 9;
+        b.points_updated = 64;
+        assert_eq!(a.diff(&b), vec![("shared_load_requests", 8, 9), ("points_updated", 0, 64)]);
+    }
+
+    #[test]
+    fn fields_covers_every_counter() {
+        // a counter set with all-distinct values round-trips through
+        // fields(): any field missed there would break this sum
+        let c = PerfCounters {
+            mma_ops: 1,
+            mma_fp16_ops: 2,
+            cuda_flops: 4,
+            shuffle_ops: 8,
+            shared_load_requests: 16,
+            shared_store_requests: 32,
+            global_bytes_read: 64,
+            global_bytes_written: 128,
+            l2_bytes: 256,
+            staged_copy_bytes: 512,
+            points_updated: 1024,
+        };
+        let sum: u64 = c.fields().iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, 2047);
     }
 
     #[test]
