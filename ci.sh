@@ -58,6 +58,25 @@ quick_bench() {
         --baseline "$PWD/BENCH_pr2_before.json" --json "$PWD/BENCH_pr2.json"
 }
 
+profile_smoke() {
+    # run the profiler on a small 2-D workload, check the breakdown
+    # names every instrumented host phase, and validate the emitted
+    # chrome trace with the CLI's own Json::parse-based validator
+    local out trace=target/ci-profile-trace.json
+    out=$(cargo run --release --offline -p stencil-cli --bin lorastencil-cli -- \
+        profile --kernel Box-2D9P --size 96 --iters 4 --trace-out "$trace")
+    echo "$out" | sed 's/^/   /'
+    local phase
+    for phase in plan decompose fuse frag_build apply rdg_gather mma_batch pointwise; do
+        if ! grep -q "$phase" <<<"$out"; then
+            echo "error: profile breakdown is missing phase '$phase'" >&2
+            exit 1
+        fi
+    done
+    cargo run --release --offline -p stencil-cli --bin lorastencil-cli -- \
+        validate-trace --load "$trace"
+}
+
 dep_audit() {
     if cargo tree --offline --workspace --prefix none 2>/dev/null \
         | grep -vE "^\s*$|^\[dev-dependencies\]$" \
@@ -74,6 +93,7 @@ step "cargo test -q --offline (FOUNDATION_THREADS=1)" serial_tests
 step "examples (cargo run --release --example *)" run_examples
 step "bounded fuzz (STENCIL_VERIFY_CASES=${STENCIL_VERIFY_CASES:-25})" fuzz_bounded
 step "quick executor bench (writes BENCH_pr2.json)" quick_bench
+step "profile smoke (stencil-cli profile + trace validation)" profile_smoke
 step "dependency audit (workspace members only)" dep_audit
 
 echo "CI green"

@@ -155,6 +155,7 @@ pub fn run_tiled_2d_into<F>(
 where
     F: Fn(Tile2D) -> ([[f64; TILE]; TILE], PerfCounters) + Sync,
 {
+    let _apply = foundation::obs::span("baseline_apply");
     let cols = input.cols();
     slots.clear();
     slots.resize(tiles.len(), PerfCounters::new());
@@ -226,6 +227,7 @@ pub fn run_tiled_3d_into<F>(
 where
     F: Fn(usize, Tile2D) -> ([[f64; TILE]; TILE], PerfCounters) + Sync,
 {
+    let _apply = foundation::obs::span("baseline_apply");
     let nx = planes[0].cols();
     slots.clear();
     slots.resize(jobs.len(), PerfCounters::new());
@@ -309,6 +311,7 @@ pub fn run_tiled_1d_into<F>(
 where
     F: Fn(usize, usize) -> (Vec<f64>, PerfCounters) + Sync,
 {
+    let _apply = foundation::obs::span("baseline_apply");
     slots.clear();
     slots.resize(tiles.len(), PerfCounters::new());
     {

@@ -74,10 +74,13 @@ pub fn evaluate(
     model: &CostModel,
 ) -> MethodResult {
     let problem = Problem::new(workload.kernel.clone(), workload.sim_input(), workload.sim_iters);
-    let outcome = exec
-        .execute(&problem)
-        .unwrap_or_else(|e| panic!("{} failed on {}: {e}", exec.name(), workload.kernel.name));
+    let outcome = {
+        let _execute = foundation::obs::span(exec.name());
+        exec.execute(&problem)
+            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", exec.name(), workload.kernel.name))
+    };
     let max_error = {
+        let _verify = foundation::obs::span("verify");
         let want =
             stencil_core::reference::run(&problem.input, &problem.kernel, problem.iterations);
         outcome.output.max_abs_diff(&want)

@@ -13,7 +13,12 @@
 //! * `--quick` shrinks the windows ~10× for smoke runs;
 //! * `--json <file>` writes the machine-readable report at `finish()`;
 //! * `--baseline <file>` prints a per-benchmark delta against a previous
-//!   `--json` report;
+//!   `--json` report (benchmarks absent from the baseline report as
+//!   `new`, zero-time baseline entries as `n/a` — no division by zero);
+//! * `--profile` enables [`crate::obs`] span tracing around each
+//!   benchmark and embeds the per-phase host breakdown in the report
+//!   next to Mpoints/s (span overhead is inside the measured loop, so
+//!   profile numbers are for attribution, not for records);
 //! * `--bench` / `--test` (passed by cargo) are accepted and ignored
 //!   (under `--test` each benchmark runs exactly one iteration).
 //!
@@ -37,6 +42,8 @@ pub struct Summary {
     pub iters: u64,
     /// Grid points processed per iteration (0 = not reported).
     pub points: u64,
+    /// Host phase breakdown (`--profile` runs only; else empty).
+    pub phases: Vec<crate::obs::PhaseStat>,
 }
 
 impl Summary {
@@ -57,6 +64,7 @@ pub struct Bench {
     calibration: Duration,
     window: Duration,
     test_mode: bool,
+    profile: bool,
     results: Vec<Summary>,
     json_out: Option<String>,
     baseline: Option<String>,
@@ -69,6 +77,7 @@ impl Default for Bench {
             calibration: Duration::from_millis(20),
             window: Duration::from_millis(120),
             test_mode: false,
+            profile: false,
             results: Vec::new(),
             json_out: None,
             baseline: None,
@@ -91,6 +100,7 @@ impl Bench {
                 }
                 "--json" => b.json_out = args.next(),
                 "--baseline" => b.baseline = args.next(),
+                "--profile" => b.profile = true,
                 s if s.starts_with("--") => {} // ignore unknown flags (e.g. --save-baseline)
                 s => b.filter = Some(s.to_string()),
             }
@@ -112,10 +122,21 @@ impl Bench {
             summary: None,
             points: 0,
         };
+        if self.profile {
+            crate::obs::reset();
+            crate::obs::enable();
+        }
         f(&mut bencher);
+        let phases = if self.profile {
+            crate::obs::disable();
+            crate::obs::drain(); // clear the rings; breakdown reads histograms
+            crate::obs::phase_breakdown()
+        } else {
+            Vec::new()
+        };
         let points = bencher.points;
         let summary = bencher.summary.expect("benchmark body must call Bencher::iter");
-        let s = Summary { name: name.to_string(), points, ..summary };
+        let s = Summary { name: name.to_string(), points, phases, ..summary };
         let throughput =
             s.mpoints_per_sec().map(|m| format!("  {m:>9.2} Mpoints/s")).unwrap_or_default();
         println!(
@@ -174,10 +195,28 @@ impl Bench {
                             pairs.push(("mpoints_per_sec", Json::Num(m)));
                         }
                     }
-                    if let Some(base_ns) = base.and_then(|b| baseline_best_ns(b, &s.name)) {
-                        let now_ns = s.best.as_secs_f64() * 1e9;
-                        pairs.push(("baseline_best_ns", Json::Num(base_ns)));
-                        pairs.push(("speedup_vs_baseline", Json::Num(base_ns / now_ns.max(1e-9))));
+                    if !s.phases.is_empty() {
+                        pairs.push((
+                            "phases",
+                            Json::Arr(s.phases.iter().map(|p| p.to_json()).collect()),
+                        ));
+                    }
+                    if base.is_some() {
+                        match base.and_then(|b| baseline_best_ns(b, &s.name)) {
+                            // a zero (or negative) baseline time is not a
+                            // usable denominator — mark the entry instead
+                            // of reporting an absurd speedup
+                            Some(base_ns) if base_ns > 0.0 => {
+                                let now_ns = s.best.as_secs_f64() * 1e9;
+                                pairs.push(("baseline_best_ns", Json::Num(base_ns)));
+                                pairs.push((
+                                    "speedup_vs_baseline",
+                                    Json::Num(base_ns / now_ns.max(1e-9)),
+                                ));
+                            }
+                            Some(_) => pairs.push(("baseline", Json::Str("n/a".into()))),
+                            None => pairs.push(("baseline", Json::Str("new".into()))),
+                        }
                     }
                     Json::obj(pairs)
                 })
@@ -215,7 +254,8 @@ impl Bench {
     }
 
     /// Per-benchmark delta vs a previous `--json` report: negative %
-    /// means this run is faster.
+    /// means this run is faster. Benchmarks the baseline lacks are
+    /// `new`; zero-time baseline entries are `n/a` (no delta exists).
     fn print_baseline_delta(&self, path: &str, base: &crate::json::Json) {
         println!("\ndelta vs baseline {path} (negative = faster):");
         for s in &self.results {
@@ -232,7 +272,8 @@ impl Bench {
                         base_ns / now_ns.max(1e-9),
                     );
                 }
-                _ => println!("{:<40} (not in baseline)", s.name),
+                Some(_) => println!("{:<40} (baseline time is zero: n/a)", s.name),
+                None => println!("{:<40} (new: not in baseline)", s.name),
             }
         }
     }
@@ -313,6 +354,7 @@ impl Bencher {
                 mean: Duration::ZERO,
                 iters: 1,
                 points: 0,
+                phases: Vec::new(),
             });
             return;
         }
@@ -352,6 +394,7 @@ impl Bencher {
             mean: total / iters.max(1) as u32,
             iters,
             points: 0,
+            phases: Vec::new(),
         });
     }
 }
@@ -466,5 +509,27 @@ mod tests {
         assert_eq!(entries[0].get("name").and_then(Json::as_str), Some("grid"));
         // the delta printer must not panic on a matching baseline
         c.print_baseline_delta("mem", &report);
+    }
+
+    #[test]
+    fn baseline_missing_and_zero_entries_are_new_and_na() {
+        use crate::json::Json;
+        let mut c = quick();
+        c.bench_function("zeroed", |b| b.iter(|| 1u64));
+        c.bench_function("brand_new", |b| b.iter(|| 2u64));
+        // in-memory baseline: "zeroed" has a degenerate zero best time,
+        // "brand_new" is absent entirely
+        let base = Json::Arr(vec![Json::obj(vec![
+            ("name", Json::Str("zeroed".into())),
+            ("best_ns", Json::Num(0.0)),
+        ])]);
+        // neither entry may divide by the baseline time
+        c.print_baseline_delta("mem", &base);
+        let report = c.to_json_with_baseline(Some(&base));
+        let entries = report.as_arr().unwrap();
+        assert_eq!(entries[0].get("baseline").and_then(Json::as_str), Some("n/a"));
+        assert!(entries[0].get("speedup_vs_baseline").is_none());
+        assert_eq!(entries[1].get("baseline").and_then(Json::as_str), Some("new"));
+        assert!(entries[1].get("baseline_best_ns").is_none());
     }
 }

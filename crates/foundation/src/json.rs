@@ -318,9 +318,16 @@ impl Parser<'_> {
                 return Ok(Json::Int(i));
             }
         }
-        tok.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("invalid number '{tok}' at byte {start}"))
+        let x =
+            tok.parse::<f64>().map_err(|_| format!("invalid number '{tok}' at byte {start}"))?;
+        // An overflowing literal (e.g. `1e999`) parses to ±inf, which
+        // `dump` would then write as `null` — silently breaking the
+        // dump→parse→dump round-trip the bench `--baseline` path relies
+        // on. JSON has no non-finite numbers; reject at the source.
+        if !x.is_finite() {
+            return Err(format!("number '{tok}' overflows f64 at byte {start}"));
+        }
+        Ok(Json::Num(x))
     }
 }
 
@@ -507,6 +514,97 @@ mod tests {
         assert!(Json::parse("{\"a\":}").is_err());
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn overflowing_literals_are_rejected_with_offset() {
+        // 1e999 -> inf would dump as `null`, breaking dump→parse→dump
+        for bad in ["1e999", "-1e999", "1e308e"] {
+            assert!(Json::parse(bad).is_err(), "{bad} must not parse");
+        }
+        let err = Json::parse("[1, 1e999]").unwrap_err();
+        assert!(err.contains("byte 4"), "error must carry the byte offset: {err}");
+        assert!(err.contains("1e999"), "{err}");
+        // underflow to zero and the largest finite literal stay legal
+        assert_eq!(Json::parse("1e-999").unwrap().as_f64(), Some(0.0));
+        assert_eq!(Json::parse("1e308").unwrap().as_f64(), Some(1e308));
+    }
+
+    /// Recursive [`Json`] generator for the round-trip property:
+    /// scalars at every depth, arrays/objects while depth remains.
+    /// Generated `Num`s are always finite (non-finite floats are
+    /// unrepresentable in JSON text by design).
+    struct JsonGen {
+        depth: usize,
+    }
+
+    impl crate::prop::Gen for JsonGen {
+        type Value = Json;
+
+        fn generate(&self, rng: &mut crate::rng::Xoshiro256pp) -> Json {
+            let arms = if self.depth == 0 { 6 } else { 8 };
+            match rng.below_u64(arms) {
+                0 => Json::Null,
+                1 => Json::Bool(rng.below_u64(2) == 0),
+                2 => Json::Int(rng.next_u64() as i64),
+                3 => Json::UInt(rng.next_u64()),
+                4 => {
+                    let x = rng.range_f64(-1e9, 1e9);
+                    // canonicalize -0.0: its text form `-0` reparses as 0
+                    Json::Num(if x == 0.0 { 0.0 } else { x })
+                }
+                5 => {
+                    let n = rng.range_usize(0, 8);
+                    Json::Str(
+                        (0..n)
+                            .map(|_| {
+                                *['a', 'β', '"', '\\', '\n', '\t', '/', '\u{1}', '𝄞', ' ']
+                                    .get(rng.below_u64(10) as usize)
+                                    .unwrap()
+                            })
+                            .collect(),
+                    )
+                }
+                6 => {
+                    let child = JsonGen { depth: self.depth - 1 };
+                    let n = rng.range_usize(0, 4);
+                    Json::Arr((0..n).map(|_| child.generate(rng)).collect())
+                }
+                _ => {
+                    let child = JsonGen { depth: self.depth - 1 };
+                    let n = rng.range_usize(0, 4);
+                    Json::Obj((0..n).map(|i| (format!("k{i}"), child.generate(rng))).collect())
+                }
+            }
+        }
+
+        fn shrink(&self, v: &Json) -> Vec<Json> {
+            match v {
+                Json::Null => vec![],
+                Json::Arr(items) if !items.is_empty() => {
+                    let mut c = vec![Json::Arr(items[..items.len() - 1].to_vec())];
+                    c.extend(items.iter().cloned());
+                    c
+                }
+                Json::Obj(pairs) if !pairs.is_empty() => {
+                    let mut c = vec![Json::Obj(pairs[..pairs.len() - 1].to_vec())];
+                    c.extend(pairs.iter().map(|(_, v)| v.clone()));
+                    c
+                }
+                _ => vec![Json::Null],
+            }
+        }
+    }
+
+    #[test]
+    fn prop_dump_parse_dump_round_trips() {
+        use crate::prop;
+        prop::check("json_dump_parse_dump", &JsonGen { depth: 3 }, |j| {
+            let text = j.dump();
+            let back = Json::parse(&text).map_err(|e| format!("parse of {text:?}: {e}"))?;
+            crate::prop::prop_assert_eq!(back.dump(), text);
+            Ok(())
+        });
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //!   combinators, fixed-seed case generation, shrinking) replacing
 //!   `proptest`;
 //! * [`bench`] — a wall-clock micro-benchmark harness replacing
-//!   `criterion` in the `bench-suite` bench targets.
+//!   `criterion` in the `bench-suite` bench targets;
+//! * [`obs`] — host-side observability: RAII span tracing into
+//!   thread-local ring buffers, a counters/histograms metrics registry,
+//!   Fig. 9-style phase breakdowns and Chrome trace-event export.
 //!
 //! The policy is deliberate: reproductions should run anywhere a Rust
 //! toolchain exists, network or not (see `DESIGN.md`, "zero-dependency
@@ -33,6 +36,7 @@ pub mod alloc_counter;
 pub mod bench;
 pub mod buf;
 pub mod json;
+pub mod obs;
 pub mod par;
 pub mod prop;
 pub mod rng;

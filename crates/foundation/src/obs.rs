@@ -1,0 +1,593 @@
+//! Host-side observability: a structured span tracer plus a process-wide
+//! metrics registry, both `std`-only (see DESIGN.md, "Host-side
+//! observability").
+//!
+//! The simulated device already attributes time to MMA/shuffle/memory
+//! phases (`tcu-sim::trace`); this module gives the *host* side — the
+//! planners, steppers, worker-pool loops and the distributed executor —
+//! the same treatment:
+//!
+//! * **Spans** ([`span`]): RAII guards around a host phase. When tracing
+//!   is disabled (the default) a span costs one relaxed atomic load and
+//!   performs **no allocation** — the steady-state zero-allocation
+//!   guarantee of the executors (`tests/steady_state.rs`) is preserved
+//!   with instrumentation compiled in. When enabled, each completed span
+//!   lands in a fixed-capacity **thread-local ring buffer** (allocated
+//!   once per thread at first use, i.e. during warm-up — the persistent
+//!   `par` worker threads each own one ring for their whole life) and its
+//!   duration feeds a log-scale [`Histogram`] in the metrics registry.
+//! * **Metrics registry** ([`counter`], [`histogram`]): named monotonic
+//!   counters and duration histograms with fixed log₂-scale buckets.
+//!   Entries are created once (leaked, `&'static`) and updated with
+//!   atomics, so steady-state updates never allocate.
+//! * **Reports**: [`drain`] collects every thread's ring into a
+//!   [`Trace`], which exports the Chrome trace-event JSON format
+//!   (`chrome://tracing` / Perfetto: `[{"name","ph":"X","ts","dur",
+//!   "pid","tid"}]`) via `foundation::json`; [`phase_breakdown`] reads
+//!   the histograms into a Fig. 9-style per-phase table that is exact
+//!   even when a ring overflowed (histogram counts never drop).
+//!
+//! Event **counts** and phase attribution are deterministic at any
+//! `FOUNDATION_THREADS` value — every tile records the same spans no
+//! matter which worker ran it — so golden tests can compare breakdowns
+//! across thread counts (durations and thread ids, of course, vary).
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events each thread's ring can hold before it starts dropping (drops
+/// are counted and surfaced in the report, never silent).
+pub const RING_CAPACITY: usize = 1 << 17;
+
+/// Log₂-scale duration buckets: bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` ns (bucket 0 also takes 0 ns); 40 buckets reach
+/// ~18 minutes.
+pub const HIST_BUCKETS: usize = 40;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether span recording is on. One relaxed load — the entire cost a
+/// disabled span adds to a hot loop.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn span recording on (idempotent). Establishes the trace epoch on
+/// first use; timestamps are nanoseconds since that epoch.
+pub fn enable() {
+    epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn span recording off. Already-buffered events stay until
+/// [`drain`] or [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clear every ring buffer and zero every registered metric (counts,
+/// sums and buckets — the registry entries themselves persist; they are
+/// `&'static`). Use between profiled sections.
+pub fn reset() {
+    for ring in rings().lock().unwrap().iter() {
+        let mut inner = ring.inner.lock().unwrap();
+        inner.buf.clear();
+        inner.dropped = 0;
+    }
+    for (_, metric) in metrics().lock().unwrap().iter() {
+        match metric {
+            Metric::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            Metric::Hist(h) => h.zero(),
+        }
+    }
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+// ------------------------------------------------------------- spans
+
+/// One completed span: a named `[start, start+dur)` interval on a
+/// thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Phase name (static: span sites name their phase at compile time).
+    pub name: &'static str,
+    /// Start, ns since the trace epoch.
+    pub start_ns: u64,
+    /// Duration, ns.
+    pub dur_ns: u64,
+    /// Recording thread's slot (0 = first thread to record, usually the
+    /// main thread; pool workers get stable slots for their lifetime).
+    pub tid: u32,
+}
+
+/// RAII guard for one host phase; records on drop. Disarmed (free) when
+/// tracing is disabled at creation.
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    start_ns: u64,
+    armed: bool,
+}
+
+/// Open a span over the enclosing scope:
+/// `let _s = obs::span("rdg_gather");`. Disabled tracing: one relaxed
+/// atomic load, no clock read, no allocation.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name, start_ns: 0, armed: false };
+    }
+    SpanGuard { name, start_ns: now_ns(), armed: true }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let dur_ns = now_ns().saturating_sub(self.start_ns);
+        record_event(self.name, self.start_ns, dur_ns);
+        histogram(self.name).record_ns(dur_ns);
+    }
+}
+
+// ----------------------------------------------- thread-local rings
+
+struct RingInner {
+    buf: Vec<Event>,
+    dropped: u64,
+}
+
+struct Ring {
+    inner: Mutex<RingInner>,
+    tid: u32,
+}
+
+fn rings() -> &'static Mutex<Vec<&'static Ring>> {
+    static RINGS: OnceLock<Mutex<Vec<&'static Ring>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    /// This thread's ring, registered (and its buffer allocated) on the
+    /// first enabled span the thread records — warm-up, by construction.
+    static LOCAL_RING: std::cell::OnceCell<&'static Ring> = const { std::cell::OnceCell::new() };
+}
+
+fn record_event(name: &'static str, start_ns: u64, dur_ns: u64) {
+    LOCAL_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring: &'static Ring = Box::leak(Box::new(Ring {
+                inner: Mutex::new(RingInner { buf: Vec::with_capacity(RING_CAPACITY), dropped: 0 }),
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            }));
+            rings().lock().unwrap().push(ring);
+            ring
+        });
+        // only the owning thread pushes, so the lock is uncontended
+        // except against a concurrent drain/reset
+        let mut inner = ring.inner.lock().unwrap();
+        if inner.buf.len() < RING_CAPACITY {
+            inner.buf.push(Event { name, start_ns, dur_ns, tid: ring.tid });
+        } else {
+            inner.dropped += 1;
+        }
+    });
+}
+
+// ------------------------------------------------------------- trace
+
+/// Everything drained from the ring buffers: the host-side span
+/// timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All events, sorted by start time (ties by tid).
+    pub events: Vec<Event>,
+    /// Events lost to ring overflow (0 in any healthy profile run).
+    pub dropped: u64,
+}
+
+/// Collect (and clear) every thread's ring buffer. Call after the
+/// profiled section, when the worker pool is idle between parallel
+/// calls.
+pub fn drain() -> Trace {
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for ring in rings().lock().unwrap().iter() {
+        let mut inner = ring.inner.lock().unwrap();
+        events.append(&mut inner.buf);
+        dropped += inner.dropped;
+        inner.dropped = 0;
+    }
+    events.sort_by_key(|e| (e.start_ns, e.tid, std::cmp::Reverse(e.dur_ns)));
+    Trace { events, dropped }
+}
+
+impl Trace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events per phase name, sorted by name (the determinism golden
+    /// test's comparison key).
+    pub fn phase_counts(&self) -> Vec<(&'static str, u64)> {
+        let mut counts: Vec<(&'static str, u64)> = Vec::new();
+        for e in &self.events {
+            match counts.iter_mut().find(|(n, _)| *n == e.name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((e.name, 1)),
+            }
+        }
+        counts.sort_by_key(|(n, _)| *n);
+        counts
+    }
+
+    /// The Chrome trace-event JSON document (`chrome://tracing` /
+    /// Perfetto): an array of complete (`"ph":"X"`) events with
+    /// microsecond timestamps.
+    pub fn to_chrome_json(&self) -> Json {
+        Json::Arr(
+            self.events
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        ("name", Json::Str(e.name.to_string())),
+                        ("cat", Json::Str("host".to_string())),
+                        ("ph", Json::Str("X".to_string())),
+                        ("ts", Json::Num(e.start_ns as f64 / 1e3)),
+                        ("dur", Json::Num(e.dur_ns as f64 / 1e3)),
+                        ("pid", Json::UInt(1)),
+                        ("tid", Json::UInt(e.tid as u64)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+// ------------------------------------------------- metrics registry
+
+/// A monotonic counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A duration histogram with fixed log₂-scale buckets plus exact count,
+/// sum and max.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn zero(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one duration.
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        let bucket = (63 - (ns | 1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Recorded durations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded durations, ns.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded duration, ns.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Bucket counts (bucket `i` ≈ durations in `[2^i, 2^(i+1))` ns).
+    pub fn buckets(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Hist(&'static Histogram),
+}
+
+fn metrics() -> &'static Mutex<Vec<(&'static str, Metric)>> {
+    static METRICS: OnceLock<Mutex<Vec<(&'static str, Metric)>>> = OnceLock::new();
+    METRICS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Get or create the process-wide counter `name`. The handle is
+/// `&'static`; creation allocates once, updates never do.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = metrics().lock().unwrap();
+    for (n, m) in reg.iter() {
+        if *n == name {
+            match m {
+                Metric::Counter(c) => return c,
+                Metric::Hist(_) => panic!("metric {name:?} is a histogram, not a counter"),
+            }
+        }
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter { value: AtomicU64::new(0) }));
+    reg.push((name, Metric::Counter(c)));
+    c
+}
+
+/// Get or create the process-wide histogram `name` (see [`counter`]).
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = metrics().lock().unwrap();
+    for (n, m) in reg.iter() {
+        if *n == name {
+            match m {
+                Metric::Hist(h) => return h,
+                Metric::Counter(_) => panic!("metric {name:?} is a counter, not a histogram"),
+            }
+        }
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    reg.push((name, Metric::Hist(h)));
+    h
+}
+
+/// Snapshot of every registered metric as JSON:
+/// `{"counters": {...}, "histograms": {name: {count, sum_ns, max_ns}}}`.
+pub fn metrics_json() -> Json {
+    let reg = metrics().lock().unwrap();
+    let mut counters = Vec::new();
+    let mut hists = Vec::new();
+    for (name, m) in reg.iter() {
+        match m {
+            Metric::Counter(c) => counters.push((name.to_string(), Json::UInt(c.get()))),
+            Metric::Hist(h) => hists.push((
+                name.to_string(),
+                Json::obj([
+                    ("count", Json::UInt(h.count())),
+                    ("sum_ns", Json::UInt(h.sum_ns())),
+                    ("max_ns", Json::UInt(h.max_ns())),
+                ]),
+            )),
+        }
+    }
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::obj([("counters", Json::Obj(counters)), ("histograms", Json::Obj(hists))])
+}
+
+// -------------------------------------------------- phase breakdown
+
+/// Aggregate statistics for one host phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase (span) name.
+    pub name: String,
+    /// Spans recorded.
+    pub count: u64,
+    /// Total time inside the phase, ns (nested phases count toward both).
+    pub total_ns: u64,
+    /// Largest single span, ns.
+    pub max_ns: u64,
+}
+
+impl PhaseStat {
+    /// Mean span duration, ns.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// JSON form (embedded in bench reports and the CLI profile).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("phase", Json::Str(self.name.clone())),
+            ("count", Json::UInt(self.count)),
+            ("total_ns", Json::UInt(self.total_ns)),
+            ("max_ns", Json::UInt(self.max_ns)),
+        ])
+    }
+}
+
+/// Per-phase aggregates from the span histograms, sorted by total time
+/// descending. Exact even when a ring overflowed — histograms never drop.
+pub fn phase_breakdown() -> Vec<PhaseStat> {
+    let reg = metrics().lock().unwrap();
+    let mut stats: Vec<PhaseStat> = reg
+        .iter()
+        .filter_map(|(name, m)| match m {
+            Metric::Hist(h) if h.count() > 0 => Some(PhaseStat {
+                name: name.to_string(),
+                count: h.count(),
+                total_ns: h.sum_ns(),
+                max_ns: h.max_ns(),
+            }),
+            _ => None,
+        })
+        .collect();
+    stats.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    stats
+}
+
+/// Render a Fig. 9-style host breakdown table. `wall_ns` is the
+/// wall-clock time of the profiled section (the `%` column denominator);
+/// nested spans mean the column need not sum to 100.
+pub fn render_breakdown(stats: &[PhaseStat], wall_ns: u64) -> String {
+    let mut out = String::from(
+        "phase                     count        total         mean          max    % wall\n",
+    );
+    for s in stats {
+        let pct = if wall_ns == 0 { 0.0 } else { 100.0 * s.total_ns as f64 / wall_ns as f64 };
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>12} {:>12} {:>12} {:>8.1}%\n",
+            s.name,
+            s.count,
+            fmt_ns(s.total_ns as f64),
+            fmt_ns(s.mean_ns()),
+            fmt_ns(s.max_ns as f64),
+            pct
+        ));
+    }
+    out.push_str(&format!("wall (profiled section): {}\n", fmt_ns(wall_ns as f64)));
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test body: the enable/disable flag and the rings are
+    /// process-global, so interleaved tests would observe each other.
+    #[test]
+    fn spans_metrics_and_reports() {
+        // disabled spans record nothing
+        disable();
+        {
+            let _s = span("obs_test_disabled");
+        }
+        reset();
+        assert!(drain().is_empty());
+
+        // enabled spans land in the ring and the histogram
+        enable();
+        for _ in 0..3 {
+            let _outer = span("obs_test_outer");
+            let _inner = span("obs_test_inner");
+        }
+        disable();
+        let trace = drain();
+        assert_eq!(trace.dropped, 0);
+        let counts = trace.phase_counts();
+        assert_eq!(counts, vec![("obs_test_inner", 3), ("obs_test_outer", 3)], "3 spans per phase");
+        // inner closes before outer (drop order), so start(outer) <=
+        // start(inner) and the sort keeps outer first
+        let first = trace.events.iter().find(|e| e.name == "obs_test_outer").unwrap();
+        let inner = trace.events.iter().find(|e| e.name == "obs_test_inner").unwrap();
+        assert!(first.start_ns <= inner.start_ns);
+
+        // chrome export carries the Perfetto schema and parses back
+        let doc = trace.to_chrome_json().dump();
+        let back = crate::json::Json::parse(&doc).unwrap();
+        let events = back.as_arr().unwrap();
+        assert_eq!(events.len(), 6);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+            for key in ["name", "ts", "dur", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "missing {key}");
+            }
+        }
+
+        // histograms aggregated the spans; breakdown reports them
+        let h = histogram("obs_test_inner");
+        assert_eq!(h.count(), 3);
+        assert!(h.sum_ns() >= h.max_ns());
+        assert_eq!(h.buckets().iter().sum::<u64>(), 3);
+        let stats = phase_breakdown();
+        let inner = stats.iter().find(|s| s.name == "obs_test_inner").unwrap();
+        assert_eq!(inner.count, 3);
+        assert!(inner.mean_ns() >= 0.0);
+        let table = render_breakdown(&stats, 1_000_000);
+        assert!(table.contains("obs_test_inner"));
+        assert!(table.contains("% wall"));
+
+        // counters and the metrics snapshot
+        counter("obs_test_counter").add(41);
+        counter("obs_test_counter").inc();
+        assert_eq!(counter("obs_test_counter").get(), 42);
+        let snap = metrics_json().dump();
+        assert!(snap.contains("\"obs_test_counter\":42"), "{snap}");
+        assert!(snap.contains("obs_test_inner"), "{snap}");
+
+        // reset zeroes values but keeps handles valid
+        reset();
+        assert_eq!(counter("obs_test_counter").get(), 0);
+        assert_eq!(histogram("obs_test_inner").count(), 0);
+        assert!(drain().is_empty());
+
+        // histogram bucket edges: 0/1 ns -> bucket 0, 1024 ns -> bucket 10
+        let h = histogram("obs_test_buckets");
+        h.record_ns(0);
+        h.record_ns(1);
+        h.record_ns(1024);
+        let b = h.buckets();
+        assert_eq!(b[0], 2);
+        assert_eq!(b[10], 1);
+    }
+}

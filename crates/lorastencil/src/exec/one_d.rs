@@ -37,6 +37,7 @@ impl LoRaStencil1D {
 /// Build the banded `V` fragments for the 1-D weights: `S/4` B-fragments
 /// of the `S×8` matrix `V[c][q] = w[c − q − 0]` band (`V[q + k][q] = w[k]`).
 fn build_v_frags(w: &[f64], seg_len: usize) -> Vec<FragB> {
+    let _frag_build = foundation::obs::span("frag_build");
     let mut dense = vec![[0.0f64; MMA_N]; seg_len];
     for q in 0..MMA_N {
         for (k, &wk) in w.iter().enumerate() {
@@ -72,27 +73,33 @@ fn compute_tile(
     let mode = if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged };
     let mut ctx = SimContext::new();
     scratch.tile.reset(MMA_M, sl);
-    for r in 0..MMA_M {
-        // 8 of the seg_len loaded elements are this segment's own
-        // outputs (compulsory); the rest is halo overlap in L2
-        let seg_out = MMA_N.min(t.len.saturating_sub(MMA_N * r));
-        input.copy_to_shared_reuse(
-            &mut ctx,
-            mode,
-            0,
-            t.i0 as isize + (MMA_N * r) as isize - h,
-            1,
-            sl,
-            &mut scratch.tile,
-            r,
-            0,
-            seg_out,
-        );
+    {
+        let _rdg_gather = foundation::obs::span("rdg_gather");
+        for r in 0..MMA_M {
+            // 8 of the seg_len loaded elements are this segment's own
+            // outputs (compulsory); the rest is halo overlap in L2
+            let seg_out = MMA_N.min(t.len.saturating_sub(MMA_N * r));
+            input.copy_to_shared_reuse(
+                &mut ctx,
+                mode,
+                0,
+                t.i0 as isize + (MMA_N * r) as isize - h,
+                1,
+                sl,
+                &mut scratch.tile,
+                r,
+                0,
+                seg_out,
+            );
+        }
     }
     let mut acc = FragAcc::zero();
-    for (blk, vf) in v_frags.iter().enumerate() {
-        let a = scratch.tile.load_frag_a(&mut ctx, 0, (blk * MMA_K) as isize);
-        ctx.mma_into(&a, vf, &mut acc);
+    {
+        let _mma_batch = foundation::obs::span("mma_batch");
+        for (blk, vf) in v_frags.iter().enumerate() {
+            let a = scratch.tile.load_frag_a(&mut ctx, 0, (blk * MMA_K) as isize);
+            ctx.mma_into(&a, vf, &mut acc);
+        }
     }
     ctx.points((t.len * plan.fusion) as u64);
     (acc.to_matrix(), ctx.counters)
@@ -109,6 +116,7 @@ fn apply_into(
     tiles: &[Tile1D],
     slots: &mut Vec<PerfCounters>,
 ) -> PerfCounters {
+    let _apply = foundation::obs::span("apply");
     slots.clear();
     slots.resize(tiles.len(), PerfCounters::new());
     {

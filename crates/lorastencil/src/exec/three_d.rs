@@ -36,6 +36,7 @@ impl LoRaStencil3D {
 /// Prebuild per-plane weight fragments for the TCU path: one fragment
 /// set per [`PlaneOp::Rdg`] plane (they depend only on the plan).
 fn plane_frags(plan: &Plan3D) -> Vec<Option<Vec<TermFrags>>> {
+    let _frag_build = foundation::obs::span("frag_build");
     plan.plane_ops
         .iter()
         .map(|op| match op {
@@ -101,27 +102,35 @@ fn compute_tile(
             }
             PlaneOp::Rdg(decomp) => {
                 scratch.tile.reset(geo.s, geo.s);
-                // each input plane is charged its compulsory HBM read on
-                // the one output plane for which it is the kernel center
-                let fresh = if dz == h { t.h * t.w } else { 0 };
-                src.copy_to_shared_reuse(
-                    &mut ctx,
-                    mode,
-                    t.r0 as isize - h as isize,
-                    t.c0 as isize - h as isize,
-                    geo.s,
-                    geo.s,
-                    &mut scratch.tile,
-                    0,
-                    0,
-                    fresh,
-                );
-                scratch.x.load_into(&mut ctx, &scratch.tile, geo);
+                {
+                    // each input plane is charged its compulsory HBM read
+                    // on the one output plane for which it is the kernel
+                    // center
+                    let _rdg_gather = foundation::obs::span("rdg_gather");
+                    let fresh = if dz == h { t.h * t.w } else { 0 };
+                    src.copy_to_shared_reuse(
+                        &mut ctx,
+                        mode,
+                        t.r0 as isize - h as isize,
+                        t.c0 as isize - h as isize,
+                        geo.s,
+                        geo.s,
+                        &mut scratch.tile,
+                        0,
+                        0,
+                        fresh,
+                    );
+                    scratch.x.load_into(&mut ctx, &scratch.tile, geo);
+                }
                 let x = &scratch.x;
                 if plan.config.use_tcu {
-                    for tf in frags[dz].as_deref().unwrap_or(&[]) {
-                        acc_frag = rdg_apply_term_frags(&mut ctx, x, tf, acc_frag);
+                    {
+                        let _mma_batch = foundation::obs::span("mma_batch");
+                        for tf in frags[dz].as_deref().unwrap_or(&[]) {
+                            acc_frag = rdg_apply_term_frags(&mut ctx, x, tf, acc_frag);
+                        }
                     }
+                    let _pointwise = foundation::obs::span("pointwise");
                     apply_pointwise(&mut ctx, x, decomp.pointwise, &mut acc_frag);
                 } else {
                     for term in &decomp.terms {
@@ -167,6 +176,7 @@ fn apply_into(
     slots: &mut Vec<PerfCounters>,
     sinks: &mut Vec<usize>,
 ) -> PerfCounters {
+    let _apply = foundation::obs::span("apply");
     let nx = planes[0].cols();
     slots.clear();
     slots.resize(jobs.len(), PerfCounters::new());

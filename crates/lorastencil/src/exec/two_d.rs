@@ -45,6 +45,7 @@ impl LoRaStencil2D {
 /// Prebuild the per-term weight fragments a plan uses on the TCU path
 /// (they depend only on the plan, never on the input tile).
 fn plan_frags(plan: &Plan2D) -> Vec<TermFrags> {
+    let _frag_build = foundation::obs::span("frag_build");
     if plan.config.use_tcu {
         TermFrags::build_all(&plan.decomp.terms, plan.geo, plan.config.use_bvs)
     } else {
@@ -66,30 +67,38 @@ fn compute_tile(
     let mode = if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged };
     let mut ctx = SimContext::new();
     scratch.tile.reset(geo.s, geo.s);
-    // the tile's own output footprint is its compulsory HBM share; the
-    // halo ring is served by L2 (loaded by the neighboring tiles)
-    input.copy_to_shared_reuse(
-        &mut ctx,
-        mode,
-        t.r0 as isize - h,
-        t.c0 as isize - h,
-        geo.s,
-        geo.s,
-        &mut scratch.tile,
-        0,
-        0,
-        t.h * t.w,
-    );
-    scratch.x.load_into(&mut ctx, &scratch.tile, geo);
+    {
+        // the tile's own output footprint is its compulsory HBM share; the
+        // halo ring is served by L2 (loaded by the neighboring tiles)
+        let _rdg_gather = foundation::obs::span("rdg_gather");
+        input.copy_to_shared_reuse(
+            &mut ctx,
+            mode,
+            t.r0 as isize - h,
+            t.c0 as isize - h,
+            geo.s,
+            geo.s,
+            &mut scratch.tile,
+            0,
+            0,
+            t.h * t.w,
+        );
+        scratch.x.load_into(&mut ctx, &scratch.tile, geo);
+    }
     let x = &scratch.x;
     let vals = if plan.config.use_tcu {
         let mut acc = FragAcc::zero();
-        for tf in frags {
-            acc = rdg_apply_term_frags(&mut ctx, x, tf, acc);
+        {
+            let _mma_batch = foundation::obs::span("mma_batch");
+            for tf in frags {
+                acc = rdg_apply_term_frags(&mut ctx, x, tf, acc);
+            }
         }
+        let _pointwise = foundation::obs::span("pointwise");
         apply_pointwise(&mut ctx, x, plan.decomp.pointwise, &mut acc);
         acc.to_matrix()
     } else {
+        let _cuda_terms = foundation::obs::span("cuda_terms");
         let mut acc = [[0.0; MMA_N]; TILE_M];
         for term in &plan.decomp.terms {
             rdg_apply_term_cuda(&mut ctx, x, term, &mut acc);
@@ -124,6 +133,7 @@ fn apply_into(
     tiles: &[Tile2D],
     slots: &mut Vec<PerfCounters>,
 ) -> PerfCounters {
+    let _apply = foundation::obs::span("apply");
     let cols = input.cols();
     slots.clear();
     slots.resize(tiles.len(), PerfCounters::new());

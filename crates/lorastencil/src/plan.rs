@@ -93,10 +93,17 @@ pub struct Plan2D {
 impl Plan2D {
     /// Plan a 2-D kernel.
     pub fn new(kernel: &StencilKernel, config: ExecConfig) -> Self {
+        let _plan = foundation::obs::span("plan");
         assert_eq!(kernel.dims(), 2, "Plan2D needs a 2-D kernel");
         let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
-        let exec_kernel = fusion::fuse_kernel(kernel, fusion);
-        let decomp = decompose::decompose(exec_kernel.weights_2d(), 1e-12);
+        let exec_kernel = {
+            let _fuse = foundation::obs::span("fuse");
+            fusion::fuse_kernel(kernel, fusion)
+        };
+        let decomp = {
+            let _decompose = foundation::obs::span("decompose");
+            decompose::decompose(exec_kernel.weights_2d(), 1e-12)
+        };
         let geo = RdgGeometry::for_radius(exec_kernel.radius);
         Plan2D { exec_kernel, fusion, decomp, geo, config }
     }
@@ -107,10 +114,17 @@ impl Plan2D {
     /// precedence — cheaper when the weight matrix's true rank is below
     /// the pyramid's term count.
     pub fn new_autotuned(kernel: &StencilKernel, config: ExecConfig) -> Self {
+        let _plan = foundation::obs::span("plan");
         assert_eq!(kernel.dims(), 2, "Plan2D needs a 2-D kernel");
         let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
-        let exec_kernel = fusion::fuse_kernel(kernel, fusion);
-        let decomp = crate::autotune::choose(exec_kernel.weights_2d(), 1e-12);
+        let exec_kernel = {
+            let _fuse = foundation::obs::span("fuse");
+            fusion::fuse_kernel(kernel, fusion)
+        };
+        let decomp = {
+            let _decompose = foundation::obs::span("decompose");
+            crate::autotune::choose(exec_kernel.weights_2d(), 1e-12)
+        };
         let geo = RdgGeometry::for_radius(exec_kernel.radius);
         Plan2D { exec_kernel, fusion, decomp, geo, config }
     }
@@ -157,9 +171,13 @@ pub struct Plan3D {
 impl Plan3D {
     /// Plan a 3-D kernel.
     pub fn new(kernel: &StencilKernel, config: ExecConfig) -> Self {
+        let _plan = foundation::obs::span("plan");
         assert_eq!(kernel.dims(), 3, "Plan3D needs a 3-D kernel");
         let planes = kernel.weights_3d();
-        let plane_ops = planes.iter().map(classify_plane).collect();
+        let plane_ops = {
+            let _decompose = foundation::obs::span("decompose");
+            planes.iter().map(classify_plane).collect()
+        };
         let geo = RdgGeometry::for_radius(kernel.radius);
         Plan3D { kernel: kernel.clone(), plane_ops, geo, config }
     }
@@ -206,9 +224,13 @@ pub struct Plan1D {
 impl Plan1D {
     /// Plan a 1-D kernel.
     pub fn new(kernel: &StencilKernel, config: ExecConfig) -> Self {
+        let _plan = foundation::obs::span("plan");
         assert_eq!(kernel.dims(), 1, "Plan1D needs a 1-D kernel");
         let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
-        let exec_kernel = fusion::fuse_kernel(kernel, fusion);
+        let exec_kernel = {
+            let _fuse = foundation::obs::span("fuse");
+            fusion::fuse_kernel(kernel, fusion)
+        };
         let need = 8 + 2 * exec_kernel.radius;
         let seg_len = need.div_ceil(4) * 4;
         Plan1D { exec_kernel, fusion, seg_len, config }

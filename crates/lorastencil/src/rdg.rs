@@ -154,6 +154,7 @@ pub fn build_u_frags(term: &RankOneTerm, geo: RdgGeometry) -> Vec<FragA> {
 /// compensating the shuffle-free accumulator reinterpretation (Eq. 17);
 /// without BVS the natural `{0..4}` / `{4..8}` split is used.
 pub fn build_v_frags(term: &RankOneTerm, geo: RdgGeometry, use_bvs: bool) -> Vec<FragB> {
+    let _bvs = foundation::obs::span("bvs_build");
     let shift = geo.h - term.radius();
     // dense V first
     let mut v_dense = vec![[0.0f64; MMA_N]; geo.s];

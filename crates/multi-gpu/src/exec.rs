@@ -72,6 +72,7 @@ fn gather_rows(
 /// the alignment padding beyond them feeds discarded outputs and is left
 /// stale).
 fn exchange_halos(devices: &mut [Device], rows: usize, cols: usize, needed: usize) -> u64 {
+    let _halo = foundation::obs::span("halo_exchange");
     // snapshot-gather to keep the borrow checker and the ring symmetric
     let fetch: Vec<(Vec<f64>, Vec<f64>)> = devices
         .iter()
@@ -156,6 +157,7 @@ pub fn run_distributed(
                 ws: &mut [Workspace2D]| {
         *nvlink += exchange_halos(devices, rows, cols, p.exec_kernel.radius);
         for ((d, w), pc) in devices.iter_mut().zip(ws).zip(per_device.iter_mut()) {
+            let _device_apply = foundation::obs::span("device_apply");
             let c = w.apply(&d.local, &mut d.next, p);
             std::mem::swap(&mut d.local, &mut d.next);
             pc.merge(&c);

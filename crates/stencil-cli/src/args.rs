@@ -14,11 +14,27 @@ pub struct Args {
     pub flags: Vec<String>,
 }
 
-/// Keys that take a value; everything else starting with `--` is a flag.
-const VALUED: &[&str] =
-    &["kernel", "method", "size", "iters", "config", "radius", "seed", "spec", "load", "save"];
+/// Keys that take a value.
+const VALUED: &[&str] = &[
+    "kernel",
+    "method",
+    "size",
+    "iters",
+    "config",
+    "radius",
+    "seed",
+    "spec",
+    "load",
+    "save",
+    "trace-out",
+];
 
-/// Parse an argument list (without the program name).
+/// Bare flags the CLI understands.
+const FLAGS: &[&str] = &["verify"];
+
+/// Parse an argument list (without the program name). Options given
+/// twice and keys the CLI does not know are hard errors — a typo like
+/// `--itres` must not be swallowed as an accepted flag.
 pub fn parse(argv: &[String]) -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = argv.iter().peekable();
@@ -35,12 +51,50 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
             let Some(val) = it.next() else {
                 return Err(format!("--{key} needs a value"));
             };
-            args.options.insert(key.to_string(), val.clone());
-        } else {
+            if args.options.insert(key.to_string(), val.clone()).is_some() {
+                return Err(format!("--{key} given more than once"));
+            }
+        } else if FLAGS.contains(&key) {
+            if args.flags.iter().any(|f| f == key) {
+                return Err(format!("--{key} given more than once"));
+            }
             args.flags.push(key.to_string());
+        } else {
+            let mut msg = format!("unknown option --{key}");
+            if let Some(near) = nearest_key(key) {
+                msg.push_str(&format!(" (did you mean --{near}?)"));
+            }
+            return Err(msg);
         }
     }
     Ok(args)
+}
+
+/// Closest known key within edit distance 2, for typo suggestions.
+fn nearest_key(key: &str) -> Option<&'static str> {
+    VALUED
+        .iter()
+        .chain(FLAGS)
+        .map(|k| (*k, edit_distance(key, k)))
+        .filter(|&(_, d)| d <= 2)
+        .min_by_key(|&(_, d)| d)
+        .map(|(k, _)| k)
+}
+
+/// Levenshtein distance between two short ASCII keys.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<u8>, Vec<u8>) = (a.bytes().collect(), b.bytes().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cur = row[j + 1];
+            row[j + 1] = if ca == cb { prev } else { 1 + prev.min(row[j]).min(cur) };
+            prev = cur;
+        }
+    }
+    row[b.len()]
 }
 
 impl Args {
@@ -93,6 +147,27 @@ mod tests {
         assert!(parse(&sv(&["run", "oops"])).is_err());
         assert!(parse(&sv(&["--kernel", "x"])).is_err());
         assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_options_and_flags() {
+        let e = parse(&sv(&["run", "--iters", "4", "--iters", "8"])).unwrap_err();
+        assert!(e.contains("--iters given more than once"), "{e}");
+        let e = parse(&sv(&["run", "--verify", "--verify"])).unwrap_err();
+        assert!(e.contains("--verify given more than once"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_suggestion() {
+        let e = parse(&sv(&["run", "--itres", "10"])).unwrap_err();
+        assert!(e.contains("unknown option --itres"), "{e}");
+        assert!(e.contains("did you mean --iters?"), "{e}");
+        let e = parse(&sv(&["run", "--verfy"])).unwrap_err();
+        assert!(e.contains("did you mean --verify?"), "{e}");
+        // far from every known key: no suggestion, still an error
+        let e = parse(&sv(&["run", "--zzzzzzzz"])).unwrap_err();
+        assert!(e.contains("unknown option --zzzzzzzz"), "{e}");
+        assert!(!e.contains("did you mean"), "{e}");
     }
 
     #[test]

@@ -29,9 +29,18 @@ pub fn all_kernels() -> Vec<StencilKernel> {
     v
 }
 
-/// Look a kernel up by (case-insensitive) name.
+/// Look a kernel up by name — case-insensitive, and tolerant of missing
+/// `-`/`_` separators (`box2d9p` finds `Box-2D9P`).
 pub fn find_kernel(name: &str) -> Option<StencilKernel> {
-    all_kernels().into_iter().find(|k| k.name.eq_ignore_ascii_case(name))
+    let ks = all_kernels();
+    if let Some(k) = ks.iter().find(|k| k.name.eq_ignore_ascii_case(name)) {
+        return Some(k.clone());
+    }
+    let norm = |s: &str| -> String {
+        s.chars().filter(|c| *c != '-' && *c != '_').map(|c| c.to_ascii_lowercase()).collect()
+    };
+    let want = norm(name);
+    ks.into_iter().find(|k| norm(&k.name) == want)
 }
 
 /// Resolve a kernel from `--spec <file>` (the kernel-spec DSL,
@@ -71,6 +80,16 @@ pub fn parse_config(spec: &str) -> Result<ExecConfig, String> {
         }
     }
     Ok(cfg)
+}
+
+/// Broadcast a single-dimension `--size N` to the kernel's
+/// dimensionality (`--size 768` on a 2-D kernel means `768x768`).
+pub fn broadcast_dims(dims: &[usize], kernel_dims: usize) -> Vec<usize> {
+    if dims.len() == 1 && kernel_dims > 1 {
+        vec![dims[0]; kernel_dims]
+    } else {
+        dims.to_vec()
+    }
 }
 
 /// Build a deterministic input grid of the given dimensions.
@@ -113,7 +132,9 @@ pub fn list_text() -> String {
 /// The `run` subcommand: execute, optionally verify, report counters and
 /// modeled performance. Returns the printable report. `load_path` reads
 /// the input field from a checkpoint ([`stencil_core::io`]) instead of
-/// generating one; `save_path` checkpoints the output.
+/// generating one; `save_path` checkpoints the output. A non-empty
+/// `trace_out` records host-side spans during execution and writes them
+/// as a chrome-trace JSON file.
 #[allow(clippy::too_many_arguments)]
 pub fn run_report(
     kernel: &StencilKernel,
@@ -124,7 +145,9 @@ pub fn run_report(
     verify: bool,
     load_path: &str,
     save_path: &str,
+    trace_out: &str,
 ) -> Result<String, String> {
+    let dims = &broadcast_dims(dims, kernel.dims())[..];
     let input = if load_path.is_empty() {
         if dims.len() != kernel.dims() {
             return Err(format!(
@@ -148,7 +171,19 @@ pub fn run_report(
         g
     };
     let problem = Problem::new(kernel.clone(), input, iters);
-    let outcome = method.execute(&problem).map_err(|e| e.to_string())?;
+    let tracing = !trace_out.is_empty();
+    if tracing {
+        foundation::obs::reset();
+        foundation::obs::enable();
+    }
+    let result = method.execute(&problem).map_err(|e| e.to_string());
+    let trace = if tracing {
+        foundation::obs::disable();
+        Some(foundation::obs::drain())
+    } else {
+        None
+    };
+    let outcome = result?;
     let mut out = String::new();
     out.push_str(&format!(
         "{} on {} {:?} for {} iterations\n\n",
@@ -189,7 +224,92 @@ pub fn run_report(
             .map_err(|e| format!("{save_path}: {e}"))?;
         out.push_str(&format!("output checkpointed to {save_path}\n"));
     }
+    if let Some(trace) = trace {
+        std::fs::write(trace_out, trace.to_chrome_json().dump() + "\n")
+            .map_err(|e| format!("{trace_out}: {e}"))?;
+        out.push_str(&format!("{} host span events written to {trace_out}\n", trace.len()));
+    }
     Ok(out)
+}
+
+/// The `profile` subcommand: run a kernel with host-side span tracing
+/// on, print the per-phase breakdown (the host-side analogue of the
+/// paper's Fig. 9 stage attribution), and write a chrome-trace JSON file
+/// loadable in `chrome://tracing` / Perfetto.
+pub fn profile_report(
+    kernel: &StencilKernel,
+    method: &dyn StencilExecutor,
+    dims: &[usize],
+    iters: usize,
+    seed: u64,
+    trace_out: &str,
+) -> Result<String, String> {
+    let dims = broadcast_dims(dims, kernel.dims());
+    if dims.len() != kernel.dims() {
+        return Err(format!(
+            "kernel {} is {}-D but --size has {} dims",
+            kernel.name,
+            kernel.dims(),
+            dims.len()
+        ));
+    }
+    let problem = Problem::new(kernel.clone(), make_grid(&dims, seed), iters);
+    foundation::obs::reset();
+    foundation::obs::enable();
+    let start = std::time::Instant::now();
+    let result = method.execute(&problem).map_err(|e| e.to_string());
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    foundation::obs::disable();
+    let trace = foundation::obs::drain();
+    let outcome = result?;
+
+    let mut out = format!(
+        "profiling {} on {} {:?} for {} iterations\n\n",
+        method.name(),
+        kernel.name,
+        dims,
+        iters
+    );
+    let breakdown = foundation::obs::phase_breakdown();
+    out.push_str(&foundation::obs::render_breakdown(&breakdown, wall_ns));
+    out.push_str(&format!(
+        "\nwall time {:.3} ms, {} span events ({} dropped), {} points updated\n",
+        wall_ns as f64 / 1e6,
+        trace.len(),
+        trace.dropped,
+        outcome.counters.points_updated,
+    ));
+    std::fs::write(trace_out, trace.to_chrome_json().dump() + "\n")
+        .map_err(|e| format!("{trace_out}: {e}"))?;
+    out.push_str(&format!("chrome trace written to {trace_out} (load in chrome://tracing)\n"));
+    Ok(out)
+}
+
+/// The `validate-trace` subcommand: parse a chrome-trace file written by
+/// `profile`/`run --trace-out` and check every event carries the fields
+/// Perfetto's JSON importer requires.
+pub fn validate_trace(path: &str) -> Result<String, String> {
+    use foundation::json::Json;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let events = doc.as_arr().ok_or_else(|| format!("{path}: top level is not an array"))?;
+    for (i, e) in events.iter().enumerate() {
+        let field =
+            |key: &str| e.get(key).ok_or_else(|| format!("{path}: event {i} is missing {key:?}"));
+        let name = field("name")?;
+        if name.as_str().is_none() {
+            return Err(format!("{path}: event {i} has a non-string name"));
+        }
+        if field("ph")?.as_str() != Some("X") {
+            return Err(format!("{path}: event {i} is not a complete event (ph != \"X\")"));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            if field(key)?.as_f64().is_none() {
+                return Err(format!("{path}: event {i} has a non-numeric {key:?}"));
+            }
+        }
+    }
+    Ok(format!("{path}: valid chrome trace, {} events\n", events.len()))
 }
 
 /// The `trace` subcommand body: the instruction timeline of one RDG tile
@@ -263,7 +383,10 @@ pub fn usage() -> &'static str {
        lorastencil list\n\
        lorastencil run (--kernel <name> | --spec <file>) [--method <name>]\n\
                       [--size NxM] [--iters N] [--config no-bvs,...]\n\
-                      [--seed N] [--verify]\n\
+                      [--seed N] [--verify] [--trace-out <file>]\n\
+       lorastencil profile (--kernel <name> | --spec <file>) [--method <name>]\n\
+                      [--size NxM] [--iters N] [--trace-out <file>]\n\
+       lorastencil validate-trace --load <file>\n\
        lorastencil codegen (--kernel <name> | --spec <file>) [--config ...]\n\
        lorastencil trace (--kernel <name> | --spec <file>) [--config ...]\n\
        lorastencil analyze [--radius h]\n\
@@ -310,6 +433,41 @@ weights1d:
     }
 
     #[test]
+    fn kernel_lookup_tolerates_missing_separators() {
+        assert_eq!(find_kernel("box2d9p").unwrap().name, "Box-2D9P");
+        assert_eq!(find_kernel("heat_3d").unwrap().name, "Heat-3D");
+        assert!(find_kernel("box2d9").is_none());
+    }
+
+    #[test]
+    fn single_dim_size_broadcasts_to_kernel_dims() {
+        assert_eq!(broadcast_dims(&[768], 2), vec![768, 768]);
+        assert_eq!(broadcast_dims(&[16], 3), vec![16, 16, 16]);
+        assert_eq!(broadcast_dims(&[4096], 1), vec![4096]);
+        assert_eq!(broadcast_dims(&[64, 32], 2), vec![64, 32]);
+    }
+
+    #[test]
+    fn profile_report_writes_a_valid_chrome_trace() {
+        let dir = std::env::temp_dir().join("lorastencil-cli-profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let p = path.to_str().unwrap();
+        let k = find_kernel("Box-2D9P").unwrap();
+        let m = find_method("LoRAStencil", ExecConfig::full()).unwrap();
+        let r = profile_report(&k, m.as_ref(), &[48], 2, 7, p).unwrap();
+        for phase in ["plan", "decompose", "apply", "rdg_gather", "mma_batch", "pointwise"] {
+            assert!(r.contains(phase), "breakdown is missing {phase}:\n{r}");
+        }
+        let v = validate_trace(p).unwrap();
+        assert!(v.contains("valid chrome trace"), "{v}");
+        // and the validator rejects non-trace JSON
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "[{\"name\":\"x\",\"ph\":\"B\"}]").unwrap();
+        assert!(validate_trace(bad.to_str().unwrap()).is_err());
+    }
+
+    #[test]
     fn method_lookup_covers_all() {
         for name in
             ["LoRAStencil", "convstencil", "TCStencil", "amos", "cuDNN", "Brick", "drstencil"]
@@ -331,7 +489,7 @@ weights1d:
     fn run_report_verifies() {
         let k = find_kernel("Box-2D9P").unwrap();
         let m = find_method("LoRAStencil", ExecConfig::full()).unwrap();
-        let r = run_report(&k, m.as_ref(), &[32, 32], 3, 7, true, "", "").unwrap();
+        let r = run_report(&k, m.as_ref(), &[32, 32], 3, 7, true, "", "", "").unwrap();
         assert!(r.contains("GStencil/s"));
         assert!(r.contains("verification"));
     }
@@ -340,7 +498,7 @@ weights1d:
     fn run_report_rejects_dim_mismatch() {
         let k = find_kernel("Heat-3D").unwrap();
         let m = find_method("LoRAStencil", ExecConfig::full()).unwrap();
-        assert!(run_report(&k, m.as_ref(), &[32, 32], 1, 0, false, "", "").is_err());
+        assert!(run_report(&k, m.as_ref(), &[32, 32], 1, 0, false, "", "", "").is_err());
     }
 
     #[test]
@@ -352,12 +510,12 @@ weights1d:
         let m = find_method("LoRAStencil", ExecConfig::full()).unwrap();
         let p = path.to_str().unwrap();
         // save 3 steps, then resume from the checkpoint for 2 more
-        run_report(&k, m.as_ref(), &[24, 24], 3, 9, true, "", p).unwrap();
-        let r = run_report(&k, m.as_ref(), &[24, 24], 2, 9, true, p, "").unwrap();
+        run_report(&k, m.as_ref(), &[24, 24], 3, 9, true, "", p, "").unwrap();
+        let r = run_report(&k, m.as_ref(), &[24, 24], 2, 9, true, p, "", "").unwrap();
         assert!(r.contains("GStencil/s"));
         // resuming from a 2-D checkpoint with a 3-D kernel fails cleanly
         let k3 = find_kernel("Heat-3D").unwrap();
-        assert!(run_report(&k3, m.as_ref(), &[4, 8, 8], 1, 0, false, p, "").is_err());
+        assert!(run_report(&k3, m.as_ref(), &[4, 8, 8], 1, 0, false, p, "", "").is_err());
     }
 
     #[test]

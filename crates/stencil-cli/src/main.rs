@@ -3,8 +3,8 @@
 
 use stencil_cli::args::{parse, parse_size};
 use stencil_cli::{
-    analyze_text, codegen_text, find_method, list_text, parse_config, resolve_kernel, run_report,
-    trace_text, usage,
+    analyze_text, codegen_text, find_method, list_text, parse_config, profile_report,
+    resolve_kernel, run_report, trace_text, usage, validate_trace,
 };
 
 fn real_main() -> Result<(), String> {
@@ -64,8 +64,44 @@ fn real_main() -> Result<(), String> {
                     args.flag("verify"),
                     args.opt("load", ""),
                     args.opt("save", ""),
+                    args.opt("trace-out", ""),
                 )?
             );
+        }
+        "profile" => {
+            let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
+            let method = find_method(args.opt("method", "LoRAStencil"), Default::default())
+                .ok_or_else(|| {
+                    format!("unknown method {:?} (try `list`)", args.opt("method", ""))
+                })?;
+            let default_size = match kernel.dims() {
+                1 => "4096".to_string(),
+                2 => "128x128".to_string(),
+                _ => "8x32x32".to_string(),
+            };
+            let dims = parse_size(args.opt("size", &default_size))?;
+            let iters: usize =
+                args.opt("iters", "1").parse().map_err(|e| format!("bad --iters: {e}"))?;
+            let seed: u64 =
+                args.opt("seed", "42").parse().map_err(|e| format!("bad --seed: {e}"))?;
+            print!(
+                "{}",
+                profile_report(
+                    &kernel,
+                    method.as_ref(),
+                    &dims,
+                    iters,
+                    seed,
+                    args.opt("trace-out", "trace.json"),
+                )?
+            );
+        }
+        "validate-trace" => {
+            let path = args.opt("load", "");
+            if path.is_empty() {
+                return Err("validate-trace needs --load <file>".into());
+            }
+            print!("{}", validate_trace(path)?);
         }
         other => {
             eprint!("unknown subcommand {other}\n\n{}", usage());
