@@ -375,8 +375,8 @@ mod tests {
 
     #[test]
     fn convstencil_occupies_more_shared_memory_than_lora() {
-        use lorastencil::{ExecConfig, Plan2D};
-        let plan = Plan2D::new(&kernels::box_2d49p(), ExecConfig::full());
+        use lorastencil::{ExecConfig, Plan};
+        let plan = Plan::new(&kernels::box_2d49p(), ExecConfig::full());
         let conv_block = block_resources_2d(3, 7);
         assert!(conv_block.shared_bytes > plan.block_resources().shared_bytes);
     }

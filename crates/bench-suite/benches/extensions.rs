@@ -3,7 +3,7 @@
 //! generation, and distributed execution.
 
 use foundation::bench::{black_box, Bench};
-use lorastencil::{codegen, ExecConfig, Plan2D};
+use lorastencil::{codegen, ExecConfig, Plan};
 use stencil_core::{io, kernels, spec, Grid2D, GridData};
 use tcu_sim::fp16::{quantize_f16, Acc16, Frag16};
 use tcu_sim::SimContext;
@@ -37,10 +37,8 @@ fn bench_io(c: &mut Bench) {
 }
 
 fn bench_codegen(c: &mut Bench) {
-    let plan = Plan2D::new(&kernels::box_2d49p(), ExecConfig::full());
-    c.bench_function("codegen_emit_box2d49p", |b| {
-        b.iter(|| codegen::emit_cuda_kernel(black_box(&plan)))
-    });
+    let plan = Plan::new(&kernels::box_2d49p(), ExecConfig::full());
+    c.bench_function("codegen_emit_box2d49p", |b| b.iter(|| codegen::emit_cuda(black_box(&plan))));
 }
 
 fn bench_distributed(c: &mut Bench) {

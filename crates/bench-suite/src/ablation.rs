@@ -13,14 +13,14 @@
 use crate::report::{format_table, geomean};
 use crate::runner::evaluate;
 use crate::workloads;
-use lorastencil::exec::two_d::apply_once;
 use lorastencil::rdg::RdgGeometry;
-use lorastencil::{autotune, decompose, fusion, ExecConfig, LoRaStencil, Plan2D};
+use lorastencil::schedule::apply_once;
+use lorastencil::{autotune, decompose, fusion, ExecConfig, LoRaStencil, Plan};
 use stencil_core::{kernels, Grid2D, StencilKernel};
 use tcu_sim::{CostModel, GlobalArray, PerfCounters};
 
 /// Run one custom plan over a grid and return counters.
-fn run_plan(plan: &Plan2D, n: usize) -> PerfCounters {
+fn run_plan(plan: &Plan, n: usize) -> PerfCounters {
     let grid = Grid2D::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 23) as f64 * 0.2);
     let input = GlobalArray::from_vec(n, n, grid.as_slice().to_vec());
     let (_, counters) = apply_once(&input, plan);
@@ -36,12 +36,12 @@ pub fn decomposition_ablation(model: &CostModel) -> String {
         }
         let fused = fusion::fuse_kernel(&k, fusion::fusion_factor(&k));
         let geo = RdgGeometry::for_radius(fused.radius);
-        let base_plan = Plan2D::new(&k, ExecConfig::full());
+        let base_plan = Plan::new(&k, ExecConfig::full());
         for cand in autotune::candidates(fused.weights_2d(), 1e-12) {
             if cand.reconstruction_error(fused.weights_2d()) > 1e-8 {
                 continue;
             }
-            let plan = Plan2D { decomp: cand.clone(), ..base_plan.clone() };
+            let plan = base_plan.with_decomposition(cand.clone());
             let counters = run_plan(&plan, 64);
             let est = model.estimate(&counters, &plan.block_resources());
             rows.push(vec![
@@ -73,13 +73,7 @@ pub fn fusion_sweep(model: &CostModel) -> String {
         let fused = fusion::fuse_kernel(&base, t);
         let decomp = decompose::decompose(fused.weights_2d(), 1e-12);
         let geo = RdgGeometry::for_radius(fused.radius);
-        let plan = Plan2D {
-            exec_kernel: fused.clone(),
-            fusion: t,
-            decomp: decomp.clone(),
-            geo,
-            config: ExecConfig::full(),
-        };
+        let plan = Plan::custom_2d(fused.clone(), t, decomp.clone(), ExecConfig::full());
         let counters = run_plan(&plan, 96);
         let est = model.estimate(&counters, &plan.block_resources());
         rows.push(vec![
@@ -180,13 +174,13 @@ pub fn autotune_report() -> String {
         if k.dims() != 2 {
             continue;
         }
-        let d = Plan2D::new(&k, ExecConfig::full());
-        let a = Plan2D::new_autotuned(&k, ExecConfig::full());
+        let d = Plan::new(&k, ExecConfig::full());
+        let a = Plan::new_autotuned(&k, ExecConfig::full());
         rows.push(vec![
             k.name.clone(),
-            format!("{:?} ({})", d.decomp.strategy, d.decomp.num_terms()),
-            format!("{:?} ({})", a.decomp.strategy, a.decomp.num_terms()),
-            if autotune::tile_cost(&a.decomp, a.geo) < autotune::tile_cost(&d.decomp, d.geo) {
+            format!("{:?} ({})", d.decomp().strategy, d.decomp().num_terms()),
+            format!("{:?} ({})", a.decomp().strategy, a.decomp().num_terms()),
+            if autotune::tile_cost(a.decomp(), a.geo) < autotune::tile_cost(d.decomp(), d.geo) {
                 "autotune wins".to_string()
             } else {
                 "tie".to_string()

@@ -1,0 +1,159 @@
+//! `bench_guard` — the CI bench-regression gate.
+//!
+//! Reads a bench report JSON written by the foundation harness with
+//! `--baseline <old> --json <new>` (each entry then carries a
+//! `speedup_vs_baseline` ratio of old-best over new-best) and fails if
+//! any tracked benchmark regressed by more than the allowed fraction:
+//! a speedup below `1 / (1 + max_regression)` means the new best time
+//! is more than `max_regression` slower than the checked-in baseline.
+//!
+//! Entries without a numeric `speedup_vs_baseline` (benchmarks that are
+//! new since the baseline, or runs without `--baseline`) are reported
+//! but never fail the gate.
+//!
+//! ```text
+//! bench_guard --json BENCH_pr5.json [--max-regression 0.10]
+//! ```
+
+use foundation::json::Json;
+
+/// One parsed verdict: benchmark name, its speedup vs baseline (`None`
+/// when the baseline has no entry for it), and whether it passes.
+struct Verdict {
+    name: String,
+    speedup: Option<f64>,
+    pass: bool,
+}
+
+/// Evaluate every entry of a bench report against the regression bound.
+fn check(doc: &Json, max_regression: f64) -> Result<Vec<Verdict>, String> {
+    let entries = doc.as_arr().ok_or("bench report top level is not an array")?;
+    let floor = 1.0 / (1.0 + max_regression);
+    let mut out = Vec::new();
+    for e in entries {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("bench entry is missing a string \"name\"")?
+            .to_string();
+        let speedup = e.get("speedup_vs_baseline").and_then(Json::as_f64);
+        let pass = speedup.map(|s| s >= floor).unwrap_or(true);
+        out.push(Verdict { name, speedup, pass });
+    }
+    Ok(out)
+}
+
+fn real_main() -> Result<(), String> {
+    let mut json_path = String::new();
+    let mut max_regression = 0.10f64;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => {
+                json_path = argv.get(i + 1).cloned().ok_or("--json needs a path")?;
+                i += 2;
+            }
+            "--max-regression" => {
+                let v = argv.get(i + 1).ok_or("--max-regression needs a value")?;
+                max_regression =
+                    v.parse().map_err(|e| format!("bad --max-regression {v:?}: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if json_path.is_empty() {
+        return Err("usage: bench_guard --json <report.json> [--max-regression 0.10]".into());
+    }
+    let text =
+        std::fs::read_to_string(&json_path).map_err(|e| format!("cannot read {json_path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{json_path}: {e}"))?;
+    let verdicts = check(&doc, max_regression).map_err(|e| format!("{json_path}: {e}"))?;
+    if verdicts.is_empty() {
+        return Err(format!("{json_path}: empty bench report"));
+    }
+    let mut failures = 0usize;
+    for v in &verdicts {
+        let status = if !v.pass {
+            failures += 1;
+            "REGRESSED"
+        } else if v.speedup.is_none() {
+            "no baseline"
+        } else {
+            "ok"
+        };
+        match v.speedup {
+            Some(s) => println!("  {:<44} {:>6.3}x vs baseline  [{status}]", v.name, s),
+            None => println!("  {:<44} {:>7}  [{status}]", v.name, "-"),
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} benchmark(s) regressed more than {:.0}% vs the checked-in baseline",
+            max_regression * 100.0
+        ));
+    }
+    println!(
+        "bench guard: {} benchmarks within {:.0}% of baseline",
+        verdicts.len(),
+        max_regression * 100.0
+    );
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("bench_guard: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, Option<f64>)]) -> Json {
+        let arr: Vec<Json> = entries
+            .iter()
+            .map(|(n, s)| {
+                let mut fields = vec![("name", Json::Str(n.to_string()))];
+                if let Some(s) = s {
+                    fields.push(("speedup_vs_baseline", Json::Num(*s)));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        Json::Arr(arr)
+    }
+
+    #[test]
+    fn regressions_beyond_the_bound_fail() {
+        let doc = report(&[("fast", Some(1.2)), ("slow", Some(0.85))]);
+        let v = check(&doc, 0.10).unwrap();
+        assert!(v[0].pass);
+        assert!(!v[1].pass, "0.85 speedup = 17.6% slower, over the 10% bound");
+    }
+
+    #[test]
+    fn small_regressions_within_the_bound_pass() {
+        // 1/1.10 ≈ 0.909: a 9% slowdown is inside a 10% budget
+        let doc = report(&[("jitter", Some(0.917))]);
+        assert!(check(&doc, 0.10).unwrap()[0].pass);
+    }
+
+    #[test]
+    fn entries_without_a_baseline_never_fail() {
+        let doc = report(&[("brand-new", None)]);
+        let v = check(&doc, 0.10).unwrap();
+        assert!(v[0].pass);
+        assert!(v[0].speedup.is_none());
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(check(&Json::Num(3.0), 0.1).is_err());
+        let no_name = Json::Arr(vec![Json::obj(vec![("speedup_vs_baseline", Json::Num(1.0))])]);
+        assert!(check(&no_name, 0.1).is_err());
+    }
+}

@@ -1,99 +1,81 @@
-//! CUDA/WMMA kernel listing generation: emit the device code a
-//! [`Plan2D`] corresponds to on real hardware.
+//! CUDA/WMMA kernel listing generation: emit the device code a lowered
+//! [`Schedule`] corresponds to on real hardware — for any dimensionality.
 //!
-//! The simulator executes plans directly; this module renders the same
-//! plan as the annotated CUDA-with-PTX kernel a practitioner would write
-//! — `cp.async` staging, `wmma::load_matrix_sync` fragment loads, the
-//! per-term `mma.sync.aligned.m8n8k4.f64` chains of RDG, and the
-//! butterfly register reinterpretation of BVS (which appears as *no
+//! The simulator interprets schedules directly; this module renders the
+//! same op sequence as the annotated CUDA-with-PTX kernel a practitioner
+//! would write — `cp.async` staging, `wmma::load_matrix_sync` fragment
+//! loads, the per-term `mma.sync.aligned.m8n8k4.f64` chains of RDG, and
+//! the butterfly register reinterpretation of BVS (which appears as *no
 //! code at all* on the T side, only as the swapped row mapping baked
-//! into the V constants). Useful for porting the plan back onto a real
+//! into the V constants). Useful for porting a plan back onto a real
 //! A100 and as executable documentation of the algorithm→hardware
-//! mapping of §III.
+//! mapping of §III. Because the emitter walks the IR rather than a
+//! dimension-specific plan, the 1-D banded gather and the 3-D per-plane
+//! program (Algorithm 2) render through the same op cases the
+//! interpreter executes.
 
-use crate::plan::Plan2D;
+use crate::plan::Plan;
 use crate::rdg::{build_u_frags, build_v_frags};
+use crate::schedule::{AccSplit, BackendKind, Op, Schedule};
 use std::fmt::Write as _;
 
-/// Render the weight-constant tables (the `U_k`/`V_k` fragments of every
-/// rank-1 term) as `__constant__` arrays.
-fn emit_weight_tables(plan: &Plan2D, out: &mut String) {
-    let geo = plan.geo;
-    for (ti, term) in plan.decomp.terms.iter().enumerate() {
-        let u = build_u_frags(term, geo);
-        let v = build_v_frags(term, geo, plan.config.use_bvs);
-        writeln!(out, "// term {ti}: {0}x{0} rank-1 pyramid level (u ⊗ vᵀ)", term.side()).unwrap();
-        writeln!(out, "__constant__ double U{ti}[{}][32] = {{ /* per-lane A fragments */", u.len())
-            .unwrap();
-        for frag in &u {
-            let row: Vec<String> = frag.lanes.iter().map(|x| format!("{x:.6}")).collect();
-            writeln!(out, "  {{{}}},", row.join(", ")).unwrap();
-        }
-        writeln!(out, "}};").unwrap();
-        writeln!(
-            out,
-            "__constant__ double V{ti}[{}][32] = {{ /* per-lane B fragments{} */",
-            v.len(),
-            if plan.config.use_bvs { ", butterfly-row-swapped (Eq. 17)" } else { "" }
-        )
+/// Render one term's weight-constant tables (the `U_k`/`V_k` fragments)
+/// as `__constant__` arrays: one U/V pair per rank-1 term.
+fn emit_term_tables(sched: &Schedule, ti: usize, out: &mut String) {
+    let term = &sched.terms[ti].term;
+    let use_bvs = sched.split == AccSplit::Bvs;
+    let u = build_u_frags(term, sched.geo);
+    let v = build_v_frags(term, sched.geo, use_bvs);
+    writeln!(out, "// term {ti}: {0}x{0} rank-1 pyramid level (u ⊗ vᵀ)", term.side()).unwrap();
+    writeln!(out, "__constant__ double U{ti}[{}][32] = {{ /* per-lane A fragments */", u.len())
         .unwrap();
-        for frag in &v {
-            let row: Vec<String> = frag.lanes.iter().map(|x| format!("{x:.6}")).collect();
-            writeln!(out, "  {{{}}},", row.join(", ")).unwrap();
-        }
-        writeln!(out, "}};").unwrap();
+    for frag in &u {
+        let row: Vec<String> = frag.lanes.iter().map(|x| format!("{x:.6}")).collect();
+        writeln!(out, "  {{{}}},", row.join(", ")).unwrap();
     }
+    writeln!(out, "}};").unwrap();
+    writeln!(
+        out,
+        "__constant__ double V{ti}[{}][32] = {{ /* per-lane B fragments{} */",
+        v.len(),
+        if use_bvs { ", butterfly-row-swapped (Eq. 17)" } else { "" }
+    )
+    .unwrap();
+    for frag in &v {
+        let row: Vec<String> = frag.lanes.iter().map(|x| format!("{x:.6}")).collect();
+        writeln!(out, "  {{{}}},", row.join(", ")).unwrap();
+    }
+    writeln!(out, "}};").unwrap();
 }
 
-/// Generate the annotated CUDA kernel listing for a 2-D plan.
-pub fn emit_cuda_kernel(plan: &Plan2D) -> String {
-    let geo = plan.geo;
-    let h = plan.exec_kernel.radius;
-    let s = geo.s;
-    let mut out = String::new();
+/// Render the 1-D banded `V` table (Eq. 11 — the single gather matrix).
+fn emit_banded_table(sched: &Schedule, out: &mut String) {
+    writeln!(
+        out,
+        "// banded gather matrix V (Eq. 11): {}x8 as {} B fragments",
+        sched.seg_len,
+        sched.v1d.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "__constant__ double V1D[{}][32] = {{ /* per-lane B fragments */",
+        sched.v1d.len()
+    )
+    .unwrap();
+    for frag in &sched.v1d {
+        let row: Vec<String> = frag.lanes.iter().map(|x| format!("{x:.6}")).collect();
+        writeln!(out, "  {{{}}},", row.join(", ")).unwrap();
+    }
+    writeln!(out, "}};").unwrap();
+}
 
-    writeln!(out, "// ======================================================================")
-        .unwrap();
-    writeln!(
-        out,
-        "// LoRAStencil kernel for {} (radius {h}, {}x fused)",
-        plan.exec_kernel.name, plan.fusion
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "// decomposition: {:?}, {} rank-1 terms, pointwise tip {:.6e}",
-        plan.decomp.strategy,
-        plan.decomp.num_terms(),
-        plan.decomp.pointwise
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "// tile: {s}x{s} input window -> 8x8 outputs per warp ({} MMAs/term)",
-        geo.mma_per_term()
-    )
-    .unwrap();
-    writeln!(out, "// ======================================================================")
-        .unwrap();
-    emit_weight_tables(plan, &mut out);
-    writeln!(out).unwrap();
-    writeln!(
-        out,
-        "__global__ void lorastencil_{}(const double* __restrict__ in,",
-        plan.exec_kernel.name.to_lowercase().replace(['-', 'x'], "_")
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "                               double* __restrict__ outp, int rows, int cols) {{"
-    )
-    .unwrap();
-    writeln!(out, "  __shared__ double tile[{s}][{s}];   // one input window per warp").unwrap();
-    writeln!(out, "  const int r0 = 8 * (blockIdx.y * blockDim.y + threadIdx.y);").unwrap();
-    writeln!(out, "  const int c0 = 8 * blockIdx.x;").unwrap();
-    writeln!(out).unwrap();
-    if plan.config.use_async_copy {
+/// Emit the global→shared staging of one S×S window (2-D/3-D
+/// [`Op::Stage`]); `src` names the input pointer being staged.
+fn emit_stage(sched: &Schedule, src: &str, out: &mut String) {
+    let s = sched.geo.s;
+    let h = sched.h;
+    if sched.copy_mode == tcu_sim::CopyMode::Async {
         writeln!(out, "  // §IV-B: cp.async global->shared copy, bypassing the register file")
             .unwrap();
         writeln!(out, "  for (int e = laneid(); e < {s}*{s}; e += 32) {{").unwrap();
@@ -103,16 +85,22 @@ pub fn emit_cuda_kernel(plan: &Plan2D) -> String {
         )
         .unwrap();
         writeln!(out, "    asm volatile(\"cp.async.ca.shared.global [%0], [%1], 8;\" ::").unwrap();
-        writeln!(out, "      \"r\"(&tile[e / {s}][e % {s}]), \"l\"(&in[rr * cols + cc]));")
+        writeln!(out, "      \"r\"(&tile[e / {s}][e % {s}]), \"l\"(&{src}[rr * cols + cc]));")
             .unwrap();
         writeln!(out, "  }}").unwrap();
         writeln!(out, "  asm volatile(\"cp.async.wait_all;\");").unwrap();
     } else {
         writeln!(out, "  // staged copy: global -> registers -> shared").unwrap();
         writeln!(out, "  for (int e = laneid(); e < {s}*{s}; e += 32)").unwrap();
-        writeln!(out, "    tile[e / {s}][e % {s}] = in[mod(r0 - {h} + e / {s}, rows) * cols + mod(c0 - {h} + e % {s}, cols)];").unwrap();
+        writeln!(out, "    tile[e / {s}][e % {s}] = {src}[mod(r0 - {h} + e / {s}, rows) * cols + mod(c0 - {h} + e % {s}, cols)];").unwrap();
     }
     writeln!(out, "  __syncwarp();").unwrap();
+}
+
+/// Emit the X fragment loads ([`Op::FragBuild`], Eq. 12).
+fn emit_frag_build(sched: &Schedule, declared: &mut bool, out: &mut String) {
+    let geo = sched.geo;
+    let s = geo.s;
     writeln!(out).unwrap();
     writeln!(
         out,
@@ -122,93 +110,343 @@ pub fn emit_cuda_kernel(plan: &Plan2D) -> String {
         geo.row_blocks() * geo.col_blocks()
     )
     .unwrap();
-    writeln!(
-        out,
-        "  wmma::fragment<wmma::matrix_b, 8, 8, 4, double, wmma::col_major> X[{}][{}];",
-        geo.row_blocks(),
-        geo.col_blocks()
-    )
-    .unwrap();
+    if !*declared {
+        writeln!(
+            out,
+            "  wmma::fragment<wmma::matrix_b, 8, 8, 4, double, wmma::col_major> X[{}][{}];",
+            geo.row_blocks(),
+            geo.col_blocks()
+        )
+        .unwrap();
+        *declared = true;
+    }
     writeln!(out, "  for (int rb = 0; rb < {}; ++rb)", geo.row_blocks()).unwrap();
     writeln!(out, "    for (int cb = 0; cb < {}; ++cb)", geo.col_blocks()).unwrap();
     writeln!(out, "      wmma::load_matrix_sync(X[rb][cb], &tile[4 * rb][8 * cb], {s});").unwrap();
+}
+
+/// Emit one RDG matrix chain ([`Op::MmaChain`]) on the selected backend.
+fn emit_chain(sched: &Schedule, ti: usize, out: &mut String) {
+    let geo = sched.geo;
     writeln!(out).unwrap();
-    writeln!(out, "  wmma::fragment<wmma::accumulator, 8, 8, 4, double> acc;").unwrap();
-    writeln!(out, "  wmma::fill_fragment(acc, 0.0);").unwrap();
-    for (ti, _) in plan.decomp.terms.iter().enumerate() {
-        writeln!(out).unwrap();
-        writeln!(out, "  // ---- RDG term {ti} (§III-B): acc += U{ti} · X · V{ti} ----").unwrap();
-        writeln!(out, "  for (int j = 0; j < {}; ++j) {{", geo.col_blocks()).unwrap();
-        writeln!(out, "    wmma::fragment<wmma::accumulator, 8, 8, 4, double> T;").unwrap();
-        writeln!(out, "    wmma::fill_fragment(T, 0.0);").unwrap();
+    if sched.backend == BackendKind::CudaCore {
+        let term = &sched.terms[ti].term;
+        writeln!(out, "  // ---- RDG term {ti} on CUDA cores (ablation: tensor cores off) ----")
+            .unwrap();
+        writeln!(out, "  for (int e = laneid(); e < 64; e += 32) {{").unwrap();
+        writeln!(out, "    const int p = e / 8, q = e % 8; double s = 0.0;").unwrap();
         writeln!(
             out,
-            "    for (int k = 0; k < {}; ++k)   // step 1: vertical gather",
-            geo.row_blocks()
+            "    for (int i = 0; i < {}; ++i)   // T = U{ti} · X (vertical gather)",
+            term.u.len()
         )
         .unwrap();
-        writeln!(out, "      wmma::mma_sync(T, fragA(U{ti}[k]), X[k][j], T);").unwrap();
-        if plan.config.use_bvs {
-            writeln!(out, "    // step 2 + §III-D BVS: T's register 0/1 ARE the two A fragments —")
-                .unwrap();
-            writeln!(
-                out,
-                "    // zero shuffles; the butterfly row swap lives in the V{ti} constants"
-            )
-            .unwrap();
-            writeln!(
-                out,
-                "    wmma::mma_sync(acc, reinterpretA(T.x[0]), fragB(V{ti}[2 * j + 0]), acc);"
-            )
-            .unwrap();
-            writeln!(
-                out,
-                "    wmma::mma_sync(acc, reinterpretA(T.x[1]), fragB(V{ti}[2 * j + 1]), acc);"
-            )
-            .unwrap();
-        } else {
-            writeln!(
-                out,
-                "    // step 2 without BVS: natural column split needs cross-lane shuffles"
-            )
-            .unwrap();
-            writeln!(out, "    double lo = __shfl_sync(~0u, T.x[0], shuf_lo(laneid()));").unwrap();
-            writeln!(out, "    double hi = __shfl_sync(~0u, T.x[1], shuf_hi(laneid()));").unwrap();
-            writeln!(
-                out,
-                "    wmma::mma_sync(acc, fragA_from(lo, hi, 0), fragB(V{ti}[2 * j + 0]), acc);"
-            )
-            .unwrap();
-            writeln!(
-                out,
-                "    wmma::mma_sync(acc, fragA_from(lo, hi, 1), fragB(V{ti}[2 * j + 1]), acc);"
-            )
-            .unwrap();
-        }
+        writeln!(
+            out,
+            "      for (int j = 0; j < {}; ++j) // R += T · V{ti} (horizontal gather)",
+            term.v.len()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "        s += u{ti}[i] * v{ti}[j] * tile[p + shift{ti} + i][q + shift{ti} + j];"
+        )
+        .unwrap();
+        writeln!(out, "    acc_s[e] += s;").unwrap();
         writeln!(out, "  }}").unwrap();
+        return;
     }
-    if plan.decomp.pointwise != 0.0 {
-        writeln!(out).unwrap();
-        writeln!(out, "  // §III-C pyramid tip: 1x1 term, no matrix multiply needed").unwrap();
+    writeln!(out, "  // ---- RDG term {ti} (§III-B): acc += U{ti} · X · V{ti} ----").unwrap();
+    writeln!(out, "  for (int j = 0; j < {}; ++j) {{", geo.col_blocks()).unwrap();
+    writeln!(out, "    wmma::fragment<wmma::accumulator, 8, 8, 4, double> T;").unwrap();
+    writeln!(out, "    wmma::fill_fragment(T, 0.0);").unwrap();
+    writeln!(
+        out,
+        "    for (int k = 0; k < {}; ++k)   // step 1: vertical gather",
+        geo.row_blocks()
+    )
+    .unwrap();
+    writeln!(out, "      wmma::mma_sync(T, fragA(U{ti}[k]), X[k][j], T);").unwrap();
+    if sched.split == AccSplit::Bvs {
+        writeln!(out, "    // step 2 + §III-D BVS: T's register 0/1 ARE the two A fragments —")
+            .unwrap();
+        writeln!(out, "    // zero shuffles; the butterfly row swap lives in the V{ti} constants")
+            .unwrap();
         writeln!(
             out,
-            "  acc.x[0] += {:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 0)];",
-            plan.decomp.pointwise
+            "    wmma::mma_sync(acc, reinterpretA(T.x[0]), fragB(V{ti}[2 * j + 0]), acc);"
         )
         .unwrap();
         writeln!(
             out,
-            "  acc.x[1] += {:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 1)];",
-            plan.decomp.pointwise
+            "    wmma::mma_sync(acc, reinterpretA(T.x[1]), fragB(V{ti}[2 * j + 1]), acc);"
+        )
+        .unwrap();
+    } else {
+        writeln!(out, "    // step 2 without BVS: natural column split needs cross-lane shuffles")
+            .unwrap();
+        writeln!(out, "    double lo = __shfl_sync(~0u, T.x[0], shuf_lo(laneid()));").unwrap();
+        writeln!(out, "    double hi = __shfl_sync(~0u, T.x[1], shuf_hi(laneid()));").unwrap();
+        writeln!(
+            out,
+            "    wmma::mma_sync(acc, fragA_from(lo, hi, 0), fragB(V{ti}[2 * j + 0]), acc);"
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "    wmma::mma_sync(acc, fragA_from(lo, hi, 1), fragB(V{ti}[2 * j + 1]), acc);"
         )
         .unwrap();
     }
+    writeln!(out, "  }}").unwrap();
+}
+
+/// Emit the pointwise pyramid tip ([`Op::Pointwise`], §III-C).
+fn emit_tip(sched: &Schedule, weight: f64, out: &mut String) {
+    if weight == 0.0 {
+        return;
+    }
+    let h = sched.h;
+    writeln!(out).unwrap();
+    writeln!(out, "  // §III-C pyramid tip: 1x1 term, no matrix multiply needed").unwrap();
+    if sched.backend == BackendKind::CudaCore {
+        writeln!(out, "  for (int e = laneid(); e < 64; e += 32)").unwrap();
+        writeln!(out, "    acc_s[e] += {weight:.17e} * tile[{h} + e / 8][{h} + e % 8];").unwrap();
+    } else {
+        writeln!(
+            out,
+            "  acc.x[0] += {weight:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 0)];"
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  acc.x[1] += {weight:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 1)];"
+        )
+        .unwrap();
+    }
+}
+
+/// Emit the fused 1-D segment pack + banded gather ([`Op::RdgGather`],
+/// §IV-C).
+fn emit_gather_1d(sched: &Schedule, out: &mut String) {
+    let sl = sched.seg_len;
+    let h = sched.h;
+    writeln!(out, "  // §IV-C: pack 8 overlapping {sl}-long segments as the rows of X").unwrap();
+    if sched.copy_mode == tcu_sim::CopyMode::Async {
+        writeln!(out, "  for (int e = laneid(); e < 8 * {sl}; e += 32) {{").unwrap();
+        writeln!(out, "    const int seg = e / {sl}, c = mod(i0 + 8 * seg - {h} + e % {sl}, n);")
+            .unwrap();
+        writeln!(out, "    asm volatile(\"cp.async.ca.shared.global [%0], [%1], 8;\" ::").unwrap();
+        writeln!(out, "      \"r\"(&seg_tile[seg][e % {sl}]), \"l\"(&in[c]));").unwrap();
+        writeln!(out, "  }}").unwrap();
+        writeln!(out, "  asm volatile(\"cp.async.wait_all;\");").unwrap();
+    } else {
+        writeln!(out, "  // staged copy: global -> registers -> shared").unwrap();
+        writeln!(out, "  for (int e = laneid(); e < 8 * {sl}; e += 32)").unwrap();
+        writeln!(
+            out,
+            "    seg_tile[e / {sl}][e % {sl}] = in[mod(i0 + 8 * (e / {sl}) - {h} + e % {sl}, n)];"
+        )
+        .unwrap();
+    }
+    writeln!(out, "  __syncwarp();").unwrap();
     writeln!(out).unwrap();
     writeln!(
         out,
-        "  wmma::store_matrix_sync(&outp[r0 * cols + c0], acc, cols, wmma::mem_row_major);"
+        "  // the single banded MM gathers the whole dimension: {} chained MMAs, no MCM",
+        sched.v1d.len()
     )
     .unwrap();
+    writeln!(out, "  for (int blk = 0; blk < {}; ++blk)", sched.v1d.len()).unwrap();
+    writeln!(out, "    wmma::mma_sync(acc, fragA(&seg_tile[0][4 * blk]), fragB(V1D[blk]), acc);")
+        .unwrap();
+}
+
+/// Generate the annotated CUDA kernel listing for a plan of any
+/// dimensionality by walking its lowered schedule.
+pub fn emit_cuda(plan: &Plan) -> String {
+    let sched = Schedule::lower(plan);
+    let geo = sched.geo;
+    let h = sched.h;
+    let s = geo.s;
+    let mut out = String::new();
+
+    writeln!(out, "// ======================================================================")
+        .unwrap();
+    writeln!(
+        out,
+        "// LoRAStencil kernel for {} ({}-D, radius {h}, {}x fused)",
+        plan.exec_kernel.name, sched.dims, sched.fuse_steps
+    )
+    .unwrap();
+    match sched.dims {
+        1 => writeln!(
+            out,
+            "// single banded MM (§IV-C): {}-long segments, {} MMAs per 64 outputs",
+            sched.seg_len,
+            sched.v1d.len()
+        )
+        .unwrap(),
+        2 => writeln!(
+            out,
+            "// decomposition: {:?}, {} rank-1 terms, pointwise tip {:.6e}",
+            plan.decomp().strategy,
+            plan.decomp().num_terms(),
+            plan.decomp().pointwise
+        )
+        .unwrap(),
+        _ => writeln!(
+            out,
+            "// Algorithm 2: {} z-planes, {} rank-1 terms total across RDG planes",
+            plan.plane_ops().len(),
+            sched.terms.len()
+        )
+        .unwrap(),
+    }
+    if sched.dims != 1 {
+        writeln!(
+            out,
+            "// tile: {s}x{s} input window -> 8x8 outputs per warp ({} MMAs/term)",
+            geo.mma_per_term()
+        )
+        .unwrap();
+    }
+    writeln!(out, "// ======================================================================")
+        .unwrap();
+    for ti in 0..sched.terms.len() {
+        emit_term_tables(&sched, ti, &mut out);
+    }
+    if sched.dims == 1 {
+        emit_banded_table(&sched, &mut out);
+    }
+    writeln!(out).unwrap();
+    let fn_name = plan.exec_kernel.name.to_lowercase().replace(['-', 'x'], "_");
+    match sched.dims {
+        1 => {
+            writeln!(out, "__global__ void lorastencil_{fn_name}(const double* __restrict__ in,")
+                .unwrap();
+            writeln!(out, "                               double* __restrict__ outp, int n) {{")
+                .unwrap();
+            writeln!(
+                out,
+                "  __shared__ double seg_tile[8][{}];   // 8 overlapping segments per warp",
+                sched.seg_len
+            )
+            .unwrap();
+            writeln!(out, "  const int i0 = 64 * (blockIdx.x * blockDim.y + threadIdx.y);")
+                .unwrap();
+        }
+        2 => {
+            writeln!(out, "__global__ void lorastencil_{fn_name}(const double* __restrict__ in,")
+                .unwrap();
+            writeln!(
+                out,
+                "                               double* __restrict__ outp, int rows, int cols) {{"
+            )
+            .unwrap();
+            writeln!(out, "  __shared__ double tile[{s}][{s}];   // one input window per warp")
+                .unwrap();
+            writeln!(out, "  const int r0 = 8 * (blockIdx.y * blockDim.y + threadIdx.y);").unwrap();
+            writeln!(out, "  const int c0 = 8 * blockIdx.x;").unwrap();
+        }
+        _ => {
+            writeln!(
+                out,
+                "__global__ void lorastencil_{fn_name}(const double* const* __restrict__ planes,"
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "                               double* __restrict__ outp, int rows, int cols) {{"
+            )
+            .unwrap();
+            writeln!(out, "  // one output plane per blockIdx.z; input planes wrap periodically")
+                .unwrap();
+            writeln!(out, "  __shared__ double tile[{s}][{s}];   // one input window per warp")
+                .unwrap();
+            writeln!(out, "  const int r0 = 8 * (blockIdx.y * blockDim.y + threadIdx.y);").unwrap();
+            writeln!(out, "  const int c0 = 8 * blockIdx.x;").unwrap();
+            writeln!(out, "  const int z = blockIdx.z;").unwrap();
+        }
+    }
+    writeln!(out).unwrap();
+    if sched.backend == BackendKind::CudaCore || sched.fold != crate::schedule::AccFold::FragOnly {
+        writeln!(out, "  double acc_s[64] = {{0.0}};   // scalar (CUDA-core) accumulator").unwrap();
+    }
+    if sched.backend == BackendKind::TcuF64 {
+        writeln!(out, "  wmma::fragment<wmma::accumulator, 8, 8, 4, double> acc;").unwrap();
+        writeln!(out, "  wmma::fill_fragment(acc, 0.0);").unwrap();
+    }
+
+    let mut x_declared = false;
+    for (i, op) in sched.ops.iter().enumerate() {
+        match *op {
+            Op::Stage { dz } => {
+                writeln!(out).unwrap();
+                let src = if sched.dims == 3 {
+                    writeln!(
+                        out,
+                        "  // ---- plane dz={dz}: 2-D dependency gathering (Algorithm 2 line 8) ----"
+                    )
+                    .unwrap();
+                    writeln!(out, "  const double* in{dz} = planes[mod(z + {dz} - {h}, nz)];")
+                        .unwrap();
+                    format!("in{dz}")
+                } else {
+                    "in".to_string()
+                };
+                emit_stage(&sched, &src, &mut out);
+            }
+            Op::FragBuild => emit_frag_build(&sched, &mut x_declared, &mut out),
+            Op::RdgGather => emit_gather_1d(&sched, &mut out),
+            Op::MmaChain { term } => emit_chain(&sched, term as usize, &mut out),
+            Op::Pointwise { weight } => emit_tip(&sched, weight, &mut out),
+            Op::PointwisePlane { dz, weight } => {
+                writeln!(out).unwrap();
+                writeln!(
+                    out,
+                    "  // ---- plane dz={dz}: single center weight, point-wise on CUDA cores"
+                )
+                .unwrap();
+                writeln!(out, "  //      (Algorithm 2 line 5; no shared-memory staging) ----")
+                    .unwrap();
+                writeln!(out, "  const double* pw{i} = planes[mod(z + {dz} - {h}, nz)];").unwrap();
+                writeln!(out, "  for (int e = laneid(); e < 64; e += 32)").unwrap();
+                writeln!(
+                    out,
+                    "    acc_s[e] += {weight:.17e} * pw{i}[(r0 + e / 8) * cols + c0 + e % 8];"
+                )
+                .unwrap();
+            }
+            Op::SkipPlane { dz } => {
+                writeln!(out).unwrap();
+                writeln!(out, "  // ---- plane dz={dz}: all-zero, skipped ----").unwrap();
+            }
+        }
+    }
+
+    writeln!(out).unwrap();
+    match (sched.backend, sched.fold) {
+        (BackendKind::TcuF64, crate::schedule::AccFold::Merge) => {
+            writeln!(out, "  // fold the tensor-core accumulator into the scalar one").unwrap();
+            writeln!(out, "  acc_s[accIdx(laneid(), 0)] += acc.x[0];").unwrap();
+            writeln!(out, "  acc_s[accIdx(laneid(), 1)] += acc.x[1];").unwrap();
+            writeln!(out, "  store_scalar_tile(&outp[r0 * cols + c0], acc_s, cols);").unwrap();
+        }
+        (BackendKind::TcuF64, _) => {
+            let dst = if sched.dims == 1 {
+                "&outp[i0]".to_string()
+            } else {
+                "&outp[r0 * cols + c0]".to_string()
+            };
+            let ld = if sched.dims == 1 { "8".to_string() } else { "cols".to_string() };
+            writeln!(out, "  wmma::store_matrix_sync({dst}, acc, {ld}, wmma::mem_row_major);")
+                .unwrap();
+        }
+        (BackendKind::CudaCore, _) => {
+            writeln!(out, "  store_scalar_tile(&outp[r0 * cols + c0], acc_s, cols);").unwrap();
+        }
+    }
     writeln!(out, "}}").unwrap();
     out
 }
@@ -221,8 +459,8 @@ mod tests {
 
     #[test]
     fn listing_reflects_the_plan() {
-        let plan = Plan2D::new(&kernels::box_2d49p(), ExecConfig::full());
-        let code = emit_cuda_kernel(&plan);
+        let plan = Plan::new(&kernels::box_2d49p(), ExecConfig::full());
+        let code = emit_cuda(&plan);
         // three terms → three weight tables and three RDG sections
         for ti in 0..3 {
             assert!(code.contains(&format!("__constant__ double U{ti}")));
@@ -239,33 +477,33 @@ mod tests {
     #[test]
     fn non_bvs_listing_contains_shuffles() {
         let cfg = ExecConfig { use_bvs: false, ..ExecConfig::full() };
-        let plan = Plan2D::new(&kernels::box_2d49p(), cfg);
-        let code = emit_cuda_kernel(&plan);
+        let plan = Plan::new(&kernels::box_2d49p(), cfg);
+        let code = emit_cuda(&plan);
         assert!(code.contains("__shfl_sync"));
     }
 
     #[test]
     fn staged_listing_skips_cp_async() {
         let cfg = ExecConfig { use_async_copy: false, ..ExecConfig::full() };
-        let plan = Plan2D::new(&kernels::box_2d9p(), cfg);
-        let code = emit_cuda_kernel(&plan);
+        let plan = Plan::new(&kernels::box_2d9p(), cfg);
+        let code = emit_cuda(&plan);
         assert!(!code.contains("cp.async"));
         assert!(code.contains("staged copy"));
     }
 
     #[test]
     fn star_kernel_listing_has_no_pointwise_tip() {
-        let plan = Plan2D::new(&kernels::star_2d13p(), ExecConfig::full());
-        let code = emit_cuda_kernel(&plan);
+        let plan = Plan::new(&kernels::star_2d13p(), ExecConfig::full());
+        let code = emit_cuda(&plan);
         assert!(!code.contains("pyramid tip"));
-        assert!(code.contains("2 rank-1 terms") || code.contains("rank-1 terms"));
+        assert!(code.contains("rank-1 terms"));
     }
 
     #[test]
     fn weight_tables_carry_the_butterfly_swap() {
         // with BVS the V tables differ from the natural-order tables
-        let bvs = emit_cuda_kernel(&Plan2D::new(&kernels::box_2d49p(), ExecConfig::full()));
-        let nat = emit_cuda_kernel(&Plan2D::new(
+        let bvs = emit_cuda(&Plan::new(&kernels::box_2d49p(), ExecConfig::full()));
+        let nat = emit_cuda(&Plan::new(
             &kernels::box_2d49p(),
             ExecConfig { use_bvs: false, ..ExecConfig::full() },
         ));
@@ -277,5 +515,80 @@ mod tests {
                 .join("\n")
         };
         assert_ne!(table(&bvs), table(&nat), "V constants must be row-swapped under BVS");
+    }
+
+    // ---- snapshot coverage (one kernel per dimension) ----
+
+    #[test]
+    fn listing_is_deterministic_and_nonempty_per_dimension() {
+        for k in [kernels::heat_1d(), kernels::box_2d49p(), kernels::heat_3d()] {
+            let plan = Plan::new(&k, ExecConfig::full());
+            let a = emit_cuda(&plan);
+            let b = emit_cuda(&plan);
+            assert_eq!(a, b, "{}: listing must be deterministic", k.name);
+            assert!(a.contains("__global__ void lorastencil_"), "{}", k.name);
+            assert!(a.contains("mma_sync"), "{}: must reach the tensor cores", k.name);
+        }
+    }
+
+    #[test]
+    fn butterfly_swap_is_mentioned_only_with_bvs() {
+        for k in [kernels::box_2d49p(), kernels::heat_3d()] {
+            let on = emit_cuda(&Plan::new(&k, ExecConfig::full()));
+            let off =
+                emit_cuda(&Plan::new(&k, ExecConfig { use_bvs: false, ..ExecConfig::full() }));
+            assert!(on.contains("butterfly"), "{}: BVS listing must explain the swap", k.name);
+            assert!(!off.contains("butterfly"), "{}: non-BVS listing must not", k.name);
+        }
+        // 1-D has no step-2 accumulator split, so never mentions the swap
+        let one = emit_cuda(&Plan::new(&kernels::heat_1d(), ExecConfig::full()));
+        assert!(!one.contains("butterfly"));
+    }
+
+    #[test]
+    fn one_constant_table_pair_per_rank_one_term() {
+        use crate::plan::PlaneOp;
+        for k in [kernels::box_2d9p(), kernels::box_2d49p(), kernels::box_3d27p()] {
+            let plan = Plan::new(&k, ExecConfig::full());
+            let terms = match k.dims() {
+                2 => plan.decomp().num_terms(),
+                _ => plan
+                    .plane_ops()
+                    .iter()
+                    .map(|op| match op {
+                        PlaneOp::Rdg(d) => d.num_terms(),
+                        _ => 0,
+                    })
+                    .sum(),
+            };
+            let code = emit_cuda(&plan);
+            assert_eq!(code.matches("__constant__ double U").count(), terms, "{}", k.name);
+            // the 1-D banded table is named V1D, so exact-prefix count the
+            // per-term tables only
+            let v_tables = (0..terms)
+                .filter(|ti| code.contains(&format!("__constant__ double V{ti}[")))
+                .count();
+            assert_eq!(v_tables, terms, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn three_d_listing_walks_every_plane() {
+        let plan = Plan::new(&kernels::heat_3d(), ExecConfig::full());
+        let code = emit_cuda(&plan);
+        assert!(code.contains("plane dz=0"));
+        assert!(code.contains("plane dz=1"));
+        assert!(code.contains("plane dz=2"));
+        assert!(code.contains("point-wise on CUDA cores"));
+        assert!(code.contains("fold the tensor-core accumulator"));
+    }
+
+    #[test]
+    fn one_d_listing_is_the_banded_gather() {
+        let plan = Plan::new(&kernels::heat_1d(), ExecConfig::full());
+        let code = emit_cuda(&plan);
+        assert!(code.contains("V1D"));
+        assert!(code.contains("overlapping"));
+        assert!(!code.contains("RDG term"), "1-D has no per-term chains (§IV-C)");
     }
 }

@@ -1,7 +1,9 @@
-//! Dimension-specific LoRAStencil executors and the unified dispatcher.
+//! Per-dimension LoRAStencil lowering rules + public executor shims, and
+//! the unified dispatcher. The shared interpreter/stepping machinery
+//! these shims delegate to lives in [`crate::schedule`].
 
 pub mod one_d;
-mod scratch;
+pub(crate) mod scratch;
 pub mod three_d;
 pub mod two_d;
 

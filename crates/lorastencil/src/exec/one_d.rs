@@ -1,19 +1,16 @@
-//! The 1-D LoRAStencil executor (§IV-C).
+//! The 1-D LoRAStencil lowering + public shim (§IV-C).
 //!
-//! A 1-D stencil has dependencies along a single dimension, so there is no
-//! dimension residue and a single matrix multiply gathers everything: pack
-//! eight overlapping input segments as the rows of an 8×S matrix `X`
-//! (loaded straight into A fragments) and multiply by the banded weight
-//! matrix `V` (Eq. 11) to update 64 points at once.
+//! A 1-D stencil has dependencies along a single dimension, so there is
+//! no dimension residue and a single matrix multiply gathers everything:
+//! the schedule is one fused [`Op::RdgGather`] — pack eight overlapping
+//! input segments as the rows of an 8×S matrix `X` (loaded straight into
+//! A fragments) and multiply by the banded weight matrix `V` (Eq. 11) to
+//! update 64 points at once. Execution lives in [`crate::schedule`].
 
-use crate::exec::scratch::{with_tile_scratch, TileScratch};
-use crate::plan::{ExecConfig, Plan1D};
-use foundation::par::*;
-use stencil_core::tiling::{tiles_1d, Tile1D};
+use crate::plan::ExecConfig;
+use crate::schedule::{self, Op, Schedule};
 use stencil_core::{ExecError, ExecOutcome, Grid1D, GridData, Problem, StencilExecutor};
-use tcu_sim::{
-    CopyMode, FragAcc, FragB, GlobalArray, PerfCounters, SimContext, MMA_K, MMA_M, MMA_N,
-};
+use tcu_sim::{FragB, GlobalArray, MMA_K, MMA_N};
 
 /// LoRAStencil for 1-D kernels.
 #[derive(Debug, Clone, Default)]
@@ -34,10 +31,17 @@ impl LoRaStencil1D {
     }
 }
 
+/// Lowering rule: the whole 1-D tile program is the single banded-MM
+/// gather (no staging/fragment/chain split to express).
+pub(crate) fn lower(seg_len: usize, sched: &mut Schedule) {
+    sched.seg_len = seg_len;
+    sched.ops.push(Op::RdgGather);
+}
+
 /// Build the banded `V` fragments for the 1-D weights: `S/4` B-fragments
 /// of the `S×8` matrix `V[c][q] = w[c − q − 0]` band (`V[q + k][q] = w[k]`).
-fn build_v_frags(w: &[f64], seg_len: usize) -> Vec<FragB> {
-    let _frag_build = foundation::obs::span("frag_build");
+/// Called by [`Schedule::lower`] under its `frag_build` span.
+pub(crate) fn build_v_frags(w: &[f64], seg_len: usize) -> Vec<FragB> {
     let mut dense = vec![[0.0f64; MMA_N]; seg_len];
     for q in 0..MMA_N {
         for (k, &wk) in w.iter().enumerate() {
@@ -59,155 +63,6 @@ fn build_v_frags(w: &[f64], seg_len: usize) -> Vec<FragB> {
         .collect()
 }
 
-/// Compute one 64-point tile: pack 8 overlapping segments into the
-/// per-worker shared tile and gather them with one MMA chain.
-fn compute_tile(
-    input: &GlobalArray,
-    plan: &Plan1D,
-    v_frags: &[FragB],
-    t: Tile1D,
-    scratch: &mut TileScratch,
-) -> ([[f64; MMA_N]; MMA_M], PerfCounters) {
-    let h = plan.exec_kernel.radius as isize;
-    let sl = plan.seg_len;
-    let mode = if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged };
-    let mut ctx = SimContext::new();
-    scratch.tile.reset(MMA_M, sl);
-    {
-        let _rdg_gather = foundation::obs::span("rdg_gather");
-        for r in 0..MMA_M {
-            // 8 of the seg_len loaded elements are this segment's own
-            // outputs (compulsory); the rest is halo overlap in L2
-            let seg_out = MMA_N.min(t.len.saturating_sub(MMA_N * r));
-            input.copy_to_shared_reuse(
-                &mut ctx,
-                mode,
-                0,
-                t.i0 as isize + (MMA_N * r) as isize - h,
-                1,
-                sl,
-                &mut scratch.tile,
-                r,
-                0,
-                seg_out,
-            );
-        }
-    }
-    let mut acc = FragAcc::zero();
-    {
-        let _mma_batch = foundation::obs::span("mma_batch");
-        for (blk, vf) in v_frags.iter().enumerate() {
-            let a = scratch.tile.load_frag_a(&mut ctx, 0, (blk * MMA_K) as isize);
-            ctx.mma_into(&a, vf, &mut acc);
-        }
-    }
-    ctx.points((t.len * plan.fusion) as u64);
-    (acc.to_matrix(), ctx.counters)
-}
-
-/// One (possibly fused) application into a caller-provided output array
-/// (see the 2-D `apply_into` for the parallel-write/ordered-merge
-/// protocol).
-fn apply_into(
-    input: &GlobalArray,
-    out: &mut GlobalArray,
-    plan: &Plan1D,
-    v_frags: &[FragB],
-    tiles: &[Tile1D],
-    slots: &mut Vec<PerfCounters>,
-) -> PerfCounters {
-    let _apply = foundation::obs::span("apply");
-    slots.clear();
-    slots.resize(tiles.len(), PerfCounters::new());
-    {
-        let sink = UnsafeSlice::new(out.as_mut_slice());
-        let slot_sink = UnsafeSlice::new(&mut slots[..]);
-        for_each_index(tiles.len(), |i| {
-            let t = tiles[i];
-            let (vals, mut counters) =
-                with_tile_scratch(|s| compute_tile(input, plan, v_frags, t, s));
-            for (r, row) in vals.iter().enumerate() {
-                let start = t.i0 + MMA_N * r;
-                if start >= t.i0 + t.len {
-                    break;
-                }
-                let cnt = MMA_N.min(t.i0 + t.len - start);
-                // disjoint span write, accounted like a warp store_span
-                let band = unsafe { sink.slice_mut(start, cnt) };
-                band.copy_from_slice(&row[..cnt]);
-                counters.global_bytes_written += (cnt * 8) as u64;
-            }
-            // SAFETY: each index is written by exactly one tile
-            unsafe { slot_sink.write(i, counters) };
-        });
-    }
-    let mut total = PerfCounters::new();
-    for c in slots.iter() {
-        total.merge(c);
-    }
-    total
-}
-
-/// One (possibly fused) stencil application over the array (allocating
-/// convenience form of the [`Stepper1D`] loop).
-pub fn apply_once(input: &GlobalArray, plan: &Plan1D) -> (GlobalArray, PerfCounters) {
-    let n = input.cols();
-    let v_frags = build_v_frags(plan.exec_kernel.weights_1d(), plan.seg_len);
-    let tiles = tiles_1d(n, MMA_M * MMA_N);
-    let mut out = GlobalArray::new(1, n);
-    let mut slots = Vec::new();
-    let counters = apply_into(input, &mut out, plan, &v_frags, &tiles, &mut slots);
-    (out, counters)
-}
-
-/// The steady-state 1-D time-stepping loop: double-buffered arrays plus
-/// the per-apply buffers (tiling, banded `V` fragments, counter slots),
-/// allocated once and reused by each [`Stepper1D::step`].
-pub struct Stepper1D {
-    plan: Plan1D,
-    v_frags: Vec<FragB>,
-    tiles: Vec<Tile1D>,
-    slots: Vec<PerfCounters>,
-    cur: GlobalArray,
-    next: GlobalArray,
-}
-
-impl Stepper1D {
-    /// Set up the loop over `input` for `plan`.
-    pub fn new(plan: Plan1D, input: GlobalArray) -> Self {
-        let n = input.cols();
-        let v_frags = build_v_frags(plan.exec_kernel.weights_1d(), plan.seg_len);
-        let tiles = tiles_1d(n, MMA_M * MMA_N);
-        let next = GlobalArray::new(1, n);
-        Stepper1D { plan, v_frags, tiles, slots: Vec::new(), cur: input, next }
-    }
-
-    /// Advance one (possibly fused) application; the result becomes the
-    /// current array.
-    pub fn step(&mut self) -> PerfCounters {
-        let c = apply_into(
-            &self.cur,
-            &mut self.next,
-            &self.plan,
-            &self.v_frags,
-            &self.tiles,
-            &mut self.slots,
-        );
-        std::mem::swap(&mut self.cur, &mut self.next);
-        c
-    }
-
-    /// The current array.
-    pub fn grid(&self) -> &GlobalArray {
-        &self.cur
-    }
-
-    /// Consume the stepper, returning the current array.
-    pub fn into_grid(self) -> GlobalArray {
-        self.cur
-    }
-}
-
 impl StencilExecutor for LoRaStencil1D {
     fn name(&self) -> &'static str {
         "LoRAStencil"
@@ -220,93 +75,13 @@ impl StencilExecutor for LoRaStencil1D {
         if problem.kernel.dims() != 1 {
             return Err(ExecError::Invalid("kernel/grid dimensionality mismatch".into()));
         }
-        let plan = Plan1D::new(&problem.kernel, self.config);
-        let full = problem.iterations / plan.fusion;
-        let rem = problem.iterations % plan.fusion;
-        let base_plan = if rem > 0 {
-            Some(Plan1D::new(&problem.kernel, ExecConfig { allow_fusion: false, ..self.config }))
-        } else {
-            None
-        };
-        let input = GlobalArray::from_vec(1, grid.len(), grid.as_slice().to_vec());
-        let mut counters = PerfCounters::new();
-        let mut stepper = Stepper1D::new(plan.clone(), input);
-        for _ in 0..full {
-            counters.merge(&stepper.step());
-        }
-        let mut cur = stepper.into_grid();
-        if let Some(bp) = base_plan {
-            let mut stepper = Stepper1D::new(bp, cur);
-            for _ in 0..rem {
-                counters.merge(&stepper.step());
-            }
-            cur = stepper.into_grid();
-        }
+        let input = vec![GlobalArray::from_vec(1, grid.len(), grid.as_slice().to_vec())];
+        let (planes, counters, block) =
+            schedule::run(&problem.kernel, self.config, input, problem.iterations);
         Ok(ExecOutcome {
-            output: GridData::D1(Grid1D::from_vec(cur.as_slice().to_vec())),
+            output: GridData::D1(Grid1D::from_vec(planes[0].as_slice().to_vec())),
             counters,
-            block: plan.block_resources(),
+            block,
         })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use stencil_core::{kernels, max_error_vs_reference};
-
-    fn wavy(n: usize) -> Grid1D {
-        Grid1D::from_fn(n, |i| (i as f64 * 0.13).sin() * 3.0 + (i % 11) as f64 * 0.1)
-    }
-
-    #[test]
-    fn matches_reference_on_1d_kernels() {
-        let exec = LoRaStencil1D::new();
-        for k in [kernels::heat_1d(), kernels::p5_1d()] {
-            let p = Problem::new(k.clone(), wavy(256), 3);
-            let err = max_error_vs_reference(&exec, &p).unwrap();
-            assert!(err < 1e-12, "{}: err = {err}", k.name);
-        }
-    }
-
-    #[test]
-    fn ragged_length_matches_reference() {
-        let exec = LoRaStencil1D::new();
-        let p = Problem::new(kernels::heat_1d(), wavy(157), 2);
-        let err = max_error_vs_reference(&exec, &p).unwrap();
-        assert!(err < 1e-12, "err = {err}");
-    }
-
-    #[test]
-    fn one_mm_per_four_columns() {
-        // 1-D needs a single MM per tile: seg_len/4 MMAs per 64 outputs
-        // (§IV-C: "one MM suffices, MCM is unnecessary"). 1D5P (radius 2,
-        // unfused): seg_len 12 → 3 MMAs per tile.
-        let exec = LoRaStencil1D::new();
-        let p = Problem::new(kernels::p5_1d(), wavy(640), 1);
-        let out = exec.execute(&p).unwrap();
-        let tiles = 640 / 64;
-        assert_eq!(out.counters.mma_ops, (tiles * 3) as u64);
-        assert_eq!(out.counters.shuffle_ops, 0);
-        assert_eq!(out.counters.points_updated, 640);
-    }
-
-    #[test]
-    fn heat_1d_fuses_three_steps_per_apply() {
-        let exec = LoRaStencil1D::new();
-        let p = Problem::new(kernels::heat_1d(), wavy(640), 3);
-        let out = exec.execute(&p).unwrap();
-        // one fused apply: seg_len 16 → 4 MMAs per 64-point tile
-        assert_eq!(out.counters.mma_ops, (640 / 64 * 4) as u64);
-        assert_eq!(out.counters.points_updated, 3 * 640);
-        let err = max_error_vs_reference(&exec, &p).unwrap();
-        assert!(err < 1e-12, "err = {err}");
-    }
-
-    #[test]
-    fn rejects_2d_problems() {
-        let exec = LoRaStencil1D::new();
-        let p = Problem::new(kernels::box_2d9p(), stencil_core::Grid2D::new(8, 8), 1);
-        assert!(exec.execute(&p).is_err());
     }
 }

@@ -1,18 +1,17 @@
-//! The 3-D LoRAStencil executor (§IV-C, Algorithm 2).
+//! The 3-D LoRAStencil lowering + public shim (§IV-C, Algorithm 2).
 //!
-//! A radius-`h` 3-D kernel is the superposition of `2h+1` z-planes. Planes
-//! holding a single (center) weight need no dependency gathering and run
-//! point-wise on CUDA cores; every other plane is a 2-D stencil executed
-//! with the full RDG/PMA/BVS machinery on tensor cores. Results of all
-//! planes accumulate into the same output tile.
+//! A radius-`h` 3-D kernel is the superposition of `2h+1` z-planes.
+//! Planes holding a single (center) weight need no dependency gathering
+//! and run point-wise on CUDA cores; every other plane is a 2-D stencil
+//! executed with the full RDG/PMA/BVS machinery on tensor cores. The
+//! lowering emits that plane sequence verbatim; results of all planes
+//! accumulate into the same output tile. Execution lives in
+//! [`crate::schedule`].
 
-use crate::exec::scratch::{with_tile_scratch, TileScratch};
-use crate::plan::{ExecConfig, Plan3D, PlaneOp};
-use crate::rdg::{apply_pointwise, rdg_apply_term_cuda, rdg_apply_term_frags, TermFrags, TILE_M};
-use foundation::par::*;
-use stencil_core::tiling::{tiles_2d, Tile2D};
+use crate::plan::{ExecConfig, PlaneOp};
+use crate::schedule::{self, Op, Schedule};
 use stencil_core::{ExecError, ExecOutcome, Grid3D, GridData, Problem, StencilExecutor};
-use tcu_sim::{CopyMode, FragAcc, GlobalArray, PerfCounters, SimContext, MMA_N};
+use tcu_sim::GlobalArray;
 
 /// LoRAStencil for 3-D kernels.
 #[derive(Debug, Clone, Default)]
@@ -33,256 +32,30 @@ impl LoRaStencil3D {
     }
 }
 
-/// Prebuild per-plane weight fragments for the TCU path: one fragment
-/// set per [`PlaneOp::Rdg`] plane (they depend only on the plan).
-fn plane_frags(plan: &Plan3D) -> Vec<Option<Vec<TermFrags>>> {
-    let _frag_build = foundation::obs::span("frag_build");
-    plan.plane_ops
-        .iter()
-        .map(|op| match op {
-            PlaneOp::Rdg(d) if plan.config.use_tcu => {
-                Some(TermFrags::build_all(&d.terms, plan.geo, plan.config.use_bvs))
-            }
-            _ => None,
-        })
-        .collect()
-}
-
-/// Compute one 8×8 output tile of output plane `z`, using the
-/// per-worker scratch buffers (no allocation on the TCU path).
-fn compute_tile(
-    planes: &[GlobalArray],
-    plan: &Plan3D,
-    frags: &[Option<Vec<TermFrags>>],
-    z: usize,
-    t: Tile2D,
-    scratch: &mut TileScratch,
-) -> ([[f64; MMA_N]; TILE_M], PerfCounters) {
-    let geo = plan.geo;
-    let h = plan.kernel.radius;
-    let mode = if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged };
-    let mut ctx = SimContext::new();
-    let mut acc_vals = [[0.0f64; MMA_N]; TILE_M];
-    let mut acc_frag = FragAcc::zero();
-
-    for (dz, op) in plan.plane_ops.iter().enumerate() {
-        // periodic z boundary, matching the grid convention
-        let zp = (z as isize + dz as isize - h as isize).rem_euclid(planes.len() as isize);
-        let src = &planes[zp as usize];
+/// Lowering rule (Algorithm 2): one op group per z-plane, in plane
+/// order — `SkipPlane` for zero planes, `PointwisePlane` for
+/// single-weight planes, and the full stage/frag/chain/tip sequence for
+/// planes needing 2-D dependency gathering.
+pub(crate) fn lower(plane_ops: &[PlaneOp], sched: &mut Schedule) {
+    for (dz, op) in plane_ops.iter().enumerate() {
         match op {
-            PlaneOp::Skip => {}
-            PlaneOp::Pointwise(w) => {
-                // CUDA-core point-wise path: direct coalesced reads (L2:
-                // the compulsory HBM pass is charged where this plane is
-                // the kernel center), no shared-memory staging
-                // (Algorithm 2 line 5).
-                let mut flops = 0u64;
-                let mut span = [0.0f64; MMA_N];
-                for (p, row) in acc_vals.iter_mut().enumerate() {
-                    let r = t.r0 + p;
-                    if r >= src.rows() {
-                        continue;
-                    }
-                    let cnt = MMA_N.min(src.cols().saturating_sub(t.c0));
-                    if cnt == 0 {
-                        continue;
-                    }
-                    let vals = &mut span[..cnt];
-                    if dz == h {
-                        src.load_span_into(&mut ctx, r, t.c0, vals);
-                    } else {
-                        src.load_span_cached_into(&mut ctx, r, t.c0, vals);
-                    }
-                    for (q, v) in vals.iter().enumerate() {
-                        row[q] += w * v;
-                    }
-                    flops += 2 * cnt as u64;
-                }
-                ctx.cuda_flops(flops);
-            }
+            PlaneOp::Skip => sched.ops.push(Op::SkipPlane { dz }),
+            PlaneOp::Pointwise(w) => sched.ops.push(Op::PointwisePlane { dz, weight: *w }),
             PlaneOp::Rdg(decomp) => {
-                scratch.tile.reset(geo.s, geo.s);
-                {
-                    // each input plane is charged its compulsory HBM read
-                    // on the one output plane for which it is the kernel
-                    // center
-                    let _rdg_gather = foundation::obs::span("rdg_gather");
-                    let fresh = if dz == h { t.h * t.w } else { 0 };
-                    src.copy_to_shared_reuse(
-                        &mut ctx,
-                        mode,
-                        t.r0 as isize - h as isize,
-                        t.c0 as isize - h as isize,
-                        geo.s,
-                        geo.s,
-                        &mut scratch.tile,
-                        0,
-                        0,
-                        fresh,
-                    );
-                    scratch.x.load_into(&mut ctx, &scratch.tile, geo);
+                sched.ops.push(Op::Stage { dz });
+                sched.ops.push(Op::FragBuild);
+                for term in &decomp.terms {
+                    let op = sched.push_term(term);
+                    sched.ops.push(op);
                 }
-                let x = &scratch.x;
-                if plan.config.use_tcu {
-                    {
-                        let _mma_batch = foundation::obs::span("mma_batch");
-                        for tf in frags[dz].as_deref().unwrap_or(&[]) {
-                            acc_frag = rdg_apply_term_frags(&mut ctx, x, tf, acc_frag);
-                        }
-                    }
-                    let _pointwise = foundation::obs::span("pointwise");
-                    apply_pointwise(&mut ctx, x, decomp.pointwise, &mut acc_frag);
-                } else {
-                    for term in &decomp.terms {
-                        rdg_apply_term_cuda(&mut ctx, x, term, &mut acc_vals);
-                    }
-                    if decomp.pointwise != 0.0 {
-                        for (p, row) in acc_vals.iter_mut().enumerate() {
-                            for (q, v) in row.iter_mut().enumerate() {
-                                *v += decomp.pointwise * x.peek(h + p, h + q);
-                            }
-                        }
-                        ctx.cuda_flops(2 * (TILE_M * MMA_N) as u64);
-                    }
-                }
+                sched.ops.push(Op::Pointwise { weight: decomp.pointwise });
             }
         }
-    }
-
-    // fold the tensor-core accumulator into the scalar one
-    if plan.config.use_tcu {
-        for (p, row) in acc_vals.iter_mut().enumerate() {
-            for (q, v) in row.iter_mut().enumerate() {
-                *v += acc_frag.get(p, q);
-            }
-        }
-    }
-    ctx.points((t.h * t.w) as u64);
-    (acc_vals, ctx.counters)
-}
-
-/// One application into caller-provided output planes (see the 2-D
-/// `apply_into` for the parallel-write/ordered-merge protocol). `sinks`
-/// is a reusable scratch table of raw output-plane pointers: the
-/// `UnsafeSlice` pattern cannot borrow a `Vec` of planes across worker
-/// lanes without re-allocating a slice table per application, so the
-/// table lives in the stepper and is refilled in place.
-fn apply_into(
-    planes: &[GlobalArray],
-    out: &mut [GlobalArray],
-    plan: &Plan3D,
-    frags: &[Option<Vec<TermFrags>>],
-    jobs: &[(usize, Tile2D)],
-    slots: &mut Vec<PerfCounters>,
-    sinks: &mut Vec<usize>,
-) -> PerfCounters {
-    let _apply = foundation::obs::span("apply");
-    let nx = planes[0].cols();
-    slots.clear();
-    slots.resize(jobs.len(), PerfCounters::new());
-    sinks.clear();
-    sinks.extend(out.iter_mut().map(|p| p.as_mut_slice().as_mut_ptr() as usize));
-    {
-        let slot_sink = UnsafeSlice::new(&mut slots[..]);
-        let sinks: &[usize] = sinks;
-        for_each_index(jobs.len(), |i| {
-            let (z, t) = jobs[i];
-            let (vals, mut counters) =
-                with_tile_scratch(|s| compute_tile(planes, plan, frags, z, t, s));
-            let base = sinks[z] as *mut f64;
-            for (p, row) in vals.iter().enumerate().take(t.h) {
-                let off = (t.r0 + p) * nx + t.c0;
-                // SAFETY: jobs write disjoint (z, band) regions; `base`
-                // stays valid because `out` is exclusively borrowed for
-                // the whole application
-                let band = unsafe { std::slice::from_raw_parts_mut(base.add(off), t.w) };
-                band.copy_from_slice(&row[..t.w]);
-                counters.global_bytes_written += (t.w * 8) as u64;
-            }
-            // SAFETY: each index is written by exactly one job
-            unsafe { slot_sink.write(i, counters) };
-        });
-    }
-    let mut total = PerfCounters::new();
-    for c in slots.iter() {
-        total.merge(c);
-    }
-    total
-}
-
-/// Flat job list: every `(z, tile)` pair of one application.
-fn job_list(nz: usize, tiles: &[Tile2D]) -> Vec<(usize, Tile2D)> {
-    (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect()
-}
-
-/// One stencil application over the volume (allocating convenience form
-/// of the [`Stepper3D`] loop).
-pub fn apply_once(planes: &[GlobalArray], plan: &Plan3D) -> (Vec<GlobalArray>, PerfCounters) {
-    let nz = planes.len();
-    let (ny, nx) = (planes[0].rows(), planes[0].cols());
-    let tiles = tiles_2d(ny, nx, TILE_M, TILE_M);
-    let jobs = job_list(nz, &tiles);
-    let frags = plane_frags(plan);
-    let mut out: Vec<GlobalArray> = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
-    let counters =
-        apply_into(planes, &mut out, plan, &frags, &jobs, &mut Vec::new(), &mut Vec::new());
-    (out, counters)
-}
-
-/// The steady-state 3-D time-stepping loop: double-buffered plane sets
-/// plus every per-apply buffer (job list, per-plane weight fragments,
-/// counter slots, output-pointer table), allocated once and reused by
-/// each [`Stepper3D::step`].
-pub struct Stepper3D {
-    plan: Plan3D,
-    frags: Vec<Option<Vec<TermFrags>>>,
-    jobs: Vec<(usize, Tile2D)>,
-    slots: Vec<PerfCounters>,
-    sinks: Vec<usize>,
-    cur: Vec<GlobalArray>,
-    next: Vec<GlobalArray>,
-}
-
-impl Stepper3D {
-    /// Set up the loop over `input` planes for `plan`.
-    pub fn new(plan: Plan3D, input: Vec<GlobalArray>) -> Self {
-        let nz = input.len();
-        let (ny, nx) = (input[0].rows(), input[0].cols());
-        let tiles = tiles_2d(ny, nx, TILE_M, TILE_M);
-        let jobs = job_list(nz, &tiles);
-        let frags = plane_frags(&plan);
-        let next = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
-        Stepper3D { plan, frags, jobs, slots: Vec::new(), sinks: Vec::new(), cur: input, next }
-    }
-
-    /// Advance one application; the result becomes the current volume.
-    pub fn step(&mut self) -> PerfCounters {
-        let c = apply_into(
-            &self.cur,
-            &mut self.next,
-            &self.plan,
-            &self.frags,
-            &self.jobs,
-            &mut self.slots,
-            &mut self.sinks,
-        );
-        std::mem::swap(&mut self.cur, &mut self.next);
-        c
-    }
-
-    /// The current volume's planes.
-    pub fn planes(&self) -> &[GlobalArray] {
-        &self.cur
-    }
-
-    /// Consume the stepper, returning the current planes.
-    pub fn into_planes(self) -> Vec<GlobalArray> {
-        self.cur
     }
 }
 
 /// Split a [`Grid3D`] into per-plane global arrays.
-fn to_planes(g: &Grid3D) -> Vec<GlobalArray> {
+pub(crate) fn to_planes(g: &Grid3D) -> Vec<GlobalArray> {
     (0..g.nz())
         .map(|z| {
             let p = g.plane(z);
@@ -292,7 +65,7 @@ fn to_planes(g: &Grid3D) -> Vec<GlobalArray> {
 }
 
 /// Reassemble per-plane arrays into a [`Grid3D`].
-fn from_planes(planes: &[GlobalArray]) -> Grid3D {
+pub(crate) fn from_planes(planes: &[GlobalArray]) -> Grid3D {
     let (nz, ny, nx) = (planes.len(), planes[0].rows(), planes[0].cols());
     Grid3D::from_fn(nz, ny, nx, |z, y, x| planes[z].peek(y, x))
 }
@@ -309,71 +82,8 @@ impl StencilExecutor for LoRaStencil3D {
         if problem.kernel.dims() != 3 {
             return Err(ExecError::Invalid("kernel/grid dimensionality mismatch".into()));
         }
-        let plan = Plan3D::new(&problem.kernel, self.config);
-        let block = plan.block_resources();
-        let mut counters = PerfCounters::new();
-        let mut stepper = Stepper3D::new(plan, to_planes(grid));
-        for _ in 0..problem.iterations {
-            counters.merge(&stepper.step());
-        }
-        Ok(ExecOutcome { output: GridData::D3(from_planes(stepper.planes())), counters, block })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use stencil_core::{kernels, max_error_vs_reference};
-
-    fn wavy(nz: usize, ny: usize, nx: usize) -> Grid3D {
-        Grid3D::from_fn(nz, ny, nx, |z, y, x| {
-            (z as f64 * 0.9).cos() + (y as f64 * 0.4).sin() * 2.0 + (x % 5) as f64 * 0.2
-        })
-    }
-
-    #[test]
-    fn heat_3d_matches_reference() {
-        let exec = LoRaStencil3D::new();
-        let p = Problem::new(kernels::heat_3d(), wavy(6, 16, 24), 2);
-        let err = max_error_vs_reference(&exec, &p).unwrap();
-        assert!(err < 1e-11, "err = {err}");
-    }
-
-    #[test]
-    fn box_3d27p_matches_reference() {
-        let exec = LoRaStencil3D::new();
-        let p = Problem::new(kernels::box_3d27p(), wavy(5, 11, 13), 2);
-        let err = max_error_vs_reference(&exec, &p).unwrap();
-        assert!(err < 1e-11, "err = {err}");
-    }
-
-    #[test]
-    fn heat_3d_uses_both_compute_units() {
-        // Algorithm 2: single-weight planes on CUDA cores, the star plane
-        // on tensor cores.
-        let exec = LoRaStencil3D::new();
-        let p = Problem::new(kernels::heat_3d(), wavy(4, 8, 8), 1);
-        let out = exec.execute(&p).unwrap();
-        assert!(out.counters.mma_ops > 0, "TCU must be used for the star plane");
-        assert!(out.counters.cuda_flops > 0, "CUDA cores must handle pointwise planes");
-    }
-
-    #[test]
-    fn cuda_only_config_matches_reference_too() {
-        let cfg = ExecConfig { use_tcu: false, ..ExecConfig::full() };
-        let exec = LoRaStencil3D::with_config(cfg);
-        let p = Problem::new(kernels::box_3d27p(), wavy(4, 9, 9), 1);
-        let err = max_error_vs_reference(&exec, &p).unwrap();
-        assert!(err < 1e-11, "err = {err}");
-        let out = exec.execute(&p).unwrap();
-        assert_eq!(out.counters.mma_ops, 0);
-    }
-
-    #[test]
-    fn points_counter_matches() {
-        let exec = LoRaStencil3D::new();
-        let p = Problem::new(kernels::heat_3d(), wavy(4, 8, 8), 3);
-        let out = exec.execute(&p).unwrap();
-        assert_eq!(out.counters.points_updated, p.total_updates());
+        let (planes, counters, block) =
+            schedule::run(&problem.kernel, self.config, to_planes(grid), problem.iterations);
+        Ok(ExecOutcome { output: GridData::D3(from_planes(&planes)), counters, block })
     }
 }

@@ -1,27 +1,18 @@
-//! The 2-D LoRAStencil executor: tiled RDG/PMA/BVS on the simulated TCU.
+//! The 2-D LoRAStencil lowering + public shim.
 //!
-//! Each 8×8 output tile is computed by one simulated warp: copy the S×S
+//! Each 8×8 output tile is computed by one simulated warp: stage the S×S
 //! input window to shared memory (optionally via `cp.async`), load its B
 //! fragments once, run one RDG matrix chain per rank-1 term of the PMA
-//! decomposition (re-using the fragments), add the pointwise pyramid tip
-//! on CUDA cores, and write the accumulator back to global memory.
-//!
-//! The host-side loop is organised around [`Stepper2D`], which
-//! double-buffers two grids across iterations and reuses every buffer:
-//! in steady state an iteration allocates nothing and spawns no threads
-//! (see DESIGN.md, "Host-side performance model"). Tiles write their
-//! output bands directly into the destination grid in parallel (the
-//! bands are disjoint); per-tile counters land in preallocated
-//! index-addressed slots and are merged sequentially **in tile order**,
-//! so counters and values are bit-identical at any thread count.
+//! decomposition (re-using the fragments), and add the pointwise pyramid
+//! tip on CUDA cores — which is exactly the op sequence this module
+//! lowers to. Execution (tiling, parallel band writes, ordered counter
+//! merge, the steady-state loop) lives in [`crate::schedule`].
 
-use crate::exec::scratch::{with_tile_scratch, TileScratch};
-use crate::plan::{ExecConfig, Plan2D};
-use crate::rdg::{apply_pointwise, rdg_apply_term_cuda, rdg_apply_term_frags, TermFrags, TILE_M};
-use foundation::par::*;
-use stencil_core::tiling::{tiles_2d, Tile2D};
+use crate::decompose::Decomposition;
+use crate::plan::ExecConfig;
+use crate::schedule::{self, Op, Schedule};
 use stencil_core::{ExecError, ExecOutcome, Grid2D, GridData, Problem, StencilExecutor};
-use tcu_sim::{CopyMode, FragAcc, GlobalArray, PerfCounters, SimContext, MMA_N};
+use tcu_sim::GlobalArray;
 
 /// LoRAStencil for 2-D kernels.
 #[derive(Debug, Clone, Default)]
@@ -42,206 +33,17 @@ impl LoRaStencil2D {
     }
 }
 
-/// Prebuild the per-term weight fragments a plan uses on the TCU path
-/// (they depend only on the plan, never on the input tile).
-fn plan_frags(plan: &Plan2D) -> Vec<TermFrags> {
-    let _frag_build = foundation::obs::span("frag_build");
-    if plan.config.use_tcu {
-        TermFrags::build_all(&plan.decomp.terms, plan.geo, plan.config.use_bvs)
-    } else {
-        Vec::new()
+/// Lowering rule: stage the (single) plane, build the X fragments, one
+/// MMA chain per rank-1 term, then the pyramid tip. The `Pointwise` op
+/// is emitted even for a zero tip so every chain has a delimiter.
+pub(crate) fn lower(decomp: &Decomposition, sched: &mut Schedule) {
+    sched.ops.push(Op::Stage { dz: sched.h });
+    sched.ops.push(Op::FragBuild);
+    for term in &decomp.terms {
+        let op = sched.push_term(term);
+        sched.ops.push(op);
     }
-}
-
-/// Compute one tile's 8×8 output values with a tile-local context,
-/// using the per-worker scratch buffers (no allocation on the TCU path).
-fn compute_tile(
-    input: &GlobalArray,
-    plan: &Plan2D,
-    frags: &[TermFrags],
-    t: Tile2D,
-    scratch: &mut TileScratch,
-) -> ([[f64; MMA_N]; TILE_M], PerfCounters) {
-    let geo = plan.geo;
-    let h = plan.exec_kernel.radius as isize;
-    let mode = if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged };
-    let mut ctx = SimContext::new();
-    scratch.tile.reset(geo.s, geo.s);
-    {
-        // the tile's own output footprint is its compulsory HBM share; the
-        // halo ring is served by L2 (loaded by the neighboring tiles)
-        let _rdg_gather = foundation::obs::span("rdg_gather");
-        input.copy_to_shared_reuse(
-            &mut ctx,
-            mode,
-            t.r0 as isize - h,
-            t.c0 as isize - h,
-            geo.s,
-            geo.s,
-            &mut scratch.tile,
-            0,
-            0,
-            t.h * t.w,
-        );
-        scratch.x.load_into(&mut ctx, &scratch.tile, geo);
-    }
-    let x = &scratch.x;
-    let vals = if plan.config.use_tcu {
-        let mut acc = FragAcc::zero();
-        {
-            let _mma_batch = foundation::obs::span("mma_batch");
-            for tf in frags {
-                acc = rdg_apply_term_frags(&mut ctx, x, tf, acc);
-            }
-        }
-        let _pointwise = foundation::obs::span("pointwise");
-        apply_pointwise(&mut ctx, x, plan.decomp.pointwise, &mut acc);
-        acc.to_matrix()
-    } else {
-        let _cuda_terms = foundation::obs::span("cuda_terms");
-        let mut acc = [[0.0; MMA_N]; TILE_M];
-        for term in &plan.decomp.terms {
-            rdg_apply_term_cuda(&mut ctx, x, term, &mut acc);
-        }
-        if plan.decomp.pointwise != 0.0 {
-            let hh = plan.exec_kernel.radius;
-            for (p, row) in acc.iter_mut().enumerate() {
-                for (q, v) in row.iter_mut().enumerate() {
-                    *v += plan.decomp.pointwise * x.peek(hh + p, hh + q);
-                }
-            }
-            ctx.cuda_flops(2 * (TILE_M * MMA_N) as u64);
-        }
-        acc
-    };
-    // each application advances `fusion` temporal steps worth of updates
-    ctx.points((t.h * t.w * plan.fusion) as u64);
-    (vals, ctx.counters)
-}
-
-/// One (possibly fused) application, writing into a caller-provided
-/// output grid. Tiles run in parallel and write their disjoint output
-/// bands directly (each band write charges the same
-/// `global_bytes_written` a `store_span` would); per-tile counters go to
-/// preallocated slots and merge sequentially in tile order, keeping the
-/// totals independent of scheduling.
-fn apply_into(
-    input: &GlobalArray,
-    out: &mut GlobalArray,
-    plan: &Plan2D,
-    frags: &[TermFrags],
-    tiles: &[Tile2D],
-    slots: &mut Vec<PerfCounters>,
-) -> PerfCounters {
-    let _apply = foundation::obs::span("apply");
-    let cols = input.cols();
-    slots.clear();
-    slots.resize(tiles.len(), PerfCounters::new());
-    {
-        let sink = UnsafeSlice::new(out.as_mut_slice());
-        let slot_sink = UnsafeSlice::new(&mut slots[..]);
-        for_each_index(tiles.len(), |i| {
-            let t = tiles[i];
-            let (vals, mut counters) =
-                with_tile_scratch(|s| compute_tile(input, plan, frags, t, s));
-            for (p, row) in vals.iter().enumerate().take(t.h) {
-                // disjoint band write, accounted like a warp store_span
-                let band = unsafe { sink.slice_mut((t.r0 + p) * cols + t.c0, t.w) };
-                band.copy_from_slice(&row[..t.w]);
-                counters.global_bytes_written += (t.w * 8) as u64;
-            }
-            // SAFETY: each index is written by exactly one tile
-            unsafe { slot_sink.write(i, counters) };
-        });
-    }
-    let mut total = PerfCounters::new();
-    for c in slots.iter() {
-        total.merge(c);
-    }
-    total
-}
-
-/// One (possibly fused) stencil application over the whole grid
-/// (allocating convenience form of the [`Stepper2D`] loop).
-pub fn apply_once(input: &GlobalArray, plan: &Plan2D) -> (GlobalArray, PerfCounters) {
-    let (rows, cols) = (input.rows(), input.cols());
-    let mut ws = Workspace2D::new(plan, rows, cols);
-    let mut out = GlobalArray::new(rows, cols);
-    let counters = ws.apply(input, &mut out, plan);
-    (out, counters)
-}
-
-/// The reusable per-apply buffers of a 2-D plan on a fixed grid shape:
-/// the tiling, the per-term weight fragments, and the counter slots.
-/// Callers that manage their own grids (the distributed executor) build
-/// one per (device, plan) and feed it a fresh input/output pair each
-/// application; [`Stepper2D`] wraps one together with a double-buffered
-/// grid pair.
-pub struct Workspace2D {
-    frags: Vec<TermFrags>,
-    tiles: Vec<Tile2D>,
-    slots: Vec<PerfCounters>,
-}
-
-impl Workspace2D {
-    /// Buffers for applying `plan` to `rows × cols` grids.
-    pub fn new(plan: &Plan2D, rows: usize, cols: usize) -> Self {
-        Workspace2D {
-            frags: plan_frags(plan),
-            tiles: tiles_2d(rows, cols, TILE_M, TILE_M),
-            slots: Vec::new(),
-        }
-    }
-
-    /// One (possibly fused) application of `plan` from `input` into
-    /// `out`. Both grids must have the shape the workspace was built for.
-    pub fn apply(
-        &mut self,
-        input: &GlobalArray,
-        out: &mut GlobalArray,
-        plan: &Plan2D,
-    ) -> PerfCounters {
-        apply_into(input, out, plan, &self.frags, &self.tiles, &mut self.slots)
-    }
-}
-
-/// The steady-state 2-D time-stepping loop: double-buffered grids plus
-/// every per-apply buffer (tiling, weight fragments, counter slots),
-/// allocated once and reused by each [`Stepper2D::step`]. Safe to
-/// ping-pong without clearing because the tiling covers every output
-/// cell each application.
-pub struct Stepper2D {
-    plan: Plan2D,
-    ws: Workspace2D,
-    cur: GlobalArray,
-    next: GlobalArray,
-}
-
-impl Stepper2D {
-    /// Set up the loop over `input` for `plan`.
-    pub fn new(plan: Plan2D, input: GlobalArray) -> Self {
-        let ws = Workspace2D::new(&plan, input.rows(), input.cols());
-        let next = GlobalArray::new(input.rows(), input.cols());
-        Stepper2D { plan, ws, cur: input, next }
-    }
-
-    /// Advance one (possibly fused) application; the result becomes the
-    /// current grid.
-    pub fn step(&mut self) -> PerfCounters {
-        let c = self.ws.apply(&self.cur, &mut self.next, &self.plan);
-        std::mem::swap(&mut self.cur, &mut self.next);
-        c
-    }
-
-    /// The current grid.
-    pub fn grid(&self) -> &GlobalArray {
-        &self.cur
-    }
-
-    /// Consume the stepper, returning the current grid.
-    pub fn into_grid(self) -> GlobalArray {
-        self.cur
-    }
+    sched.ops.push(Op::Pointwise { weight: decomp.pointwise });
 }
 
 impl StencilExecutor for LoRaStencil2D {
@@ -256,139 +58,10 @@ impl StencilExecutor for LoRaStencil2D {
         if problem.kernel.dims() != 2 {
             return Err(ExecError::Invalid("kernel/grid dimensionality mismatch".into()));
         }
-        let plan = Plan2D::new(&problem.kernel, self.config);
-        let full = problem.iterations / plan.fusion;
-        let rem = problem.iterations % plan.fusion;
-        let base_plan = if rem > 0 {
-            Some(Plan2D::new(&problem.kernel, ExecConfig { allow_fusion: false, ..self.config }))
-        } else {
-            None
-        };
-
-        let input = GlobalArray::from_vec(grid.rows(), grid.cols(), grid.as_slice().to_vec());
-        let mut counters = PerfCounters::new();
-        let mut stepper = Stepper2D::new(plan.clone(), input);
-        for _ in 0..full {
-            counters.merge(&stepper.step());
-        }
-        let mut cur = stepper.into_grid();
-        if let Some(bp) = base_plan {
-            let mut stepper = Stepper2D::new(bp, cur);
-            for _ in 0..rem {
-                counters.merge(&stepper.step());
-            }
-            cur = stepper.into_grid();
-        }
-        let output = Grid2D::from_vec(grid.rows(), grid.cols(), cur.as_slice().to_vec());
-        Ok(ExecOutcome { output: GridData::D2(output), counters, block: plan.block_resources() })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use stencil_core::{kernels, max_error_vs_reference};
-
-    fn wavy_grid(rows: usize, cols: usize) -> Grid2D {
-        Grid2D::from_fn(rows, cols, |r, c| {
-            ((r as f64 * 0.7).sin() + (c as f64 * 0.31).cos()) * 2.0 + (r * cols + c) as f64 * 1e-3
-        })
-    }
-
-    #[test]
-    fn matches_reference_on_all_2d_kernels() {
-        let exec = LoRaStencil2D::new();
-        for k in kernels::all_kernels() {
-            if k.dims() != 2 {
-                continue;
-            }
-            let p = Problem::new(k.clone(), wavy_grid(24, 40), 1);
-            let err = max_error_vs_reference(&exec, &p).unwrap();
-            assert!(err < 1e-11, "{}: err = {err}", k.name);
-        }
-    }
-
-    #[test]
-    fn multi_iteration_with_fusion_matches_reference() {
-        let exec = LoRaStencil2D::new();
-        // 7 iterations of a radius-1 kernel: 2 fused (3×) + 1 unfused
-        let p = Problem::new(kernels::box_2d9p(), wavy_grid(20, 20), 7);
-        let err = max_error_vs_reference(&exec, &p).unwrap();
-        assert!(err < 1e-10, "err = {err}");
-    }
-
-    #[test]
-    fn all_breakdown_stages_are_numerically_identical() {
-        let p = Problem::new(kernels::box_2d9p(), wavy_grid(16, 24), 2);
-        let mut outputs = Vec::new();
-        for (name, cfg) in ExecConfig::breakdown_stages() {
-            let exec = LoRaStencil2D::with_config(cfg);
-            let out = exec.execute(&p).unwrap();
-            outputs.push((name, out));
-        }
-        for w in outputs.windows(2) {
-            let d = w[0].1.output.max_abs_diff(&w[1].1.output);
-            assert!(d < 1e-12, "{} vs {}: {d}", w[0].0, w[1].0);
-        }
-        // CUDA stage has no MMAs; TCU stages do
-        assert_eq!(outputs[0].1.counters.mma_ops, 0);
-        assert!(outputs[1].1.counters.mma_ops > 0);
-        // only the non-BVS TCU stage shuffles
-        assert!(outputs[1].1.counters.shuffle_ops > 0);
-        assert_eq!(outputs[2].1.counters.shuffle_ops, 0);
-        // only the non-async stages stage copies through registers
-        assert!(outputs[2].1.counters.staged_copy_bytes > 0);
-        assert_eq!(outputs[3].1.counters.staged_copy_bytes, 0);
-    }
-
-    #[test]
-    fn points_counter_matches_problem_updates() {
-        let exec = LoRaStencil2D::new();
-        let p = Problem::new(kernels::box_2d49p(), wavy_grid(32, 32), 2);
-        let out = exec.execute(&p).unwrap();
-        assert_eq!(out.counters.points_updated, p.total_updates());
-    }
-
-    #[test]
-    fn fused_run_counts_fused_points() {
-        let exec = LoRaStencil2D::new();
-        let p = Problem::new(kernels::box_2d9p(), wavy_grid(16, 16), 3);
-        let out = exec.execute(&p).unwrap();
-        // one fused application, counted as 3 × 256 updates
-        assert_eq!(out.counters.points_updated, 3 * 256);
-    }
-
-    #[test]
-    fn mma_count_matches_eq16_for_box_2d49p() {
-        // Box-2D49P, 64×64 grid, 1 iteration: ab/64 tiles × 3 terms × 12
-        // MMAs — the paper's 36 MMA per 64-point tile (§III-C).
-        let exec = LoRaStencil2D::new();
-        let p = Problem::new(kernels::box_2d49p(), wavy_grid(64, 64), 1);
-        let out = exec.execute(&p).unwrap();
-        let tiles = (64 / 8) * (64 / 8) as u64;
-        assert_eq!(out.counters.mma_ops, tiles * 36);
-        // Eq. 12: ab/8 fragment loads from shared for the inputs, plus the
-        // copy-in stores are counted separately
-        assert_eq!(
-            out.counters.shared_load_requests,
-            64 * 64 / 8,
-            "input fragment loads must match Eq. 12"
-        );
-    }
-
-    #[test]
-    fn rejects_mismatched_problems() {
-        let exec = LoRaStencil2D::new();
-        let p = Problem::new(kernels::heat_1d(), stencil_core::Grid1D::from_vec(vec![0.0; 16]), 1);
-        assert!(exec.execute(&p).is_err());
-    }
-
-    #[test]
-    fn tiny_grid_with_clipping_matches_reference() {
-        let exec = LoRaStencil2D::new();
-        // 10×13 is not a multiple of the 8×8 tile → exercises clipping
-        let p = Problem::new(kernels::star_2d13p(), wavy_grid(10, 13), 2);
-        let err = max_error_vs_reference(&exec, &p).unwrap();
-        assert!(err < 1e-11, "err = {err}");
+        let input = vec![GlobalArray::from_vec(grid.rows(), grid.cols(), grid.as_slice().to_vec())];
+        let (planes, counters, block) =
+            schedule::run(&problem.kernel, self.config, input, problem.iterations);
+        let output = Grid2D::from_vec(grid.rows(), grid.cols(), planes[0].as_slice().to_vec());
+        Ok(ExecOutcome { output: GridData::D2(output), counters, block })
     }
 }

@@ -19,9 +19,11 @@
 //!   zero inter-thread shuffles.
 //!
 //! Supporting modules: [`fusion`] (temporal kernel fusion, §IV-A),
-//! [`plan`] (fusion/decomposition/geometry planning and ablation toggles),
-//! [`exec`] (1-D/2-D/3-D executors, §IV-C / Algorithm 2) and [`analysis`]
-//! (the closed-form Eq. 12–16 models).
+//! [`plan`] (the dimension-generic fusion/decomposition/geometry plan and
+//! ablation toggles), [`schedule`] (the execution IR one plan lowers to,
+//! its backend seam, and the generic interpreter/stepper), [`exec`] (the
+//! per-dimension lowering rules + public executor shims, §IV-C /
+//! Algorithm 2) and [`analysis`] (the closed-form Eq. 12–16 models).
 //!
 //! ## Quickstart
 //!
@@ -51,11 +53,10 @@ pub mod exec;
 pub mod fusion;
 pub mod plan;
 pub mod rdg;
+pub mod schedule;
 
 pub use decompose::{decompose, Decomposition, RankOneTerm, Strategy};
-pub use exec::one_d::Stepper1D;
-pub use exec::three_d::Stepper3D;
-pub use exec::two_d::{Stepper2D, Workspace2D};
 pub use exec::{LoRaStencil, LoRaStencil1D, LoRaStencil2D, LoRaStencil3D};
-pub use plan::{ExecConfig, Plan1D, Plan2D, Plan3D, PlaneOp};
+pub use plan::{ExecConfig, Plan, PlanKind, PlaneOp};
 pub use rdg::{RdgGeometry, XFragments, TILE_M};
+pub use schedule::{Schedule, Stepper, Workspace};

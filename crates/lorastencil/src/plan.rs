@@ -1,6 +1,12 @@
-//! Planning: from a kernel description to an executable LoRAStencil plan
-//! (fusion decision, low-rank decomposition, tile geometry, feature
-//! toggles for the ablation study).
+//! Planning: from a kernel description to one dimension-generic
+//! LoRAStencil [`Plan`] (fusion decision, low-rank decomposition, tile
+//! geometry, feature toggles for the ablation study).
+//!
+//! A [`Plan`] records the *decisions* — what to fuse, how to decompose,
+//! which features are on. Turning those decisions into an executable op
+//! sequence is lowering, owned by [`crate::schedule`]: the same plan
+//! type covers 1-D, 2-D and 3-D kernels, with the per-dimension payload
+//! in [`PlanKind`].
 
 use crate::decompose::{self, Decomposition};
 use crate::fusion;
@@ -64,6 +70,20 @@ impl ExecConfig {
             ("+AsyncCopy", ExecConfig::full()),
         ]
     }
+
+    /// Every named ablation configuration: `full`, `no-fusion`, and the
+    /// four cumulative [`ExecConfig::breakdown_stages`]. This list is the
+    /// single source of truth — the bench-suite breakdown, the
+    /// verification oracle's executor roster and the counter-exactness
+    /// validator all consume it, so the rosters can never diverge.
+    pub fn ablation_roster() -> Vec<(&'static str, ExecConfig)> {
+        let mut roster = vec![
+            ("full", ExecConfig::full()),
+            ("no-fusion", ExecConfig { allow_fusion: false, ..ExecConfig::full() }),
+        ];
+        roster.extend(ExecConfig::breakdown_stages());
+        roster
+    }
 }
 
 impl Default for ExecConfig {
@@ -74,72 +94,6 @@ impl Default for ExecConfig {
 
 /// Warps per simulated thread block (256 threads).
 pub const WARPS_PER_BLOCK: u32 = 8;
-
-/// Executable plan for a 2-D kernel.
-#[derive(Debug, Clone)]
-pub struct Plan2D {
-    /// The kernel actually executed per application (fused if small).
-    pub exec_kernel: StencilKernel,
-    /// Temporal steps one application advances (the fusion factor).
-    pub fusion: usize,
-    /// Low-rank decomposition of the executed kernel's weights.
-    pub decomp: Decomposition,
-    /// Tile geometry for the executed kernel's radius.
-    pub geo: RdgGeometry,
-    /// Feature toggles.
-    pub config: ExecConfig,
-}
-
-impl Plan2D {
-    /// Plan a 2-D kernel.
-    pub fn new(kernel: &StencilKernel, config: ExecConfig) -> Self {
-        let _plan = foundation::obs::span("plan");
-        assert_eq!(kernel.dims(), 2, "Plan2D needs a 2-D kernel");
-        let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
-        let exec_kernel = {
-            let _fuse = foundation::obs::span("fuse");
-            fusion::fuse_kernel(kernel, fusion)
-        };
-        let decomp = {
-            let _decompose = foundation::obs::span("decompose");
-            decompose::decompose(exec_kernel.weights_2d(), 1e-12)
-        };
-        let geo = RdgGeometry::for_radius(exec_kernel.radius);
-        Plan2D { exec_kernel, fusion, decomp, geo, config }
-    }
-
-    /// Plan a 2-D kernel with cost-model-driven decomposition selection
-    /// (see [`crate::autotune`]): like [`Plan2D::new`], but the strategy
-    /// is chosen by modeled per-tile cost rather than structural
-    /// precedence — cheaper when the weight matrix's true rank is below
-    /// the pyramid's term count.
-    pub fn new_autotuned(kernel: &StencilKernel, config: ExecConfig) -> Self {
-        let _plan = foundation::obs::span("plan");
-        assert_eq!(kernel.dims(), 2, "Plan2D needs a 2-D kernel");
-        let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
-        let exec_kernel = {
-            let _fuse = foundation::obs::span("fuse");
-            fusion::fuse_kernel(kernel, fusion)
-        };
-        let decomp = {
-            let _decompose = foundation::obs::span("decompose");
-            crate::autotune::choose(exec_kernel.weights_2d(), 1e-12)
-        };
-        let geo = RdgGeometry::for_radius(exec_kernel.radius);
-        Plan2D { exec_kernel, fusion, decomp, geo, config }
-    }
-
-    /// Per-block resources this plan occupies (one input tile per warp;
-    /// a second buffer when `cp.async` double-buffering is on).
-    pub fn block_resources(&self) -> BlockResources {
-        let buffers = if self.config.use_async_copy { 2 } else { 1 };
-        BlockResources {
-            shared_bytes: WARPS_PER_BLOCK * self.geo.tile_bytes() * buffers,
-            threads: WARPS_PER_BLOCK * 32,
-            regs_per_thread: if self.config.use_tcu { 64 } else { 48 },
-        }
-    }
-}
 
 /// What LoRAStencil does with one z-plane of a 3-D kernel (Algorithm 2).
 #[derive(Debug, Clone)]
@@ -154,46 +108,6 @@ pub enum PlaneOp {
     Rdg(Decomposition),
 }
 
-/// Executable plan for a 3-D kernel: one [`PlaneOp`] per z displacement.
-#[derive(Debug, Clone)]
-pub struct Plan3D {
-    /// The kernel (3-D kernels are not fused; §V-B notes LoRAStencil
-    /// keeps high fragment utilization without fusion in 3-D).
-    pub kernel: StencilKernel,
-    /// Per-plane operations, indexed by `dz ∈ 0..2h+1`.
-    pub plane_ops: Vec<PlaneOp>,
-    /// Tile geometry shared by all RDG planes.
-    pub geo: RdgGeometry,
-    /// Feature toggles.
-    pub config: ExecConfig,
-}
-
-impl Plan3D {
-    /// Plan a 3-D kernel.
-    pub fn new(kernel: &StencilKernel, config: ExecConfig) -> Self {
-        let _plan = foundation::obs::span("plan");
-        assert_eq!(kernel.dims(), 3, "Plan3D needs a 3-D kernel");
-        let planes = kernel.weights_3d();
-        let plane_ops = {
-            let _decompose = foundation::obs::span("decompose");
-            planes.iter().map(classify_plane).collect()
-        };
-        let geo = RdgGeometry::for_radius(kernel.radius);
-        Plan3D { kernel: kernel.clone(), plane_ops, geo, config }
-    }
-
-    /// Per-block resources (one shared tile per warp, reused across the
-    /// kernel's planes).
-    pub fn block_resources(&self) -> BlockResources {
-        let buffers = if self.config.use_async_copy { 2 } else { 1 };
-        BlockResources {
-            shared_bytes: WARPS_PER_BLOCK * self.geo.tile_bytes() * buffers,
-            threads: WARPS_PER_BLOCK * 32,
-            regs_per_thread: if self.config.use_tcu { 72 } else { 56 },
-        }
-    }
-}
-
 fn classify_plane(w: &WeightMatrix) -> PlaneOp {
     let nz = w.nonzero_points();
     let h = w.radius();
@@ -206,45 +120,198 @@ fn classify_plane(w: &WeightMatrix) -> PlaneOp {
     }
 }
 
-/// Executable plan for a 1-D kernel: a single matrix multiply gathers the
-/// only dimension (§IV-C), so no decomposition is needed. Small kernels
-/// are temporally fused like their 2-D counterparts (§IV-A).
+/// The dimension-specific planning payload of a [`Plan`].
 #[derive(Debug, Clone)]
-pub struct Plan1D {
-    /// The kernel actually executed per application (fused if small).
-    pub exec_kernel: StencilKernel,
-    /// Temporal steps one application advances (the fusion factor).
-    pub fusion: usize,
-    /// Padded input segment length (multiple of 4, ≥ `8 + 2h`).
-    pub seg_len: usize,
-    /// Feature toggles.
-    pub config: ExecConfig,
+pub enum PlanKind {
+    /// 1-D (§IV-C): a single banded matrix multiply gathers the only
+    /// dimension, so no decomposition is needed — `seg_len` is the
+    /// padded input segment length (multiple of 4, ≥ `8 + 2h`).
+    D1 {
+        /// Padded input segment length.
+        seg_len: usize,
+    },
+    /// 2-D: low-rank decomposition of the (fused) weight matrix.
+    D2 {
+        /// Decomposition of the executed kernel's weights.
+        decomp: Decomposition,
+    },
+    /// 3-D (Algorithm 2): one [`PlaneOp`] per z displacement. 3-D
+    /// kernels are not fused (§V-B: fragment utilization stays high
+    /// without fusion in 3-D).
+    D3 {
+        /// Per-plane operations, indexed by `dz ∈ 0..2h+1`.
+        plane_ops: Vec<PlaneOp>,
+    },
 }
 
-impl Plan1D {
-    /// Plan a 1-D kernel.
+/// Executable plan for a kernel of any dimension: the kernel actually
+/// executed per application (fused if small), the fusion factor, the
+/// shared tile geometry, the feature toggles, and the per-dimension
+/// payload. Lower it to the execution IR with
+/// [`crate::schedule::Schedule::lower`].
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The kernel actually executed per application (fused if small).
+    pub exec_kernel: StencilKernel,
+    /// Temporal steps one application advances (always 1 in 3-D).
+    pub fusion: usize,
+    /// Tile geometry for the executed kernel's radius (2-D/3-D staging;
+    /// 1-D stages `seg_len`-long segments instead).
+    pub geo: RdgGeometry,
+    /// Feature toggles.
+    pub config: ExecConfig,
+    /// Dimension-specific payload.
+    pub kind: PlanKind,
+}
+
+impl Plan {
+    /// Plan a kernel of any supported dimensionality.
     pub fn new(kernel: &StencilKernel, config: ExecConfig) -> Self {
         let _plan = foundation::obs::span("plan");
-        assert_eq!(kernel.dims(), 1, "Plan1D needs a 1-D kernel");
-        let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
-        let exec_kernel = {
-            let _fuse = foundation::obs::span("fuse");
-            fusion::fuse_kernel(kernel, fusion)
-        };
-        let need = 8 + 2 * exec_kernel.radius;
-        let seg_len = need.div_ceil(4) * 4;
-        Plan1D { exec_kernel, fusion, seg_len, config }
-    }
-
-    /// Per-block resources (8 segments of `seg_len` per warp).
-    pub fn block_resources(&self) -> BlockResources {
-        let buffers = if self.config.use_async_copy { 2 } else { 1 };
-        BlockResources {
-            shared_bytes: WARPS_PER_BLOCK * (8 * self.seg_len * 8) as u32 * buffers,
-            threads: WARPS_PER_BLOCK * 32,
-            regs_per_thread: 48,
+        match kernel.dims() {
+            1 => {
+                let (exec_kernel, fusion) = fuse(kernel, config);
+                let need = 8 + 2 * exec_kernel.radius;
+                let seg_len = need.div_ceil(4) * 4;
+                let geo = RdgGeometry::for_radius(exec_kernel.radius);
+                Plan { exec_kernel, fusion, geo, config, kind: PlanKind::D1 { seg_len } }
+            }
+            2 => {
+                let (exec_kernel, fusion) = fuse(kernel, config);
+                let decomp = {
+                    let _decompose = foundation::obs::span("decompose");
+                    decompose::decompose(exec_kernel.weights_2d(), 1e-12)
+                };
+                let geo = RdgGeometry::for_radius(exec_kernel.radius);
+                Plan { exec_kernel, fusion, geo, config, kind: PlanKind::D2 { decomp } }
+            }
+            3 => {
+                let planes = kernel.weights_3d();
+                let plane_ops = {
+                    let _decompose = foundation::obs::span("decompose");
+                    planes.iter().map(classify_plane).collect()
+                };
+                let geo = RdgGeometry::for_radius(kernel.radius);
+                Plan {
+                    exec_kernel: kernel.clone(),
+                    fusion: 1,
+                    geo,
+                    config,
+                    kind: PlanKind::D3 { plane_ops },
+                }
+            }
+            d => panic!("no LoRAStencil plan for {d}-D kernels"),
         }
     }
+
+    /// Plan a 2-D kernel with cost-model-driven decomposition selection
+    /// (see [`crate::autotune`]): like [`Plan::new`], but the strategy is
+    /// chosen by modeled per-tile cost rather than structural precedence
+    /// — cheaper when the weight matrix's true rank is below the
+    /// pyramid's term count.
+    pub fn new_autotuned(kernel: &StencilKernel, config: ExecConfig) -> Self {
+        let _plan = foundation::obs::span("plan");
+        assert_eq!(kernel.dims(), 2, "autotuned planning covers 2-D kernels");
+        let (exec_kernel, fusion) = fuse(kernel, config);
+        let decomp = {
+            let _decompose = foundation::obs::span("decompose");
+            crate::autotune::choose(exec_kernel.weights_2d(), 1e-12)
+        };
+        let geo = RdgGeometry::for_radius(exec_kernel.radius);
+        Plan { exec_kernel, fusion, geo, config, kind: PlanKind::D2 { decomp } }
+    }
+
+    /// A 2-D plan assembled from explicit parts (ablation sweeps that
+    /// pin the fusion factor or try candidate decompositions).
+    pub fn custom_2d(
+        exec_kernel: StencilKernel,
+        fusion: usize,
+        decomp: Decomposition,
+        config: ExecConfig,
+    ) -> Self {
+        assert_eq!(exec_kernel.dims(), 2, "custom_2d needs a 2-D kernel");
+        let geo = RdgGeometry::for_radius(exec_kernel.radius);
+        Plan { exec_kernel, fusion, geo, config, kind: PlanKind::D2 { decomp } }
+    }
+
+    /// This 2-D plan with its decomposition swapped (decomposition
+    /// ablation).
+    pub fn with_decomposition(&self, decomp: Decomposition) -> Self {
+        assert_eq!(self.dims(), 2, "decomposition swaps cover 2-D plans");
+        Plan { kind: PlanKind::D2 { decomp }, ..self.clone() }
+    }
+
+    /// Kernel dimensionality (1, 2 or 3).
+    pub fn dims(&self) -> usize {
+        self.exec_kernel.dims()
+    }
+
+    /// Padded 1-D segment length. Panics unless this is a 1-D plan.
+    pub fn seg_len(&self) -> usize {
+        match &self.kind {
+            PlanKind::D1 { seg_len } => *seg_len,
+            _ => panic!("seg_len is a 1-D plan property"),
+        }
+    }
+
+    /// The 2-D decomposition. Panics unless this is a 2-D plan.
+    pub fn decomp(&self) -> &Decomposition {
+        match &self.kind {
+            PlanKind::D2 { decomp } => decomp,
+            _ => panic!("decomp is a 2-D plan property"),
+        }
+    }
+
+    /// The 3-D per-plane operations. Panics unless this is a 3-D plan.
+    pub fn plane_ops(&self) -> &[PlaneOp] {
+        match &self.kind {
+            PlanKind::D3 { plane_ops } => plane_ops,
+            _ => panic!("plane_ops is a 3-D plan property"),
+        }
+    }
+
+    /// Per-block resources this plan occupies (one input tile per warp;
+    /// a second buffer when `cp.async` double-buffering is on). Register
+    /// pressure varies with the dimension and the compute path.
+    pub fn block_resources(&self) -> BlockResources {
+        let buffers = if self.config.use_async_copy { 2 } else { 1 };
+        let shared_per_warp = match &self.kind {
+            PlanKind::D1 { seg_len } => (8 * seg_len * 8) as u32,
+            _ => self.geo.tile_bytes(),
+        };
+        let regs_per_thread = match &self.kind {
+            PlanKind::D1 { .. } => 48,
+            PlanKind::D2 { .. } => {
+                if self.config.use_tcu {
+                    64
+                } else {
+                    48
+                }
+            }
+            PlanKind::D3 { .. } => {
+                if self.config.use_tcu {
+                    72
+                } else {
+                    56
+                }
+            }
+        };
+        BlockResources {
+            shared_bytes: WARPS_PER_BLOCK * shared_per_warp * buffers,
+            threads: WARPS_PER_BLOCK * 32,
+            regs_per_thread,
+        }
+    }
+}
+
+/// Shared 1-D/2-D fusion decision (3-D kernels are never fused).
+fn fuse(kernel: &StencilKernel, config: ExecConfig) -> (StencilKernel, usize) {
+    let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
+    let exec_kernel = {
+        let _fuse = foundation::obs::span("fuse");
+        fusion::fuse_kernel(kernel, fusion)
+    };
+    (exec_kernel, fusion)
 }
 
 #[cfg(test)]
@@ -255,60 +322,61 @@ mod tests {
 
     #[test]
     fn small_2d_kernel_gets_fused() {
-        let p = Plan2D::new(&kernels::box_2d9p(), ExecConfig::full());
+        let p = Plan::new(&kernels::box_2d9p(), ExecConfig::full());
         assert_eq!(p.fusion, 3);
         assert_eq!(p.exec_kernel.radius, 3);
         assert_eq!(p.geo.s, 16);
-        assert_eq!(p.decomp.strategy, Strategy::Pyramidal);
+        assert_eq!(p.decomp().strategy, Strategy::Pyramidal);
     }
 
     #[test]
     fn fused_heat_2d_uses_eigen() {
         // Heat-2D fused 3× is a diamond (zero corners) → eigen fallback.
-        let p = Plan2D::new(&kernels::heat_2d(), ExecConfig::full());
+        let p = Plan::new(&kernels::heat_2d(), ExecConfig::full());
         assert_eq!(p.fusion, 3);
-        assert_eq!(p.decomp.strategy, Strategy::Eigen);
+        assert_eq!(p.decomp().strategy, Strategy::Eigen);
     }
 
     #[test]
     fn fusion_can_be_disabled() {
         let cfg = ExecConfig { allow_fusion: false, ..ExecConfig::full() };
-        let p = Plan2D::new(&kernels::box_2d9p(), cfg);
+        let p = Plan::new(&kernels::box_2d9p(), cfg);
         assert_eq!(p.fusion, 1);
         assert_eq!(p.exec_kernel.radius, 1);
     }
 
     #[test]
     fn large_kernel_not_fused() {
-        let p = Plan2D::new(&kernels::box_2d49p(), ExecConfig::full());
+        let p = Plan::new(&kernels::box_2d49p(), ExecConfig::full());
         assert_eq!(p.fusion, 1);
-        assert_eq!(p.decomp.num_terms(), 3);
+        assert_eq!(p.decomp().num_terms(), 3);
     }
 
     #[test]
     fn heat_3d_plane_classification_matches_algorithm_2() {
-        let p = Plan3D::new(&kernels::heat_3d(), ExecConfig::full());
-        assert_eq!(p.plane_ops.len(), 3);
-        assert!(matches!(p.plane_ops[0], PlaneOp::Pointwise(_)));
-        assert!(matches!(p.plane_ops[1], PlaneOp::Rdg(_)));
-        assert!(matches!(p.plane_ops[2], PlaneOp::Pointwise(_)));
+        let p = Plan::new(&kernels::heat_3d(), ExecConfig::full());
+        assert_eq!(p.plane_ops().len(), 3);
+        assert_eq!(p.fusion, 1, "3-D kernels are never fused");
+        assert!(matches!(p.plane_ops()[0], PlaneOp::Pointwise(_)));
+        assert!(matches!(p.plane_ops()[1], PlaneOp::Rdg(_)));
+        assert!(matches!(p.plane_ops()[2], PlaneOp::Pointwise(_)));
     }
 
     #[test]
     fn box_3d_planes_all_need_rdg() {
-        let p = Plan3D::new(&kernels::box_3d27p(), ExecConfig::full());
-        assert!(p.plane_ops.iter().all(|op| matches!(op, PlaneOp::Rdg(_))));
+        let p = Plan::new(&kernels::box_3d27p(), ExecConfig::full());
+        assert!(p.plane_ops().iter().all(|op| matches!(op, PlaneOp::Rdg(_))));
     }
 
     #[test]
     fn plan1d_segment_length_and_fusion() {
-        let p = Plan1D::new(&kernels::heat_1d(), ExecConfig::full());
+        let p = Plan::new(&kernels::heat_1d(), ExecConfig::full());
         assert_eq!(p.fusion, 3); // radius 1 → 3× temporal fusion
         assert_eq!(p.exec_kernel.radius, 3);
-        assert_eq!(p.seg_len, 16); // 8 + 6, rounded to 16
-        let p = Plan1D::new(&kernels::p5_1d(), ExecConfig::full());
+        assert_eq!(p.seg_len(), 16); // 8 + 6, rounded to 16
+        let p = Plan::new(&kernels::p5_1d(), ExecConfig::full());
         assert_eq!(p.fusion, 1);
-        assert_eq!(p.seg_len, 12); // 8 + 4
+        assert_eq!(p.seg_len(), 12); // 8 + 4
     }
 
     #[test]
@@ -318,10 +386,10 @@ mod tests {
             if k.dims() != 2 {
                 continue;
             }
-            let a = Plan2D::new_autotuned(&k, ExecConfig::full());
-            let d = Plan2D::new(&k, ExecConfig::full());
+            let a = Plan::new_autotuned(&k, ExecConfig::full());
+            let d = Plan::new(&k, ExecConfig::full());
             assert!(
-                autotune::tile_cost(&a.decomp, a.geo) <= autotune::tile_cost(&d.decomp, d.geo),
+                autotune::tile_cost(a.decomp(), a.geo) <= autotune::tile_cost(d.decomp(), d.geo),
                 "{}",
                 k.name
             );
@@ -335,6 +403,24 @@ mod tests {
         assert!(stages[1].1.use_tcu && !stages[1].1.use_bvs);
         assert!(stages[2].1.use_bvs && !stages[2].1.use_async_copy);
         assert_eq!(stages[3].1, ExecConfig::full());
+    }
+
+    #[test]
+    fn ablation_roster_embeds_the_breakdown_stages_verbatim() {
+        // the single-source-of-truth guarantee: the roster IS full +
+        // no-fusion + breakdown_stages(), in order, nothing else — any
+        // hand-maintained copy elsewhere is a bug
+        let roster = ExecConfig::ablation_roster();
+        assert_eq!(roster.len(), 2 + ExecConfig::breakdown_stages().len());
+        assert_eq!(roster[0], ("full", ExecConfig::full()));
+        assert_eq!(
+            roster[1],
+            ("no-fusion", ExecConfig { allow_fusion: false, ..ExecConfig::full() })
+        );
+        assert_eq!(&roster[2..], &ExecConfig::breakdown_stages()[..]);
+        let mut labels: Vec<_> = roster.iter().map(|(n, _)| *n).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), roster.len(), "labels must be unique");
     }
 }
 

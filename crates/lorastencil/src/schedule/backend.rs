@@ -1,0 +1,178 @@
+//! The backend seam: the device-specific compute behind the schedule
+//! interpreter.
+//!
+//! A [`Backend`] owns the per-tile accumulators and knows how to run the
+//! compute ops of a [`Schedule`] — the staging/addressing/boundary logic
+//! stays in the interpreter, which is exactly the seam that lets a
+//! future backend (sparse tensor cores, tuned SIMD) slot in without
+//! touching the per-dimension lowering. Two implementations are
+//! extracted from the formerly triplicated executors:
+//!
+//! * [`TcuF64`] — the simulated A100 FP64 tensor-core path (MMA chains
+//!   via prebuilt fragments, pointwise tip on CUDA cores).
+//! * [`CudaCore`] — the scalar ablation path (`use_tcu = false`): the
+//!   same `U·X·V` math as issue-overhead-weighted scalar FMAs.
+//!
+//! Note what is *not* here: BVS. The butterfly split is baked into the
+//! prebuilt `V` fragments at lowering time (Eq. 17), so both splits
+//! reach the backend as the same MMA chain.
+
+use super::{AccFold, LoweredTerm, Schedule};
+use crate::rdg::{apply_pointwise, rdg_apply_term_cuda, rdg_apply_term_frags, XFragments, TILE_M};
+use tcu_sim::{FragAcc, SharedTile, SimContext, MMA_K, MMA_N};
+
+/// Device-specific compute for one output tile. One instance lives on
+/// the interpreter's stack per tile; accumulators start at zero.
+pub trait Backend {
+    /// Run the RDG chains of `terms` (all against the currently staged
+    /// X fragments), then the pointwise pyramid tip if `pointwise` is
+    /// present (its weight may be `0.0` — the backend still owns the
+    /// span structure).
+    fn term_chain(
+        &mut self,
+        ctx: &mut SimContext,
+        x: &XFragments,
+        sched: &Schedule,
+        terms: &[LoweredTerm],
+        pointwise: Option<f64>,
+    );
+
+    /// The fused 1-D gather (§IV-C): one banded MM over the staged
+    /// segment matrix.
+    fn gather_1d(&mut self, ctx: &mut SimContext, tile: &SharedTile, sched: &Schedule);
+
+    /// The scalar accumulator (plane-wise CUDA-core MACs write here).
+    fn vals_mut(&mut self) -> &mut [[f64; MMA_N]; TILE_M];
+
+    /// Fold the accumulators into the tile's output values.
+    fn finish(&mut self, fold: AccFold) -> [[f64; MMA_N]; TILE_M];
+}
+
+/// The simulated FP64 tensor-core backend.
+#[derive(Debug)]
+pub struct TcuF64 {
+    frag: FragAcc,
+    vals: [[f64; MMA_N]; TILE_M],
+}
+
+impl TcuF64 {
+    /// Fresh zeroed accumulators.
+    pub fn new() -> Self {
+        TcuF64 { frag: FragAcc::zero(), vals: [[0.0; MMA_N]; TILE_M] }
+    }
+}
+
+impl Default for TcuF64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backend for TcuF64 {
+    fn term_chain(
+        &mut self,
+        ctx: &mut SimContext,
+        x: &XFragments,
+        _sched: &Schedule,
+        terms: &[LoweredTerm],
+        pointwise: Option<f64>,
+    ) {
+        {
+            let _mma_batch = foundation::obs::span("mma_batch");
+            for lt in terms {
+                let tf = lt.frags.as_ref().expect("TCU backend needs prebuilt fragments");
+                self.frag = rdg_apply_term_frags(ctx, x, tf, self.frag);
+            }
+        }
+        if let Some(pw) = pointwise {
+            let _pointwise = foundation::obs::span("pointwise");
+            apply_pointwise(ctx, x, pw, &mut self.frag);
+        }
+    }
+
+    fn gather_1d(&mut self, ctx: &mut SimContext, tile: &SharedTile, sched: &Schedule) {
+        let _mma_batch = foundation::obs::span("mma_batch");
+        for (blk, vf) in sched.v1d.iter().enumerate() {
+            let a = tile.load_frag_a(ctx, 0, (blk * MMA_K) as isize);
+            ctx.mma_into(&a, vf, &mut self.frag);
+        }
+    }
+
+    fn vals_mut(&mut self) -> &mut [[f64; MMA_N]; TILE_M] {
+        &mut self.vals
+    }
+
+    fn finish(&mut self, fold: AccFold) -> [[f64; MMA_N]; TILE_M] {
+        match fold {
+            AccFold::FragOnly => self.frag.to_matrix(),
+            AccFold::Merge => {
+                // fold the tensor-core accumulator into the scalar one
+                for (p, row) in self.vals.iter_mut().enumerate() {
+                    for (q, v) in row.iter_mut().enumerate() {
+                        *v += self.frag.get(p, q);
+                    }
+                }
+                self.vals
+            }
+            AccFold::Vals => self.vals,
+        }
+    }
+}
+
+/// The scalar CUDA-core ablation backend (Fig. 9 "RDG w/o TCU").
+#[derive(Debug)]
+pub struct CudaCore {
+    vals: [[f64; MMA_N]; TILE_M],
+}
+
+impl CudaCore {
+    /// Fresh zeroed accumulator.
+    pub fn new() -> Self {
+        CudaCore { vals: [[0.0; MMA_N]; TILE_M] }
+    }
+}
+
+impl Default for CudaCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backend for CudaCore {
+    fn term_chain(
+        &mut self,
+        ctx: &mut SimContext,
+        x: &XFragments,
+        sched: &Schedule,
+        terms: &[LoweredTerm],
+        pointwise: Option<f64>,
+    ) {
+        let _cuda_terms = foundation::obs::span("cuda_terms");
+        for lt in terms {
+            rdg_apply_term_cuda(ctx, x, &lt.term, &mut self.vals);
+        }
+        if let Some(pw) = pointwise {
+            if pw != 0.0 {
+                let h = sched.h;
+                for (p, row) in self.vals.iter_mut().enumerate() {
+                    for (q, v) in row.iter_mut().enumerate() {
+                        *v += pw * x.peek(h + p, h + q);
+                    }
+                }
+                ctx.cuda_flops(2 * (TILE_M * MMA_N) as u64);
+            }
+        }
+    }
+
+    fn gather_1d(&mut self, _ctx: &mut SimContext, _tile: &SharedTile, _sched: &Schedule) {
+        unreachable!("1-D lowering always selects the tensor-core backend (§IV-C)");
+    }
+
+    fn vals_mut(&mut self) -> &mut [[f64; MMA_N]; TILE_M] {
+        &mut self.vals
+    }
+
+    fn finish(&mut self, _fold: AccFold) -> [[f64; MMA_N]; TILE_M] {
+        self.vals
+    }
+}

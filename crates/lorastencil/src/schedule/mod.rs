@@ -1,0 +1,309 @@
+//! The dimension-generic execution IR (the *schedule*) and its lowering.
+//!
+//! The paper's §IV point is that RDG/PMA/BVS are **one** algorithm
+//! instantiated per dimension. This module makes that literal: a
+//! [`Plan`] of any dimensionality lowers to one [`Schedule`] — a flat
+//! sequence of [`Op`]s describing what one warp does per output tile —
+//! and a single interpreter ([`crate::schedule::Stepper`]) executes that
+//! sequence against a [`Backend`]. The per-dimension executors in
+//! [`crate::exec`] are reduced to lowering rules plus public-API shims.
+//!
+//! Lowering is where every [`ExecConfig`] toggle is resolved:
+//!
+//! * `use_tcu` selects the [`Backend`] ([`TcuF64`] vs [`CudaCore`]) and
+//!   whether weight fragments are prebuilt (1-D always gathers on the
+//!   tensor cores — its single banded MM *is* the algorithm, §IV-C).
+//! * `use_bvs` selects the step-2 accumulator split ([`AccSplit`]): the
+//!   BVS permutation is baked into the prebuilt `V` fragments (Eq. 17),
+//!   which is why BVS lives in lowering and not in the backend — at
+//!   interpretation time both splits run the same MMA chain.
+//! * `use_async_copy` becomes the staged [`CopyMode`].
+//! * `allow_fusion` already happened at planning (the fused
+//!   `exec_kernel`); the schedule records the resulting
+//!   [`Schedule::fuse_steps`] so one interpreted application advances
+//!   that many temporal steps.
+
+mod backend;
+#[cfg(test)]
+mod exec_tests;
+mod stepper;
+
+pub use backend::{Backend, CudaCore, TcuF64};
+pub use stepper::{apply_once, apply_once_planes, run, Stepper, Workspace};
+
+use crate::decompose::RankOneTerm;
+use crate::plan::{Plan, PlanKind};
+use crate::rdg::{RdgGeometry, TermFrags};
+use tcu_sim::CopyMode;
+
+/// One step of the per-tile warp program.
+///
+/// `dz` indexes the input plane relative to the output plane (`dz = h`
+/// is the center plane); 1-D and 2-D schedules have a single plane and
+/// always address it through `dz = h`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Stage the S×S input window of plane `dz` into shared memory
+    /// (global → shared, `cp.async` or register-staged per
+    /// [`Schedule::copy_mode`]).
+    Stage {
+        /// Relative input plane (`h` = center).
+        dz: usize,
+    },
+    /// Load the staged tile's B fragments (shared → registers), charging
+    /// the Eq. 12 shared-load requests. Always directly follows a
+    /// [`Op::Stage`].
+    FragBuild,
+    /// The fused 1-D stage+gather (§IV-C): pack 8 overlapping
+    /// `seg_len`-long segments as matrix rows and gather them with the
+    /// single banded MM — no dimension residue, so no separate
+    /// `FragBuild`/`MmaChain` ops.
+    RdgGather,
+    /// Run the RDG matrix chain `acc += U·X·V` for rank-1 term
+    /// [`Schedule::terms`]`[term]` against the currently staged
+    /// fragments. Consecutive chains reuse the same X fragments
+    /// (the §III-C fragment-reuse property).
+    MmaChain {
+        /// Index into [`Schedule::terms`].
+        term: u16,
+    },
+    /// Add the pointwise pyramid tip of the current decomposition
+    /// (`weight` may be `0.0` for tip-less decompositions: the op still
+    /// delimits the chain).
+    Pointwise {
+        /// Center tap weight (the 1×1 pyramid term).
+        weight: f64,
+    },
+    /// A single-weight 3-D plane (Algorithm 2 line 5): point-wise MAC of
+    /// plane `dz` on CUDA cores, no staging.
+    PointwisePlane {
+        /// Relative input plane.
+        dz: usize,
+        /// The plane's single (center) weight.
+        weight: f64,
+    },
+    /// An all-zero 3-D plane: nothing to do (kept in the IR so listings
+    /// and audits see the full `2h+1`-plane structure).
+    SkipPlane {
+        /// Relative input plane.
+        dz: usize,
+    },
+}
+
+/// Step-2 accumulator split selected at lowering time (§III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccSplit {
+    /// Butterfly Vector Swapping: even/odd column sets, compensated by
+    /// pre-permuted `V` fragments — zero inter-thread shuffles (Eq. 17).
+    Bvs,
+    /// Natural `{0..4}`/`{4..8}` split: two shuffles per accumulator.
+    Shuffle,
+}
+
+/// How the backend's accumulators fold into the tile's output values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccFold {
+    /// The MMA accumulator fragment is the whole result (1-D, 2-D TCU).
+    FragOnly,
+    /// Scalar values + MMA fragment accumulate side by side and merge at
+    /// the end (3-D TCU: pointwise planes on CUDA cores, RDG planes on
+    /// tensor cores).
+    Merge,
+    /// Scalar values only (any dimension with `use_tcu = false`).
+    Vals,
+}
+
+/// Which backend interprets the compute ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Simulated FP64 tensor cores ([`TcuF64`]).
+    TcuF64,
+    /// Scalar CUDA-core ablation path ([`CudaCore`]).
+    CudaCore,
+}
+
+/// One rank-1 term as lowered: the term itself (the [`CudaCore`] backend
+/// and the CUDA listing emitter read the raw `u`/`v` vectors) plus the
+/// prebuilt weight fragments when the tensor-core backend is selected.
+#[derive(Debug, Clone)]
+pub struct LoweredTerm {
+    /// The rank-1 factor pair.
+    pub term: RankOneTerm,
+    /// Prebuilt `U`/`V` fragments (split-permuted per [`AccSplit`]);
+    /// `None` on the CUDA-core backend.
+    pub frags: Option<TermFrags>,
+}
+
+/// A lowered plan: the per-tile op sequence plus everything the
+/// interpreter needs that does not depend on the input tile. Built once
+/// per [`Workspace`] and reused by every tile of every step.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Kernel dimensionality (1, 2 or 3).
+    pub dims: usize,
+    /// Radius of the executed (possibly fused) kernel.
+    pub h: usize,
+    /// Tile geometry (2-D staging window; 1-D stages `seg_len` instead).
+    pub geo: RdgGeometry,
+    /// Padded 1-D segment length (0 unless `dims == 1`).
+    pub seg_len: usize,
+    /// Global→shared staging mode (`use_async_copy` lowered).
+    pub copy_mode: CopyMode,
+    /// Temporal steps one application advances (`allow_fusion` lowered).
+    pub fuse_steps: usize,
+    /// Step-2 accumulator split (`use_bvs` lowered).
+    pub split: AccSplit,
+    /// Backend selection (`use_tcu` lowered; 1-D is always tensor-core).
+    pub backend: BackendKind,
+    /// Accumulator fold at the end of the op sequence.
+    pub fold: AccFold,
+    /// The per-tile warp program.
+    pub ops: Vec<Op>,
+    /// All rank-1 terms of the schedule, in op order (3-D concatenates
+    /// the planes' decompositions; [`Op::MmaChain`] indexes into this).
+    pub terms: Vec<LoweredTerm>,
+    /// The 1-D banded `V` fragments (empty unless `dims == 1`).
+    pub v1d: Vec<tcu_sim::FragB>,
+}
+
+impl Schedule {
+    /// Lower a plan to its execution schedule. The per-dimension
+    /// lowering rules live next to their public shims in
+    /// [`crate::exec`]; fragment prebuilding happens here, once, under
+    /// the `frag_build` span.
+    pub fn lower(plan: &Plan) -> Schedule {
+        let use_tcu = plan.config.use_tcu;
+        let dims = plan.dims();
+        let mut sched = Schedule {
+            dims,
+            h: plan.exec_kernel.radius,
+            geo: plan.geo,
+            seg_len: 0,
+            copy_mode: if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged },
+            fuse_steps: plan.fusion,
+            split: if plan.config.use_bvs { AccSplit::Bvs } else { AccSplit::Shuffle },
+            // the 1-D gather is a single banded MM — running it anywhere
+            // but the tensor cores would not be the §IV-C algorithm
+            backend: if dims == 1 || use_tcu { BackendKind::TcuF64 } else { BackendKind::CudaCore },
+            fold: match (dims, use_tcu) {
+                (1, _) | (2, true) => AccFold::FragOnly,
+                (3, true) => AccFold::Merge,
+                _ => AccFold::Vals,
+            },
+            ops: Vec::new(),
+            terms: Vec::new(),
+            v1d: Vec::new(),
+        };
+        match &plan.kind {
+            PlanKind::D1 { seg_len } => crate::exec::one_d::lower(*seg_len, &mut sched),
+            PlanKind::D2 { decomp } => crate::exec::two_d::lower(decomp, &mut sched),
+            PlanKind::D3 { plane_ops } => crate::exec::three_d::lower(plane_ops, &mut sched),
+        }
+        {
+            // all weight fragments prebuild here (they depend only on the
+            // plan): U/V term fragments on the TCU backend, the banded V
+            // of the 1-D gather always
+            let _frag_build = foundation::obs::span("frag_build");
+            if use_tcu {
+                for lt in &mut sched.terms {
+                    lt.frags = Some(TermFrags::build(&lt.term, sched.geo, plan.config.use_bvs));
+                }
+            }
+            if sched.dims == 1 {
+                sched.v1d =
+                    crate::exec::one_d::build_v_frags(plan.exec_kernel.weights_1d(), sched.seg_len);
+            }
+        }
+        sched
+    }
+
+    /// Append one rank-1 term, returning its [`Op::MmaChain`] op
+    /// (lowering helper for the per-dimension rules).
+    pub(crate) fn push_term(&mut self, term: &RankOneTerm) -> Op {
+        let idx = self.terms.len() as u16;
+        self.terms.push(LoweredTerm { term: term.clone(), frags: None });
+        Op::MmaChain { term: idx }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ExecConfig;
+    use stencil_core::kernels;
+
+    #[test]
+    fn two_d_schedule_is_stage_frags_chains_tip() {
+        let plan = Plan::new(&kernels::box_2d49p(), ExecConfig::full());
+        let s = Schedule::lower(&plan);
+        assert_eq!(s.dims, 2);
+        assert_eq!(s.backend, BackendKind::TcuF64);
+        assert_eq!(s.fold, AccFold::FragOnly);
+        assert_eq!(s.split, AccSplit::Bvs);
+        let n = plan.decomp().num_terms();
+        assert_eq!(s.terms.len(), n);
+        assert!(s.terms.iter().all(|t| t.frags.is_some()));
+        let mut want = vec![Op::Stage { dz: s.h }, Op::FragBuild];
+        want.extend((0..n as u16).map(|t| Op::MmaChain { term: t }));
+        want.push(Op::Pointwise { weight: plan.decomp().pointwise });
+        assert_eq!(s.ops, want);
+    }
+
+    #[test]
+    fn toggles_become_lowering_decisions() {
+        let k = kernels::box_2d9p();
+        let s = Schedule::lower(&Plan::new(
+            &k,
+            ExecConfig {
+                use_tcu: false,
+                use_bvs: false,
+                use_async_copy: false,
+                allow_fusion: true,
+            },
+        ));
+        assert_eq!(s.backend, BackendKind::CudaCore);
+        assert_eq!(s.fold, AccFold::Vals);
+        assert_eq!(s.split, AccSplit::Shuffle);
+        assert_eq!(s.copy_mode, CopyMode::Staged);
+        assert!(s.terms.iter().all(|t| t.frags.is_none()), "no fragments off the TCU");
+        assert_eq!(s.fuse_steps, 3, "fusion survives lowering");
+    }
+
+    #[test]
+    fn one_d_schedule_is_one_gather() {
+        let plan = Plan::new(&kernels::heat_1d(), ExecConfig::full());
+        let s = Schedule::lower(&plan);
+        assert_eq!(s.ops, vec![Op::RdgGather]);
+        assert_eq!(s.seg_len, 16);
+        assert_eq!(s.v1d.len(), 16 / tcu_sim::MMA_K);
+        assert!(s.terms.is_empty(), "1-D needs no decomposition (§IV-C)");
+        // the 1-D single-banded-MM runs on tensor cores in every config
+        let scalar = ExecConfig { use_tcu: false, ..ExecConfig::full() };
+        assert_eq!(
+            Schedule::lower(&Plan::new(&kernels::heat_1d(), scalar)).backend,
+            BackendKind::TcuF64
+        );
+    }
+
+    #[test]
+    fn three_d_schedule_covers_every_plane_in_order() {
+        let plan = Plan::new(&kernels::heat_3d(), ExecConfig::full());
+        let s = Schedule::lower(&plan);
+        assert_eq!(s.fold, AccFold::Merge);
+        // heat_3d: pointwise / rdg / pointwise planes
+        assert!(matches!(s.ops[0], Op::PointwisePlane { dz: 0, .. }));
+        assert_eq!(s.ops[1], Op::Stage { dz: 1 });
+        assert_eq!(s.ops[2], Op::FragBuild);
+        assert!(matches!(s.ops.last(), Some(Op::PointwisePlane { dz: 2, .. })));
+        // every dz shows up exactly once as a plane-selecting op
+        let planes: Vec<usize> = s
+            .ops
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Stage { dz } | Op::PointwisePlane { dz, .. } | Op::SkipPlane { dz } => Some(dz),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(planes, vec![0, 1, 2]);
+    }
+}

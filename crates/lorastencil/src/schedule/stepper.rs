@@ -1,0 +1,404 @@
+//! The generic schedule interpreter: one [`Workspace`]/[`Stepper`] pair
+//! executes lowered [`Schedule`]s of any dimensionality.
+//!
+//! The host-side loop keeps the PR 2 steady-state guarantees: a
+//! [`Stepper`] double-buffers the grid planes and reuses every per-apply
+//! buffer, so an iteration allocates nothing and spawns no threads.
+//! Tiles run in parallel and write their disjoint output bands directly;
+//! per-tile counters land in preallocated index-addressed slots and
+//! merge sequentially **in job order**, so counters and values are
+//! bit-identical at any thread count.
+
+use super::backend::{Backend, CudaCore, TcuF64};
+use super::{BackendKind, Op, Schedule};
+use crate::exec::scratch::{with_tile_scratch, TileScratch};
+use crate::plan::{ExecConfig, Plan};
+use crate::rdg::TILE_M;
+use foundation::par::*;
+use stencil_core::tiling::{clamped_span, tiles_1d, tiles_2d, window_origin, Tile2D};
+use stencil_core::StencilKernel;
+use tcu_sim::{BlockResources, GlobalArray, PerfCounters, SimContext, MMA_M, MMA_N};
+
+/// Interpret one tile's op sequence with a tile-local context, using the
+/// per-worker scratch buffers (no allocation on the TCU path). `z` is
+/// the output plane (always 0 for 1-D/2-D).
+fn compute_tile(
+    planes: &[GlobalArray],
+    sched: &Schedule,
+    z: usize,
+    t: Tile2D,
+    scratch: &mut TileScratch,
+) -> ([[f64; MMA_N]; TILE_M], PerfCounters) {
+    // monomorphize per backend: the op loop inlines the backend calls,
+    // which the hot 3-D path (many small per-plane chains) depends on
+    match sched.backend {
+        BackendKind::TcuF64 => compute_tile_on(&mut TcuF64::new(), planes, sched, z, t, scratch),
+        BackendKind::CudaCore => {
+            compute_tile_on(&mut CudaCore::new(), planes, sched, z, t, scratch)
+        }
+    }
+}
+
+fn compute_tile_on<B: Backend>(
+    backend: &mut B,
+    planes: &[GlobalArray],
+    sched: &Schedule,
+    z: usize,
+    t: Tile2D,
+    scratch: &mut TileScratch,
+) -> ([[f64; MMA_N]; TILE_M], PerfCounters) {
+    let h = sched.h;
+    let mut ctx = SimContext::new();
+    let mut i = 0;
+    while i < sched.ops.len() {
+        match sched.ops[i] {
+            Op::SkipPlane { .. } => i += 1,
+            Op::Stage { dz } => {
+                // periodic z boundary, matching the grid convention
+                let zp = (z as isize + dz as isize - h as isize).rem_euclid(planes.len() as isize);
+                let src = &planes[zp as usize];
+                scratch.tile.reset(sched.geo.s, sched.geo.s);
+                // the tile's own output footprint is its compulsory HBM
+                // share (charged on the plane for which this input is the
+                // kernel center); the halo ring is served by L2
+                let _rdg_gather = foundation::obs::span("rdg_gather");
+                let fresh = if dz == h { t.h * t.w } else { 0 };
+                src.copy_to_shared_reuse(
+                    &mut ctx,
+                    sched.copy_mode,
+                    window_origin(t.r0, h),
+                    window_origin(t.c0, h),
+                    sched.geo.s,
+                    sched.geo.s,
+                    &mut scratch.tile,
+                    0,
+                    0,
+                    fresh,
+                );
+                i += 1;
+                if let Some(Op::FragBuild) = sched.ops.get(i) {
+                    scratch.x.load_into(&mut ctx, &scratch.tile, sched.geo);
+                    i += 1;
+                }
+            }
+            Op::FragBuild => {
+                scratch.x.load_into(&mut ctx, &scratch.tile, sched.geo);
+                i += 1;
+            }
+            Op::RdgGather => {
+                scratch.tile.reset(MMA_M, sched.seg_len);
+                {
+                    let _rdg_gather = foundation::obs::span("rdg_gather");
+                    for r in 0..MMA_M {
+                        // 8 of the seg_len loaded elements are this
+                        // segment's own outputs (compulsory); the rest is
+                        // halo overlap in L2
+                        let seg_out = clamped_span(MMA_N * r, MMA_N, t.w);
+                        planes[0].copy_to_shared_reuse(
+                            &mut ctx,
+                            sched.copy_mode,
+                            0,
+                            window_origin(t.c0 + MMA_N * r, h),
+                            1,
+                            sched.seg_len,
+                            &mut scratch.tile,
+                            r,
+                            0,
+                            seg_out,
+                        );
+                    }
+                }
+                backend.gather_1d(&mut ctx, &scratch.tile, sched);
+                i += 1;
+            }
+            Op::MmaChain { term } => {
+                // collect the contiguous chain plus its pyramid tip: one
+                // backend call per decomposition, reusing the X fragments
+                let first = term as usize;
+                let mut end = first + 1;
+                i += 1;
+                while let Some(&Op::MmaChain { term }) = sched.ops.get(i) {
+                    end = term as usize + 1;
+                    i += 1;
+                }
+                let pw = if let Some(&Op::Pointwise { weight }) = sched.ops.get(i) {
+                    i += 1;
+                    Some(weight)
+                } else {
+                    None
+                };
+                backend.term_chain(&mut ctx, &scratch.x, sched, &sched.terms[first..end], pw);
+            }
+            Op::Pointwise { weight } => {
+                // term-less decomposition: still one (empty) chain call so
+                // the backend's phase structure is uniform
+                backend.term_chain(&mut ctx, &scratch.x, sched, &[], Some(weight));
+                i += 1;
+            }
+            Op::PointwisePlane { dz, weight } => {
+                // CUDA-core point-wise path: direct coalesced reads (L2:
+                // the compulsory HBM pass is charged where this plane is
+                // the kernel center), no shared-memory staging
+                // (Algorithm 2 line 5).
+                let zp = (z as isize + dz as isize - h as isize).rem_euclid(planes.len() as isize);
+                let src = &planes[zp as usize];
+                let acc_vals = backend.vals_mut();
+                let mut flops = 0u64;
+                let mut span = [0.0f64; MMA_N];
+                for (p, row) in acc_vals.iter_mut().enumerate() {
+                    let r = t.r0 + p;
+                    if r >= src.rows() {
+                        continue;
+                    }
+                    let cnt = clamped_span(t.c0, MMA_N, src.cols());
+                    if cnt == 0 {
+                        continue;
+                    }
+                    let vals = &mut span[..cnt];
+                    if dz == h {
+                        src.load_span_into(&mut ctx, r, t.c0, vals);
+                    } else {
+                        src.load_span_cached_into(&mut ctx, r, t.c0, vals);
+                    }
+                    for (q, v) in vals.iter().enumerate() {
+                        row[q] += weight * v;
+                    }
+                    flops += 2 * cnt as u64;
+                }
+                ctx.cuda_flops(flops);
+                i += 1;
+            }
+        }
+    }
+    let vals = backend.finish(sched.fold);
+    // each application advances `fuse_steps` temporal steps of updates
+    ctx.points((t.h * t.w * sched.fuse_steps) as u64);
+    (vals, ctx.counters)
+}
+
+/// The reusable per-apply buffers of a plan on a fixed grid shape: the
+/// lowered schedule, the `(plane, tile)` job list, the counter slots and
+/// the output-pointer table. Callers that manage their own grids (the
+/// distributed executor) build one per (device, plan) and feed it a
+/// fresh input/output pair each application; [`Stepper`] wraps one
+/// together with double-buffered planes.
+pub struct Workspace {
+    sched: Schedule,
+    jobs: Vec<(usize, Tile2D)>,
+    slots: Vec<PerfCounters>,
+    /// Reusable raw output-plane pointer table: the `UnsafeSlice`
+    /// pattern cannot borrow a `Vec` of planes across worker lanes
+    /// without re-allocating a slice table per application, so the table
+    /// lives here and is refilled in place.
+    sinks: Vec<usize>,
+}
+
+impl Workspace {
+    /// Buffers for applying `plan` to grids of the given extents
+    /// (`[n]`, `[rows, cols]` or `[nz, ny, nx]`).
+    pub fn new(plan: &Plan, extents: &[usize]) -> Self {
+        let sched = Schedule::lower(plan);
+        let jobs: Vec<(usize, Tile2D)> = match *extents {
+            [n] => tiles_1d(n, MMA_M * MMA_N)
+                .into_iter()
+                .map(|t| (0, Tile2D { r0: 0, c0: t.i0, h: 1, w: t.len }))
+                .collect(),
+            [rows, cols] => {
+                tiles_2d(rows, cols, TILE_M, TILE_M).into_iter().map(|t| (0, t)).collect()
+            }
+            [nz, ny, nx] => {
+                let tiles = tiles_2d(ny, nx, TILE_M, TILE_M);
+                (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect()
+            }
+            _ => panic!("grids are 1-, 2- or 3-dimensional"),
+        };
+        Workspace { sched, jobs, slots: Vec::new(), sinks: Vec::new() }
+    }
+
+    /// The lowered schedule this workspace interprets.
+    pub fn schedule(&self) -> &Schedule {
+        &self.sched
+    }
+
+    /// One (possibly fused) application from `input` into `out`
+    /// (single-plane grids: 1-D arrays and 2-D grids).
+    pub fn apply(&mut self, input: &GlobalArray, out: &mut GlobalArray) -> PerfCounters {
+        self.apply_planes(std::slice::from_ref(input), std::slice::from_mut(out))
+    }
+
+    /// One (possibly fused) application from `planes` into `out`. Tiles
+    /// run in parallel and write their disjoint output bands directly
+    /// (each band write charges the same `global_bytes_written` a
+    /// `store_span` would); per-tile counters go to preallocated slots
+    /// and merge sequentially in job order, keeping the totals
+    /// independent of scheduling.
+    pub fn apply_planes(
+        &mut self,
+        planes: &[GlobalArray],
+        out: &mut [GlobalArray],
+    ) -> PerfCounters {
+        let _apply = foundation::obs::span("apply");
+        let cols = planes[0].cols();
+        self.slots.clear();
+        self.slots.resize(self.jobs.len(), PerfCounters::new());
+        self.sinks.clear();
+        self.sinks.extend(out.iter_mut().map(|p| p.as_mut_slice().as_mut_ptr() as usize));
+        {
+            let slot_sink = UnsafeSlice::new(&mut self.slots[..]);
+            let sinks: &[usize] = &self.sinks;
+            let jobs = &self.jobs;
+            let sched = &self.sched;
+            for_each_index(jobs.len(), |i| {
+                let (z, t) = jobs[i];
+                let (vals, mut counters) =
+                    with_tile_scratch(|s| compute_tile(planes, sched, z, t, s));
+                let base = sinks[z] as *mut f64;
+                if sched.dims == 1 {
+                    for (r, row) in vals.iter().enumerate() {
+                        let cnt = clamped_span(MMA_N * r, MMA_N, t.w);
+                        if cnt == 0 {
+                            break;
+                        }
+                        // disjoint span write, accounted like a store_span
+                        // SAFETY: tiles write disjoint spans; `base` stays
+                        // valid because `out` is exclusively borrowed for
+                        // the whole application
+                        let band = unsafe {
+                            std::slice::from_raw_parts_mut(base.add(t.c0 + MMA_N * r), cnt)
+                        };
+                        band.copy_from_slice(&row[..cnt]);
+                        counters.global_bytes_written += (cnt * 8) as u64;
+                    }
+                } else {
+                    for (p, row) in vals.iter().enumerate().take(t.h) {
+                        let off = (t.r0 + p) * cols + t.c0;
+                        // SAFETY: jobs write disjoint (z, band) regions
+                        let band = unsafe { std::slice::from_raw_parts_mut(base.add(off), t.w) };
+                        band.copy_from_slice(&row[..t.w]);
+                        counters.global_bytes_written += (t.w * 8) as u64;
+                    }
+                }
+                // SAFETY: each index is written by exactly one job
+                unsafe { slot_sink.write(i, counters) };
+            });
+        }
+        let mut total = PerfCounters::new();
+        for c in self.slots.iter() {
+            total.merge(c);
+        }
+        total
+    }
+}
+
+/// The steady-state time-stepping loop for any dimensionality:
+/// double-buffered grid planes plus every per-apply buffer, allocated
+/// once and reused by each [`Stepper::step`]. Safe to ping-pong without
+/// clearing because the job list covers every output cell each
+/// application.
+pub struct Stepper {
+    ws: Workspace,
+    cur: Vec<GlobalArray>,
+    next: Vec<GlobalArray>,
+}
+
+impl Stepper {
+    /// Set up the loop over `planes` for `plan` (one plane for 1-D
+    /// arrays — shaped `1 × n` — and 2-D grids; `nz` planes for 3-D).
+    pub fn new(plan: Plan, planes: Vec<GlobalArray>) -> Self {
+        let extents = match plan.dims() {
+            1 => vec![planes[0].cols()],
+            2 => vec![planes[0].rows(), planes[0].cols()],
+            _ => vec![planes.len(), planes[0].rows(), planes[0].cols()],
+        };
+        let ws = Workspace::new(&plan, &extents);
+        let next = planes.iter().map(|p| GlobalArray::new(p.rows(), p.cols())).collect();
+        Stepper { ws, cur: planes, next }
+    }
+
+    /// Set up the loop over a single-plane grid.
+    pub fn from_grid(plan: Plan, input: GlobalArray) -> Self {
+        Stepper::new(plan, vec![input])
+    }
+
+    /// Advance one (possibly fused) application; the result becomes the
+    /// current state.
+    pub fn step(&mut self) -> PerfCounters {
+        let c = self.ws.apply_planes(&self.cur, &mut self.next);
+        std::mem::swap(&mut self.cur, &mut self.next);
+        c
+    }
+
+    /// The current single-plane grid.
+    pub fn grid(&self) -> &GlobalArray {
+        &self.cur[0]
+    }
+
+    /// The current volume's planes.
+    pub fn planes(&self) -> &[GlobalArray] {
+        &self.cur
+    }
+
+    /// Consume the stepper, returning the current single-plane grid.
+    pub fn into_grid(mut self) -> GlobalArray {
+        self.cur.swap_remove(0)
+    }
+
+    /// Consume the stepper, returning the current planes.
+    pub fn into_planes(self) -> Vec<GlobalArray> {
+        self.cur
+    }
+}
+
+/// One (possibly fused) stencil application over a single-plane grid
+/// (allocating convenience form of the [`Stepper`] loop).
+pub fn apply_once(input: &GlobalArray, plan: &Plan) -> (GlobalArray, PerfCounters) {
+    let (rows, cols) = (input.rows(), input.cols());
+    let extents: &[usize] = if plan.dims() == 1 { &[cols] } else { &[rows, cols] };
+    let mut ws = Workspace::new(plan, extents);
+    let mut out = GlobalArray::new(rows, cols);
+    let counters = ws.apply(input, &mut out);
+    (out, counters)
+}
+
+/// One stencil application over a volume (allocating convenience form).
+pub fn apply_once_planes(planes: &[GlobalArray], plan: &Plan) -> (Vec<GlobalArray>, PerfCounters) {
+    let (nz, ny, nx) = (planes.len(), planes[0].rows(), planes[0].cols());
+    let mut ws = Workspace::new(plan, &[nz, ny, nx]);
+    let mut out: Vec<GlobalArray> = (0..nz).map(|_| GlobalArray::new(ny, nx)).collect();
+    let counters = ws.apply_planes(planes, &mut out);
+    (out, counters)
+}
+
+/// The full time loop every public executor shares: plan, split the
+/// iterations into fused applications plus an unfused remainder, and
+/// step through both phases with reused buffers.
+pub fn run(
+    kernel: &StencilKernel,
+    config: ExecConfig,
+    planes: Vec<GlobalArray>,
+    iterations: usize,
+) -> (Vec<GlobalArray>, PerfCounters, BlockResources) {
+    let plan = Plan::new(kernel, config);
+    let block = plan.block_resources();
+    let full = iterations / plan.fusion;
+    let rem = iterations % plan.fusion;
+    let base_plan = if rem > 0 {
+        Some(Plan::new(kernel, ExecConfig { allow_fusion: false, ..config }))
+    } else {
+        None
+    };
+    let mut counters = PerfCounters::new();
+    let mut stepper = Stepper::new(plan, planes);
+    for _ in 0..full {
+        counters.merge(&stepper.step());
+    }
+    let mut cur = stepper.into_planes();
+    if let Some(bp) = base_plan {
+        let mut stepper = Stepper::new(bp, cur);
+        for _ in 0..rem {
+            counters.merge(&stepper.step());
+        }
+        cur = stepper.into_planes();
+    }
+    (cur, counters, block)
+}

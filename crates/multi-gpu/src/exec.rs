@@ -1,7 +1,7 @@
 //! Distributed LoRAStencil execution: each simulated device owns a row
 //! slab plus ghost rows, advances it locally with the single-device
 //! executor (a double-buffered grid pair driven through a per-device
-//! [`Workspace2D`]), and exchanges halos with its ring neighbors over
+//! [`Workspace`]), and exchanges halos with its ring neighbors over
 //! NVLink after every (possibly fused) application.
 //!
 //! Ghost padding is rounded up to the 8-row tile so every device's local
@@ -10,7 +10,7 @@
 //! tiles accumulate the same partial sums in the same order.
 
 use crate::partition::{partition, Slab, ALIGN};
-use lorastencil::{ExecConfig, Plan2D, Workspace2D};
+use lorastencil::{ExecConfig, Plan, Workspace};
 use stencil_core::{
     ExecError, ExecOutcome, Grid2D, GridData, Problem, StencilExecutor, StencilKernel,
 };
@@ -109,8 +109,8 @@ pub fn run_distributed(
 ) -> DistributedOutcome {
     assert_eq!(kernel.dims(), 2, "the distributed executor covers 2-D kernels");
     let (rows, cols) = (grid.rows(), grid.cols());
-    let plan = Plan2D::new(kernel, config);
-    let unfused = Plan2D::new(kernel, ExecConfig { allow_fusion: false, ..config });
+    let plan = Plan::new(kernel, config);
+    let unfused = Plan::new(kernel, ExecConfig { allow_fusion: false, ..config });
     let full = iterations / plan.fusion;
     let rem = iterations % plan.fusion;
 
@@ -120,7 +120,7 @@ pub fn run_distributed(
         .map(|&slab| {
             // ghost depth: the deepest radius any plan needs, tile-aligned
             let g = plan.exec_kernel.radius.max(unfused.exec_kernel.radius);
-            let pad = g.div_ceil(ALIGN) * ALIGN;
+            let pad = stencil_core::tiling::ghost_extent(g, ALIGN);
             let mut local = GlobalArray::new(pad + slab.len + pad, cols);
             for r in 0..slab.len {
                 for c in 0..cols {
@@ -139,13 +139,13 @@ pub fn run_distributed(
     // Per-(device, plan) workspaces: tilings differ per device (slabs may
     // have different row counts) and weight fragments differ per plan.
     // The device loop is sequential — the scalable axis is the tile
-    // parallelism inside `Workspace2D::apply` — and each device
+    // parallelism inside `Workspace::apply` — and each device
     // ping-pongs its local grid pair, so the steady-state loop allocates
     // nothing.
-    let mut ws_fused: Vec<Workspace2D> =
-        devices.iter().map(|d| Workspace2D::new(&plan, d.local.rows(), cols)).collect();
-    let mut ws_unfused: Vec<Workspace2D> = if rem > 0 {
-        devices.iter().map(|d| Workspace2D::new(&unfused, d.local.rows(), cols)).collect()
+    let mut ws_fused: Vec<Workspace> =
+        devices.iter().map(|d| Workspace::new(&plan, &[d.local.rows(), cols])).collect();
+    let mut ws_unfused: Vec<Workspace> = if rem > 0 {
+        devices.iter().map(|d| Workspace::new(&unfused, &[d.local.rows(), cols])).collect()
     } else {
         Vec::new()
     };
@@ -153,12 +153,12 @@ pub fn run_distributed(
     let step = |devices: &mut Vec<Device>,
                 per_device: &mut Vec<PerfCounters>,
                 nvlink: &mut u64,
-                p: &Plan2D,
-                ws: &mut [Workspace2D]| {
+                p: &Plan,
+                ws: &mut [Workspace]| {
         *nvlink += exchange_halos(devices, rows, cols, p.exec_kernel.radius);
         for ((d, w), pc) in devices.iter_mut().zip(ws).zip(per_device.iter_mut()) {
             let _device_apply = foundation::obs::span("device_apply");
-            let c = w.apply(&d.local, &mut d.next, p);
+            let c = w.apply(&d.local, &mut d.next);
             std::mem::swap(&mut d.local, &mut d.next);
             pc.merge(&c);
         }

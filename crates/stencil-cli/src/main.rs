@@ -26,7 +26,7 @@ fn real_main() -> Result<(), String> {
                 args.opt("radius", "3").parse().map_err(|e| format!("bad --radius: {e}"))?;
             print!("{}", analyze_text(h.clamp(1, 16)));
         }
-        "codegen" => {
+        "emit-cuda" | "codegen" => {
             let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
             let config = parse_config(args.opt("config", "full"))?;
             print!("{}", codegen_text(&kernel, config)?);

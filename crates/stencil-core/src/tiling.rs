@@ -1,5 +1,32 @@
 //! Tile decomposition helpers: splitting a grid into the per-thread-block
-//! tiles the simulated kernels process.
+//! tiles the simulated kernels process, plus the halo/tile-boundary
+//! arithmetic every executor shares (window origins, partial-tile
+//! clamps, ghost extents). Keeping the boundary arithmetic in one place
+//! matters: an off-by-one here is exactly the fault class the
+//! verification suite's `FaultInjector` plants.
+
+/// Global origin of the input window a radius-`h` stencil reads for an
+/// output region starting at `o`: `o − h`. May be negative — the
+/// staging copy wraps it periodically.
+pub fn window_origin(o: usize, h: usize) -> isize {
+    o as isize - h as isize
+}
+
+/// Partial-tile clamp: the valid length of a span of up to `full`
+/// elements starting at offset `start` inside an extent of `len`
+/// elements. Zero once `start` is at or past the end.
+pub fn clamped_span(start: usize, full: usize, len: usize) -> usize {
+    full.min(len.saturating_sub(start))
+}
+
+/// Ghost (halo) depth for a radius-`h` exchange, rounded up to the tile
+/// alignment so a local tiling with ghost cells stays congruent to the
+/// global tiling (the distributed executor's bit-identity depends on
+/// this).
+pub fn ghost_extent(h: usize, align: usize) -> usize {
+    assert!(align > 0);
+    h.div_ceil(align) * align
+}
 
 /// One 2-D tile: output region `[r0, r0+h) × [c0, c0+w)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,10 +48,10 @@ pub fn tiles_2d(rows: usize, cols: usize, tile_h: usize, tile_w: usize) -> Vec<T
     let mut out = Vec::with_capacity(rows.div_ceil(tile_h) * cols.div_ceil(tile_w));
     let mut r0 = 0;
     while r0 < rows {
-        let h = tile_h.min(rows - r0);
+        let h = clamped_span(r0, tile_h, rows);
         let mut c0 = 0;
         while c0 < cols {
-            let w = tile_w.min(cols - c0);
+            let w = clamped_span(c0, tile_w, cols);
             out.push(Tile2D { r0, c0, h, w });
             c0 += tile_w;
         }
@@ -53,7 +80,7 @@ pub fn tiles_1d(n: usize, tile_len: usize) -> Vec<Tile1D> {
     let mut out = Vec::with_capacity(n.div_ceil(tile_len));
     let mut i0 = 0;
     while i0 < n {
-        out.push(Tile1D { i0, len: tile_len.min(n - i0) });
+        out.push(Tile1D { i0, len: clamped_span(i0, tile_len, n) });
         i0 += tile_len;
     }
     out
@@ -94,6 +121,44 @@ mod tests {
             }
         }
         assert!(covered.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn window_origin_steps_back_by_the_radius() {
+        for h in 1..=4usize {
+            assert_eq!(window_origin(0, h), -(h as isize));
+            assert_eq!(window_origin(8, h), 8 - h as isize);
+            assert_eq!(window_origin(h, h), 0);
+        }
+    }
+
+    #[test]
+    fn clamped_spans_partition_edge_straddling_extents() {
+        // radius 1–4 × extents that straddle an 8-wide tile edge by ±h
+        for h in 1..=4usize {
+            for n in [64 - h, 64, 64 + h, 8 - h.min(7), 8 + h, 17] {
+                let spans: Vec<usize> =
+                    (0..n.div_ceil(8)).map(|i| clamped_span(i * 8, 8, n)).collect();
+                assert_eq!(spans.iter().sum::<usize>(), n, "h={h} n={n}");
+                assert!(spans.iter().all(|&s| s >= 1 && s <= 8), "h={h} n={n}");
+                // at or past the end: nothing left
+                assert_eq!(clamped_span(n, 8, n), 0);
+                assert_eq!(clamped_span(n + h, 8, n), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_extent_is_aligned_and_covers_the_radius() {
+        for h in 1..=4usize {
+            let g = ghost_extent(h, 8);
+            assert!(g >= h);
+            assert_eq!(g % 8, 0);
+            assert_eq!(g, 8, "radii 1–4 all round to one 8-row tile");
+        }
+        assert_eq!(ghost_extent(8, 8), 8);
+        assert_eq!(ghost_extent(9, 8), 16);
+        assert_eq!(ghost_extent(3, 4), 4);
     }
 
     #[test]

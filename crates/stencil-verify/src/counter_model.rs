@@ -22,7 +22,7 @@
 //! both sides of the split use the same per-application forms.
 
 use baselines::ConvStencil;
-use lorastencil::{fusion, ExecConfig, LoRaStencil, Plan1D, Plan2D, Plan3D, PlaneOp};
+use lorastencil::{fusion, ExecConfig, LoRaStencil, Plan, PlaneOp};
 use stencil_core::{StencilExecutor, StencilKernel};
 use tcu_sim::PerfCounters;
 
@@ -66,10 +66,10 @@ fn tiles_2d(rows: usize, cols: usize) -> u64 {
 }
 
 /// Per-application counters of the 2-D executor under `plan`.
-fn app_2d(plan: &Plan2D, tiles: u64) -> (u64, u64, u64) {
+fn app_2d(plan: &Plan, tiles: u64) -> (u64, u64, u64) {
     let geo = plan.geo;
     let (rb, cb) = (geo.row_blocks() as u64, geo.col_blocks() as u64);
-    let terms = plan.decomp.num_terms() as u64;
+    let terms = plan.decomp().num_terms() as u64;
     let loads = tiles * rb * cb;
     let mma = if plan.config.use_tcu { tiles * terms * geo.mma_per_term() } else { 0 };
     let shuffles =
@@ -79,11 +79,11 @@ fn app_2d(plan: &Plan2D, tiles: u64) -> (u64, u64, u64) {
 
 /// Per-application counters of the 3-D executor under `plan` (per grid,
 /// i.e. summed over the `nz × tiles` jobs).
-fn app_3d(plan: &Plan3D, jobs: u64) -> (u64, u64, u64) {
+fn app_3d(plan: &Plan, jobs: u64) -> (u64, u64, u64) {
     let geo = plan.geo;
     let (rb, cb) = (geo.row_blocks() as u64, geo.col_blocks() as u64);
     let (mut mma, mut loads, mut shuffles) = (0u64, 0u64, 0u64);
-    for op in &plan.plane_ops {
+    for op in plan.plane_ops() {
         if let PlaneOp::Rdg(d) = op {
             let terms = d.num_terms() as u64;
             loads += rb * cb;
@@ -114,12 +114,12 @@ pub fn predict_lora(
     let base_cfg = ExecConfig { allow_fusion: false, ..config };
     match *extents {
         [n] => {
-            let plan = Plan1D::new(kernel, config);
+            let plan = Plan::new(kernel, config);
             let full = (iterations / plan.fusion) as u64;
             let rem = (iterations % plan.fusion) as u64;
             let tiles = n.div_ceil(64) as u64;
-            let app = tiles * (plan.seg_len / 4) as u64;
-            let base = tiles * (Plan1D::new(kernel, base_cfg).seg_len / 4) as u64;
+            let app = tiles * (plan.seg_len() / 4) as u64;
+            let base = tiles * (Plan::new(kernel, base_cfg).seg_len() / 4) as u64;
             // the 1-D gather is a single MM: loads ≡ MMAs, no shuffles
             let mma = full * app + rem * base;
             Prediction {
@@ -131,13 +131,13 @@ pub fn predict_lora(
             }
         }
         [rows, cols] => {
-            let plan = Plan2D::new(kernel, config);
+            let plan = Plan::new(kernel, config);
             let full = (iterations / plan.fusion) as u64;
             let rem = (iterations % plan.fusion) as u64;
             let tiles = tiles_2d(rows, cols);
             let (fm, fl, fs) = app_2d(&plan, tiles);
             let (bm, bl, bs) =
-                if rem > 0 { app_2d(&Plan2D::new(kernel, base_cfg), tiles) } else { (0, 0, 0) };
+                if rem > 0 { app_2d(&Plan::new(kernel, base_cfg), tiles) } else { (0, 0, 0) };
             Prediction {
                 mma_ops: full * fm + rem * bm,
                 shared_load_requests: full * fl + rem * bl,
@@ -148,7 +148,7 @@ pub fn predict_lora(
         }
         [nz, ny, nx] => {
             // 3-D is never fused (dimension residue, §IV-C)
-            let plan = Plan3D::new(kernel, config);
+            let plan = Plan::new(kernel, config);
             let jobs = nz as u64 * tiles_2d(ny, nx);
             let (m, l, s) = app_3d(&plan, jobs);
             let apps = iterations as u64;
@@ -209,16 +209,13 @@ pub fn predict_convstencil_mma(
 }
 
 /// Validate the closed forms against measured counters for `case`, in
-/// the shipped configuration, with fusion disabled, and with the natural
-/// (shuffling) accumulator split. Every predicted field must match to
-/// the digit; ConvStencil's MMA count must match Eq. 13 exactly.
+/// every configuration of [`ExecConfig::ablation_roster`] — the same
+/// single-source-of-truth roster the bench-suite breakdown runs, so the
+/// counter model can never silently cover fewer configurations than the
+/// ablation measures. Every predicted field must match to the digit;
+/// ConvStencil's MMA count must match Eq. 13 exactly.
 pub fn check_counters(case: &Case) -> Result<(), String> {
-    let configs = [
-        ("full", ExecConfig::full()),
-        ("no-fusion", ExecConfig { allow_fusion: false, ..ExecConfig::full() }),
-        ("no-BVS", ExecConfig { use_bvs: false, ..ExecConfig::full() }),
-    ];
-    for (label, cfg) in configs {
+    for (label, cfg) in ExecConfig::ablation_roster() {
         let out = LoRaStencil::with_config(cfg)
             .execute(&case.problem())
             .map_err(|e| format!("LoRAStencil({label}) refused a valid case: {e}"))?;

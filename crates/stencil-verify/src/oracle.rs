@@ -2,10 +2,11 @@
 //! reference implementation, on arbitrary generated problems.
 //!
 //! [`roster`] collects every executor the workspace registers —
-//! LoRAStencil in the shipped configuration and each ablation stage of
-//! the paper's Fig. 9 breakdown (CUDA-only RDG, +TCU, +BVS, +AsyncCopy)
-//! plus the fusion-off configuration, the distributed executor on 2 and
-//! 3 simulated devices, and every fp64-exact baseline. Executors that
+//! LoRAStencil in every [`ExecConfig::ablation_roster`] configuration
+//! (the shipped config, fusion off, and each cumulative stage of the
+//! paper's Fig. 9 breakdown: CUDA-only RDG, +TCU, +BVS, +AsyncCopy),
+//! the distributed executor on 2 and 3 simulated devices, and every
+//! fp64-exact baseline. Executors that
 //! report [`ExecError::Unsupported`] for a case are skipped (e.g. the
 //! distributed executor on non-2-D grids); everything else must agree
 //! with [`stencil_core::reference`] to [`DIFF_TOL`].
@@ -35,20 +36,15 @@ pub const DIFF_TOL: f64 = 1e-9;
 /// configurations, which all share the `name()` string.
 pub type LabeledExecutor = (String, Box<dyn StencilExecutor + Send + Sync>);
 
-/// Every registered executor, labeled.
+/// Every registered executor, labeled. The LoRAStencil configurations
+/// come verbatim from [`ExecConfig::ablation_roster`] — the same list
+/// the bench-suite breakdown and the counter-exactness validator
+/// consume, so the three rosters cannot diverge.
 pub fn roster() -> Vec<LabeledExecutor> {
-    let mut v: Vec<LabeledExecutor> =
-        vec![("LoRAStencil(full)".into(), Box::new(LoRaStencil::new()))];
-    for (stage, cfg) in ExecConfig::breakdown_stages() {
-        v.push((format!("LoRAStencil({stage})"), Box::new(LoRaStencil::with_config(cfg))));
+    let mut v: Vec<LabeledExecutor> = Vec::new();
+    for (label, cfg) in ExecConfig::ablation_roster() {
+        v.push((format!("LoRAStencil({label})"), Box::new(LoRaStencil::with_config(cfg))));
     }
-    v.push((
-        "LoRAStencil(no-fusion)".into(),
-        Box::new(LoRaStencil::with_config(ExecConfig {
-            allow_fusion: false,
-            ..ExecConfig::full()
-        })),
-    ));
     for devices in [2, 3] {
         v.push((format!("LoRAStencil-dist{devices}"), Box::new(DistributedLoRa::new(devices))));
     }
@@ -160,6 +156,24 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), labels.len());
+    }
+
+    /// Anti-divergence guard: the oracle's LoRAStencil configurations
+    /// are exactly the shared ablation roster — if someone adds a stage
+    /// to [`ExecConfig::ablation_roster`] (or hand-edits this roster),
+    /// this test forces the two back into lockstep.
+    #[test]
+    fn lora_roster_never_diverges_from_the_shared_ablation_roster() {
+        let labels: Vec<String> = roster().into_iter().map(|(l, _)| l).collect();
+        let shared = ExecConfig::ablation_roster();
+        for (label, _) in &shared {
+            assert!(
+                labels.contains(&format!("LoRAStencil({label})")),
+                "oracle roster is missing ablation stage `{label}`"
+            );
+        }
+        let lora_count = labels.iter().filter(|l| l.starts_with("LoRAStencil(")).count();
+        assert_eq!(lora_count, shared.len(), "oracle carries extra LoRAStencil configs");
     }
 
     #[test]

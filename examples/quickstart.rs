@@ -6,7 +6,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lorastencil::{ExecConfig, LoRaStencil, Plan2D};
+use lorastencil::{ExecConfig, LoRaStencil, Plan};
 use stencil_core::{kernels, Grid2D, Problem, StencilExecutor};
 use tcu_sim::CostModel;
 
@@ -18,20 +18,20 @@ fn main() {
     // 2. See what the planner does with it: 3× temporal fusion turns it
     //    into a 7×7 kernel, whose radially symmetric weight matrix PMA
     //    peels into rank-1 pyramid terms.
-    let plan = Plan2D::new(&kernel, ExecConfig::full());
+    let plan = Plan::new(&kernel, ExecConfig::full());
     println!(
         "plan: fuse {}x -> {} (radius {}), {:?} decomposition with {} rank-1 terms + pointwise {:.3e}",
         plan.fusion,
         plan.exec_kernel.name,
         plan.exec_kernel.radius,
-        plan.decomp.strategy,
-        plan.decomp.num_terms(),
-        plan.decomp.pointwise,
+        plan.decomp().strategy,
+        plan.decomp().num_terms(),
+        plan.decomp().pointwise,
     );
-    for (i, t) in plan.decomp.terms.iter().enumerate() {
+    for (i, t) in plan.decomp().terms.iter().enumerate() {
         println!("  term {}: {}x{} (pyramid level)", i + 1, t.side(), t.side());
     }
-    let err = plan.decomp.reconstruction_error(plan.exec_kernel.weights_2d());
+    let err = plan.decomp().reconstruction_error(plan.exec_kernel.weights_2d());
     println!("  reconstruction error: {err:.2e}");
 
     // 3. Run 12 time steps on a 256×256 grid.

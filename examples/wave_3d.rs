@@ -10,7 +10,7 @@
 //! ```
 
 use baselines::ConvStencil;
-use lorastencil::{LoRaStencil, Plan3D, PlaneOp};
+use lorastencil::{LoRaStencil, Plan, PlaneOp};
 use stencil_core::{kernels, Grid3D, Problem, StencilExecutor};
 use tcu_sim::CostModel;
 
@@ -19,8 +19,8 @@ fn main() {
     println!("kernel: {} ({} points, radius {})", kernel.name, kernel.points(), kernel.radius);
 
     // Algorithm 2's per-plane classification
-    let plan = Plan3D::new(&kernel, lorastencil::ExecConfig::full());
-    for (dz, op) in plan.plane_ops.iter().enumerate() {
+    let plan = Plan::new(&kernel, lorastencil::ExecConfig::full());
+    for (dz, op) in plan.plane_ops().iter().enumerate() {
         let label = match op {
             PlaneOp::Skip => "skip (all zero)".to_string(),
             PlaneOp::Pointwise(w) => format!("pointwise on CUDA cores (w = {w:.4})"),

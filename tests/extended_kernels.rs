@@ -5,7 +5,7 @@
 //! decompositions, exactly-rank-1 execution, and weights that sum to
 //! zero (no mass-conservation safety net).
 
-use lorastencil::{decompose, ExecConfig, LoRaStencil, Plan2D, Plan3D, PlaneOp};
+use lorastencil::{decompose, ExecConfig, LoRaStencil, Plan, PlaneOp};
 use stencil_core::kernels_ext::{
     acoustic_3d_8th, all_extended, gaussian_2d, jacobi_poisson_2d, laplacian_2d,
 };
@@ -57,19 +57,19 @@ fn radius_4_laplacian_uses_star_decomposition() {
     // Laplace-2D-o8 is a radius-4 star: the planner must produce the
     // exact rank-2 star split, and the 16×16 tile still fits (8 + 2·4).
     let k = laplacian_2d(8);
-    let plan = Plan2D::new(&k, ExecConfig::full());
+    let plan = Plan::new(&k, ExecConfig::full());
     assert_eq!(plan.fusion, 1, "radius-4 kernels are not fused");
     assert_eq!(plan.geo.s, 16);
-    assert_eq!(plan.decomp.strategy, decompose::Strategy::Star);
-    assert_eq!(plan.decomp.num_terms(), 2);
+    assert_eq!(plan.decomp().strategy, decompose::Strategy::Star);
+    assert_eq!(plan.decomp().num_terms(), 2);
 }
 
 #[test]
 fn gaussian_executes_as_a_single_rank1_term() {
     // the LoRAStencil-Best case in the wild: one RDG chain per tile
     let k = gaussian_2d(3, 1.4);
-    let plan = Plan2D::new(&k, ExecConfig::full());
-    assert_eq!(plan.decomp.num_terms(), 1);
+    let plan = Plan::new(&k, ExecConfig::full());
+    assert_eq!(plan.decomp().num_terms(), 1);
     let p = Problem::new(k, grid2(32, 32), 1);
     let out = LoRaStencil::new().execute(&p).unwrap();
     // 12 MMAs per 64-point tile, exactly (the §III-B example count)
@@ -89,11 +89,11 @@ fn jacobi_zero_center_kernel_is_handled() {
 #[test]
 fn acoustic_kernel_classifies_planes_like_algorithm_2() {
     let k = acoustic_3d_8th();
-    let plan = Plan3D::new(&k, ExecConfig::full());
-    assert_eq!(plan.plane_ops.len(), 9);
+    let plan = Plan::new(&k, ExecConfig::full());
+    assert_eq!(plan.plane_ops().len(), 9);
     let mut pointwise = 0;
     let mut rdg = 0;
-    for op in &plan.plane_ops {
+    for op in plan.plane_ops() {
         match op {
             PlaneOp::Pointwise(_) => pointwise += 1,
             PlaneOp::Rdg(d) => {

@@ -8,21 +8,21 @@
 
 use foundation::json::Json;
 use foundation::obs;
-use lorastencil::{ExecConfig, Plan2D, Stepper2D};
+use lorastencil::{ExecConfig, Plan, Stepper};
 use stencil_core::kernels;
 use tcu_sim::GlobalArray;
 
 fn profiled_run() -> (Vec<(&'static str, u64)>, Vec<(String, u64)>, usize) {
     obs::reset();
     obs::enable();
-    let plan = Plan2D::new(&kernels::box_2d9p(), ExecConfig::full());
+    let plan = Plan::new(&kernels::box_2d9p(), ExecConfig::full());
     let mut input = GlobalArray::new(48, 48);
     for r in 0..48 {
         for c in 0..48 {
             input.poke(r, c, ((r * 13 + c * 7) % 19) as f64 * 0.25 - 1.0);
         }
     }
-    let mut stepper = Stepper2D::new(plan, input);
+    let mut stepper = Stepper::from_grid(plan, input);
     for _ in 0..3 {
         stepper.step();
     }
@@ -70,8 +70,8 @@ fn trace_and_breakdown_are_deterministic_across_thread_counts() {
     std::env::set_var("FOUNDATION_THREADS", "2");
     obs::reset();
     obs::enable();
-    let plan = Plan2D::new(&kernels::box_2d9p(), ExecConfig::full());
-    let mut stepper = Stepper2D::new(plan, GlobalArray::new(32, 32));
+    let plan = Plan::new(&kernels::box_2d9p(), ExecConfig::full());
+    let mut stepper = Stepper::from_grid(plan, GlobalArray::new(32, 32));
     stepper.step();
     obs::disable();
     std::env::remove_var("FOUNDATION_THREADS");

@@ -1,4 +1,4 @@
-//! Zero-allocation steady-state executor loop: once a [`Stepper2D`] is
+//! Zero-allocation steady-state executor loop: once a [`Stepper`] is
 //! warmed up, further time steps perform **no heap allocation** and
 //! spawn **no threads** — the double-buffered grids, the tiling, the
 //! weight fragments, the counter slots and the per-worker scratch are
@@ -11,7 +11,7 @@
 
 use foundation::alloc_counter::{allocation_count, CountingAllocator};
 use foundation::par::threads_spawned;
-use lorastencil::{ExecConfig, Plan2D, Stepper2D};
+use lorastencil::{ExecConfig, Plan, Stepper};
 use stencil_core::kernels;
 use tcu_sim::GlobalArray;
 
@@ -27,14 +27,14 @@ fn steady_state_steps_allocate_nothing_and_spawn_nothing() {
     // no clock read, no event, no allocation — so the assertions below
     // also prove the observability layer is free when off.
     assert!(!foundation::obs::enabled(), "span tracing must default to off");
-    let plan = Plan2D::new(&kernels::box_2d9p(), ExecConfig::full());
+    let plan = Plan::new(&kernels::box_2d9p(), ExecConfig::full());
     let mut input = GlobalArray::new(64, 64);
     for r in 0..64 {
         for c in 0..64 {
             input.poke(r, c, ((r * 13 + c * 7) % 19) as f64 * 0.25 - 1.0);
         }
     }
-    let mut stepper = Stepper2D::new(plan, input);
+    let mut stepper = Stepper::from_grid(plan, input);
 
     // Allocation assertion under sequential lanes: each pool worker
     // lazily allocates its tile scratch on the first tile it ever runs,
@@ -55,13 +55,20 @@ fn steady_state_steps_allocate_nothing_and_spawn_nothing() {
 
     // Spawn assertion under parallel lanes: the pool grows eagerly on
     // the first call that wants more lanes, so after one warm-up step
-    // the worker count is deterministic and must stay flat.
-    std::env::set_var("FOUNDATION_THREADS", "2");
-    stepper.step(); // warm-up: grows the pool to one worker
-    let spawned = threads_spawned();
-    for _ in 0..8 {
-        stepper.step();
+    // the worker count is deterministic and must stay flat — at every
+    // pool width, including one wider than the job count divides evenly.
+    for lanes in ["2", "7"] {
+        std::env::set_var("FOUNDATION_THREADS", lanes);
+        stepper.step(); // warm-up: grows the pool to `lanes - 1` workers
+        let spawned = threads_spawned();
+        for _ in 0..8 {
+            stepper.step();
+        }
+        assert_eq!(
+            threads_spawned(),
+            spawned,
+            "steady-state steps must not spawn threads (FOUNDATION_THREADS={lanes})"
+        );
     }
     std::env::remove_var("FOUNDATION_THREADS");
-    assert_eq!(threads_spawned(), spawned, "steady-state steps must not spawn threads");
 }
