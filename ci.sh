@@ -99,6 +99,38 @@ profile_smoke() {
         validate-trace --load "$trace"
 }
 
+crash_resume_smoke() {
+    # end-to-end crash consistency: run 6 steps with checkpointing, tear
+    # the newest snapshot the way a mid-write crash would, resume, and
+    # demand the resumed counters match an uninterrupted run exactly
+    local dir=target/ci-ckpt cli="cargo run --release --offline -p stencil-cli --bin lorastencil-cli --"
+    rm -rf "$dir"
+    local straight interrupted resumed
+    straight=$($cli run --kernel Box-2D9P --size 64 --iters 6 --verify)
+    $cli run --kernel Box-2D9P --size 64 --iters 6 --verify \
+        --checkpoint-dir "$dir" --checkpoint-every 3 >/dev/null
+    # crash simulation: the newest snapshot is torn mid-write
+    local newest
+    newest=$(ls "$dir"/ckpt-*.lscp | sort | tail -1)
+    head -c 100 "$newest" >"$newest.torn" && mv "$newest.torn" "$newest"
+    resumed=$($cli resume --checkpoint-dir "$dir" --verify)
+    grep -q "skipping invalid snapshot" <<<"$resumed" \
+        || { echo "error: torn snapshot was not reported" >&2; exit 1; }
+    # the counters line is a full execution digest; it must be identical
+    if ! diff <(grep "points_updated" <<<"$straight") \
+        <(grep "points_updated" <<<"$resumed"); then
+        echo "error: resumed run diverged from the uninterrupted run" >&2
+        exit 1
+    fi
+    rm -rf "$dir"
+}
+
+checkpoint_battery() {
+    # the fault-injection battery again under a single lane: recovery
+    # and bit-identical resume must not depend on the pool width
+    FOUNDATION_THREADS=1 cargo test -q --offline --test checkpoint
+}
+
 dep_audit() {
     if cargo tree --offline --workspace --prefix none 2>/dev/null \
         | grep -vE "^\s*$|^\[dev-dependencies\]$" \
@@ -117,6 +149,8 @@ step "bounded fuzz (STENCIL_VERIFY_CASES=${STENCIL_VERIFY_CASES:-25})" fuzz_boun
 step "quick executor bench (writes BENCH_pr5.json)" quick_bench
 step "bench regression guard (>10% vs BENCH_pr2.json fails)" bench_guard
 step "profile smoke (stencil-cli profile + trace validation)" profile_smoke
+step "crash-resume smoke (run, tear newest snapshot, resume)" crash_resume_smoke
+step "checkpoint battery (FOUNDATION_THREADS=1)" checkpoint_battery
 step "dependency audit (workspace members only)" dep_audit
 
 echo "CI green"

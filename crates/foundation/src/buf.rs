@@ -16,6 +16,11 @@ pub trait BufMut {
         self.put_slice(&[v]);
     }
 
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Append a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
@@ -67,6 +72,11 @@ pub trait Buf {
     /// Read one byte.
     fn get_u8(&mut self) -> u8 {
         self.take_array::<1>()[0]
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
     }
 
     /// Read a little-endian `u32`.
@@ -123,6 +133,7 @@ mod tests {
         let mut v: Vec<u8> = Vec::new();
         v.put_slice(b"HDR");
         v.put_u8(3);
+        v.put_u16_le(0xBEAD);
         v.put_u32_le(0xDEAD_BEEF);
         v.put_u64_le(u64::MAX - 1);
         v.put_u64_be(0x0102_0304_0506_0708);
@@ -133,6 +144,7 @@ mod tests {
         assert_eq!(r.remaining(), v.len());
         r.advance(3);
         assert_eq!(r.get_u8(), 3);
+        assert_eq!(r.get_u16_le(), 0xBEAD);
         assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(r.get_u64_le(), u64::MAX - 1);
         assert_eq!(r.get_u64_be(), 0x0102_0304_0506_0708);

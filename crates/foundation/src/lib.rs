@@ -26,7 +26,9 @@
 //!   `criterion` in the `bench-suite` bench targets;
 //! * [`obs`] — host-side observability: RAII span tracing into
 //!   thread-local ring buffers, a counters/histograms metrics registry,
-//!   Fig. 9-style phase breakdowns and Chrome trace-event export.
+//!   Fig. 9-style phase breakdowns and Chrome trace-event export;
+//! * [`crc`] — CRC-32 (IEEE) checksumming for on-disk formats (the
+//!   crash-consistent checkpoint format and future wire protocols).
 //!
 //! The policy is deliberate: reproductions should run anywhere a Rust
 //! toolchain exists, network or not (see `DESIGN.md`, "zero-dependency
@@ -35,6 +37,7 @@
 pub mod alloc_counter;
 pub mod bench;
 pub mod buf;
+pub mod crc;
 pub mod json;
 pub mod obs;
 pub mod par;

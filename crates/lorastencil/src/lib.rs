@@ -47,6 +47,7 @@
 pub mod analysis;
 pub mod autotune;
 pub mod bvs;
+pub mod checkpoint;
 pub mod codegen;
 pub mod decompose;
 pub mod exec;

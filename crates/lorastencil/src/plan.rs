@@ -71,6 +71,41 @@ impl ExecConfig {
         ]
     }
 
+    /// The four toggles packed into one word — the canonical input to
+    /// the checkpoint plan fingerprint (stable across field reordering
+    /// because the bit positions are fixed here).
+    pub fn bits(&self) -> u64 {
+        (self.use_tcu as u64)
+            | (self.use_bvs as u64) << 1
+            | (self.use_async_copy as u64) << 2
+            | (self.allow_fusion as u64) << 3
+    }
+
+    /// A round-trippable textual tag in the CLI's `--config` grammar:
+    /// `full` when everything is on, otherwise the comma-joined disabled
+    /// toggles (e.g. `no-bvs,no-async`). Checkpoints store this so a
+    /// `resume` needs no `--config` flag.
+    pub fn tag(&self) -> String {
+        let mut offs = Vec::new();
+        if !self.use_tcu {
+            offs.push("no-tcu");
+        }
+        if !self.use_bvs {
+            offs.push("no-bvs");
+        }
+        if !self.use_async_copy {
+            offs.push("no-async");
+        }
+        if !self.allow_fusion {
+            offs.push("no-fusion");
+        }
+        if offs.is_empty() {
+            "full".into()
+        } else {
+            offs.join(",")
+        }
+    }
+
     /// Every named ablation configuration: `full`, `no-fusion`, and the
     /// four cumulative [`ExecConfig::breakdown_stages`]. This list is the
     /// single source of truth — the bench-suite breakdown, the
@@ -394,6 +429,28 @@ mod tests {
                 k.name
             );
         }
+    }
+
+    #[test]
+    fn config_bits_and_tag_are_injective_over_all_16_configs() {
+        let mut seen_bits = std::collections::HashSet::new();
+        let mut seen_tags = std::collections::HashSet::new();
+        for mask in 0u64..16 {
+            let cfg = ExecConfig {
+                use_tcu: mask & 1 != 0,
+                use_bvs: mask & 2 != 0,
+                use_async_copy: mask & 4 != 0,
+                allow_fusion: mask & 8 != 0,
+            };
+            assert_eq!(cfg.bits(), mask, "bit positions are the mask layout");
+            assert!(seen_bits.insert(cfg.bits()));
+            assert!(seen_tags.insert(cfg.tag()), "tag {:?} collides", cfg.tag());
+        }
+        assert_eq!(ExecConfig::full().tag(), "full");
+        assert_eq!(
+            ExecConfig { use_bvs: false, use_async_copy: false, ..ExecConfig::full() }.tag(),
+            "no-bvs,no-async"
+        );
     }
 
     #[test]

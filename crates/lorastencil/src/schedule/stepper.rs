@@ -338,6 +338,15 @@ impl Stepper {
         &self.cur
     }
 
+    /// Copy out the current planes — the checkpoint hook between steps.
+    /// Only the live side of the ping-pong pair is captured: the partner
+    /// buffer is fully overwritten by the next application, so it holds
+    /// no resumable state. The copy allocates (serialization may); the
+    /// step loop itself stays allocation-free.
+    pub fn capture_planes(&self) -> Vec<GlobalArray> {
+        self.cur.clone()
+    }
+
     /// Consume the stepper, returning the current single-plane grid.
     pub fn into_grid(mut self) -> GlobalArray {
         self.cur.swap_remove(0)

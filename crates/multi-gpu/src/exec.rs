@@ -10,7 +10,9 @@
 //! tiles accumulate the same partial sums in the same order.
 
 use crate::partition::{partition, Slab, ALIGN};
+use lorastencil::checkpoint::{plan_fingerprint, CkptRunError};
 use lorastencil::{ExecConfig, Plan, Workspace};
+use stencil_core::checkpoint::{CheckpointStore, Plane, Snapshot, FLAG_SEEDED_INPUT};
 use stencil_core::{
     ExecError, ExecOutcome, Grid2D, GridData, Problem, StencilExecutor, StencilKernel,
 };
@@ -98,6 +100,32 @@ fn exchange_halos(devices: &mut [Device], rows: usize, cols: usize, needed: usiz
     bytes
 }
 
+/// Reassemble the authoritative slabs (ghost rows excluded) into the
+/// global grid — one *consistent* view: callers only invoke this between
+/// applications, when every device has completed the same step.
+fn gather_global(devices: &[Device], rows: usize, cols: usize) -> Grid2D {
+    let mut output = Grid2D::new(rows, cols);
+    for d in devices {
+        for r in 0..d.slab.len {
+            for c in 0..cols {
+                output.set(d.slab.start + r, c, d.local.peek(d.pad + r, c));
+            }
+        }
+    }
+    output
+}
+
+/// Checkpointing policy for [`run_distributed_checkpointed`] /
+/// [`resume_distributed`].
+pub struct DistCkptPolicy<'a> {
+    /// The snapshot directory + retention ring.
+    pub store: &'a CheckpointStore,
+    /// Snapshot whenever the step counter crosses a multiple of this.
+    pub every: u64,
+    /// Input-generation seed recorded in the snapshot.
+    pub seed: u64,
+}
+
 /// Run `iterations` steps of `kernel` over `grid` on `num_devices`
 /// simulated A100s.
 pub fn run_distributed(
@@ -107,7 +135,102 @@ pub fn run_distributed(
     num_devices: usize,
     config: ExecConfig,
 ) -> DistributedOutcome {
+    run_inner(kernel, grid, 0, iterations as u64, num_devices, config, PerfCounters::new(), None)
+        .expect("no checkpoint policy, so no I/O can fail")
+        .0
+}
+
+/// [`run_distributed`] with periodic crash-consistent snapshots: after
+/// each application that crosses a multiple of `policy.every`, the
+/// device shards are gathered into one consistent global [`Snapshot`]
+/// (same format, same [`plan_fingerprint`], as the single-device path —
+/// distributed execution is bit-identical, so a snapshot taken here can
+/// be resumed on one device or many). Returns the outcome and how many
+/// snapshots were written.
+pub fn run_distributed_checkpointed(
+    kernel: &StencilKernel,
+    grid: &Grid2D,
+    iterations: usize,
+    num_devices: usize,
+    config: ExecConfig,
+    policy: &DistCkptPolicy,
+) -> Result<(DistributedOutcome, usize), CkptRunError> {
+    run_inner(
+        kernel,
+        grid,
+        0,
+        iterations as u64,
+        num_devices,
+        config,
+        PerfCounters::new(),
+        Some(policy),
+    )
+}
+
+/// Resume a recovered snapshot on `num_devices` devices and run to
+/// `snap.steps_total`. Rejects a fingerprint mismatch exactly like the
+/// single-device [`lorastencil::checkpoint::resume`]; the device count
+/// is deliberately *not* part of the fingerprint (distributed execution
+/// is bit-identical, so a snapshot may be resumed on any device count).
+pub fn resume_distributed(
+    kernel: &StencilKernel,
+    snap: &Snapshot,
+    num_devices: usize,
+    config: ExecConfig,
+    policy: &DistCkptPolicy,
+) -> Result<(DistributedOutcome, usize), CkptRunError> {
+    let computed = plan_fingerprint(kernel, config, &snap.extents);
+    if computed != snap.fingerprint {
+        return Err(CkptRunError::FingerprintMismatch {
+            stored: snap.fingerprint,
+            computed,
+            snapshot_identity: format!(
+                "kernel {:?}, config {:?}, size {:?}",
+                snap.kernel, snap.config, snap.extents
+            ),
+        });
+    }
+    if snap.step >= snap.steps_total {
+        return Err(CkptRunError::StepBeyondTotal { step: snap.step, total: snap.steps_total });
+    }
+    let [rows, cols] = snap.extents[..] else {
+        return Err(CkptRunError::FingerprintMismatch {
+            stored: snap.fingerprint,
+            computed,
+            snapshot_identity: format!(
+                "{}-D snapshot; the distributed executor covers 2-D grids",
+                snap.extents.len()
+            ),
+        });
+    };
+    let grid = Grid2D::from_vec(rows, cols, snap.planes[0].data.clone());
+    run_inner(
+        kernel,
+        &grid,
+        snap.step,
+        snap.steps_total,
+        num_devices,
+        config,
+        snap.counters,
+        Some(policy),
+    )
+}
+
+/// The shared distributed time loop: step from `start_step` to `total`,
+/// optionally snapshotting gathered global state per `policy`.
+#[allow(clippy::too_many_arguments)]
+fn run_inner(
+    kernel: &StencilKernel,
+    grid: &Grid2D,
+    start_step: u64,
+    total: u64,
+    num_devices: usize,
+    config: ExecConfig,
+    start_counters: PerfCounters,
+    policy: Option<&DistCkptPolicy>,
+) -> Result<(DistributedOutcome, usize), CkptRunError> {
     assert_eq!(kernel.dims(), 2, "the distributed executor covers 2-D kernels");
+    let iterations = (total - start_step) as usize;
     let (rows, cols) = (grid.rows(), grid.cols());
     let plan = Plan::new(kernel, config);
     let unfused = Plan::new(kernel, ExecConfig { allow_fusion: false, ..config });
@@ -164,24 +287,70 @@ pub fn run_distributed(
         }
     };
 
+    let fingerprint = plan_fingerprint(kernel, config, &[rows, cols]);
+    let snapshot = |devices: &[Device], step: u64, pre: &[PerfCounters]| {
+        let mut counters = start_counters;
+        for c in pre {
+            counters.merge(c);
+        }
+        let global = gather_global(devices, rows, cols);
+        Snapshot {
+            flags: FLAG_SEEDED_INPUT,
+            fingerprint,
+            step,
+            steps_total: total,
+            every: policy.map(|p| p.every).unwrap_or(0),
+            seed: policy.map(|p| p.seed).unwrap_or(0),
+            rng: [0; 4],
+            kernel: kernel.name.clone(),
+            config: config.tag(),
+            method: format!("LoRAStencil-dist{num_devices}"),
+            extents: vec![rows, cols],
+            counters,
+            planes: vec![Plane { rows, cols, data: global.as_slice().to_vec() }],
+        }
+    };
+
+    let mut step_no = start_step;
+    let mut written = 0usize;
+    let mut checkpoint = |devices: &[Device],
+                          per_device: &[PerfCounters],
+                          step_no: &mut u64,
+                          advance: u64|
+     -> Result<(), CkptRunError> {
+        let crossed =
+            policy.map(|p| (*step_no + advance) / p.every > *step_no / p.every).unwrap_or(false);
+        *step_no += advance;
+        if crossed {
+            let p = policy.expect("crossed implies a policy");
+            p.store.save(&snapshot(devices, *step_no, per_device)).map_err(CkptRunError::Io)?;
+            written += 1;
+        }
+        Ok(())
+    };
+
     for _ in 0..full {
         step(&mut devices, &mut per_device, &mut nvlink_bytes, &plan, &mut ws_fused);
         applies += 1;
+        checkpoint(&devices, &per_device, &mut step_no, plan.fusion as u64)?;
     }
     for _ in 0..rem {
         step(&mut devices, &mut per_device, &mut nvlink_bytes, &unfused, &mut ws_unfused);
         applies += 1;
+        checkpoint(&devices, &per_device, &mut step_no, 1)?;
     }
 
-    let mut output = Grid2D::new(rows, cols);
-    for d in &devices {
-        for r in 0..d.slab.len {
-            for c in 0..cols {
-                output.set(d.slab.start + r, c, d.local.peek(d.pad + r, c));
-            }
-        }
-    }
-    DistributedOutcome { output, per_device, nvlink_bytes, applies, block: plan.block_resources() }
+    let output = gather_global(&devices, rows, cols);
+    Ok((
+        DistributedOutcome {
+            output,
+            per_device,
+            nvlink_bytes,
+            applies,
+            block: plan.block_resources(),
+        },
+        written,
+    ))
 }
 
 /// [`run_distributed`] behind the common [`StencilExecutor`] interface,
@@ -350,6 +519,93 @@ mod tests {
         assert_eq!(out.counters.mma_ops, merged.mma_ops);
         assert_eq!(out.counters.points_updated, merged.points_updated);
         assert_eq!(exec.name(), "LoRAStencil-dist3");
+    }
+
+    fn store(name: &str, keep: usize) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("lorastencil-dist-ckpt-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::new(dir, keep).unwrap()
+    }
+
+    #[test]
+    fn checkpointed_distributed_run_matches_plain_and_gathers_globally() {
+        let grid = wavy(96, 48);
+        let k = kernels::box_2d9p();
+        let plain = run_distributed(&k, &grid, 9, 3, ExecConfig::full());
+        let st = store("gather", 8);
+        let policy = DistCkptPolicy { store: &st, every: 3, seed: 7 };
+        let (out, written) =
+            run_distributed_checkpointed(&k, &grid, 9, 3, ExecConfig::full(), &policy).unwrap();
+        assert_eq!(out.output.as_slice(), plain.output.as_slice());
+        assert_eq!(out.per_device, plain.per_device);
+        assert_eq!(written, 3); // fusion 3 → boundaries at 3, 6, 9
+                                // every snapshot is one consistent *global* plane, not shards
+        let (snap, _) = st.load_latest_valid().unwrap();
+        assert_eq!(snap.extents, vec![96, 48]);
+        assert_eq!(snap.planes.len(), 1);
+        assert_eq!(snap.planes[0].data, plain.output.as_slice());
+        assert_eq!(snap.method, "LoRAStencil-dist3");
+    }
+
+    #[test]
+    fn distributed_snapshot_resumes_on_any_device_count() {
+        let grid = wavy(96, 48);
+        let k = kernels::box_2d9p();
+        let want = run_distributed(&k, &grid, 9, 2, ExecConfig::full());
+        let st = store("resume", 8);
+        let policy = DistCkptPolicy { store: &st, every: 3, seed: 7 };
+        run_distributed_checkpointed(&k, &grid, 9, 2, ExecConfig::full(), &policy).unwrap();
+        // resume the mid-run (step 6) snapshot on 2, 3 and 4 devices:
+        // bit-identical each time, because the fingerprint covers the
+        // plan, not the device count
+        let mid = st
+            .list()
+            .unwrap()
+            .into_iter()
+            .find(|(s, _)| *s == 6)
+            .map(|(_, p)| stencil_core::checkpoint::decode(&std::fs::read(p).unwrap()).unwrap())
+            .unwrap();
+        for devices in [2usize, 3, 4] {
+            let st2 = store("resume-target", 8);
+            let policy2 = DistCkptPolicy { store: &st2, every: 3, seed: 7 };
+            let (out, _) =
+                resume_distributed(&k, &mid, devices, ExecConfig::full(), &policy2).unwrap();
+            assert_eq!(
+                out.output.as_slice(),
+                want.output.as_slice(),
+                "resume on {devices} devices diverged"
+            );
+        }
+        // and on a single device via the lorastencil resume path
+        let single_st = store("resume-single", 8);
+        let sp = lorastencil::checkpoint::CkptPolicy {
+            store: &single_st,
+            every: 3,
+            seed: 7,
+            method: "LoRAStencil",
+        };
+        let out = lorastencil::checkpoint::resume(&k, ExecConfig::full(), &mid, &sp).unwrap();
+        let GridData::D2(g) = out.output else { unreachable!() };
+        assert_eq!(g.as_slice(), want.output.as_slice());
+    }
+
+    #[test]
+    fn distributed_resume_rejects_mismatched_plans() {
+        let grid = wavy(64, 32);
+        let k = kernels::box_2d9p();
+        let st = store("reject", 4);
+        let policy = DistCkptPolicy { store: &st, every: 3, seed: 7 };
+        run_distributed_checkpointed(&k, &grid, 7, 2, ExecConfig::full(), &policy).unwrap();
+        let (snap, _) = st.load_latest_valid().unwrap();
+        assert_eq!(snap.step, 6);
+        let err = resume_distributed(&kernels::heat_2d(), &snap, 2, ExecConfig::full(), &policy)
+            .unwrap_err();
+        assert!(matches!(err, CkptRunError::FingerprintMismatch { .. }));
+        let cfg = ExecConfig { use_bvs: false, ..ExecConfig::full() };
+        assert!(matches!(
+            resume_distributed(&k, &snap, 2, cfg, &policy),
+            Err(CkptRunError::FingerprintMismatch { .. })
+        ));
     }
 
     #[test]

@@ -27,6 +27,9 @@ const VALUED: &[&str] = &[
     "load",
     "save",
     "trace-out",
+    "checkpoint-dir",
+    "checkpoint-every",
+    "checkpoint-keep",
 ];
 
 /// Bare flags the CLI understands.

@@ -16,11 +16,13 @@
 
 pub mod args;
 
+use lorastencil::checkpoint::CkptPolicy;
 use lorastencil::{codegen, ExecConfig, LoRaStencil, Plan};
+use stencil_core::checkpoint::CheckpointStore;
 use stencil_core::{
     kernels, kernels_ext, Grid1D, Grid2D, Grid3D, GridData, Problem, StencilExecutor, StencilKernel,
 };
-use tcu_sim::CostModel;
+use tcu_sim::{BlockResources, CostModel, PerfCounters};
 
 /// Every kernel the CLI can name (benchmarks + extended library).
 pub fn all_kernels() -> Vec<StencilKernel> {
@@ -80,6 +82,155 @@ pub fn parse_config(spec: &str) -> Result<ExecConfig, String> {
         }
     }
     Ok(cfg)
+}
+
+/// Parse `--checkpoint-every`: a positive temporal step count. Zero and
+/// negative are hard errors with a suggestion (silently accepting 0
+/// would mean "no checkpoints" on a flag whose whole point is having
+/// them).
+pub fn parse_checkpoint_every(spec: &str) -> Result<u64, String> {
+    match spec.trim().parse::<i64>() {
+        Ok(n) if n >= 1 => Ok(n as u64),
+        Ok(n) => Err(format!(
+            "--checkpoint-every must be a positive step count, got {n} \
+             (try --checkpoint-every 1 to snapshot after every step)"
+        )),
+        Err(e) => Err(format!("bad --checkpoint-every {spec:?}: {e}")),
+    }
+}
+
+/// Parse `--checkpoint-keep`: the retention-ring size, at least 1.
+pub fn parse_checkpoint_keep(spec: &str) -> Result<usize, String> {
+    match spec.trim().parse::<i64>() {
+        Ok(n) if n >= 1 => Ok(n as usize),
+        Ok(n) => Err(format!(
+            "--checkpoint-keep must retain at least one snapshot, got {n} \
+             (try --checkpoint-keep 3)"
+        )),
+        Err(e) => Err(format!("bad --checkpoint-keep {spec:?}: {e}")),
+    }
+}
+
+/// The counters + modeled-performance report lines shared by `run`,
+/// checkpointed `run` and `resume`.
+fn counters_and_model(c: &PerfCounters, block: &BlockResources) -> String {
+    let mut out = format!(
+        "counters: {} MMAs, {} CUDA flops, {} shuffles, {}+{} shared req, {} B HBM, {} B L2\n",
+        c.mma_ops,
+        c.cuda_flops,
+        c.shuffle_ops,
+        c.shared_load_requests,
+        c.shared_store_requests,
+        c.global_bytes(),
+        c.l2_bytes,
+    );
+    let model = CostModel::a100();
+    let est = model.estimate(c, block);
+    out.push_str(&format!(
+        "modeled A100: {:.3} ms, {:.1} GStencil/s, occupancy {:.0}%\n",
+        est.total * 1e3,
+        est.gstencil_per_sec(c.points_updated),
+        est.occupancy * 100.0
+    ));
+    out
+}
+
+/// The checkpointed `run` path (`--checkpoint-dir`): LoRAStencil with
+/// periodic crash-consistent snapshots. Checkpointing is wired through
+/// the LoRAStencil stepper, so other methods are a hard error rather
+/// than silently running without snapshots.
+#[allow(clippy::too_many_arguments)]
+pub fn run_checkpointed_report(
+    kernel: &StencilKernel,
+    config: ExecConfig,
+    method_name: &str,
+    dims: &[usize],
+    iters: usize,
+    seed: u64,
+    verify: bool,
+    dir: &str,
+    every: u64,
+    keep: usize,
+) -> Result<String, String> {
+    if !method_name.eq_ignore_ascii_case("lorastencil") {
+        return Err(format!(
+            "--checkpoint-dir requires --method LoRAStencil \
+             (checkpoint/resume is wired through the LoRAStencil stepper), got {method_name:?}"
+        ));
+    }
+    let dims = &broadcast_dims(dims, kernel.dims())[..];
+    if dims.len() != kernel.dims() {
+        return Err(format!(
+            "kernel {} is {}-D but --size has {} dims",
+            kernel.name,
+            kernel.dims(),
+            dims.len()
+        ));
+    }
+    let input = make_grid(dims, seed);
+    let store = CheckpointStore::new(dir, keep).map_err(|e| format!("{dir}: {e}"))?;
+    let policy = CkptPolicy { store: &store, every, seed, method: "LoRAStencil" };
+    let out = lorastencil::checkpoint::run(kernel, config, &input, iters as u64, &policy)
+        .map_err(|e| e.to_string())?;
+    let mut report = format!(
+        "LoRAStencil on {} {:?} for {} iterations (checkpoint every {} steps, keep {})\n\n",
+        kernel.name, dims, iters, every, keep
+    );
+    if verify {
+        let want = stencil_core::reference::run(&input, kernel, iters);
+        let err = out.output.max_abs_diff(&want);
+        report.push_str(&format!("verification vs naive reference: max |Δ| = {err:.3e}\n"));
+        if err > 1e-9 {
+            return Err(format!("verification FAILED: {err:.3e}"));
+        }
+    }
+    report.push_str(&counters_and_model(&out.counters, &out.block));
+    report.push_str(&format!("{} snapshots written to {dir}\n", out.snapshots_written));
+    Ok(report)
+}
+
+/// The `resume` subcommand: recover the newest valid snapshot from
+/// `--checkpoint-dir`, reject it if its plan fingerprint disagrees with
+/// what the recorded kernel/config/extents plan to, and run the
+/// remaining steps — continuing to snapshot at the recorded interval.
+/// Needs no other flags: the snapshot records the kernel, config, seed
+/// and step budget. `--verify` replays the reference from the recorded
+/// seeded input over **all** `steps_total` steps, so it checks the
+/// pre-crash prefix too.
+pub fn resume_report(dir: &str, keep: usize, verify: bool) -> Result<String, String> {
+    let store = CheckpointStore::new(dir, keep).map_err(|e| format!("{dir}: {e}"))?;
+    let (snap, rejects) = store.load_latest_valid().map_err(|e| e.to_string())?;
+    let mut report = String::new();
+    for (path, err) in &rejects {
+        report.push_str(&format!("skipping invalid snapshot {}: {err}\n", path.display()));
+    }
+    let kernel = find_kernel(&snap.kernel)
+        .ok_or_else(|| format!("snapshot names unknown kernel {:?}", snap.kernel))?;
+    let config = parse_config(&snap.config)
+        .map_err(|e| format!("snapshot carries unparsable config {:?}: {e}", snap.config))?;
+    report.push_str(&format!(
+        "resuming {} on {} {:?} from step {} of {}\n\n",
+        snap.method, snap.kernel, snap.extents, snap.step, snap.steps_total
+    ));
+    let policy =
+        CkptPolicy { store: &store, every: snap.every, seed: snap.seed, method: "LoRAStencil" };
+    let out = lorastencil::checkpoint::resume(&kernel, config, &snap, &policy)
+        .map_err(|e| e.to_string())?;
+    if verify {
+        let input = make_grid(&snap.extents, snap.seed);
+        let want = stencil_core::reference::run(&input, &kernel, snap.steps_total as usize);
+        let err = out.output.max_abs_diff(&want);
+        report.push_str(&format!(
+            "verification vs naive reference over all {} steps: max |Δ| = {err:.3e}\n",
+            snap.steps_total
+        ));
+        if err > 1e-9 {
+            return Err(format!("verification FAILED: {err:.3e}"));
+        }
+    }
+    report.push_str(&counters_and_model(&out.counters, &out.block));
+    report.push_str(&format!("{} snapshots written to {dir}\n", out.snapshots_written));
+    Ok(report)
 }
 
 /// Broadcast a single-dimension `--size N` to the kernel's
@@ -200,25 +351,7 @@ pub fn run_report(
             return Err(format!("verification FAILED: {err:.3e}"));
         }
     }
-    let c = &outcome.counters;
-    out.push_str(&format!(
-        "counters: {} MMAs, {} CUDA flops, {} shuffles, {}+{} shared req, {} B HBM, {} B L2\n",
-        c.mma_ops,
-        c.cuda_flops,
-        c.shuffle_ops,
-        c.shared_load_requests,
-        c.shared_store_requests,
-        c.global_bytes(),
-        c.l2_bytes,
-    ));
-    let model = CostModel::a100();
-    let est = model.estimate(c, &outcome.block);
-    out.push_str(&format!(
-        "modeled A100: {:.3} ms, {:.1} GStencil/s, occupancy {:.0}%\n",
-        est.total * 1e3,
-        est.gstencil_per_sec(c.points_updated),
-        est.occupancy * 100.0
-    ));
+    out.push_str(&counters_and_model(&outcome.counters, &outcome.block));
     if !save_path.is_empty() {
         stencil_core::io::save(&outcome.output, save_path)
             .map_err(|e| format!("{save_path}: {e}"))?;
@@ -384,6 +517,8 @@ pub fn usage() -> &'static str {
        lorastencil run (--kernel <name> | --spec <file>) [--method <name>]\n\
                       [--size NxM] [--iters N] [--config no-bvs,...]\n\
                       [--seed N] [--verify] [--trace-out <file>]\n\
+                      [--checkpoint-dir <dir> [--checkpoint-every N] [--checkpoint-keep K]]\n\
+       lorastencil resume --checkpoint-dir <dir> [--checkpoint-keep K] [--verify]\n\
        lorastencil profile (--kernel <name> | --spec <file>) [--method <name>]\n\
                       [--size NxM] [--iters N] [--trace-out <file>]\n\
        lorastencil validate-trace --load <file>\n\
@@ -516,6 +651,96 @@ weights1d:
         // resuming from a 2-D checkpoint with a 3-D kernel fails cleanly
         let k3 = find_kernel("Heat-3D").unwrap();
         assert!(run_report(&k3, m.as_ref(), &[4, 8, 8], 1, 0, false, p, "", "").is_err());
+    }
+
+    #[test]
+    fn checkpoint_every_and_keep_validation() {
+        assert_eq!(parse_checkpoint_every("3").unwrap(), 3);
+        let e = parse_checkpoint_every("0").unwrap_err();
+        assert!(e.contains("positive step count"), "{e}");
+        assert!(e.contains("--checkpoint-every 1"), "suggests a fix: {e}");
+        let e = parse_checkpoint_every("-4").unwrap_err();
+        assert!(e.contains("got -4"), "{e}");
+        assert!(parse_checkpoint_every("abc").is_err());
+        assert_eq!(parse_checkpoint_keep("5").unwrap(), 5);
+        assert!(parse_checkpoint_keep("0").is_err());
+        assert!(parse_checkpoint_keep("-1").is_err());
+    }
+
+    #[test]
+    fn checkpointed_run_then_resume_round_trip() {
+        let dir = std::env::temp_dir().join("lorastencil-cli-ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap();
+        let k = find_kernel("Box-2D9P").unwrap();
+        // plain run for the golden output
+        let straight = {
+            let m = find_method("LoRAStencil", ExecConfig::full()).unwrap();
+            run_report(&k, m.as_ref(), &[24, 24], 6, 9, true, "", "", "").unwrap()
+        };
+        let r = run_checkpointed_report(
+            &k,
+            ExecConfig::full(),
+            "LoRAStencil",
+            &[24, 24],
+            6,
+            9,
+            true,
+            d,
+            3,
+            4,
+        )
+        .unwrap();
+        assert!(r.contains("2 snapshots written"), "{r}");
+        // the checkpointed run reports the same counters/model as plain
+        let tail =
+            |s: &str| s.lines().filter(|l| l.starts_with("counters")).last().unwrap().to_string();
+        assert_eq!(tail(&r), tail(&straight));
+        // delete the final snapshot to simulate a crash at step 3, then
+        // resume runs the remaining steps and verifies end-to-end
+        let newest = dir.join("ckpt-000000000006.lscp");
+        std::fs::remove_file(&newest).unwrap();
+        let r = resume_report(d, 4, true).unwrap();
+        assert!(r.contains("from step 3 of 6"), "{r}");
+        assert!(r.contains("max |Δ|"), "{r}");
+        assert_eq!(tail(&r), tail(&straight), "resume counters match the straight run");
+        // a second resume finds the re-written final snapshot: complete
+        let e = resume_report(d, 4, false).unwrap_err();
+        assert!(e.contains("nothing to resume"), "{e}");
+    }
+
+    #[test]
+    fn checkpointing_rejects_non_lorastencil_methods() {
+        let k = find_kernel("Box-2D9P").unwrap();
+        let e = run_checkpointed_report(
+            &k,
+            ExecConfig::full(),
+            "ConvStencil",
+            &[24, 24],
+            3,
+            9,
+            false,
+            "/tmp/never-created",
+            1,
+            3,
+        )
+        .unwrap_err();
+        assert!(e.contains("requires --method LoRAStencil"), "{e}");
+    }
+
+    #[test]
+    fn resume_on_empty_or_corrupt_directory_fails_loudly() {
+        let dir = std::env::temp_dir().join("lorastencil-cli-ckpt-empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        let d = dir.to_str().unwrap();
+        let e = resume_report(d, 3, false).unwrap_err();
+        assert!(e.contains("no snapshots"), "{e}");
+        // a directory holding only garbage: every snapshot is rejected
+        // with its reason — never resumed from
+        std::fs::write(dir.join("ckpt-000000000004.lscp"), b"garbage").unwrap();
+        let e = resume_report(d, 3, false).unwrap_err();
+        assert!(e.contains("every snapshot failed validation"), "{e}");
+        assert!(e.contains("ckpt-000000000004.lscp"), "{e}");
     }
 
     #[test]

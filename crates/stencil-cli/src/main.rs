@@ -3,8 +3,9 @@
 
 use stencil_cli::args::{parse, parse_size};
 use stencil_cli::{
-    analyze_text, codegen_text, find_method, list_text, parse_config, profile_report,
-    resolve_kernel, run_report, trace_text, usage, validate_trace,
+    analyze_text, codegen_text, find_method, list_text, parse_checkpoint_every,
+    parse_checkpoint_keep, parse_config, profile_report, resolve_kernel, resume_report,
+    run_checkpointed_report, run_report, trace_text, usage, validate_trace,
 };
 
 fn real_main() -> Result<(), String> {
@@ -53,20 +54,61 @@ fn real_main() -> Result<(), String> {
                 args.opt("iters", "1").parse().map_err(|e| format!("bad --iters: {e}"))?;
             let seed: u64 =
                 args.opt("seed", "42").parse().map_err(|e| format!("bad --seed: {e}"))?;
-            print!(
-                "{}",
-                run_report(
-                    &kernel,
-                    method.as_ref(),
-                    &dims,
-                    iters,
-                    seed,
-                    args.flag("verify"),
-                    args.opt("load", ""),
-                    args.opt("save", ""),
-                    args.opt("trace-out", ""),
-                )?
-            );
+            let ckpt_dir = args.opt("checkpoint-dir", "");
+            if ckpt_dir.is_empty() {
+                if args.options.contains_key("checkpoint-every")
+                    || args.options.contains_key("checkpoint-keep")
+                {
+                    return Err(
+                        "--checkpoint-every/--checkpoint-keep need --checkpoint-dir <dir>".into()
+                    );
+                }
+                print!(
+                    "{}",
+                    run_report(
+                        &kernel,
+                        method.as_ref(),
+                        &dims,
+                        iters,
+                        seed,
+                        args.flag("verify"),
+                        args.opt("load", ""),
+                        args.opt("save", ""),
+                        args.opt("trace-out", ""),
+                    )?
+                );
+            } else {
+                if !args.opt("load", "").is_empty() || !args.opt("save", "").is_empty() {
+                    return Err("--checkpoint-dir does not combine with --load/--save \
+                                (resume restores state from the snapshot directory)"
+                        .into());
+                }
+                let every = parse_checkpoint_every(args.opt("checkpoint-every", "1"))?;
+                let keep = parse_checkpoint_keep(args.opt("checkpoint-keep", "3"))?;
+                print!(
+                    "{}",
+                    run_checkpointed_report(
+                        &kernel,
+                        config,
+                        args.opt("method", "LoRAStencil"),
+                        &dims,
+                        iters,
+                        seed,
+                        args.flag("verify"),
+                        ckpt_dir,
+                        every,
+                        keep,
+                    )?
+                );
+            }
+        }
+        "resume" => {
+            let dir = args.opt("checkpoint-dir", "");
+            if dir.is_empty() {
+                return Err("resume needs --checkpoint-dir <dir>".into());
+            }
+            let keep = parse_checkpoint_keep(args.opt("checkpoint-keep", "3"))?;
+            print!("{}", resume_report(dir, keep, args.flag("verify"))?);
         }
         "profile" => {
             let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;

@@ -1,0 +1,845 @@
+//! Crash-consistent checkpointing: a versioned, checksummed snapshot
+//! format plus an atomic on-disk store with a bounded retention ring.
+//!
+//! Long stencil campaigns run for hours; a crash anywhere in the step
+//! loop must lose at most one checkpoint interval, and recovery must
+//! **never resume from garbage**. Three mechanisms deliver that (see
+//! DESIGN.md §11 for the full argument):
+//!
+//! 1. **Checksummed format** — every snapshot carries a trailing CRC-32
+//!    ([`foundation::crc`]) over the entire payload, so torn writes,
+//!    truncation and bit rot are *detected* at recovery time.
+//! 2. **Atomic replacement** — [`CheckpointStore::save`] writes to a
+//!    `.tmp` sibling, `fsync`s it, then `rename`s into place (and
+//!    `fsync`s the directory), so a crash leaves either the old complete
+//!    file set or the new one — never a half-written `.lscp`.
+//! 3. **Recovery-time validation** — [`CheckpointStore::load_latest_valid`]
+//!    walks snapshots newest-first, validates each (magic, version,
+//!    checksum, structure, shape-vs-extents), and returns the newest
+//!    *valid* one together with the reasons every newer file was
+//!    rejected. If nothing valid remains it fails loudly.
+//!
+//! Snapshot format `LSC1` (little-endian):
+//!
+//! ```text
+//! magic       "LSC1"                      4 bytes
+//! version     u16 (= 1)
+//! flags       u16 (bit 0: seeded input)
+//! fingerprint u64   plan fingerprint — resume rejects mismatched plans
+//! step        u64   temporal steps completed
+//! steps_total u64   requested total steps
+//! every       u64   checkpoint interval the writer was using
+//! seed        u64   input-generation seed
+//! rng         u64 × 4   PRNG state (xoshiro256++ layout)
+//! kernel      str   (u16 length + UTF-8)
+//! config      str   ExecConfig tag, e.g. "full" or "no-bvs,no-async"
+//! method      str   executor name
+//! dims        u8    1, 2 or 3
+//! extents     u64 × dims
+//! counters    u8 count, then (str name + u64 value) each
+//! planes      u32 count, then (u64 rows + u64 cols + f64 × rows·cols)
+//! crc32       u32   over every preceding byte
+//! ```
+//!
+//! Counters are stored *named* so a version bump that adds a counter
+//! field is detected as [`CkptError::BadField`] instead of silently
+//! misattributing values.
+
+use foundation::buf::{Buf, BufMut};
+use foundation::crc::crc32;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use tcu_sim::PerfCounters;
+
+/// Snapshot file magic.
+pub const MAGIC: &[u8; 4] = b"LSC1";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Flag bit: the input grid was generated from `seed` (so a resumed run
+/// can re-derive it for end-to-end verification).
+pub const FLAG_SEEDED_INPUT: u16 = 1;
+
+/// Snapshot file extension (without the dot).
+pub const EXT: &str = "lscp";
+
+/// One grid plane of the double-buffered state (1-D grids are one
+/// `1 × n` plane, 2-D grids one `rows × cols` plane, 3-D volumes `nz`
+/// planes). Only the *live* side of the ping-pong pair is captured: the
+/// partner buffer is fully overwritten before it is next read, so it
+/// carries no resumable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plane {
+    /// Plane height.
+    pub rows: usize,
+    /// Plane width.
+    pub cols: usize,
+    /// Row-major values (`rows × cols`).
+    pub data: Vec<f64>,
+}
+
+/// Everything a deterministic resume needs: the live grid planes, the
+/// step counter, the accumulated [`PerfCounters`], the plan fingerprint,
+/// and the run identity (kernel/config/method/extents/seed/PRNG state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Format flags ([`FLAG_SEEDED_INPUT`]).
+    pub flags: u16,
+    /// Hash of (kernel ⊕ config ⊕ extents); resume recomputes it from
+    /// its own plan and rejects a mismatch.
+    pub fingerprint: u64,
+    /// Temporal steps completed when this snapshot was taken.
+    pub step: u64,
+    /// Total steps the run was asked for.
+    pub steps_total: u64,
+    /// Checkpoint interval (temporal steps) the writer was using.
+    pub every: u64,
+    /// Input-generation seed.
+    pub seed: u64,
+    /// PRNG state (xoshiro256++ layout; all zeros when unused).
+    pub rng: [u64; 4],
+    /// Kernel name.
+    pub kernel: String,
+    /// `ExecConfig` tag (parsable by the CLI's `--config` grammar).
+    pub config: String,
+    /// Executor name.
+    pub method: String,
+    /// Grid extents (`[n]`, `[rows, cols]` or `[nz, ny, nx]`).
+    pub extents: Vec<usize>,
+    /// Counters accumulated over steps `0..step`.
+    pub counters: PerfCounters,
+    /// The live grid planes.
+    pub planes: Vec<Plane>,
+}
+
+/// Why a snapshot failed to decode (or a file failed to qualify during
+/// recovery). Every variant is a *detected* failure: the recovery path
+/// reports it and moves on to an older snapshot instead of resuming
+/// from garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The file is zero bytes long (classic crashed-`create` artifact).
+    Empty,
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// A future (or corrupt) format version.
+    BadVersion(u16),
+    /// The buffer ended before the declared payload.
+    Truncated {
+        /// Bytes still required.
+        needed: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// The trailing CRC-32 does not match the payload.
+    BadChecksum {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// A dimension/extent/plane-shape inconsistency (zero or overflowing
+    /// extents, or planes that do not match the declared extents).
+    BadShape(String),
+    /// A malformed field (bad UTF-8, unknown counter name, wrong counter
+    /// count).
+    BadField(String),
+    /// Bytes left over after the checksum-covered payload.
+    TrailingBytes(usize),
+    /// The file could not be read at all (recovery-scan bookkeeping).
+    Unreadable(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Empty => write!(f, "empty file (0 bytes) — likely a crashed write"),
+            CkptError::BadMagic => write!(f, "not a LSC1 checkpoint file"),
+            CkptError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CkptError::Truncated { needed, have } => {
+                write!(f, "truncated: need {needed} more bytes, have {have}")
+            }
+            CkptError::BadChecksum { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            CkptError::BadShape(s) => write!(f, "bad shape: {s}"),
+            CkptError::BadField(s) => write!(f, "bad field: {s}"),
+            CkptError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            CkptError::Unreadable(e) => write!(f, "unreadable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+// ------------------------------------------------------------- encoding
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "string field too long");
+    out.put_u16_le(s.len() as u16);
+    out.put_slice(s.as_bytes());
+}
+
+impl Snapshot {
+    /// Encode to the `LSC1` binary format (checksum included).
+    pub fn encode(&self) -> Vec<u8> {
+        let cells: usize = self.planes.iter().map(|p| p.data.len()).sum();
+        let mut out = Vec::with_capacity(256 + 8 * cells);
+        out.put_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_u16_le(self.flags);
+        out.put_u64_le(self.fingerprint);
+        out.put_u64_le(self.step);
+        out.put_u64_le(self.steps_total);
+        out.put_u64_le(self.every);
+        out.put_u64_le(self.seed);
+        for s in self.rng {
+            out.put_u64_le(s);
+        }
+        put_str(&mut out, &self.kernel);
+        put_str(&mut out, &self.config);
+        put_str(&mut out, &self.method);
+        out.put_u8(self.extents.len() as u8);
+        for &e in &self.extents {
+            out.put_u64_le(e as u64);
+        }
+        let fields = self.counters.fields();
+        out.put_u8(fields.len() as u8);
+        for (name, value) in fields {
+            put_str(&mut out, name);
+            out.put_u64_le(value);
+        }
+        out.put_u32_le(self.planes.len() as u32);
+        for p in &self.planes {
+            out.put_u64_le(p.rows as u64);
+            out.put_u64_le(p.cols as u64);
+            for &v in &p.data {
+                out.put_f64_le(v);
+            }
+        }
+        out.put_u32_le(crc32(&out));
+        out
+    }
+}
+
+// ------------------------------------------------------------- decoding
+
+/// A bounds-checked cursor: every read that would run past the end
+/// returns [`CkptError::Truncated`] instead of panicking.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn need(&self, n: usize) -> Result<(), CkptError> {
+        if self.buf.remaining() < n {
+            Err(CkptError::Truncated {
+                needed: n - self.buf.remaining(),
+                have: self.buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CkptError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, CkptError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32, CkptError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, CkptError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    fn str(&mut self) -> Result<String, CkptError> {
+        let len = self.u16()? as usize;
+        self.need(len)?;
+        let bytes = &self.buf[..len];
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| CkptError::BadField(format!("invalid UTF-8 in string field: {e}")))?
+            .to_string();
+        self.buf.advance(len);
+        Ok(s)
+    }
+}
+
+fn set_counter(c: &mut PerfCounters, name: &str, v: u64) -> bool {
+    match name {
+        "mma_ops" => c.mma_ops = v,
+        "mma_fp16_ops" => c.mma_fp16_ops = v,
+        "cuda_flops" => c.cuda_flops = v,
+        "shuffle_ops" => c.shuffle_ops = v,
+        "shared_load_requests" => c.shared_load_requests = v,
+        "shared_store_requests" => c.shared_store_requests = v,
+        "global_bytes_read" => c.global_bytes_read = v,
+        "global_bytes_written" => c.global_bytes_written = v,
+        "l2_bytes" => c.l2_bytes = v,
+        "staged_copy_bytes" => c.staged_copy_bytes = v,
+        "points_updated" => c.points_updated = v,
+        _ => return false,
+    }
+    true
+}
+
+/// Decode and fully validate a snapshot. The checksum is verified
+/// *before* any structural parsing, so a torn or bit-flipped file is
+/// reported as [`CkptError::BadChecksum`] (or `Truncated`/`Empty` for
+/// short prefixes) — structural errors past that point indicate a
+/// malformed-but-intact file.
+pub fn decode(buf: &[u8]) -> Result<Snapshot, CkptError> {
+    if buf.is_empty() {
+        return Err(CkptError::Empty);
+    }
+    if buf.len() < 4 {
+        return Err(CkptError::Truncated { needed: 4 - buf.len(), have: buf.len() });
+    }
+    if &buf[..4] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    // smallest self-consistent file: magic + version + flags + crc
+    if buf.len() < 12 {
+        return Err(CkptError::Truncated { needed: 12 - buf.len(), have: buf.len() });
+    }
+    let body = &buf[..buf.len() - 4];
+    let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CkptError::BadChecksum { stored, computed });
+    }
+    let mut r = Reader { buf: &body[4..] };
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(CkptError::BadVersion(version));
+    }
+    let flags = r.u16()?;
+    let fingerprint = r.u64()?;
+    let step = r.u64()?;
+    let steps_total = r.u64()?;
+    let every = r.u64()?;
+    let seed = r.u64()?;
+    let rng = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+    let kernel = r.str()?;
+    let config = r.str()?;
+    let method = r.str()?;
+    let dims = r.u8()? as usize;
+    if !(1..=3).contains(&dims) {
+        return Err(CkptError::BadShape(format!("{dims} dimensions")));
+    }
+    let mut extents = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        extents.push(r.u64()? as usize);
+    }
+    if extents.contains(&0) {
+        return Err(CkptError::BadShape(format!("zero extent in {extents:?}")));
+    }
+    extents
+        .iter()
+        .try_fold(1usize, |acc, &e| acc.checked_mul(e))
+        .ok_or_else(|| CkptError::BadShape(format!("extent overflow in {extents:?}")))?;
+    let n_counters = r.u8()? as usize;
+    let known = PerfCounters::new().fields();
+    if n_counters != known.len() {
+        return Err(CkptError::BadField(format!(
+            "{n_counters} counters, expected {}",
+            known.len()
+        )));
+    }
+    let mut counters = PerfCounters::new();
+    for (want, _) in known {
+        let name = r.str()?;
+        let value = r.u64()?;
+        if name != want {
+            return Err(CkptError::BadField(format!("counter {name:?}, expected {want:?}")));
+        }
+        set_counter(&mut counters, &name, value);
+    }
+    let n_planes = r.u32()? as usize;
+    let mut planes = Vec::with_capacity(n_planes.min(4096));
+    for i in 0..n_planes {
+        let rows = r.u64()? as usize;
+        let cols = r.u64()? as usize;
+        if rows == 0 || cols == 0 {
+            return Err(CkptError::BadShape(format!("plane {i} is {rows}x{cols}")));
+        }
+        let count =
+            rows.checked_mul(cols).filter(|c| c.checked_mul(8).is_some()).ok_or_else(|| {
+                CkptError::BadShape(format!("plane {i} size {rows}x{cols} overflows"))
+            })?;
+        // byte-count check up front: a plane header declaring more cells
+        // than the file holds is a typed Truncated, not a slow panic
+        r.need(count * 8)?;
+        let mut data = Vec::with_capacity(count);
+        for _ in 0..count {
+            data.push(r.f64()?);
+        }
+        planes.push(Plane { rows, cols, data });
+    }
+    if r.buf.has_remaining() {
+        return Err(CkptError::TrailingBytes(r.buf.remaining()));
+    }
+    // cross-validate planes against the declared extents: a snapshot
+    // whose payload disagrees with its own header must never load
+    let shape_ok = match extents.as_slice() {
+        [n] => planes.len() == 1 && planes[0].rows == 1 && planes[0].cols == *n,
+        [rows, cols] => planes.len() == 1 && planes[0].rows == *rows && planes[0].cols == *cols,
+        [nz, ny, nx] => {
+            planes.len() == *nz && planes.iter().all(|p| p.rows == *ny && p.cols == *nx)
+        }
+        _ => unreachable!("dims checked above"),
+    };
+    if !shape_ok {
+        return Err(CkptError::BadShape(format!(
+            "{} planes of {:?} do not match extents {extents:?}",
+            planes.len(),
+            planes.iter().map(|p| (p.rows, p.cols)).collect::<Vec<_>>(),
+        )));
+    }
+    Ok(Snapshot {
+        flags,
+        fingerprint,
+        step,
+        steps_total,
+        every,
+        seed,
+        rng,
+        kernel,
+        config,
+        method,
+        extents,
+        counters,
+        planes,
+    })
+}
+
+// ---------------------------------------------------------------- store
+
+/// Why recovery found nothing to resume from.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The checkpoint directory could not be scanned.
+    Io(std::io::Error),
+    /// The directory holds no `ckpt-*.lscp` files at all.
+    NoSnapshots(PathBuf),
+    /// Every snapshot present failed validation (newest first).
+    AllInvalid(Vec<(PathBuf, CkptError)>),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "cannot scan checkpoint directory: {e}"),
+            RecoverError::NoSnapshots(d) => {
+                write!(f, "no snapshots found in {}", d.display())
+            }
+            RecoverError::AllInvalid(rejects) => {
+                write!(f, "every snapshot failed validation:")?;
+                for (path, err) in rejects {
+                    write!(f, "\n  {}: {err}", path.display())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<std::io::Error> for RecoverError {
+    fn from(e: std::io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+/// A directory of snapshots with atomic replacement and a bounded
+/// retention ring: [`save`](CheckpointStore::save) keeps the newest
+/// `keep` snapshots and prunes the rest (plus any stale `.tmp` debris
+/// from crashed writes).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory retaining the
+    /// newest `keep` snapshots (`keep ≥ 1`).
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> std::io::Result<Self> {
+        assert!(keep >= 1, "a retention ring keeps at least one snapshot");
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, keep })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Retention ring size.
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// Canonical path of the snapshot for `step`.
+    pub fn path_for(&self, step: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{step:012}.{EXT}"))
+    }
+
+    /// Persist a snapshot crash-consistently: serialize, write to a
+    /// `.tmp` sibling, `fsync` the file, `rename` into place, `fsync`
+    /// the directory, then prune the retention ring. The `ckpt_serialize`
+    /// and `ckpt_fsync` spans make snapshot cost visible in
+    /// `foundation::obs` phase breakdowns.
+    pub fn save(&self, snap: &Snapshot) -> std::io::Result<PathBuf> {
+        let bytes = {
+            let _serialize = foundation::obs::span("ckpt_serialize");
+            snap.encode()
+        };
+        let path = self.path_for(snap.step);
+        let tmp = self.dir.join(format!("ckpt-{:012}.{EXT}.tmp", snap.step));
+        {
+            let _fsync = foundation::obs::span("ckpt_fsync");
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, &path)?;
+            // make the rename itself durable
+            #[cfg(unix)]
+            std::fs::File::open(&self.dir)?.sync_all()?;
+        }
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// All snapshots present, ascending by step.
+    pub fn list(&self) -> std::io::Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if let Some(step) = parse_step(&path) {
+                out.push((step, path));
+            }
+        }
+        out.sort_unstable_by_key(|&(step, _)| step);
+        Ok(out)
+    }
+
+    /// Delete snapshots beyond the newest `keep`, and any `.tmp` files a
+    /// crashed writer left behind (they were never renamed into place,
+    /// so they hold no committed state).
+    fn prune(&self) -> std::io::Result<()> {
+        let files = self.list()?;
+        if files.len() > self.keep {
+            for (_, path) in &files[..files.len() - self.keep] {
+                std::fs::remove_file(path)?;
+            }
+        }
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("ckpt-") && name.ends_with(".tmp") {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recover the newest snapshot that passes full validation, together
+    /// with `(path, reason)` for every newer file that was rejected.
+    /// In-flight `.tmp` files are never considered — only renamed-into-
+    /// place snapshots are committed state.
+    pub fn load_latest_valid(&self) -> Result<(Snapshot, Vec<(PathBuf, CkptError)>), RecoverError> {
+        let mut files = self.list()?;
+        if files.is_empty() {
+            return Err(RecoverError::NoSnapshots(self.dir.clone()));
+        }
+        files.reverse(); // newest first
+        let mut rejects = Vec::new();
+        for (_, path) in files {
+            let outcome = match std::fs::read(&path) {
+                Ok(bytes) => decode(&bytes),
+                Err(e) => Err(CkptError::Unreadable(e.to_string())),
+            };
+            match outcome {
+                Ok(snap) => return Ok((snap, rejects)),
+                Err(e) => rejects.push((path, e)),
+            }
+        }
+        Err(RecoverError::AllInvalid(rejects))
+    }
+}
+
+/// Parse the step number out of a `ckpt-<step>.lscp` file name.
+fn parse_step(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("ckpt-")?.strip_suffix(&format!(".{EXT}"))?;
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(dims: usize) -> Snapshot {
+        let planes = match dims {
+            1 => vec![Plane { rows: 1, cols: 6, data: (0..6).map(|i| i as f64 * 0.5).collect() }],
+            2 => vec![Plane { rows: 3, cols: 4, data: (0..12).map(|i| i as f64 - 5.0).collect() }],
+            _ => (0..2)
+                .map(|z| Plane {
+                    rows: 2,
+                    cols: 3,
+                    data: (0..6).map(|i| (z * 10 + i) as f64).collect(),
+                })
+                .collect(),
+        };
+        let extents = match dims {
+            1 => vec![6],
+            2 => vec![3, 4],
+            _ => vec![2, 2, 3],
+        };
+        let mut counters = PerfCounters::new();
+        counters.mma_ops = 42;
+        counters.points_updated = 1234;
+        counters.global_bytes_written = 99;
+        Snapshot {
+            flags: FLAG_SEEDED_INPUT,
+            fingerprint: 0xDEAD_BEEF_F00D_CAFE,
+            step: 6,
+            steps_total: 12,
+            every: 3,
+            seed: 7,
+            rng: [1, 2, 3, 4],
+            kernel: "Box-2D9P".into(),
+            config: "full".into(),
+            method: "LoRAStencil".into(),
+            extents,
+            counters,
+            planes,
+        }
+    }
+
+    /// Re-seal a tampered buffer with a fresh valid CRC, so tests reach
+    /// the structural validators *behind* the checksum gate.
+    fn reseal(buf: &mut Vec<u8>) {
+        let n = buf.len() - 4;
+        let crc = crc32(&buf[..n]);
+        buf.truncate(n);
+        buf.put_u32_le(crc);
+    }
+
+    #[test]
+    fn roundtrip_all_dimensionalities() {
+        for dims in 1..=3 {
+            let snap = sample(dims);
+            let back = decode(&snap.encode()).unwrap();
+            assert_eq!(back, snap, "{dims}-D");
+        }
+    }
+
+    #[test]
+    fn zero_length_is_a_typed_empty_error() {
+        assert_eq!(decode(&[]), Err(CkptError::Empty));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = sample(2).encode();
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(CkptError::BadMagic));
+        let mut bytes = sample(2).encode();
+        bytes[4] = 9; // version 9
+        reseal(&mut bytes);
+        assert_eq!(decode(&bytes), Err(CkptError::BadVersion(9)));
+    }
+
+    #[test]
+    fn every_proper_prefix_is_rejected_without_panicking() {
+        let bytes = sample(3).encode();
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = sample(1).encode();
+        for byte in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[byte] ^= 0x10;
+            assert_ne!(decode(&b), Ok(sample(1)), "flip at byte {byte} went undetected");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample(2).encode();
+        bytes.push(0);
+        // the checksum gate catches the extension first
+        assert!(matches!(decode(&bytes), Err(CkptError::BadChecksum { .. })));
+        // a resealed extension reaches the structural check
+        bytes.push(0);
+        bytes.push(0);
+        bytes.push(0);
+        reseal(&mut bytes);
+        assert!(matches!(decode(&bytes), Err(CkptError::TrailingBytes(_))));
+    }
+
+    #[test]
+    fn plane_byte_count_mismatch_is_a_typed_error() {
+        // inflate the first plane's declared rows: the payload no longer
+        // holds rows×cols cells → typed Truncated, not a panic
+        let snap = sample(2);
+        let bytes = snap.encode();
+        let needle: Vec<u8> = {
+            let mut v = Vec::new();
+            v.put_u32_le(1); // plane count
+            v.put_u64_le(3); // rows
+            v
+        };
+        let at = bytes.windows(needle.len()).position(|w| w == needle).unwrap();
+        let mut tampered = bytes.clone();
+        tampered[at + 4..at + 12].copy_from_slice(&4000u64.to_le_bytes());
+        reseal(&mut tampered);
+        assert!(
+            matches!(decode(&tampered), Err(CkptError::Truncated { .. })),
+            "{:?}",
+            decode(&tampered)
+        );
+        // overflowing plane size is BadShape, not a multiply panic
+        let mut overflow = bytes.clone();
+        overflow[at + 4..at + 12].copy_from_slice(&u64::MAX.to_le_bytes());
+        reseal(&mut overflow);
+        assert!(matches!(decode(&overflow), Err(CkptError::BadShape(_))));
+    }
+
+    #[test]
+    fn planes_must_match_declared_extents() {
+        let mut snap = sample(3);
+        snap.planes.pop(); // 1 plane for a nz=2 volume
+        assert!(matches!(decode(&snap.encode()), Err(CkptError::BadShape(_))));
+        let mut snap = sample(2);
+        snap.extents = vec![4, 4]; // header says 4×4, plane is 3×4
+        assert!(matches!(decode(&snap.encode()), Err(CkptError::BadShape(_))));
+    }
+
+    #[test]
+    fn counter_names_are_validated() {
+        let snap = sample(1);
+        let bytes = snap.encode();
+        let at = bytes.windows(7).position(|w| w == b"mma_ops").unwrap();
+        let mut tampered = bytes.clone();
+        tampered[at..at + 7].copy_from_slice(b"zma_ops");
+        reseal(&mut tampered);
+        assert!(matches!(decode(&tampered), Err(CkptError::BadField(_))));
+    }
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lorastencil-ckpt-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_roundtrips_and_prunes_the_ring() {
+        let store = CheckpointStore::new(test_dir("ring"), 3).unwrap();
+        for step in 1..=8 {
+            let mut snap = sample(2);
+            snap.step = step;
+            store.save(&snap).unwrap();
+        }
+        let steps: Vec<u64> = store.list().unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(steps, vec![6, 7, 8], "ring keeps exactly the 3 newest");
+        let (snap, rejects) = store.load_latest_valid().unwrap();
+        assert_eq!(snap.step, 8);
+        assert!(rejects.is_empty());
+        // no .tmp debris after successful saves
+        let tmps = std::fs::read_dir(store.dir())
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path().to_str().unwrap().ends_with(".tmp"))
+            .count();
+        assert_eq!(tmps, 0);
+    }
+
+    #[test]
+    fn recovery_skips_corrupt_snapshots_and_reports_them() {
+        let store = CheckpointStore::new(test_dir("recover"), 4).unwrap();
+        for step in [2u64, 4, 6] {
+            let mut snap = sample(2);
+            snap.step = step;
+            store.save(&snap).unwrap();
+        }
+        // corrupt the newest: recovery falls back to step 4 and says why
+        let newest = store.path_for(6);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        let (snap, rejects) = store.load_latest_valid().unwrap();
+        assert_eq!(snap.step, 4);
+        assert_eq!(rejects.len(), 1);
+        assert!(matches!(rejects[0].1, CkptError::BadChecksum { .. }));
+
+        // corrupt everything: recovery fails loudly, never resumes
+        for (_, path) in store.list().unwrap() {
+            std::fs::write(&path, b"").unwrap();
+        }
+        match store.load_latest_valid() {
+            Err(RecoverError::AllInvalid(rejects)) => {
+                assert_eq!(rejects.len(), 3);
+                assert!(rejects.iter().any(|(_, e)| matches!(e, CkptError::Empty)));
+            }
+            other => panic!("expected AllInvalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_flight_tmp_files_are_never_recovered_from() {
+        let store = CheckpointStore::new(test_dir("tmp"), 3).unwrap();
+        let mut snap = sample(2);
+        snap.step = 2;
+        store.save(&snap).unwrap();
+        // a crashed writer left a *fully valid* .tmp for step 4: it was
+        // never renamed into place, so it is not committed state
+        snap.step = 4;
+        std::fs::write(store.dir().join("ckpt-000000000004.lscp.tmp"), snap.encode()).unwrap();
+        let (recovered, rejects) = store.load_latest_valid().unwrap();
+        assert_eq!(recovered.step, 2);
+        assert!(rejects.is_empty());
+    }
+
+    #[test]
+    fn empty_directory_fails_loudly() {
+        let store = CheckpointStore::new(test_dir("none"), 1).unwrap();
+        assert!(matches!(store.load_latest_valid(), Err(RecoverError::NoSnapshots(_))));
+    }
+
+    #[test]
+    fn error_display_is_actionable() {
+        let msgs = [
+            CkptError::Empty.to_string(),
+            CkptError::BadChecksum { stored: 1, computed: 2 }.to_string(),
+            CkptError::Truncated { needed: 8, have: 3 }.to_string(),
+        ];
+        assert!(msgs[0].contains("0 bytes"));
+        assert!(msgs[1].contains("checksum mismatch"));
+        assert!(msgs[2].contains("need 8 more bytes"));
+    }
+}

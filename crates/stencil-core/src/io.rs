@@ -20,6 +20,10 @@ pub const MAGIC: &[u8; 4] = b"LSG1";
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IoError {
+    /// The buffer is zero bytes long — the classic artifact of a crashed
+    /// `create`-then-write, distinguished from a short read so callers can
+    /// suggest recovery instead of reporting a generic truncation.
+    Empty,
     /// The buffer does not start with [`MAGIC`].
     BadMagic,
     /// The dimension count is not 1, 2 or 3, or an extent is zero.
@@ -38,6 +42,7 @@ pub enum IoError {
 impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            IoError::Empty => write!(f, "empty file (0 bytes) — likely a crashed write"),
             IoError::BadMagic => write!(f, "not a LSG1 grid file"),
             IoError::BadShape(s) => write!(f, "bad shape: {s}"),
             IoError::Truncated { needed, have } => {
@@ -72,6 +77,9 @@ pub fn encode(grid: &GridData) -> Vec<u8> {
 
 /// Decode a grid from the binary format.
 pub fn decode(mut buf: &[u8]) -> Result<GridData, IoError> {
+    if buf.is_empty() {
+        return Err(IoError::Empty);
+    }
     if buf.len() < 5 {
         return Err(IoError::Truncated { needed: 5 - buf.len(), have: buf.len() });
     }
@@ -212,6 +220,18 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(decode(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
         }
+    }
+
+    #[test]
+    fn zero_length_is_a_typed_empty_error() {
+        assert_eq!(decode(&[]), Err(IoError::Empty));
+        let dir = std::env::temp_dir().join("lorastencil-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.lsg");
+        std::fs::write(&path, b"").unwrap();
+        let err = load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("empty file"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 // crate and keep row/column roles visible; iterator forms obscure them.
 #![allow(clippy::needless_range_loop)]
 
+pub mod checkpoint;
 pub mod executor;
 pub mod grid;
 pub mod io;
@@ -32,6 +33,7 @@ pub mod spec;
 pub mod symmetry;
 pub mod tiling;
 
+pub use checkpoint::{CheckpointStore, CkptError, Plane, RecoverError, Snapshot};
 pub use executor::{max_error_vs_reference, ExecError, ExecOutcome, Problem, StencilExecutor};
 pub use grid::{Grid1D, Grid2D, Grid3D, GridData};
 pub use kernel::{Shape, StencilKernel, WeightMatrix, Weights};

@@ -1,0 +1,242 @@
+//! The crash-consistency battery: golden bit-identical resume across
+//! thread counts, torn-write/corruption fault injection, retention-ring
+//! pruning, and fingerprint-mismatch rejection.
+//!
+//! The two headline properties (DESIGN.md §11):
+//!
+//! 1. **Deterministic resume** — 12 straight steps and 6 + crash +
+//!    resume-6 produce bit-identical values AND counters, at any
+//!    `FOUNDATION_THREADS` setting.
+//! 2. **Never resume from garbage** — truncated, bit-flipped and
+//!    half-renamed snapshots are *detected*; recovery falls back to the
+//!    newest valid snapshot or fails loudly.
+
+use lorastencil::checkpoint::{self as ckpt, CkptPolicy, CkptRunError};
+use lorastencil::ExecConfig;
+use stencil_core::checkpoint::{decode, CheckpointStore, CkptError, RecoverError};
+use stencil_core::{kernels, Grid2D, GridData};
+use tcu_sim::PerfCounters;
+
+fn store(name: &str, keep: usize) -> CheckpointStore {
+    let dir = std::env::temp_dir().join(format!("lorastencil-ckpt-battery-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    CheckpointStore::new(dir, keep).unwrap()
+}
+
+fn input_2d() -> GridData {
+    GridData::D2(Grid2D::from_fn(48, 48, |r, c| ((r * 29 + c * 13) % 17) as f64 * 0.5 - 4.0))
+}
+
+/// 12 straight steps vs 6 + simulated crash + resume 6: values AND
+/// counters bit-identical, across `FOUNDATION_THREADS` 1, 2 and 7. One
+/// test function so the env-var mutations cannot race a sibling test.
+#[test]
+fn golden_crash_resume_is_bit_identical_across_thread_counts() {
+    let k = kernels::box_2d9p();
+    let cfg = ExecConfig::full();
+    let mut golden: Option<(GridData, PerfCounters)> = None;
+    for lanes in ["1", "2", "7"] {
+        std::env::set_var("FOUNDATION_THREADS", lanes);
+
+        // the uninterrupted 12-step run
+        let st = store(&format!("golden-straight-{lanes}"), 4);
+        let policy = CkptPolicy { store: &st, every: 6, seed: 11, method: "LoRAStencil" };
+        let straight = ckpt::run(&k, cfg, &input_2d(), 12, &policy).unwrap();
+
+        // crash after step 6: the step-12 state is lost; only the
+        // snapshots survive. Recovery must pick the step-6 snapshot.
+        let st2 = store(&format!("golden-crash-{lanes}"), 4);
+        let policy2 = CkptPolicy { store: &st2, every: 6, seed: 11, method: "LoRAStencil" };
+        ckpt::run(&k, cfg, &input_2d(), 12, &policy2).unwrap();
+        std::fs::remove_file(st2.path_for(12)).unwrap();
+        let (snap, rejects) = st2.load_latest_valid().unwrap();
+        assert!(rejects.is_empty());
+        assert_eq!(snap.step, 6);
+        assert!(snap.counters.points_updated > 0, "snapshot carries accumulated counters");
+        let resumed = ckpt::resume(&k, cfg, &snap, &policy2).unwrap();
+
+        assert_eq!(
+            resumed.output, straight.output,
+            "values diverged after resume (FOUNDATION_THREADS={lanes})"
+        );
+        assert_eq!(
+            resumed.counters,
+            straight.counters,
+            "counters diverged after resume (FOUNDATION_THREADS={lanes}): {:?}",
+            resumed.counters.diff(&straight.counters)
+        );
+
+        // and every thread count agrees with every other
+        match &golden {
+            None => golden = Some((straight.output, straight.counters)),
+            Some((out, counters)) => {
+                assert_eq!(&straight.output, out, "thread count {lanes} changed the values");
+                assert_eq!(&straight.counters, counters, "thread count {lanes} changed counters");
+            }
+        }
+    }
+    std::env::remove_var("FOUNDATION_THREADS");
+}
+
+/// A resume interval that does not divide the step budget, plus an
+/// unfused remainder (13 = 4 fused applications of 3 + 1 unfused):
+/// resume from every snapshot the run wrote and land on the same state.
+#[test]
+fn resume_from_every_snapshot_reaches_the_same_final_state() {
+    let k = kernels::box_2d9p(); // fuses 3×
+    let cfg = ExecConfig::full();
+    let st = store("every-snap", 16);
+    let policy = CkptPolicy { store: &st, every: 5, seed: 3, method: "LoRAStencil" };
+    let straight = ckpt::run(&k, cfg, &input_2d(), 13, &policy).unwrap();
+    let snaps = st.list().unwrap();
+    // application boundaries at 3, 6, 9, 12 (fused) and 13 (unfused
+    // remainder); multiples of 5 are first crossed at 6 and 12
+    let steps: Vec<u64> = snaps.iter().map(|(s, _)| *s).collect();
+    assert_eq!(steps, vec![6, 12]);
+    for (step, path) in snaps {
+        let snap = decode(&std::fs::read(path).unwrap()).unwrap();
+        let st2 = store("every-snap-target", 16);
+        let policy2 = CkptPolicy { store: &st2, every: 5, seed: 3, method: "LoRAStencil" };
+        let resumed = ckpt::resume(&k, cfg, &snap, &policy2).unwrap();
+        assert_eq!(resumed.output, straight.output, "resume from step {step} diverged");
+        assert_eq!(resumed.counters, straight.counters, "counters from step {step} diverged");
+    }
+}
+
+/// Torn-write fault injection: truncation, bit flips and a half-rename
+/// (a committed-looking `.lscp` holding a partial payload, plus a stale
+/// `.tmp`). Recovery always falls back to the newest *valid* snapshot
+/// and reports why each newer file was rejected.
+#[test]
+fn torn_and_corrupt_snapshots_are_never_resumed_from() {
+    let k = kernels::box_2d9p();
+    let cfg = ExecConfig::full();
+    let st = store("faults", 8);
+    let policy = CkptPolicy { store: &st, every: 3, seed: 5, method: "LoRAStencil" };
+    ckpt::run(&k, cfg, &input_2d(), 9, &policy).unwrap();
+    let steps: Vec<u64> = st.list().unwrap().into_iter().map(|(s, _)| s).collect();
+    assert_eq!(steps, vec![3, 6, 9]);
+
+    // fault 1 — torn write: the newest snapshot is truncated mid-payload
+    // (what a crash mid-`write` leaves if the rename happened anyway)
+    let bytes = std::fs::read(st.path_for(9)).unwrap();
+    std::fs::write(st.path_for(9), &bytes[..bytes.len() / 3]).unwrap();
+    let (snap, rejects) = st.load_latest_valid().unwrap();
+    assert_eq!(snap.step, 6, "fell back past the torn snapshot");
+    assert_eq!(rejects.len(), 1);
+    assert!(
+        matches!(rejects[0].1, CkptError::BadChecksum { .. } | CkptError::Truncated { .. }),
+        "torn write detected as {:?}",
+        rejects[0].1
+    );
+
+    // fault 2 — bit rot: flip one bit in the middle of the next-newest
+    let mut bytes = std::fs::read(st.path_for(6)).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(st.path_for(6), &bytes).unwrap();
+    let (snap, rejects) = st.load_latest_valid().unwrap();
+    assert_eq!(snap.step, 3, "fell back past torn AND bit-flipped snapshots");
+    assert_eq!(rejects.len(), 2);
+    assert!(matches!(rejects[1].1, CkptError::BadChecksum { .. }));
+
+    // fault 3 — half-rename: a crashed writer left a fully valid `.tmp`
+    // that never became a committed snapshot; it must not be recovered
+    let snap3 = decode(&std::fs::read(st.path_for(3)).unwrap()).unwrap();
+    let mut phantom = snap3.clone();
+    phantom.step = 12;
+    std::fs::write(st.dir().join("ckpt-000000000012.lscp.tmp"), phantom.encode()).unwrap();
+    let (snap, _) = st.load_latest_valid().unwrap();
+    assert_eq!(snap.step, 3, "in-flight .tmp files are not committed state");
+
+    // the survivor still resumes correctly
+    let st2 = store("faults-resume", 8);
+    let policy2 = CkptPolicy { store: &st2, every: 3, seed: 5, method: "LoRAStencil" };
+    let straight = ckpt::run(&k, cfg, &input_2d(), 9, &policy2).unwrap();
+    let resumed = ckpt::resume(&k, cfg, &snap, &policy2).unwrap();
+    assert_eq!(resumed.output, straight.output);
+
+    // fault 4 — everything corrupt: recovery fails loudly, listing every
+    // rejected snapshot with its reason — it never fabricates state
+    std::fs::write(st.path_for(3), b"").unwrap();
+    match st.load_latest_valid() {
+        Err(RecoverError::AllInvalid(rejects)) => {
+            assert_eq!(rejects.len(), 3);
+            assert!(rejects.iter().any(|(_, e)| matches!(e, CkptError::Empty)));
+        }
+        other => panic!("expected AllInvalid, got {other:?}"),
+    }
+}
+
+/// The retention ring keeps exactly K snapshots, newest-first, across
+/// many saves.
+#[test]
+fn retention_ring_keeps_exactly_k_snapshots() {
+    let k = kernels::box_2d9p();
+    let cfg = ExecConfig::full();
+    for keep in [1usize, 2, 3] {
+        let st = store(&format!("ring-{keep}"), keep);
+        let policy = CkptPolicy { store: &st, every: 1, seed: 1, method: "LoRAStencil" };
+        // every=1 with fusion 3 → snapshots at 3, 6, 9, 12, 15
+        ckpt::run(&k, cfg, &input_2d(), 15, &policy).unwrap();
+        let steps: Vec<u64> = st.list().unwrap().into_iter().map(|(s, _)| s).collect();
+        let want: Vec<u64> = [3u64, 6, 9, 12, 15][5 - keep..].to_vec();
+        assert_eq!(steps, want, "keep={keep} retains exactly the {keep} newest");
+    }
+}
+
+/// A snapshot taken under one plan is rejected by any other plan, with
+/// an error that names what the snapshot recorded.
+#[test]
+fn mismatched_fingerprints_are_rejected_with_a_clear_error() {
+    let k = kernels::box_2d9p();
+    let cfg = ExecConfig::full();
+    let st = store("fp", 4);
+    let policy = CkptPolicy { store: &st, every: 3, seed: 2, method: "LoRAStencil" };
+    ckpt::run(&k, cfg, &input_2d(), 7, &policy).unwrap();
+    let (snap, _) = st.load_latest_valid().unwrap();
+    assert_eq!(snap.step, 6, "one step remains");
+    // different kernel / config / extents all refuse
+    let err = ckpt::resume(&kernels::star_2d13p(), cfg, &snap, &policy).unwrap_err();
+    assert!(matches!(err, CkptRunError::FingerprintMismatch { .. }));
+    let msg = err.to_string();
+    assert!(msg.contains("Box-2D9P") && msg.contains("fingerprint mismatch"), "{msg}");
+    let ablated = ExecConfig { use_async_copy: false, ..cfg };
+    assert!(ckpt::resume(&k, ablated, &snap, &policy).is_err());
+    let mut resized = snap.clone();
+    resized.extents = vec![48, 49];
+    assert!(ckpt::resume(&k, cfg, &resized, &policy).is_err());
+    // the matching plan still resumes
+    assert!(ckpt::resume(&k, cfg, &snap, &policy).is_ok());
+}
+
+/// Checkpointed execution covers 1-D and 3-D grids too — same snapshot
+/// format, same resume guarantee.
+#[test]
+fn checkpoint_resume_covers_1d_and_3d() {
+    let cases: [(_, GridData, u64); 2] = [
+        (
+            kernels::heat_1d(),
+            GridData::D1(stencil_core::Grid1D::from_fn(256, |i| (i as f64 * 0.13).sin())),
+            12,
+        ),
+        (
+            kernels::heat_3d(),
+            GridData::D3(stencil_core::Grid3D::from_fn(6, 24, 24, |z, y, x| {
+                ((z * 7 + y * 3 + x) % 11) as f64 * 0.5
+            })),
+            4,
+        ),
+    ];
+    for (k, input, total) in cases {
+        let st = store(&format!("dims-{}", k.name), 8);
+        let policy = CkptPolicy { store: &st, every: 2, seed: 7, method: "LoRAStencil" };
+        let straight = ckpt::run(&k, ExecConfig::full(), &input, total, &policy).unwrap();
+        std::fs::remove_file(st.path_for(total)).unwrap();
+        let (snap, _) = st.load_latest_valid().unwrap();
+        assert!(snap.step < total);
+        let resumed = ckpt::resume(&k, ExecConfig::full(), &snap, &policy).unwrap();
+        assert_eq!(resumed.output, straight.output, "{} values diverged", k.name);
+        assert_eq!(resumed.counters, straight.counters, "{} counters diverged", k.name);
+    }
+}

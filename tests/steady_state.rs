@@ -53,6 +53,56 @@ fn steady_state_steps_allocate_nothing_and_spawn_nothing() {
         "steady-state steps must not allocate (FOUNDATION_THREADS=1)"
     );
 
+    // Checkpointing must not poison the hot loop: capturing and
+    // persisting a snapshot allocates (it clones the live planes and
+    // encodes them), but the steps *between* checkpoints must stay
+    // allocation-free — the snapshot hook may not leave any per-step
+    // allocation behind in the stepper.
+    let store_dir = std::env::temp_dir().join("lorastencil-steady-ckpt");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = stencil_core::checkpoint::CheckpointStore::new(&store_dir, 2).unwrap();
+    let kernel = kernels::box_2d9p();
+    let fingerprint =
+        lorastencil::checkpoint::plan_fingerprint(&kernel, ExecConfig::full(), &[64, 64]);
+    for round in 0..3u64 {
+        // a checkpoint boundary: capture + encode + fsync (may allocate)
+        let planes = stepper.capture_planes();
+        let snap = stencil_core::checkpoint::Snapshot {
+            flags: stencil_core::checkpoint::FLAG_SEEDED_INPUT,
+            fingerprint,
+            step: round,
+            steps_total: 3,
+            every: 1,
+            seed: 0,
+            rng: [0; 4],
+            kernel: kernel.name.clone(),
+            config: ExecConfig::full().tag(),
+            method: "LoRAStencil".into(),
+            extents: vec![64, 64],
+            counters: tcu_sim::PerfCounters::new(),
+            planes: planes
+                .iter()
+                .map(|p| stencil_core::checkpoint::Plane {
+                    rows: p.rows(),
+                    cols: p.cols(),
+                    data: p.as_slice().to_vec(),
+                })
+                .collect(),
+        };
+        store.save(&snap).unwrap();
+        // ... and the steps between checkpoints stay allocation-free
+        let allocs = allocation_count();
+        for _ in 0..4 {
+            stepper.step();
+        }
+        assert_eq!(
+            allocation_count(),
+            allocs,
+            "steps between checkpoints must not allocate (round {round})"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     // Spawn assertion under parallel lanes: the pool grows eagerly on
     // the first call that wants more lanes, so after one warm-up step
     // the worker count is deterministic and must stay flat — at every
