@@ -55,9 +55,11 @@ quick_bench() {
     # cargo bench runs the binary with the package dir as cwd, so the
     # report paths must be rooted. Full measurement windows (no --quick):
     # the guard below needs a stable best-of-many, and the whole suite
-    # still measures in ~2s
-    cargo bench --offline -p bench-suite --bench executors -- \
-        --baseline "$PWD/BENCH_pr2.json" --json "$PWD/BENCH_pr5.json"
+    # still measures in ~2s. The checked-in tuning DB is installed so
+    # the report reflects the tuned schedules a user actually gets.
+    LORASTENCIL_TUNING_DB="$PWD/tuning.json" \
+        cargo bench --offline -p bench-suite --bench executors -- \
+        --baseline "$PWD/BENCH_pr2.json" --json "$PWD/BENCH_pr7.json"
 }
 
 bench_guard() {
@@ -68,7 +70,7 @@ bench_guard() {
     local attempt
     for attempt in 1 2 3; do
         if cargo run --release --offline -p bench-suite --bin bench_guard -- \
-            --json "$PWD/BENCH_pr5.json" --max-regression 0.10; then
+            --json "$PWD/BENCH_pr7.json" --max-regression 0.10; then
             return 0
         fi
         if [ "$attempt" -lt 3 ]; then
@@ -78,6 +80,29 @@ bench_guard() {
     done
     echo "error: benchmark regression confirmed on 3 consecutive runs" >&2
     exit 1
+}
+
+tune_smoke() {
+    # bounded end-to-end autotune: a small budget must still produce a
+    # valid DB, and a run under that DB must keep the schedule-invariant
+    # counters and verified values of the default schedule (DESIGN.md §12)
+    local db=target/ci-tune.json
+    local cli="cargo run --release --offline -p stencil-cli --bin lorastencil-cli --"
+    rm -f "$db"
+    $cli tune --kernel Box-2D9P --size 96 --iters 2 --budget 6 --reps 3 \
+        --db "$db" | sed 's/^/   /'
+    local plain tuned
+    plain=$($cli run --kernel Box-2D9P --size 96 --iters 2 --verify)
+    tuned=$($cli run --kernel Box-2D9P --size 96 --iters 2 --verify --tuning-db "$db")
+    # the schedule choice is free; MMA count, shuffle count, shared-load
+    # requests and the verified max |Δ| are not
+    local invariant='s/^counters: \([0-9]*\) MMAs.*, \([0-9]*\) shuffles, \([0-9]*\)+.*/\1 \2 \3/p
+                     s/^verification.*/&/p'
+    if ! diff <(sed -n "$invariant" <<<"$plain") <(sed -n "$invariant" <<<"$tuned"); then
+        echo "error: tuned schedule changed an invariant counter or the values" >&2
+        exit 1
+    fi
+    rm -f "$db"
 }
 
 profile_smoke() {
@@ -146,8 +171,9 @@ step "cargo test -q --offline" cargo test -q --offline --workspace
 step "cargo test -q --offline (FOUNDATION_THREADS=1)" serial_tests
 step "examples (cargo run --release --example *)" run_examples
 step "bounded fuzz (STENCIL_VERIFY_CASES=${STENCIL_VERIFY_CASES:-25})" fuzz_bounded
-step "quick executor bench (writes BENCH_pr5.json)" quick_bench
+step "quick executor bench (tuned schedules, writes BENCH_pr7.json)" quick_bench
 step "bench regression guard (>10% vs BENCH_pr2.json fails)" bench_guard
+step "tune smoke (bounded autotune + invariant-counter check)" tune_smoke
 step "profile smoke (stencil-cli profile + trace validation)" profile_smoke
 step "crash-resume smoke (run, tear newest snapshot, resume)" crash_resume_smoke
 step "checkpoint battery (FOUNDATION_THREADS=1)" checkpoint_battery

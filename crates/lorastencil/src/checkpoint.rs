@@ -20,11 +20,15 @@
 //! ## Plan fingerprint
 //!
 //! A snapshot embeds [`plan_fingerprint`] — a hash of the kernel (name,
-//! radius, every weight's exact bits), the [`ExecConfig`] toggles and
-//! the grid extents. [`resume`] recomputes the fingerprint from its own
+//! radius, every weight's exact bits), the [`ExecConfig`] toggles, the
+//! grid extents **and the resolved [`ScheduleParams`]** (tuning-DB entry
+//! or defaults). [`resume`] recomputes the fingerprint from its own
 //! arguments and rejects a mismatch, so a checkpoint can never be
-//! silently continued under a different plan (which would produce
-//! plausible-looking but wrong science).
+//! silently continued under a different plan — including under a
+//! different tuning-DB entry (which would produce plausible-looking but
+//! differently-scheduled science).
+//!
+//! [`ScheduleParams`]: crate::schedule::ScheduleParams
 
 use crate::plan::ExecConfig;
 use crate::schedule;
@@ -34,8 +38,13 @@ use tcu_sim::{BlockResources, GlobalArray, PerfCounters};
 
 /// FNV-1a 64 over the plan identity: kernel name, radius,
 /// dimensionality, every weight's exact `f64` bits, the [`ExecConfig`]
-/// toggle bits, and the grid extents. Any change to any of these yields
-/// a different fingerprint, so resume rejects mismatched plans.
+/// toggle bits, the grid extents, and the **resolved**
+/// [`ScheduleParams`](crate::schedule::ScheduleParams) the run would
+/// execute with (the installed tuning DB's entry for this
+/// kernel/extents/config, or the defaults). Any change to any of these
+/// yields a different fingerprint, so resume rejects mismatched plans —
+/// a snapshot cannot be silently resumed under a different tuning-DB
+/// entry.
 pub fn plan_fingerprint(kernel: &StencilKernel, config: ExecConfig, extents: &[usize]) -> u64 {
     const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01B3;
@@ -78,6 +87,16 @@ pub fn plan_fingerprint(kernel: &StencilKernel, config: ExecConfig, extents: &[u
     for &e in extents {
         h.eat_u64(e as u64);
     }
+    let params = crate::tuning::lookup(kernel, extents, config).unwrap_or_default();
+    h.eat_u64(params.tile_rows as u64);
+    h.eat_u64(params.tile_cols as u64);
+    h.eat_u64(match params.staging {
+        crate::schedule::Staging::Single => 0,
+        crate::schedule::Staging::Double => 1,
+    });
+    h.eat_u64(params.mma_batch as u64);
+    // None and Some(n) must hash apart, so shift overrides by one
+    h.eat_u64(params.fuse_override.map_or(0, |f| f as u64 + 1));
     h.0
 }
 
@@ -243,7 +262,7 @@ fn run_loop(
     };
 
     let remaining = (total - start_step) as usize;
-    let plan = crate::plan::Plan::new(kernel, config);
+    let plan = crate::plan::Plan::new_tuned(kernel, config, extents);
     let block = plan.block_resources();
     let full = remaining / plan.fusion;
     let fusion = plan.fusion as u64;
@@ -266,7 +285,11 @@ fn run_loop(
         cur = stepper.into_planes();
     }
     if rem > 0 {
-        let base = crate::plan::Plan::new(kernel, ExecConfig { allow_fusion: false, ..config });
+        let base = crate::plan::Plan::new_tuned(
+            kernel,
+            ExecConfig { allow_fusion: false, ..config },
+            extents,
+        );
         let mut stepper = schedule::Stepper::new(base, cur);
         for _ in 0..rem {
             counters.merge(&stepper.step());
@@ -425,6 +448,50 @@ mod tests {
             Err(CkptRunError::FingerprintMismatch { .. })
         ));
         // correct plan resumes fine
+        assert!(resume(&k, ExecConfig::full(), &snap, &policy).is_ok());
+    }
+
+    #[test]
+    fn resume_rejects_a_different_tuning_db_entry() {
+        use crate::schedule::{ScheduleParams, Staging};
+        use crate::tuning::{self, TuningDb, TuningEntry};
+        // unique extents so the installed entry cannot collide with any
+        // concurrently running test's lookups
+        let grid =
+            GridData::D2(Grid2D::from_fn(23, 29, |r, c| ((r * 31 + c * 17) % 13) as f64 * 0.25));
+        let k = kernels::box_2d9p();
+        let st = store("tuning-mismatch", 4);
+        let policy = CkptPolicy { store: &st, every: 3, seed: 7, method: "LoRAStencil" };
+        run(&k, ExecConfig::full(), &grid, 7, &policy).unwrap();
+        let (snap, _) = st.load_latest_valid().unwrap();
+
+        // installing a DB entry for this exact (kernel, extents, config)
+        // changes the resolved params → the fingerprint → resume refuses
+        let mut db = TuningDb::new();
+        db.insert(
+            &k,
+            &[23, 29],
+            ExecConfig::full(),
+            TuningEntry {
+                kernel: k.name.clone(),
+                extents: vec![23, 29],
+                config: "full".to_string(),
+                params: ScheduleParams {
+                    tile_rows: 16,
+                    tile_cols: 16,
+                    staging: Staging::Double,
+                    mma_batch: 4,
+                    fuse_override: None,
+                },
+                best_ns: 1,
+                default_ns: 2,
+            },
+        );
+        tuning::install_global(db);
+        let err = resume(&k, ExecConfig::full(), &snap, &policy);
+        tuning::clear_global();
+        assert!(matches!(err, Err(CkptRunError::FingerprintMismatch { .. })));
+        // with the DB gone the original plan resumes fine
         assert!(resume(&k, ExecConfig::full(), &snap, &policy).is_ok());
     }
 

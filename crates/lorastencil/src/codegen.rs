@@ -16,8 +16,19 @@
 
 use crate::plan::Plan;
 use crate::rdg::{build_u_frags, build_v_frags};
-use crate::schedule::{AccSplit, BackendKind, Op, Schedule};
+use crate::schedule::{AccSplit, BackendKind, Op, Schedule, Staging};
 use std::fmt::Write as _;
+
+/// The shared-window expression an op's `slot` addresses: single-staged
+/// schedules have one unindexed window, double-staged schedules a
+/// two-slot ping-pong array.
+fn tile_name(sched: &Schedule, slot: u8) -> String {
+    if sched.staging == Staging::Double {
+        format!("tile[{slot}]")
+    } else {
+        "tile".to_string()
+    }
+}
 
 /// Render one term's weight-constant tables (the `U_k`/`V_k` fragments)
 /// as `__constant__` arrays: one U/V pair per rank-1 term.
@@ -71,10 +82,12 @@ fn emit_banded_table(sched: &Schedule, out: &mut String) {
 }
 
 /// Emit the global→shared staging of one S×S window (2-D/3-D
-/// [`Op::Stage`]); `src` names the input pointer being staged.
-fn emit_stage(sched: &Schedule, src: &str, out: &mut String) {
+/// [`Op::Stage`]); `src` names the input pointer being staged and
+/// `slot` the shared window the copy lands in.
+fn emit_stage(sched: &Schedule, src: &str, slot: u8, out: &mut String) {
     let s = sched.geo.s;
     let h = sched.h;
+    let tile = tile_name(sched, slot);
     if sched.copy_mode == tcu_sim::CopyMode::Async {
         writeln!(out, "  // §IV-B: cp.async global->shared copy, bypassing the register file")
             .unwrap();
@@ -85,22 +98,30 @@ fn emit_stage(sched: &Schedule, src: &str, out: &mut String) {
         )
         .unwrap();
         writeln!(out, "    asm volatile(\"cp.async.ca.shared.global [%0], [%1], 8;\" ::").unwrap();
-        writeln!(out, "      \"r\"(&tile[e / {s}][e % {s}]), \"l\"(&{src}[rr * cols + cc]));")
+        writeln!(out, "      \"r\"(&{tile}[e / {s}][e % {s}]), \"l\"(&{src}[rr * cols + cc]));")
             .unwrap();
         writeln!(out, "  }}").unwrap();
-        writeln!(out, "  asm volatile(\"cp.async.wait_all;\");").unwrap();
+        if sched.staging == Staging::Double {
+            writeln!(out, "  // no wait here: the copy drains while the live slot's MMA").unwrap();
+            writeln!(out, "  // chain runs (cp.async.wait_group before this slot is read)")
+                .unwrap();
+        } else {
+            writeln!(out, "  asm volatile(\"cp.async.wait_all;\");").unwrap();
+        }
     } else {
         writeln!(out, "  // staged copy: global -> registers -> shared").unwrap();
         writeln!(out, "  for (int e = laneid(); e < {s}*{s}; e += 32)").unwrap();
-        writeln!(out, "    tile[e / {s}][e % {s}] = {src}[mod(r0 - {h} + e / {s}, rows) * cols + mod(c0 - {h} + e % {s}, cols)];").unwrap();
+        writeln!(out, "    {tile}[e / {s}][e % {s}] = {src}[mod(r0 - {h} + e / {s}, rows) * cols + mod(c0 - {h} + e % {s}, cols)];").unwrap();
     }
     writeln!(out, "  __syncwarp();").unwrap();
 }
 
-/// Emit the X fragment loads ([`Op::FragBuild`], Eq. 12).
-fn emit_frag_build(sched: &Schedule, declared: &mut bool, out: &mut String) {
+/// Emit the X fragment loads ([`Op::FragBuild`], Eq. 12) from shared
+/// window `slot`.
+fn emit_frag_build(sched: &Schedule, slot: u8, declared: &mut bool, out: &mut String) {
     let geo = sched.geo;
     let s = geo.s;
+    let tile = tile_name(sched, slot);
     writeln!(out).unwrap();
     writeln!(
         out,
@@ -120,9 +141,14 @@ fn emit_frag_build(sched: &Schedule, declared: &mut bool, out: &mut String) {
         .unwrap();
         *declared = true;
     }
+    if sched.staging == Staging::Double && sched.copy_mode == tcu_sim::CopyMode::Async {
+        writeln!(out, "  asm volatile(\"cp.async.wait_group 1;\"); // slot {slot} is landed")
+            .unwrap();
+    }
     writeln!(out, "  for (int rb = 0; rb < {}; ++rb)", geo.row_blocks()).unwrap();
     writeln!(out, "    for (int cb = 0; cb < {}; ++cb)", geo.col_blocks()).unwrap();
-    writeln!(out, "      wmma::load_matrix_sync(X[rb][cb], &tile[4 * rb][8 * cb], {s});").unwrap();
+    writeln!(out, "      wmma::load_matrix_sync(X[rb][cb], &{tile}[4 * rb][8 * cb], {s});")
+        .unwrap();
 }
 
 /// Emit one RDG matrix chain ([`Op::MmaChain`]) on the selected backend.
@@ -223,6 +249,22 @@ fn emit_tip(sched: &Schedule, weight: f64, out: &mut String) {
             "  acc.x[1] += {weight:.17e} * tile[{h} + accRow(laneid())][{h} + accCol(laneid(), 1)];"
         )
         .unwrap();
+    }
+}
+
+/// Declare the shared input window(s): one per warp, or a two-slot
+/// ping-pong array under double-buffered staging.
+fn emit_tile_decl(sched: &Schedule, out: &mut String) {
+    let s = sched.geo.s;
+    if sched.staging == Staging::Double {
+        writeln!(
+            out,
+            "  __shared__ double tile[2][{s}][{s}];   // double-buffered window slots per warp"
+        )
+        .unwrap();
+    } else {
+        writeln!(out, "  __shared__ double tile[{s}][{s}];   // one input window per warp")
+            .unwrap();
     }
 }
 
@@ -344,8 +386,7 @@ pub fn emit_cuda(plan: &Plan) -> String {
                 "                               double* __restrict__ outp, int rows, int cols) {{"
             )
             .unwrap();
-            writeln!(out, "  __shared__ double tile[{s}][{s}];   // one input window per warp")
-                .unwrap();
+            emit_tile_decl(&sched, &mut out);
             writeln!(out, "  const int r0 = 8 * (blockIdx.y * blockDim.y + threadIdx.y);").unwrap();
             writeln!(out, "  const int c0 = 8 * blockIdx.x;").unwrap();
         }
@@ -362,8 +403,7 @@ pub fn emit_cuda(plan: &Plan) -> String {
             .unwrap();
             writeln!(out, "  // one output plane per blockIdx.z; input planes wrap periodically")
                 .unwrap();
-            writeln!(out, "  __shared__ double tile[{s}][{s}];   // one input window per warp")
-                .unwrap();
+            emit_tile_decl(&sched, &mut out);
             writeln!(out, "  const int r0 = 8 * (blockIdx.y * blockDim.y + threadIdx.y);").unwrap();
             writeln!(out, "  const int c0 = 8 * blockIdx.x;").unwrap();
             writeln!(out, "  const int z = blockIdx.z;").unwrap();
@@ -381,23 +421,33 @@ pub fn emit_cuda(plan: &Plan) -> String {
     let mut x_declared = false;
     for (i, op) in sched.ops.iter().enumerate() {
         match *op {
-            Op::Stage { dz } => {
+            Op::Stage { dz, slot } => {
                 writeln!(out).unwrap();
                 let src = if sched.dims == 3 {
-                    writeln!(
-                        out,
-                        "  // ---- plane dz={dz}: 2-D dependency gathering (Algorithm 2 line 8) ----"
-                    )
-                    .unwrap();
+                    if sched.staging == Staging::Double {
+                        writeln!(
+                            out,
+                            "  // ---- prefetch plane dz={dz} into slot {slot} (overlaps the live"
+                        )
+                        .unwrap();
+                        writeln!(out, "  //      slot's MMA chain; Algorithm 2 line 8) ----")
+                            .unwrap();
+                    } else {
+                        writeln!(
+                            out,
+                            "  // ---- plane dz={dz}: 2-D dependency gathering (Algorithm 2 line 8) ----"
+                        )
+                        .unwrap();
+                    }
                     writeln!(out, "  const double* in{dz} = planes[mod(z + {dz} - {h}, nz)];")
                         .unwrap();
                     format!("in{dz}")
                 } else {
                     "in".to_string()
                 };
-                emit_stage(&sched, &src, &mut out);
+                emit_stage(&sched, &src, slot, &mut out);
             }
-            Op::FragBuild => emit_frag_build(&sched, &mut x_declared, &mut out),
+            Op::FragBuild { slot } => emit_frag_build(&sched, slot, &mut x_declared, &mut out),
             Op::RdgGather => emit_gather_1d(&sched, &mut out),
             Op::MmaChain { term } => emit_chain(&sched, term as usize, &mut out),
             Op::Pointwise { weight } => emit_tip(&sched, weight, &mut out),
@@ -570,6 +620,25 @@ mod tests {
                 .count();
             assert_eq!(v_tables, terms, "{}", k.name);
         }
+    }
+
+    #[test]
+    fn double_staged_listing_ping_pongs_two_slots() {
+        use crate::schedule::ScheduleParams;
+        let params = ScheduleParams { staging: Staging::Double, ..ScheduleParams::default() };
+        let plan = Plan::new_with_params(&kernels::box_3d27p(), ExecConfig::full(), params);
+        let code = emit_cuda(&plan);
+        // two-slot shared window, both slots touched, prefetch annotated
+        assert!(code.contains("__shared__ double tile[2]["));
+        assert!(code.contains("tile[0][e / "));
+        assert!(code.contains("tile[1][e / "));
+        assert!(code.contains("prefetch plane"));
+        assert!(code.contains("cp.async.wait_group"));
+        // the default single-staged listing is untouched by the feature
+        let single = emit_cuda(&Plan::new(&kernels::box_3d27p(), ExecConfig::full()));
+        assert!(!single.contains("tile[2]["));
+        assert!(!single.contains("prefetch"));
+        assert!(single.contains("cp.async.wait_all"));
     }
 
     #[test]

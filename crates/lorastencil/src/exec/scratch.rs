@@ -1,13 +1,15 @@
-//! Per-worker tile scratch: one `SharedTile` + `XFragments` pair per OS
-//! thread, reused across every tile that thread computes.
+//! Per-worker tile scratch: two `SharedTile` slots + an `XFragments`
+//! buffer per OS thread, reused across every job that thread computes.
 //!
 //! The worker threads behind `foundation::par` are persistent, so a
-//! thread-local buffer is warm after the first tile and the per-tile
+//! thread-local buffer is warm after the first job and the per-job
 //! path performs **zero heap allocation** in steady state (asserted by
-//! the `steady_state` integration test). Safe with the pool's
-//! help-draining join because a tile computation never blocks or nests a
-//! parallel call — the `RefCell` borrow is released before any join
-//! point.
+//! the `steady_state` integration test). Two shared-window slots back
+//! the schedule IR's double-buffered staging; single-staged schedules
+//! only ever touch slot 0, so the second slot stays at its initial 0×0
+//! capacity and costs nothing. Safe with the pool's help-draining join
+//! because a job computation never blocks or nests a parallel call —
+//! the `RefCell` borrow is released before any join point.
 
 use crate::rdg::{RdgGeometry, XFragments};
 use std::cell::RefCell;
@@ -15,15 +17,16 @@ use tcu_sim::SharedTile;
 
 /// The reusable per-worker buffers of the tile hot path.
 pub(crate) struct TileScratch {
-    /// Simulated shared-memory input tile (resized per geometry).
-    pub tile: SharedTile,
-    /// The tile's B fragments (refilled per tile).
+    /// Simulated shared-memory window slots (resized per geometry;
+    /// slot 1 is the double-staging ping-pong partner).
+    pub tiles: [SharedTile; 2],
+    /// The tile's B fragments (refilled per sub-tile).
     pub x: XFragments,
 }
 
 thread_local! {
     static SCRATCH: RefCell<TileScratch> = RefCell::new(TileScratch {
-        tile: SharedTile::new(0, 0),
+        tiles: [SharedTile::new(0, 0), SharedTile::new(0, 0)],
         x: XFragments::empty(RdgGeometry::for_radius(1)),
     });
 }

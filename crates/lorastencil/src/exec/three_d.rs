@@ -9,7 +9,7 @@
 //! [`crate::schedule`].
 
 use crate::plan::{ExecConfig, PlaneOp};
-use crate::schedule::{self, Op, Schedule};
+use crate::schedule::{self, Op, Schedule, Staging};
 use stencil_core::{ExecError, ExecOutcome, Grid3D, GridData, Problem, StencilExecutor};
 use tcu_sim::GlobalArray;
 
@@ -36,14 +36,25 @@ impl LoRaStencil3D {
 /// order — `SkipPlane` for zero planes, `PointwisePlane` for
 /// single-weight planes, and the full stage/frag/chain/tip sequence for
 /// planes needing 2-D dependency gathering.
+///
+/// Under [`Staging::Double`] the RDG planes are software-pipelined: the
+/// next plane's window is staged into the idle slot before the current
+/// slot's fragments are consumed, so the halo loads overlap the MMA
+/// chain. Pointwise/skip planes are emitted first (their scalar
+/// accumulator is separate from the MMA fragment, so regrouping keeps
+/// every FP addition order — and therefore every output bit — intact).
 pub(crate) fn lower(plane_ops: &[PlaneOp], sched: &mut Schedule) {
+    if sched.staging == Staging::Double {
+        lower_double(plane_ops, sched);
+        return;
+    }
     for (dz, op) in plane_ops.iter().enumerate() {
         match op {
             PlaneOp::Skip => sched.ops.push(Op::SkipPlane { dz }),
             PlaneOp::Pointwise(w) => sched.ops.push(Op::PointwisePlane { dz, weight: *w }),
             PlaneOp::Rdg(decomp) => {
-                sched.ops.push(Op::Stage { dz });
-                sched.ops.push(Op::FragBuild);
+                sched.ops.push(Op::Stage { dz, slot: 0 });
+                sched.ops.push(Op::FragBuild { slot: 0 });
                 for term in &decomp.terms {
                     let op = sched.push_term(term);
                     sched.ops.push(op);
@@ -51,6 +62,39 @@ pub(crate) fn lower(plane_ops: &[PlaneOp], sched: &mut Schedule) {
                 sched.ops.push(Op::Pointwise { weight: decomp.pointwise });
             }
         }
+    }
+}
+
+/// The double-buffered pipeline: scalar planes first (in plane order),
+/// then `Stage(p₀ → slot 0); for each RDG plane i: Stage(p_{i+1} →
+/// slot (i+1)&1) if any, FragBuild(slot i&1), chains, tip`.
+fn lower_double(plane_ops: &[PlaneOp], sched: &mut Schedule) {
+    for (dz, op) in plane_ops.iter().enumerate() {
+        match op {
+            PlaneOp::Skip => sched.ops.push(Op::SkipPlane { dz }),
+            PlaneOp::Pointwise(w) => sched.ops.push(Op::PointwisePlane { dz, weight: *w }),
+            PlaneOp::Rdg(_) => {}
+        }
+    }
+    let rdg: Vec<usize> = plane_ops
+        .iter()
+        .enumerate()
+        .filter_map(|(dz, op)| matches!(op, PlaneOp::Rdg(_)).then_some(dz))
+        .collect();
+    if let Some(&dz0) = rdg.first() {
+        sched.ops.push(Op::Stage { dz: dz0, slot: 0 });
+    }
+    for (i, &dz) in rdg.iter().enumerate() {
+        if let Some(&dz_next) = rdg.get(i + 1) {
+            sched.ops.push(Op::Stage { dz: dz_next, slot: ((i + 1) & 1) as u8 });
+        }
+        sched.ops.push(Op::FragBuild { slot: (i & 1) as u8 });
+        let PlaneOp::Rdg(decomp) = &plane_ops[dz] else { unreachable!() };
+        for term in &decomp.terms {
+            let op = sched.push_term(term);
+            sched.ops.push(op);
+        }
+        sched.ops.push(Op::Pointwise { weight: decomp.pointwise });
     }
 }
 

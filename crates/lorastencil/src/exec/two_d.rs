@@ -37,8 +37,10 @@ impl LoRaStencil2D {
 /// MMA chain per rank-1 term, then the pyramid tip. The `Pointwise` op
 /// is emitted even for a zero tip so every chain has a delimiter.
 pub(crate) fn lower(decomp: &Decomposition, sched: &mut Schedule) {
-    sched.ops.push(Op::Stage { dz: sched.h });
-    sched.ops.push(Op::FragBuild);
+    // 2-D has one plane per job, so double staging shows up as cross-job
+    // slot parity in the interpreter, not in the op list: slot 0 here.
+    sched.ops.push(Op::Stage { dz: sched.h, slot: 0 });
+    sched.ops.push(Op::FragBuild { slot: 0 });
     for term in &decomp.terms {
         let op = sched.push_term(term);
         sched.ops.push(op);

@@ -55,9 +55,11 @@ pub mod fusion;
 pub mod plan;
 pub mod rdg;
 pub mod schedule;
+pub mod tuning;
 
 pub use decompose::{decompose, Decomposition, RankOneTerm, Strategy};
 pub use exec::{LoRaStencil, LoRaStencil1D, LoRaStencil2D, LoRaStencil3D};
 pub use plan::{ExecConfig, Plan, PlanKind, PlaneOp};
 pub use rdg::{RdgGeometry, XFragments, TILE_M};
-pub use schedule::{Schedule, Stepper, Workspace};
+pub use schedule::{Schedule, ScheduleParams, Staging, Stepper, Workspace};
+pub use tuning::{TuningDb, TuningDbError, TuningEntry};

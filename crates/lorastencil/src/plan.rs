@@ -11,6 +11,7 @@
 use crate::decompose::{self, Decomposition};
 use crate::fusion;
 use crate::rdg::RdgGeometry;
+use crate::schedule::{ScheduleParams, Staging};
 use stencil_core::{StencilKernel, WeightMatrix};
 use tcu_sim::BlockResources;
 
@@ -195,30 +196,55 @@ pub struct Plan {
     pub geo: RdgGeometry,
     /// Feature toggles.
     pub config: ExecConfig,
+    /// Tunable schedule parameters (defaults unless constructed through
+    /// [`Plan::new_with_params`] / [`Plan::new_tuned`]).
+    pub params: ScheduleParams,
     /// Dimension-specific payload.
     pub kind: PlanKind,
 }
 
 impl Plan {
-    /// Plan a kernel of any supported dimensionality.
+    /// Plan a kernel of any supported dimensionality with the default
+    /// schedule parameters.
     pub fn new(kernel: &StencilKernel, config: ExecConfig) -> Self {
+        Plan::new_with_params(kernel, config, ScheduleParams::default())
+    }
+
+    /// Plan a kernel with explicit [`ScheduleParams`] (the `tune` search
+    /// and tuning-DB hits come through here). `params.fuse_override`
+    /// replaces the cost model's fusion depth when fusion is enabled;
+    /// 3-D kernels never fuse, so it is ignored there.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (see [`ScheduleParams::validate`] —
+    /// every decoded or enumerated value was validated upstream, so this
+    /// only fires on programmer error).
+    pub fn new_with_params(
+        kernel: &StencilKernel,
+        config: ExecConfig,
+        params: ScheduleParams,
+    ) -> Self {
+        if let Err(e) = params.validate() {
+            panic!("invalid ScheduleParams: {e}");
+        }
         let _plan = foundation::obs::span("plan");
         match kernel.dims() {
             1 => {
-                let (exec_kernel, fusion) = fuse(kernel, config);
+                let (exec_kernel, fusion) = fuse(kernel, config, params.fuse_override);
                 let need = 8 + 2 * exec_kernel.radius;
                 let seg_len = need.div_ceil(4) * 4;
                 let geo = RdgGeometry::for_radius(exec_kernel.radius);
-                Plan { exec_kernel, fusion, geo, config, kind: PlanKind::D1 { seg_len } }
+                Plan { exec_kernel, fusion, geo, config, params, kind: PlanKind::D1 { seg_len } }
             }
             2 => {
-                let (exec_kernel, fusion) = fuse(kernel, config);
+                let (exec_kernel, fusion) = fuse(kernel, config, params.fuse_override);
                 let decomp = {
                     let _decompose = foundation::obs::span("decompose");
                     decompose::decompose(exec_kernel.weights_2d(), 1e-12)
                 };
                 let geo = RdgGeometry::for_radius(exec_kernel.radius);
-                Plan { exec_kernel, fusion, geo, config, kind: PlanKind::D2 { decomp } }
+                Plan { exec_kernel, fusion, geo, config, params, kind: PlanKind::D2 { decomp } }
             }
             3 => {
                 let planes = kernel.weights_3d();
@@ -232,10 +258,24 @@ impl Plan {
                     fusion: 1,
                     geo,
                     config,
+                    params,
                     kind: PlanKind::D3 { plane_ops },
                 }
             }
             d => panic!("no LoRAStencil plan for {d}-D kernels"),
+        }
+    }
+
+    /// Plan with the process-global tuning DB consulted for
+    /// `(kernel, extents, config)`: a hit plans with the tuned
+    /// parameters, a miss (or no installed DB) falls back to defaults.
+    /// Every executor entry point resolves its plan through this, so
+    /// installing a DB transparently retunes the bench suite, the CLI
+    /// and the differential oracle alike.
+    pub fn new_tuned(kernel: &StencilKernel, config: ExecConfig, extents: &[usize]) -> Self {
+        match crate::tuning::lookup(kernel, extents, config) {
+            Some(params) => Plan::new_with_params(kernel, config, params),
+            None => Plan::new(kernel, config),
         }
     }
 
@@ -247,13 +287,20 @@ impl Plan {
     pub fn new_autotuned(kernel: &StencilKernel, config: ExecConfig) -> Self {
         let _plan = foundation::obs::span("plan");
         assert_eq!(kernel.dims(), 2, "autotuned planning covers 2-D kernels");
-        let (exec_kernel, fusion) = fuse(kernel, config);
+        let (exec_kernel, fusion) = fuse(kernel, config, None);
         let decomp = {
             let _decompose = foundation::obs::span("decompose");
             crate::autotune::choose(exec_kernel.weights_2d(), 1e-12)
         };
         let geo = RdgGeometry::for_radius(exec_kernel.radius);
-        Plan { exec_kernel, fusion, geo, config, kind: PlanKind::D2 { decomp } }
+        Plan {
+            exec_kernel,
+            fusion,
+            geo,
+            config,
+            params: ScheduleParams::default(),
+            kind: PlanKind::D2 { decomp },
+        }
     }
 
     /// A 2-D plan assembled from explicit parts (ablation sweeps that
@@ -266,7 +313,14 @@ impl Plan {
     ) -> Self {
         assert_eq!(exec_kernel.dims(), 2, "custom_2d needs a 2-D kernel");
         let geo = RdgGeometry::for_radius(exec_kernel.radius);
-        Plan { exec_kernel, fusion, geo, config, kind: PlanKind::D2 { decomp } }
+        Plan {
+            exec_kernel,
+            fusion,
+            geo,
+            config,
+            params: ScheduleParams::default(),
+            kind: PlanKind::D2 { decomp },
+        }
     }
 
     /// This 2-D plan with its decomposition swapped (decomposition
@@ -309,10 +363,21 @@ impl Plan {
     /// a second buffer when `cp.async` double-buffering is on). Register
     /// pressure varies with the dimension and the compute path.
     pub fn block_resources(&self) -> BlockResources {
-        let buffers = if self.config.use_async_copy { 2 } else { 1 };
+        let buffers = if self.config.use_async_copy || self.params.staging == Staging::Double {
+            2
+        } else {
+            1
+        };
         let shared_per_warp = match &self.kind {
             PlanKind::D1 { seg_len } => (8 * seg_len * 8) as u32,
-            _ => self.geo.tile_bytes(),
+            _ => {
+                // the staged window of a tile_rows × tile_cols macro job:
+                // S×S for the default 8×8 tile, growing by the extra
+                // interior rows/columns beyond the halo for larger jobs
+                let wr = self.geo.s + self.params.tile_rows - 8;
+                let wc = self.geo.s + self.params.tile_cols - 8;
+                (wr * wc * std::mem::size_of::<f64>()) as u32
+            }
         };
         let regs_per_thread = match &self.kind {
             PlanKind::D1 { .. } => 48,
@@ -339,9 +404,20 @@ impl Plan {
     }
 }
 
-/// Shared 1-D/2-D fusion decision (3-D kernels are never fused).
-fn fuse(kernel: &StencilKernel, config: ExecConfig) -> (StencilKernel, usize) {
-    let fusion = if config.allow_fusion { fusion::fusion_factor(kernel) } else { 1 };
+/// Shared 1-D/2-D fusion decision (3-D kernels are never fused). A
+/// tuned `fuse_override` replaces the cost model's depth, but only when
+/// fusion is enabled at all — `no-fusion` configs stay unfused so the
+/// ablation semantics are untouched.
+fn fuse(
+    kernel: &StencilKernel,
+    config: ExecConfig,
+    fuse_override: Option<usize>,
+) -> (StencilKernel, usize) {
+    let fusion = if config.allow_fusion {
+        fuse_override.unwrap_or_else(|| fusion::fusion_factor(kernel)).max(1)
+    } else {
+        1
+    };
     let exec_kernel = {
         let _fuse = foundation::obs::span("fuse");
         fusion::fuse_kernel(kernel, fusion)

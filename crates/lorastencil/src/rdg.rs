@@ -93,6 +93,21 @@ impl XFragments {
     /// tile, keeping the fragment buffer's capacity. Counter accounting
     /// is identical.
     pub fn load_into(&mut self, ctx: &mut SimContext, tile: &SharedTile, geo: RdgGeometry) {
+        self.load_into_at(ctx, tile, geo, 0, 0);
+    }
+
+    /// [`XFragments::load_into`] from a sub-window of a larger staged
+    /// tile: the fragments cover the S×S window whose top-left corner is
+    /// `(r_off, c_off)` inside `tile`. Macro-tiled schedules stage one
+    /// large window and rebuild fragments per 8×8 sub-tile through this.
+    pub fn load_into_at(
+        &mut self,
+        ctx: &mut SimContext,
+        tile: &SharedTile,
+        geo: RdgGeometry,
+        r_off: usize,
+        c_off: usize,
+    ) {
         self.geo = geo;
         self.frags.clear();
         self.frags.reserve(geo.row_blocks() * geo.col_blocks());
@@ -100,8 +115,8 @@ impl XFragments {
             for cb in 0..geo.col_blocks() {
                 self.frags.push(tile.load_frag_b(
                     ctx,
-                    (rb * MMA_K) as isize,
-                    (cb * MMA_N) as isize,
+                    (r_off + rb * MMA_K) as isize,
+                    (c_off + cb * MMA_N) as isize,
                 ));
             }
         }
@@ -245,22 +260,63 @@ pub fn rdg_apply_term_frags(
     tf: &TermFrags,
     acc: FragAcc,
 ) -> FragAcc {
-    let geo = x.geo;
     let mut out = acc;
+    rdg_apply_term_frags_into(ctx, x, tf, &mut out, 1);
+    out
+}
+
+/// Largest MMA-chain batch [`rdg_apply_term_frags_into`] accepts (enough
+/// for any radius ≤ 16 kernel: `S/4 ≤ 10` step-1 fragments per column
+/// block).
+pub const MAX_MMA_BATCH: usize = 16;
+
+/// In-place, batch-parameterized [`rdg_apply_term_frags`]: accumulate one
+/// rank-1 term directly into `out`, issuing the step-1 `U · X` MMAs in
+/// register-resident chains of up to `batch` instructions
+/// ([`SimContext::mma_chain_into`]). `batch ≤ 1` issues them one at a
+/// time, exactly as [`rdg_apply_term_frags`] always has; any batch is
+/// bit-identical and charges the same counters — only the host-side
+/// accumulator traffic changes. The step-2 MMAs cannot chain across
+/// column blocks (each consumes a freshly extracted A fragment).
+pub fn rdg_apply_term_frags_into(
+    ctx: &mut SimContext,
+    x: &XFragments,
+    tf: &TermFrags,
+    out: &mut FragAcc,
+    batch: usize,
+) {
+    let geo = x.geo;
+    let batch = batch.min(MAX_MMA_BATCH);
     // Step 1: T = U · X, one accumulator tile per 8-column block.
     for j in 0..geo.col_blocks() {
         let mut t_acc = FragAcc::zero();
-        for (k, u_frag) in tf.u.iter().enumerate() {
-            ctx.mma_into(u_frag, x.frag(k, j), &mut t_acc);
+        if batch <= 1 {
+            for (k, u_frag) in tf.u.iter().enumerate() {
+                ctx.mma_into(u_frag, x.frag(k, j), &mut t_acc);
+            }
+        } else {
+            let rb = geo.row_blocks();
+            let mut k = 0;
+            while k < rb {
+                let end = (k + batch).min(rb);
+                let n = end - k;
+                let mut a_refs: [&FragA; MAX_MMA_BATCH] = [&tf.u[0]; MAX_MMA_BATCH];
+                let mut b_refs: [&FragB; MAX_MMA_BATCH] = [x.frag(0, j); MAX_MMA_BATCH];
+                for (i, kk) in (k..end).enumerate() {
+                    a_refs[i] = &tf.u[kk];
+                    b_refs[i] = x.frag(kk, j);
+                }
+                ctx.mma_chain_into(&a_refs[..n], &b_refs[..n], &mut t_acc);
+                k = end;
+            }
         }
         // Step 2: out += T_j · V_j, splitting the accumulator into two A
         // fragments (shuffle-free under BVS).
         for (half, &col_set) in tf.cols.iter().enumerate() {
             let a = ctx.acc_to_a(&t_acc, col_set);
-            ctx.mma_into(&a, &tf.v[2 * j + half], &mut out);
+            ctx.mma_into(&a, &tf.v[2 * j + half], out);
         }
     }
-    out
 }
 
 /// Apply the pointwise pyramid tip: `acc[r][q] += pw · X[h+r][h+q]`,
@@ -446,6 +502,68 @@ mod tests {
         // natural split shuffles twice per accumulator split
         assert_eq!(ctx_nat.counters.shuffle_ops, 2 * 2 * geo.col_blocks() as u64);
         assert_eq!(ctx_bvs.counters.mma_ops, ctx_nat.counters.mma_ops);
+    }
+
+    #[test]
+    fn batched_term_apply_is_bit_identical_for_every_batch_width() {
+        for h in [1usize, 3, 5] {
+            let geo = RdgGeometry::for_radius(h);
+            let (tile, _) = random_tile(geo.s, 1000 + h as u64);
+            let taps = 2 * h + 1;
+            let term = RankOneTerm::new(
+                (0..taps).map(|t| 0.3 + 0.1 * t as f64).collect(),
+                (0..taps).map(|t| 1.1 - 0.2 * t as f64).collect(),
+            );
+            let mut ctx = SimContext::new();
+            let x = XFragments::load(&mut ctx, &tile, geo);
+            let tf = TermFrags::build(&term, geo, true);
+            let base = rdg_apply_term_frags(&mut ctx, &x, &tf, FragAcc::zero());
+            let base_mmas = ctx.counters.mma_ops;
+            for batch in [1usize, 2, 3, 4, 8, 16, 64] {
+                let mut ctx_b = SimContext::new();
+                let xb = XFragments::load(&mut ctx_b, &tile, geo);
+                let mut acc = FragAcc::zero();
+                rdg_apply_term_frags_into(&mut ctx_b, &xb, &tf, &mut acc, batch);
+                for p in 0..MMA_M {
+                    for q in 0..MMA_N {
+                        assert_eq!(
+                            acc.get(p, q).to_bits(),
+                            base.get(p, q).to_bits(),
+                            "h={h} batch={batch} ({p},{q})"
+                        );
+                    }
+                }
+                assert_eq!(
+                    ctx_b.counters.mma_ops, base_mmas,
+                    "batch={batch} must charge Eq. 16 MMAs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn offset_fragment_loads_match_a_direct_subwindow() {
+        // stage a 24×24 window, load the S×S sub-window at (8, 8) via
+        // load_into_at, and compare against loading a directly-staged copy
+        let geo = RdgGeometry::for_radius(1); // S = 16
+        let (big, _) = random_tile(24, 77);
+        let mut small = SharedTile::new(geo.s, geo.s);
+        for r in 0..geo.s {
+            for c in 0..geo.s {
+                small.poke(r, c, big.peek(8 + r, 8 + c));
+            }
+        }
+        let mut ctx_a = SimContext::new();
+        let mut xa = XFragments::empty(geo);
+        xa.load_into_at(&mut ctx_a, &big, geo, 8, 8);
+        let mut ctx_b = SimContext::new();
+        let xb = XFragments::load(&mut ctx_b, &small, geo);
+        for r in 0..geo.s {
+            for c in 0..geo.s {
+                assert_eq!(xa.peek(r, c).to_bits(), xb.peek(r, c).to_bits());
+            }
+        }
+        assert_eq!(ctx_a.counters.shared_load_requests, ctx_b.counters.shared_load_requests);
     }
 
     #[test]

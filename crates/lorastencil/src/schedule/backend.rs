@@ -18,8 +18,11 @@
 //! reach the backend as the same MMA chain.
 
 use super::{AccFold, LoweredTerm, Schedule};
-use crate::rdg::{apply_pointwise, rdg_apply_term_cuda, rdg_apply_term_frags, XFragments, TILE_M};
-use tcu_sim::{FragAcc, SharedTile, SimContext, MMA_K, MMA_N};
+use crate::rdg::{
+    apply_pointwise, rdg_apply_term_cuda, rdg_apply_term_frags_into, XFragments, MAX_MMA_BATCH,
+    TILE_M,
+};
+use tcu_sim::{FragA, FragAcc, SharedTile, SimContext, MMA_K, MMA_N};
 
 /// Device-specific compute for one output tile. One instance lives on
 /// the interpreter's stack per tile; accumulators start at zero.
@@ -73,7 +76,7 @@ impl Backend for TcuF64 {
         &mut self,
         ctx: &mut SimContext,
         x: &XFragments,
-        _sched: &Schedule,
+        sched: &Schedule,
         terms: &[LoweredTerm],
         pointwise: Option<f64>,
     ) {
@@ -81,7 +84,7 @@ impl Backend for TcuF64 {
             let _mma_batch = foundation::obs::span("mma_batch");
             for lt in terms {
                 let tf = lt.frags.as_ref().expect("TCU backend needs prebuilt fragments");
-                self.frag = rdg_apply_term_frags(ctx, x, tf, self.frag);
+                rdg_apply_term_frags_into(ctx, x, tf, &mut self.frag, sched.mma_batch);
             }
         }
         if let Some(pw) = pointwise {
@@ -92,9 +95,34 @@ impl Backend for TcuF64 {
 
     fn gather_1d(&mut self, ctx: &mut SimContext, tile: &SharedTile, sched: &Schedule) {
         let _mma_batch = foundation::obs::span("mma_batch");
-        for (blk, vf) in sched.v1d.iter().enumerate() {
-            let a = tile.load_frag_a(ctx, 0, (blk * MMA_K) as isize);
-            ctx.mma_into(&a, vf, &mut self.frag);
+        if sched.mma_batch <= 1 {
+            for (blk, vf) in sched.v1d.iter().enumerate() {
+                let a = tile.load_frag_a(ctx, 0, (blk * MMA_K) as isize);
+                ctx.mma_into(&a, vf, &mut self.frag);
+            }
+            return;
+        }
+        // batched form: extract a run of A fragments, then issue one
+        // register-resident chain (bit-identical to the sequential loop —
+        // same loads in the same order, same per-lane FMA sequence)
+        let batch = sched.mma_batch.min(MAX_MMA_BATCH);
+        let n = sched.v1d.len();
+        let mut blk = 0;
+        while blk < n {
+            let end = (blk + batch).min(n);
+            let cnt = end - blk;
+            let mut a_store = [FragA::zero(); MAX_MMA_BATCH];
+            for (i, b) in (blk..end).enumerate() {
+                a_store[i] = tile.load_frag_a(ctx, 0, (b * MMA_K) as isize);
+            }
+            let mut a_refs: [&FragA; MAX_MMA_BATCH] = [&a_store[0]; MAX_MMA_BATCH];
+            let mut b_refs = [&sched.v1d[0]; MAX_MMA_BATCH];
+            for i in 0..cnt {
+                a_refs[i] = &a_store[i];
+                b_refs[i] = &sched.v1d[blk + i];
+            }
+            ctx.mma_chain_into(&a_refs[..cnt], &b_refs[..cnt], &mut self.frag);
+            blk = end;
         }
     }
 

@@ -212,6 +212,67 @@ fn cuda_only_config_matches_reference_too() {
 }
 
 #[test]
+fn explicit_schedule_params_stay_bit_identical() {
+    // the tuner's core invariant: tile extents, staging discipline and
+    // MMA batching are pure schedule knobs — values and the
+    // analytically-pinned counters never move
+    use crate::schedule::{self, ScheduleParams, Staging};
+    use tcu_sim::GlobalArray;
+    let wavy = |rows: usize, cols: usize, salt: usize| {
+        GlobalArray::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|i| ((salt * 7919 + i) as f64 * 0.13).sin() * 3.0 + (i % 11) as f64 * 0.1)
+                .collect(),
+        )
+    };
+    let cases: Vec<(stencil_core::StencilKernel, Vec<GlobalArray>)> = vec![
+        (kernels::heat_1d(), vec![wavy(1, 157, 0)]),
+        (kernels::box_2d49p(), vec![wavy(24, 40, 1)]),
+        (kernels::heat_3d(), (0..5).map(|z| wavy(11, 13, z)).collect()),
+        (kernels::box_3d27p(), (0..4).map(|z| wavy(9, 9, z + 9)).collect()),
+    ];
+    let grid = [
+        ScheduleParams {
+            tile_rows: 16,
+            tile_cols: 16,
+            staging: Staging::Double,
+            mma_batch: 4,
+            fuse_override: None,
+        },
+        ScheduleParams { tile_rows: 32, tile_cols: 8, mma_batch: 8, ..ScheduleParams::default() },
+        ScheduleParams {
+            tile_rows: 64,
+            tile_cols: 64,
+            staging: Staging::Double,
+            mma_batch: 16,
+            fuse_override: None,
+        },
+    ];
+    for (k, planes) in &cases {
+        let (base, bc, _) = schedule::run(k, ExecConfig::full(), planes.clone(), 3);
+        for params in grid {
+            let (out, c, _) = schedule::run_tuned(k, ExecConfig::full(), params, planes.clone(), 3);
+            for (a, b) in base.iter().zip(&out) {
+                let same =
+                    a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "{} under {}: values moved", k.name, params.describe());
+            }
+            for (name, got, want) in [
+                ("mma_ops", c.mma_ops, bc.mma_ops),
+                ("shared_load_requests", c.shared_load_requests, bc.shared_load_requests),
+                ("shuffle_ops", c.shuffle_ops, bc.shuffle_ops),
+                ("global_bytes_written", c.global_bytes_written, bc.global_bytes_written),
+                ("points_updated", c.points_updated, bc.points_updated),
+            ] {
+                assert_eq!(got, want, "{} under {}: {name} moved", k.name, params.describe());
+            }
+        }
+    }
+}
+
+#[test]
 fn points_counter_matches_3d() {
     let exec = LoRaStencil3D::new();
     let p = Problem::new(kernels::heat_3d(), wavy_3d(4, 8, 8), 3);

@@ -26,10 +26,12 @@
 mod backend;
 #[cfg(test)]
 mod exec_tests;
+mod params;
 mod stepper;
 
 pub use backend::{Backend, CudaCore, TcuF64};
-pub use stepper::{apply_once, apply_once_planes, run, Stepper, Workspace};
+pub use params::{ScheduleParams, Staging};
+pub use stepper::{apply_once, apply_once_planes, run, run_tuned, Stepper, Workspace};
 
 use crate::decompose::RankOneTerm;
 use crate::plan::{Plan, PlanKind};
@@ -43,17 +45,23 @@ use tcu_sim::CopyMode;
 /// always address it through `dz = h`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
-    /// Stage the S×S input window of plane `dz` into shared memory
-    /// (global → shared, `cp.async` or register-staged per
-    /// [`Schedule::copy_mode`]).
+    /// Stage the input window of plane `dz` into shared-memory slot
+    /// `slot` (global → shared, `cp.async` or register-staged per
+    /// [`Schedule::copy_mode`]). Single-staged schedules always use slot
+    /// 0; double-staged schedules ping-pong between the two slots so the
+    /// next plane's halo loads overlap the live slot's MMA chain.
     Stage {
         /// Relative input plane (`h` = center).
         dz: usize,
+        /// Shared-memory window slot (0 or 1).
+        slot: u8,
     },
-    /// Load the staged tile's B fragments (shared → registers), charging
-    /// the Eq. 12 shared-load requests. Always directly follows a
-    /// [`Op::Stage`].
-    FragBuild,
+    /// Load the staged tile's B fragments from shared-memory slot `slot`
+    /// (shared → registers), charging the Eq. 12 shared-load requests.
+    FragBuild {
+        /// Shared-memory window slot to read (0 or 1).
+        slot: u8,
+    },
     /// The fused 1-D stage+gather (§IV-C): pack 8 overlapping
     /// `seg_len`-long segments as matrix rows and gather them with the
     /// single banded MM — no dimension residue, so no separate
@@ -149,6 +157,16 @@ pub struct Schedule {
     pub seg_len: usize,
     /// Global→shared staging mode (`use_async_copy` lowered).
     pub copy_mode: CopyMode,
+    /// Job-tile height in grid rows ([`ScheduleParams::tile_rows`]; the
+    /// interpreter still computes 8×8 sub-tiles inside each job).
+    pub tile_h: usize,
+    /// Job-tile width in grid columns ([`ScheduleParams::tile_cols`];
+    /// 1-D jobs cover `8 · tile_w` points).
+    pub tile_w: usize,
+    /// Staging discipline (how many shared window slots the ops use).
+    pub staging: params::Staging,
+    /// Step-1 MMA chain batch width ([`ScheduleParams::mma_batch`]).
+    pub mma_batch: usize,
     /// Temporal steps one application advances (`allow_fusion` lowered).
     pub fuse_steps: usize,
     /// Step-2 accumulator split (`use_bvs` lowered).
@@ -174,12 +192,23 @@ impl Schedule {
     pub fn lower(plan: &Plan) -> Schedule {
         let use_tcu = plan.config.use_tcu;
         let dims = plan.dims();
+        // Double staging exists to overlap the next window's halo loads
+        // with the live MMA chain — the 1-D gather has no Stage op and
+        // the scalar backend has no tensor pipeline to overlap (and its
+        // single accumulator would make the pipelined plane regrouping
+        // visible in FP bits), so both resolve to Single.
+        let staging =
+            if dims >= 2 && use_tcu { plan.params.staging } else { params::Staging::Single };
         let mut sched = Schedule {
             dims,
             h: plan.exec_kernel.radius,
             geo: plan.geo,
             seg_len: 0,
             copy_mode: if plan.config.use_async_copy { CopyMode::Async } else { CopyMode::Staged },
+            tile_h: plan.params.tile_rows,
+            tile_w: plan.params.tile_cols,
+            staging,
+            mma_batch: plan.params.mma_batch,
             fuse_steps: plan.fusion,
             split: if plan.config.use_bvs { AccSplit::Bvs } else { AccSplit::Shuffle },
             // the 1-D gather is a single banded MM — running it anywhere
@@ -243,7 +272,7 @@ mod tests {
         let n = plan.decomp().num_terms();
         assert_eq!(s.terms.len(), n);
         assert!(s.terms.iter().all(|t| t.frags.is_some()));
-        let mut want = vec![Op::Stage { dz: s.h }, Op::FragBuild];
+        let mut want = vec![Op::Stage { dz: s.h, slot: 0 }, Op::FragBuild { slot: 0 }];
         want.extend((0..n as u16).map(|t| Op::MmaChain { term: t }));
         want.push(Op::Pointwise { weight: plan.decomp().pointwise });
         assert_eq!(s.ops, want);
@@ -292,15 +321,17 @@ mod tests {
         assert_eq!(s.fold, AccFold::Merge);
         // heat_3d: pointwise / rdg / pointwise planes
         assert!(matches!(s.ops[0], Op::PointwisePlane { dz: 0, .. }));
-        assert_eq!(s.ops[1], Op::Stage { dz: 1 });
-        assert_eq!(s.ops[2], Op::FragBuild);
+        assert_eq!(s.ops[1], Op::Stage { dz: 1, slot: 0 });
+        assert_eq!(s.ops[2], Op::FragBuild { slot: 0 });
         assert!(matches!(s.ops.last(), Some(Op::PointwisePlane { dz: 2, .. })));
         // every dz shows up exactly once as a plane-selecting op
         let planes: Vec<usize> = s
             .ops
             .iter()
             .filter_map(|op| match *op {
-                Op::Stage { dz } | Op::PointwisePlane { dz, .. } | Op::SkipPlane { dz } => Some(dz),
+                Op::Stage { dz, .. } | Op::PointwisePlane { dz, .. } | Op::SkipPlane { dz } => {
+                    Some(dz)
+                }
                 _ => None,
             })
             .collect();

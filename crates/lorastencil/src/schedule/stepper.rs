@@ -4,13 +4,24 @@
 //! The host-side loop keeps the PR 2 steady-state guarantees: a
 //! [`Stepper`] double-buffers the grid planes and reuses every per-apply
 //! buffer, so an iteration allocates nothing and spawns no threads.
-//! Tiles run in parallel and write their disjoint output bands directly;
-//! per-tile counters land in preallocated index-addressed slots and
+//! Jobs run in parallel and write their disjoint output bands directly;
+//! per-job counters land in preallocated index-addressed slots and
 //! merge sequentially **in job order**, so counters and values are
 //! bit-identical at any thread count.
+//!
+//! A *job* is one macro tile of [`Schedule::tile_h`] × [`Schedule::tile_w`]
+//! output points (one thread block); the interpreter walks the warp
+//! program once per 8×8 **sub-tile** inside it. Macro tiles stage one
+//! large shared window per input plane and memoize which plane each
+//! shared slot holds, so sub-tiles after the first skip re-staging
+//! whenever the slot still matches — under [`Staging::Double`] two slots
+//! ping-pong, letting the next plane's halo loads overlap the live
+//! slot's MMA chain. Sub-tile boundaries stay on multiples of 8, so the
+//! global sub-tile set (and with it every Eq. 12/13/16 counter and every
+//! FP operation order) is identical for every tile size.
 
 use super::backend::{Backend, CudaCore, TcuF64};
-use super::{BackendKind, Op, Schedule};
+use super::{BackendKind, Op, Schedule, ScheduleParams, Staging};
 use crate::exec::scratch::{with_tile_scratch, TileScratch};
 use crate::plan::{ExecConfig, Plan};
 use crate::rdg::TILE_M;
@@ -19,96 +30,214 @@ use stencil_core::tiling::{clamped_span, tiles_1d, tiles_2d, window_origin, Tile
 use stencil_core::StencilKernel;
 use tcu_sim::{BlockResources, GlobalArray, PerfCounters, SimContext, MMA_M, MMA_N};
 
-/// Interpret one tile's op sequence with a tile-local context, using the
-/// per-worker scratch buffers (no allocation on the TCU path). `z` is
-/// the output plane (always 0 for 1-D/2-D).
-fn compute_tile(
+/// Per-job staging state threaded through a macro tile's sub-tiles:
+/// which input plane each shared-memory slot currently holds, plus
+/// whether the job's compulsory HBM share is still to be charged.
+struct StageState {
+    staged: [Option<usize>; 2],
+    center_fresh: bool,
+}
+
+/// The shared slot an op's `slot` payload addresses. 2-D schedules have
+/// one Stage per application, so double buffering shows up as cross-job
+/// parity: consecutive jobs alternate physical slots, overlapping job
+/// `i+1`'s staging with job `i`'s chains.
+#[inline]
+fn eff_slot(sched: &Schedule, job_i: usize, slot: u8) -> usize {
+    if sched.dims == 2 && sched.staging == Staging::Double {
+        (slot as usize) ^ (job_i & 1)
+    } else {
+        slot as usize
+    }
+}
+
+/// Interpret one macro job: loop its 8×8 sub-tiles (64-point sub-chunks
+/// for 1-D), compute each with a stack-local backend, and write the
+/// disjoint output bands directly. One tile-local context accumulates
+/// the whole job's counters.
+#[allow(clippy::too_many_arguments)]
+fn run_job(
+    planes: &[GlobalArray],
+    sched: &Schedule,
+    job_i: usize,
+    z: usize,
+    t: Tile2D,
+    base: *mut f64,
+    cols: usize,
+    scratch: &mut TileScratch,
+) -> PerfCounters {
+    let mut ctx = SimContext::new();
+    let mut stage = StageState { staged: [None, None], center_fresh: true };
+    if sched.dims == 1 {
+        // a macro 1-D job is a run of the classic 64-point sub-chunks
+        let full = MMA_M * MMA_N;
+        let mut off = 0;
+        while off < t.w {
+            let sub = Tile2D { r0: 0, c0: t.c0 + off, h: 1, w: full.min(t.w - off) };
+            let vals =
+                compute_subtile(planes, sched, z, t, sub, job_i, &mut stage, &mut ctx, scratch);
+            for (r, row) in vals.iter().enumerate() {
+                let cnt = clamped_span(MMA_N * r, MMA_N, sub.w);
+                if cnt == 0 {
+                    break;
+                }
+                // disjoint span write, accounted like a store_span
+                // SAFETY: sub-chunks write disjoint spans; `base` stays
+                // valid because `out` is exclusively borrowed for the
+                // whole application
+                let band =
+                    unsafe { std::slice::from_raw_parts_mut(base.add(sub.c0 + MMA_N * r), cnt) };
+                band.copy_from_slice(&row[..cnt]);
+                ctx.counters.global_bytes_written += (cnt * 8) as u64;
+            }
+            off += full;
+        }
+    } else {
+        let mut sr = 0;
+        while sr < t.h {
+            let sh = TILE_M.min(t.h - sr);
+            let mut sc = 0;
+            while sc < t.w {
+                let sw = TILE_M.min(t.w - sc);
+                let sub = Tile2D { r0: t.r0 + sr, c0: t.c0 + sc, h: sh, w: sw };
+                let vals =
+                    compute_subtile(planes, sched, z, t, sub, job_i, &mut stage, &mut ctx, scratch);
+                for (p, row) in vals.iter().enumerate().take(sub.h) {
+                    let off = (sub.r0 + p) * cols + sub.c0;
+                    // SAFETY: jobs (and their sub-tiles) write disjoint
+                    // (z, band) regions
+                    let band = unsafe { std::slice::from_raw_parts_mut(base.add(off), sub.w) };
+                    band.copy_from_slice(&row[..sub.w]);
+                    ctx.counters.global_bytes_written += (sub.w * 8) as u64;
+                }
+                sc += TILE_M;
+            }
+            sr += TILE_M;
+        }
+    }
+    ctx.counters
+}
+
+/// One sub-tile's op walk with a stack-local backend (no allocation on
+/// the TCU path).
+#[allow(clippy::too_many_arguments)]
+fn compute_subtile(
     planes: &[GlobalArray],
     sched: &Schedule,
     z: usize,
-    t: Tile2D,
+    job: Tile2D,
+    sub: Tile2D,
+    job_i: usize,
+    stage: &mut StageState,
+    ctx: &mut SimContext,
     scratch: &mut TileScratch,
-) -> ([[f64; MMA_N]; TILE_M], PerfCounters) {
+) -> [[f64; MMA_N]; TILE_M] {
     // monomorphize per backend: the op loop inlines the backend calls,
     // which the hot 3-D path (many small per-plane chains) depends on
     match sched.backend {
-        BackendKind::TcuF64 => compute_tile_on(&mut TcuF64::new(), planes, sched, z, t, scratch),
+        BackendKind::TcuF64 => {
+            subtile_on(&mut TcuF64::new(), planes, sched, z, job, sub, job_i, stage, ctx, scratch)
+        }
         BackendKind::CudaCore => {
-            compute_tile_on(&mut CudaCore::new(), planes, sched, z, t, scratch)
+            subtile_on(&mut CudaCore::new(), planes, sched, z, job, sub, job_i, stage, ctx, scratch)
         }
     }
 }
 
-fn compute_tile_on<B: Backend>(
+#[allow(clippy::too_many_arguments)]
+fn subtile_on<B: Backend>(
     backend: &mut B,
     planes: &[GlobalArray],
     sched: &Schedule,
     z: usize,
-    t: Tile2D,
+    job: Tile2D,
+    sub: Tile2D,
+    job_i: usize,
+    stage: &mut StageState,
+    ctx: &mut SimContext,
     scratch: &mut TileScratch,
-) -> ([[f64; MMA_N]; TILE_M], PerfCounters) {
+) -> [[f64; MMA_N]; TILE_M] {
     let h = sched.h;
-    let mut ctx = SimContext::new();
     let mut i = 0;
     while i < sched.ops.len() {
         match sched.ops[i] {
             Op::SkipPlane { .. } => i += 1,
-            Op::Stage { dz } => {
-                // periodic z boundary, matching the grid convention
-                let zp = (z as isize + dz as isize - h as isize).rem_euclid(planes.len() as isize);
-                let src = &planes[zp as usize];
-                scratch.tile.reset(sched.geo.s, sched.geo.s);
-                // the tile's own output footprint is its compulsory HBM
-                // share (charged on the plane for which this input is the
-                // kernel center); the halo ring is served by L2
-                let _rdg_gather = foundation::obs::span("rdg_gather");
-                let fresh = if dz == h { t.h * t.w } else { 0 };
-                src.copy_to_shared_reuse(
-                    &mut ctx,
-                    sched.copy_mode,
-                    window_origin(t.r0, h),
-                    window_origin(t.c0, h),
-                    sched.geo.s,
-                    sched.geo.s,
-                    &mut scratch.tile,
-                    0,
-                    0,
-                    fresh,
-                );
-                i += 1;
-                if let Some(Op::FragBuild) = sched.ops.get(i) {
-                    scratch.x.load_into(&mut ctx, &scratch.tile, sched.geo);
-                    i += 1;
+            Op::Stage { dz, slot } => {
+                let eff = eff_slot(sched, job_i, slot);
+                // staging memoization: every sub-tile of the job reads
+                // the same macro window, so a slot that already holds
+                // plane `dz` is reused as-is
+                if stage.staged[eff] != Some(dz) {
+                    // periodic z boundary, matching the grid convention
+                    let zp =
+                        (z as isize + dz as isize - h as isize).rem_euclid(planes.len() as isize);
+                    let src = &planes[zp as usize];
+                    // the macro window covers every sub-tile's S×S window
+                    let wr = TILE_M * (job.h.div_ceil(TILE_M) - 1) + sched.geo.s;
+                    let wc = TILE_M * (job.w.div_ceil(TILE_M) - 1) + sched.geo.s;
+                    scratch.tiles[eff].reset(wr, wc);
+                    // the job's own output footprint is its compulsory
+                    // HBM share (charged once, on the plane for which
+                    // this input is the kernel center); the halo ring and
+                    // any re-stage are served by L2
+                    let _rdg_gather = foundation::obs::span("rdg_gather");
+                    let fresh = if dz == h && stage.center_fresh {
+                        stage.center_fresh = false;
+                        job.h * job.w
+                    } else {
+                        0
+                    };
+                    src.copy_to_shared_reuse(
+                        ctx,
+                        sched.copy_mode,
+                        window_origin(job.r0, h),
+                        window_origin(job.c0, h),
+                        wr,
+                        wc,
+                        &mut scratch.tiles[eff],
+                        0,
+                        0,
+                        fresh,
+                    );
+                    stage.staged[eff] = Some(dz);
                 }
+                i += 1;
             }
-            Op::FragBuild => {
-                scratch.x.load_into(&mut ctx, &scratch.tile, sched.geo);
+            Op::FragBuild { slot } => {
+                let eff = eff_slot(sched, job_i, slot);
+                scratch.x.load_into_at(
+                    ctx,
+                    &scratch.tiles[eff],
+                    sched.geo,
+                    sub.r0 - job.r0,
+                    sub.c0 - job.c0,
+                );
                 i += 1;
             }
             Op::RdgGather => {
-                scratch.tile.reset(MMA_M, sched.seg_len);
+                scratch.tiles[0].reset(MMA_M, sched.seg_len);
                 {
                     let _rdg_gather = foundation::obs::span("rdg_gather");
                     for r in 0..MMA_M {
                         // 8 of the seg_len loaded elements are this
                         // segment's own outputs (compulsory); the rest is
                         // halo overlap in L2
-                        let seg_out = clamped_span(MMA_N * r, MMA_N, t.w);
+                        let seg_out = clamped_span(MMA_N * r, MMA_N, sub.w);
                         planes[0].copy_to_shared_reuse(
-                            &mut ctx,
+                            ctx,
                             sched.copy_mode,
                             0,
-                            window_origin(t.c0 + MMA_N * r, h),
+                            window_origin(sub.c0 + MMA_N * r, h),
                             1,
                             sched.seg_len,
-                            &mut scratch.tile,
+                            &mut scratch.tiles[0],
                             r,
                             0,
                             seg_out,
                         );
                     }
                 }
-                backend.gather_1d(&mut ctx, &scratch.tile, sched);
+                backend.gather_1d(ctx, &scratch.tiles[0], sched);
                 i += 1;
             }
             Op::MmaChain { term } => {
@@ -127,12 +256,12 @@ fn compute_tile_on<B: Backend>(
                 } else {
                     None
                 };
-                backend.term_chain(&mut ctx, &scratch.x, sched, &sched.terms[first..end], pw);
+                backend.term_chain(ctx, &scratch.x, sched, &sched.terms[first..end], pw);
             }
             Op::Pointwise { weight } => {
                 // term-less decomposition: still one (empty) chain call so
                 // the backend's phase structure is uniform
-                backend.term_chain(&mut ctx, &scratch.x, sched, &[], Some(weight));
+                backend.term_chain(ctx, &scratch.x, sched, &[], Some(weight));
                 i += 1;
             }
             Op::PointwisePlane { dz, weight } => {
@@ -146,19 +275,19 @@ fn compute_tile_on<B: Backend>(
                 let mut flops = 0u64;
                 let mut span = [0.0f64; MMA_N];
                 for (p, row) in acc_vals.iter_mut().enumerate() {
-                    let r = t.r0 + p;
+                    let r = sub.r0 + p;
                     if r >= src.rows() {
                         continue;
                     }
-                    let cnt = clamped_span(t.c0, MMA_N, src.cols());
+                    let cnt = clamped_span(sub.c0, MMA_N, src.cols());
                     if cnt == 0 {
                         continue;
                     }
                     let vals = &mut span[..cnt];
                     if dz == h {
-                        src.load_span_into(&mut ctx, r, t.c0, vals);
+                        src.load_span_into(ctx, r, sub.c0, vals);
                     } else {
-                        src.load_span_cached_into(&mut ctx, r, t.c0, vals);
+                        src.load_span_cached_into(ctx, r, sub.c0, vals);
                     }
                     for (q, v) in vals.iter().enumerate() {
                         row[q] += weight * v;
@@ -172,8 +301,8 @@ fn compute_tile_on<B: Backend>(
     }
     let vals = backend.finish(sched.fold);
     // each application advances `fuse_steps` temporal steps of updates
-    ctx.points((t.h * t.w * sched.fuse_steps) as u64);
-    (vals, ctx.counters)
+    ctx.points((sub.h * sub.w * sched.fuse_steps) as u64);
+    vals
 }
 
 /// The reusable per-apply buffers of a plan on a fixed grid shape: the
@@ -195,19 +324,22 @@ pub struct Workspace {
 
 impl Workspace {
     /// Buffers for applying `plan` to grids of the given extents
-    /// (`[n]`, `[rows, cols]` or `[nz, ny, nx]`).
+    /// (`[n]`, `[rows, cols]` or `[nz, ny, nx]`). Jobs are the plan's
+    /// macro tiles ([`ScheduleParams::tile_rows`] ×
+    /// [`ScheduleParams::tile_cols`]; `8 · tile_cols` points for 1-D).
     pub fn new(plan: &Plan, extents: &[usize]) -> Self {
         let sched = Schedule::lower(plan);
         let jobs: Vec<(usize, Tile2D)> = match *extents {
-            [n] => tiles_1d(n, MMA_M * MMA_N)
+            [n] => tiles_1d(n, MMA_M * sched.tile_w)
                 .into_iter()
                 .map(|t| (0, Tile2D { r0: 0, c0: t.i0, h: 1, w: t.len }))
                 .collect(),
-            [rows, cols] => {
-                tiles_2d(rows, cols, TILE_M, TILE_M).into_iter().map(|t| (0, t)).collect()
-            }
+            [rows, cols] => tiles_2d(rows, cols, sched.tile_h, sched.tile_w)
+                .into_iter()
+                .map(|t| (0, t))
+                .collect(),
             [nz, ny, nx] => {
-                let tiles = tiles_2d(ny, nx, TILE_M, TILE_M);
+                let tiles = tiles_2d(ny, nx, sched.tile_h, sched.tile_w);
                 (0..nz).flat_map(|z| tiles.iter().map(move |&t| (z, t))).collect()
             }
             _ => panic!("grids are 1-, 2- or 3-dimensional"),
@@ -226,10 +358,10 @@ impl Workspace {
         self.apply_planes(std::slice::from_ref(input), std::slice::from_mut(out))
     }
 
-    /// One (possibly fused) application from `planes` into `out`. Tiles
+    /// One (possibly fused) application from `planes` into `out`. Jobs
     /// run in parallel and write their disjoint output bands directly
     /// (each band write charges the same `global_bytes_written` a
-    /// `store_span` would); per-tile counters go to preallocated slots
+    /// `store_span` would); per-job counters go to preallocated slots
     /// and merge sequentially in job order, keeping the totals
     /// independent of scheduling.
     pub fn apply_planes(
@@ -250,34 +382,9 @@ impl Workspace {
             let sched = &self.sched;
             for_each_index(jobs.len(), |i| {
                 let (z, t) = jobs[i];
-                let (vals, mut counters) =
-                    with_tile_scratch(|s| compute_tile(planes, sched, z, t, s));
                 let base = sinks[z] as *mut f64;
-                if sched.dims == 1 {
-                    for (r, row) in vals.iter().enumerate() {
-                        let cnt = clamped_span(MMA_N * r, MMA_N, t.w);
-                        if cnt == 0 {
-                            break;
-                        }
-                        // disjoint span write, accounted like a store_span
-                        // SAFETY: tiles write disjoint spans; `base` stays
-                        // valid because `out` is exclusively borrowed for
-                        // the whole application
-                        let band = unsafe {
-                            std::slice::from_raw_parts_mut(base.add(t.c0 + MMA_N * r), cnt)
-                        };
-                        band.copy_from_slice(&row[..cnt]);
-                        counters.global_bytes_written += (cnt * 8) as u64;
-                    }
-                } else {
-                    for (p, row) in vals.iter().enumerate().take(t.h) {
-                        let off = (t.r0 + p) * cols + t.c0;
-                        // SAFETY: jobs write disjoint (z, band) regions
-                        let band = unsafe { std::slice::from_raw_parts_mut(base.add(off), t.w) };
-                        band.copy_from_slice(&row[..t.w]);
-                        counters.global_bytes_written += (t.w * 8) as u64;
-                    }
-                }
+                let counters =
+                    with_tile_scratch(|s| run_job(planes, sched, i, z, t, base, cols, s));
                 // SAFETY: each index is written by exactly one job
                 unsafe { slot_sink.write(i, counters) };
             });
@@ -378,24 +485,68 @@ pub fn apply_once_planes(planes: &[GlobalArray], plan: &Plan) -> (Vec<GlobalArra
     (out, counters)
 }
 
-/// The full time loop every public executor shares: plan, split the
-/// iterations into fused applications plus an unfused remainder, and
-/// step through both phases with reused buffers.
+/// The grid extents of `planes` as seen by a `dims`-dimensional kernel.
+fn grid_extents(kernel: &StencilKernel, planes: &[GlobalArray]) -> Vec<usize> {
+    match kernel.dims() {
+        1 => vec![planes[0].cols()],
+        2 => vec![planes[0].rows(), planes[0].cols()],
+        _ => vec![planes.len(), planes[0].rows(), planes[0].cols()],
+    }
+}
+
+/// The full time loop every public executor shares: plan (consulting the
+/// installed tuning DB for this kernel/extents/config, falling back to
+/// default [`ScheduleParams`]), split the iterations into fused
+/// applications plus an unfused remainder, and step through both phases
+/// with reused buffers.
 pub fn run(
     kernel: &StencilKernel,
     config: ExecConfig,
     planes: Vec<GlobalArray>,
     iterations: usize,
 ) -> (Vec<GlobalArray>, PerfCounters, BlockResources) {
-    let plan = Plan::new(kernel, config);
+    let extents = grid_extents(kernel, &planes);
+    let plan = Plan::new_tuned(kernel, config, &extents);
+    let rem_plan = |rem: usize| {
+        (rem > 0).then(|| {
+            Plan::new_tuned(kernel, ExecConfig { allow_fusion: false, ..config }, &extents)
+        })
+    };
+    run_with_plans(plan, rem_plan, planes, iterations)
+}
+
+/// The explicit-params variant of [`run`]: execute with exactly the
+/// given [`ScheduleParams`], bypassing the tuning DB. This is the
+/// measurement primitive of `stencil-cli tune` — every candidate runs
+/// through the same loop the production path uses.
+pub fn run_tuned(
+    kernel: &StencilKernel,
+    config: ExecConfig,
+    params: ScheduleParams,
+    planes: Vec<GlobalArray>,
+    iterations: usize,
+) -> (Vec<GlobalArray>, PerfCounters, BlockResources) {
+    let plan = Plan::new_with_params(kernel, config, params);
+    let rem_plan = |rem: usize| {
+        (rem > 0).then(|| {
+            // the remainder is unfused by construction; the candidate's
+            // other knobs still apply
+            Plan::new_with_params(kernel, ExecConfig { allow_fusion: false, ..config }, params)
+        })
+    };
+    run_with_plans(plan, rem_plan, planes, iterations)
+}
+
+fn run_with_plans(
+    plan: Plan,
+    rem_plan: impl FnOnce(usize) -> Option<Plan>,
+    planes: Vec<GlobalArray>,
+    iterations: usize,
+) -> (Vec<GlobalArray>, PerfCounters, BlockResources) {
     let block = plan.block_resources();
     let full = iterations / plan.fusion;
     let rem = iterations % plan.fusion;
-    let base_plan = if rem > 0 {
-        Some(Plan::new(kernel, ExecConfig { allow_fusion: false, ..config }))
-    } else {
-        None
-    };
+    let base_plan = rem_plan(rem);
     let mut counters = PerfCounters::new();
     let mut stepper = Stepper::new(plan, planes);
     for _ in 0..full {

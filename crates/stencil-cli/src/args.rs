@@ -30,6 +30,10 @@ const VALUED: &[&str] = &[
     "checkpoint-dir",
     "checkpoint-every",
     "checkpoint-keep",
+    "tuning-db",
+    "db",
+    "budget",
+    "reps",
 ];
 
 /// Bare flags the CLI understands.

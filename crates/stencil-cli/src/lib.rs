@@ -15,6 +15,9 @@
 //! ```
 
 pub mod args;
+pub mod tune;
+
+pub use tune::{install_tuning_db, tune_report};
 
 use lorastencil::checkpoint::CkptPolicy;
 use lorastencil::{codegen, ExecConfig, LoRaStencil, Plan};
@@ -516,11 +519,13 @@ pub fn usage() -> &'static str {
        lorastencil list\n\
        lorastencil run (--kernel <name> | --spec <file>) [--method <name>]\n\
                       [--size NxM] [--iters N] [--config no-bvs,...]\n\
-                      [--seed N] [--verify] [--trace-out <file>]\n\
+                      [--seed N] [--verify] [--trace-out <file>] [--tuning-db <file>]\n\
                       [--checkpoint-dir <dir> [--checkpoint-every N] [--checkpoint-keep K]]\n\
        lorastencil resume --checkpoint-dir <dir> [--checkpoint-keep K] [--verify]\n\
+       lorastencil tune (--kernel <name> | --spec <file>) [--size NxM] [--iters N]\n\
+                      [--config ...] [--seed N] [--budget N] [--reps N] [--db <file>]\n\
        lorastencil profile (--kernel <name> | --spec <file>) [--method <name>]\n\
-                      [--size NxM] [--iters N] [--trace-out <file>]\n\
+                      [--size NxM] [--iters N] [--trace-out <file>] [--tuning-db <file>]\n\
        lorastencil validate-trace --load <file>\n\
        lorastencil emit-cuda (--kernel <name> | --spec <file>) [--config ...]\n\
        lorastencil trace (--kernel <name> | --spec <file>) [--config ...]\n\

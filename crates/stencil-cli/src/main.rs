@@ -3,9 +3,9 @@
 
 use stencil_cli::args::{parse, parse_size};
 use stencil_cli::{
-    analyze_text, codegen_text, find_method, list_text, parse_checkpoint_every,
+    analyze_text, codegen_text, find_method, install_tuning_db, list_text, parse_checkpoint_every,
     parse_checkpoint_keep, parse_config, profile_report, resolve_kernel, resume_report,
-    run_checkpointed_report, run_report, trace_text, usage, validate_trace,
+    run_checkpointed_report, run_report, trace_text, tune_report, usage, validate_trace,
 };
 
 fn real_main() -> Result<(), String> {
@@ -15,7 +15,7 @@ fn real_main() -> Result<(), String> {
         Err(e) => {
             eprintln!("{e}\n");
             eprint!("{}", usage());
-            return Err(e);
+            return Err(String::new()); // already reported
         }
     };
 
@@ -54,6 +54,10 @@ fn real_main() -> Result<(), String> {
                 args.opt("iters", "1").parse().map_err(|e| format!("bad --iters: {e}"))?;
             let seed: u64 =
                 args.opt("seed", "42").parse().map_err(|e| format!("bad --seed: {e}"))?;
+            let tuning_db = args.opt("tuning-db", "");
+            if !tuning_db.is_empty() {
+                print!("{}", install_tuning_db(tuning_db)?);
+            }
             let ckpt_dir = args.opt("checkpoint-dir", "");
             if ckpt_dir.is_empty() {
                 if args.options.contains_key("checkpoint-every")
@@ -126,6 +130,10 @@ fn real_main() -> Result<(), String> {
                 args.opt("iters", "1").parse().map_err(|e| format!("bad --iters: {e}"))?;
             let seed: u64 =
                 args.opt("seed", "42").parse().map_err(|e| format!("bad --seed: {e}"))?;
+            let tuning_db = args.opt("tuning-db", "");
+            if !tuning_db.is_empty() {
+                print!("{}", install_tuning_db(tuning_db)?);
+            }
             print!(
                 "{}",
                 profile_report(
@@ -138,6 +146,42 @@ fn real_main() -> Result<(), String> {
                 )?
             );
         }
+        "tune" => {
+            let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
+            let config = parse_config(args.opt("config", "full"))?;
+            let default_size = match kernel.dims() {
+                1 => "4096".to_string(),
+                2 => "128x128".to_string(),
+                _ => "8x32x32".to_string(),
+            };
+            let dims = parse_size(args.opt("size", &default_size))?;
+            let iters: usize =
+                args.opt("iters", "3").parse().map_err(|e| format!("bad --iters: {e}"))?;
+            let seed: u64 =
+                args.opt("seed", "42").parse().map_err(|e| format!("bad --seed: {e}"))?;
+            let budget: usize =
+                args.opt("budget", "24").parse().map_err(|e| format!("bad --budget: {e}"))?;
+            if budget == 0 {
+                return Err("--budget must measure at least one candidate \
+                            (try --budget 8 for a quick search)"
+                    .into());
+            }
+            let reps: usize =
+                args.opt("reps", "5").parse().map_err(|e| format!("bad --reps: {e}"))?;
+            print!(
+                "{}",
+                tune_report(
+                    &kernel,
+                    config,
+                    &dims,
+                    iters,
+                    seed,
+                    budget,
+                    reps,
+                    args.opt("db", "tuning.json"),
+                )?
+            );
+        }
         "validate-trace" => {
             let path = args.opt("load", "");
             if path.is_empty() {
@@ -147,14 +191,19 @@ fn real_main() -> Result<(), String> {
         }
         other => {
             eprint!("unknown subcommand {other}\n\n{}", usage());
-            return Err(format!("unknown subcommand {other}"));
+            return Err(String::new()); // already reported
         }
     }
     Ok(())
 }
 
 fn main() {
-    if real_main().is_err() {
+    if let Err(e) = real_main() {
+        // parse failures print themselves (with usage) before returning;
+        // subcommand failures surface here
+        if !e.is_empty() {
+            eprintln!("error: {e}");
+        }
         std::process::exit(2);
     }
 }

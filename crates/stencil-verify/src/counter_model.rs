@@ -104,6 +104,13 @@ fn app_3d(plan: &Plan, jobs: u64) -> (u64, u64, u64) {
 /// Valid for every configuration with `use_tcu` on (the CUDA fallback of
 /// the 2-D/3-D executors charges no MMAs but the same fragment loads;
 /// the 1-D executor has a single MMA path).
+///
+/// Plans resolve through [`Plan::new_tuned`] — the same tuning-DB lookup
+/// the executors make — so a `fuse_override` from an installed DB moves
+/// the fusion split identically in model and measurement. Every other
+/// [`ScheduleParams`] axis (tile extents, staging, MMA batching) is
+/// counter-invariant by construction, so the closed forms need no other
+/// tuning inputs.
 pub fn predict_lora(
     kernel: &StencilKernel,
     extents: &[usize],
@@ -114,12 +121,12 @@ pub fn predict_lora(
     let base_cfg = ExecConfig { allow_fusion: false, ..config };
     match *extents {
         [n] => {
-            let plan = Plan::new(kernel, config);
+            let plan = Plan::new_tuned(kernel, config, extents);
             let full = (iterations / plan.fusion) as u64;
             let rem = (iterations % plan.fusion) as u64;
             let tiles = n.div_ceil(64) as u64;
             let app = tiles * (plan.seg_len() / 4) as u64;
-            let base = tiles * (Plan::new(kernel, base_cfg).seg_len() / 4) as u64;
+            let base = tiles * (Plan::new_tuned(kernel, base_cfg, extents).seg_len() / 4) as u64;
             // the 1-D gather is a single MM: loads ≡ MMAs, no shuffles
             let mma = full * app + rem * base;
             Prediction {
@@ -131,13 +138,16 @@ pub fn predict_lora(
             }
         }
         [rows, cols] => {
-            let plan = Plan::new(kernel, config);
+            let plan = Plan::new_tuned(kernel, config, extents);
             let full = (iterations / plan.fusion) as u64;
             let rem = (iterations % plan.fusion) as u64;
             let tiles = tiles_2d(rows, cols);
             let (fm, fl, fs) = app_2d(&plan, tiles);
-            let (bm, bl, bs) =
-                if rem > 0 { app_2d(&Plan::new(kernel, base_cfg), tiles) } else { (0, 0, 0) };
+            let (bm, bl, bs) = if rem > 0 {
+                app_2d(&Plan::new_tuned(kernel, base_cfg, extents), tiles)
+            } else {
+                (0, 0, 0)
+            };
             Prediction {
                 mma_ops: full * fm + rem * bm,
                 shared_load_requests: full * fl + rem * bl,
@@ -148,7 +158,7 @@ pub fn predict_lora(
         }
         [nz, ny, nx] => {
             // 3-D is never fused (dimension residue, §IV-C)
-            let plan = Plan::new(kernel, config);
+            let plan = Plan::new_tuned(kernel, config, extents);
             let jobs = nz as u64 * tiles_2d(ny, nx);
             let (m, l, s) = app_3d(&plan, jobs);
             let apps = iterations as u64;

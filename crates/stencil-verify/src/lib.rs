@@ -19,6 +19,10 @@
 //!    Eq. 12/13/16 closed forms generalized to functions of
 //!    `(h, dim, times)` and asserted **to the digit** against the measured
 //!    [`tcu_sim::PerfCounters`] of every generated shape.
+//! 4. **Schedule-space neutrality** ([`params_grid`]): a randomly sampled
+//!    `ScheduleParams` point per generated case must stay bit-identical
+//!    in values and invariant in modeled counters against the default
+//!    lowering — the contract the `tune` search relies on.
 //!
 //! The engines are wired into `tests/fuzz_differential.rs` at the
 //! workspace root with pinned seeds; `STENCIL_VERIFY_CASES` /
@@ -28,6 +32,7 @@ pub mod counter_model;
 pub mod gen;
 pub mod metamorphic;
 pub mod oracle;
+pub mod params_grid;
 
 pub use counter_model::{check_counters, predict_convstencil_mma, predict_lora};
 pub use gen::{Case, CaseGen};
@@ -35,6 +40,7 @@ pub use metamorphic::check_relations;
 pub use oracle::{
     differential_check, differential_check_against, replay_hint, roster, FaultInjector, DIFF_TOL,
 };
+pub use params_grid::check_params_identity;
 
 /// Per-engine case count: `STENCIL_VERIFY_CASES` if set, else `default`.
 pub fn verify_cases(default: usize) -> usize {

@@ -53,26 +53,68 @@ impl SimContext {
     /// instead of being zeroed and copied per instruction. The per-element
     /// FMA order matches real accumulator semantics (`c + a0·b0 + a1·b1 +
     /// a2·b2 + a3·b3`), so results are bit-identical to [`SimContext::mma`].
+    #[inline]
     pub fn mma_into(&mut self, a: &FragA, b: &FragB, c: &mut FragAcc) {
         self.counters.mma_ops += 1;
         self.record(TraceEvent::Mma);
-        // Lane layout (see `fragment`): A row r is lanes 4r..4r+4; B column
-        // n is lanes 4n..4n+4; acc (r, n) is lane 4r + n/2, register n%2 —
-        // so register 0 holds the even columns, register 1 the odd ones.
-        for r in 0..MMA_M {
-            let ar = &a.lanes[4 * r..4 * r + MMA_K];
-            for half in 0..MMA_N / 2 {
-                let lane = 4 * r + half;
-                let be = &b.lanes[8 * half..8 * half + MMA_K];
-                let bo = &b.lanes[8 * half + MMA_K..8 * half + 2 * MMA_K];
-                let mut e = c.r0[lane];
-                let mut o = c.r1[lane];
-                for k in 0..MMA_K {
-                    e += ar[k] * be[k];
-                    o += ar[k] * bo[k];
+        mma_lanes(&a.lanes, &b.lanes, c);
+    }
+
+    /// Issue a back-to-back chain of `mma.m8n8k4.f64` instructions that
+    /// share one accumulator: `C += Σ_i A_i × B_i`. The chain keeps the
+    /// accumulator lanes register-resident across all `a.len()`
+    /// instructions instead of writing them back per call — the batched
+    /// form the tuned schedules select via `mma_batch`.
+    ///
+    /// Counter and trace accounting is identical to issuing
+    /// [`SimContext::mma_into`] once per pair, and the per-element FMA
+    /// order is preserved exactly (element `i`'s full k-loop completes
+    /// before element `i + 1` touches the lane), so results are
+    /// bit-identical to the sequential form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` differ in length.
+    #[inline]
+    pub fn mma_chain_into(&mut self, a: &[&FragA], b: &[&FragB], c: &mut FragAcc) {
+        assert_eq!(a.len(), b.len(), "mma_chain_into needs matched A/B fragment chains");
+        self.counters.mma_ops += a.len() as u64;
+        for _ in 0..a.len() {
+            self.record(TraceEvent::Mma);
+        }
+        // Monomorphize the chain length: each arm fully unrolls its
+        // element loop, so the accumulator lanes stay register-resident
+        // across the whole chain — the host-side speedup `mma_batch`
+        // models. Chains are capped at 16 (`MAX_MMA_BATCH` upstream);
+        // anything longer falls back to the dynamic loop.
+        match a.len() {
+            1 => chain_lanes::<1>(a, b, c),
+            2 => chain_lanes::<2>(a, b, c),
+            3 => chain_lanes::<3>(a, b, c),
+            4 => chain_lanes::<4>(a, b, c),
+            5 => chain_lanes::<5>(a, b, c),
+            6 => chain_lanes::<6>(a, b, c),
+            7 => chain_lanes::<7>(a, b, c),
+            8 => chain_lanes::<8>(a, b, c),
+            9 => chain_lanes::<9>(a, b, c),
+            10 => chain_lanes::<10>(a, b, c),
+            _ => {
+                for r in 0..MMA_M {
+                    for half in 0..MMA_N / 2 {
+                        let lane = 4 * r + half;
+                        let mut e = c.r0[lane];
+                        let mut o = c.r1[lane];
+                        for (ai, bi) in a.iter().zip(b.iter()) {
+                            let (al, bl) = (&ai.lanes, &bi.lanes);
+                            for k in 0..MMA_K {
+                                e += al[4 * r + k] * bl[8 * half + k];
+                                o += al[4 * r + k] * bl[8 * half + MMA_K + k];
+                            }
+                        }
+                        c.r0[lane] = e;
+                        c.r1[lane] = o;
+                    }
                 }
-                c.r0[lane] = e;
-                c.r1[lane] = o;
             }
         }
     }
@@ -115,11 +157,61 @@ impl SimContext {
     }
 }
 
+/// The m8n8k4 FMA body shared by [`SimContext::mma_into`] and the chain
+/// form. Lane layout (see `fragment`): A row `r` is lanes `4r..4r+4`; B
+/// column `n` is lanes `4n..4n+4`; acc `(r, n)` is lane `4r + n/2`,
+/// register `n%2` — register 0 holds the even columns, register 1 the
+/// odd ones. Every index is a compile-time-bounded expression into the
+/// 32-lane arrays, so the unrolled loop carries no bounds checks.
+#[inline(always)]
+fn mma_lanes(al: &[f64; crate::WARP_LANES], bl: &[f64; crate::WARP_LANES], c: &mut FragAcc) {
+    for r in 0..MMA_M {
+        for half in 0..MMA_N / 2 {
+            let lane = 4 * r + half;
+            let mut e = c.r0[lane];
+            let mut o = c.r1[lane];
+            for k in 0..MMA_K {
+                e += al[4 * r + k] * bl[8 * half + k];
+                o += al[4 * r + k] * bl[8 * half + MMA_K + k];
+            }
+            c.r0[lane] = e;
+            c.r1[lane] = o;
+        }
+    }
+}
+
+/// Length-monomorphized chain body: `N` is a compile-time constant, so
+/// the element loop unrolls and the `e`/`o` lane accumulators live in
+/// registers across all `N` FMA groups. FP order per lane is identical
+/// to issuing [`mma_lanes`] `N` times (each element's k-loop completes
+/// before the next element touches the lane).
+#[inline(always)]
+fn chain_lanes<const N: usize>(a: &[&FragA], b: &[&FragB], c: &mut FragAcc) {
+    let a: &[&FragA; N] = a.try_into().expect("dispatched on len");
+    let b: &[&FragB; N] = b.try_into().expect("dispatched on len");
+    for r in 0..MMA_M {
+        for half in 0..MMA_N / 2 {
+            let lane = 4 * r + half;
+            let mut e = c.r0[lane];
+            let mut o = c.r1[lane];
+            for i in 0..N {
+                let (al, bl) = (&a[i].lanes, &b[i].lanes);
+                for k in 0..MMA_K {
+                    e += al[4 * r + k] * bl[8 * half + k];
+                    o += al[4 * r + k] * bl[8 * half + MMA_K + k];
+                }
+            }
+            c.r0[lane] = e;
+            c.r1[lane] = o;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn mat_a(f: impl Fn(usize, usize) -> f64) -> FragA {
+    fn mat_a(mut f: impl FnMut(usize, usize) -> f64) -> FragA {
         let mut m = [[0.0; MMA_K]; MMA_M];
         for (r, row) in m.iter_mut().enumerate() {
             for (k, v) in row.iter_mut().enumerate() {
@@ -129,7 +221,7 @@ mod tests {
         FragA::from_matrix(&m)
     }
 
-    fn mat_b(f: impl Fn(usize, usize) -> f64) -> FragB {
+    fn mat_b(mut f: impl FnMut(usize, usize) -> f64) -> FragB {
         let mut m = [[0.0; MMA_N]; MMA_K];
         for (k, row) in m.iter_mut().enumerate() {
             for (c, v) in row.iter_mut().enumerate() {
@@ -187,6 +279,54 @@ mod tests {
                 assert!((d.get(r, c) - want).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn mma_chain_is_bit_identical_to_sequential_mma_into() {
+        let mut seed = 0x5DEECE66Du64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for chain_len in [1usize, 2, 3, 4, 7] {
+            let a_frags: Vec<FragA> = (0..chain_len).map(|_| mat_a(|_, _| next())).collect();
+            let b_frags: Vec<FragB> = (0..chain_len).map(|_| mat_b(|_, _| next())).collect();
+
+            let mut ctx_seq = SimContext::new();
+            let mut acc_seq = FragAcc::from_matrix(&[[0.125; MMA_N]; MMA_M]);
+            for (a, b) in a_frags.iter().zip(b_frags.iter()) {
+                ctx_seq.mma_into(a, b, &mut acc_seq);
+            }
+
+            let mut ctx_chain = SimContext::new();
+            let mut acc_chain = FragAcc::from_matrix(&[[0.125; MMA_N]; MMA_M]);
+            let a_refs: Vec<&FragA> = a_frags.iter().collect();
+            let b_refs: Vec<&FragB> = b_frags.iter().collect();
+            ctx_chain.mma_chain_into(&a_refs, &b_refs, &mut acc_chain);
+
+            for r in 0..MMA_M {
+                for c in 0..MMA_N {
+                    assert_eq!(
+                        acc_seq.get(r, c).to_bits(),
+                        acc_chain.get(r, c).to_bits(),
+                        "chain_len={chain_len} ({r},{c})"
+                    );
+                }
+            }
+            assert_eq!(ctx_chain.counters.mma_ops, chain_len as u64);
+            assert_eq!(ctx_chain.counters.mma_ops, ctx_seq.counters.mma_ops);
+        }
+    }
+
+    #[test]
+    fn mma_chain_traces_one_event_per_element() {
+        let mut ctx = SimContext::new();
+        ctx.enable_trace();
+        let a = mat_a(|r, k| (r + k) as f64);
+        let b = mat_b(|k, c| (k * c) as f64);
+        ctx.mma_chain_into(&[&a, &a, &a], &[&b, &b, &b], &mut FragAcc::zero());
+        let t = ctx.take_trace().unwrap();
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::Mma)), 3);
     }
 
     #[test]

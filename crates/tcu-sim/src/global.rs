@@ -99,9 +99,16 @@ impl GlobalArray {
                 let c = c0 as usize;
                 dst.write_row(dr0 + dr, dc0, &self.data[base + c..base + c + w]);
             } else {
-                for dc in 0..w {
+                // periodic wrap: the window's columns are at most
+                // ⌈w / cols⌉ + 1 contiguous source runs — copy runs
+                // instead of doing per-element modular arithmetic (macro
+                // tile windows wrap on every job, so this is hot)
+                let mut dc = 0;
+                while dc < w {
                     let c = (c0 + dc as isize).rem_euclid(self.cols as isize) as usize;
-                    dst.poke(dr0 + dr, dc0 + dc, self.data[base + c]);
+                    let run = (self.cols - c).min(w - dc);
+                    dst.write_row(dr0 + dr, dc0 + dc, &self.data[base + c..base + c + run]);
+                    dc += run;
                 }
             }
         }

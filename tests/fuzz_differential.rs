@@ -17,8 +17,8 @@
 
 use foundation::prop::check_with;
 use stencil_verify::{
-    check_counters, check_relations, differential_check, differential_check_against, roster,
-    verify_config, CaseGen, FaultInjector,
+    check_counters, check_params_identity, check_relations, differential_check,
+    differential_check_against, roster, verify_config, CaseGen, FaultInjector,
 };
 
 /// Default per-engine case counts. Together ≥ 200 generated kernels per
@@ -27,6 +27,7 @@ use stencil_verify::{
 const DIFFERENTIAL_CASES: usize = 60;
 const METAMORPHIC_CASES: usize = 60;
 const COUNTER_CASES: usize = 100;
+const PARAMS_GRID_CASES: usize = 60;
 
 #[test]
 fn differential_oracle_every_executor_agrees_with_reference() {
@@ -47,6 +48,18 @@ fn metamorphic_relations_hold_on_generated_stencils() {
 fn counter_model_is_exact_on_generated_shapes() {
     check_with(&verify_config(COUNTER_CASES), "counter_model", &CaseGen, |case| {
         check_counters(&case)
+    });
+}
+
+/// Schedule-space neutrality: a randomly sampled `ScheduleParams` point
+/// (tiles, staging, batching — the `tune` search space minus the
+/// semantics-changing fusion override) must stay bit-identical in
+/// values and invariant in modeled counters against the default
+/// lowering on every generated kernel.
+#[test]
+fn sampled_schedule_params_are_bit_identical_to_the_default() {
+    check_with(&verify_config(PARAMS_GRID_CASES), "params_grid", &CaseGen, |case| {
+        check_params_identity(&case)
     });
 }
 
@@ -79,10 +92,12 @@ fn injected_off_by_one_halo_is_caught_shrunk_and_reported() {
     assert!(msg.contains("iterations: 1"), "case shrank to one iteration:\n{msg}");
 }
 
-/// The three engines see ≥ 200 generated kernels per default CI run.
+/// The four engines see ≥ 200 generated kernels per default CI run, and
+/// the params-grid engine alone sees ≥ 50 (the schedule-space floor).
 #[test]
 fn default_case_budget_meets_the_coverage_floor() {
     if std::env::var("STENCIL_VERIFY_CASES").is_err() {
         assert!(DIFFERENTIAL_CASES + METAMORPHIC_CASES + COUNTER_CASES >= 200);
+        assert!(PARAMS_GRID_CASES >= 50);
     }
 }
