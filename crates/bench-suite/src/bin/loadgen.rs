@@ -1,0 +1,65 @@
+//! `loadgen` — drive the serve stack in-process and write
+//! `BENCH_pr8.json`: warm vs cold-plan closed-loop throughput (the
+//! `>= 5x` plan-cache gate) and open-loop p50/p99 latency.
+//!
+//! ```text
+//! loadgen --json BENCH_pr8.json [--clients 4] [--hit-jobs 2000]
+//!         [--cold-jobs 200] [--open-jobs 1000] [--rate-fraction 0.5]
+//!         [--min-ratio 5.0] [--attempts 3] [--frame '<job json>']
+//! ```
+//!
+//! Exits nonzero when the throughput gate fails after all attempts or
+//! any arm sees an error response.
+
+use bench_suite::loadgen::{render_json, render_text, run, LoadgenConfig};
+
+fn real_main() -> Result<(), String> {
+    let mut cfg = LoadgenConfig::default();
+    let mut json_path = String::new();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let val = argv.get(i + 1).ok_or_else(|| format!("{key} needs a value"))?;
+        let usize_val = || val.parse::<usize>().map_err(|e| format!("bad {key} {val:?}: {e}"));
+        let f64_val = || val.parse::<f64>().map_err(|e| format!("bad {key} {val:?}: {e}"));
+        match key {
+            "--json" => json_path = val.clone(),
+            "--clients" => cfg.clients = usize_val()?.max(1),
+            "--hit-jobs" => cfg.hit_jobs = usize_val()?.max(2),
+            "--cold-jobs" => cfg.cold_jobs = usize_val()?.max(1),
+            "--open-jobs" => cfg.open_jobs = usize_val()?.max(1),
+            "--rate-fraction" => cfg.open_rate_fraction = f64_val()?,
+            "--min-ratio" => cfg.min_hit_ratio = f64_val()?,
+            "--attempts" => cfg.attempts = usize_val()?.max(1),
+            "--frame" => cfg.frame = val.clone(),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 2;
+    }
+    if json_path.is_empty() {
+        return Err("usage: loadgen --json <report.json> [--clients N] [--hit-jobs N] \
+                    [--cold-jobs N] [--open-jobs N] [--rate-fraction F] [--min-ratio F] \
+                    [--attempts N] [--frame <job json>]"
+            .into());
+    }
+    let report = run(&cfg)?;
+    print!("{}", render_text(&report));
+    std::fs::write(&json_path, render_json(&report, &cfg))
+        .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+    println!("wrote {json_path}");
+    if !report.gate_passed {
+        return Err(format!(
+            "hit/cold throughput ratio {:.2}x is below the {:.1}x gate after {} attempt(s)",
+            report.ratio, report.min_hit_ratio, report.attempts_used
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("loadgen: {e}");
+        std::process::exit(1);
+    }
+}

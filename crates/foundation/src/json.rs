@@ -50,8 +50,14 @@ impl Json {
     /// reading bench baselines back). Numbers without a fraction or
     /// exponent parse as [`Json::UInt`]/[`Json::Int`] when they fit,
     /// [`Json::Num`] otherwise. Errors carry a byte offset.
+    ///
+    /// Nesting is bounded by [`MAX_DEPTH`]: the parser recurses per
+    /// array/object level, so hostile input like a 100k-deep `[[[…`
+    /// would otherwise overflow the stack. Deeper documents return a
+    /// typed error (with the byte offset of the level that crossed the
+    /// limit) instead.
     pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -137,10 +143,17 @@ impl Json {
     }
 }
 
+/// Deepest array/object nesting [`Json::parse`] accepts. Each level is
+/// one recursion frame, so the bound is what keeps a hostile
+/// deeply-nested document from overflowing the stack; 128 is far beyond
+/// anything the workspace writes (traces nest 3 levels, tuning DBs 4).
+pub const MAX_DEPTH: usize = 128;
+
 /// Recursive-descent parser state over the input bytes.
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -189,12 +202,28 @@ impl Parser<'_> {
         }
     }
 
+    /// Bump the nesting depth on entering an array/object; errors (with
+    /// the opening bracket's byte offset) past [`MAX_DEPTH`]. The caller
+    /// decrements on exit.
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos.saturating_sub(1)
+            ));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -205,6 +234,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -214,10 +244,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -232,6 +264,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -456,6 +489,154 @@ impl<V: ToJson> ToJson for BTreeMap<String, V> {
     }
 }
 
+/// Streaming reader for newline-delimited JSON (NDJSON).
+///
+/// Wraps any [`std::io::BufRead`] source and yields one parsed [`Json`]
+/// document per non-blank line, reusing a single line buffer across calls
+/// so steady-state reads do not grow the heap. Lines longer than
+/// `max_line` bytes are rejected before parsing (a hostile peer cannot
+/// force an unbounded buffer), and parse errors are reported with both
+/// the line's starting byte offset in the stream and the in-line offset
+/// from [`Json::parse`].
+pub struct NdjsonReader<R: std::io::BufRead> {
+    src: R,
+    line: String,
+    /// Byte offset in the stream where the *next* line begins.
+    offset: u64,
+    max_line: usize,
+}
+
+/// One failure from [`NdjsonReader::next_doc`]: the stream byte offset of
+/// the offending line plus a human-readable message.
+#[derive(Debug)]
+pub struct NdjsonError {
+    pub offset: u64,
+    pub message: String,
+}
+
+impl std::fmt::Display for NdjsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (line starts at stream byte {})", self.message, self.offset)
+    }
+}
+
+impl<R: std::io::BufRead> NdjsonReader<R> {
+    /// Default per-line size cap: generous for job frames, small enough
+    /// that a malicious never-ending "line" cannot exhaust memory.
+    pub const DEFAULT_MAX_LINE: usize = 1 << 20;
+
+    pub fn new(src: R) -> Self {
+        Self::with_max_line(src, Self::DEFAULT_MAX_LINE)
+    }
+
+    pub fn with_max_line(src: R, max_line: usize) -> Self {
+        NdjsonReader { src, line: String::new(), offset: 0, max_line }
+    }
+
+    /// Byte offset in the stream where the next line will begin.
+    pub fn stream_offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// The raw text of the most recently read line (trailing newline
+    /// stripped). Valid until the next `next_doc` call.
+    pub fn last_line(&self) -> &str {
+        self.line.trim_end_matches(['\n', '\r'])
+    }
+
+    /// Read the next non-blank line without parsing it (protocol servers
+    /// that do their own frame decoding want the raw text). The returned
+    /// slice borrows the reused internal buffer. Returns `Ok(None)` at
+    /// end of stream.
+    pub fn next_line(&mut self) -> Result<Option<&str>, NdjsonError> {
+        loop {
+            let start = self.offset;
+            self.line.clear();
+            let n = read_limited_line(&mut self.src, &mut self.line, self.max_line)
+                .map_err(|message| NdjsonError { offset: start, message })?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.offset += n as u64;
+            if self.line.trim().is_empty() {
+                continue;
+            }
+            // borrow-checker friendly re-slice of the retained buffer
+            break;
+        }
+        Ok(Some(self.line.trim_end_matches(['\n', '\r'])))
+    }
+
+    /// Read the next document. Blank lines are skipped. Returns
+    /// `Ok(None)` at end of stream.
+    pub fn next_doc(&mut self) -> Result<Option<Json>, NdjsonError> {
+        loop {
+            let start = self.offset;
+            self.line.clear();
+            let n = read_limited_line(&mut self.src, &mut self.line, self.max_line)
+                .map_err(|message| NdjsonError { offset: start, message })?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.offset += n as u64;
+            let text = self.line.trim_end_matches(['\n', '\r']);
+            if text.trim().is_empty() {
+                continue;
+            }
+            return match Json::parse(text) {
+                Ok(doc) => Ok(Some(doc)),
+                Err(message) => Err(NdjsonError { offset: start, message }),
+            };
+        }
+    }
+}
+
+/// `read_line` with a byte cap: reads until `\n` or EOF, erroring once the
+/// line exceeds `max_line` bytes (the rest of the oversized line is left
+/// unread; callers treating this as fatal should drop the connection).
+/// Returns the number of bytes consumed (0 at EOF).
+fn read_limited_line<R: std::io::BufRead>(
+    src: &mut R,
+    out: &mut String,
+    max_line: usize,
+) -> Result<usize, String> {
+    let mut buf = std::mem::take(out).into_bytes();
+    let mut total = 0usize;
+    let result = loop {
+        let chunk = match src.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => break Err(format!("read error: {e}")),
+        };
+        if chunk.is_empty() {
+            break Ok(total); // EOF (possibly mid-line)
+        }
+        let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (chunk.len(), false),
+        };
+        if total + take > max_line {
+            break Err(format!("line exceeds {max_line} byte limit"));
+        }
+        buf.extend_from_slice(&chunk[..take]);
+        src.consume(take);
+        total += take;
+        if done {
+            break Ok(total);
+        }
+    };
+    match String::from_utf8(buf) {
+        Ok(s) => {
+            *out = s;
+            result
+        }
+        Err(e) => {
+            *out = String::from_utf8_lossy(e.as_bytes()).into_owned();
+            result.and_then(|_| Err("line is not valid UTF-8".to_string()))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,5 +796,58 @@ mod tests {
             ("opt", (None as Option<u64>).to_json()),
         ]);
         assert_eq!(j.dump(), r#"{"xs":[1,2,3],"name":"grid","opt":null}"#);
+    }
+
+    #[test]
+    fn hostile_deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // 10k-deep array: without the depth guard this recurses 10k
+        // frames and crashes the process instead of returning Err.
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+        assert!(err.contains(&format!("{MAX_DEPTH} levels")), "{err}");
+        assert!(err.contains(&format!("byte {MAX_DEPTH}")), "{err}");
+
+        // same for objects
+        let deep_obj = r#"{"a":"#.repeat(10_000) + "1" + &"}".repeat(10_000);
+        assert!(Json::parse(&deep_obj).unwrap_err().contains("nesting deeper than"));
+
+        // exactly MAX_DEPTH levels still parses; the depth counter must
+        // unwind correctly so siblings at depth 2 don't accumulate
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+        let siblings = format!("[{}]", vec!["[[1]]"; 200].join(","));
+        assert!(Json::parse(&siblings).is_ok(), "depth must reset between siblings");
+        let obj_siblings = format!("[{}]", vec![r#"{"a":{"b":1}}"#; 200].join(","));
+        assert!(Json::parse(&obj_siblings).is_ok(), "object depth must unwind too");
+    }
+
+    #[test]
+    fn ndjson_reader_streams_documents_with_offsets() {
+        let text = "{\"a\":1}\n\n  \n[2,3]\nnot json\n";
+        let mut r = NdjsonReader::new(text.as_bytes());
+        assert_eq!(r.stream_offset(), 0);
+        let d1 = r.next_doc().unwrap().unwrap();
+        assert_eq!(d1.get("a").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(r.last_line(), "{\"a\":1}");
+        // blank lines are skipped; offset tracks the raw stream
+        let d2 = r.next_doc().unwrap().unwrap();
+        assert_eq!(d2.as_arr().unwrap().len(), 2);
+        let err = r.next_doc().unwrap_err();
+        assert_eq!(err.offset, 18, "offset of the line that failed to parse");
+        assert!(err.message.contains("byte"), "{}", err.message);
+        assert!(r.next_doc().unwrap().is_none(), "EOF after the bad line");
+    }
+
+    #[test]
+    fn ndjson_reader_caps_line_length() {
+        let long = format!("[{}]\n[1]\n", "1,".repeat(100));
+        let mut r = NdjsonReader::with_max_line(long.as_bytes(), 64);
+        let err = r.next_doc().unwrap_err();
+        assert!(err.message.contains("64 byte limit"), "{}", err.message);
+        // unterminated final line (EOF without newline) still parses
+        let mut r2 = NdjsonReader::new("[7]".as_bytes());
+        assert_eq!(r2.next_doc().unwrap().unwrap().as_arr().unwrap().len(), 1);
+        assert!(r2.next_doc().unwrap().is_none());
     }
 }

@@ -303,7 +303,10 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new() -> Self {
+    /// A fresh, unregistered histogram. Use this for locally-owned
+    /// latency tracking (e.g. per-tenant histograms held in a map);
+    /// [`histogram`] registers process-wide named instances.
+    pub fn new() -> Self {
         Histogram {
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
@@ -348,6 +351,35 @@ impl Histogram {
     /// Bucket counts (bucket `i` ≈ durations in `[2^i, 2^(i+1))` ns).
     pub fn buckets(&self) -> [u64; HIST_BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Approximate `q`-quantile (0.0..=1.0) of the recorded durations,
+    /// in nanoseconds. Resolution is the log₂ bucketing: the answer is
+    /// the upper edge of the bucket containing the q-th sample, clamped
+    /// to the observed max. Returns 0 when nothing has been recorded.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let buckets = self.buckets();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        // rank of the target sample, 1-based; q<=0 -> first, q>=1 -> last
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max_ns());
+            }
+        }
+        self.max_ns()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -27,10 +27,12 @@ mod backend;
 #[cfg(test)]
 mod exec_tests;
 mod params;
+mod session;
 mod stepper;
 
 pub use backend::{Backend, CudaCore, TcuF64};
 pub use params::{ScheduleParams, Staging};
+pub use session::ExecSession;
 pub use stepper::{apply_once, apply_once_planes, run, run_tuned, Stepper, Workspace};
 
 use crate::decompose::RankOneTerm;

@@ -34,6 +34,15 @@ const VALUED: &[&str] = &[
     "db",
     "budget",
     "reps",
+    "socket",
+    "tcp",
+    "batch",
+    "batch-wait-us",
+    "max-queue",
+    "plan-cache",
+    "max-conns",
+    "tune-budget",
+    "frame",
 ];
 
 /// Bare flags the CLI understands.

@@ -15,6 +15,7 @@
 //! ```
 
 pub mod args;
+pub mod serve;
 pub mod tune;
 
 pub use tune::{install_tuning_db, tune_report};
@@ -246,12 +247,18 @@ pub fn broadcast_dims(dims: &[usize], kernel_dims: usize) -> Vec<usize> {
     }
 }
 
+/// The deterministic per-point value of every generated grid: `idx` is
+/// the plane-major linear index. One definition shared by `make_grid`
+/// (the offline `run`/`profile`/`tune` paths) and the serve daemon's
+/// session fill, so a service job and `run --seed N` agree bit for bit.
+pub fn grid_value(seed: u64, idx: u64) -> f64 {
+    let x = idx.wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15);
+    ((x >> 17) % 4096) as f64 / 256.0 - 8.0
+}
+
 /// Build a deterministic input grid of the given dimensions.
 pub fn make_grid(dims: &[usize], seed: u64) -> GridData {
-    let f = move |idx: u64| {
-        let x = idx.wrapping_add(seed).wrapping_mul(0x9E3779B97F4A7C15);
-        ((x >> 17) % 4096) as f64 / 256.0 - 8.0
-    };
+    let f = move |idx: u64| grid_value(seed, idx);
     match dims {
         [n] => GridData::D1(Grid1D::from_fn(*n, |i| f(i as u64))),
         [r, c] => GridData::D2(Grid2D::from_fn(*r, *c, |i, j| f((i * c + j) as u64))),
@@ -530,7 +537,14 @@ pub fn usage() -> &'static str {
        lorastencil emit-cuda (--kernel <name> | --spec <file>) [--config ...]\n\
        lorastencil trace (--kernel <name> | --spec <file>) [--config ...]\n\
        lorastencil analyze [--radius h]\n\
-       lorastencil help\n"
+       lorastencil serve (--socket <path> | --tcp <addr>) [--batch N] [--batch-wait-us U]\n\
+                      [--max-queue N] [--plan-cache N] [--max-conns N] [--tuning-db <file>]\n\
+       lorastencil submit (--socket <path> | --tcp <addr>) [--frame '<json>']   # or frames on stdin\n\
+       lorastencil help\n\n\
+     SERVE PROTOCOL (one JSON object per line; see DESIGN.md \u{00a7}13):\n\
+       {\"kernel\":\"Box-2D9P\",\"size\":[64,64],\"iters\":2,\"seed\":7}\n\
+       {\"scenario\":\"small-2d\",\"tenant\":\"team-a\"}\n\
+       {\"op\":\"stats\"} | {\"op\":\"ping\"} | {\"op\":\"shutdown\"}\n"
 }
 
 #[cfg(test)]

@@ -189,6 +189,39 @@ fn real_main() -> Result<(), String> {
             }
             print!("{}", validate_trace(path)?);
         }
+        "serve" => {
+            let tuning_db = args.opt("tuning-db", "");
+            if !tuning_db.is_empty() {
+                print!("{}", install_tuning_db(tuning_db)?);
+            }
+            let num = |key: &str, default: &str| -> Result<usize, String> {
+                args.opt(key, default).parse().map_err(|e| format!("bad --{key}: {e}"))
+            };
+            let cfg = stencil_cli::serve::ServeConfig {
+                batch_max: num("batch", "1")?.max(1),
+                batch_wait_us: num("batch-wait-us", "200")? as u64,
+                max_queue: num("max-queue", "64")?.max(1),
+                cache_capacity: num("plan-cache", "32")?,
+                max_conns: num("max-conns", "32")?.max(1),
+                tune_budget: num("tune-budget", "4")?,
+            };
+            let opts = stencil_cli::serve::ServeOptions {
+                socket: args.opt("socket", "").to_string(),
+                tcp: args.opt("tcp", "").to_string(),
+                cfg,
+            };
+            print!("{}", stencil_cli::serve::serve(opts)?);
+        }
+        "submit" => {
+            print!(
+                "{}",
+                stencil_cli::serve::submit(
+                    args.opt("socket", ""),
+                    args.opt("tcp", ""),
+                    args.opt("frame", ""),
+                )?
+            );
+        }
         other => {
             eprint!("unknown subcommand {other}\n\n{}", usage());
             return Err(String::new()); // already reported

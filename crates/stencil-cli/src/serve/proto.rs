@@ -1,0 +1,522 @@
+//! The serve job protocol: one JSON object per line, decoded by a
+//! hand-written **borrowing, non-recursive** scanner.
+//!
+//! The daemon parses untrusted bytes on its hot path, which imposes two
+//! requirements [`foundation::json::Json::parse`] cannot meet:
+//!
+//! * **Zero allocation** on well-formed frames — a [`Frame`] borrows
+//!   every string straight out of the input line, so a cache-hit request
+//!   stays allocation-free end to end (`tests/steady_state.rs`).
+//! * **No recursion** — the decoder walks a fixed, flat grammar (one
+//!   object of known keys; the only nesting is the `size` array), so a
+//!   hostile 100k-deep frame fails on its second byte instead of
+//!   consuming stack. (General documents get the same protection from
+//!   the depth guard in `foundation::json`; the serve path never even
+//!   gets that far.)
+//!
+//! Every rejection is a typed [`ProtoError`] carrying the byte offset of
+//! the offending token, which the server echoes back verbatim — the
+//! fuzz battery (`tests/serve_protocol.rs`) holds the protocol to that
+//! contract for every malformed-input class it can generate.
+
+/// What a frame asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Execute a stencil job (the default).
+    Run,
+    /// Report server statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting work and exit.
+    Shutdown,
+}
+
+/// How much of the output grid the response carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValuesMode {
+    /// CRC-32 of the output bits plus sum/min/max (the default).
+    Digest,
+    /// The digest and the full value array (small grids only).
+    Full,
+    /// Digest suppressed too; counters and profile only.
+    None,
+}
+
+/// One decoded job frame. String fields borrow the input line.
+#[derive(Debug, Clone, Copy)]
+pub struct Frame<'a> {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    pub op: OpKind,
+    /// Accounting bucket for per-tenant metrics.
+    pub tenant: &'a str,
+    /// Kernel name (as `stencil-cli run --kernel` accepts it).
+    pub kernel: &'a str,
+    /// Named preset supplying kernel/size/iters/config instead.
+    pub scenario: &'a str,
+    /// Grid extents; only `ndims` leading entries are meaningful.
+    pub size: [usize; 3],
+    pub ndims: usize,
+    /// Time steps; `None` means "frame did not say" (scenario default).
+    pub iters: Option<usize>,
+    pub seed: u64,
+    /// `ExecConfig` toggle spec (`"full"`, `"no-bvs,no-async"`, …).
+    pub config: &'a str,
+    pub values: ValuesMode,
+    /// Bitmask of keys the frame actually carried (KEYS order), so the
+    /// server can tell an explicit `"config":"full"` from the default —
+    /// scenarios reject explicit overrides of what they preset.
+    seen: u32,
+}
+
+impl Frame<'_> {
+    /// Whether the frame explicitly carried `key`.
+    pub fn has(&self, key: &str) -> bool {
+        KEYS.iter().position(|k| *k == key).is_some_and(|i| self.seen & (1 << i) != 0)
+    }
+}
+
+/// A typed frame rejection: machine-readable kind, byte offset into the
+/// line, human-readable detail. The only part of the protocol allowed to
+/// allocate — errors are off the steady-state path by definition.
+#[derive(Debug)]
+pub struct ProtoError {
+    /// `"parse"` (malformed JSON), `"frame"` (well-formed but not a
+    /// valid job) or `"limit"` (structurally fine, rejected for size).
+    pub kind: &'static str,
+    /// Byte offset of the offending token within the line.
+    pub offset: usize,
+    pub detail: String,
+}
+
+impl ProtoError {
+    fn new(kind: &'static str, offset: usize, detail: impl Into<String>) -> Self {
+        ProtoError { kind, offset, detail: detail.into() }
+    }
+}
+
+/// Largest accepted grid (points per job): bounds the daemon's per-job
+/// memory to a few hundred MB no matter what a client asks for.
+pub const MAX_POINTS: usize = 1 << 22;
+/// Largest accepted extent along one axis.
+pub const MAX_DIM: usize = 1 << 20;
+/// Largest accepted iteration count per job.
+pub const MAX_ITERS: usize = 4096;
+/// Longest accepted string field (tenant/kernel/scenario/config).
+pub const MAX_STR: usize = 128;
+/// Past this many output points, `"values":"full"` is refused.
+pub const MAX_FULL_VALUES: usize = 1 << 16;
+
+/// The frame keys, in bitmask order (for duplicate detection).
+const KEYS: &[&str] =
+    &["id", "op", "tenant", "kernel", "scenario", "size", "iters", "seed", "config", "values"];
+
+/// Decode one line into a [`Frame`]. Allocation-free on success.
+pub fn parse_frame(line: &str) -> Result<Frame<'_>, ProtoError> {
+    let mut c = Cursor { s: line, b: line.as_bytes(), pos: 0 };
+    let mut f = Frame {
+        id: None,
+        op: OpKind::Run,
+        tenant: "anon",
+        kernel: "",
+        scenario: "",
+        size: [0; 3],
+        ndims: 0,
+        iters: None,
+        seed: 42,
+        config: "full",
+        values: ValuesMode::Digest,
+        seen: 0,
+    };
+    c.skip_ws();
+    c.expect(b'{', "a JSON object (every job frame is one object per line)")?;
+    let mut seen: u32 = 0;
+    c.skip_ws();
+    if c.peek() != Some(b'}') {
+        loop {
+            c.skip_ws();
+            let key_at = c.pos;
+            let key = c.string("an object key")?;
+            let Some(idx) = KEYS.iter().position(|k| *k == key) else {
+                return Err(ProtoError::new(
+                    "frame",
+                    key_at,
+                    format!("unknown key \"{key}\" (keys: {})", KEYS.join(", ")),
+                ));
+            };
+            if seen & (1 << idx) != 0 {
+                return Err(ProtoError::new("frame", key_at, format!("duplicate key \"{key}\"")));
+            }
+            seen |= 1 << idx;
+            c.skip_ws();
+            c.expect(b':', "':' after the key")?;
+            c.skip_ws();
+            match key {
+                "id" => f.id = Some(c.uint("id", u64::MAX)?),
+                "op" => {
+                    let at = c.pos;
+                    f.op = match c.string("op")? {
+                        "run" => OpKind::Run,
+                        "stats" => OpKind::Stats,
+                        "ping" => OpKind::Ping,
+                        "shutdown" => OpKind::Shutdown,
+                        other => {
+                            return Err(ProtoError::new(
+                                "frame",
+                                at,
+                                format!("unknown op \"{other}\" (run, stats, ping, shutdown)"),
+                            ))
+                        }
+                    };
+                }
+                "tenant" => f.tenant = c.capped_string("tenant")?,
+                "kernel" => f.kernel = c.capped_string("kernel")?,
+                "scenario" => f.scenario = c.capped_string("scenario")?,
+                "config" => f.config = c.capped_string("config")?,
+                "size" => (f.size, f.ndims) = c.size()?,
+                "iters" => f.iters = Some(c.uint("iters", MAX_ITERS as u64)? as usize),
+                "seed" => f.seed = c.uint("seed", u64::MAX)?,
+                "values" => {
+                    let at = c.pos;
+                    f.values = match c.string("values")? {
+                        "digest" => ValuesMode::Digest,
+                        "full" => ValuesMode::Full,
+                        "none" => ValuesMode::None,
+                        other => {
+                            return Err(ProtoError::new(
+                                "frame",
+                                at,
+                                format!("unknown values mode \"{other}\" (digest, full, none)"),
+                            ))
+                        }
+                    };
+                }
+                _ => unreachable!("KEYS is exhaustive"),
+            }
+            c.skip_ws();
+            match c.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => {
+                    return Err(ProtoError::new(
+                        "parse",
+                        c.pos.saturating_sub(1).min(line.len()),
+                        "expected ',' or '}'",
+                    ))
+                }
+            }
+        }
+    } else {
+        c.pos += 1; // the '}' of an empty object
+    }
+    c.skip_ws();
+    if c.pos < c.b.len() {
+        return Err(ProtoError::new("parse", c.pos, "trailing bytes after the frame"));
+    }
+    f.seen = seen;
+    // cross-field shape checks (only Run carries a job)
+    if f.op == OpKind::Run {
+        if !f.kernel.is_empty() && !f.scenario.is_empty() {
+            return Err(ProtoError::new(
+                "frame",
+                0,
+                "\"kernel\" and \"scenario\" are mutually exclusive",
+            ));
+        }
+        if f.kernel.is_empty() && f.scenario.is_empty() {
+            return Err(ProtoError::new(
+                "frame",
+                0,
+                "a run frame needs \"kernel\" or \"scenario\"",
+            ));
+        }
+        if !f.kernel.is_empty() && f.ndims == 0 {
+            return Err(ProtoError::new(
+                "frame",
+                0,
+                "\"kernel\" jobs need an explicit \"size\" (scenarios carry their own)",
+            ));
+        }
+    }
+    Ok(f)
+}
+
+/// Flat, iterative scanner over one frame line.
+struct Cursor<'a> {
+    s: &'a str,
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8, what: &str) -> Result<(), ProtoError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ProtoError::new("parse", self.pos, format!("expected {what}")))
+        }
+    }
+
+    /// A JSON string **without escapes** (frame fields are plain names;
+    /// refusing `\` keeps decoding a borrow instead of a copy).
+    fn string(&mut self, what: &str) -> Result<&'a str, ProtoError> {
+        let start = self.pos;
+        if self.next() != Some(b'"') {
+            return Err(ProtoError::new("frame", start, format!("{what} must be a string")));
+        }
+        let body = self.pos;
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(&self.s[body..self.pos - 1]),
+                Some(b'\\') => {
+                    return Err(ProtoError::new(
+                        "frame",
+                        self.pos - 1,
+                        "escape sequences are not allowed in job frames",
+                    ))
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(ProtoError::new(
+                        "parse",
+                        self.pos - 1,
+                        "control byte inside a string",
+                    ))
+                }
+                Some(_) => {}
+                None => {
+                    return Err(ProtoError::new("parse", self.pos, "unterminated string"));
+                }
+            }
+        }
+    }
+
+    fn capped_string(&mut self, what: &str) -> Result<&'a str, ProtoError> {
+        let at = self.pos;
+        let s = self.string(what)?;
+        if s.len() > MAX_STR {
+            return Err(ProtoError::new("limit", at, format!("{what} exceeds {MAX_STR} bytes")));
+        }
+        Ok(s)
+    }
+
+    /// An unsigned decimal integer with overflow and range checks.
+    /// Signs, fractions and exponents are refused — a frame that says
+    /// `1e99` iterations is asking for trouble, not precision.
+    fn uint(&mut self, what: &str, max: u64) -> Result<u64, ProtoError> {
+        let start = self.pos;
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(ProtoError::new(
+                "frame",
+                start,
+                format!("{what} must be an unsigned integer"),
+            ));
+        }
+        let mut v: u64 = 0;
+        while let Some(c @ b'0'..=b'9') = self.peek() {
+            v = v.checked_mul(10).and_then(|v| v.checked_add((c - b'0') as u64)).ok_or_else(
+                || ProtoError::new("limit", start, format!("{what} overflows 64 bits")),
+            )?;
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+            return Err(ProtoError::new(
+                "frame",
+                start,
+                format!("{what} must be a plain unsigned integer"),
+            ));
+        }
+        if v > max {
+            return Err(ProtoError::new("limit", start, format!("{what} exceeds the limit {max}")));
+        }
+        Ok(v)
+    }
+
+    /// The `size` value: `[64,64]` or the CLI spelling `"64x64"`.
+    /// Validates dimension count, per-axis bounds, and the total-point
+    /// cap so one frame cannot OOM the daemon.
+    fn size(&mut self) -> Result<([usize; 3], usize), ProtoError> {
+        let at = self.pos;
+        let mut dims = [0usize; 3];
+        let mut n = 0;
+        match self.peek() {
+            Some(b'[') => {
+                self.pos += 1;
+                loop {
+                    self.skip_ws();
+                    if n == 3 {
+                        return Err(ProtoError::new(
+                            "limit",
+                            self.pos,
+                            "size has more than 3 dims",
+                        ));
+                    }
+                    dims[n] = self.uint("size entry", MAX_DIM as u64)? as usize;
+                    n += 1;
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => break,
+                        _ => {
+                            return Err(ProtoError::new(
+                                "parse",
+                                self.pos.saturating_sub(1).min(self.b.len()),
+                                "expected ',' or ']' in size",
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(b'"') => {
+                let spec = self.string("size")?;
+                let mut it = spec.split('x');
+                for part in it.by_ref() {
+                    if n == 3 {
+                        return Err(ProtoError::new("limit", at, "size has more than 3 dims"));
+                    }
+                    let mut v: u64 = 0;
+                    if part.is_empty() || !part.bytes().all(|c| c.is_ascii_digit()) {
+                        return Err(ProtoError::new(
+                            "frame",
+                            at,
+                            format!("bad size spec \"{spec}\" (want N, NxM or NxMxK)"),
+                        ));
+                    }
+                    for c in part.bytes() {
+                        v = v
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add((c - b'0') as u64))
+                            .ok_or_else(|| {
+                                ProtoError::new("limit", at, "size entry overflows 64 bits")
+                            })?;
+                    }
+                    if v > MAX_DIM as u64 {
+                        return Err(ProtoError::new(
+                            "limit",
+                            at,
+                            format!("size entry exceeds the limit {MAX_DIM}"),
+                        ));
+                    }
+                    dims[n] = v as usize;
+                    n += 1;
+                }
+            }
+            _ => {
+                return Err(ProtoError::new(
+                    "frame",
+                    at,
+                    "size must be an array like [64,64] or a string like \"64x64\"",
+                ))
+            }
+        }
+        if n == 0 || dims[..n].contains(&0) {
+            return Err(ProtoError::new("frame", at, "size needs 1-3 positive dims"));
+        }
+        let points = dims[..n].iter().try_fold(1usize, |a, &d| a.checked_mul(d));
+        match points {
+            Some(p) if p <= MAX_POINTS => Ok((dims, n)),
+            _ => Err(ProtoError::new("limit", at, format!("grid exceeds {MAX_POINTS} points"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_run_frame() {
+        let f = parse_frame(r#"{"kernel":"Box-2D9P","size":[64,64]}"#).unwrap();
+        assert_eq!(f.op, OpKind::Run);
+        assert_eq!(f.kernel, "Box-2D9P");
+        assert_eq!((f.size, f.ndims), ([64, 64, 0], 2));
+        assert_eq!(f.iters, None);
+        assert_eq!(f.seed, 42);
+        assert_eq!(f.values, ValuesMode::Digest);
+    }
+
+    #[test]
+    fn full_frame_and_string_size() {
+        let f = parse_frame(
+            r#"{"id":7,"op":"run","tenant":"t0","kernel":"heat3d","size":"4x8x16","iters":3,"seed":1,"config":"no-bvs","values":"full"}"#,
+        )
+        .unwrap();
+        assert_eq!(f.id, Some(7));
+        assert_eq!((f.size, f.ndims), ([4, 8, 16], 3));
+        assert_eq!(f.iters, Some(3));
+        assert_eq!(f.config, "no-bvs");
+        assert_eq!(f.values, ValuesMode::Full);
+    }
+
+    #[test]
+    fn control_frames_need_no_job_fields() {
+        assert_eq!(parse_frame(r#"{"op":"ping"}"#).unwrap().op, OpKind::Ping);
+        assert_eq!(parse_frame(r#"{"op":"stats","id":1}"#).unwrap().op, OpKind::Stats);
+        assert_eq!(parse_frame(r#"{"op":"shutdown"}"#).unwrap().op, OpKind::Shutdown);
+    }
+
+    #[test]
+    fn typed_errors_carry_offsets() {
+        // (frame text, expected kind, substring of detail)
+        let cases: &[(&str, &str, &str)] = &[
+            ("", "parse", "job frame"),
+            ("[1,2]", "parse", "job frame"),
+            (r#"{"kernel":"x","size":[8]}extra"#, "parse", "trailing"),
+            (r#"{"kernel":"x" "size":[8]}"#, "parse", "expected ','"),
+            (r#"{"kern":"x"}"#, "frame", "unknown key"),
+            (r#"{"kernel":"a","kernel":"b"}"#, "frame", "duplicate key"),
+            (r#"{"kernel":7}"#, "frame", "must be a string"),
+            (r#"{"iters":"many"}"#, "frame", "unsigned integer"),
+            (r#"{"iters":1.5}"#, "frame", "plain unsigned integer"),
+            (r#"{"seed":99999999999999999999999}"#, "limit", "overflows"),
+            (r#"{"iters":100000,"kernel":"x","size":[8]}"#, "limit", "exceeds the limit"),
+            (r#"{"kernel":"x","size":[0]}"#, "frame", "positive dims"),
+            (r#"{"kernel":"x","size":[4096,4096]}"#, "limit", "points"),
+            (r#"{"kernel":"x","size":{"r":4}}"#, "frame", "size must be an array"),
+            (r#"{"kernel":"x","size":[[8]]}"#, "frame", "unsigned integer"),
+            (r#"{"kernel":"a\nb","size":[8]}"#, "frame", "escape sequences"),
+            (r#"{"op":"dance"}"#, "frame", "unknown op"),
+            (r#"{"kernel":"x","size":[8],"scenario":"y"}"#, "frame", "mutually exclusive"),
+            (r#"{}"#, "frame", "needs \"kernel\" or \"scenario\""),
+            (r#"{"kernel":"x"}"#, "frame", "explicit \"size\""),
+            (r#"{"kernel":"unterminated"#, "parse", "unterminated"),
+        ];
+        for (text, kind, needle) in cases {
+            let e = parse_frame(text).unwrap_err();
+            assert_eq!(e.kind, *kind, "{text}: {}", e.detail);
+            assert!(e.detail.contains(needle), "{text}: {}", e.detail);
+            assert!(e.offset <= text.len(), "{text}: offset {} out of range", e.offset);
+        }
+    }
+
+    #[test]
+    fn deep_nesting_fails_fast_without_recursion() {
+        // a general JSON parser would recurse here; the frame scanner
+        // rejects the first unexpected bracket
+        let deep = format!("{}\"x\"{}", "[".repeat(100_000), "]".repeat(100_000));
+        let e = parse_frame(&deep).unwrap_err();
+        assert_eq!((e.kind, e.offset), ("parse", 0));
+        let deep_val = format!(r#"{{"size":{}1{}}}"#, "[".repeat(100_000), "]".repeat(100_000));
+        let e = parse_frame(&deep_val).unwrap_err();
+        assert!(e.offset <= deep_val.len());
+    }
+}

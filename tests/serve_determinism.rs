@@ -1,0 +1,147 @@
+//! Concurrency determinism for the serve stack: N clients submitting
+//! the same job concurrently — across worker-pool widths, with and
+//! without multi-tenant batching, against warm and cold caches — must
+//! all receive **bit-identical values (digest) and counters**.
+//!
+//! Two strengths of guarantee, deliberately distinguished:
+//!
+//! - *Within one server*: every response is identical in full — digest
+//!   and all counter fields — because every session of a cache entry
+//!   runs the entry's memoized schedule.
+//! - *Across servers* (and against an offline [`ExecSession`]): the
+//!   digest and the Prediction-class invariant counters are identical.
+//!   A cold cache re-runs the on-miss schedule tuner whose winner is
+//!   timing-dependent, and schedule choice may legitimately move the
+//!   *descriptive* counters (staging traffic, issue counts) — but the
+//!   tuner's bit-identity gate only admits schedules whose values and
+//!   invariant counters match the default exactly, so scheduling
+//!   freedom never becomes answer freedom.
+
+use std::sync::Arc;
+
+use foundation::crc::Crc32;
+use foundation::json::Json;
+use lorastencil::{ExecConfig, ExecSession};
+use stencil_cli::serve::{Action, ConnState, ServeConfig, ServerCore};
+use stencil_core::kernels;
+
+const FRAME: &str = r#"{"kernel":"Box-2D49P","size":[24,24],"iters":3,"seed":9}"#;
+const CLIENTS: usize = 6;
+const JOBS_PER_CLIENT: usize = 3;
+
+/// The counter fields every schedule must keep invariant (the
+/// `Prediction` class — same set `stencil-cli tune`'s gate enforces).
+const INVARIANTS: &[&str] =
+    &["mma_ops", "shared_load_requests", "shuffle_ops", "global_bytes_written", "points_updated"];
+
+/// digest string + all counter fields (sorted by name), from a response.
+fn fingerprint(resp: &str) -> (String, Vec<(String, f64)>) {
+    let doc = Json::parse(resp).unwrap_or_else(|e| panic!("bad response JSON ({e}): {resp}"));
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "job failed: {resp}");
+    let digest = doc
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no digest in {resp}"))
+        .to_string();
+    let counters = match doc.get("counters") {
+        Some(Json::Obj(fields)) => {
+            fields.iter().map(|(k, v)| (k.clone(), v.as_f64().expect("numeric counter"))).collect()
+        }
+        other => panic!("no counters object ({other:?}) in {resp}"),
+    };
+    (digest, counters)
+}
+
+fn lookup(counters: &[(String, f64)], name: &str) -> f64 {
+    counters.iter().find(|(k, _)| k == name).unwrap_or_else(|| panic!("counter {name} missing")).1
+}
+
+/// What the daemon must reproduce: one offline session, default params
+/// (no tuning DB in this process), digested exactly like the server.
+fn offline_fingerprint() -> (String, Vec<(String, f64)>) {
+    let kernel = kernels::by_name("Box-2D49P").unwrap();
+    let mut sess = ExecSession::new(&kernel, ExecConfig::default(), &[24, 24]);
+    sess.fill_with(|idx| stencil_cli::grid_value(9, idx));
+    let counters = sess.run(3);
+    let mut crc = Crc32::new();
+    for plane in sess.planes() {
+        for &v in plane.as_slice() {
+            crc.update(&v.to_bits().to_le_bytes());
+        }
+    }
+    (
+        format!("crc32:{:08x}", crc.finish()),
+        counters.fields().iter().map(|&(k, v)| (k.to_string(), v as f64)).collect(),
+    )
+}
+
+fn hammer(core: &Arc<ServerCore>) -> Vec<(String, Vec<(String, f64)>)> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut conn = ConnState::new();
+                    let mut out = Vec::with_capacity(JOBS_PER_CLIENT);
+                    for _ in 0..JOBS_PER_CLIENT {
+                        match core.handle_line(&mut conn, FRAME) {
+                            Action::Respond => out.push(fingerprint(&conn.resp)),
+                            Action::Shutdown => panic!("job frame triggered shutdown"),
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// One test function (not a matrix of #[test]s) so the
+/// `FOUNDATION_THREADS` mutations cannot race within this binary.
+#[test]
+fn concurrent_clients_get_bit_identical_answers() {
+    let (want_digest, want_counters) = offline_fingerprint();
+
+    for lanes in ["1", "2", "7"] {
+        std::env::set_var("FOUNDATION_THREADS", lanes);
+        for batch_max in [1usize, 4] {
+            let ctx = format!("FOUNDATION_THREADS={lanes}, batch_max={batch_max}");
+            let core = ServerCore::new(ServeConfig { batch_max, ..ServeConfig::default() });
+            let round1 = hammer(&core); // first round plans + tunes under contention
+            let round2 = hammer(&core); // second round is all cache hits
+            let reference = &round1[0].1;
+            for (digest, counters) in round1.iter().chain(&round2) {
+                assert_eq!(*digest, want_digest, "digest diverged ({ctx})");
+                // within one server: full counter identity
+                assert_eq!(*counters, *reference, "within-server counters diverged ({ctx})");
+                // against the offline session: invariant identity
+                for name in INVARIANTS {
+                    assert_eq!(
+                        lookup(counters, name),
+                        lookup(&want_counters, name),
+                        "invariant counter {name} diverged from offline ({ctx})"
+                    );
+                }
+            }
+            if batch_max > 1 {
+                core.begin_shutdown();
+                core.join_dispatcher();
+            }
+        }
+
+        // a cold cache re-plans (and re-tunes) every job, concurrently:
+        // the answers must still not move
+        let cold = ServerCore::new(ServeConfig { cache_capacity: 0, ..ServeConfig::default() });
+        for (digest, counters) in hammer(&cold) {
+            assert_eq!(digest, want_digest, "cold-plan digest diverged (lanes={lanes})");
+            for name in INVARIANTS {
+                assert_eq!(
+                    lookup(&counters, name),
+                    lookup(&want_counters, name),
+                    "cold-plan invariant {name} diverged (lanes={lanes})"
+                );
+            }
+        }
+    }
+    std::env::remove_var("FOUNDATION_THREADS");
+}

@@ -1,0 +1,245 @@
+//! Fuzz battery for the serve job protocol: no frame — malformed,
+//! truncated, duplicated-key, overflowing, deeply nested, or perfectly
+//! valid — may panic, hang, or produce a response that is not itself
+//! valid JSON. Every rejected frame must carry a typed error (`kind`,
+//! byte `offset`, human `detail`), and the server must keep answering
+//! after absorbing it.
+//!
+//! The generator draws from explicit attack classes rather than raw
+//! bytes: byte noise almost always dies at the first structural check,
+//! while class-directed frames reach the field validators, the limit
+//! checks and the cross-field rules. `FOUNDATION_PROP_CASES` scales the
+//! battery up; the floor here is 250 frames per run.
+
+use foundation::json::Json;
+use foundation::prop::{self, Config, Gen};
+use foundation::rng::Xoshiro256pp;
+use stencil_cli::serve::{Action, ConnState, ServeConfig, ServerCore};
+
+/// One adversarial (or deliberately valid) protocol line.
+#[derive(Clone, Debug)]
+struct AttackFrame {
+    class: &'static str,
+    line: String,
+}
+
+struct AttackGen;
+
+const KEYS: &[&str] =
+    &["id", "op", "tenant", "kernel", "scenario", "size", "iters", "seed", "config", "values"];
+
+fn valid_frame(rng: &mut Xoshiro256pp) -> String {
+    match rng.below_u64(4) {
+        0 => r#"{"kernel":"Box-2D9P","size":[8,8],"iters":1,"values":"none"}"#.into(),
+        1 => format!(r#"{{"scenario":"smoke-1d","tenant":"t{}","iters":1}}"#, rng.below_u64(4)),
+        2 => r#"{"op":"stats"}"#.into(),
+        _ => format!(r#"{{"op":"ping","id":{}}}"#, rng.below_u64(1 << 40)),
+    }
+}
+
+impl Gen for AttackGen {
+    type Value = AttackFrame;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> AttackFrame {
+        let (class, line) = match rng.below_u64(10) {
+            // structural noise: printable garbage, brackets, quotes
+            0 => {
+                let n = rng.below_u64(80) as usize;
+                let junk: String = (0..n)
+                    .map(|_| {
+                        let c = rng.below_u64(96) as u8 + 0x20;
+                        if c == 0x7f {
+                            b'{' as char
+                        } else {
+                            c as char
+                        }
+                    })
+                    .collect();
+                ("noise", junk)
+            }
+            // a valid frame truncated mid-token (always on a char
+            // boundary: valid frames here are pure ASCII)
+            1 => {
+                let full = valid_frame(rng);
+                let cut = rng.below_u64(full.len() as u64) as usize;
+                ("truncated", full[..cut].to_string())
+            }
+            // duplicated keys
+            2 => {
+                let k = KEYS[rng.below_u64(KEYS.len() as u64) as usize];
+                ("dup-key", format!(r#"{{"{k}":1,"{k}":1}}"#))
+            }
+            // unsigned-integer overflow and numeric malformations
+            3 => {
+                let bad = ["99999999999999999999999", "-3", "1.5", "2e9", "0x10", "+1"];
+                let v = bad[rng.below_u64(bad.len() as u64) as usize];
+                let k = ["iters", "seed", "id"][rng.below_u64(3) as usize];
+                ("overflow", format!(r#"{{"kernel":"1D5P","size":[64],"{k}":{v}}}"#))
+            }
+            // deep nesting: the parser must fail fast, not recurse
+            4 => {
+                let depth = 1 + rng.below_u64(10_000) as usize;
+                let mut s = String::from(r#"{"size":"#);
+                s.push_str(&"[".repeat(depth));
+                s.push('8');
+                s.push_str(&"]".repeat(depth));
+                s.push('}');
+                ("deep-nest", s)
+            }
+            // unknown keys, wrong value types, forbidden escapes
+            5 => {
+                let cases = [
+                    r#"{"kernle":"1D5P"}"#.to_string(),
+                    r#"{"kernel":42,"size":[8]}"#.to_string(),
+                    r#"{"size":"8x8","kernel":"1D5P"}"#.to_string(),
+                    r#"{"tenant":"a\nb","op":"ping"}"#.to_string(),
+                    format!(r#"{{"tenant":"{}","op":"ping"}}"#, "x".repeat(4096)),
+                ];
+                ("bad-field", cases[rng.below_u64(cases.len() as u64) as usize].clone())
+            }
+            // limit-violating but well-formed jobs
+            6 => {
+                let cases = [
+                    r#"{"kernel":"Box-2D9P","size":[4096,4096]}"#,
+                    r#"{"kernel":"1D5P","size":[0]}"#,
+                    r#"{"kernel":"1D5P","size":[64],"iters":100000}"#,
+                    r#"{"kernel":"Box-2D9P","size":[64,64],"values":"full","iters":1}"#,
+                    r#"{"kernel":"Heat-3D","size":[8,8]}"#,
+                ];
+                ("limits", cases[rng.below_u64(cases.len() as u64) as usize].to_string())
+            }
+            // cross-field conflicts
+            7 => {
+                let cases = [
+                    r#"{"scenario":"small-2d","size":[8,8]}"#,
+                    r#"{"scenario":"small-2d","kernel":"1D5P"}"#,
+                    r#"{"kernel":"1D5P"}"#,
+                    r#"{"iters":1}"#,
+                    r#"{"scenario":"no-such-scenario"}"#,
+                    r#"{"op":"runn"}"#,
+                ];
+                ("conflict", cases[rng.below_u64(cases.len() as u64) as usize].to_string())
+            }
+            // trailing garbage after a valid object
+            8 => {
+                let mut s = valid_frame(rng);
+                s.push_str(" {}");
+                ("trailing", s)
+            }
+            // fully valid frames: the battery must also prove good
+            // frames never trip the hardening
+            _ => ("valid", valid_frame(rng)),
+        };
+        AttackFrame { class, line }
+    }
+
+    fn shrink(&self, v: &AttackFrame) -> Vec<AttackFrame> {
+        // halve the line (ASCII-safe for every class that can fail)
+        let mut out = Vec::new();
+        if v.line.len() > 1 && v.line.is_char_boundary(v.line.len() / 2) {
+            out.push(AttackFrame { class: v.class, line: v.line[..v.line.len() / 2].into() });
+        }
+        out
+    }
+}
+
+#[test]
+fn fuzzed_frames_never_panic_and_errors_are_typed() {
+    let core = ServerCore::new(ServeConfig::default());
+    let mut cfg = Config::default();
+    cfg.cases = cfg.cases.max(250);
+    let cases = cfg.cases;
+    let served = std::cell::Cell::new(0usize);
+    let core_ref = &core;
+    let served_ref = &served;
+    prop::check_with(&cfg, "serve_protocol_hardening", &AttackGen, move |f: AttackFrame| {
+        let mut conn = ConnState::new();
+        match core_ref.handle_line(&mut conn, &f.line) {
+            Action::Respond => {}
+            Action::Shutdown => {
+                return Err(format!("frame of class {} triggered shutdown", f.class))
+            }
+        }
+        let doc = Json::parse(&conn.resp)
+            .map_err(|e| format!("class {}: response is not JSON ({e}): {}", f.class, conn.resp))?;
+        let ok = match doc.get("ok") {
+            Some(&Json::Bool(b)) => b,
+            _ => return Err(format!("class {}: response has no boolean \"ok\"", f.class)),
+        };
+        if !ok {
+            let err = doc
+                .get("error")
+                .ok_or_else(|| format!("class {}: ok:false without error object", f.class))?;
+            let kind = err
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("class {}: error without string kind", f.class))?;
+            prop::prop_assert!(
+                ["parse", "frame", "limit", "config", "kernel", "overloaded", "internal"]
+                    .contains(&kind),
+                "unknown error kind {kind:?}"
+            );
+            let offset = err
+                .get("offset")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("class {}: error without numeric offset", f.class))?;
+            prop::prop_assert!(
+                offset >= 0.0 && offset <= f.line.len() as f64,
+                "offset {offset} outside line of {} bytes",
+                f.line.len()
+            );
+            prop::prop_assert!(
+                err.get("detail").and_then(Json::as_str).map_or(false, |d| !d.is_empty()),
+                "error without a human-readable detail"
+            );
+        }
+        // the server must survive the frame: a known-good ping answers
+        let mut probe = ConnState::new();
+        match core_ref.handle_line(&mut probe, r#"{"op":"ping","id":7}"#) {
+            Action::Respond => {}
+            Action::Shutdown => return Err("ping after hostile frame shut the server".into()),
+        }
+        prop::prop_assert!(
+            probe.resp.contains("\"ok\":true"),
+            "server stopped answering after a {} frame: {}",
+            f.class,
+            probe.resp
+        );
+        served_ref.set(served_ref.get() + 1);
+        Ok(())
+    });
+    assert_eq!(served.get(), cases, "every generated frame must run the property");
+    assert!(cases >= 250, "the battery floor is 250 frames per run");
+}
+
+/// Canonical hostile frames with pinned diagnostics: the fuzz property
+/// above proves "typed error, never a panic"; this pins *which* error
+/// the flagship cases produce so diagnostics cannot silently regress.
+#[test]
+fn flagship_frames_get_the_right_diagnostics() {
+    let core = ServerCore::new(ServeConfig::default());
+    let mut conn = ConnState::new();
+    let expect = |conn: &mut ConnState, line: &str, kind: &str, needle: &str| {
+        assert!(matches!(core.handle_line(conn, line), Action::Respond));
+        let doc = Json::parse(&conn.resp).unwrap();
+        let err = doc.get("error").unwrap_or_else(|| panic!("no error for {line}: {}", conn.resp));
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some(kind), "{line} -> {}", conn.resp);
+        let detail = err.get("detail").and_then(Json::as_str).unwrap();
+        assert!(detail.contains(needle), "{line}: detail {detail:?} misses {needle:?}");
+    };
+    expect(&mut conn, "not json {", "parse", "JSON object");
+    expect(&mut conn, r#"{"op":"run","op":"run"}"#, "frame", "duplicate");
+    expect(
+        &mut conn,
+        r#"{"kernel":"1D5P","size":[64],"seed":99999999999999999999999}"#,
+        "limit",
+        "overflows",
+    );
+    expect(&mut conn, r#"{"kernel":"Box-2D9P","size":[4096,4096]}"#, "limit", "points");
+    expect(&mut conn, r#"{"scenario":"small-2d","size":[8,8]}"#, "frame", "scenario");
+    expect(&mut conn, r#"{"kernel":"warp-drive","size":[8]}"#, "kernel", "unknown kernel");
+    // a 10k-deep size dies at the first non-digit, without recursing
+    let mut deep = String::from(r#"{"size":"#);
+    deep.push_str(&"[".repeat(10_000));
+    expect(&mut conn, &deep, "frame", "unsigned integer");
+}

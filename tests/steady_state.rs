@@ -3,7 +3,9 @@
 //! spawn **no threads** — the double-buffered grids, the tiling, the
 //! weight fragments, the counter slots and the per-worker scratch are
 //! all reused, and the worker pool persists (see DESIGN.md, "Host-side
-//! performance model").
+//! performance model"). The serve daemon extends the guarantee to whole
+//! requests: a warm plan-cache hit answers without allocating or
+//! spawning either.
 //!
 //! This binary installs [`CountingAllocator`] as its global allocator,
 //! so [`allocation_count`] observes every heap allocation the process
@@ -102,6 +104,35 @@ fn steady_state_steps_allocate_nothing_and_spawn_nothing() {
         );
     }
     let _ = std::fs::remove_dir_all(&store_dir);
+
+    // The serve stack inherits the guarantee: a warm cache-hit request
+    // allocates nothing and spawns nothing. The first request plans
+    // (and tunes) the shape; the second warms the pooled session plus
+    // the connection's job-slot/response buffers; after that the whole
+    // request path — zero-copy frame parse, pool checkout, fill, run,
+    // digest, response write, tenant metrics — reuses what it has.
+    let core = stencil_cli::serve::ServerCore::new(stencil_cli::serve::ServeConfig {
+        batch_max: 1, // inline execution: the daemon's dispatcher is off
+        ..Default::default()
+    });
+    let mut conn = stencil_cli::serve::ConnState::new();
+    let frame = r#"{"kernel":"Box-2D9P","size":[16,16],"iters":1,"seed":3,"values":"none"}"#;
+    for _ in 0..2 {
+        let _ = core.handle_line(&mut conn, frame);
+        assert!(conn.resp.contains("\"ok\":true"), "warm-up failed: {}", conn.resp);
+    }
+    let allocs = allocation_count();
+    let spawned = threads_spawned();
+    for _ in 0..8 {
+        let _ = core.handle_line(&mut conn, frame);
+        assert!(conn.resp.contains("\"cache\":\"hit\""), "not a hit: {}", conn.resp);
+    }
+    assert_eq!(
+        allocation_count(),
+        allocs,
+        "warm serve cache hits must not allocate (FOUNDATION_THREADS=1)"
+    );
+    assert_eq!(threads_spawned(), spawned, "warm serve cache hits must not spawn threads");
 
     // Spawn assertion under parallel lanes: the pool grows eagerly on
     // the first call that wants more lanes, so after one warm-up step
