@@ -105,6 +105,33 @@ tune_smoke() {
     rm -f "$db"
 }
 
+backend_smoke() {
+    # one kernel per dimension on all four device backends, each
+    # verified against the naive reference. Within a backend family the
+    # outputs are bit-identical (sparse tensor cores skip only exact-zero
+    # products; SIMD keeps the scalar path's per-element tap order), so
+    # the saved grids are compared byte-for-byte: sparse vs tcu, simd vs
+    # cuda. Across families the accumulation order differs, which is
+    # what --verify is for.
+    local cli="cargo run --release --offline -p stencil-cli --bin lorastencil-cli --"
+    local kernel size out
+    for spec in "Heat-1D:4096" "Heat-2D:96x96" "Heat-3D:8x24x24"; do
+        kernel=${spec%%:*}; size=${spec##*:}
+        local backend
+        for backend in tcu sparse simd cuda; do
+            $cli run --kernel "$kernel" --size "$size" --iters 2 --verify \
+                --backend "$backend" --save "target/ci-backend-$backend.bin" >/dev/null \
+                || { echo "error: $kernel on backend $backend failed" >&2; exit 1; }
+        done
+        cmp -s target/ci-backend-tcu.bin target/ci-backend-sparse.bin \
+            || { echo "error: $kernel: sparse output differs from dense TCU" >&2; exit 1; }
+        cmp -s target/ci-backend-cuda.bin target/ci-backend-simd.bin \
+            || { echo "error: $kernel: SIMD output differs from scalar CUDA" >&2; exit 1; }
+        echo "   $kernel $size: 4 backends verified, sparse==tcu, simd==cuda"
+    done
+    rm -f target/ci-backend-*.bin
+}
+
 profile_smoke() {
     # run the profiler on a small 2-D workload, check the breakdown
     # names every instrumented host phase, and validate the emitted
@@ -240,6 +267,7 @@ step "bounded fuzz (STENCIL_VERIFY_CASES=${STENCIL_VERIFY_CASES:-25})" fuzz_boun
 step "quick executor bench (tuned schedules, writes BENCH_pr7.json)" quick_bench
 step "bench regression guard (>10% vs BENCH_pr2.json fails)" bench_guard
 step "tune smoke (bounded autotune + invariant-counter check)" tune_smoke
+step "backend smoke (4 backends x 3 dims, verify + in-family bit-identity)" backend_smoke
 step "profile smoke (stencil-cli profile + trace validation)" profile_smoke
 step "crash-resume smoke (run, tear newest snapshot, resume)" crash_resume_smoke
 step "serve smoke (daemon over unix socket: parity, errors, shutdown)" serve_smoke

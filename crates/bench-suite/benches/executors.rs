@@ -5,7 +5,8 @@
 //! comes from the `fig8` binary.
 
 use foundation::bench::{black_box, Bench, BenchmarkId};
-use lorastencil::LoRaStencil;
+use lorastencil::plan::DeviceBackend;
+use lorastencil::{ExecConfig, LoRaStencil};
 use stencil_core::{kernels, reference, Grid2D, GridData, Problem, StencilExecutor};
 
 fn bench_apply_2d(c: &mut Bench) {
@@ -23,6 +24,28 @@ fn bench_apply_2d(c: &mut Bench) {
     });
     for exec in baselines::all_baselines() {
         group.bench_with_input(BenchmarkId::new("baseline", exec.name()), &problem, |b, p| {
+            b.points(64 * 64).iter(|| exec.execute(black_box(p)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_backends(c: &mut Bench) {
+    // the four device backends on one star kernel (sparse-friendly U
+    // factors) — the guard watches SparseTcu/SimdCore alongside the
+    // defaults so a regression in either new path fails CI
+    let grid = Grid2D::from_fn(64, 64, |r, cc| ((r * 11 + cc * 5) % 23) as f64 * 0.2);
+    let problem = Problem::new(kernels::heat_2d(), grid, 1);
+    let mut group = c.benchmark_group("backend_heat2d_64x64");
+    let backends = [
+        ("tcu", DeviceBackend::TcuF64),
+        ("sparse", DeviceBackend::SparseTcu),
+        ("simd", DeviceBackend::SimdCore),
+        ("cuda", DeviceBackend::CudaCore),
+    ];
+    for (name, backend) in backends {
+        group.bench_with_input(BenchmarkId::new("backend", name), &problem, |b, p| {
+            let exec = LoRaStencil::with_config(ExecConfig { backend, ..ExecConfig::full() });
             b.points(64 * 64).iter(|| exec.execute(black_box(p)).unwrap())
         });
     }
@@ -59,6 +82,7 @@ fn bench_3d(c: &mut Bench) {
 fn main() {
     let mut c = Bench::from_args();
     bench_apply_2d(&mut c);
+    bench_backends(&mut c);
     bench_iterated(&mut c);
     bench_3d(&mut c);
     c.finish();

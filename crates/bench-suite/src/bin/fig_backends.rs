@@ -1,0 +1,7 @@
+//! Print the backend-comparison figure: LoRAStencil under dense TCU,
+//! 2:4 sparse TCU, tuned host SIMD, and scalar CUDA cores.
+
+fn main() {
+    let model = tcu_sim::CostModel::a100();
+    println!("{}", bench_suite::fig_backends(&model).render());
+}

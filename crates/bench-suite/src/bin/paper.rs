@@ -1,5 +1,6 @@
 //! Run the full evaluation: every figure and table of the paper in one
-//! go (Fig. 8, Fig. 9, Fig. 10, Table III, analytic models).
+//! go (Fig. 8, Fig. 9, Fig. 10, Table III, analytic models), plus the
+//! repo's own backend-comparison figure (DESIGN.md §14).
 
 fn main() {
     let model = tcu_sim::CostModel::a100();
@@ -12,4 +13,6 @@ fn main() {
     println!("{}", bench_suite::render_fig10(&bench_suite::fig10(&model)));
     println!();
     println!("{}", bench_suite::render_table3(&bench_suite::table3(&model)));
+    println!();
+    println!("{}", bench_suite::fig_backends(&model).render());
 }

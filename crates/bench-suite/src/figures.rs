@@ -221,6 +221,87 @@ impl Fig9 {
     }
 }
 
+/// The backend-comparison figure (DESIGN.md §14): modeled GStencil/s of
+/// the LoRAStencil pipeline under each device backend — dense FP64
+/// tensor cores, 2:4 sparse tensor cores, tuned host SIMD, and the
+/// scalar CUDA-core ablation — on the sparse-friendly 2-D/3-D kernels.
+pub struct FigBackends {
+    /// Kernel names.
+    pub kernels: Vec<String>,
+    /// Backend labels in column order.
+    pub backends: Vec<&'static str>,
+    /// `gstencil[kernel][backend]`.
+    pub gstencil: Vec<Vec<f64>>,
+}
+
+/// Run the four-way backend comparison (Heat-2D, Star-2D13P, Box-2D49P,
+/// Heat-3D). 1-D kernels are omitted: their gather lowering always runs
+/// on the dense tensor-core path, so all four columns would be two
+/// distinct numbers.
+pub fn fig_backends(model: &CostModel) -> FigBackends {
+    use lorastencil::plan::DeviceBackend;
+    let backends = [
+        ("TcuF64", DeviceBackend::TcuF64),
+        ("SparseTcu", DeviceBackend::SparseTcu),
+        ("SimdCore", DeviceBackend::SimdCore),
+        ("CudaCore", DeviceBackend::CudaCore),
+    ];
+    let names = ["Heat-2D", "Star-2D13P", "Box-2D49P", "Heat-3D"];
+    let gstencil: Vec<Vec<f64>> = names
+        .iter()
+        .map(|name| {
+            let w = workloads::by_name(name).unwrap();
+            backends
+                .iter()
+                .map(|(_, b)| {
+                    let cfg = ExecConfig { backend: *b, ..ExecConfig::full() };
+                    evaluate(&LoRaStencil::with_config(cfg), &w, model).gstencil
+                })
+                .collect()
+        })
+        .collect();
+    FigBackends {
+        kernels: names.iter().map(|n| n.to_string()).collect(),
+        backends: backends.iter().map(|(n, _)| *n).collect(),
+        gstencil,
+    }
+}
+
+impl FigBackends {
+    /// Printable report.
+    pub fn render(&self) -> String {
+        let mut header = vec!["Kernel".to_string()];
+        header.extend(self.backends.iter().map(|b| format!("{b} GStencil/s")));
+        let rows: Vec<Vec<String>> = self
+            .kernels
+            .iter()
+            .zip(&self.gstencil)
+            .map(|(k, gs)| {
+                let mut row = vec![k.clone()];
+                row.extend(gs.iter().map(|g| format!("{g:.1}")));
+                row
+            })
+            .collect();
+        let mut out = String::from(
+            "Backend comparison — LoRAStencil pipeline per device backend (DESIGN.md \u{00a7}14)\n\n",
+        );
+        out.push_str(&format_table(&header, &rows));
+        let simd: Vec<f64> = self.column("SimdCore");
+        let cuda: Vec<f64> = self.column("CudaCore");
+        out.push_str(&format!(
+            "\nGeomean SIMD over scalar CUDA cores: {:.2}x\n",
+            geomean(&simd.iter().zip(&cuda).map(|(s, c)| s / c).collect::<Vec<_>>()),
+        ));
+        out
+    }
+
+    /// One backend's GStencil/s column by label.
+    pub fn column(&self, backend: &str) -> Vec<f64> {
+        let i = self.backends.iter().position(|b| *b == backend).expect("unknown backend label");
+        self.gstencil.iter().map(|row| row[i]).collect()
+    }
+}
+
 /// Fig. 10 data for one kernel: shared-memory requests of ConvStencil vs
 /// LoRAStencil, normalized per million point-updates.
 pub struct Fig10Row {

@@ -22,6 +22,9 @@ pub mod report;
 pub mod runner;
 pub mod workloads;
 
-pub use figures::{fig10, fig8, fig9, render_analysis, render_fig10, render_table3, table3};
+pub use figures::{
+    fig10, fig8, fig9, fig_backends, render_analysis, render_fig10, render_table3, table3,
+    FigBackends,
+};
 pub use runner::{evaluate, MethodResult};
 pub use workloads::{table_ii, Workload};

@@ -442,7 +442,8 @@ mod tests {
         assert!(matches!(err, CkptRunError::FingerprintMismatch { .. }));
         assert!(err.to_string().contains("Box-2D9P"), "names the recorded kernel: {err}");
         // wrong config
-        let cfg = ExecConfig { use_tcu: false, ..ExecConfig::full() };
+        let cfg =
+            ExecConfig { backend: crate::plan::DeviceBackend::CudaCore, ..ExecConfig::full() };
         assert!(matches!(
             resume(&k, cfg, &snap, &policy),
             Err(CkptRunError::FingerprintMismatch { .. })

@@ -476,14 +476,16 @@ pub fn emit_cuda(plan: &Plan) -> String {
     }
 
     writeln!(out).unwrap();
+    // sparse shares the tensor-core epilogue (the accumulator layout is
+    // the dense one); SIMD shares the scalar store
     match (sched.backend, sched.fold) {
-        (BackendKind::TcuF64, crate::schedule::AccFold::Merge) => {
+        (BackendKind::TcuF64 | BackendKind::SparseTcu, crate::schedule::AccFold::Merge) => {
             writeln!(out, "  // fold the tensor-core accumulator into the scalar one").unwrap();
             writeln!(out, "  acc_s[accIdx(laneid(), 0)] += acc.x[0];").unwrap();
             writeln!(out, "  acc_s[accIdx(laneid(), 1)] += acc.x[1];").unwrap();
             writeln!(out, "  store_scalar_tile(&outp[r0 * cols + c0], acc_s, cols);").unwrap();
         }
-        (BackendKind::TcuF64, _) => {
+        (BackendKind::TcuF64 | BackendKind::SparseTcu, _) => {
             let dst = if sched.dims == 1 {
                 "&outp[i0]".to_string()
             } else {
@@ -493,7 +495,7 @@ pub fn emit_cuda(plan: &Plan) -> String {
             writeln!(out, "  wmma::store_matrix_sync({dst}, acc, {ld}, wmma::mem_row_major);")
                 .unwrap();
         }
-        (BackendKind::CudaCore, _) => {
+        (BackendKind::CudaCore | BackendKind::SimdCore, _) => {
             writeln!(out, "  store_scalar_tile(&outp[r0 * cols + c0], acc_s, cols);").unwrap();
         }
     }

@@ -59,7 +59,7 @@ pub mod tuning;
 
 pub use decompose::{decompose, Decomposition, RankOneTerm, Strategy};
 pub use exec::{LoRaStencil, LoRaStencil1D, LoRaStencil2D, LoRaStencil3D};
-pub use plan::{ExecConfig, Plan, PlanKind, PlaneOp};
+pub use plan::{DeviceBackend, ExecConfig, Plan, PlanKind, PlaneOp};
 pub use rdg::{RdgGeometry, XFragments, TILE_M};
 pub use schedule::{ExecSession, Schedule, ScheduleParams, Staging, Stepper, Workspace};
 pub use tuning::{TuningDb, TuningDbError, TuningEntry};

@@ -15,13 +15,59 @@ use crate::schedule::{ScheduleParams, Staging};
 use stencil_core::{StencilKernel, WeightMatrix};
 use tcu_sim::BlockResources;
 
+/// Which device executes the RDG matrix chains. The four backends share
+/// one lowering pipeline behind [`crate::schedule::backend::Backend`];
+/// only the per-subtile compute path differs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceBackend {
+    /// Dense FP64 `mma.m8n8k4` on tensor cores — the paper's path.
+    #[default]
+    TcuF64,
+    /// 2:4 structured-sparse tensor-core MMAs (`mma.sp.m8n8k4`) where
+    /// the rank-1 U fragments prove compressible, with a per-term dense
+    /// fallback otherwise (the SparStencil/SPIDER rival).
+    SparseTcu,
+    /// Scalar CUDA-core execution of the same RDG math — the original
+    /// ablation stage, kept as the untuned strawman.
+    CudaCore,
+    /// Tuned register-blocked host-SIMD execution (chunked 4-wide
+    /// unrolling over the staged tiles) — the honest no-TCU rival.
+    SimdCore,
+}
+
+impl DeviceBackend {
+    /// Whether this backend issues tensor-core MMA instructions.
+    pub fn uses_tcu(self) -> bool {
+        matches!(self, DeviceBackend::TcuF64 | DeviceBackend::SparseTcu)
+    }
+
+    /// The CLI token selecting this backend (`--backend` / `--config`).
+    pub fn token(self) -> &'static str {
+        match self {
+            DeviceBackend::TcuF64 => "tcu",
+            DeviceBackend::SparseTcu => "sparse",
+            DeviceBackend::CudaCore => "no-tcu",
+            DeviceBackend::SimdCore => "simd",
+        }
+    }
+
+    /// All four backends, in roster/figure order.
+    pub fn all() -> [DeviceBackend; 4] {
+        [
+            DeviceBackend::TcuF64,
+            DeviceBackend::SparseTcu,
+            DeviceBackend::SimdCore,
+            DeviceBackend::CudaCore,
+        ]
+    }
+}
+
 /// Feature toggles, primarily for the Fig. 9 performance-breakdown
 /// ablation. Production configuration enables everything.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
-    /// Execute the RDG matrix chains on tensor cores (`false` = the same
-    /// math on CUDA cores).
-    pub use_tcu: bool,
+    /// Device backend executing the RDG matrix chains.
+    pub backend: DeviceBackend,
     /// Use Butterfly Vector Swapping for the step-2 accumulator split
     /// (`false` = natural split with inter-thread shuffles).
     pub use_bvs: bool,
@@ -34,7 +80,19 @@ pub struct ExecConfig {
 impl ExecConfig {
     /// Everything on (the shipped configuration).
     pub fn full() -> Self {
-        ExecConfig { use_tcu: true, use_bvs: true, use_async_copy: true, allow_fusion: true }
+        ExecConfig {
+            backend: DeviceBackend::TcuF64,
+            use_bvs: true,
+            use_async_copy: true,
+            allow_fusion: true,
+        }
+    }
+
+    /// Whether the configured backend issues tensor-core MMAs (drives
+    /// register pressure, fragment prebuilds and the no-TCU counter
+    /// forms exactly as the old `use_tcu` toggle did).
+    pub fn use_tcu(&self) -> bool {
+        self.backend.uses_tcu()
     }
 
     /// The four cumulative stages of the paper's Fig. 9 breakdown, in
@@ -44,7 +102,7 @@ impl ExecConfig {
             (
                 "RDG (CUDA cores)",
                 ExecConfig {
-                    use_tcu: false,
+                    backend: DeviceBackend::CudaCore,
                     use_bvs: false,
                     use_async_copy: false,
                     allow_fusion: true,
@@ -53,7 +111,7 @@ impl ExecConfig {
             (
                 "+TCU",
                 ExecConfig {
-                    use_tcu: true,
+                    backend: DeviceBackend::TcuF64,
                     use_bvs: false,
                     use_async_copy: false,
                     allow_fusion: true,
@@ -62,7 +120,7 @@ impl ExecConfig {
             (
                 "+BVS",
                 ExecConfig {
-                    use_tcu: true,
+                    backend: DeviceBackend::TcuF64,
                     use_bvs: true,
                     use_async_copy: false,
                     allow_fusion: true,
@@ -72,24 +130,29 @@ impl ExecConfig {
         ]
     }
 
-    /// The four toggles packed into one word — the canonical input to
+    /// The configuration packed into one word — the canonical input to
     /// the checkpoint plan fingerprint (stable across field reordering
-    /// because the bit positions are fixed here).
+    /// because the bit positions are fixed here). Bit 0 keeps its
+    /// historical `use_tcu` meaning so pre-backend fingerprints stay
+    /// valid; bit 4 distinguishes the tuned variant on each side
+    /// (`SparseTcu` among TCU backends, `SimdCore` among the rest).
     pub fn bits(&self) -> u64 {
-        (self.use_tcu as u64)
+        let variant = matches!(self.backend, DeviceBackend::SparseTcu | DeviceBackend::SimdCore);
+        (self.use_tcu() as u64)
             | (self.use_bvs as u64) << 1
             | (self.use_async_copy as u64) << 2
             | (self.allow_fusion as u64) << 3
+            | (variant as u64) << 4
     }
 
     /// A round-trippable textual tag in the CLI's `--config` grammar:
-    /// `full` when everything is on, otherwise the comma-joined disabled
-    /// toggles (e.g. `no-bvs,no-async`). Checkpoints store this so a
-    /// `resume` needs no `--config` flag.
+    /// `full` when everything is on, otherwise the comma-joined backend
+    /// token and disabled toggles (e.g. `sparse`, `no-bvs,no-async`).
+    /// Checkpoints store this so a `resume` needs no `--config` flag.
     pub fn tag(&self) -> String {
         let mut offs = Vec::new();
-        if !self.use_tcu {
-            offs.push("no-tcu");
+        if self.backend != DeviceBackend::TcuF64 {
+            offs.push(self.backend.token());
         }
         if !self.use_bvs {
             offs.push("no-bvs");
@@ -107,15 +170,18 @@ impl ExecConfig {
         }
     }
 
-    /// Every named ablation configuration: `full`, `no-fusion`, and the
-    /// four cumulative [`ExecConfig::breakdown_stages`]. This list is the
-    /// single source of truth — the bench-suite breakdown, the
-    /// verification oracle's executor roster and the counter-exactness
-    /// validator all consume it, so the rosters can never diverge.
+    /// Every named ablation configuration: `full`, `no-fusion`, the
+    /// `sparse` and `simd` backend variants, and the four cumulative
+    /// [`ExecConfig::breakdown_stages`]. This list is the single source
+    /// of truth — the bench-suite breakdown, the verification oracle's
+    /// executor roster and the counter-exactness validator all consume
+    /// it, so the rosters can never diverge.
     pub fn ablation_roster() -> Vec<(&'static str, ExecConfig)> {
         let mut roster = vec![
             ("full", ExecConfig::full()),
             ("no-fusion", ExecConfig { allow_fusion: false, ..ExecConfig::full() }),
+            ("sparse", ExecConfig { backend: DeviceBackend::SparseTcu, ..ExecConfig::full() }),
+            ("simd", ExecConfig { backend: DeviceBackend::SimdCore, ..ExecConfig::full() }),
         ];
         roster.extend(ExecConfig::breakdown_stages());
         roster
@@ -382,14 +448,14 @@ impl Plan {
         let regs_per_thread = match &self.kind {
             PlanKind::D1 { .. } => 48,
             PlanKind::D2 { .. } => {
-                if self.config.use_tcu {
+                if self.config.use_tcu() {
                     64
                 } else {
                     48
                 }
             }
             PlanKind::D3 { .. } => {
-                if self.config.use_tcu {
+                if self.config.use_tcu() {
                     72
                 } else {
                     56
@@ -508,32 +574,64 @@ mod tests {
     }
 
     #[test]
-    fn config_bits_and_tag_are_injective_over_all_16_configs() {
+    fn config_bits_and_tag_are_injective_over_all_32_configs() {
         let mut seen_bits = std::collections::HashSet::new();
         let mut seen_tags = std::collections::HashSet::new();
-        for mask in 0u64..16 {
-            let cfg = ExecConfig {
-                use_tcu: mask & 1 != 0,
-                use_bvs: mask & 2 != 0,
-                use_async_copy: mask & 4 != 0,
-                allow_fusion: mask & 8 != 0,
-            };
-            assert_eq!(cfg.bits(), mask, "bit positions are the mask layout");
-            assert!(seen_bits.insert(cfg.bits()));
-            assert!(seen_tags.insert(cfg.tag()), "tag {:?} collides", cfg.tag());
+        for backend in DeviceBackend::all() {
+            for mask in 0u64..8 {
+                let cfg = ExecConfig {
+                    backend,
+                    use_bvs: mask & 1 != 0,
+                    use_async_copy: mask & 2 != 0,
+                    allow_fusion: mask & 4 != 0,
+                };
+                // bit 0 keeps the historical use_tcu meaning
+                assert_eq!(cfg.bits() & 1, cfg.use_tcu() as u64);
+                assert_eq!((cfg.bits() >> 1) & 7, mask, "toggle bits are the mask layout");
+                assert!(seen_bits.insert(cfg.bits()), "bits {:#x} collide", cfg.bits());
+                assert!(seen_tags.insert(cfg.tag()), "tag {:?} collides", cfg.tag());
+            }
         }
         assert_eq!(ExecConfig::full().tag(), "full");
         assert_eq!(
             ExecConfig { use_bvs: false, use_async_copy: false, ..ExecConfig::full() }.tag(),
             "no-bvs,no-async"
         );
+        assert_eq!(
+            ExecConfig { backend: DeviceBackend::SparseTcu, ..ExecConfig::full() }.tag(),
+            "sparse"
+        );
+        assert_eq!(
+            ExecConfig { backend: DeviceBackend::SimdCore, use_bvs: false, ..ExecConfig::full() }
+                .tag(),
+            "simd,no-bvs"
+        );
+    }
+
+    #[test]
+    fn legacy_toggle_configs_keep_their_pre_backend_bits() {
+        // checkpoint fingerprints written before the backend enum used
+        // bits 0..4; the 16 legacy configs must keep those exact values
+        for mask in 0u64..16 {
+            let cfg = ExecConfig {
+                backend: if mask & 1 != 0 {
+                    DeviceBackend::TcuF64
+                } else {
+                    DeviceBackend::CudaCore
+                },
+                use_bvs: mask & 2 != 0,
+                use_async_copy: mask & 4 != 0,
+                allow_fusion: mask & 8 != 0,
+            };
+            assert_eq!(cfg.bits(), mask);
+        }
     }
 
     #[test]
     fn breakdown_stages_are_cumulative() {
         let stages = ExecConfig::breakdown_stages();
-        assert!(!stages[0].1.use_tcu);
-        assert!(stages[1].1.use_tcu && !stages[1].1.use_bvs);
+        assert!(!stages[0].1.use_tcu());
+        assert!(stages[1].1.use_tcu() && !stages[1].1.use_bvs);
         assert!(stages[2].1.use_bvs && !stages[2].1.use_async_copy);
         assert_eq!(stages[3].1, ExecConfig::full());
     }
@@ -541,16 +639,25 @@ mod tests {
     #[test]
     fn ablation_roster_embeds_the_breakdown_stages_verbatim() {
         // the single-source-of-truth guarantee: the roster IS full +
-        // no-fusion + breakdown_stages(), in order, nothing else — any
+        // no-fusion + the sparse/simd backend variants +
+        // breakdown_stages(), in order, nothing else — any
         // hand-maintained copy elsewhere is a bug
         let roster = ExecConfig::ablation_roster();
-        assert_eq!(roster.len(), 2 + ExecConfig::breakdown_stages().len());
+        assert_eq!(roster.len(), 4 + ExecConfig::breakdown_stages().len());
         assert_eq!(roster[0], ("full", ExecConfig::full()));
         assert_eq!(
             roster[1],
             ("no-fusion", ExecConfig { allow_fusion: false, ..ExecConfig::full() })
         );
-        assert_eq!(&roster[2..], &ExecConfig::breakdown_stages()[..]);
+        assert_eq!(
+            roster[2],
+            ("sparse", ExecConfig { backend: DeviceBackend::SparseTcu, ..ExecConfig::full() })
+        );
+        assert_eq!(
+            roster[3],
+            ("simd", ExecConfig { backend: DeviceBackend::SimdCore, ..ExecConfig::full() })
+        );
+        assert_eq!(&roster[4..], &ExecConfig::breakdown_stages()[..]);
         let mut labels: Vec<_> = roster.iter().map(|(n, _)| *n).collect();
         labels.dedup();
         assert_eq!(labels.len(), roster.len(), "labels must be unique");
@@ -561,7 +668,8 @@ impl foundation::json::ToJson for ExecConfig {
     fn to_json(&self) -> foundation::json::Json {
         use foundation::json::Json;
         Json::obj([
-            ("use_tcu", Json::Bool(self.use_tcu)),
+            ("backend", Json::Str(self.backend.token().into())),
+            ("use_tcu", Json::Bool(self.use_tcu())),
             ("use_bvs", Json::Bool(self.use_bvs)),
             ("use_async_copy", Json::Bool(self.use_async_copy)),
             ("allow_fusion", Json::Bool(self.allow_fusion)),

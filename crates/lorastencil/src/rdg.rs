@@ -17,7 +17,7 @@
 
 use crate::decompose::RankOneTerm;
 use stencil_core::WeightMatrix;
-use tcu_sim::{FragA, FragAcc, FragB, SharedTile, SimContext, MMA_K, MMA_M, MMA_N};
+use tcu_sim::{FragA, FragASp, FragAcc, FragB, SharedTile, SimContext, MMA_K, MMA_M, MMA_N};
 
 /// Output tile side processed by one warp (`m`).
 pub const TILE_M: usize = 8;
@@ -214,6 +214,10 @@ fn split_cols(use_bvs: bool) -> [[usize; MMA_K]; 2] {
 pub struct TermFrags {
     /// Banded `U` A-fragments (Eq. 10).
     u: Vec<FragA>,
+    /// 2:4-compressed forms of the `U` fragments; `Some` only when the
+    /// sparse lowering proved **every** fragment of the term satisfies
+    /// the 2:4 pattern (see [`TermFrags::build_sparse`]).
+    u_sp: Option<Vec<FragASp>>,
     /// Banded, split-permuted `V` B-fragments (Eq. 11 / Eq. 17).
     v: Vec<FragB>,
     /// Accumulator column split matching `v`'s permutation.
@@ -225,15 +229,46 @@ impl TermFrags {
     pub fn build(term: &RankOneTerm, geo: RdgGeometry, use_bvs: bool) -> Self {
         TermFrags {
             u: build_u_frags(term, geo),
+            u_sp: None,
             v: build_v_frags(term, geo, use_bvs),
             cols: split_cols(use_bvs),
         }
+    }
+
+    /// [`TermFrags::build`] with the 2:4 compression attempted for the
+    /// SparseTcu backend. The fallback policy is **per term**: `u_sp` is
+    /// populated only when every `U` fragment passes the validator
+    /// ([`tcu_sim::FragASp::compress`]); one incompressible fragment
+    /// sends the whole term down the dense path, so a term executes
+    /// either fully sparse or fully dense — never mixed — and the
+    /// counter model stays closed-form.
+    pub fn build_sparse(term: &RankOneTerm, geo: RdgGeometry, use_bvs: bool) -> Self {
+        let mut tf = TermFrags::build(term, geo, use_bvs);
+        tf.u_sp = tf.u.iter().map(FragASp::compress).collect();
+        tf
+    }
+
+    /// Whether this term lowered to the sparse path (all `U` fragments
+    /// 2:4-compressed).
+    pub fn is_sparse(&self) -> bool {
+        self.u_sp.is_some()
     }
 
     /// Build the fragments for every term of a decomposition.
     pub fn build_all(terms: &[RankOneTerm], geo: RdgGeometry, use_bvs: bool) -> Vec<TermFrags> {
         terms.iter().map(|t| TermFrags::build(t, geo, use_bvs)).collect()
     }
+}
+
+/// Whether a rank-1 term is 2:4-compressible on this geometry — the
+/// same decision [`TermFrags::build_sparse`] makes, exported so the
+/// counter-exactness model predicts per-term sparse/dense splits from
+/// first principles. Banded `U` rows carry `term.u`'s nonzero pattern,
+/// so taps ≥ 3 without interior zeros always fail (some row has three
+/// nonzeros inside one aligned 4-column window) while 1–2-tap terms and
+/// star-like terms with interior zeros compress.
+pub fn term_is_sparse(term: &RankOneTerm, geo: RdgGeometry) -> bool {
+    build_u_frags(term, geo).iter().all(|f| FragASp::compress(f).is_some())
 }
 
 /// Apply one rank-1 term to a loaded input tile, accumulating into `acc`
@@ -319,6 +354,46 @@ pub fn rdg_apply_term_frags_into(
     }
 }
 
+/// SparseTcu form of [`rdg_apply_term_frags_into`]: step-1 `U · X`
+/// issues as structured-sparse `mma.sp` instructions against the
+/// compressed fragments (charging `mma_sp_ops`), after one metadata
+/// load per `U` fragment (`metadata_loads += S/4`, amortized across the
+/// column blocks that reuse the fragment). Step 2 is unchanged — its A
+/// operands are freshly extracted accumulators, data-dependent and
+/// dense. Falls back to the dense path verbatim when the term did not
+/// compress ([`TermFrags::is_sparse`] false).
+///
+/// Results are bit-identical to the dense path: the pruned step-1
+/// products are signed zeros and the surviving ones accumulate in the
+/// same increasing-K order (see [`SimContext::mma_sp_into`]).
+pub fn rdg_apply_term_sparse_into(
+    ctx: &mut SimContext,
+    x: &XFragments,
+    tf: &TermFrags,
+    out: &mut FragAcc,
+    batch: usize,
+) {
+    let Some(u_sp) = &tf.u_sp else {
+        rdg_apply_term_frags_into(ctx, x, tf, out, batch);
+        return;
+    };
+    let geo = x.geo;
+    ctx.metadata_loads(geo.row_blocks() as u64);
+    for j in 0..geo.col_blocks() {
+        // sparse MMAs issue one at a time: the metadata registers are
+        // single-buffered, so `mma.sp` chains are not modeled (results
+        // are bit-identical to any chaining anyway)
+        let mut t_acc = FragAcc::zero();
+        for (k, u_frag) in u_sp.iter().enumerate() {
+            ctx.mma_sp_into(u_frag, x.frag(k, j), &mut t_acc);
+        }
+        for (half, &col_set) in tf.cols.iter().enumerate() {
+            let a = ctx.acc_to_a(&t_acc, col_set);
+            ctx.mma_into(&a, &tf.v[2 * j + half], out);
+        }
+    }
+}
+
 /// Apply the pointwise pyramid tip: `acc[r][q] += pw · X[h+r][h+q]`,
 /// executed on CUDA cores (the 1×1 term needs no matrix multiply,
 /// §III-C); input values are register re-uses of already-loaded fragments.
@@ -378,6 +453,93 @@ pub fn rdg_apply_term_cuda(
         }
     }
     ctx.cuda_flops((2 * n_t * MMA_M * MMA_N + MMA_M * MMA_N) as u64 * CUDA_RDG_ISSUE_OVERHEAD);
+}
+
+/// Issue-overhead multiplier for the tuned host-SIMD RDG path: chunked
+/// `f64x4`-style unrolling amortizes address arithmetic and loop control
+/// across four lanes, so each FMA issues with ~2 companion ops instead
+/// of the scalar path's 14. The FLOP *count* is identical to the scalar
+/// path — only the issue efficiency differs.
+pub const SIMD_RDG_ISSUE_OVERHEAD: u64 = 2;
+
+/// Width of one SIMD chunk (`f64x4`: one AVX2 register / NEON pair).
+pub const SIMD_LANES: usize = 4;
+
+/// Stack capacity of the SIMD path's per-row T buffer; covers radii ≤ 32
+/// (`S = 8 + 2·32 = 72`). Larger radii spill to one heap buffer.
+pub const SIMD_MAX_S: usize = 72;
+
+/// Tuned host-SIMD reference path (the honest "no tensor cores" compare
+/// point): the same `U · X · V` chain as [`rdg_apply_term_cuda`], but
+/// register-blocked — the inner loops broadcast one tap weight against
+/// four contiguous lanes, the T matrix lives in a stack buffer, and
+/// nothing is heap-allocated for radii ≤ 32. Each output element sums
+/// its taps in the same order as the scalar path, so the values are
+/// bit-identical to [`rdg_apply_term_cuda`]; only the charged issue
+/// overhead differs ([`SIMD_RDG_ISSUE_OVERHEAD`] vs
+/// [`CUDA_RDG_ISSUE_OVERHEAD`]).
+pub fn rdg_apply_term_simd(
+    ctx: &mut SimContext,
+    x: &XFragments,
+    term: &RankOneTerm,
+    acc: &mut [[f64; MMA_N]; MMA_M],
+) {
+    let geo = x.geo;
+    let n_t = term.u.len();
+    let shift = geo.h - term.radius();
+    // T = U · X, register-blocked: SIMD_LANES independent column lanes
+    // per chunk, each lane summing taps in increasing-k order (the same
+    // per-element order as the scalar path)
+    let mut t_stack = [0.0f64; SIMD_MAX_S * MMA_M];
+    let mut t_heap: Vec<f64> = Vec::new();
+    let (t_buf, stride) = if geo.s <= SIMD_MAX_S {
+        (&mut t_stack[..], SIMD_MAX_S)
+    } else {
+        t_heap.resize(MMA_M * geo.s, 0.0);
+        (&mut t_heap[..], geo.s)
+    };
+    for p in 0..MMA_M {
+        let row = &mut t_buf[p * stride..p * stride + geo.s];
+        let mut c = 0;
+        while c + SIMD_LANES <= geo.s {
+            let mut lanes = [0.0f64; SIMD_LANES];
+            for (k, &w) in term.u.iter().enumerate() {
+                let r = p + shift + k;
+                for (li, lane) in lanes.iter_mut().enumerate() {
+                    *lane += w * x.peek(r, c + li);
+                }
+            }
+            row[c..c + SIMD_LANES].copy_from_slice(&lanes);
+            c += SIMD_LANES;
+        }
+        while c < geo.s {
+            let mut s = 0.0;
+            for (k, &w) in term.u.iter().enumerate() {
+                s += w * x.peek(p + shift + k, c);
+            }
+            row[c] = s;
+            c += 1;
+        }
+    }
+    ctx.cuda_flops((2 * n_t * MMA_M * geo.s) as u64 * SIMD_RDG_ISSUE_OVERHEAD);
+    // R += T · V: MMA_N = 8 outputs per row = exactly two f64x4 chunks
+    for (p, acc_row) in acc.iter_mut().enumerate() {
+        let row = &t_buf[p * stride..p * stride + geo.s];
+        let mut q0 = 0;
+        while q0 + SIMD_LANES <= MMA_N {
+            let mut lanes = [0.0f64; SIMD_LANES];
+            for (k, &w) in term.v.iter().enumerate() {
+                for (li, lane) in lanes.iter_mut().enumerate() {
+                    *lane += w * row[q0 + li + shift + k];
+                }
+            }
+            for (li, &lane) in lanes.iter().enumerate() {
+                acc_row[q0 + li] += lane;
+            }
+            q0 += SIMD_LANES;
+        }
+    }
+    ctx.cuda_flops((2 * n_t * MMA_M * MMA_N + MMA_M * MMA_N) as u64 * SIMD_RDG_ISSUE_OVERHEAD);
 }
 
 /// Dense reference for tests: directly evaluate `(U X V)[p][q] =
@@ -604,6 +766,49 @@ mod tests {
     }
 
     #[test]
+    fn simd_path_is_bit_identical_to_cuda_path_at_one_seventh_the_overhead() {
+        // the tuned SIMD path re-orders nothing: each output element sums
+        // its taps in the same order as the scalar loop, so values match
+        // to the bit and only the issue-overhead multiplier differs
+        for h in [1usize, 3, 4] {
+            let geo = RdgGeometry::for_radius(h);
+            let (tile, _) = random_tile(geo.s, 600 + h as u64);
+            let term = RankOneTerm::new(
+                vec![0.25; 2 * h + 1],
+                (0..2 * h + 1).map(|i| 0.5 + 0.125 * i as f64).collect(),
+            );
+
+            let mut ctx_cuda = SimContext::new();
+            let x_cuda = XFragments::load(&mut ctx_cuda, &tile, geo);
+            let mut acc_cuda = [[0.0; MMA_N]; MMA_M];
+            rdg_apply_term_cuda(&mut ctx_cuda, &x_cuda, &term, &mut acc_cuda);
+
+            let mut ctx_simd = SimContext::new();
+            let x_simd = XFragments::load(&mut ctx_simd, &tile, geo);
+            let mut acc_simd = [[0.0; MMA_N]; MMA_M];
+            rdg_apply_term_simd(&mut ctx_simd, &x_simd, &term, &mut acc_simd);
+
+            for p in 0..MMA_M {
+                for q in 0..MMA_N {
+                    assert_eq!(
+                        acc_simd[p][q].to_bits(),
+                        acc_cuda[p][q].to_bits(),
+                        "h={h} ({p},{q})"
+                    );
+                }
+            }
+            // identical FLOP count, scaled by 2 instead of 14
+            assert_eq!(
+                ctx_simd.counters.cuda_flops * CUDA_RDG_ISSUE_OVERHEAD,
+                ctx_cuda.counters.cuda_flops * SIMD_RDG_ISSUE_OVERHEAD,
+                "h={h}"
+            );
+            assert_eq!(ctx_simd.counters.mma_ops, 0);
+            assert_eq!(ctx_simd.counters.shuffle_ops, 0);
+        }
+    }
+
+    #[test]
     fn x_fragments_charge_eq12_loads() {
         // Eq. 12: ab/8 fragments for the whole grid ⇔ S²/32 per 64-point
         // tile; for S=16 that is 8 fragment loads.
@@ -643,6 +848,93 @@ mod tests {
         );
         // BVS: the full 12-MMA chain issues back to back
         assert_eq!(bvs_burst as u64, geo.mma_per_term());
+    }
+
+    #[test]
+    fn sparse_term_apply_is_bit_identical_and_charges_sparse_counters() {
+        // a 3-tap u with an interior zero: every banded U row carries two
+        // nonzeros two columns apart — at most two per aligned 4-window,
+        // so every fragment is 2:4-compressible (v may stay dense: only
+        // the A operand is constrained)
+        for h in [1usize, 3] {
+            let geo = RdgGeometry::for_radius(h);
+            let (tile, _) = random_tile(geo.s, 500 + h as u64);
+            let term = RankOneTerm::new(vec![0.75, 0.0, -0.25], vec![0.5, 1.0, 1.25]);
+            assert!(term_is_sparse(&term, geo), "≤2-nonzero u rows always compress");
+
+            let tf_sp = TermFrags::build_sparse(&term, geo, true);
+            assert!(tf_sp.is_sparse());
+            let mut ctx_sp = SimContext::new();
+            let x_sp = XFragments::load(&mut ctx_sp, &tile, geo);
+            let mut acc_sp = FragAcc::zero();
+            rdg_apply_term_sparse_into(&mut ctx_sp, &x_sp, &tf_sp, &mut acc_sp, 1);
+
+            let tf_d = TermFrags::build(&term, geo, true);
+            let mut ctx_d = SimContext::new();
+            let x_d = XFragments::load(&mut ctx_d, &tile, geo);
+            let mut acc_d = FragAcc::zero();
+            rdg_apply_term_frags_into(&mut ctx_d, &x_d, &tf_d, &mut acc_d, 1);
+
+            for p in 0..MMA_M {
+                for q in 0..MMA_N {
+                    assert_eq!(
+                        acc_sp.get(p, q).to_bits(),
+                        acc_d.get(p, q).to_bits(),
+                        "h={h} ({p},{q})"
+                    );
+                }
+            }
+            let rb = geo.row_blocks() as u64;
+            let cb = geo.col_blocks() as u64;
+            assert_eq!(ctx_sp.counters.mma_sp_ops, rb * cb, "step 1 all sparse");
+            assert_eq!(ctx_sp.counters.mma_ops, rb, "step 2 stays dense");
+            assert_eq!(ctx_sp.counters.metadata_loads, rb, "one per U fragment");
+            assert_eq!(ctx_d.counters.mma_sp_ops, 0);
+        }
+    }
+
+    #[test]
+    fn dense_fallback_term_charges_no_sparse_counters() {
+        // a 7-tap dense-banded term: interior rows carry up to 4 nonzeros
+        // in one aligned window → validator rejects, term falls back
+        let geo = RdgGeometry::for_radius(3);
+        let (tile, _) = random_tile(geo.s, 900);
+        let term = RankOneTerm::new(
+            vec![0.1, 0.2, 0.3, 0.4, 0.3, 0.2, 0.1],
+            vec![1.0, -1.0, 2.0, 0.5, 2.0, -1.0, 1.0],
+        );
+        assert!(!term_is_sparse(&term, geo));
+        let tf = TermFrags::build_sparse(&term, geo, true);
+        assert!(!tf.is_sparse(), "7 dense taps cannot satisfy 2:4");
+        let mut ctx = SimContext::new();
+        let x = XFragments::load(&mut ctx, &tile, geo);
+        let mut acc = FragAcc::zero();
+        rdg_apply_term_sparse_into(&mut ctx, &x, &tf, &mut acc, 1);
+        assert_eq!(ctx.counters.mma_sp_ops, 0);
+        assert_eq!(ctx.counters.metadata_loads, 0);
+        assert_eq!(ctx.counters.mma_ops, geo.mma_per_term());
+        // fallback result equals the plain dense apply
+        let want = rdg_apply_term(
+            &mut SimContext::new(),
+            &XFragments::load(&mut SimContext::new(), &tile, geo),
+            &term,
+            true,
+            FragAcc::zero(),
+        );
+        for p in 0..MMA_M {
+            for q in 0..MMA_N {
+                assert_eq!(acc.get(p, q).to_bits(), want.get(p, q).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn star_like_term_with_interior_zeros_compresses() {
+        // taps [a, 0, 0, 0, b]: rows have two nonzeros four apart — they
+        // land in different aligned 4-windows, one nonzero per window
+        let geo = RdgGeometry::for_radius(3);
+        let term = RankOneTerm::new(vec![0.5, 0.0, 0.0, 0.0, -0.5], vec![1.0, 0.0, 0.0, 0.0, 1.0]);
+        assert!(term_is_sparse(&term, geo));
     }
 
     #[test]

@@ -5,13 +5,22 @@
 //! compute ops of a [`Schedule`] — the staging/addressing/boundary logic
 //! stays in the interpreter, which is exactly the seam that lets a
 //! future backend (sparse tensor cores, tuned SIMD) slot in without
-//! touching the per-dimension lowering. Two implementations are
-//! extracted from the formerly triplicated executors:
+//! touching the per-dimension lowering. Four implementations:
 //!
 //! * [`TcuF64`] — the simulated A100 FP64 tensor-core path (MMA chains
 //!   via prebuilt fragments, pointwise tip on CUDA cores).
-//! * [`CudaCore`] — the scalar ablation path (`use_tcu = false`): the
-//!   same `U·X·V` math as issue-overhead-weighted scalar FMAs.
+//! * [`SparseTcu`] — the structured-sparse tensor-core path: terms whose
+//!   banded `U` fragments satisfy the 2:4 constraint run as `mma.sp`
+//!   chains (half the tensor FLOPs, plus metadata-register loads); terms
+//!   that don't fall back to the dense chain per term. Bit-identical to
+//!   [`TcuF64`] — skipping zero products cannot change a
+//!   round-to-nearest sum seeded at `+0.0`.
+//! * [`SimdCore`] — the tuned host-SIMD path: the same `U·X·V` math,
+//!   register-blocked with `f64x4`-style chunked unrolling, charged at
+//!   [`SIMD_RDG_ISSUE_OVERHEAD`](crate::rdg::SIMD_RDG_ISSUE_OVERHEAD)
+//!   issue ops per FMA. The honest "no tensor cores" compare point.
+//! * [`CudaCore`] — the scalar ablation path: the same math as
+//!   issue-overhead-weighted scalar FMAs (overhead 14).
 //!
 //! Note what is *not* here: BVS. The butterfly split is baked into the
 //! prebuilt `V` fragments at lowering time (Eq. 17), so both splits
@@ -19,8 +28,8 @@
 
 use super::{AccFold, LoweredTerm, Schedule};
 use crate::rdg::{
-    apply_pointwise, rdg_apply_term_cuda, rdg_apply_term_frags_into, XFragments, MAX_MMA_BATCH,
-    TILE_M,
+    apply_pointwise, rdg_apply_term_cuda, rdg_apply_term_frags_into, rdg_apply_term_simd,
+    rdg_apply_term_sparse_into, XFragments, MAX_MMA_BATCH, TILE_M,
 };
 use tcu_sim::{FragA, FragAcc, SharedTile, SimContext, MMA_K, MMA_N};
 
@@ -147,6 +156,61 @@ impl Backend for TcuF64 {
     }
 }
 
+/// The structured-sparse tensor-core backend: dense MMA chains swapped
+/// for `mma.sp` chains wherever a term's `U` fragments compress 2:4.
+/// The accumulator plumbing (fold, 1-D gather) is [`TcuF64`]'s.
+#[derive(Debug, Default)]
+pub struct SparseTcu {
+    inner: TcuF64,
+}
+
+impl SparseTcu {
+    /// Fresh zeroed accumulators.
+    pub fn new() -> Self {
+        SparseTcu { inner: TcuF64::new() }
+    }
+}
+
+impl Backend for SparseTcu {
+    fn term_chain(
+        &mut self,
+        ctx: &mut SimContext,
+        x: &XFragments,
+        sched: &Schedule,
+        terms: &[LoweredTerm],
+        pointwise: Option<f64>,
+    ) {
+        {
+            let _mma_batch = foundation::obs::span("mma_batch");
+            for lt in terms {
+                let tf = lt.frags.as_ref().expect("TCU backend needs prebuilt fragments");
+                // sparse chain when this term compressed; dense fallback
+                // (inside) when it didn't — per term, not per kernel
+                rdg_apply_term_sparse_into(ctx, x, tf, &mut self.inner.frag, sched.mma_batch);
+            }
+        }
+        if let Some(pw) = pointwise {
+            let _pointwise = foundation::obs::span("pointwise");
+            apply_pointwise(ctx, x, pw, &mut self.inner.frag);
+        }
+    }
+
+    fn gather_1d(&mut self, _ctx: &mut SimContext, _tile: &SharedTile, _sched: &Schedule) {
+        // 1-D lowering always selects TcuF64: the fused gather's A
+        // operand is the staged segment matrix (dense data), not a
+        // banded weight matrix, so 2:4 never applies
+        unreachable!("1-D lowering always selects the dense tensor-core backend (§IV-C)");
+    }
+
+    fn vals_mut(&mut self) -> &mut [[f64; MMA_N]; TILE_M] {
+        self.inner.vals_mut()
+    }
+
+    fn finish(&mut self, fold: AccFold) -> [[f64; MMA_N]; TILE_M] {
+        self.inner.finish(fold)
+    }
+}
+
 /// The scalar CUDA-core ablation backend (Fig. 9 "RDG w/o TCU").
 #[derive(Debug)]
 pub struct CudaCore {
@@ -202,5 +266,62 @@ impl Backend for CudaCore {
 
     fn finish(&mut self, _fold: AccFold) -> [[f64; MMA_N]; TILE_M] {
         self.vals
+    }
+}
+
+/// The tuned host-SIMD backend: [`CudaCore`]'s math with register-blocked
+/// chunk-of-4 inner loops and no per-term heap allocation, charged at
+/// SIMD issue overhead. Values are bit-identical to [`CudaCore`] (same
+/// per-element tap order); only the charged `cuda_flops` differ.
+#[derive(Debug, Default)]
+pub struct SimdCore {
+    inner: CudaCore,
+}
+
+impl SimdCore {
+    /// Fresh zeroed accumulator.
+    pub fn new() -> Self {
+        SimdCore { inner: CudaCore::new() }
+    }
+}
+
+impl Backend for SimdCore {
+    fn term_chain(
+        &mut self,
+        ctx: &mut SimContext,
+        x: &XFragments,
+        sched: &Schedule,
+        terms: &[LoweredTerm],
+        pointwise: Option<f64>,
+    ) {
+        let _simd_terms = foundation::obs::span("simd_terms");
+        for lt in terms {
+            rdg_apply_term_simd(ctx, x, &lt.term, &mut self.inner.vals);
+        }
+        if let Some(pw) = pointwise {
+            if pw != 0.0 {
+                let h = sched.h;
+                // pointwise tip: two f64x4 chunks per row, same element
+                // order (and same flat FLOP charge) as the scalar path
+                for (p, row) in self.inner.vals.iter_mut().enumerate() {
+                    for (q, v) in row.iter_mut().enumerate() {
+                        *v += pw * x.peek(h + p, h + q);
+                    }
+                }
+                ctx.cuda_flops(2 * (TILE_M * MMA_N) as u64);
+            }
+        }
+    }
+
+    fn gather_1d(&mut self, _ctx: &mut SimContext, _tile: &SharedTile, _sched: &Schedule) {
+        unreachable!("1-D lowering always selects the tensor-core backend (§IV-C)");
+    }
+
+    fn vals_mut(&mut self) -> &mut [[f64; MMA_N]; TILE_M] {
+        self.inner.vals_mut()
+    }
+
+    fn finish(&mut self, fold: AccFold) -> [[f64; MMA_N]; TILE_M] {
+        self.inner.finish(fold)
     }
 }

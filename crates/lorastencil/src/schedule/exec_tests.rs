@@ -202,7 +202,7 @@ fn heat_3d_uses_both_compute_units() {
 
 #[test]
 fn cuda_only_config_matches_reference_too() {
-    let cfg = ExecConfig { use_tcu: false, ..ExecConfig::full() };
+    let cfg = ExecConfig { backend: crate::plan::DeviceBackend::CudaCore, ..ExecConfig::full() };
     let exec = LoRaStencil3D::with_config(cfg);
     let p = Problem::new(kernels::box_3d27p(), wavy_3d(4, 9, 9), 1);
     let err = max_error_vs_reference(&exec, &p).unwrap();

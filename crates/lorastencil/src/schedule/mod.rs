@@ -10,9 +10,11 @@
 //!
 //! Lowering is where every [`ExecConfig`] toggle is resolved:
 //!
-//! * `use_tcu` selects the [`Backend`] ([`TcuF64`] vs [`CudaCore`]) and
-//!   whether weight fragments are prebuilt (1-D always gathers on the
-//!   tensor cores — its single banded MM *is* the algorithm, §IV-C).
+//! * `backend` selects the [`Backend`] ([`TcuF64`], [`SparseTcu`],
+//!   [`CudaCore`] or [`SimdCore`]) and whether weight fragments are
+//!   prebuilt — 2:4-compressed for the sparse backend (1-D always
+//!   gathers on the dense tensor cores — its single banded MM *is* the
+//!   algorithm, §IV-C).
 //! * `use_bvs` selects the step-2 accumulator split ([`AccSplit`]): the
 //!   BVS permutation is baked into the prebuilt `V` fragments (Eq. 17),
 //!   which is why BVS lives in lowering and not in the backend — at
@@ -30,7 +32,7 @@ mod params;
 mod session;
 mod stepper;
 
-pub use backend::{Backend, CudaCore, TcuF64};
+pub use backend::{Backend, CudaCore, SimdCore, SparseTcu, TcuF64};
 pub use params::{ScheduleParams, Staging};
 pub use session::ExecSession;
 pub use stepper::{apply_once, apply_once_planes, run, run_tuned, Stepper, Workspace};
@@ -128,8 +130,13 @@ pub enum AccFold {
 pub enum BackendKind {
     /// Simulated FP64 tensor cores ([`TcuF64`]).
     TcuF64,
+    /// 2:4 structured-sparse tensor cores ([`SparseTcu`]): compressible
+    /// terms issue `mma.sp`, the rest fall back to the dense chain.
+    SparseTcu,
     /// Scalar CUDA-core ablation path ([`CudaCore`]).
     CudaCore,
+    /// Tuned register-blocked host-SIMD path ([`SimdCore`]).
+    SimdCore,
 }
 
 /// One rank-1 term as lowered: the term itself (the [`CudaCore`] backend
@@ -192,7 +199,7 @@ impl Schedule {
     /// [`crate::exec`]; fragment prebuilding happens here, once, under
     /// the `frag_build` span.
     pub fn lower(plan: &Plan) -> Schedule {
-        let use_tcu = plan.config.use_tcu;
+        let use_tcu = plan.config.use_tcu();
         let dims = plan.dims();
         // Double staging exists to overlap the next window's halo loads
         // with the live MMA chain — the 1-D gather has no Stage op and
@@ -214,8 +221,19 @@ impl Schedule {
             fuse_steps: plan.fusion,
             split: if plan.config.use_bvs { AccSplit::Bvs } else { AccSplit::Shuffle },
             // the 1-D gather is a single banded MM — running it anywhere
-            // but the tensor cores would not be the §IV-C algorithm
-            backend: if dims == 1 || use_tcu { BackendKind::TcuF64 } else { BackendKind::CudaCore },
+            // but the dense tensor cores would not be the §IV-C algorithm
+            // (its banded V is the B operand, so 2:4 A compression does
+            // not apply either)
+            backend: if dims == 1 {
+                BackendKind::TcuF64
+            } else {
+                match plan.config.backend {
+                    crate::plan::DeviceBackend::TcuF64 => BackendKind::TcuF64,
+                    crate::plan::DeviceBackend::SparseTcu => BackendKind::SparseTcu,
+                    crate::plan::DeviceBackend::CudaCore => BackendKind::CudaCore,
+                    crate::plan::DeviceBackend::SimdCore => BackendKind::SimdCore,
+                }
+            },
             fold: match (dims, use_tcu) {
                 (1, _) | (2, true) => AccFold::FragOnly,
                 (3, true) => AccFold::Merge,
@@ -236,8 +254,13 @@ impl Schedule {
             // of the 1-D gather always
             let _frag_build = foundation::obs::span("frag_build");
             if use_tcu {
+                let sparse = sched.backend == BackendKind::SparseTcu;
                 for lt in &mut sched.terms {
-                    lt.frags = Some(TermFrags::build(&lt.term, sched.geo, plan.config.use_bvs));
+                    lt.frags = Some(if sparse {
+                        TermFrags::build_sparse(&lt.term, sched.geo, plan.config.use_bvs)
+                    } else {
+                        TermFrags::build(&lt.term, sched.geo, plan.config.use_bvs)
+                    });
                 }
             }
             if sched.dims == 1 {
@@ -286,7 +309,7 @@ mod tests {
         let s = Schedule::lower(&Plan::new(
             &k,
             ExecConfig {
-                use_tcu: false,
+                backend: crate::plan::DeviceBackend::CudaCore,
                 use_bvs: false,
                 use_async_copy: false,
                 allow_fusion: true,
@@ -301,6 +324,36 @@ mod tests {
     }
 
     #[test]
+    fn sparse_and_simd_backends_lower_like_their_dense_siblings() {
+        use crate::plan::DeviceBackend;
+        let k = kernels::box_2d49p();
+        let sparse = Schedule::lower(&Plan::new(
+            &k,
+            ExecConfig { backend: DeviceBackend::SparseTcu, ..ExecConfig::full() },
+        ));
+        assert_eq!(sparse.backend, BackendKind::SparseTcu);
+        assert_eq!(sparse.fold, AccFold::FragOnly, "sparse folds like TcuF64");
+        assert!(sparse.terms.iter().all(|t| t.frags.is_some()), "fragments prebuild");
+
+        let simd = Schedule::lower(&Plan::new(
+            &k,
+            ExecConfig { backend: DeviceBackend::SimdCore, ..ExecConfig::full() },
+        ));
+        assert_eq!(simd.backend, BackendKind::SimdCore);
+        assert_eq!(simd.fold, AccFold::Vals, "simd folds like CudaCore");
+        assert!(simd.terms.iter().all(|t| t.frags.is_none()));
+
+        // 1-D stays on the dense tensor cores for every backend
+        for backend in DeviceBackend::all() {
+            let s = Schedule::lower(&Plan::new(
+                &kernels::heat_1d(),
+                ExecConfig { backend, ..ExecConfig::full() },
+            ));
+            assert_eq!(s.backend, BackendKind::TcuF64, "{backend:?}");
+        }
+    }
+
+    #[test]
     fn one_d_schedule_is_one_gather() {
         let plan = Plan::new(&kernels::heat_1d(), ExecConfig::full());
         let s = Schedule::lower(&plan);
@@ -309,7 +362,8 @@ mod tests {
         assert_eq!(s.v1d.len(), 16 / tcu_sim::MMA_K);
         assert!(s.terms.is_empty(), "1-D needs no decomposition (§IV-C)");
         // the 1-D single-banded-MM runs on tensor cores in every config
-        let scalar = ExecConfig { use_tcu: false, ..ExecConfig::full() };
+        let scalar =
+            ExecConfig { backend: crate::plan::DeviceBackend::CudaCore, ..ExecConfig::full() };
         assert_eq!(
             Schedule::lower(&Plan::new(&kernels::heat_1d(), scalar)).backend,
             BackendKind::TcuF64

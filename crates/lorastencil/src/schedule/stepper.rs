@@ -20,7 +20,7 @@
 //! global sub-tile set (and with it every Eq. 12/13/16 counter and every
 //! FP operation order) is identical for every tile size.
 
-use super::backend::{Backend, CudaCore, TcuF64};
+use super::backend::{Backend, CudaCore, SimdCore, SparseTcu, TcuF64};
 use super::{BackendKind, Op, Schedule, ScheduleParams, Staging};
 use crate::exec::scratch::{with_tile_scratch, TileScratch};
 use crate::plan::{ExecConfig, Plan};
@@ -138,8 +138,23 @@ fn compute_subtile(
         BackendKind::TcuF64 => {
             subtile_on(&mut TcuF64::new(), planes, sched, z, job, sub, job_i, stage, ctx, scratch)
         }
+        BackendKind::SparseTcu => subtile_on(
+            &mut SparseTcu::new(),
+            planes,
+            sched,
+            z,
+            job,
+            sub,
+            job_i,
+            stage,
+            ctx,
+            scratch,
+        ),
         BackendKind::CudaCore => {
             subtile_on(&mut CudaCore::new(), planes, sched, z, job, sub, job_i, stage, ctx, scratch)
+        }
+        BackendKind::SimdCore => {
+            subtile_on(&mut SimdCore::new(), planes, sched, z, job, sub, job_i, stage, ctx, scratch)
         }
     }
 }

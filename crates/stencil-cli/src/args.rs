@@ -21,6 +21,7 @@ const VALUED: &[&str] = &[
     "size",
     "iters",
     "config",
+    "backend",
     "radius",
     "seed",
     "spec",

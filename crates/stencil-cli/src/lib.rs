@@ -71,19 +71,49 @@ pub fn find_method(
     baselines::all_baselines().into_iter().find(|b| b.name().eq_ignore_ascii_case(name))
 }
 
-/// Parse a `--config` spec: comma-separated toggles out of
-/// `no-tcu`, `no-bvs`, `no-async`, `no-fusion` (LoRAStencil only).
+/// Parse a `--config` spec: comma-separated tokens out of the backend
+/// selectors `sparse`, `simd`, `no-tcu` and the toggles `no-bvs`,
+/// `no-async`, `no-fusion` (LoRAStencil only). Backend selectors are
+/// mutually exclusive; the last one wins.
 pub fn parse_config(spec: &str) -> Result<ExecConfig, String> {
+    use lorastencil::plan::DeviceBackend;
     let mut cfg = ExecConfig::full();
     for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
         match tok {
             "full" => cfg = ExecConfig::full(),
-            "no-tcu" => cfg.use_tcu = false,
+            "tcu" => cfg.backend = DeviceBackend::TcuF64,
+            "sparse" => cfg.backend = DeviceBackend::SparseTcu,
+            "simd" => cfg.backend = DeviceBackend::SimdCore,
+            "no-tcu" => cfg.backend = DeviceBackend::CudaCore,
             "no-bvs" => cfg.use_bvs = false,
             "no-async" => cfg.use_async_copy = false,
             "no-fusion" => cfg.allow_fusion = false,
             other => return Err(format!("unknown config toggle {other}")),
         }
+    }
+    Ok(cfg)
+}
+
+/// Canonicalize a `--backend` token to its `--config` spelling. Empty
+/// (flag not given) stays empty — "no override".
+pub fn backend_token(token: &str) -> Result<&'static str, String> {
+    match token.trim() {
+        "" => Ok(""),
+        "tcu" => Ok("tcu"),
+        "sparse" => Ok("sparse"),
+        "simd" => Ok("simd"),
+        "cuda" | "no-tcu" => Ok("no-tcu"),
+        other => Err(format!("unknown backend {other:?} (expected tcu, sparse, simd or cuda)")),
+    }
+}
+
+/// Apply a `--backend` selector on top of a parsed `--config`. The
+/// token names just the device backend; feature toggles stay with
+/// `--config`. Empty leaves the config untouched.
+pub fn apply_backend(mut cfg: ExecConfig, token: &str) -> Result<ExecConfig, String> {
+    match backend_token(token)? {
+        "" => {}
+        t => cfg.backend = parse_config(t)?.backend,
     }
     Ok(cfg)
 }
@@ -525,12 +555,12 @@ pub fn usage() -> &'static str {
      USAGE:\n\
        lorastencil list\n\
        lorastencil run (--kernel <name> | --spec <file>) [--method <name>]\n\
-                      [--size NxM] [--iters N] [--config no-bvs,...]\n\
+                      [--size NxM] [--iters N] [--config no-bvs,...] [--backend tcu|sparse|simd|cuda]\n\
                       [--seed N] [--verify] [--trace-out <file>] [--tuning-db <file>]\n\
                       [--checkpoint-dir <dir> [--checkpoint-every N] [--checkpoint-keep K]]\n\
        lorastencil resume --checkpoint-dir <dir> [--checkpoint-keep K] [--verify]\n\
        lorastencil tune (--kernel <name> | --spec <file>) [--size NxM] [--iters N]\n\
-                      [--config ...] [--seed N] [--budget N] [--reps N] [--db <file>]\n\
+                      [--config ...] [--backend ...] [--seed N] [--budget N] [--reps N] [--db <file>]\n\
        lorastencil profile (--kernel <name> | --spec <file>) [--method <name>]\n\
                       [--size NxM] [--iters N] [--trace-out <file>] [--tuning-db <file>]\n\
        lorastencil validate-trace --load <file>\n\
@@ -538,7 +568,8 @@ pub fn usage() -> &'static str {
        lorastencil trace (--kernel <name> | --spec <file>) [--config ...]\n\
        lorastencil analyze [--radius h]\n\
        lorastencil serve (--socket <path> | --tcp <addr>) [--batch N] [--batch-wait-us U]\n\
-                      [--max-queue N] [--plan-cache N] [--max-conns N] [--tuning-db <file>]\n\
+                      [--max-queue N] [--plan-cache N] [--max-conns N] [--backend ...]\n\
+                      [--tuning-db <file>]\n\
        lorastencil submit (--socket <path> | --tcp <addr>) [--frame '<json>']   # or frames on stdin\n\
        lorastencil help\n\n\
      SERVE PROTOCOL (one JSON object per line; see DESIGN.md \u{00a7}13):\n\
@@ -633,10 +664,30 @@ weights1d:
 
     #[test]
     fn config_parsing() {
+        use lorastencil::plan::DeviceBackend;
         let c = parse_config("no-bvs,no-async").unwrap();
-        assert!(!c.use_bvs && !c.use_async_copy && c.use_tcu);
+        assert!(!c.use_bvs && !c.use_async_copy && c.use_tcu());
         assert!(parse_config("bogus").is_err());
         assert_eq!(parse_config("").unwrap(), ExecConfig::full());
+        // backend selectors: last one wins, toggles compose
+        assert_eq!(parse_config("sparse").unwrap().backend, DeviceBackend::SparseTcu);
+        assert_eq!(parse_config("simd").unwrap().backend, DeviceBackend::SimdCore);
+        assert_eq!(parse_config("no-tcu").unwrap().backend, DeviceBackend::CudaCore);
+        assert_eq!(parse_config("sparse,tcu").unwrap().backend, DeviceBackend::TcuF64);
+        let c = parse_config("sparse,no-fusion").unwrap();
+        assert_eq!(c.backend, DeviceBackend::SparseTcu);
+        assert!(!c.allow_fusion && c.use_tcu());
+        // --backend composes over --config without touching toggles
+        let c = apply_backend(parse_config("no-bvs").unwrap(), "simd").unwrap();
+        assert_eq!(c.backend, DeviceBackend::SimdCore);
+        assert!(!c.use_bvs);
+        assert_eq!(apply_backend(ExecConfig::full(), "").unwrap(), ExecConfig::full());
+        assert_eq!(
+            apply_backend(ExecConfig::full(), "cuda").unwrap().backend,
+            DeviceBackend::CudaCore
+        );
+        assert!(apply_backend(ExecConfig::full(), "sparce").is_err());
+        assert_eq!(backend_token("cuda").unwrap(), "no-tcu");
     }
 
     #[test]

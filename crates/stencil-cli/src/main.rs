@@ -3,9 +3,10 @@
 
 use stencil_cli::args::{parse, parse_size};
 use stencil_cli::{
-    analyze_text, codegen_text, find_method, install_tuning_db, list_text, parse_checkpoint_every,
-    parse_checkpoint_keep, parse_config, profile_report, resolve_kernel, resume_report,
-    run_checkpointed_report, run_report, trace_text, tune_report, usage, validate_trace,
+    analyze_text, apply_backend, backend_token, codegen_text, find_method, install_tuning_db,
+    list_text, parse_checkpoint_every, parse_checkpoint_keep, parse_config, profile_report,
+    resolve_kernel, resume_report, run_checkpointed_report, run_report, trace_text, tune_report,
+    usage, validate_trace,
 };
 
 fn real_main() -> Result<(), String> {
@@ -29,17 +30,20 @@ fn real_main() -> Result<(), String> {
         }
         "emit-cuda" | "codegen" => {
             let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
-            let config = parse_config(args.opt("config", "full"))?;
+            let config =
+                apply_backend(parse_config(args.opt("config", "full"))?, args.opt("backend", ""))?;
             print!("{}", codegen_text(&kernel, config)?);
         }
         "trace" => {
             let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
-            let config = parse_config(args.opt("config", "full"))?;
+            let config =
+                apply_backend(parse_config(args.opt("config", "full"))?, args.opt("backend", ""))?;
             print!("{}", trace_text(&kernel, config)?);
         }
         "run" => {
             let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
-            let config = parse_config(args.opt("config", "full"))?;
+            let config =
+                apply_backend(parse_config(args.opt("config", "full"))?, args.opt("backend", ""))?;
             let method =
                 find_method(args.opt("method", "LoRAStencil"), config).ok_or_else(|| {
                     format!("unknown method {:?} (try `list`)", args.opt("method", ""))
@@ -116,8 +120,9 @@ fn real_main() -> Result<(), String> {
         }
         "profile" => {
             let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
-            let method = find_method(args.opt("method", "LoRAStencil"), Default::default())
-                .ok_or_else(|| {
+            let config = apply_backend(Default::default(), args.opt("backend", ""))?;
+            let method =
+                find_method(args.opt("method", "LoRAStencil"), config).ok_or_else(|| {
                     format!("unknown method {:?} (try `list`)", args.opt("method", ""))
                 })?;
             let default_size = match kernel.dims() {
@@ -148,7 +153,8 @@ fn real_main() -> Result<(), String> {
         }
         "tune" => {
             let kernel = resolve_kernel(args.opt("spec", ""), args.opt("kernel", ""))?;
-            let config = parse_config(args.opt("config", "full"))?;
+            let config =
+                apply_backend(parse_config(args.opt("config", "full"))?, args.opt("backend", ""))?;
             let default_size = match kernel.dims() {
                 1 => "4096".to_string(),
                 2 => "128x128".to_string(),
@@ -204,6 +210,7 @@ fn real_main() -> Result<(), String> {
                 cache_capacity: num("plan-cache", "32")?,
                 max_conns: num("max-conns", "32")?.max(1),
                 tune_budget: num("tune-budget", "4")?,
+                backend: backend_token(args.opt("backend", ""))?,
             };
             let opts = stencil_cli::serve::ServeOptions {
                 socket: args.opt("socket", "").to_string(),

@@ -121,6 +121,12 @@ pub struct ServeConfig {
     /// [`tune_on_miss`](crate::tune::tune_on_miss)); <= 1 skips the
     /// search and plans with default params.
     pub tune_budget: usize,
+    /// Canonical `--backend` token (`""`, `"tcu"`, `"sparse"`, `"simd"`
+    /// or `"no-tcu"`) applied as the default config of run frames that
+    /// carry no explicit `config` field; empty keeps `"full"`. A
+    /// frame's own `config` always wins — the flag sets the server
+    /// default, it does not censor clients.
+    pub backend: &'static str,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +138,7 @@ impl Default for ServeConfig {
             cache_capacity: 32,
             max_conns: 32,
             tune_budget: 4,
+            backend: "",
         }
     }
 }
@@ -330,7 +337,7 @@ impl ServerCore {
                 Action::Shutdown
             }
             OpKind::Run => {
-                if let Err(e) = fill_job(conn, &frame, t0) {
+                if let Err(e) = fill_job(conn, &frame, t0, self.cfg.backend) {
                     write_error(&mut conn.resp, frame.id, &e);
                     self.metrics.record(frame.tenant, false, elapsed_ns(t0));
                     return Action::Respond;
@@ -454,7 +461,17 @@ impl ServerCore {
                 let Some(_permit) = self.cache.lead_or_wait(h) else { continue };
                 self.metrics.cache_misses.add(1);
                 let t0 = Instant::now();
-                if let Ok((entry, session)) = self.plan_shape(job, config) {
+                // panic firewall: planning runs client-controlled shapes
+                // through the tuner, and an uncaught panic here would
+                // kill the dispatcher thread and hang every batched
+                // client. The catch also keeps `slot.state` unpoisoned
+                // (the guard lives outside the closure). A panicked plan
+                // publishes nothing; execute_job re-derives the failure
+                // per job behind its own firewall and answers with a
+                // typed `internal` error.
+                if let Ok(Ok((entry, session))) =
+                    catch_unwind(AssertUnwindSafe(|| self.plan_shape(job, config)))
+                {
                     self.cache.checkin(&entry, session);
                 }
                 // a planning error is re-derived (and answered) per job;
@@ -760,7 +777,12 @@ fn elapsed_ns(t: Instant) -> u64 {
 
 /// Copy one parsed run frame into the connection's slot, resolving the
 /// scenario if named. Reuses the slot's string capacity.
-fn fill_job(conn: &mut ConnState, frame: &Frame<'_>, t0: Instant) -> Result<(), ProtoError> {
+fn fill_job(
+    conn: &mut ConnState,
+    frame: &Frame<'_>,
+    t0: Instant,
+    default_backend: &str,
+) -> Result<(), ProtoError> {
     let mut st = conn.slot.state.lock().unwrap();
     let job = &mut st.job;
     job.id = frame.id;
@@ -772,7 +794,11 @@ fn fill_job(conn: &mut ConnState, frame: &Frame<'_>, t0: Instant) -> Result<(), 
     job.plan_hint_ns = 0;
     if frame.scenario.is_empty() {
         set_str(&mut job.kernel, frame.kernel);
-        set_str(&mut job.config, frame.config);
+        if frame.has("config") || default_backend.is_empty() {
+            set_str(&mut job.config, frame.config);
+        } else {
+            set_str(&mut job.config, default_backend);
+        }
         job.extents = frame.size;
         job.ndims = frame.ndims;
         job.iters = frame.iters.unwrap_or(1);

@@ -56,7 +56,7 @@ pub fn candidate_space(
         tiles.iter().copied().filter(|&t| t == 8 || t <= row_cap).collect()
     };
     let cols: Vec<usize> = tiles.iter().copied().filter(|&t| t == 8 || t <= col_cap).collect();
-    let stagings: &[Staging] = if kernel.dims() >= 2 && config.use_tcu {
+    let stagings: &[Staging] = if kernel.dims() >= 2 && config.use_tcu() {
         &[Staging::Single, Staging::Double]
     } else {
         &[Staging::Single]
@@ -163,9 +163,18 @@ pub fn prior_cost(
 }
 
 /// The counter fields a schedule must keep invariant (the `Prediction`
-/// class of the counter model).
-fn invariant_counters(c: &PerfCounters) -> [u64; 5] {
-    [c.mma_ops, c.shared_load_requests, c.shuffle_ops, c.global_bytes_written, c.points_updated]
+/// class of the counter model). Keep in sync with `invariants` in
+/// `stencil-verify`'s params_grid module.
+fn invariant_counters(c: &PerfCounters) -> [u64; 7] {
+    [
+        c.mma_ops,
+        c.mma_sp_ops,
+        c.metadata_loads,
+        c.shared_load_requests,
+        c.shuffle_ops,
+        c.global_bytes_written,
+        c.points_updated,
+    ]
 }
 
 /// Bitwise plane equality — `f64::to_bits`, so `-0.0 != 0.0` and NaN

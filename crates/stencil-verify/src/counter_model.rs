@@ -22,7 +22,8 @@
 //! both sides of the split use the same per-application forms.
 
 use baselines::ConvStencil;
-use lorastencil::{fusion, ExecConfig, LoRaStencil, Plan, PlaneOp};
+use lorastencil::rdg::term_is_sparse;
+use lorastencil::{fusion, Decomposition, DeviceBackend, ExecConfig, LoRaStencil, Plan, PlaneOp};
 use stencil_core::{StencilExecutor, StencilKernel};
 use tcu_sim::PerfCounters;
 
@@ -32,8 +33,16 @@ use crate::oracle::replay_hint;
 /// The counter fields the closed forms predict exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Prediction {
-    /// Tensor-core MMA instructions (Eq. 16 generalized).
+    /// Dense tensor-core MMA instructions (Eq. 16 generalized; under
+    /// the sparse backend only the non-compressible terms and the
+    /// always-dense step-2 gathers remain here).
     pub mma_ops: u64,
+    /// Structured-sparse `mma.sp` instructions: `rb·cb` per
+    /// 2:4-compressible term per tile, sparse backend only.
+    pub mma_sp_ops: u64,
+    /// Metadata-register loads: one per `U` fragment (`rb`) per
+    /// compressible term per tile, reused across column blocks.
+    pub metadata_loads: u64,
     /// Warp-level shared-memory load requests from fragment loads
     /// (Eq. 12 generalized).
     pub shared_load_requests: u64,
@@ -50,6 +59,8 @@ impl Prediction {
     pub fn compare(&self, m: &PerfCounters) -> Vec<(&'static str, u64, u64)> {
         [
             ("mma_ops", self.mma_ops, m.mma_ops),
+            ("mma_sp_ops", self.mma_sp_ops, m.mma_sp_ops),
+            ("metadata_loads", self.metadata_loads, m.metadata_loads),
             ("shared_load_requests", self.shared_load_requests, m.shared_load_requests),
             ("shuffle_ops", self.shuffle_ops, m.shuffle_ops),
             ("global_bytes_written", self.global_bytes_written, m.global_bytes_written),
@@ -65,45 +76,77 @@ fn tiles_2d(rows: usize, cols: usize) -> u64 {
     (rows.div_ceil(8) * cols.div_ceil(8)) as u64
 }
 
-/// Per-application counters of the 2-D executor under `plan`.
-fn app_2d(plan: &Plan, tiles: u64) -> (u64, u64, u64) {
+/// Per-tile RDG instruction counts of one decomposition under the
+/// plan's backend: `(mma, mma_sp, metadata)`. The sparse split is
+/// decided per term by the same [`term_is_sparse`] predicate the
+/// executor's fragment prebuild uses, so model and measurement can
+/// never disagree on which terms compress.
+fn tile_term_counts(plan: &Plan, d: &Decomposition) -> (u64, u64, u64) {
+    let geo = plan.geo;
+    let (rb, cb) = (geo.row_blocks() as u64, geo.col_blocks() as u64);
+    match plan.config.backend {
+        DeviceBackend::CudaCore | DeviceBackend::SimdCore => (0, 0, 0),
+        DeviceBackend::TcuF64 => (d.num_terms() as u64 * geo.mma_per_term(), 0, 0),
+        DeviceBackend::SparseTcu => {
+            let (mut mma, mut sp, mut meta) = (0, 0, 0);
+            for t in &d.terms {
+                if term_is_sparse(t, geo) {
+                    // step 1 runs as mma.sp with one metadata load per U
+                    // fragment; the step-2 gathers (rb of them) stay dense
+                    mma += rb;
+                    sp += rb * cb;
+                    meta += rb;
+                } else {
+                    mma += geo.mma_per_term();
+                }
+            }
+            (mma, sp, meta)
+        }
+    }
+}
+
+/// Per-application counters of the 2-D executor under `plan`:
+/// `(mma, mma_sp, metadata, loads, shuffles)`.
+fn app_2d(plan: &Plan, tiles: u64) -> (u64, u64, u64, u64, u64) {
     let geo = plan.geo;
     let (rb, cb) = (geo.row_blocks() as u64, geo.col_blocks() as u64);
     let terms = plan.decomp().num_terms() as u64;
     let loads = tiles * rb * cb;
-    let mma = if plan.config.use_tcu { tiles * terms * geo.mma_per_term() } else { 0 };
+    let (mma, sp, meta) = tile_term_counts(plan, plan.decomp());
     let shuffles =
-        if plan.config.use_tcu && !plan.config.use_bvs { tiles * terms * 4 * cb } else { 0 };
-    (mma, loads, shuffles)
+        if plan.config.use_tcu() && !plan.config.use_bvs { tiles * terms * 4 * cb } else { 0 };
+    (tiles * mma, tiles * sp, tiles * meta, loads, shuffles)
 }
 
 /// Per-application counters of the 3-D executor under `plan` (per grid,
 /// i.e. summed over the `nz × tiles` jobs).
-fn app_3d(plan: &Plan, jobs: u64) -> (u64, u64, u64) {
+fn app_3d(plan: &Plan, jobs: u64) -> (u64, u64, u64, u64, u64) {
     let geo = plan.geo;
     let (rb, cb) = (geo.row_blocks() as u64, geo.col_blocks() as u64);
-    let (mut mma, mut loads, mut shuffles) = (0u64, 0u64, 0u64);
+    let (mut mma, mut sp, mut meta, mut loads, mut shuffles) = (0u64, 0u64, 0u64, 0u64, 0u64);
     for op in plan.plane_ops() {
         if let PlaneOp::Rdg(d) = op {
             let terms = d.num_terms() as u64;
             loads += rb * cb;
-            if plan.config.use_tcu {
-                mma += terms * geo.mma_per_term();
-                if !plan.config.use_bvs {
-                    shuffles += terms * 4 * cb;
-                }
+            let (m, s, md) = tile_term_counts(plan, d);
+            mma += m;
+            sp += s;
+            meta += md;
+            if plan.config.use_tcu() && !plan.config.use_bvs {
+                shuffles += terms * 4 * cb;
             }
         }
     }
-    (mma * jobs, loads * jobs, shuffles * jobs)
+    (mma * jobs, sp * jobs, meta * jobs, loads * jobs, shuffles * jobs)
 }
 
 /// Closed-form LoRAStencil counters for `kernel` on a grid of `extents`,
 /// `iterations` time steps, feature set `config`.
 ///
-/// Valid for every configuration with `use_tcu` on (the CUDA fallback of
-/// the 2-D/3-D executors charges no MMAs but the same fragment loads;
-/// the 1-D executor has a single MMA path).
+/// Valid for every backend: the dense and sparse tensor-core paths
+/// split per Eq. 16 and the 2:4 term predicate; the CUDA-core and SIMD
+/// fallbacks of the 2-D/3-D executors charge no MMAs but the same
+/// fragment loads; the 1-D executor has a single (dense-TCU) MMA path.
 ///
 /// Plans resolve through [`Plan::new_tuned`] — the same tuning-DB lookup
 /// the executors make — so a `fuse_override` from an installed DB moves
@@ -128,13 +171,14 @@ pub fn predict_lora(
             let app = tiles * (plan.seg_len() / 4) as u64;
             let base = tiles * (Plan::new_tuned(kernel, base_cfg, extents).seg_len() / 4) as u64;
             // the 1-D gather is a single MM: loads ≡ MMAs, no shuffles
+            // (and no sparse split — 1-D lowering is always dense TCU)
             let mma = full * app + rem * base;
             Prediction {
                 mma_ops: mma,
                 shared_load_requests: mma,
-                shuffle_ops: 0,
                 global_bytes_written: (full + rem) * (n * 8) as u64,
                 points_updated: (iterations * n) as u64,
+                ..Prediction::default()
             }
         }
         [rows, cols] => {
@@ -142,14 +186,16 @@ pub fn predict_lora(
             let full = (iterations / plan.fusion) as u64;
             let rem = (iterations % plan.fusion) as u64;
             let tiles = tiles_2d(rows, cols);
-            let (fm, fl, fs) = app_2d(&plan, tiles);
-            let (bm, bl, bs) = if rem > 0 {
+            let (fm, fsp, fmd, fl, fs) = app_2d(&plan, tiles);
+            let (bm, bsp, bmd, bl, bs) = if rem > 0 {
                 app_2d(&Plan::new_tuned(kernel, base_cfg, extents), tiles)
             } else {
-                (0, 0, 0)
+                (0, 0, 0, 0, 0)
             };
             Prediction {
                 mma_ops: full * fm + rem * bm,
+                mma_sp_ops: full * fsp + rem * bsp,
+                metadata_loads: full * fmd + rem * bmd,
                 shared_load_requests: full * fl + rem * bl,
                 shuffle_ops: full * fs + rem * bs,
                 global_bytes_written: (full + rem) * (len * 8) as u64,
@@ -160,10 +206,12 @@ pub fn predict_lora(
             // 3-D is never fused (dimension residue, §IV-C)
             let plan = Plan::new_tuned(kernel, config, extents);
             let jobs = nz as u64 * tiles_2d(ny, nx);
-            let (m, l, s) = app_3d(&plan, jobs);
+            let (m, sp, md, l, s) = app_3d(&plan, jobs);
             let apps = iterations as u64;
             Prediction {
                 mma_ops: apps * m,
+                mma_sp_ops: apps * sp,
+                metadata_loads: apps * md,
                 shared_load_requests: apps * l,
                 shuffle_ops: apps * s,
                 global_bytes_written: apps * (len * 8) as u64,
@@ -333,6 +381,101 @@ mod tests {
                 pred.compare(&out.counters)
             );
         }
+    }
+
+    fn sparse_cfg() -> ExecConfig {
+        ExecConfig { backend: DeviceBackend::SparseTcu, allow_fusion: false, ..ExecConfig::full() }
+    }
+
+    fn measure(k: &StencilKernel, rows: usize, cols: usize, cfg: ExecConfig) -> PerfCounters {
+        LoRaStencil::with_config(cfg)
+            .execute(&Problem::new(
+                k.clone(),
+                Grid2D::from_fn(rows, cols, |r, c| (r * 5 + c) as f64 * 0.01),
+                1,
+            ))
+            .unwrap()
+            .counters
+    }
+
+    /// Sparse closed form on full tiles, to the digit: Heat2D's star
+    /// decomposition has `u = e_c` (one nonzero per banded row) and
+    /// `u = [w, 0, w]` (two nonzeros two apart) — both 2:4-compressible,
+    /// so per tile each term charges `rb·cb` mma.sp + `rb` dense step-2
+    /// MMAs + `rb` metadata loads (S = 16: rb = 4, cb = 2).
+    #[test]
+    fn sparse_closed_form_full_tiles_heat2d() {
+        let k = kernels::heat_2d();
+        let pred = predict_lora(&k, &[16, 16], 1, sparse_cfg());
+        let tiles = 4;
+        assert_eq!(pred.mma_sp_ops, tiles * 2 * 4 * 2);
+        assert_eq!(pred.mma_ops, tiles * 2 * 4);
+        assert_eq!(pred.metadata_loads, tiles * 2 * 4);
+        let m = measure(&k, 16, 16, sparse_cfg());
+        assert!(pred.compare(&m).is_empty(), "{:?}", pred.compare(&m));
+    }
+
+    /// Same forms on a grid with partial tiles: counters charge per
+    /// sub-tile (⌈R/8⌉⌈C/8⌉), not per covered point.
+    #[test]
+    fn sparse_closed_form_partial_tiles_heat2d() {
+        let k = kernels::heat_2d();
+        let pred = predict_lora(&k, &[20, 12], 1, sparse_cfg());
+        let tiles = 3 * 2;
+        assert_eq!(pred.mma_sp_ops, tiles * 2 * 4 * 2);
+        assert_eq!(pred.mma_ops, tiles * 2 * 4);
+        assert_eq!(pred.metadata_loads, tiles * 2 * 4);
+        let m = measure(&k, 20, 12, sparse_cfg());
+        assert!(pred.compare(&m).is_empty(), "{:?}", pred.compare(&m));
+    }
+
+    /// Mixed split: Star2D13P's `e_c` term compresses, but its 7-tap
+    /// column term has six adjacent nonzeros per banded row — the 2:4
+    /// validator rejects it and that term (alone) falls back to dense.
+    #[test]
+    fn sparse_split_is_per_term_star13() {
+        let k = kernels::star_2d13p();
+        let pred = predict_lora(&k, &[16, 16], 1, sparse_cfg());
+        let tiles = 4;
+        // sparse term: 8 mma.sp + 4 dense; dense term: mma_per_term = 12
+        assert_eq!(pred.mma_sp_ops, tiles * 8);
+        assert_eq!(pred.metadata_loads, tiles * 4);
+        assert_eq!(pred.mma_ops, tiles * (4 + 12));
+        let m = measure(&k, 16, 16, sparse_cfg());
+        assert!(pred.compare(&m).is_empty(), "{:?}", pred.compare(&m));
+    }
+
+    /// Negative case: every Box2D49P term has a dense 7-tap `u`, so the
+    /// sparse backend charges exactly the dense counters (and no sparse
+    /// ones at all).
+    #[test]
+    fn sparse_backend_on_dense_terms_equals_dense_prediction() {
+        let k = kernels::box_2d49p();
+        let sparse = predict_lora(&k, &[16, 16], 1, sparse_cfg());
+        let dense = predict_lora(
+            &k,
+            &[16, 16],
+            1,
+            ExecConfig { allow_fusion: false, ..ExecConfig::full() },
+        );
+        assert_eq!(sparse.mma_sp_ops, 0);
+        assert_eq!(sparse.metadata_loads, 0);
+        assert_eq!(sparse, dense);
+        let m = measure(&k, 16, 16, sparse_cfg());
+        assert!(sparse.compare(&m).is_empty(), "{:?}", sparse.compare(&m));
+    }
+
+    /// The SIMD backend charges no tensor-core work; its loads and
+    /// writes follow the same forms as the scalar path.
+    #[test]
+    fn simd_backend_predicts_zero_mma_and_matches_measurement() {
+        let k = kernels::box_2d49p();
+        let cfg = ExecConfig { backend: DeviceBackend::SimdCore, ..ExecConfig::full() };
+        let pred = predict_lora(&k, &[16, 16], 1, cfg);
+        assert_eq!(pred.mma_ops, 0);
+        assert_eq!(pred.mma_sp_ops, 0);
+        let m = measure(&k, 16, 16, cfg);
+        assert!(pred.compare(&m).is_empty(), "{:?}", pred.compare(&m));
     }
 
     #[test]

@@ -43,9 +43,18 @@ pub fn sample_params(case: &Case) -> (ScheduleParams, ExecConfig) {
     (params, config)
 }
 
-/// The counter fields a schedule must keep invariant.
-fn invariants(c: &PerfCounters) -> [u64; 5] {
-    [c.mma_ops, c.shared_load_requests, c.shuffle_ops, c.global_bytes_written, c.points_updated]
+/// The counter fields a schedule must keep invariant. Keep in sync with
+/// `invariant_counters` in `stencil-cli`'s tune module.
+fn invariants(c: &PerfCounters) -> [u64; 7] {
+    [
+        c.mma_ops,
+        c.mma_sp_ops,
+        c.metadata_loads,
+        c.shared_load_requests,
+        c.shuffle_ops,
+        c.global_bytes_written,
+        c.points_updated,
+    ]
 }
 
 fn first_bit_divergence(a: &[GlobalArray], b: &[GlobalArray]) -> Option<String> {

@@ -7,7 +7,7 @@
 //! mirroring how per-block hardware counters aggregate.
 
 use crate::counters::PerfCounters;
-use crate::fragment::{FragA, FragAcc, FragB, MMA_K, MMA_M, MMA_N};
+use crate::fragment::{FragA, FragASp, FragAcc, FragB, MMA_K, MMA_M, MMA_N};
 use crate::trace::{Trace, TraceEvent};
 
 /// Execution context for one simulated warp (or thread block).
@@ -117,6 +117,53 @@ impl SimContext {
                 }
             }
         }
+    }
+
+    /// In-place structured-sparse `mma.sp.m8n8k4.f64`: `C = A × B + C`
+    /// with a 2:4-compressed A operand.
+    ///
+    /// Per accumulator element the surviving products are added in
+    /// increasing-K order — the same order the dense k-loop visits them —
+    /// and the pruned products are signed zeros, so for `+0.0`-seeded
+    /// accumulations the result is **bit-identical** to
+    /// [`SimContext::mma_into`] on the decompressed fragment: under
+    /// round-to-nearest a sum seeded at `+0.0` can never become `-0.0`,
+    /// and `x + (±0.0) == x` for every such `x`.
+    ///
+    /// Charges one `mma_sp_ops`; metadata-register traffic is charged
+    /// separately via [`SimContext::metadata_loads`] so schedules can
+    /// amortize one metadata load across many column blocks.
+    #[inline]
+    pub fn mma_sp_into(&mut self, a: &FragASp, b: &FragB, c: &mut FragAcc) {
+        self.counters.mma_sp_ops += 1;
+        self.record(TraceEvent::MmaSp);
+        let bl = &b.lanes;
+        for r in 0..MMA_M {
+            for half in 0..MMA_N / 2 {
+                let lane = 4 * r + half;
+                let mut e = c.r0[lane];
+                let mut o = c.r1[lane];
+                for s in 0..2 {
+                    let v = a.vals[r][s];
+                    if v != 0.0 {
+                        let k = usize::from(a.idx[r][s]);
+                        e += v * bl[8 * half + k];
+                        o += v * bl[8 * half + MMA_K + k];
+                    }
+                }
+                c.r0[lane] = e;
+                c.r1[lane] = o;
+            }
+        }
+    }
+
+    /// Charge `n` sparsity-metadata register loads (one per compressed A
+    /// fragment whose 2-bit indices are brought into the metadata
+    /// registers; reusable across the column blocks that share the
+    /// fragment).
+    pub fn metadata_loads(&mut self, n: u64) {
+        self.counters.metadata_loads += n;
+        self.record(TraceEvent::MetaLoad(n));
     }
 
     /// Extract accumulator columns into an A fragment, charging the
@@ -327,6 +374,45 @@ mod tests {
         ctx.mma_chain_into(&[&a, &a, &a], &[&b, &b, &b], &mut FragAcc::zero());
         let t = ctx.take_trace().unwrap();
         assert_eq!(t.count(|e| matches!(e, TraceEvent::Mma)), 3);
+    }
+
+    #[test]
+    fn sparse_mma_is_bit_identical_to_dense_on_2_4_fragments() {
+        use crate::fragment::FragASp;
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        // banded-style A: rows keep two adjacent K entries (a 2:4 pattern)
+        let mut m = [[0.0; MMA_K]; MMA_M];
+        for (r, row) in m.iter_mut().enumerate() {
+            let k0 = r % 3;
+            row[k0] = next();
+            row[k0 + 1] = next();
+        }
+        let dense = FragA::from_matrix(&m);
+        let sp = FragASp::compress(&dense).expect("two adjacent nonzeros per row is 2:4");
+        let b = mat_b(|_, _| next());
+        let seedm = [[0.25; MMA_N]; MMA_M];
+
+        let mut ctx_d = SimContext::new();
+        let mut acc_d = FragAcc::from_matrix(&seedm);
+        ctx_d.mma_into(&dense, &b, &mut acc_d);
+
+        let mut ctx_s = SimContext::new();
+        let mut acc_s = FragAcc::from_matrix(&seedm);
+        ctx_s.mma_sp_into(&sp, &b, &mut acc_s);
+
+        for r in 0..MMA_M {
+            for c in 0..MMA_N {
+                assert_eq!(acc_d.get(r, c).to_bits(), acc_s.get(r, c).to_bits(), "({r},{c})");
+            }
+        }
+        assert_eq!(ctx_s.counters.mma_sp_ops, 1);
+        assert_eq!(ctx_s.counters.mma_ops, 0);
+        ctx_s.metadata_loads(3);
+        assert_eq!(ctx_s.counters.metadata_loads, 3);
     }
 
     #[test]

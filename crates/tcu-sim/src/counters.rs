@@ -9,6 +9,11 @@
 /// FLOPs performed by one `mma.m8n8k4.f64` instruction: `2 * m * n * k`.
 pub const FLOPS_PER_MMA: u64 = 2 * 8 * 8 * 4;
 
+/// FLOPs performed by one structured-sparse `mma.sp.m8n8k4.f64`
+/// instruction: the 2:4 pattern keeps two of every four K products, so
+/// only `2 * m * n * k/2` multiplies and adds execute.
+pub const FLOPS_PER_MMA_SP: u64 = 2 * 8 * 8 * 2;
+
 /// Counter set accumulated by a [`crate::SimContext`].
 ///
 /// Counters are plain integers so tile-local counter sets can be merged
@@ -17,9 +22,16 @@ pub const FLOPS_PER_MMA: u64 = 2 * 8 * 8 * 4;
 pub struct PerfCounters {
     /// Number of `mma.m8n8k4.f64` instructions issued to tensor cores.
     pub mma_ops: u64,
+    /// Number of structured-sparse `mma.sp.m8n8k4.f64` instructions: the
+    /// A operand is stored 2:4-compressed (at most two nonzeros per row of
+    /// four K elements) and the tensor core skips the pruned products.
+    pub mma_sp_ops: u64,
     /// Number of `m16n16k16` FP16 MMA instructions (native-FP16 methods
     /// only; 8192 FLOPs each at the FP16 peak rate).
     pub mma_fp16_ops: u64,
+    /// Sparsity-metadata register loads: one per compressed A fragment
+    /// brought into the metadata registers that steer a sparse MMA.
+    pub metadata_loads: u64,
     /// Scalar FP64 floating-point operations executed on CUDA cores
     /// (adds and multiplies each count as one).
     pub cuda_flops: u64,
@@ -50,9 +62,9 @@ impl PerfCounters {
         Self::default()
     }
 
-    /// Total FP64 FLOPs executed on tensor cores.
+    /// Total FP64 FLOPs executed on tensor cores (dense + sparse MMAs).
     pub fn tensor_flops(&self) -> u64 {
-        self.mma_ops * FLOPS_PER_MMA
+        self.mma_ops * FLOPS_PER_MMA + self.mma_sp_ops * FLOPS_PER_MMA_SP
     }
 
     /// Total FP16 FLOPs executed on tensor cores.
@@ -88,7 +100,9 @@ impl PerfCounters {
     /// Accumulate another counter set into this one.
     pub fn merge(&mut self, other: &PerfCounters) {
         self.mma_ops += other.mma_ops;
+        self.mma_sp_ops += other.mma_sp_ops;
         self.mma_fp16_ops += other.mma_fp16_ops;
+        self.metadata_loads += other.metadata_loads;
         self.cuda_flops += other.cuda_flops;
         self.shuffle_ops += other.shuffle_ops;
         self.shared_load_requests += other.shared_load_requests;
@@ -103,10 +117,12 @@ impl PerfCounters {
     /// `(name, value)` view of every counter field, in declaration order.
     /// The single source of truth for field-by-field comparison and
     /// reporting (adding a field here keeps [`PerfCounters::diff`] exact).
-    pub fn fields(&self) -> [(&'static str, u64); 11] {
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
         [
             ("mma_ops", self.mma_ops),
+            ("mma_sp_ops", self.mma_sp_ops),
             ("mma_fp16_ops", self.mma_fp16_ops),
+            ("metadata_loads", self.metadata_loads),
             ("cuda_flops", self.cuda_flops),
             ("shuffle_ops", self.shuffle_ops),
             ("shared_load_requests", self.shared_load_requests),
@@ -138,7 +154,9 @@ impl PerfCounters {
     pub fn scaled(&self, factor: u64) -> PerfCounters {
         PerfCounters {
             mma_ops: self.mma_ops * factor,
+            mma_sp_ops: self.mma_sp_ops * factor,
             mma_fp16_ops: self.mma_fp16_ops * factor,
+            metadata_loads: self.metadata_loads * factor,
             cuda_flops: self.cuda_flops * factor,
             shuffle_ops: self.shuffle_ops * factor,
             shared_load_requests: self.shared_load_requests * factor,
@@ -165,7 +183,9 @@ mod tests {
     fn merge_accumulates_all_fields() {
         let mut a = PerfCounters::new();
         a.mma_ops = 1;
+        a.mma_sp_ops = 12;
         a.mma_fp16_ops = 11;
+        a.metadata_loads = 13;
         a.cuda_flops = 2;
         a.shuffle_ops = 3;
         a.shared_load_requests = 4;
@@ -187,6 +207,15 @@ mod tests {
         assert_eq!(c.tensor_flops(), 1536);
         c.cuda_flops = 64;
         assert_eq!(c.total_flops(), 1600);
+    }
+
+    #[test]
+    fn sparse_mma_counts_256_flops_each() {
+        let mut c = PerfCounters::new();
+        c.mma_sp_ops = 2;
+        assert_eq!(c.tensor_flops(), 512);
+        c.mma_ops = 1;
+        assert_eq!(c.tensor_flops(), 1024);
     }
 
     #[test]
@@ -217,19 +246,21 @@ mod tests {
         // fields(): any field missed there would break this sum
         let c = PerfCounters {
             mma_ops: 1,
-            mma_fp16_ops: 2,
-            cuda_flops: 4,
-            shuffle_ops: 8,
-            shared_load_requests: 16,
-            shared_store_requests: 32,
-            global_bytes_read: 64,
-            global_bytes_written: 128,
-            l2_bytes: 256,
-            staged_copy_bytes: 512,
-            points_updated: 1024,
+            mma_sp_ops: 2,
+            mma_fp16_ops: 4,
+            metadata_loads: 8,
+            cuda_flops: 16,
+            shuffle_ops: 32,
+            shared_load_requests: 64,
+            shared_store_requests: 128,
+            global_bytes_read: 256,
+            global_bytes_written: 512,
+            l2_bytes: 1024,
+            staged_copy_bytes: 2048,
+            points_updated: 4096,
         };
         let sum: u64 = c.fields().iter().map(|(_, v)| v).sum();
-        assert_eq!(sum, 2047);
+        assert_eq!(sum, 8191);
     }
 
     #[test]
@@ -245,7 +276,9 @@ impl foundation::json::ToJson for PerfCounters {
         use foundation::json::Json;
         Json::obj([
             ("mma_ops", Json::UInt(self.mma_ops)),
+            ("mma_sp_ops", Json::UInt(self.mma_sp_ops)),
             ("mma_fp16_ops", Json::UInt(self.mma_fp16_ops)),
+            ("metadata_loads", Json::UInt(self.metadata_loads)),
             ("cuda_flops", Json::UInt(self.cuda_flops)),
             ("shuffle_ops", Json::UInt(self.shuffle_ops)),
             ("shared_load_requests", Json::UInt(self.shared_load_requests)),

@@ -53,6 +53,9 @@ pub fn quantize_f16(x: f64) -> f64 {
         if rem > halfway || (rem == halfway && (m & 1) == 1) {
             m += 1;
         }
+        // invariant: -14 <= unbiased <= 15 on this branch, so the biased
+        // exponent is in 1..=30 and the cast cannot wrap
+        debug_assert!((1..=30).contains(&(unbiased + 15)));
         let mut e = (unbiased + 15) as u32;
         if m == 0x400 {
             // mantissa rounded over: bump exponent
@@ -65,6 +68,9 @@ pub fn quantize_f16(x: f64) -> f64 {
         ((sign << 15) | (e << 10) | m) as u16
     } else if unbiased >= -24 {
         // subnormal half
+        // invariant: -24 <= unbiased < -14 on this branch, so the extra
+        // shift is in 1..=10 and the cast cannot wrap
+        debug_assert!((1..=10).contains(&(-14 - unbiased)));
         let shift = 13 + (-14 - unbiased) as u32;
         let full = mant | 0x80_0000;
         let halfway = 1u32 << (shift - 1);

@@ -54,6 +54,73 @@ pub struct FragA {
     pub lanes: [f64; WARP_LANES],
 }
 
+/// 2:4 structured-sparse left-operand fragment for `mma.sp.m8n8k4.f64`.
+///
+/// Each 8-element A row covers exactly one K window of four elements, so
+/// the 2:4 constraint is per-row: at most two of the four K products may
+/// be nonzero. The fragment stores the (up to) two surviving values per
+/// row plus their 2-bit K indices — the "metadata" that on hardware lives
+/// in a separate sparsity-metadata register and steers the tensor core's
+/// operand muxes.
+///
+/// Rows with fewer than two nonzeros are padded with `+0.0` values
+/// (index slot 0); [`crate::SimContext::mma_sp_into`] skips padded slots,
+/// which is bit-exact because a `+0.0`-seeded accumulator can never reach
+/// `-0.0` under round-to-nearest, so adding a `±0.0` product is always an
+/// identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragASp {
+    /// Up to two surviving values per row, in increasing-K order.
+    pub vals: [[f64; 2]; MMA_M],
+    /// 2-bit K index of each surviving value (the sparsity metadata).
+    pub idx: [[u8; 2]; MMA_M],
+}
+
+impl FragASp {
+    /// 2:4-compress a dense A fragment, validating the sparsity pattern.
+    ///
+    /// Returns `None` — the fragment is **not** 2:4-compressible — when
+    /// any row carries three or more nonzero K elements. This is the
+    /// pattern validator the schedule's sparse lowering uses to decide
+    /// between a sparse MMA and the per-term dense fallback.
+    ///
+    /// Both zero bit patterns (`+0.0`, `-0.0`) count as prunable: either
+    /// way the pruned product is a signed zero, which cannot perturb a
+    /// `+0.0`-seeded accumulation.
+    pub fn compress(dense: &FragA) -> Option<FragASp> {
+        let mut sp = FragASp { vals: [[0.0; 2]; MMA_M], idx: [[0; 2]; MMA_M] };
+        for r in 0..MMA_M {
+            let mut nnz = 0usize;
+            for k in 0..MMA_K {
+                let v = dense.get(r, k);
+                if v != 0.0 {
+                    if nnz == 2 {
+                        return None;
+                    }
+                    sp.vals[r][nnz] = v;
+                    sp.idx[r][nnz] = k as u8;
+                    nnz += 1;
+                }
+            }
+        }
+        Some(sp)
+    }
+
+    /// Expand back to the dense 8×4 fragment the metadata describes.
+    pub fn decompress(&self) -> FragA {
+        let mut dense = FragA::zero();
+        for r in 0..MMA_M {
+            for s in 0..2 {
+                let v = self.vals[r][s];
+                if v != 0.0 {
+                    dense.set(r, usize::from(self.idx[r][s]), v);
+                }
+            }
+        }
+        dense
+    }
+}
+
 /// 4×8 right-operand fragment (one FP64 element per lane).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FragB {
@@ -334,6 +401,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sparse_compress_roundtrips_2_4_patterns() {
+        // two nonzeros per row at varying K positions, including rows
+        // with one and zero survivors
+        let mut m = [[0.0; MMA_K]; MMA_M];
+        m[0][0] = 1.5;
+        m[0][3] = -2.5;
+        m[1][1] = 4.0;
+        m[1][2] = 0.25;
+        m[2][2] = -0.5;
+        // row 3 left all-zero
+        m[4][0] = 7.0;
+        m[4][1] = 8.0;
+        let dense = FragA::from_matrix(&m);
+        let sp = FragASp::compress(&dense).expect("2:4 pattern must compress");
+        assert_eq!(sp.vals[0], [1.5, -2.5]);
+        assert_eq!(sp.idx[0], [0, 3]);
+        assert_eq!(sp.vals[2], [-0.5, 0.0]);
+        assert_eq!(sp.idx[2], [2, 0]);
+        assert_eq!(sp.vals[3], [0.0, 0.0]);
+        assert_eq!(sp.decompress(), dense);
+    }
+
+    #[test]
+    fn sparse_compress_rejects_rows_with_three_nonzeros() {
+        let mut m = [[0.0; MMA_K]; MMA_M];
+        m[5][0] = 1.0;
+        m[5][1] = 2.0;
+        m[5][2] = 3.0;
+        assert!(FragASp::compress(&FragA::from_matrix(&m)).is_none());
+        // a full row is likewise rejected
+        let mut full = [[0.0; MMA_K]; MMA_M];
+        full[0] = [1.0, 1.0, 1.0, 1.0];
+        assert!(FragASp::compress(&FragA::from_matrix(&full)).is_none());
+    }
+
+    #[test]
+    fn sparse_compress_treats_negative_zero_as_prunable() {
+        let mut m = [[0.0; MMA_K]; MMA_M];
+        m[0][0] = -0.0;
+        m[0][1] = 1.0;
+        m[0][2] = -0.0;
+        m[0][3] = 2.0;
+        let sp = FragASp::compress(&FragA::from_matrix(&m)).expect("signed zeros prune");
+        assert_eq!(sp.vals[0], [1.0, 2.0]);
+        assert_eq!(sp.idx[0], [1, 3]);
     }
 
     #[test]

@@ -28,14 +28,32 @@ pub struct GlobalArray {
 
 impl GlobalArray {
     /// Allocate a zeroed `rows × cols` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a typed message when `rows × cols` overflows `usize`
+    /// or either extent exceeds `isize::MAX` (the periodic-halo wrap in
+    /// [`GlobalArray::copy_to_shared`] indexes through `isize`, so a
+    /// larger extent would silently wrap negative).
     pub fn new(rows: usize, cols: usize) -> Self {
-        GlobalArray { rows, cols, data: vec![0.0; rows * cols] }
+        let n = Self::checked_extent(rows, cols);
+        GlobalArray { rows, cols, data: vec![0.0; n] }
     }
 
     /// Build from an existing row-major buffer.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols);
+        assert_eq!(data.len(), Self::checked_extent(rows, cols));
         GlobalArray { rows, cols, data }
+    }
+
+    /// Validate extents: the product must fit `usize` and each extent
+    /// must fit `isize` (torus indexing range). Returns `rows * cols`.
+    fn checked_extent(rows: usize, cols: usize) -> usize {
+        assert!(
+            isize::try_from(rows).is_ok() && isize::try_from(cols).is_ok(),
+            "global array extent {rows}x{cols} exceeds the isize indexing range"
+        );
+        rows.checked_mul(cols).expect("global array extent rows*cols overflows usize")
     }
 
     /// Array height.

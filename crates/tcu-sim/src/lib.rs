@@ -54,9 +54,9 @@ pub mod trace;
 
 pub use context::SimContext;
 pub use cost::{gstencil_per_sec, CostModel, Estimate};
-pub use counters::{PerfCounters, FLOPS_PER_MMA};
+pub use counters::{PerfCounters, FLOPS_PER_MMA, FLOPS_PER_MMA_SP};
 pub use device::DeviceSpec;
-pub use fragment::{FragA, FragAcc, FragB, MMA_K, MMA_M, MMA_N, WARP_LANES};
+pub use fragment::{FragA, FragASp, FragAcc, FragB, MMA_K, MMA_M, MMA_N, WARP_LANES};
 pub use global::{CopyMode, GlobalArray};
 pub use occupancy::{occupancy, BlockResources, Occupancy};
 pub use shared::SharedTile;

@@ -25,8 +25,14 @@ pub struct SharedTile {
 
 impl SharedTile {
     /// Allocate a zeroed `rows × cols` tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a typed message when `rows × cols` overflows `usize`
+    /// (instead of silently wrapping into a tiny allocation).
     pub fn new(rows: usize, cols: usize) -> Self {
-        SharedTile { rows, cols, data: vec![0.0; rows * cols] }
+        let n = rows.checked_mul(cols).expect("shared tile extent rows*cols overflows usize");
+        SharedTile { rows, cols, data: vec![0.0; n] }
     }
 
     /// Reshape for reuse as a zeroed `rows × cols` tile, keeping the
@@ -35,7 +41,7 @@ impl SharedTile {
     pub fn reset(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
-        let n = rows * cols;
+        let n = rows.checked_mul(cols).expect("shared tile extent rows*cols overflows usize");
         self.data.clear();
         self.data.resize(n, 0.0);
     }
@@ -51,8 +57,16 @@ impl SharedTile {
     }
 
     /// Size of the allocation in bytes (for occupancy accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a typed message when the allocation exceeds the
+    /// 32-bit byte range the occupancy model works in — a tile that
+    /// large could never be shared memory, so a silent `as u32`
+    /// truncation would only hide a caller bug.
     pub fn bytes(&self) -> u32 {
-        (self.data.len() * std::mem::size_of::<f64>()) as u32
+        let bytes = self.data.len() * std::mem::size_of::<f64>();
+        u32::try_from(bytes).expect("shared tile exceeds the u32 byte range of the occupancy model")
     }
 
     #[inline]

@@ -13,8 +13,12 @@ use crate::context::SimContext;
 pub enum TraceEvent {
     /// An `mma.m8n8k4.f64` issue.
     Mma,
+    /// A structured-sparse `mma.sp.m8n8k4.f64` issue (2:4 A operand).
+    MmaSp,
     /// An `m16n16k16` FP16 MMA issue.
     Mma16,
+    /// A load of `n` sparsity-metadata register sets.
+    MetaLoad(u64),
     /// An accumulator→A extraction with the chosen columns and the
     /// shuffle instructions it cost (0 under BVS).
     AccExtract {
@@ -76,14 +80,16 @@ impl Trace {
         let mut cur = 0;
         for e in &self.events {
             match e {
-                TraceEvent::Mma => {
+                TraceEvent::Mma | TraceEvent::MmaSp => {
                     cur += 1;
                     best = best.max(cur);
                 }
-                // fragment loads pipeline with MMAs, and a zero-shuffle
-                // extraction is a pure register reinterpretation (the BVS
-                // case) — neither breaks the burst
-                TraceEvent::SharedLoad | TraceEvent::AccExtract { shuffles: 0, .. } => {}
+                // fragment/metadata loads pipeline with MMAs, and a
+                // zero-shuffle extraction is a pure register
+                // reinterpretation (the BVS case) — none break the burst
+                TraceEvent::SharedLoad
+                | TraceEvent::MetaLoad(_)
+                | TraceEvent::AccExtract { shuffles: 0, .. } => {}
                 _ => cur = 0,
             }
         }
@@ -96,7 +102,9 @@ impl Trace {
         for (i, e) in self.events.iter().enumerate() {
             let line = match e {
                 TraceEvent::Mma => "mma.m8n8k4.f64".to_string(),
+                TraceEvent::MmaSp => "mma.sp.m8n8k4.f64".to_string(),
                 TraceEvent::Mma16 => "mma.m16n16k16.f16".to_string(),
+                TraceEvent::MetaLoad(n) => format!("ld.metadata x{n}"),
                 TraceEvent::AccExtract { cols, shuffles } => {
                     format!("acc->A cols {cols:?} ({shuffles} shuffles)")
                 }
@@ -210,7 +218,9 @@ impl foundation::json::ToJson for TraceEvent {
         use foundation::json::Json;
         match self {
             TraceEvent::Mma => Json::Str("Mma".into()),
+            TraceEvent::MmaSp => Json::Str("MmaSp".into()),
             TraceEvent::Mma16 => Json::Str("Mma16".into()),
+            TraceEvent::MetaLoad(n) => Json::obj([("MetaLoad", Json::UInt(*n))]),
             TraceEvent::SharedLoad => Json::Str("SharedLoad".into()),
             TraceEvent::SharedStore => Json::Str("SharedStore".into()),
             TraceEvent::AccExtract { cols, shuffles } => Json::obj([(

@@ -155,3 +155,37 @@ fn every_method_verified_during_evaluation() {
         }
     }
 }
+
+#[test]
+fn backend_figure_orders_the_backends() {
+    let fig = bench_suite::fig_backends(&CostModel::a100());
+    assert_eq!(fig.kernels.len(), 4);
+    let tcu = fig.column("TcuF64");
+    let sparse = fig.column("SparseTcu");
+    let simd = fig.column("SimdCore");
+    let cuda = fig.column("CudaCore");
+    for (i, k) in fig.kernels.iter().enumerate() {
+        // tuned SIMD must beat the scalar strawman decisively — the
+        // issue-overhead gap alone is 7x, memory pools eat some of it
+        assert!(
+            simd[i] > cuda[i] * 2.0,
+            "{k}: SimdCore ({:.1}) must clearly beat CudaCore ({:.1})",
+            simd[i],
+            cuda[i]
+        );
+        // sparse tensor cores never lose to dense (fewer or equal MMAs,
+        // everything else identical)
+        assert!(
+            sparse[i] >= tcu[i] * 0.999,
+            "{k}: SparseTcu ({:.1}) behind TcuF64 ({:.1})",
+            sparse[i],
+            tcu[i]
+        );
+        // either tensor-core path still beats host SIMD overall
+        assert!(tcu[i] > 0.0 && sparse[i] > 0.0 && simd[i] > 0.0 && cuda[i] > 0.0);
+    }
+    let text = fig.render();
+    for b in ["TcuF64", "SparseTcu", "SimdCore", "CudaCore"] {
+        assert!(text.contains(b), "render misses {b}");
+    }
+}

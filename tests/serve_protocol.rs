@@ -29,8 +29,12 @@ const KEYS: &[&str] =
     &["id", "op", "tenant", "kernel", "scenario", "size", "iters", "seed", "config", "values"];
 
 fn valid_frame(rng: &mut Xoshiro256pp) -> String {
-    match rng.below_u64(4) {
+    match rng.below_u64(5) {
         0 => r#"{"kernel":"Box-2D9P","size":[8,8],"iters":1,"values":"none"}"#.into(),
+        4 => {
+            let cfg = ["sparse", "simd", "no-tcu", "sparse,no-fusion"][rng.below_u64(4) as usize];
+            format!(r#"{{"kernel":"Heat-2D","size":[8,8],"config":"{cfg}","values":"none"}}"#)
+        }
         1 => format!(r#"{{"scenario":"smoke-1d","tenant":"t{}","iters":1}}"#, rng.below_u64(4)),
         2 => r#"{"op":"stats"}"#.into(),
         _ => format!(r#"{{"op":"ping","id":{}}}"#, rng.below_u64(1 << 40)),
@@ -242,4 +246,111 @@ fn flagship_frames_get_the_right_diagnostics() {
     let mut deep = String::from(r#"{"size":"#);
     deep.push_str(&"[".repeat(10_000));
     expect(&mut conn, &deep, "frame", "unsigned integer");
+}
+
+/// Pull a named counter out of a run response's `counters` object.
+fn counter(resp: &str, name: &str) -> f64 {
+    let doc = Json::parse(resp).unwrap_or_else(|e| panic!("response not JSON ({e}): {resp}"));
+    doc.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("no counter {name} in {resp}"))
+}
+
+/// The sparse and SIMD backends are reachable through the wire
+/// protocol's `config` field, and a mistyped backend token comes back
+/// as a typed `config` error instead of a panic or a silent default.
+#[test]
+fn sparse_and_simd_backends_run_over_the_wire() {
+    let core = ServerCore::new(ServeConfig::default());
+    let mut conn = ConnState::new();
+
+    // sparse tensor cores on a star kernel: the rank-1 U factors are
+    // 2:4-compressible, so the sparse pipe must actually light up
+    assert!(matches!(
+        core.handle_line(&mut conn, r#"{"kernel":"Heat-2D","size":[16,16],"config":"sparse"}"#),
+        Action::Respond
+    ));
+    assert!(conn.resp.contains("\"ok\":true"), "sparse run failed: {}", conn.resp);
+    assert!(counter(&conn.resp, "mma_sp_ops") > 0.0, "sparse MMAs missing: {}", conn.resp);
+    assert!(counter(&conn.resp, "metadata_loads") > 0.0, "metadata loads missing: {}", conn.resp);
+
+    // tuned host SIMD: no tensor-core traffic at all
+    assert!(matches!(
+        core.handle_line(&mut conn, r#"{"kernel":"Heat-2D","size":[16,16],"config":"simd"}"#),
+        Action::Respond
+    ));
+    assert!(conn.resp.contains("\"ok\":true"), "simd run failed: {}", conn.resp);
+    assert_eq!(counter(&conn.resp, "mma_ops"), 0.0, "simd must not issue MMAs: {}", conn.resp);
+    assert_eq!(counter(&conn.resp, "mma_sp_ops"), 0.0, "{}", conn.resp);
+
+    // a typo'd backend token is a typed config error, and the server
+    // keeps serving afterwards
+    assert!(matches!(
+        core.handle_line(&mut conn, r#"{"kernel":"Heat-2D","size":[16,16],"config":"sparce"}"#),
+        Action::Respond
+    ));
+    let doc = Json::parse(&conn.resp).unwrap();
+    let kind = doc.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str);
+    assert_eq!(kind, Some("config"), "{}", conn.resp);
+    assert!(matches!(core.handle_line(&mut conn, r#"{"op":"ping"}"#), Action::Respond));
+    assert!(conn.resp.contains("\"ok\":true"), "server died after bad config: {}", conn.resp);
+}
+
+/// `serve --backend` sets the default config for frames that carry
+/// none; an explicit per-frame `config` still wins.
+#[test]
+fn serve_backend_flag_sets_the_default_config() {
+    let core = ServerCore::new(ServeConfig { backend: "sparse", ..ServeConfig::default() });
+    let mut conn = ConnState::new();
+    assert!(matches!(
+        core.handle_line(&mut conn, r#"{"kernel":"Heat-2D","size":[16,16]}"#),
+        Action::Respond
+    ));
+    assert!(conn.resp.contains("\"ok\":true"), "{}", conn.resp);
+    assert!(counter(&conn.resp, "mma_sp_ops") > 0.0, "default backend ignored: {}", conn.resp);
+    // the client's own config overrides the server default
+    assert!(matches!(
+        core.handle_line(&mut conn, r#"{"kernel":"Heat-2D","size":[16,16],"config":"no-tcu"}"#),
+        Action::Respond
+    ));
+    assert!(conn.resp.contains("\"ok\":true"), "{}", conn.resp);
+    assert_eq!(counter(&conn.resp, "mma_ops"), 0.0, "{}", conn.resp);
+    assert_eq!(counter(&conn.resp, "mma_sp_ops"), 0.0, "{}", conn.resp);
+}
+
+/// Degenerate server configurations must stay inert, not crash: a
+/// zero-capacity plan cache disables caching, `--batch 0` executes
+/// inline like `--batch 1`, and quantiles over an empty latency
+/// histogram report zero rather than dividing by the empty total.
+#[test]
+fn degenerate_server_configs_answer_normally() {
+    // stats on a fresh server: empty histogram → all-zero latency block
+    let core = ServerCore::new(ServeConfig::default());
+    let mut conn = ConnState::new();
+    assert!(matches!(core.handle_line(&mut conn, r#"{"op":"stats"}"#), Action::Respond));
+    let doc = Json::parse(&conn.resp).unwrap();
+    let jobs = doc.get("jobs").expect("stats must report a jobs block");
+    for q in ["p50_ns", "p99_ns", "max_ns"] {
+        assert_eq!(jobs.get(q).and_then(Json::as_f64), Some(0.0), "{q}: {}", conn.resp);
+    }
+
+    // capacity-0 cache: runs still execute (plans are just never kept)
+    let core = ServerCore::new(ServeConfig { cache_capacity: 0, ..ServeConfig::default() });
+    let run = r#"{"kernel":"Box-2D9P","size":[8,8],"iters":2}"#;
+    for _ in 0..2 {
+        let mut conn = ConnState::new();
+        assert!(matches!(core.handle_line(&mut conn, run), Action::Respond));
+        assert!(conn.resp.contains("\"ok\":true"), "cacheless run failed: {}", conn.resp);
+    }
+    let mut conn = ConnState::new();
+    assert!(matches!(core.handle_line(&mut conn, r#"{"op":"stats"}"#), Action::Respond));
+    assert!(conn.resp.contains("\"ok\":true"), "{}", conn.resp);
+
+    // batch 0: below the batching threshold, so the inline path runs
+    // the job on the connection thread — no dispatcher to hang on
+    let core = ServerCore::new(ServeConfig { batch_max: 0, ..ServeConfig::default() });
+    let mut conn = ConnState::new();
+    assert!(matches!(core.handle_line(&mut conn, run), Action::Respond));
+    assert!(conn.resp.contains("\"ok\":true"), "batch-0 run failed: {}", conn.resp);
 }
