@@ -249,6 +249,45 @@ loadgen_bench() {
         --json "$PWD/BENCH_pr8.json" | sed 's/^/   /'
 }
 
+emit_smoke() {
+    # multi-target codegen smoke: every emit target across one kernel
+    # per dimensionality and all four device backends must render
+    # non-empty, and the CUDA output is diffed byte-for-byte against
+    # the checked-in goldens (tests/snapshots/cuda/) plus the deprecated
+    # `emit-cuda` alias — any drift fails the build. Regenerate goldens
+    # deliberately with UPDATE_SNAPSHOTS=1 (see tests/codegen_snapshots.rs).
+    local cli="cargo run --release --offline -p stencil-cli --bin lorastencil-cli --"
+    local kernel backend target out=target/ci-emit.out
+    for kernel in Heat-1D Box-2D49P Heat-3D; do
+        for backend in tcu sparse simd cuda; do
+            for target in cuda hip wgsl; do
+                $cli emit --kernel "$kernel" --backend "$backend" --target "$target" >"$out" \
+                    || { echo "error: emit $kernel/$backend/$target failed" >&2; exit 1; }
+                [ -s "$out" ] || { echo "error: emit $kernel/$backend/$target is empty" >&2; exit 1; }
+            done
+        done
+        # golden pin: `emit --target cuda` == the checked-in snapshot
+        local stem golden
+        stem=$(tr '[:upper:]' '[:lower:]' <<<"$kernel")
+        golden="tests/snapshots/cuda/$stem.cu"
+        $cli emit --kernel "$kernel" --target cuda >"$out"
+        diff -u "$golden" "$out" \
+            || { echo "error: $kernel CUDA listing drifted from $golden" >&2; exit 1; }
+        # the deprecated alias must emit the same bytes
+        $cli emit-cuda --kernel "$kernel" 2>/dev/null \
+            | diff - "$out" \
+            || { echo "error: emit-cuda alias diverged from emit --target cuda" >&2; exit 1; }
+        echo "   $kernel: 3 targets x 4 backends emitted; CUDA matches golden + alias"
+    done
+    # a near-miss --target spelling must fail with a suggestion
+    if $cli emit --kernel Heat-1D --target wsgl >/dev/null 2>"$out"; then
+        echo "error: emit accepted bogus target wsgl" >&2; exit 1
+    fi
+    grep -q "did you mean wgsl?" "$out" \
+        || { echo "error: no 'did you mean wgsl?' suggestion for --target wsgl" >&2; exit 1; }
+    rm -f "$out"
+}
+
 dep_audit() {
     if cargo tree --offline --workspace --prefix none 2>/dev/null \
         | grep -vE "^\s*$|^\[dev-dependencies\]$" \
@@ -272,6 +311,7 @@ step "profile smoke (stencil-cli profile + trace validation)" profile_smoke
 step "crash-resume smoke (run, tear newest snapshot, resume)" crash_resume_smoke
 step "serve smoke (daemon over unix socket: parity, errors, shutdown)" serve_smoke
 step "serve loadgen (hit vs cold-plan >=5x gate, writes BENCH_pr8.json)" loadgen_bench
+step "emit smoke (3 targets x 4 backends x 3 dims; CUDA golden + alias diff)" emit_smoke
 step "checkpoint battery (FOUNDATION_THREADS=1)" checkpoint_battery
 step "dependency audit (workspace members only)" dep_audit
 

@@ -1,6 +1,7 @@
 //! Run the full evaluation: every figure and table of the paper in one
 //! go (Fig. 8, Fig. 9, Fig. 10, Table III, analytic models), plus the
-//! repo's own backend-comparison figure (DESIGN.md §14).
+//! repo's own backend-comparison (DESIGN.md §14) and multi-target
+//! portability (DESIGN.md §15) figures.
 
 fn main() {
     let model = tcu_sim::CostModel::a100();
@@ -15,4 +16,6 @@ fn main() {
     println!("{}", bench_suite::render_table3(&bench_suite::table3(&model)));
     println!();
     println!("{}", bench_suite::fig_backends(&model).render());
+    println!();
+    println!("{}", bench_suite::render_portability(&bench_suite::table_portability()));
 }

@@ -1,0 +1,6 @@
+//! Print the multi-target portability table: one lowered schedule per
+//! kernel, rendered for CUDA, HIP and WGSL (DESIGN.md §15).
+
+fn main() {
+    println!("{}", bench_suite::render_portability(&bench_suite::table_portability()));
+}

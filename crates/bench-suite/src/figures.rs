@@ -479,10 +479,98 @@ pub fn render_analysis() -> String {
     out
 }
 
+/// One (kernel, target) cell of the portability table: how the plan's
+/// mechanisms land on that target's hardware, measured off the emitted
+/// listing and the emitter's declared capability matrix.
+pub struct PortabilityRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// Codegen target (CLI spelling).
+    pub target: &'static str,
+    /// Listing length in lines.
+    pub lines: usize,
+    /// Whether the MMA chains run on native warp-level tensor cores.
+    pub native_wmma: bool,
+    /// Rendered `MmaChain` op count (identical across targets per
+    /// kernel — the schedule is target-independent).
+    pub chains: usize,
+    /// Cross-lane shuffle call sites in the listing (`__shfl` /
+    /// `subgroupShuffle`).
+    pub shuffles: usize,
+}
+
+/// The multi-target portability table: one representative kernel per
+/// dimensionality × every codegen target, rendered from the *same*
+/// lowered schedule per kernel.
+pub fn table_portability() -> Vec<PortabilityRow> {
+    use lorastencil::codegen::{audit, Target};
+    use lorastencil::schedule::Op;
+    use lorastencil::Plan;
+    use stencil_core::kernels;
+    let mut rows = Vec::new();
+    for kernel in [kernels::heat_1d(), kernels::box_2d49p(), kernels::heat_3d()] {
+        for target in Target::ALL {
+            let plan = Plan::new(&kernel, ExecConfig::full());
+            let a = audit(&plan, target);
+            rows.push(PortabilityRow {
+                kernel: kernel.name.clone(),
+                target: target.name(),
+                lines: a.listing.lines().count(),
+                native_wmma: a.caps.wmma,
+                chains: a.ops.iter().filter(|o| matches!(o.op, Op::MmaChain { .. })).count(),
+                shuffles: a.listing.matches("__shfl(").count()
+                    + a.listing.matches("subgroupShuffle(").count(),
+            });
+        }
+    }
+    rows
+}
+
+/// Printable portability report.
+pub fn render_portability(rows: &[PortabilityRow]) -> String {
+    let header: Vec<String> = ["Kernel", "Target", "Lines", "WMMA", "Chains", "Shuffles"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.clone(),
+                r.target.to_string(),
+                r.lines.to_string(),
+                if r.native_wmma { "native" } else { "emulated" }.to_string(),
+                r.chains.to_string(),
+                r.shuffles.to_string(),
+            ]
+        })
+        .collect();
+    let mut out =
+        String::from("Portability — one schedule, every target (DESIGN.md \u{00a7}15)\n\n");
+    out.push_str(&format_table(&header, &body));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use stencil_core::kernels;
+
+    #[test]
+    fn portability_table_covers_every_target_per_kernel() {
+        let rows = table_portability();
+        assert_eq!(rows.len(), 9, "3 kernels x 3 targets");
+        for r in &rows {
+            assert!(r.lines > 20, "{}/{}: implausibly short listing", r.kernel, r.target);
+            assert_eq!(r.native_wmma, r.target != "wgsl", "{}/{}", r.kernel, r.target);
+        }
+        // the schedule is target-independent: chain counts agree per kernel
+        for chunk in rows.chunks(3) {
+            assert!(chunk.windows(2).all(|w| w[0].chains == w[1].chains), "{}", chunk[0].kernel);
+        }
+        let report = render_portability(&rows);
+        assert!(report.contains("wgsl") && report.contains("emulated"));
+    }
 
     #[test]
     fn rank1_variant_is_rank_one() {

@@ -23,8 +23,8 @@ pub mod runner;
 pub mod workloads;
 
 pub use figures::{
-    fig10, fig8, fig9, fig_backends, render_analysis, render_fig10, render_table3, table3,
-    FigBackends,
+    fig10, fig8, fig9, fig_backends, render_analysis, render_fig10, render_portability,
+    render_table3, table3, table_portability, FigBackends, PortabilityRow,
 };
 pub use runner::{evaluate, MethodResult};
 pub use workloads::{table_ii, Workload};

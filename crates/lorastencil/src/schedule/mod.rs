@@ -102,6 +102,38 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// Stable mnemonic of this op variant — the emitter vocabulary every
+    /// code-generation target must cover. Adding an `Op` variant without
+    /// extending this match (and [`Op::VOCABULARY`]) fails to compile,
+    /// which is the compile-time half of the codegen exhaustiveness
+    /// guard; the runtime half (stencil-verify's conformance check plus
+    /// the exhaustiveness test) asserts every emitter renders a
+    /// non-empty, anchored arm for each reachable mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Stage { .. } => "stage",
+            Op::FragBuild { .. } => "frag_build",
+            Op::RdgGather => "rdg_gather",
+            Op::MmaChain { .. } => "mma_chain",
+            Op::Pointwise { .. } => "pointwise",
+            Op::PointwisePlane { .. } => "pointwise_plane",
+            Op::SkipPlane { .. } => "skip_plane",
+        }
+    }
+
+    /// Every op mnemonic, in declaration order (see [`Op::mnemonic`]).
+    pub const VOCABULARY: [&'static str; 7] = [
+        "stage",
+        "frag_build",
+        "rdg_gather",
+        "mma_chain",
+        "pointwise",
+        "pointwise_plane",
+        "skip_plane",
+    ];
+}
+
 /// Step-2 accumulator split selected at lowering time (§III-D).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccSplit {

@@ -44,6 +44,7 @@ const VALUED: &[&str] = &[
     "max-conns",
     "tune-budget",
     "frame",
+    "target",
 ];
 
 /// Bare flags the CLI understands.
@@ -89,10 +90,16 @@ pub fn parse(argv: &[String]) -> Result<Args, String> {
 
 /// Closest known key within edit distance 2, for typo suggestions.
 fn nearest_key(key: &str) -> Option<&'static str> {
-    VALUED
-        .iter()
-        .chain(FLAGS)
-        .map(|k| (*k, edit_distance(key, k)))
+    suggest(key, VALUED.iter().chain(FLAGS).copied())
+}
+
+/// Closest candidate within edit distance 2 — the generic "did you
+/// mean" helper behind both option-key and option-*value* typo hints
+/// (`--target wsgl` → `wgsl`).
+pub fn suggest<'a>(input: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .into_iter()
+        .map(|k| (k, edit_distance(input, k)))
         .filter(|&(_, d)| d <= 2)
         .min_by_key(|&(_, d)| d)
         .map(|(k, _)| k)

@@ -528,9 +528,32 @@ pub fn trace_text(kernel: &StencilKernel, config: ExecConfig) -> Result<String, 
 /// The `emit-cuda` subcommand body (also reachable as `codegen`, its
 /// pre-IR name): render the CUDA/WMMA listing of any registered kernel's
 /// plan — 1-D, 2-D or 3-D, under any `--config` toggle set — by walking
-/// the lowered schedule.
+/// the lowered schedule. Kept as the `--target cuda` shorthand.
 pub fn codegen_text(kernel: &StencilKernel, config: ExecConfig) -> Result<String, String> {
     Ok(codegen::emit_cuda(&Plan::new(kernel, config)))
+}
+
+/// Parse a `--target` value, with a "did you mean" hint for near-miss
+/// spellings (`wsgl` → `wgsl`).
+pub fn parse_target(token: &str) -> Result<codegen::Target, String> {
+    codegen::Target::parse(token).ok_or_else(|| {
+        let names = codegen::Target::ALL.map(|t| t.name());
+        let mut msg = format!("unknown target {token:?} (expected {})", names.join(", "));
+        if let Some(near) = args::suggest(token.trim(), names) {
+            msg.push_str(&format!(" — did you mean {near}?"));
+        }
+        msg
+    })
+}
+
+/// The `emit` subcommand body: render the kernel listing of any
+/// registered kernel's plan for any [`codegen::Target`].
+pub fn emit_text(
+    kernel: &StencilKernel,
+    config: ExecConfig,
+    target: codegen::Target,
+) -> Result<String, String> {
+    Ok(codegen::emit(&Plan::new(kernel, config), target))
 }
 
 /// The `analyze` subcommand body: the paper's Eq. 12–16 for one radius.
@@ -564,7 +587,8 @@ pub fn usage() -> &'static str {
        lorastencil profile (--kernel <name> | --spec <file>) [--method <name>]\n\
                       [--size NxM] [--iters N] [--trace-out <file>] [--tuning-db <file>]\n\
        lorastencil validate-trace --load <file>\n\
-       lorastencil emit-cuda (--kernel <name> | --spec <file>) [--config ...]\n\
+       lorastencil emit (--kernel <name> | --spec <file>) [--target cuda|hip|wgsl]\n\
+                      [--config ...] [--backend ...]   # emit-cuda = emit --target cuda\n\
        lorastencil trace (--kernel <name> | --spec <file>) [--config ...]\n\
        lorastencil analyze [--radius h]\n\
        lorastencil serve (--socket <path> | --tcp <addr>) [--batch N] [--batch-wait-us U]\n\
@@ -688,6 +712,26 @@ weights1d:
         );
         assert!(apply_backend(ExecConfig::full(), "sparce").is_err());
         assert_eq!(backend_token("cuda").unwrap(), "no-tcu");
+    }
+
+    #[test]
+    fn target_parsing_and_emit() {
+        use lorastencil::codegen::Target;
+        assert_eq!(parse_target("cuda").unwrap(), Target::Cuda);
+        assert_eq!(parse_target("HIP").unwrap(), Target::Hip);
+        let e = parse_target("wsgl").unwrap_err();
+        assert!(e.contains("did you mean wgsl?"), "{e}");
+        let e = parse_target("metal").unwrap_err();
+        assert!(e.contains("unknown target") && !e.contains("did you mean"), "{e}");
+        // `emit --target cuda` and the deprecated `emit-cuda` body agree
+        let k = find_kernel("Box-2D9P").unwrap();
+        assert_eq!(
+            emit_text(&k, ExecConfig::full(), Target::Cuda).unwrap(),
+            codegen_text(&k, ExecConfig::full()).unwrap()
+        );
+        for t in Target::ALL {
+            assert!(!emit_text(&k, ExecConfig::full(), t).unwrap().is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! # Cross-target structural conformance for emitted listings
+//!
+//! The multi-target code generator ([`lorastencil::codegen`]) renders
+//! one lowered [`Schedule`](lorastencil::Schedule) per target; this
+//! module holds each rendering accountable to the schedule it claims to
+//! implement. It consumes the driver's [`Audit`] record — per-op text
+//! spans, anchors, and declared constant-table tokens — and checks:
+//!
+//! 1. **Compile shape**: braces / brackets / parentheses balance after
+//!    stripping `//` comments, so every listing is at least
+//!    block-structured like real device code.
+//! 2. **Capability honesty**: non-CUDA targets open with the
+//!    `capability audit` header, and a WGSL listing that uses
+//!    `subgroupShuffle` must `enable subgroups;` first.
+//! 3. **Op accountability**: the per-op spans tile the kernel body
+//!    contiguously and every op's anchor substring appears inside the
+//!    span it was recorded for — no IR op may vanish silently.
+//! 4. **Table accountability**: every rank-1 term's constant tables
+//!    (and the 1-D banded table) are both *declared* and *read* in the
+//!    listing — a U/V pair nothing references is a lowering bug.
+//! 5. **Binding accountability** (WGSL only): every `@binding` and
+//!    every `var<workgroup>` declaration is referenced at least once
+//!    outside its declaration line.
+//!
+//! The checks are structural on purpose: no target toolchain exists in
+//! this environment, so "does it look like code a compiler would
+//! accept, and does it account for the whole schedule" is the strongest
+//! gate available. The workspace test `codegen_conformance.rs` runs the
+//! full kernel registry × every [`Target`] × the backend/feature matrix
+//! through [`check_emission`].
+
+use lorastencil::codegen::{self, Audit, Target};
+use lorastencil::Plan;
+
+/// Emit `plan` for `target` and run every structural conformance check.
+/// Returns the [`Audit`] on success so callers can chain further
+/// assertions; returns the full list of violations otherwise.
+pub fn check_emission(plan: &Plan, target: Target) -> Result<Audit, Vec<String>> {
+    let audit = codegen::audit(plan, target);
+    let problems = conformance_problems(&audit);
+    if problems.is_empty() {
+        Ok(audit)
+    } else {
+        Err(problems)
+    }
+}
+
+/// All structural violations of one emission record (empty = conforms).
+pub fn conformance_problems(audit: &Audit) -> Vec<String> {
+    let mut problems = Vec::new();
+    check_balance(&audit.listing, &mut problems);
+    check_capability_header(audit, &mut problems);
+    check_op_spans(audit, &mut problems);
+    check_tables(audit, &mut problems);
+    if audit.target == Target::Wgsl {
+        check_wgsl_bindings(&audit.listing, &mut problems);
+    }
+    problems
+}
+
+/// The listing with `//` line comments removed — balance is judged on
+/// code, not prose (comments legitimately contain things like `:-)`-
+/// grade fragments of math notation).
+fn strip_line_comments(listing: &str) -> String {
+    let mut out = String::with_capacity(listing.len());
+    for line in listing.lines() {
+        let code = match line.find("//") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        out.push_str(code);
+        out.push('\n');
+    }
+    out
+}
+
+fn check_balance(listing: &str, problems: &mut Vec<String>) {
+    let code = strip_line_comments(listing);
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (lineno, line) in code.lines().enumerate() {
+        for c in line.chars() {
+            match c {
+                '(' | '[' | '{' => stack.push((c, lineno + 1)),
+                ')' | ']' | '}' => {
+                    let want = match c {
+                        ')' => '(',
+                        ']' => '[',
+                        _ => '{',
+                    };
+                    match stack.pop() {
+                        Some((open, _)) if open == want => {}
+                        Some((open, at)) => problems.push(format!(
+                            "line {}: `{c}` closes `{open}` opened on line {at}",
+                            lineno + 1
+                        )),
+                        None => problems.push(format!("line {}: `{c}` with no opener", lineno + 1)),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for (open, at) in stack {
+        problems.push(format!("line {at}: `{open}` never closed"));
+    }
+}
+
+fn check_capability_header(audit: &Audit, problems: &mut Vec<String>) {
+    if audit.target != Target::Cuda && !audit.listing.contains("capability audit") {
+        problems.push(format!(
+            "{} listing is missing its capability audit header",
+            audit.target.name()
+        ));
+    }
+    if audit.target == Target::Wgsl
+        && audit.listing.contains("subgroupShuffle")
+        && !audit.listing.contains("enable subgroups;")
+    {
+        problems.push("wgsl listing shuffles without `enable subgroups;`".to_string());
+    }
+}
+
+fn check_op_spans(audit: &Audit, problems: &mut Vec<String>) {
+    let mut cursor = None;
+    for (i, op) in audit.ops.iter().enumerate() {
+        if let Some(prev_end) = cursor {
+            if op.span.start != prev_end {
+                problems.push(format!(
+                    "op {i} ({}) span starts at {} but op {} ended at {prev_end}",
+                    op.op.mnemonic(),
+                    op.span.start,
+                    i - 1
+                ));
+            }
+        }
+        cursor = Some(op.span.end);
+        let text = &audit.listing[op.span.clone()];
+        match &op.anchor {
+            Some(anchor) if !text.contains(anchor.as_str()) => problems.push(format!(
+                "op {i} ({}) never rendered its anchor {anchor:?}",
+                op.op.mnemonic()
+            )),
+            None if !text.trim().is_empty() => problems.push(format!(
+                "op {i} ({}) rendered text but declared no anchor",
+                op.op.mnemonic()
+            )),
+            _ => {}
+        }
+    }
+}
+
+fn check_tables(audit: &Audit, problems: &mut Vec<String>) {
+    for (ti, refs) in audit.term_tables.iter().enumerate() {
+        if refs.is_empty() {
+            problems.push(format!("term {ti} declared no constant tables"));
+        }
+        for r in refs {
+            if !audit.listing.contains(r.decl.as_str()) {
+                problems.push(format!("term {ti}: missing declaration {:?}", r.decl));
+            }
+            if !audit.listing.contains(r.usage.as_str()) {
+                problems.push(format!("term {ti}: table declared but never read ({:?})", r.usage));
+            }
+        }
+    }
+    for r in &audit.banded_tables {
+        if !audit.listing.contains(r.decl.as_str()) {
+            problems.push(format!("banded table: missing declaration {:?}", r.decl));
+        }
+        if !audit.listing.contains(r.usage.as_str()) {
+            problems.push(format!("banded table declared but never read ({:?})", r.usage));
+        }
+    }
+}
+
+/// Every `@binding` / `var<workgroup>` declaration must be read
+/// somewhere other than its own declaration line.
+fn check_wgsl_bindings(listing: &str, problems: &mut Vec<String>) {
+    for (lineno, line) in listing.lines().enumerate() {
+        let is_binding = line.contains("@binding(");
+        let is_workgroup = line.trim_start().starts_with("var<workgroup>");
+        if !is_binding && !is_workgroup {
+            continue;
+        }
+        // `... var<...> NAME : TYPE;` — the identifier before the colon.
+        let Some(name) = line
+            .split('>')
+            .nth(1)
+            .and_then(|rest| rest.split(':').next())
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+        else {
+            problems.push(format!("line {}: unparsable binding decl", lineno + 1));
+            continue;
+        };
+        let used = listing
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != lineno)
+            .any(|(_, l)| mentions_ident(l, name));
+        if !used {
+            problems.push(format!("wgsl binding `{name}` is declared but never referenced"));
+        }
+    }
+}
+
+/// Whole-identifier occurrence check (`P` must not match `Params`).
+fn mentions_ident(line: &str, ident: &str) -> bool {
+    let mut rest = line;
+    while let Some(i) = rest.find(ident) {
+        let before_ok = i == 0
+            || !rest[..i].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[i + ident.len()..];
+        let after_ok = !after.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = &rest[i + ident.len()..];
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorastencil::{DeviceBackend, ExecConfig};
+    use stencil_core::kernels;
+
+    #[test]
+    fn every_registry_kernel_conforms_on_every_target() {
+        for kernel in kernels::all_kernels() {
+            for target in Target::ALL {
+                let plan = Plan::new(&kernel, ExecConfig::full());
+                if let Err(problems) = check_emission(&plan, target) {
+                    panic!("{} on {}: {:#?}", kernel.name, target.name(), problems);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_and_feature_variants_conform() {
+        let kernel = kernels::box_2d49p();
+        for backend in DeviceBackend::all() {
+            for use_bvs in [true, false] {
+                let cfg = ExecConfig { backend, use_bvs, ..ExecConfig::full() };
+                for target in Target::ALL {
+                    let plan = Plan::new(&kernel, cfg);
+                    if let Err(problems) = check_emission(&plan, target) {
+                        panic!("{backend:?}/bvs={use_bvs} on {}: {:#?}", target.name(), problems);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wgsl_bvs_listing_carries_header_and_passes_structure_checks() {
+        // the ISSUE's acceptance case: a BVS-enabled 2-D plan on WGSL
+        let plan = Plan::new(&kernels::box_2d49p(), ExecConfig::full());
+        let audit = check_emission(&plan, Target::Wgsl).expect("must conform");
+        assert!(audit.listing.contains("capability audit"));
+        assert!(audit.listing.contains("butterfly BVS"));
+    }
+
+    #[test]
+    fn balance_checker_catches_mismatches() {
+        let mut problems = Vec::new();
+        check_balance("int f() { return (1 + [2); }\n", &mut problems);
+        assert!(!problems.is_empty());
+        problems.clear();
+        check_balance("int f() { // comment with ( unmatched\n  return 1;\n}\n", &mut problems);
+        assert!(problems.is_empty(), "comments must not affect balance: {problems:?}");
+    }
+
+    #[test]
+    fn identifier_matcher_is_whole_token() {
+        assert!(mentions_ident("let x = P.rows;", "P"));
+        assert!(!mentions_ident("struct Params {", "P"));
+        assert!(!mentions_ident("tile_out[i]", "tile"));
+    }
+}

@@ -23,17 +23,23 @@
 //!    `ScheduleParams` point per generated case must stay bit-identical
 //!    in values and invariant in modeled counters against the default
 //!    lowering — the contract the `tune` search relies on.
+//! 5. **Structural conformance** ([`conformance`]): every emitted kernel
+//!    listing (CUDA / HIP / WGSL) is held accountable to the schedule it
+//!    renders — balanced nesting, capability headers, every IR op's text
+//!    span anchored, every constant table both declared and read.
 //!
 //! The engines are wired into `tests/fuzz_differential.rs` at the
 //! workspace root with pinned seeds; `STENCIL_VERIFY_CASES` /
 //! `STENCIL_VERIFY_SEED` scale the same suite into a long soak run.
 
+pub mod conformance;
 pub mod counter_model;
 pub mod gen;
 pub mod metamorphic;
 pub mod oracle;
 pub mod params_grid;
 
+pub use conformance::{check_emission, conformance_problems};
 pub use counter_model::{check_counters, predict_convstencil_mma, predict_lora};
 pub use gen::{Case, CaseGen};
 pub use metamorphic::check_relations;

@@ -1,0 +1,52 @@
+//! Cross-target structural conformance, workspace-wide: every registry
+//! kernel × every codegen target × every device backend (plus the
+//! feature toggles that change listing shape) must emit a listing that
+//! survives `stencil_verify::conformance` — balanced nesting, honest
+//! capability headers, every IR op anchored in its recorded span, every
+//! constant table both declared and read, every WGSL binding referenced.
+
+use lorastencil::codegen::Target;
+use lorastencil::{DeviceBackend, ExecConfig, Plan};
+use stencil_core::kernels;
+use stencil_verify::check_emission;
+
+#[test]
+fn registry_times_targets_times_backends_conforms() {
+    let mut checked = 0usize;
+    for kernel in kernels::all_kernels() {
+        for backend in DeviceBackend::all() {
+            for config in [
+                ExecConfig { backend, ..ExecConfig::full() },
+                ExecConfig { backend, use_bvs: false, ..ExecConfig::full() },
+                ExecConfig { backend, use_async_copy: false, ..ExecConfig::full() },
+            ] {
+                for target in Target::ALL {
+                    let plan = Plan::new(&kernel, config);
+                    if let Err(problems) = check_emission(&plan, target) {
+                        panic!(
+                            "{} × {backend:?} × {} fails conformance:\n{}",
+                            kernel.name,
+                            target.name(),
+                            problems.join("\n")
+                        );
+                    }
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked >= 8 * 4 * 3 * 3, "matrix shrank: only {checked} emissions checked");
+}
+
+#[test]
+fn wgsl_bvs_acceptance_case() {
+    // the ISSUE's acceptance criterion, end to end: a BVS-enabled 2-D
+    // plan's WGSL listing carries the capability header and passes the
+    // compile-shaped structure checks
+    let plan = Plan::new(&kernels::box_2d49p(), ExecConfig::full());
+    let audit = check_emission(&plan, Target::Wgsl).expect("BVS WGSL listing must conform");
+    assert!(audit.listing.contains("capability audit"));
+    assert!(audit.listing.contains("butterfly BVS      : PRESERVED"));
+    assert!(audit.listing.contains("subgroupShuffle"));
+    assert!(!audit.caps.wmma, "WGSL must declare wmma as absent");
+}

@@ -1,0 +1,103 @@
+//! Pinned kernel-listing snapshots per target × dimensionality.
+//!
+//! Every file under `tests/snapshots/<target>/` is the full listing of
+//! one (kernel, config) pair on one target, compared byte for byte.
+//! The matrix: all three targets across 1-D / 2-D / 3-D, plus the
+//! BVS-off and sparse-backend variants on CUDA (the two mechanisms
+//! whose listings change shape, not just constants).
+//!
+//! Regenerating after an intentional emitter change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test --test codegen_snapshots
+//! git diff tests/snapshots/   # review every listing change
+//! ```
+//!
+//! A missing snapshot file fails the test unless `UPDATE_SNAPSHOTS=1`
+//! is set — new matrix rows must be committed deliberately.
+
+use lorastencil::codegen::{emit, Target};
+use lorastencil::{DeviceBackend, ExecConfig, Plan};
+use std::path::PathBuf;
+use stencil_core::kernels;
+
+/// The pinned matrix: (snapshot stem, kernel, config, target).
+fn matrix() -> Vec<(String, stencil_core::StencilKernel, ExecConfig, Target)> {
+    let dims = [kernels::heat_1d(), kernels::box_2d49p(), kernels::heat_3d()];
+    let mut rows = Vec::new();
+    for target in Target::ALL {
+        for k in &dims {
+            rows.push((k.name.to_lowercase(), k.clone(), ExecConfig::full(), target));
+        }
+    }
+    // mechanism variants, pinned on the reference target
+    rows.push((
+        "box-2d49p-nobvs".into(),
+        kernels::box_2d49p(),
+        ExecConfig { use_bvs: false, ..ExecConfig::full() },
+        Target::Cuda,
+    ));
+    rows.push((
+        "heat-3d-sparse".into(),
+        kernels::heat_3d(),
+        ExecConfig { backend: DeviceBackend::SparseTcu, ..ExecConfig::full() },
+        Target::Cuda,
+    ));
+    rows
+}
+
+fn snapshot_path(target: Target, stem: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(target.name())
+        .join(format!("{stem}.{}", target.file_ext()))
+}
+
+#[test]
+fn listings_match_pinned_snapshots() {
+    let update = std::env::var_os("UPDATE_SNAPSHOTS").is_some_and(|v| v == "1");
+    let mut failures = Vec::new();
+    for (stem, kernel, config, target) in matrix() {
+        let got = emit(&Plan::new(&kernel, config), target);
+        let path = snapshot_path(target, &stem);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &got).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) if want == got => {}
+            Ok(want) => {
+                let line = want
+                    .lines()
+                    .zip(got.lines())
+                    .position(|(w, g)| w != g)
+                    .map(|i| i + 1)
+                    .unwrap_or_else(|| want.lines().count().min(got.lines().count()) + 1);
+                failures.push(format!("{} drifted (first diff at line {line})", path.display()));
+            }
+            Err(e) => failures.push(format!("{}: {e}", path.display())),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{}\n\nintentional change? regenerate with UPDATE_SNAPSHOTS=1 and review the diff",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn snapshot_dir_has_no_orphans() {
+    // every committed snapshot must still be produced by the matrix —
+    // a renamed kernel must not leave a stale listing behind
+    let expected: std::collections::BTreeSet<PathBuf> =
+        matrix().into_iter().map(|(stem, _, _, t)| snapshot_path(t, &stem)).collect();
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots");
+    for dir in Target::ALL.map(|t| root.join(t.name())) {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries {
+            let path = entry.unwrap().path();
+            assert!(expected.contains(&path), "orphan snapshot {}", path.display());
+        }
+    }
+}

@@ -189,3 +189,27 @@ fn backend_figure_orders_the_backends() {
         assert!(text.contains(b), "render misses {b}");
     }
 }
+
+#[test]
+fn portability_fixture_is_stable() {
+    use bench_suite::{render_portability, table_portability};
+    let rows = table_portability();
+    // the pinned matrix: {Heat-1D, Box-2D49P, Heat-3D} × {cuda, hip, wgsl}
+    let cells: Vec<(&str, &str)> = rows.iter().map(|r| (r.kernel.as_str(), r.target)).collect();
+    let want: Vec<(&str, &str)> = ["Heat-1D", "Box-2D49P", "Heat-3D"]
+        .iter()
+        .flat_map(|k| ["cuda", "hip", "wgsl"].map(|t| (*k, t)))
+        .collect();
+    assert_eq!(cells, want);
+    for r in &rows {
+        // CUDA and HIP run the chains on real tensor cores, WGSL emulates
+        assert_eq!(r.native_wmma, r.target != "wgsl", "{}/{}", r.kernel, r.target);
+        // only the fragment-emulating target needs cross-lane shuffles
+        // under full config (BVS elides them on the wmma targets)
+        if r.target == "wgsl" && r.kernel != "Heat-1D" {
+            assert!(r.shuffles > 0, "{}: WGSL emulation must shuffle", r.kernel);
+        }
+    }
+    let report = render_portability(&rows);
+    assert!(report.contains("Portability"), "{report}");
+}

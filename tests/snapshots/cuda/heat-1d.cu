@@ -1,0 +1,34 @@
+// ======================================================================
+// LoRAStencil kernel for Heat-1Dx3 (1-D, radius 3, 3x fused)
+// single banded MM (§IV-C): 16-long segments, 4 MMAs per 64 outputs
+// ======================================================================
+// banded gather matrix V (Eq. 11): 16x8 as 4 B fragments
+__constant__ double V1D[4][32] = { /* per-lane B fragments */
+  {0.015625, 0.09375, 0.234375, 0.3125, 0.0, 0.015625, 0.09375, 0.234375, 0.0, 0.0, 0.015625, 0.09375, 0.0, 0.0, 0.0, 0.015625, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0},
+  {0.234375, 0.09375, 0.015625, 0.0, 0.3125, 0.234375, 0.09375, 0.015625, 0.234375, 0.3125, 0.234375, 0.09375, 0.09375, 0.234375, 0.3125, 0.234375, 0.015625, 0.09375, 0.234375, 0.3125, 0.0, 0.015625, 0.09375, 0.234375, 0.0, 0.0, 0.015625, 0.09375, 0.0, 0.0, 0.0, 0.015625},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.015625, 0.0, 0.0, 0.0, 0.09375, 0.015625, 0.0, 0.0, 0.234375, 0.09375, 0.015625, 0.0, 0.3125, 0.234375, 0.09375, 0.015625, 0.234375, 0.3125, 0.234375, 0.09375, 0.09375, 0.234375, 0.3125, 0.234375},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.015625, 0.0, 0.0, 0.0, 0.09375, 0.015625, 0.0, 0.0},
+};
+
+__global__ void lorastencil_heat_1d_3(const double* __restrict__ in,
+                               double* __restrict__ outp, int n) {
+  __shared__ double seg_tile[8][16];   // 8 overlapping segments per warp
+  const int i0 = 64 * (blockIdx.x * blockDim.y + threadIdx.y);
+
+  wmma::fragment<wmma::accumulator, 8, 8, 4, double> acc;
+  wmma::fill_fragment(acc, 0.0);
+  // §IV-C: pack 8 overlapping 16-long segments as the rows of X
+  for (int e = laneid(); e < 8 * 16; e += 32) {
+    const int seg = e / 16, c = mod(i0 + 8 * seg - 3 + e % 16, n);
+    asm volatile("cp.async.ca.shared.global [%0], [%1], 8;" ::
+      "r"(&seg_tile[seg][e % 16]), "l"(&in[c]));
+  }
+  asm volatile("cp.async.wait_all;");
+  __syncwarp();
+
+  // the single banded MM gathers the whole dimension: 4 chained MMAs, no MCM
+  for (int blk = 0; blk < 4; ++blk)
+    wmma::mma_sync(acc, fragA(&seg_tile[0][4 * blk]), fragB(V1D[blk]), acc);
+
+  wmma::store_matrix_sync(&outp[i0], acc, 8, wmma::mem_row_major);
+}

@@ -1,0 +1,102 @@
+// ======================================================================
+// LoRAStencil kernel for Heat-3D (3-D, radius 1, 1x fused)
+// Algorithm 2: 3 z-planes, 2 rank-1 terms total across RDG planes
+// tile: 16x16 input window -> 8x8 outputs per warp (12 MMAs/term)
+// ======================================================================
+// term 0: 3x3 rank-1 pyramid level (u ⊗ vᵀ)
+__constant__ double U0[4][32] = { /* per-lane A fragments */
+  {0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0},
+};
+__constant__ double V0[4][32] = { /* per-lane B fragments, butterfly-row-swapped (Eq. 17) */
+  {0.1, 0.1, 0.0, 0.0, 0.0, 0.4, 0.0, 0.0, 0.0, 0.1, 0.1, 0.0, 0.0, 0.0, 0.4, 0.0, 0.0, 0.0, 0.1, 0.1, 0.0, 0.0, 0.0, 0.4, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.0},
+  {0.4, 0.0, 0.0, 0.0, 0.1, 0.1, 0.0, 0.0, 0.0, 0.4, 0.0, 0.0, 0.0, 0.1, 0.1, 0.0, 0.0, 0.0, 0.4, 0.0, 0.0, 0.0, 0.1, 0.1, 0.0, 0.0, 0.0, 0.4, 0.0, 0.0, 0.0, 0.1},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.4, 0.0, 0.0, 0.0},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.0},
+};
+// term 1: 3x3 rank-1 pyramid level (u ⊗ vᵀ)
+__constant__ double U1[4][32] = { /* per-lane A fragments */
+  {0.1, 0.0, 0.1, 0.0, 0.0, 0.1, 0.0, 0.1, 0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.1, 0.0, 0.1, 0.0, 0.0, 0.1, 0.0, 0.1, 0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.0, 0.1},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0},
+};
+__constant__ double V1[4][32] = { /* per-lane B fragments, butterfly-row-swapped (Eq. 17) */
+  {0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0},
+  {1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0},
+  {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0},
+};
+
+__global__ void lorastencil_heat_3d(const double* const* __restrict__ planes,
+                               double* __restrict__ outp, int rows, int cols) {
+  // one output plane per blockIdx.z; input planes wrap periodically
+  __shared__ double tile[16][16];   // one input window per warp
+  const int r0 = 8 * (blockIdx.y * blockDim.y + threadIdx.y);
+  const int c0 = 8 * blockIdx.x;
+  const int z = blockIdx.z;
+
+  double acc_s[64] = {0.0};   // scalar (CUDA-core) accumulator
+  wmma::fragment<wmma::accumulator, 8, 8, 4, double> acc;
+  wmma::fill_fragment(acc, 0.0);
+
+  // ---- plane dz=0: single center weight, point-wise on CUDA cores
+  //      (Algorithm 2 line 5; no shared-memory staging) ----
+  const double* pw0 = planes[mod(z + 0 - 1, nz)];
+  for (int e = laneid(); e < 64; e += 32)
+    acc_s[e] += 1.00000000000000006e-1 * pw0[(r0 + e / 8) * cols + c0 + e % 8];
+
+  // ---- plane dz=1: 2-D dependency gathering (Algorithm 2 line 8) ----
+  const double* in1 = planes[mod(z + 1 - 1, nz)];
+  // §IV-B: cp.async global->shared copy, bypassing the register file
+  for (int e = laneid(); e < 16*16; e += 32) {
+    const int rr = mod(r0 - 1 + e / 16, rows), cc = mod(c0 - 1 + e % 16, cols);
+    asm volatile("cp.async.ca.shared.global [%0], [%1], 8;" ::
+      "r"(&tile[e / 16][e % 16]), "l"(&in1[rr * cols + cc]));
+  }
+  asm volatile("cp.async.wait_all;");
+  __syncwarp();
+
+  // Eq. 12: load the 16x16 window once as 8 B fragments, reused by every term
+  wmma::fragment<wmma::matrix_b, 8, 8, 4, double, wmma::col_major> X[4][2];
+  for (int rb = 0; rb < 4; ++rb)
+    for (int cb = 0; cb < 2; ++cb)
+      wmma::load_matrix_sync(X[rb][cb], &tile[4 * rb][8 * cb], 16);
+
+  // ---- RDG term 0 (§III-B): acc += U0 · X · V0 ----
+  for (int j = 0; j < 2; ++j) {
+    wmma::fragment<wmma::accumulator, 8, 8, 4, double> T;
+    wmma::fill_fragment(T, 0.0);
+    for (int k = 0; k < 4; ++k)   // step 1: vertical gather
+      wmma::mma_sync(T, fragA(U0[k]), X[k][j], T);
+    // step 2 + §III-D BVS: T's register 0/1 ARE the two A fragments —
+    // zero shuffles; the butterfly row swap lives in the V0 constants
+    wmma::mma_sync(acc, reinterpretA(T.x[0]), fragB(V0[2 * j + 0]), acc);
+    wmma::mma_sync(acc, reinterpretA(T.x[1]), fragB(V0[2 * j + 1]), acc);
+  }
+
+  // ---- RDG term 1 (§III-B): acc += U1 · X · V1 ----
+  for (int j = 0; j < 2; ++j) {
+    wmma::fragment<wmma::accumulator, 8, 8, 4, double> T;
+    wmma::fill_fragment(T, 0.0);
+    for (int k = 0; k < 4; ++k)   // step 1: vertical gather
+      wmma::mma_sync(T, fragA(U1[k]), X[k][j], T);
+    // step 2 + §III-D BVS: T's register 0/1 ARE the two A fragments —
+    // zero shuffles; the butterfly row swap lives in the V1 constants
+    wmma::mma_sync(acc, reinterpretA(T.x[0]), fragB(V1[2 * j + 0]), acc);
+    wmma::mma_sync(acc, reinterpretA(T.x[1]), fragB(V1[2 * j + 1]), acc);
+  }
+
+  // ---- plane dz=2: single center weight, point-wise on CUDA cores
+  //      (Algorithm 2 line 5; no shared-memory staging) ----
+  const double* pw6 = planes[mod(z + 2 - 1, nz)];
+  for (int e = laneid(); e < 64; e += 32)
+    acc_s[e] += 1.00000000000000006e-1 * pw6[(r0 + e / 8) * cols + c0 + e % 8];
+
+  // fold the tensor-core accumulator into the scalar one
+  acc_s[accIdx(laneid(), 0)] += acc.x[0];
+  acc_s[accIdx(laneid(), 1)] += acc.x[1];
+  store_scalar_tile(&outp[r0 * cols + c0], acc_s, cols);
+}

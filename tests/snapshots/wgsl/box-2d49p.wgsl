@@ -1,0 +1,200 @@
+// ======================================================================
+// LoRAStencil kernel for Box-2D49P (2-D, radius 3, 1x fused)
+// decomposition: Pyramidal, 3 rank-1 terms, pointwise tip 3.363644e-3
+// tile: 16x16 input window -> 8x8 outputs per warp (12 MMAs/term)
+// ======================================================================
+// --------------------------------------------------------- WGSL / WebGPU
+// capability audit — how LoRAStencil's mechanisms land on this target:
+//   wmma m8n8k4 f64    : EMULATED  no cooperative matrices; chains are
+//                                  scalar loops over the exact A100
+//                                  fragment lane layout (f64 -> f32)
+//   2:4 sparse mma.sp  : EMULATED  no sparse pipeline; sparse-plan terms
+//                                  run the dense emulation
+//   cp.async staging   : EMULATED  plain workgroup staging + barrier
+//   subgroup shuffle   : NATIVE    subgroupShuffle carries the tensor
+//                                  core's internal k-reduction (step 2)
+//   butterfly BVS      : PRESERVED zero data-movement shuffles in
+//                                  step 2's A side; the row swap lives
+//                                  in the V constants (Eq. 17)
+// ------------------------------------------------------------------------
+enable subgroups;
+// term 0: 7x7 rank-1 pyramid level (u ⊗ vᵀ)
+// U0[k][lane]: A-fragment element (r, kk) of block k lives at lane 4r + kk
+var<private> U0 = array(
+  array(1.0, 3.25, 6.5, 8.75, 0.0, 1.0, 3.25, 6.5, 0.0, 0.0, 1.0, 3.25, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+  array(6.5, 3.25, 1.0, 0.0, 8.75, 6.5, 3.25, 1.0, 6.5, 8.75, 6.5, 3.25, 3.25, 6.5, 8.75, 6.5, 1.0, 3.25, 6.5, 8.75, 0.0, 1.0, 3.25, 6.5, 0.0, 0.0, 1.0, 3.25, 0.0, 0.0, 0.0, 1.0),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 3.25, 1.0, 0.0, 0.0, 6.5, 3.25, 1.0, 0.0, 8.75, 6.5, 3.25, 1.0, 6.5, 8.75, 6.5, 3.25, 3.25, 6.5, 8.75, 6.5),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 3.25, 1.0, 0.0, 0.0),
+);
+// V0[f][lane]: B-fragment element (k, c) lives at lane 4c + k, butterfly-row-swapped (Eq. 17)
+var<private> V0 = array(
+  array(0.001152073732718894, 0.007488479262672811, 0.007488479262672811, 0.001152073732718894, 0.0, 0.0037442396313364054, 0.010080645161290322, 0.0037442396313364054, 0.0, 0.001152073732718894, 0.007488479262672811, 0.007488479262672811, 0.0, 0.0, 0.0037442396313364054, 0.010080645161290322, 0.0, 0.0, 0.001152073732718894, 0.007488479262672811, 0.0, 0.0, 0.0, 0.0037442396313364054, 0.0, 0.0, 0.0, 0.001152073732718894, 0.0, 0.0, 0.0, 0.0),
+  array(0.0037442396313364054, 0.010080645161290322, 0.0037442396313364054, 0.0, 0.001152073732718894, 0.007488479262672811, 0.007488479262672811, 0.001152073732718894, 0.0, 0.0037442396313364054, 0.010080645161290322, 0.0037442396313364054, 0.0, 0.001152073732718894, 0.007488479262672811, 0.007488479262672811, 0.0, 0.0, 0.0037442396313364054, 0.010080645161290322, 0.0, 0.0, 0.001152073732718894, 0.007488479262672811, 0.0, 0.0, 0.0, 0.0037442396313364054, 0.0, 0.0, 0.0, 0.001152073732718894),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.001152073732718894, 0.0, 0.0, 0.0, 0.0037442396313364054, 0.0, 0.0, 0.0, 0.007488479262672811, 0.001152073732718894, 0.0, 0.0, 0.010080645161290322, 0.0037442396313364054, 0.0, 0.0, 0.007488479262672811, 0.007488479262672811, 0.001152073732718894, 0.0, 0.0037442396313364054, 0.010080645161290322, 0.0037442396313364054, 0.0),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.001152073732718894, 0.0, 0.0, 0.0, 0.0037442396313364054, 0.0, 0.0, 0.0, 0.007488479262672811, 0.001152073732718894, 0.0, 0.0, 0.010080645161290322, 0.0037442396313364054, 0.0, 0.0, 0.007488479262672811, 0.007488479262672811, 0.001152073732718894, 0.0),
+);
+// term 1: 5x5 rank-1 pyramid level (u ⊗ vᵀ)
+// U1[k][lane]: A-fragment element (r, kk) of block k lives at lane 4r + kk
+var<private> U1 = array(
+  array(0.0, 1.0, -1.9999999999999931, -4.4285714285714155, 0.0, 0.0, 1.0, -1.9999999999999931, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+  array(-1.9999999999999931, 1.0, 0.0, 0.0, -4.4285714285714155, -1.9999999999999931, 1.0, 0.0, -1.9999999999999931, -4.4285714285714155, -1.9999999999999931, 1.0, 1.0, -1.9999999999999931, -4.4285714285714155, -1.9999999999999931, 0.0, 1.0, -1.9999999999999931, -4.4285714285714155, 0.0, 0.0, 1.0, -1.9999999999999931, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, -1.9999999999999931, 1.0, 0.0, 0.0, -4.4285714285714155, -1.9999999999999931, 1.0, 0.0, -1.9999999999999931, -4.4285714285714155, -1.9999999999999931, 1.0, 1.0, -1.9999999999999931, -4.4285714285714155, -1.9999999999999931),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0),
+);
+// V1[f][lane]: B-fragment element (k, c) lives at lane 4c + k, butterfly-row-swapped (Eq. 17)
+var<private> V1 = array(
+  array(0.0, -0.0010080645161290314, -0.0010080645161290314, 0.0, 0.0, 0.0005040322580645174, -0.002232142857142856, 0.0005040322580645174, 0.0, 0.0, -0.0010080645161290314, -0.0010080645161290314, 0.0, 0.0, 0.0005040322580645174, -0.002232142857142856, 0.0, 0.0, 0.0, -0.0010080645161290314, 0.0, 0.0, 0.0, 0.0005040322580645174, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+  array(0.0005040322580645174, -0.002232142857142856, 0.0005040322580645174, 0.0, 0.0, -0.0010080645161290314, -0.0010080645161290314, 0.0, 0.0, 0.0005040322580645174, -0.002232142857142856, 0.0005040322580645174, 0.0, 0.0, -0.0010080645161290314, -0.0010080645161290314, 0.0, 0.0, 0.0005040322580645174, -0.002232142857142856, 0.0, 0.0, 0.0, -0.0010080645161290314, 0.0, 0.0, 0.0, 0.0005040322580645174, 0.0, 0.0, 0.0, 0.0),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0005040322580645174, 0.0, 0.0, 0.0, -0.0010080645161290314, 0.0, 0.0, 0.0, -0.002232142857142856, 0.0005040322580645174, 0.0, 0.0, -0.0010080645161290314, -0.0010080645161290314, 0.0, 0.0, 0.0005040322580645174, -0.002232142857142856, 0.0005040322580645174, 0.0),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0005040322580645174, 0.0, 0.0, 0.0, -0.0010080645161290314, 0.0, 0.0, 0.0, -0.002232142857142856, 0.0005040322580645174, 0.0, 0.0, -0.0010080645161290314, -0.0010080645161290314, 0.0, 0.0),
+);
+// term 2: 3x3 rank-1 pyramid level (u ⊗ vᵀ)
+// U2[k][lane]: A-fragment element (r, kk) of block k lives at lane 4r + kk
+var<private> U2 = array(
+  array(0.0, 0.0, 1.0, 2.1250000000000013, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+  array(1.0, 0.0, 0.0, 0.0, 2.1250000000000013, 1.0, 0.0, 0.0, 1.0, 2.1250000000000013, 1.0, 0.0, 0.0, 1.0, 2.1250000000000013, 1.0, 0.0, 0.0, 1.0, 2.1250000000000013, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.1250000000000013, 1.0, 0.0, 0.0, 1.0, 2.1250000000000013, 1.0, 0.0, 0.0, 1.0, 2.1250000000000013, 1.0),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+);
+// V2[f][lane]: B-fragment element (k, c) lives at lane 4c + k, butterfly-row-swapped (Eq. 17)
+var<private> V2 = array(
+  array(0.0, -0.004608294930875563, -0.004608294930875563, 0.0, 0.0, 0.0, -0.009792626728110576, 0.0, 0.0, 0.0, -0.004608294930875563, -0.004608294930875563, 0.0, 0.0, 0.0, -0.009792626728110576, 0.0, 0.0, 0.0, -0.004608294930875563, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+  array(0.0, -0.009792626728110576, 0.0, 0.0, 0.0, -0.004608294930875563, -0.004608294930875563, 0.0, 0.0, 0.0, -0.009792626728110576, 0.0, 0.0, 0.0, -0.004608294930875563, -0.004608294930875563, 0.0, 0.0, 0.0, -0.009792626728110576, 0.0, 0.0, 0.0, -0.004608294930875563, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -0.004608294930875563, 0.0, 0.0, 0.0, -0.009792626728110576, 0.0, 0.0, 0.0, -0.004608294930875563, -0.004608294930875563, 0.0, 0.0, 0.0, -0.009792626728110576, 0.0, 0.0),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, -0.004608294930875563, 0.0, 0.0, 0.0, -0.009792626728110576, 0.0, 0.0, 0.0, -0.004608294930875563, -0.004608294930875563, 0.0, 0.0),
+);
+
+struct Params {
+  rows : u32,
+  cols : u32,
+}
+@group(0) @binding(0) var<storage, read> field_in : array<f32>;
+@group(0) @binding(1) var<storage, read_write> field_out : array<f32>;
+@group(0) @binding(2) var<uniform> P : Params;
+
+var<workgroup> tile : array<array<f32, 16>, 16>;   // one window per workgroup
+
+// A100 m8n8k4 accumulator layout: element (r, c) lives in lane
+// 4r + c/2, register c%2 — every emulated fragment access goes
+// through these two helpers
+fn acc_row(lane : u32) -> u32 { return lane / 4u; }
+fn acc_col(lane : u32, reg : u32) -> u32 { return 2u * (lane % 4u) + reg; }
+fn pmod(i : i32, n : i32) -> i32 { return ((i % n) + n) % n; }
+
+@compute @workgroup_size(32)
+fn lorastencil_bo__2d49p(@builtin(workgroup_id) wg : vec3<u32>,
+                         @builtin(local_invocation_index) lane : u32) {
+  let rows = i32(P.rows);
+  let cols = i32(P.cols);
+  let r0 = 8 * i32(wg.y);
+  let c0 = 8 * i32(wg.x);
+
+  // emulated wmma accumulator: registers acc.x[0]/acc.x[1] of this lane
+  var acc0 = 0.0;
+  var acc1 = 0.0;
+
+  // §IV-B analogue: cp.async EMULATED — plain workgroup staging + barrier
+  for (var e = lane; e < 256u; e += 32u) {
+    let rr = pmod(r0 - 3 + i32(e / 16u), rows);
+    let cc = pmod(c0 - 3 + i32(e % 16u), cols);
+    tile[e / 16u][e % 16u] = field_in[u32(rr * cols + cc)];
+  }
+  workgroupBarrier();
+
+  // Eq. 12 fragment loads: EMULATED — no cooperative matrices in
+  // WGSL; the chains below read tile directly through the A100
+  // fragment layout
+
+  // ---- RDG term 0 (§III-B): acc += U0 · X · V0 — EMULATED wmma ----
+  for (var j = 0u; j < 2u; j++) {
+    // step 1: vertical gather T = U0 · X; each lane computes its two
+    // accumulator-layout elements of T
+    var t0 = 0.0;
+    var t1 = 0.0;
+    for (var k = 0u; k < 4u; k++) {
+      for (var kk = 0u; kk < 4u; kk++) {
+        let uv = U0[k][4u * acc_row(lane) + kk];
+        t0 += uv * tile[4u * k + kk][8u * j + acc_col(lane, 0u)];
+        t1 += uv * tile[4u * k + kk][8u * j + acc_col(lane, 1u)];
+      }
+    }
+    // step 2 + §III-D BVS: this lane's t0/t1 ARE its two A-fragment
+    // elements — zero data-movement shuffles; the butterfly row swap
+    // lives in the V0 constants. The subgroupShuffle below is the
+    // tensor core's own k-reduction, spelled out: A element (p, k)
+    // lives in lane 4p + k.
+    for (var k = 0u; k < 4u; k++) {
+      let a0 = subgroupShuffle(t0, 4u * acc_row(lane) + k);
+      let a1 = subgroupShuffle(t1, 4u * acc_row(lane) + k);
+      acc0 += a0 * V0[2u * j + 0u][4u * acc_col(lane, 0u) + k]
+            + a1 * V0[2u * j + 1u][4u * acc_col(lane, 0u) + k];
+      acc1 += a0 * V0[2u * j + 0u][4u * acc_col(lane, 1u) + k]
+            + a1 * V0[2u * j + 1u][4u * acc_col(lane, 1u) + k];
+    }
+  }
+
+  // ---- RDG term 1 (§III-B): acc += U1 · X · V1 — EMULATED wmma ----
+  for (var j = 0u; j < 2u; j++) {
+    // step 1: vertical gather T = U1 · X; each lane computes its two
+    // accumulator-layout elements of T
+    var t0 = 0.0;
+    var t1 = 0.0;
+    for (var k = 0u; k < 4u; k++) {
+      for (var kk = 0u; kk < 4u; kk++) {
+        let uv = U1[k][4u * acc_row(lane) + kk];
+        t0 += uv * tile[4u * k + kk][8u * j + acc_col(lane, 0u)];
+        t1 += uv * tile[4u * k + kk][8u * j + acc_col(lane, 1u)];
+      }
+    }
+    // step 2 + §III-D BVS: this lane's t0/t1 ARE its two A-fragment
+    // elements — zero data-movement shuffles; the butterfly row swap
+    // lives in the V1 constants. The subgroupShuffle below is the
+    // tensor core's own k-reduction, spelled out: A element (p, k)
+    // lives in lane 4p + k.
+    for (var k = 0u; k < 4u; k++) {
+      let a0 = subgroupShuffle(t0, 4u * acc_row(lane) + k);
+      let a1 = subgroupShuffle(t1, 4u * acc_row(lane) + k);
+      acc0 += a0 * V1[2u * j + 0u][4u * acc_col(lane, 0u) + k]
+            + a1 * V1[2u * j + 1u][4u * acc_col(lane, 0u) + k];
+      acc1 += a0 * V1[2u * j + 0u][4u * acc_col(lane, 1u) + k]
+            + a1 * V1[2u * j + 1u][4u * acc_col(lane, 1u) + k];
+    }
+  }
+
+  // ---- RDG term 2 (§III-B): acc += U2 · X · V2 — EMULATED wmma ----
+  for (var j = 0u; j < 2u; j++) {
+    // step 1: vertical gather T = U2 · X; each lane computes its two
+    // accumulator-layout elements of T
+    var t0 = 0.0;
+    var t1 = 0.0;
+    for (var k = 0u; k < 4u; k++) {
+      for (var kk = 0u; kk < 4u; kk++) {
+        let uv = U2[k][4u * acc_row(lane) + kk];
+        t0 += uv * tile[4u * k + kk][8u * j + acc_col(lane, 0u)];
+        t1 += uv * tile[4u * k + kk][8u * j + acc_col(lane, 1u)];
+      }
+    }
+    // step 2 + §III-D BVS: this lane's t0/t1 ARE its two A-fragment
+    // elements — zero data-movement shuffles; the butterfly row swap
+    // lives in the V2 constants. The subgroupShuffle below is the
+    // tensor core's own k-reduction, spelled out: A element (p, k)
+    // lives in lane 4p + k.
+    for (var k = 0u; k < 4u; k++) {
+      let a0 = subgroupShuffle(t0, 4u * acc_row(lane) + k);
+      let a1 = subgroupShuffle(t1, 4u * acc_row(lane) + k);
+      acc0 += a0 * V2[2u * j + 0u][4u * acc_col(lane, 0u) + k]
+            + a1 * V2[2u * j + 1u][4u * acc_col(lane, 0u) + k];
+      acc1 += a0 * V2[2u * j + 0u][4u * acc_col(lane, 1u) + k]
+            + a1 * V2[2u * j + 1u][4u * acc_col(lane, 1u) + k];
+    }
+  }
+
+  // §III-C pyramid tip: 1x1 term, no matrix multiply needed
+  acc0 += 3.36364384463463256e-3 * tile[3u + acc_row(lane)][3u + acc_col(lane, 0u)];
+  acc1 += 3.36364384463463256e-3 * tile[3u + acc_row(lane)][3u + acc_col(lane, 1u)];
+
+  // store_matrix_sync analogue: each lane writes its two
+  // accumulator-layout elements
+  field_out[u32((r0 + i32(acc_row(lane))) * cols + c0 + i32(acc_col(lane, 0u)))] = acc0;
+  field_out[u32((r0 + i32(acc_row(lane))) * cols + c0 + i32(acc_col(lane, 1u)))] = acc1;
+}

@@ -1,0 +1,73 @@
+// ======================================================================
+// LoRAStencil kernel for Heat-1Dx3 (1-D, radius 3, 3x fused)
+// single banded MM (§IV-C): 16-long segments, 4 MMAs per 64 outputs
+// ======================================================================
+// --------------------------------------------------------- WGSL / WebGPU
+// capability audit — how LoRAStencil's mechanisms land on this target:
+//   wmma m8n8k4 f64    : EMULATED  no cooperative matrices; chains are
+//                                  scalar loops over the exact A100
+//                                  fragment lane layout (f64 -> f32)
+//   2:4 sparse mma.sp  : EMULATED  no sparse pipeline; sparse-plan terms
+//                                  run the dense emulation
+//   cp.async staging   : EMULATED  plain workgroup staging + barrier
+//   subgroup shuffle   : UNUSED    no cross-lane exchange in this listing
+// ------------------------------------------------------------------------
+// banded gather matrix V (Eq. 11): 16x8 as 4 B fragments
+// V1D[blk][lane]: B-fragment element (k, c) lives at lane 4c + k
+var<private> V1D = array(
+  array(0.015625, 0.09375, 0.234375, 0.3125, 0.0, 0.015625, 0.09375, 0.234375, 0.0, 0.0, 0.015625, 0.09375, 0.0, 0.0, 0.0, 0.015625, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+  array(0.234375, 0.09375, 0.015625, 0.0, 0.3125, 0.234375, 0.09375, 0.015625, 0.234375, 0.3125, 0.234375, 0.09375, 0.09375, 0.234375, 0.3125, 0.234375, 0.015625, 0.09375, 0.234375, 0.3125, 0.0, 0.015625, 0.09375, 0.234375, 0.0, 0.0, 0.015625, 0.09375, 0.0, 0.0, 0.0, 0.015625),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.015625, 0.0, 0.0, 0.0, 0.09375, 0.015625, 0.0, 0.0, 0.234375, 0.09375, 0.015625, 0.0, 0.3125, 0.234375, 0.09375, 0.015625, 0.234375, 0.3125, 0.234375, 0.09375, 0.09375, 0.234375, 0.3125, 0.234375),
+  array(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.015625, 0.0, 0.0, 0.0, 0.09375, 0.015625, 0.0, 0.0),
+);
+
+struct Params {
+  n : u32,
+}
+@group(0) @binding(0) var<storage, read> field_in : array<f32>;
+@group(0) @binding(1) var<storage, read_write> field_out : array<f32>;
+@group(0) @binding(2) var<uniform> P : Params;
+
+var<workgroup> seg_tile : array<array<f32, 16>, 8>;   // 8 overlapping segments
+
+// A100 m8n8k4 accumulator layout: element (r, c) lives in lane
+// 4r + c/2, register c%2 — every emulated fragment access goes
+// through these two helpers
+fn acc_row(lane : u32) -> u32 { return lane / 4u; }
+fn acc_col(lane : u32, reg : u32) -> u32 { return 2u * (lane % 4u) + reg; }
+fn pmod(i : i32, n : i32) -> i32 { return ((i % n) + n) % n; }
+
+@compute @workgroup_size(32)
+fn lorastencil_heat_1d_3(@builtin(workgroup_id) wg : vec3<u32>,
+                         @builtin(local_invocation_index) lane : u32) {
+  let n = i32(P.n);
+  let i0 = 64 * i32(wg.x);
+
+  // emulated wmma accumulator: registers acc.x[0]/acc.x[1] of this lane
+  var acc0 = 0.0;
+  var acc1 = 0.0;
+  // §IV-C: pack 8 overlapping 16-long segments as the rows of X
+  // (cp.async EMULATED: plain workgroup staging + barrier)
+  for (var e = lane; e < 128u; e += 32u) {
+    let seg = e / 16u;
+    let c = pmod(i0 + 8 * i32(seg) - 3 + i32(e % 16u), n);
+    seg_tile[seg][e % 16u] = field_in[u32(c)];
+  }
+  workgroupBarrier();
+
+  // the single banded MM gathers the whole dimension: 4 chained MMAs,
+  // EMULATED as per-lane dot products over the fragment layout
+  // (A element (r, k) is seg_tile[r][4*blk + k]; V element (k, c)
+  //  lives at lane 4c + k)
+  for (var blk = 0u; blk < 4u; blk++) {
+    for (var kk = 0u; kk < 4u; kk++) {
+      acc0 += seg_tile[acc_row(lane)][4u * blk + kk] * V1D[blk][4u * acc_col(lane, 0u) + kk];
+      acc1 += seg_tile[acc_row(lane)][4u * blk + kk] * V1D[blk][4u * acc_col(lane, 1u) + kk];
+    }
+  }
+
+  // store_matrix_sync analogue: each lane writes its two
+  // accumulator-layout elements
+  field_out[u32(i0) + 8u * acc_row(lane) + acc_col(lane, 0u)] = acc0;
+  field_out[u32(i0) + 8u * acc_row(lane) + acc_col(lane, 1u)] = acc1;
+}
