@@ -1,0 +1,20 @@
+use lorastencil::codegen::{emit, Target};
+use lorastencil::plan::ExecConfig;
+use lorastencil::schedule::{ScheduleParams, Staging};
+use lorastencil::Plan;
+use stencil_core::kernels;
+
+#[test]
+fn review_double_staged_tip() {
+    let params = ScheduleParams { staging: Staging::Double, ..ScheduleParams::default() };
+    let plan = Plan::new_with_params(&kernels::box_2d49p(), ExecConfig::full(), params.clone());
+    let code = emit(&plan, Target::Cuda);
+    let tile_decl: Vec<&str> = code.lines().filter(|l| l.contains("__shared__ double tile")).collect();
+    let tip: Vec<&str> = code.lines().filter(|l| l.contains("acc.x[0] +=")).collect();
+    println!("DECL: {tile_decl:?}");
+    println!("TIP : {tip:?}");
+    let plan3 = Plan::new_with_params(&kernels::box_3d27p(), ExecConfig::full(), params);
+    let code3 = emit(&plan3, Target::Cuda);
+    let tip3: Vec<&str> = code3.lines().filter(|l| l.contains("pyramid tip") || l.contains("acc.x[0] +=")).collect();
+    println!("TIP3: {tip3:?}");
+}
